@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Regenerates the Section IV-B area estimate: the SDIMM secure
+ * buffer's ORAM controller plus transfer buffer.  Paper: controller
+ * 0.47 mm^2 (Fletcher et al.), 8 KB buffer < 0.42 mm^2 via CACTI,
+ * total < 1 mm^2 at 32 nm.
+ */
+
+#include <cstdio>
+
+#include "analytic/area_model.hh"
+#include "bench/common.hh"
+
+using namespace secdimm;
+using namespace secdimm::analytic;
+
+int
+main()
+{
+    bench::header("Secure buffer area estimate",
+                  "Section IV-B text (paper: < 1 mm^2 at 32 nm)");
+
+    std::printf("%-14s %12s %12s %12s\n", "buffer size", "ctrl mm^2",
+                "sram mm^2", "total mm^2");
+    for (std::uint64_t bytes : {4096ULL, 8192ULL, 16384ULL, 32768ULL}) {
+        const SecureBufferArea a = secureBufferArea(bytes);
+        std::printf("%10llu B  %12.2f %12.2f %12.2f\n",
+                    static_cast<unsigned long long>(bytes),
+                    a.oramControllerMm2, a.bufferMm2, a.totalMm2());
+    }
+
+    const SecureBufferArea paper = secureBufferArea(8192);
+    std::printf("\n8 KB design point: %.2f mm^2 total -- %s 1 mm^2 "
+                "(paper: < 1 mm^2)\n",
+                paper.totalMm2(),
+                paper.totalMm2() < 1.0 ? "under" : "OVER");
+    return 0;
+}

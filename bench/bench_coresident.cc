@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Extension study the paper motivates but does not evaluate
+ * (Section III-A advantage 3 and Section IV-B: "the low ORAM-specific
+ * traffic on the main DDR bus can lead to lower latency for memory
+ * accesses by other non-secure threads (not evaluated in this
+ * study)"): the latency a co-resident non-secure VM sees when it
+ * shares the memory system with an ORAM-protected workload.
+ *
+ * Scenario A: the VM shares the CPU channel with Freecursive ORAM --
+ * its accesses compete with the 2(Z+1)L path lines per accessORAM.
+ * Scenario B: the VM shares the channel with SDIMM protocol traffic
+ * only (INDEP-2) -- path shuffles stay on the DIMMs; the VM's own
+ * LRDIMM handles its accesses, delayed only when the bus is busy with
+ * sealed SDIMM messages.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "dram/channel.hh"
+#include "oram/freecursive_backend.hh"
+#include "sdimm/independent_backend.hh"
+#include "util/rng.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+namespace
+{
+
+/** Mean inter-arrival (cycles) of the co-resident VM's accesses. */
+constexpr double vmMeanGap = 200.0;
+
+/** Drive an ORAM-load generator: returns per-VM-access latencies. */
+struct VmStats
+{
+    double meanLatency = 0;
+    std::uint64_t accesses = 0;
+};
+
+VmStats
+scenarioFreecursive(unsigned oram_misses)
+{
+    SystemConfig cfg = makeConfig(DesignPoint::Freecursive, 24, 7);
+    oram::FreecursiveBackend backend(cfg.globalTree(), cfg.recursion,
+                                     cfg.timing, cfg.cpuGeom, 1);
+
+    std::uint64_t pending_oram = 0;
+    backend.setCompletionCallback(
+        [&](std::uint64_t, Tick) { --pending_oram; });
+
+    double vm_lat_sum = 0;
+    std::uint64_t vm_done = 0;
+    backend.setPlainCompletionCallback(
+        [&](std::uint64_t issued_at, Tick done) {
+            vm_lat_sum += static_cast<double>(done - issued_at);
+            ++vm_done;
+        });
+
+    Rng rng(7);
+    Tick now = 0;
+    Tick next_vm = 100;
+    for (unsigned i = 0; i < oram_misses; ++i) {
+        while (!backend.canAccept()) {
+            const Tick next = backend.nextEventAt();
+            backend.advanceTo(next);
+            now = std::max(now, next);
+            // Inject VM traffic as time passes.
+            while (next_vm <= now) {
+                if (backend.canAcceptPlain(next_vm * 64, false)) {
+                    backend.accessPlain(next_vm, next_vm * 4096, false,
+                                        next_vm);
+                }
+                next_vm += rng.nextGeometric(vmMeanGap);
+            }
+        }
+        ++pending_oram;
+        backend.access(i + 1, rng.next() % (1ULL << 30), false, now);
+    }
+    while (!backend.idle()) {
+        const Tick next = backend.nextEventAt();
+        if (next == tickNever)
+            break;
+        backend.advanceTo(next);
+        now = std::max(now, next);
+        while (next_vm <= now) {
+            if (backend.canAcceptPlain(next_vm * 64, false))
+                backend.accessPlain(next_vm, next_vm * 4096, false,
+                                    next_vm);
+            next_vm += rng.nextGeometric(vmMeanGap);
+        }
+    }
+    return VmStats{vm_done ? vm_lat_sum / vm_done : 0, vm_done};
+}
+
+VmStats
+scenarioSdimm(unsigned oram_misses)
+{
+    SystemConfig cfg = makeConfig(DesignPoint::Indep2, 24, 7);
+    sdimm::SdimmTimingConfig scfg;
+    scfg.perSdimm = cfg.globalTree();
+    scfg.perSdimm.levels -= 1;
+    scfg.perSdimm.cachedLevels -= 1;
+    scfg.recursion = cfg.recursion;
+    scfg.numSdimms = 2;
+    scfg.cpuChannels = 1;
+    scfg.timing = cfg.timing;
+    scfg.sdimmGeom = cfg.sdimmGeom;
+    sdimm::IndependentBackend backend(scfg, 1);
+
+    std::uint64_t pending_oram = 0;
+    backend.setCompletionCallback(
+        [&](std::uint64_t, Tick) { --pending_oram; });
+
+    // The VM's own (co-resident) LRDIMM on the same channel.
+    dram::DramChannel vm_dimm("vm", cfg.timing, cfg.sdimmGeom,
+                              dram::MapPolicy::RowRankBankCol);
+    double vm_lat_sum = 0;
+    std::uint64_t vm_done = 0;
+    vm_dimm.setCompletionCallback(
+        [&](const dram::DramCompletion &c) {
+            vm_lat_sum += static_cast<double>(c.doneAt - c.enqueuedAt);
+            ++vm_done;
+        });
+
+    Rng rng(7);
+    Tick now = 0;
+    Tick next_vm = 100;
+    auto inject_vm = [&](Tick upto) {
+        while (next_vm <= upto) {
+            // The access waits for the shared bus if SDIMM protocol
+            // traffic occupies it.
+            const Tick start =
+                std::max<Tick>(next_vm, backend.bus(0).busFreeAt());
+            if (vm_dimm.canEnqueue(false)) {
+                vm_dimm.enqueue(next_vm, (next_vm * 64) %
+                                             vm_dimm.addressMap()
+                                                 .blockCount(),
+                                false, start);
+            }
+            next_vm += rng.nextGeometric(vmMeanGap);
+        }
+    };
+
+    for (unsigned i = 0; i < oram_misses; ++i) {
+        while (!backend.canAccept()) {
+            const Tick next =
+                std::min(backend.nextEventAt(), vm_dimm.nextEventAt());
+            backend.advanceTo(next);
+            vm_dimm.advanceTo(next);
+            now = std::max(now, next);
+            inject_vm(now);
+        }
+        ++pending_oram;
+        backend.access(i + 1, rng.next() % (1ULL << 30), false, now);
+    }
+    while (!backend.idle() || !vm_dimm.idle()) {
+        Tick next = std::min(backend.nextEventAt(),
+                             vm_dimm.nextEventAt());
+        if (next == tickNever)
+            break;
+        backend.advanceTo(next);
+        vm_dimm.advanceTo(next);
+        now = std::max(now, next);
+        inject_vm(now);
+    }
+    return VmStats{vm_done ? vm_lat_sum / vm_done : 0, vm_done};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Co-resident non-secure VM latency (extension study)",
+        "Section III-A adv. 3 / IV-B text ('not evaluated in this "
+        "study')");
+
+    const unsigned misses = 400;
+    const VmStats fc = scenarioFreecursive(misses);
+    const VmStats sd = scenarioSdimm(misses);
+
+    std::printf("VM accesses injected every ~%.0f cycles while %u ORAM "
+                "misses are serviced:\n\n",
+                vmMeanGap, misses);
+    std::printf("%-34s %12s %10s\n", "scenario", "VM accesses",
+                "mean lat");
+    std::printf("%-34s %12llu %9.0f\n",
+                "shared channel with Freecursive",
+                static_cast<unsigned long long>(fc.accesses),
+                fc.meanLatency);
+    std::printf("%-34s %12llu %9.0f\n",
+                "shared channel with SDIMM (INDEP-2)",
+                static_cast<unsigned long long>(sd.accesses),
+                sd.meanLatency);
+    std::printf("\nnon-secure latency improvement: %.1fx\n",
+                fc.meanLatency / sd.meanLatency);
+    return 0;
+}

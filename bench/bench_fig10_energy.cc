@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Regenerates Figure 10: memory energy overhead normalized to a
+ * non-secure baseline, for Freecursive vs the best SDIMM designs
+ * (SPLIT-2 on one channel, INDEP-SPLIT on two), with the energy
+ * breakdown the Micron-power-calculator methodology produces.
+ * Paper: SPLIT-2 improves memory energy ~2.4x and INDEP-SPLIT ~2.5x
+ * over Freecursive.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+namespace
+{
+
+struct EnergyRow
+{
+    double overheadSum = 0.0; ///< Sum over workloads of E/E_nonsecure.
+    dram::EnergyBreakdown total;
+    unsigned n = 0;
+};
+
+void
+accumulate(EnergyRow &row, const core::SimResult &r, double base_nj)
+{
+    row.overheadSum += r.energy.totalNj() / base_nj;
+    row.total += r.energy;
+    ++row.n;
+}
+
+void
+printRow(const char *name, const EnergyRow &row)
+{
+    const double t = row.total.totalNj();
+    std::printf("%-12s %10.2fx   %5.1f%% %5.1f%% %5.1f%% %5.1f%% "
+                "%5.1f%%\n",
+                name, row.overheadSum / row.n,
+                100.0 * row.total.actPreNj / t,
+                100.0 * row.total.rdWrNj / t,
+                100.0 * row.total.ioNj / t,
+                100.0 * row.total.backgroundNj / t,
+                100.0 * row.total.refreshNj / t);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 10 -- memory energy overhead vs non-secure",
+                  "Fig 10 (paper: SPLIT-2 2.4x and INDEP-SPLIT 2.5x "
+                  "better than Freecursive)");
+
+    const auto lens = bench::lengths();
+
+    EnergyRow fc1, sp2, fc2, is4;
+    for (const auto &wl : bench::workloads()) {
+        // Single channel.
+        const SimResult ns1 = runWorkload(
+            makeConfig(DesignPoint::NonSecure, 24, 7), wl, lens, 1);
+        accumulate(fc1,
+                   runWorkload(makeConfig(DesignPoint::Freecursive, 24,
+                                          7),
+                               wl, lens, 1),
+                   ns1.energy.totalNj());
+        accumulate(sp2,
+                   runWorkload(makeConfig(DesignPoint::Split2, 24, 7),
+                               wl, lens, 1),
+                   ns1.energy.totalNj());
+
+        // Double channel.
+        SystemConfig ns2_cfg = makeConfig(DesignPoint::NonSecure, 24, 7);
+        ns2_cfg.cpuChannels = 2;
+        ns2_cfg.cpuGeom.channels = 2;
+        SystemConfig fc2_cfg = makeConfig(DesignPoint::Freecursive, 24, 7);
+        fc2_cfg.cpuChannels = 2;
+        fc2_cfg.cpuGeom.channels = 2;
+        const SimResult ns2 = runWorkload(ns2_cfg, wl, lens, 1);
+        accumulate(fc2, runWorkload(fc2_cfg, wl, lens, 1),
+                   ns2.energy.totalNj());
+        accumulate(is4,
+                   runWorkload(makeConfig(DesignPoint::IndepSplit, 24,
+                                          7),
+                               wl, lens, 1),
+                   ns2.energy.totalNj());
+    }
+
+    std::printf("%-12s %11s   %-40s\n", "design", "overhead",
+                "breakdown: act/pre  rd/wr  I/O  bkgd  refresh");
+    std::printf("-- single channel --\n");
+    printRow("Freecursive", fc1);
+    printRow("SPLIT-2", sp2);
+    std::printf("-- double channel --\n");
+    printRow("Freecursive", fc2);
+    printRow("INDEP-SPLIT", is4);
+
+    const double gain1 =
+        (fc1.overheadSum / fc1.n) / (sp2.overheadSum / sp2.n);
+    const double gain2 =
+        (fc2.overheadSum / fc2.n) / (is4.overheadSum / is4.n);
+    std::printf("\nenergy improvement over Freecursive:\n");
+    std::printf("  SPLIT-2 (1ch):     %.2fx   (paper: 2.4x)\n", gain1);
+    std::printf("  INDEP-SPLIT (2ch): %.2fx   (paper: 2.5x)\n", gain2);
+    return 0;
+}

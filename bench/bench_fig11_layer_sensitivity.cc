@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Figure 11: average normalized execution time of the
+ * best SDIMM designs (SPLIT-2 for single channel, INDEP-SPLIT for
+ * double channel) as the ORAM tree depth sweeps L20..L28.  Paper:
+ * improvements grow with layer count, ranging 33-35% (1ch) and
+ * 47-49% (2ch).
+ *
+ * Uses a 4-workload subset by default to keep the sweep quick; set
+ * SDIMM_BENCH_ALL_WORKLOADS=1 for the full ten.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+int
+main()
+{
+    bench::header(
+        "Figure 11 -- sensitivity to ORAM layer count",
+        "Fig 11 (paper: improvement grows with layers; 33-35% at 1ch, "
+        "47-49% at 2ch)");
+
+    const auto lens = bench::lengths(600);
+    std::vector<trace::WorkloadProfile> wls;
+    if (std::getenv("SDIMM_BENCH_ALL_WORKLOADS")) {
+        wls = bench::workloads();
+    } else {
+        for (const char *n : {"mcf", "omnetpp", "GemsFDTD", "lbm"})
+            wls.push_back(*trace::findProfile(n));
+    }
+
+    std::printf("%-6s %18s %18s\n", "layers", "SPLIT-2 / FC (1ch)",
+                "INDEP-SPLIT / FC (2ch)");
+    for (unsigned levels : {20u, 22u, 24u, 26u, 28u}) {
+        std::vector<double> n1, n2;
+        for (const auto &wl : wls) {
+            const SimResult fc1 = runWorkload(
+                makeConfig(DesignPoint::Freecursive, levels, 7), wl,
+                lens, 1);
+            const SimResult sp = runWorkload(
+                makeConfig(DesignPoint::Split2, levels, 7), wl, lens,
+                1);
+            n1.push_back(static_cast<double>(sp.core.cycles) /
+                         fc1.core.cycles);
+
+            SystemConfig fc2_cfg =
+                makeConfig(DesignPoint::Freecursive, levels, 7);
+            fc2_cfg.cpuChannels = 2;
+            fc2_cfg.cpuGeom.channels = 2;
+            const SimResult fc2 = runWorkload(fc2_cfg, wl, lens, 1);
+            const SimResult is = runWorkload(
+                makeConfig(DesignPoint::IndepSplit, levels, 7), wl,
+                lens, 1);
+            n2.push_back(static_cast<double>(is.core.cycles) /
+                         fc2.core.cycles);
+        }
+        std::printf("L%-5u %18.3f %18.3f\n", levels,
+                    bench::geomean(n1), bench::geomean(n2));
+    }
+    std::printf("%-6s %18s %18s\n", "paper", "0.65..0.67",
+                "0.51..0.53");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates Figure 6: slowdown of Freecursive ORAM relative to a
+ * non-secure memory system, for single- and double-channel memory,
+ * plus the observed accessORAM-per-LLC-miss average the paper quotes
+ * (~1.4).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+int
+main()
+{
+    bench::header("Figure 6 -- Freecursive slowdown vs non-secure",
+                  "Fig 6 (paper: ~8.8x on 1 channel, ~5.2x on 2; "
+                  "~1.4 accessORAMs per miss)");
+
+    const auto lens = bench::lengths();
+
+    std::printf("%-12s %12s %12s %12s %12s %8s\n", "workload",
+                "nonsec-1ch", "oram-1ch", "slow-1ch", "slow-2ch",
+                "ops/miss");
+
+    std::vector<double> slow1, slow2, opsPerMiss;
+    for (const auto &wl : bench::workloads()) {
+        SystemConfig ns1 = makeConfig(DesignPoint::NonSecure, 24, 7);
+        SystemConfig fc1 = makeConfig(DesignPoint::Freecursive, 24, 7);
+        SystemConfig ns2 = ns1, fc2 = fc1;
+        ns2.cpuChannels = 2;
+        ns2.cpuGeom.channels = 2;
+        fc2.cpuChannels = 2;
+        fc2.cpuGeom.channels = 2;
+
+        const SimResult rn1 = runWorkload(ns1, wl, lens, 1);
+        const SimResult rf1 = runWorkload(fc1, wl, lens, 1);
+        const SimResult rn2 = runWorkload(ns2, wl, lens, 1);
+        const SimResult rf2 = runWorkload(fc2, wl, lens, 1);
+
+        const double s1 = static_cast<double>(rf1.core.cycles) /
+                          static_cast<double>(rn1.core.cycles);
+        const double s2 = static_cast<double>(rf2.core.cycles) /
+                          static_cast<double>(rn2.core.cycles);
+        slow1.push_back(s1);
+        slow2.push_back(s2);
+        opsPerMiss.push_back(rf1.avgOramsPerMiss);
+
+        std::printf("%-12s %12llu %12llu %11.2fx %11.2fx %8.2f\n",
+                    wl.name.c_str(),
+                    static_cast<unsigned long long>(rn1.core.cycles),
+                    static_cast<unsigned long long>(rf1.core.cycles),
+                    s1, s2, rf1.avgOramsPerMiss);
+    }
+
+    std::printf("\n%-12s %12s %12s %11.2fx %11.2fx %8.2f\n", "geomean",
+                "", "", bench::geomean(slow1), bench::geomean(slow2),
+                bench::mean(opsPerMiss));
+    std::printf("%-12s %12s %12s %12s %12s %8s\n", "paper", "", "",
+                "8.80x", "5.20x", "1.40");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Figure 8: normalized execution time of the
+ * single-channel SDIMM designs (INDEP-2, SPLIT-2) relative to
+ * Freecursive ORAM, with the 64 KB ORAM cache (7 levels).  Set
+ * SDIMM_BENCH_NOCACHE=1 to also run the no-ORAM-cache variant the
+ * paper reports (~35.7% improvement).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+namespace
+{
+
+void
+runVariant(unsigned cached)
+{
+    const auto lens = bench::lengths();
+    std::printf("\n--- %s (cached levels = %u) ---\n",
+                cached ? "with ORAM cache" : "no ORAM cache", cached);
+    std::printf("%-12s %12s %12s %12s\n", "workload", "Freecursive",
+                "INDEP-2", "SPLIT-2");
+
+    std::vector<double> n_ind, n_split;
+    for (const auto &wl : bench::workloads()) {
+        const SimResult fc = runWorkload(
+            makeConfig(DesignPoint::Freecursive, 24, cached), wl, lens,
+            1);
+        const SimResult ind = runWorkload(
+            makeConfig(DesignPoint::Indep2, 24, cached), wl, lens, 1);
+        const SimResult sp = runWorkload(
+            makeConfig(DesignPoint::Split2, 24, cached), wl, lens, 1);
+
+        const double ni = static_cast<double>(ind.core.cycles) /
+                          static_cast<double>(fc.core.cycles);
+        const double ns = static_cast<double>(sp.core.cycles) /
+                          static_cast<double>(fc.core.cycles);
+        n_ind.push_back(ni);
+        n_split.push_back(ns);
+        std::printf("%-12s %12.3f %12.3f %12.3f\n", wl.name.c_str(),
+                    1.0, ni, ns);
+    }
+    std::printf("%-12s %12.3f %12.3f %12.3f\n", "geomean", 1.0,
+                bench::geomean(n_ind), bench::geomean(n_split));
+    if (cached) {
+        std::printf("%-12s %12s %12s %12s  (reductions 32%% / 33.5%%)\n",
+                    "paper", "1.000", "0.680", "0.665");
+    } else {
+        std::printf("%-12s %12s %12s %12s  (reduction ~35.7%%)\n",
+                    "paper", "1.000", "~0.643", "~0.643");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Figure 8 -- single-channel SDIMM designs, normalized time",
+        "Fig 8 (paper: INDEP-2 -32%, SPLIT-2 -33.5% vs Freecursive)");
+
+    runVariant(7);
+    if (std::getenv("SDIMM_BENCH_NOCACHE"))
+        runVariant(0);
+    return 0;
+}

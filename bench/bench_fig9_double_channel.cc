@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Figure 9: normalized execution time of the
+ * double-channel SDIMM designs (INDEP-4, SPLIT-4, INDEP-SPLIT)
+ * relative to a 2-channel Freecursive baseline, plus the per-access
+ * memory latency reductions the paper quotes for Split (-41%) and
+ * Indep-Split (-63%).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+int
+main()
+{
+    bench::header(
+        "Figure 9 -- double-channel SDIMM designs, normalized time",
+        "Fig 9 (paper: INDEP-4 -20.3%, SPLIT-4 -20.4%, "
+        "INDEP-SPLIT -47.4%)");
+
+    const auto lens = bench::lengths();
+
+    std::printf("%-12s %12s %12s %12s %12s\n", "workload",
+                "Freecursive", "INDEP-4", "SPLIT-4", "INDEP-SPLIT");
+
+    std::vector<double> n4, nsp, nis;
+    std::vector<double> lat_fc, lat_sp, lat_is;
+    for (const auto &wl : bench::workloads()) {
+        SystemConfig fc_cfg = makeConfig(DesignPoint::Freecursive, 24, 7);
+        fc_cfg.cpuChannels = 2;
+        fc_cfg.cpuGeom.channels = 2;
+        const SimResult fc = runWorkload(fc_cfg, wl, lens, 1);
+        const SimResult i4 = runWorkload(
+            makeConfig(DesignPoint::Indep4, 24, 7), wl, lens, 1);
+        const SimResult s4 = runWorkload(
+            makeConfig(DesignPoint::Split4, 24, 7), wl, lens, 1);
+        const SimResult is = runWorkload(
+            makeConfig(DesignPoint::IndepSplit, 24, 7), wl, lens, 1);
+
+        const double fc_c = static_cast<double>(fc.core.cycles);
+        n4.push_back(i4.core.cycles / fc_c);
+        nsp.push_back(s4.core.cycles / fc_c);
+        nis.push_back(is.core.cycles / fc_c);
+        lat_fc.push_back(fc.cyclesPerMiss());
+        lat_sp.push_back(s4.cyclesPerMiss());
+        lat_is.push_back(is.cyclesPerMiss());
+
+        std::printf("%-12s %12.3f %12.3f %12.3f %12.3f\n",
+                    wl.name.c_str(), 1.0, n4.back(), nsp.back(),
+                    nis.back());
+    }
+    std::printf("%-12s %12.3f %12.3f %12.3f %12.3f\n", "geomean", 1.0,
+                bench::geomean(n4), bench::geomean(nsp),
+                bench::geomean(nis));
+    std::printf("%-12s %12s %12s %12s %12s\n", "paper", "1.000",
+                "0.797", "0.796", "0.526");
+
+    // Per-miss memory time reductions (Section IV-B text).
+    const double red_sp =
+        1.0 - bench::mean(lat_sp) / bench::mean(lat_fc);
+    const double red_is =
+        1.0 - bench::mean(lat_is) / bench::mean(lat_fc);
+    std::printf("\nper-miss memory time reduction vs Freecursive:\n");
+    std::printf("  SPLIT-4:     %5.1f%%   (paper: 41%%)\n",
+                100.0 * red_sp);
+    std::printf("  INDEP-SPLIT: %5.1f%%   (paper: 63%%)\n",
+                100.0 * red_is);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Evaluates the Section III-E low-power technique: the
+ * subtree-per-rank layout with idle-rank power-down.  Paper: no more
+ * than 4% performance drop, with most ranks in low-power mode (and
+ * the rank-to-rank switching penalty eliminated by localizing each
+ * access to one rank).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "dram/power_model.hh"
+#include "sdimm/independent_backend.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+int
+main()
+{
+    bench::header("Low-power ORAM placement (Section III-E)",
+                  "Section IV-B text (paper: <=4% performance drop, "
+                  "background energy saved)");
+
+    const auto lens = bench::lengths(800);
+
+    std::printf("%-12s %12s %12s %8s %12s %12s\n", "workload",
+                "lp-on cyc", "lp-off cyc", "perf", "bkgd-on nJ",
+                "bkgd-off nJ");
+
+    std::vector<double> perf_drop, bkgd_save;
+    for (const char *n : {"mcf", "omnetpp", "GemsFDTD", "lbm"}) {
+        const auto &wl = *trace::findProfile(n);
+        SystemConfig on = makeConfig(DesignPoint::Indep2, 24, 7);
+        on.lowPower = true;
+        SystemConfig off = on;
+        off.lowPower = false;
+
+        const SimResult r_on = runWorkload(on, wl, lens, 1);
+        const SimResult r_off = runWorkload(off, wl, lens, 1);
+
+        const double drop = static_cast<double>(r_on.core.cycles) /
+                                r_off.core.cycles -
+                            1.0;
+        perf_drop.push_back(drop);
+        bkgd_save.push_back(r_off.energy.backgroundNj /
+                            r_on.energy.backgroundNj);
+
+        std::printf("%-12s %12llu %12llu %+7.1f%% %12.0f %12.0f\n", n,
+                    static_cast<unsigned long long>(r_on.core.cycles),
+                    static_cast<unsigned long long>(r_off.core.cycles),
+                    100.0 * drop, r_on.energy.backgroundNj,
+                    r_off.energy.backgroundNj);
+    }
+
+    std::printf("\naverage performance cost: %+.1f%%   (paper: <= 4%%)\n",
+                100.0 * bench::mean(perf_drop));
+    std::printf("background energy saved:  %.2fx\n",
+                bench::mean(bkgd_save));
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate primitives: AES,
+ * CMAC, CTR transforms, bucket store round trips, stash eviction,
+ * tree-layout math, PLB lookups, and raw DRAM-channel throughput.
+ * These quantify simulator (host) cost, not simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.hh"
+#include "crypto/cmac.hh"
+#include "crypto/ctr_mode.hh"
+#include "dram/channel.hh"
+#include "oram/bucket_store.hh"
+#include "oram/plb.hh"
+#include "oram/stash.hh"
+#include "oram/tree_layout.hh"
+
+using namespace secdimm;
+
+namespace
+{
+
+void
+BM_Aes128Encrypt(benchmark::State &state)
+{
+    crypto::Aes128 aes(crypto::makeKey(1, 2));
+    crypto::Aes128Block block{};
+    for (auto _ : state) {
+        block = aes.encrypt(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Encrypt);
+
+void
+BM_CtrTransformBlock(benchmark::State &state)
+{
+    crypto::CtrCipher ctr(crypto::makeKey(3, 4));
+    BlockData data{};
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        ctr.transformBlock(data, 7, ++counter);
+        benchmark::DoNotOptimize(data);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * blockBytes);
+}
+BENCHMARK(BM_CtrTransformBlock);
+
+void
+BM_CmacBucketImage(benchmark::State &state)
+{
+    crypto::Cmac cmac(crypto::makeKey(5, 6));
+    std::vector<std::uint8_t> image(320, 0xab);
+    for (auto _ : state) {
+        auto tag = cmac.compute(image.data(), image.size());
+        benchmark::DoNotOptimize(tag);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_CmacBucketImage);
+
+void
+BM_BucketStoreRoundTrip(benchmark::State &state)
+{
+    oram::BucketStore store(64, 4, crypto::makeKey(1, 1),
+                            crypto::makeKey(2, 2));
+    oram::Bucket b(4);
+    b.slot(0) = oram::BlockSlot{1, 2, BlockData{}};
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        store.writeBucket(seq % 64, b);
+        auto r = store.readBucket(seq % 64);
+        benchmark::DoNotOptimize(r);
+        ++seq;
+    }
+}
+BENCHMARK(BM_BucketStoreRoundTrip);
+
+void
+BM_StashEvict(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        oram::Stash stash(256);
+        for (Addr a = 0; a < 100; ++a)
+            stash.put(a, a % 64, BlockData{});
+        state.ResumeTiming();
+        for (int level = 6; level >= 0; --level) {
+            auto picked = stash.evictForBucket(13, level, 6, 4);
+            benchmark::DoNotOptimize(picked);
+        }
+    }
+}
+BENCHMARK(BM_StashEvict);
+
+void
+BM_TreeLayoutPath(benchmark::State &state)
+{
+    oram::TreeLayout layout(24, 5);
+    std::vector<Addr> lines;
+    LeafId leaf = 0;
+    for (auto _ : state) {
+        lines.clear();
+        layout.pathLines(leaf++ % layout.numBuckets(), 7, lines);
+        benchmark::DoNotOptimize(lines);
+    }
+}
+BENCHMARK(BM_TreeLayoutPath);
+
+void
+BM_PlbLookup(benchmark::State &state)
+{
+    oram::Plb plb(1024, 8);
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        plb.insert(oram::Plb::makeKey(1, i));
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            plb.lookup(oram::Plb::makeKey(1, i++ % 2048)));
+    }
+}
+BENCHMARK(BM_PlbLookup);
+
+void
+BM_DramChannelRandomReads(benchmark::State &state)
+{
+    dram::Geometry geom;
+    geom.ranksPerChannel = 4;
+    geom.rowsPerBank = 4096;
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        dram::DramChannel ch("bench", dram::ddr3_1600(), geom,
+                             dram::MapPolicy::RowRankBankCol);
+        ch.setCompletionCallback(
+            [&](const dram::DramCompletion &) { ++completed; });
+        state.ResumeTiming();
+        std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+        for (unsigned i = 0; i < 256; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if (!ch.canEnqueue(false))
+                ch.advanceTo(ch.nextEventAt());
+            ch.enqueue(i, x % ch.addressMap().blockCount(), false, 0);
+        }
+        ch.drain();
+    }
+    benchmark::DoNotOptimize(completed);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_DramChannelRandomReads);
+
+} // namespace
+
+BENCHMARK_MAIN();

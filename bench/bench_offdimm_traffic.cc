@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates the Section IV-B off-DIMM traffic comparison: the
+ * number of CPU-channel bursts each SDIMM design needs, as a fraction
+ * of the Freecursive baseline's.  Paper: INDEP-2 4.2%, INDEP-4 7.8%
+ * (with ORAM caching; <3.2% without), Split ~12%.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+namespace
+{
+
+double
+trafficRatio(DesignPoint design, DesignPoint baseline, unsigned cached,
+             const trace::WorkloadProfile &wl,
+             const core::SimLengths &lens)
+{
+    SystemConfig base_cfg = makeConfig(baseline, 24, cached);
+    SystemConfig cfg = makeConfig(design, 24, cached);
+    base_cfg.cpuChannels = cfg.cpuChannels;
+    base_cfg.cpuGeom.channels = cfg.cpuChannels;
+    const SimResult base = runWorkload(base_cfg, wl, lens, 1);
+    const SimResult r = runWorkload(cfg, wl, lens, 1);
+    return static_cast<double>(r.offDimmLines) /
+           static_cast<double>(base.offDimmLines);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header(
+        "Off-DIMM traffic -- CPU-channel bursts vs Freecursive",
+        "Section IV-B text (paper: INDEP-2 4.2%, INDEP-4 7.8%, "
+        "Split ~12%; <3.2% without ORAM cache)");
+
+    const auto lens = bench::lengths(500);
+
+    struct Row
+    {
+        DesignPoint design;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {DesignPoint::Indep2, "4.2%"},
+        {DesignPoint::Indep4, "7.8%"},
+        {DesignPoint::Split2, "~12%"},
+        {DesignPoint::Split4, "~12%"},
+        {DesignPoint::IndepSplit, "(n/a)"},
+    };
+
+    std::printf("%-12s %14s %14s %10s\n", "design", "cached(7)",
+                "no-cache", "paper");
+    for (const Row &row : rows) {
+        std::vector<double> cached_r, nocache_r;
+        for (const char *n : {"mcf", "libquantum", "milc"}) {
+            const auto &wl = *trace::findProfile(n);
+            cached_r.push_back(
+                trafficRatio(row.design, DesignPoint::Freecursive, 7,
+                             wl, lens));
+            nocache_r.push_back(
+                trafficRatio(row.design, DesignPoint::Freecursive, 0,
+                             wl, lens));
+        }
+        std::printf("%-12s %13.1f%% %13.1f%% %10s\n",
+                    designName(row.design),
+                    100.0 * bench::mean(cached_r),
+                    100.0 * bench::mean(nocache_r), row.paper);
+    }
+    return 0;
+}

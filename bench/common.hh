@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table benches: workload list,
+ * simulation-length env knobs, and table formatting.  Every bench
+ * prints the paper's expected values next to the measured ones so
+ * EXPERIMENTS.md can be regenerated from bench output.
+ */
+
+#ifndef SECUREDIMM_BENCH_COMMON_HH
+#define SECUREDIMM_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "trace/workload.hh"
+#include "util/logging.hh"
+
+namespace secdimm::bench
+{
+
+/** Simulation lengths honoring SDIMM_BENCH_* env overrides. */
+inline core::SimLengths
+lengths(std::uint64_t measure = 1000, std::uint64_t warmup = 20000)
+{
+    return core::benchLengths(measure, warmup);
+}
+
+/** The paper's ten workloads. */
+inline const std::vector<trace::WorkloadProfile> &
+workloads()
+{
+    return trace::spec2006Profiles();
+}
+
+/** Geometric mean (the paper reports averages over benchmarks). */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/** Print the standard bench header. */
+inline void
+header(const char *title, const char *paper_ref)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    const auto l = lengths();
+    std::printf("simulation: %llu warm-up + %llu measured LLC-miss "
+                "records per workload\n",
+                static_cast<unsigned long long>(l.warmupRecords),
+                static_cast<unsigned long long>(l.measureRecords));
+    std::printf("(scale with SDIMM_BENCH_ACCESSES / "
+                "SDIMM_BENCH_WARMUP)\n");
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+} // namespace secdimm::bench
+
+#endif // SECUREDIMM_BENCH_COMMON_HH

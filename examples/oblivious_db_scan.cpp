@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The paper's motivating workload class: an in-memory database (it
+ * cites Oracle TimesTen / SAP HANA) whose query behaviour must not
+ * leak to an operator probing the DIMMs.  This example stores a small
+ * employee table in oblivious memory and runs two classes of queries:
+ *
+ *  - full-table aggregate scans (every row touched), and
+ *  - selective point lookups driven by a secret predicate.
+ *
+ * With plain DRAM the addresses of the touched rows reveal exactly
+ * which employees matched; over the Split ORAM the two query classes
+ * generate bus traffic of identical shape -- and we additionally
+ * exercise a fixed-work ("padded") scan idiom so even the *number* of
+ * accesses is identical for the selective query.
+ *
+ *   $ ./examples/oblivious_db_scan
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/secure_memory_system.hh"
+
+using namespace secdimm;
+using secdimm::core::SecureMemorySystem;
+
+namespace
+{
+
+/** One table row, sized to an ORAM block. */
+struct EmployeeRow
+{
+    std::uint32_t id;
+    char name[28];
+    std::uint32_t department; // 0..3
+    std::uint32_t salary;
+    std::uint8_t pad[24];
+};
+static_assert(sizeof(EmployeeRow) == blockBytes);
+
+class ObliviousTable
+{
+  public:
+    explicit ObliviousTable(std::uint64_t rows)
+        : rows_(rows), mem_(options(rows))
+    {
+    }
+
+    void
+    insert(std::uint64_t idx, const EmployeeRow &row)
+    {
+        BlockData b{};
+        std::memcpy(b.data(), &row, sizeof(row));
+        mem_.writeBlock(idx, b);
+    }
+
+    EmployeeRow
+    load(std::uint64_t idx)
+    {
+        EmployeeRow row;
+        const BlockData b = mem_.readBlock(idx);
+        std::memcpy(&row, b.data(), sizeof(row));
+        return row;
+    }
+
+    std::uint64_t rows() const { return rows_; }
+    std::uint64_t accesses() const { return mem_.accessCount(); }
+    bool integrityOk() const { return mem_.integrityOk(); }
+
+  private:
+    static core::SecureMemorySystem::Options
+    options(std::uint64_t rows)
+    {
+        core::SecureMemorySystem::Options o;
+        o.protocol = SecureMemorySystem::Protocol::Split;
+        o.capacityBytes = rows * blockBytes;
+        o.numSdimms = 2;
+        o.seed = 1234;
+        return o;
+    }
+
+    std::uint64_t rows_;
+    core::SecureMemorySystem mem_;
+};
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint64_t kRows = 128;
+    ObliviousTable table(kRows);
+
+    // Populate.
+    for (std::uint64_t i = 0; i < kRows; ++i) {
+        EmployeeRow row{};
+        row.id = static_cast<std::uint32_t>(1000 + i);
+        std::snprintf(row.name, sizeof(row.name), "employee-%03llu",
+                      static_cast<unsigned long long>(i));
+        row.department = static_cast<std::uint32_t>(i % 4);
+        row.salary = static_cast<std::uint32_t>(50000 + 137 * i);
+        table.insert(i, row);
+    }
+    std::printf("loaded %llu rows into Split-ORAM memory "
+                "(%llu accessORAMs)\n\n",
+                static_cast<unsigned long long>(kRows),
+                static_cast<unsigned long long>(table.accesses()));
+
+    // Query 1: aggregate scan -- average salary per department.
+    const std::uint64_t before_scan = table.accesses();
+    std::uint64_t sum[4] = {0, 0, 0, 0}, cnt[4] = {0, 0, 0, 0};
+    for (std::uint64_t i = 0; i < kRows; ++i) {
+        const EmployeeRow row = table.load(i);
+        sum[row.department] += row.salary;
+        ++cnt[row.department];
+    }
+    std::printf("Q1: SELECT dept, AVG(salary) GROUP BY dept\n");
+    for (int d = 0; d < 4; ++d)
+        std::printf("    dept %d: avg %llu\n", d,
+                    static_cast<unsigned long long>(sum[d] / cnt[d]));
+    std::printf("    accessORAMs: %llu\n\n",
+                static_cast<unsigned long long>(table.accesses() -
+                                                before_scan));
+
+    // Query 2: a SECRET selective predicate, run as a fixed-work
+    // scan: every row is read regardless of the match, so both the
+    // addresses AND the access count are independent of the secret.
+    const std::uint32_t secret_department = 2;
+    const std::uint32_t secret_threshold = 58000;
+    const std::uint64_t before_select = table.accesses();
+    std::vector<std::string> matches;
+    for (std::uint64_t i = 0; i < kRows; ++i) {
+        const EmployeeRow row = table.load(i);
+        const bool hit = row.department == secret_department &&
+                         row.salary > secret_threshold;
+        if (hit)
+            matches.emplace_back(row.name);
+    }
+    std::printf("Q2: secret predicate (dept == ?, salary > ?) as a "
+                "fixed-work scan\n");
+    std::printf("    matches: %zu rows (first: %s)\n", matches.size(),
+                matches.empty() ? "-" : matches.front().c_str());
+    std::printf("    accessORAMs: %llu -- identical to Q1's, and the "
+                "path sequence is\n    freshly randomized, so the bus "
+                "reveals neither predicate nor matches\n\n",
+                static_cast<unsigned long long>(table.accesses() -
+                                                before_select));
+
+    std::printf("integrity after all queries: %s\n",
+                table.integrityOk() ? "verified" : "VIOLATED");
+    return 0;
+}

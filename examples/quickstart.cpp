@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: create an oblivious memory, write and read bytes, and
+ * inspect the protocol's work.  Start here.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/secure_memory_system.hh"
+
+using secdimm::core::SecureMemorySystem;
+
+int
+main()
+{
+    // 1 MB of oblivious memory behind the SDIMM Split protocol with
+    // two (simulated) secure DIMMs.
+    SecureMemorySystem::Options opt;
+    opt.protocol = SecureMemorySystem::Protocol::Split;
+    opt.capacityBytes = 1 << 20;
+    opt.numSdimms = 2;
+    opt.seed = 2026;
+    SecureMemorySystem mem(opt);
+
+    std::printf("capacity: %llu bytes (%s protocol, %u SDIMMs)\n",
+                static_cast<unsigned long long>(mem.capacityBytes()),
+                "Split", opt.numSdimms);
+
+    // Byte-granular writes work across block boundaries.
+    const std::string secret =
+        "attackers on the memory bus learn nothing from this";
+    mem.write(4000, secret.data(), secret.size());
+
+    std::string round_trip(secret.size(), '\0');
+    mem.read(4000, round_trip.data(), round_trip.size());
+    std::printf("round trip: \"%s\"\n", round_trip.c_str());
+    if (round_trip != secret) {
+        std::printf("MISMATCH!\n");
+        return 1;
+    }
+
+    // Block-granular API.
+    secdimm::BlockData block{};
+    std::memcpy(block.data(), "block-level API", 15);
+    mem.writeBlock(7, block);
+    const secdimm::BlockData got = mem.readBlock(7);
+    std::printf("block 7: \"%.15s\"\n",
+                reinterpret_cast<const char *>(got.data()));
+
+    // Every access ran a full accessORAM under the hood: path reads,
+    // re-encryption, MAC checks, eviction.
+    std::printf("accessORAM operations performed: %llu\n",
+                static_cast<unsigned long long>(mem.accessCount()));
+    std::printf("integrity (MACs + freshness counters): %s\n",
+                mem.integrityOk() ? "all verified" : "VIOLATED");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Drive the full timing simulator from the command line: pick a
+ * workload and a memory design, replay the trace, and print the
+ * metrics the paper's figures are built from.
+ *
+ *   $ ./examples/trace_replay                      # defaults
+ *   $ ./examples/trace_replay mcf INDEP-SPLIT 2000
+ *   $ ./examples/trace_replay --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/simulator.hh"
+
+using namespace secdimm;
+using namespace secdimm::core;
+
+namespace
+{
+
+struct DesignRow
+{
+    const char *name;
+    DesignPoint design;
+};
+
+const DesignRow designs[] = {
+    {"NonSecure", DesignPoint::NonSecure},
+    {"Freecursive", DesignPoint::Freecursive},
+    {"INDEP-2", DesignPoint::Indep2},
+    {"SPLIT-2", DesignPoint::Split2},
+    {"INDEP-4", DesignPoint::Indep4},
+    {"SPLIT-4", DesignPoint::Split4},
+    {"INDEP-SPLIT", DesignPoint::IndepSplit},
+};
+
+void
+listOptions()
+{
+    std::printf("workloads:");
+    for (const auto &p : trace::spec2006Profiles())
+        std::printf(" %s", p.name.c_str());
+    std::printf("\ndesigns:  ");
+    for (const auto &d : designs)
+        std::printf(" %s", d.name);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        listOptions();
+        return 0;
+    }
+
+    const std::string workload = argc > 1 ? argv[1] : "mcf";
+    const std::string design_name = argc > 2 ? argv[2] : "SPLIT-2";
+    const std::uint64_t accesses =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1000;
+
+    const trace::WorkloadProfile *profile =
+        trace::findProfile(workload);
+    if (profile == nullptr) {
+        std::printf("unknown workload '%s'\n", workload.c_str());
+        listOptions();
+        return 1;
+    }
+    const DesignRow *row = nullptr;
+    for (const auto &d : designs) {
+        if (design_name == d.name)
+            row = &d;
+    }
+    if (row == nullptr) {
+        std::printf("unknown design '%s'\n", design_name.c_str());
+        listOptions();
+        return 1;
+    }
+
+    SystemConfig cfg = makeConfig(row->design, 24, 7);
+    SimLengths lens;
+    lens.measureRecords = accesses;
+    lens.warmupRecords = 20000;
+
+    std::printf("replaying %s on %s (%llu measured LLC-miss records, "
+                "24-level tree, 7 cached)...\n",
+                workload.c_str(), row->name,
+                static_cast<unsigned long long>(accesses));
+
+    const SimResult r = runWorkload(cfg, *profile, lens, 1);
+
+    std::printf("\ncycles (memory clock):    %llu\n",
+                static_cast<unsigned long long>(r.core.cycles));
+    std::printf("instructions retired:     %llu (IPC %.3f)\n",
+                static_cast<unsigned long long>(r.core.instructions),
+                r.core.ipc());
+    std::printf("L1 misses replayed:       %llu\n",
+                static_cast<unsigned long long>(r.core.l1Misses));
+    std::printf("LLC misses (to memory):   %llu\n",
+                static_cast<unsigned long long>(r.core.llcMisses));
+    std::printf("memory cycles per miss:   %.0f\n", r.cyclesPerMiss());
+    if (r.accessOrams) {
+        std::printf("accessORAM operations:    %llu (%.2f per miss)\n",
+                    static_cast<unsigned long long>(r.accessOrams),
+                    r.avgOramsPerMiss);
+    }
+    std::printf("off-DIMM channel bursts:  %llu\n",
+                static_cast<unsigned long long>(r.offDimmLines));
+    if (r.probes) {
+        std::printf("PROBE polls:              %llu\n",
+                    static_cast<unsigned long long>(r.probes));
+    }
+    std::printf("memory energy:            %.1f uJ  (act/pre %.1f, "
+                "rd/wr %.1f, io %.1f, bkgd %.1f, refresh %.1f)\n",
+                r.energy.totalNj() / 1000.0,
+                r.energy.actPreNj / 1000.0, r.energy.rdWrNj / 1000.0,
+                r.energy.ioNj / 1000.0, r.energy.backgroundNj / 1000.0,
+                r.energy.refreshNj / 1000.0);
+    return 0;
+}

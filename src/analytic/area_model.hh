@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Area estimate of the SDIMM secure buffer (Section IV-B):
+ * the Tiny ORAM controller (0.47 mm^2 at 32 nm, Fletcher et al. [4])
+ * plus an 8 KB transfer buffer (< 0.42 mm^2 per CACTI 6.5), for a
+ * total under 1 mm^2.  Constants stand in for the CACTI runs (see
+ * DESIGN.md substitutions).
+ */
+
+#ifndef SECUREDIMM_ANALYTIC_AREA_MODEL_HH
+#define SECUREDIMM_ANALYTIC_AREA_MODEL_HH
+
+#include <cstdint>
+
+namespace secdimm::analytic
+{
+
+/** Component areas in mm^2 at 32 nm. */
+struct SecureBufferArea
+{
+    double oramControllerMm2 = 0.47; ///< Fletcher et al. [4].
+    double bufferMm2 = 0.0;          ///< SRAM transfer buffer.
+
+    double totalMm2() const { return oramControllerMm2 + bufferMm2; }
+};
+
+/**
+ * CACTI-derived SRAM area scaling: ~0.42 mm^2 for 8 KB at 32 nm,
+ * scaled linearly in capacity with a fixed overhead floor.
+ */
+double sramAreaMm2(std::uint64_t bytes);
+
+/** Full secure-buffer estimate for a given transfer-buffer size. */
+SecureBufferArea secureBufferArea(std::uint64_t buffer_bytes = 8192);
+
+} // namespace secdimm::analytic
+
+#endif // SECUREDIMM_ANALYTIC_AREA_MODEL_HH

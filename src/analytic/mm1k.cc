@@ -1,0 +1,65 @@
+#include "analytic/mm1k.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace secdimm::analytic
+{
+
+double
+mm1kUtilization(double drain_prob, double arrival_rate)
+{
+    SD_ASSERT(arrival_rate > 0.0);
+    return arrival_rate / (arrival_rate + drain_prob);
+}
+
+double
+mm1kBlockingProbability(double rho, unsigned k_slots)
+{
+    SD_ASSERT(k_slots >= 1);
+    if (rho == 1.0)
+        return 1.0 / (k_slots + 1);
+    const double rho_k = std::pow(rho, static_cast<double>(k_slots));
+    return rho_k * (1.0 - rho) / (1.0 - rho_k * rho);
+}
+
+double
+transferQueueOverflow(double drain_prob, unsigned k_slots)
+{
+    return mm1kBlockingProbability(mm1kUtilization(drain_prob),
+                                   k_slots);
+}
+
+std::vector<double>
+mm1kOccupancy(double rho, unsigned k_slots)
+{
+    std::vector<double> pi(k_slots + 1);
+    if (rho == 1.0) {
+        const double uniform = 1.0 / (k_slots + 1);
+        for (auto &p : pi)
+            p = uniform;
+        return pi;
+    }
+    const double norm =
+        (1.0 - rho) /
+        (1.0 - std::pow(rho, static_cast<double>(k_slots) + 1.0));
+    double cur = norm;
+    for (unsigned n = 0; n <= k_slots; ++n) {
+        pi[n] = cur;
+        cur *= rho;
+    }
+    return pi;
+}
+
+double
+mm1kMeanOccupancy(double rho, unsigned k_slots)
+{
+    const auto pi = mm1kOccupancy(rho, k_slots);
+    double mean = 0.0;
+    for (unsigned n = 0; n <= k_slots; ++n)
+        mean += n * pi[n];
+    return mean;
+}
+
+} // namespace secdimm::analytic

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The M/M/1/K transfer-queue model of Section IV-C / Figure 13b:
+ * with drain probability p the utilization is
+ * rho = 0.25 / (0.25 + p) and the full-queue probability is
+ * P_K = rho^K (1 - rho) / (1 - rho^(K+1)).
+ */
+
+#ifndef SECUREDIMM_ANALYTIC_MM1K_HH
+#define SECUREDIMM_ANALYTIC_MM1K_HH
+
+#include <vector>
+
+namespace secdimm::analytic
+{
+
+/** Utilization for arrival rate 0.25 and drain probability p. */
+double mm1kUtilization(double drain_prob, double arrival_rate = 0.25);
+
+/** Blocking (overflow) probability of an M/M/1/K queue. */
+double mm1kBlockingProbability(double rho, unsigned k_slots);
+
+/**
+ * Figure 13b convenience: overflow probability of the transfer queue
+ * with @p k_slots entries when draining with probability
+ * @p drain_prob.
+ */
+double transferQueueOverflow(double drain_prob, unsigned k_slots);
+
+/** Steady-state occupancy distribution (size k_slots + 1). */
+std::vector<double> mm1kOccupancy(double rho, unsigned k_slots);
+
+/** Mean queue length in steady state. */
+double mm1kMeanOccupancy(double rho, unsigned k_slots);
+
+} // namespace secdimm::analytic
+
+#endif // SECUREDIMM_ANALYTIC_MM1K_HH

@@ -1,0 +1,97 @@
+#include "analytic/random_walk.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace secdimm::analytic
+{
+
+double
+overflowProbability(std::uint64_t steps, unsigned bound,
+                    const WalkParams &params)
+{
+    SD_ASSERT(bound >= 1);
+    const double p_stay = 1.0 - params.pUp - params.pDown;
+    SD_ASSERT(p_stay >= -1e-12);
+
+    // Positions live in [-floor, bound]; index = position + floor.
+    // For the free walk the negative range is truncated at a depth a
+    // path essentially cannot climb back from within the remaining
+    // steps (4.5 sigma below the barrier contributes < 1e-5).
+    unsigned floor_depth = 0;
+    if (!params.reflectAtZero) {
+        const double sigma = std::sqrt(
+            (params.pUp + params.pDown) * static_cast<double>(steps));
+        floor_depth = static_cast<unsigned>(4.5 * sigma) + 1;
+    }
+    const std::size_t size =
+        static_cast<std::size_t>(floor_depth) + bound + 1;
+    const std::size_t origin = floor_depth;
+    const std::size_t barrier = size - 1;
+
+    std::vector<double> dist(size, 0.0);
+    std::vector<double> next(size, 0.0);
+    dist[origin] = 1.0;
+
+    // Active window: positions that can hold mass grow by one per
+    // step in each direction.
+    std::size_t lo = origin, hi = origin;
+
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        const std::size_t new_lo = lo > 1 ? lo - 1 : 0;
+        const std::size_t new_hi = std::min(hi + 1, barrier);
+        std::fill(next.begin() + static_cast<std::ptrdiff_t>(new_lo),
+                  next.begin() + static_cast<std::ptrdiff_t>(new_hi) + 1,
+                  0.0);
+        for (std::size_t k = lo; k <= hi && k < barrier; ++k) {
+            const double m = dist[k];
+            if (m == 0.0)
+                continue;
+            next[k + 1] += m * params.pUp;
+            if (k == 0) {
+                // Bottom edge: reflecting (queue) or truncation
+                // (free walk, mass parked harmlessly at the floor).
+                next[0] += m * params.pDown;
+            } else {
+                next[k - 1] += m * params.pDown;
+            }
+            next[k] += m * p_stay;
+        }
+        next[barrier] += dist[barrier]; // Absorbed mass stays.
+        dist.swap(next);
+        lo = new_lo;
+        hi = new_hi;
+    }
+    return dist[barrier];
+}
+
+double
+simulateOverflowProbability(std::uint64_t steps, unsigned bound,
+                            unsigned trials, std::uint64_t seed,
+                            const WalkParams &params)
+{
+    Rng rng(seed);
+    unsigned overflows = 0;
+    for (unsigned t = 0; t < trials; ++t) {
+        std::int64_t k = 0;
+        for (std::uint64_t s = 0; s < steps; ++s) {
+            const double u = rng.nextDouble();
+            if (u < params.pUp) {
+                ++k;
+                if (k >= static_cast<std::int64_t>(bound)) {
+                    ++overflows;
+                    break;
+                }
+            } else if (u < params.pUp + params.pDown) {
+                if (k > 0 || !params.reflectAtZero)
+                    --k;
+            }
+        }
+    }
+    return static_cast<double>(overflows) / trials;
+}
+
+} // namespace secdimm::analytic

@@ -1,0 +1,200 @@
+#include "core/secure_memory_system.hh"
+
+#include <cstring>
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::core
+{
+
+namespace
+{
+
+/** Tree depth whose ~50%-utilized capacity covers @p blocks. */
+unsigned
+levelsForBlocks(std::uint64_t blocks, unsigned z)
+{
+    // capacity = z * 2^L / 2  =>  L = ceil(log2(2 * blocks / z)).
+    unsigned levels = 2;
+    while ((static_cast<std::uint64_t>(z) << levels) / 2 < blocks)
+        ++levels;
+    return levels;
+}
+
+} // namespace
+
+SecureMemorySystem::SecureMemorySystem(const Options &options)
+    : options_(options)
+{
+    const std::uint64_t want_blocks =
+        divCeil(options.capacityBytes, blockBytes);
+    SD_ASSERT(want_blocks >= 1);
+
+    oram::OramParams params;
+    params.stashCapacity = options.stashCapacity;
+
+    switch (options_.protocol) {
+      case Protocol::PathOram: {
+        params.levels = levelsForBlocks(want_blocks, params.bucketBlocks);
+        pathOram_ = std::make_unique<oram::PathOram>(
+            params, crypto::makeKey(0xdeed, options.seed),
+            crypto::makeKey(0xfeed, options.seed * 3 + 1),
+            options.seed);
+        capacityBlocks_ = params.capacityBlocks();
+        break;
+      }
+      case Protocol::Freecursive: {
+        oram::RecursiveOram::Params rp;
+        rp.data = params;
+        rp.data.levels =
+            levelsForBlocks(want_blocks, params.bucketBlocks);
+        recursive_ = std::make_unique<oram::RecursiveOram>(
+            rp, options.seed);
+        capacityBlocks_ = recursive_->capacityBlocks();
+        break;
+      }
+      case Protocol::Independent: {
+        SD_ASSERT(isPowerOfTwo(options_.numSdimms));
+        const std::uint64_t per_sdimm =
+            divCeil(want_blocks, options_.numSdimms);
+        params.levels =
+            levelsForBlocks(per_sdimm, params.bucketBlocks);
+        sdimm::IndependentOram::Params ip;
+        ip.perSdimm = params;
+        ip.numSdimms = options_.numSdimms;
+        independent_ =
+            std::make_unique<sdimm::IndependentOram>(ip, options.seed);
+        capacityBlocks_ = independent_->capacityBlocks();
+        break;
+      }
+      case Protocol::Split: {
+        SD_ASSERT(blockBytes % options_.numSdimms == 0);
+        params.levels = levelsForBlocks(want_blocks, params.bucketBlocks);
+        sdimm::SplitOram::Params sp;
+        sp.tree = params;
+        sp.slices = options_.numSdimms;
+        split_ = std::make_unique<sdimm::SplitOram>(sp, options.seed);
+        capacityBlocks_ = split_->capacityBlocks();
+        break;
+      }
+    }
+}
+
+SecureMemorySystem::~SecureMemorySystem() = default;
+
+std::uint64_t
+SecureMemorySystem::capacityBytes() const
+{
+    return capacityBlocks_ * blockBytes;
+}
+
+BlockData
+SecureMemorySystem::accessBlock(Addr block_index, oram::OramOp op,
+                                const BlockData *data)
+{
+    if (block_index >= capacityBlocks_) {
+        fatal("SecureMemorySystem: block %llu out of range (capacity "
+              "%llu blocks)",
+              static_cast<unsigned long long>(block_index),
+              static_cast<unsigned long long>(capacityBlocks_));
+    }
+    switch (options_.protocol) {
+      case Protocol::PathOram:
+        return pathOram_->access(block_index, op, data);
+      case Protocol::Freecursive:
+        return recursive_->access(block_index, op, data);
+      case Protocol::Independent:
+        return independent_->access(block_index, op, data);
+      case Protocol::Split:
+        return split_->access(block_index, op, data);
+    }
+    panic("unreachable");
+}
+
+BlockData
+SecureMemorySystem::readBlock(Addr block_index)
+{
+    return accessBlock(block_index, oram::OramOp::Read, nullptr);
+}
+
+void
+SecureMemorySystem::writeBlock(Addr block_index, const BlockData &data)
+{
+    accessBlock(block_index, oram::OramOp::Write, &data);
+}
+
+void
+SecureMemorySystem::read(Addr byte_addr, void *out, std::size_t len)
+{
+    std::uint8_t *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        const Addr block = byte_addr / blockBytes;
+        const std::size_t off = byte_addr % blockBytes;
+        const std::size_t n = std::min(len, blockBytes - off);
+        const BlockData b = readBlock(block);
+        std::memcpy(dst, b.data() + off, n);
+        dst += n;
+        byte_addr += n;
+        len -= n;
+    }
+}
+
+void
+SecureMemorySystem::write(Addr byte_addr, const void *data,
+                          std::size_t len)
+{
+    const std::uint8_t *src = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        const Addr block = byte_addr / blockBytes;
+        const std::size_t off = byte_addr % blockBytes;
+        const std::size_t n = std::min(len, blockBytes - off);
+        BlockData b{};
+        if (off != 0 || n != blockBytes)
+            b = readBlock(block); // Read-modify-write.
+        std::memcpy(b.data() + off, src, n);
+        writeBlock(block, b);
+        src += n;
+        byte_addr += n;
+        len -= n;
+    }
+}
+
+std::uint64_t
+SecureMemorySystem::accessCount() const
+{
+    switch (options_.protocol) {
+      case Protocol::PathOram:
+        return pathOram_->stats().accesses +
+               pathOram_->stats().dummyAccesses;
+      case Protocol::Freecursive:
+        return recursive_->stats().treeAccesses;
+      case Protocol::Independent: {
+        std::uint64_t total = 0;
+        for (unsigned i = 0; i < independent_->numSdimms(); ++i)
+            total += independent_->buffer(i).stats().accessOps;
+        return total;
+      }
+      case Protocol::Split:
+        return split_->stats().accesses + split_->stats().dummyAccesses;
+    }
+    return 0;
+}
+
+bool
+SecureMemorySystem::integrityOk() const
+{
+    switch (options_.protocol) {
+      case Protocol::PathOram:
+        return pathOram_->integrityOk();
+      case Protocol::Freecursive:
+        return recursive_->integrityOk();
+      case Protocol::Independent:
+        return independent_->integrityOk();
+      case Protocol::Split:
+        return split_->integrityOk();
+    }
+    return false;
+}
+
+} // namespace secdimm::core

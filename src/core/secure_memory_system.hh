@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The library's main functional entry point: an encrypted,
+ * access-pattern-oblivious memory.  Pick a protocol (plain Path ORAM,
+ * SDIMM Independent, or SDIMM Split), a capacity, and read/write
+ * bytes; underneath, real AES-CTR-encrypted, PMMAC-authenticated
+ * blocks move through the chosen ORAM protocol.
+ *
+ * Example:
+ * @code
+ *   core::SecureMemorySystem::Options opt;
+ *   opt.protocol = core::SecureMemorySystem::Protocol::Split;
+ *   opt.capacityBytes = 1 << 20;
+ *   core::SecureMemorySystem mem(opt);
+ *   mem.write(0x1000, "secret", 6);
+ * @endcode
+ */
+
+#ifndef SECUREDIMM_CORE_SECURE_MEMORY_SYSTEM_HH
+#define SECUREDIMM_CORE_SECURE_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "oram/path_oram.hh"
+#include "oram/recursive_oram.hh"
+#include "sdimm/independent_oram.hh"
+#include "sdimm/split_oram.hh"
+
+namespace secdimm::core
+{
+
+/** Byte-addressable oblivious memory over the functional protocols. */
+class SecureMemorySystem
+{
+  public:
+    enum class Protocol
+    {
+        PathOram,    ///< Single-tree Path ORAM (baseline).
+        Freecursive, ///< Recursive PosMaps + PLB (Section II-D).
+        Independent, ///< SDIMM Independent (Section III-C).
+        Split,       ///< SDIMM Split (Section III-D).
+    };
+
+    struct Options
+    {
+        Protocol protocol = Protocol::PathOram;
+        std::uint64_t capacityBytes = 1 << 20;
+        unsigned numSdimms = 2;    ///< For the SDIMM protocols.
+        unsigned stashCapacity = 200;
+        std::uint64_t seed = 1;
+    };
+
+    explicit SecureMemorySystem(const Options &options);
+    ~SecureMemorySystem();
+
+    SecureMemorySystem(const SecureMemorySystem &) = delete;
+    SecureMemorySystem &operator=(const SecureMemorySystem &) = delete;
+
+    /** Usable capacity (rounded up from the requested amount). */
+    std::uint64_t capacityBytes() const;
+
+    /** Read one 64-byte block. */
+    BlockData readBlock(Addr block_index);
+
+    /** Write one 64-byte block. */
+    void writeBlock(Addr block_index, const BlockData &data);
+
+    /** Byte-granular read (spans blocks as needed). */
+    void read(Addr byte_addr, void *out, std::size_t len);
+
+    /** Byte-granular write (read-modify-write at block granularity). */
+    void write(Addr byte_addr, const void *data, std::size_t len);
+
+    /** Total accessORAM operations performed (incl. dummies). */
+    std::uint64_t accessCount() const;
+
+    /** All integrity checks (MACs, counters, link auth) passed. */
+    bool integrityOk() const;
+
+    Protocol protocol() const { return options_.protocol; }
+
+  private:
+    BlockData accessBlock(Addr block_index, oram::OramOp op,
+                          const BlockData *data);
+
+    Options options_;
+    std::uint64_t capacityBlocks_;
+    std::unique_ptr<oram::PathOram> pathOram_;
+    std::unique_ptr<oram::RecursiveOram> recursive_;
+    std::unique_ptr<sdimm::IndependentOram> independent_;
+    std::unique_ptr<sdimm::SplitOram> split_;
+};
+
+} // namespace secdimm::core
+
+#endif // SECUREDIMM_CORE_SECURE_MEMORY_SYSTEM_HH

@@ -1,0 +1,131 @@
+#include "core/simulator.hh"
+
+#include <cstdlib>
+
+#include "oram/freecursive_backend.hh"
+#include "oram/nonsecure_backend.hh"
+#include "sdimm/independent_backend.hh"
+#include "sdimm/split_backend.hh"
+
+namespace secdimm::core
+{
+
+namespace
+{
+
+/** Energy of CPU-channel protocol traffic (no DRAM banks involved). */
+double
+linkEnergyNj(const SystemConfig &cfg, std::uint64_t lines)
+{
+    dram::PowerModel pm(cfg.timing, cfg.cpuGeom, /*on_dimm_io=*/false);
+    return pm.ioEnergyPerBurstNj() * static_cast<double>(lines);
+}
+
+/** Collect design-specific metrics into @p result. */
+void
+collectBackendMetrics(const SystemConfig &cfg, MemoryBackend &backend,
+                      Tick end, SimResult &result)
+{
+    if (auto *ns = dynamic_cast<oram::NonSecureBackend *>(&backend)) {
+        ns->dramSystem().finalizeStats(end);
+        dram::PowerModel pm(cfg.timing, cfg.cpuGeom, false);
+        for (unsigned c = 0; c < ns->dramSystem().channelCount(); ++c) {
+            const auto &ch = ns->dramSystem().channel(c);
+            result.energy += pm.compute(ch.stats(), ch.rankStates());
+        }
+        const auto agg = ns->dramSystem().aggregateStats();
+        result.offDimmLines = agg.reads + agg.writes;
+        return;
+    }
+
+    if (auto *fc = dynamic_cast<oram::FreecursiveBackend *>(&backend)) {
+        fc->dramSystem().finalizeStats(end);
+        dram::PowerModel pm(cfg.timing, cfg.cpuGeom, false);
+        for (unsigned c = 0; c < fc->dramSystem().channelCount(); ++c) {
+            const auto &ch = fc->dramSystem().channel(c);
+            result.energy += pm.compute(ch.stats(), ch.rankStates());
+        }
+        result.offDimmLines = fc->traffic().channelLines;
+        result.accessOrams = fc->traffic().accessOrams;
+        result.avgOramsPerMiss =
+            fc->recursion().stats().avgOramsPerRequest();
+        return;
+    }
+
+    if (auto *ind = dynamic_cast<sdimm::IndependentBackend *>(&backend)) {
+        dram::PowerModel pm(cfg.timing, cfg.sdimmGeom,
+                            /*on_dimm_io=*/true);
+        for (unsigned i = 0; i < cfg.numSdimms(); ++i) {
+            auto &ch = ind->executor(i).channel();
+            ch.finalizeStats(end);
+            result.energy += pm.compute(ch.stats(), ch.rankStates());
+            result.accessOrams += ind->executor(i).opsExecuted();
+        }
+        result.offDimmLines = ind->offDimmLines();
+        result.energy.ioNj +=
+            linkEnergyNj(cfg, ind->offDimmLines());
+        for (unsigned b = 0; b < ind->busCount(); ++b)
+            result.probes += ind->bus(b).stats().probes;
+        result.avgOramsPerMiss =
+            ind->recursion().stats().avgOramsPerRequest();
+        return;
+    }
+
+    if (auto *sp = dynamic_cast<sdimm::SplitBackend *>(&backend)) {
+        dram::PowerModel pm(cfg.timing, cfg.sdimmGeom,
+                            /*on_dimm_io=*/true);
+        for (unsigned g = 0; g < sp->groupCount(); ++g) {
+            auto &grp = sp->group(g);
+            result.accessOrams += grp.opsExecuted();
+            for (unsigned s = 0; s < grp.sliceCount(); ++s) {
+                auto &ch = grp.sliceChannel(s);
+                ch.finalizeStats(end);
+                result.energy +=
+                    pm.compute(ch.stats(), ch.rankStates());
+            }
+        }
+        result.offDimmLines = sp->offDimmLines();
+        result.energy.ioNj += linkEnergyNj(cfg, sp->offDimmLines());
+        for (unsigned b = 0; b < sp->busCount(); ++b)
+            result.probes += sp->bus(b).stats().probes;
+        result.avgOramsPerMiss =
+            sp->recursion().stats().avgOramsPerRequest();
+        return;
+    }
+}
+
+} // namespace
+
+SimResult
+runWorkload(const SystemConfig &config,
+            const trace::WorkloadProfile &profile,
+            const SimLengths &lengths, std::uint64_t seed)
+{
+    auto backend = buildBackend(config, seed);
+
+    trace::CacheModel llc(2ULL << 20, 8); // Table II: 2MB, 8-way.
+    trace::CoreParams core_params;
+    trace::CoreModel core(core_params, llc, *backend);
+    trace::TraceGenerator gen(profile, seed ^ 0xabcdef);
+
+    SimResult result;
+    result.core = core.run(gen, lengths.warmupRecords,
+                           lengths.measureRecords);
+    collectBackendMetrics(config, *backend, result.core.cycles, result);
+    return result;
+}
+
+SimLengths
+benchLengths(std::uint64_t default_measure, std::uint64_t default_warmup)
+{
+    SimLengths lengths;
+    lengths.measureRecords = default_measure;
+    lengths.warmupRecords = default_warmup;
+    if (const char *v = std::getenv("SDIMM_BENCH_ACCESSES"))
+        lengths.measureRecords = std::strtoull(v, nullptr, 0);
+    if (const char *v = std::getenv("SDIMM_BENCH_WARMUP"))
+        lengths.warmupRecords = std::strtoull(v, nullptr, 0);
+    return lengths;
+}
+
+} // namespace secdimm::core

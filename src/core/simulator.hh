@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Top-level simulation driver: runs one synthetic workload through
+ * the Table II core + LLC into a configured memory backend and
+ * collects the metrics every figure of the paper reports (execution
+ * cycles, memory energy by component, off-DIMM traffic, accessORAM
+ * counts).
+ */
+
+#ifndef SECUREDIMM_CORE_SIMULATOR_HH
+#define SECUREDIMM_CORE_SIMULATOR_HH
+
+#include <string>
+
+#include "core/system_config.hh"
+#include "dram/power_model.hh"
+#include "trace/core_model.hh"
+#include "trace/workload.hh"
+
+namespace secdimm::core
+{
+
+/** Everything one simulation run produces. */
+struct SimResult
+{
+    trace::CoreRunResult core;
+    dram::EnergyBreakdown energy;   ///< Whole memory system.
+    std::uint64_t offDimmLines = 0; ///< Bursts on CPU channels.
+    std::uint64_t accessOrams = 0;  ///< Path ops executed anywhere.
+    double avgOramsPerMiss = 0.0;   ///< Recursion cost (PLB quality).
+    std::uint64_t probes = 0;       ///< PROBE polls (SDIMM designs).
+
+    double
+    cyclesPerMiss() const
+    {
+        return core.llcMisses
+                   ? static_cast<double>(core.cycles) / core.llcMisses
+                   : 0.0;
+    }
+};
+
+/** Simulation lengths (paper: 1M warm-up + 1M measured). */
+struct SimLengths
+{
+    std::uint64_t warmupRecords = 20000;
+    std::uint64_t measureRecords = 4000;
+};
+
+/**
+ * Run @p profile on @p config.  Deterministic for a given seed.
+ */
+SimResult runWorkload(const SystemConfig &config,
+                      const trace::WorkloadProfile &profile,
+                      const SimLengths &lengths, std::uint64_t seed);
+
+/**
+ * Bench-scaling knob: reads SDIMM_BENCH_ACCESSES (measured records)
+ * and SDIMM_BENCH_WARMUP from the environment, falling back to the
+ * given defaults (see DESIGN.md section 7).
+ */
+SimLengths benchLengths(std::uint64_t default_measure = 4000,
+                        std::uint64_t default_warmup = 20000);
+
+} // namespace secdimm::core
+
+#endif // SECUREDIMM_CORE_SIMULATOR_HH

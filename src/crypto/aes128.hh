@@ -1,0 +1,57 @@
+/**
+ * @file
+ * From-scratch AES-128 block cipher (FIPS-197).  This is the primitive
+ * behind the CPU<->SDIMM link encryption, ORAM bucket encryption
+ * (counter mode), and PMMAC (CMAC) in the reproduction.
+ *
+ * The implementation is a straightforward byte-oriented version (S-box
+ * + xtime MixColumns); it favors clarity and testability over speed,
+ * which is appropriate for a simulator where crypto latency is modeled
+ * separately (21 controller cycles per the paper's Table II).
+ */
+
+#ifndef SECUREDIMM_CRYPTO_AES128_HH
+#define SECUREDIMM_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace secdimm::crypto
+{
+
+/** 128-bit key/block as a byte array. */
+using Aes128Block = std::array<std::uint8_t, 16>;
+using Aes128Key = std::array<std::uint8_t, 16>;
+
+/**
+ * AES-128 with a pre-expanded key schedule.  Thread-compatible: const
+ * methods are safe to call concurrently.
+ */
+class Aes128
+{
+  public:
+    explicit Aes128(const Aes128Key &key) { rekey(key); }
+
+    /** Re-run key expansion with a new key. */
+    void rekey(const Aes128Key &key);
+
+    /** Encrypt one 16-byte block. */
+    Aes128Block encrypt(const Aes128Block &plaintext) const;
+
+    /** Decrypt one 16-byte block. */
+    Aes128Block decrypt(const Aes128Block &ciphertext) const;
+
+  private:
+    /** 11 round keys of 16 bytes each. */
+    std::array<std::uint8_t, 176> roundKeys_;
+};
+
+/** Build an Aes128Key from two 64-bit words (tests, key derivation). */
+Aes128Key makeKey(std::uint64_t hi, std::uint64_t lo);
+
+/** XOR two 16-byte blocks. */
+Aes128Block blockXor(const Aes128Block &a, const Aes128Block &b);
+
+} // namespace secdimm::crypto
+
+#endif // SECUREDIMM_CRYPTO_AES128_HH

@@ -1,0 +1,80 @@
+#include "crypto/cmac.hh"
+
+#include <cstring>
+
+namespace secdimm::crypto
+{
+
+namespace
+{
+
+/** Left-shift a 16-byte value by one bit, GF(2^128) doubling step. */
+Aes128Block
+leftShiftOne(const Aes128Block &in, bool &carry_out)
+{
+    Aes128Block out{};
+    std::uint8_t carry = 0;
+    for (int i = 15; i >= 0; --i) {
+        out[i] = static_cast<std::uint8_t>((in[i] << 1) | carry);
+        carry = in[i] >> 7;
+    }
+    carry_out = carry != 0;
+    return out;
+}
+
+Aes128Block
+generateSubkey(const Aes128Block &l)
+{
+    bool carry = false;
+    Aes128Block k = leftShiftOne(l, carry);
+    if (carry)
+        k[15] ^= 0x87; // Rb constant for 128-bit blocks.
+    return k;
+}
+
+} // namespace
+
+Cmac::Cmac(const Aes128Key &key) : aes_(key)
+{
+    const Aes128Block l = aes_.encrypt(Aes128Block{});
+    k1_ = generateSubkey(l);
+    k2_ = generateSubkey(k1_);
+}
+
+Aes128Block
+Cmac::compute(const std::uint8_t *msg, std::size_t len) const
+{
+    const std::size_t n_blocks = len == 0 ? 1 : (len + 15) / 16;
+    const bool last_complete = len != 0 && len % 16 == 0;
+
+    Aes128Block x{};
+    for (std::size_t i = 0; i + 1 < n_blocks; ++i) {
+        Aes128Block m;
+        std::memcpy(m.data(), msg + 16 * i, 16);
+        x = aes_.encrypt(blockXor(x, m));
+    }
+
+    Aes128Block last{};
+    if (last_complete) {
+        std::memcpy(last.data(), msg + 16 * (n_blocks - 1), 16);
+        last = blockXor(last, k1_);
+    } else {
+        const std::size_t rem = len - 16 * (n_blocks - 1);
+        if (len != 0)
+            std::memcpy(last.data(), msg + 16 * (n_blocks - 1), rem);
+        last[rem] = 0x80;
+        last = blockXor(last, k2_);
+    }
+    return aes_.encrypt(blockXor(x, last));
+}
+
+bool
+Cmac::tagsEqual(const Aes128Block &a, const Aes128Block &b)
+{
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return diff == 0;
+}
+
+} // namespace secdimm::crypto

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * AES-CMAC (RFC 4493), the MAC primitive underneath PMMAC bucket
+ * authentication in the reproduction.
+ */
+
+#ifndef SECUREDIMM_CRYPTO_CMAC_HH
+#define SECUREDIMM_CRYPTO_CMAC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes128.hh"
+
+namespace secdimm::crypto
+{
+
+/** AES-CMAC with cached subkeys K1/K2. */
+class Cmac
+{
+  public:
+    explicit Cmac(const Aes128Key &key);
+
+    /** Compute the 16-byte MAC tag of @p len bytes at @p msg. */
+    Aes128Block compute(const std::uint8_t *msg, std::size_t len) const;
+
+    /** Constant-time-ish tag comparison. */
+    static bool tagsEqual(const Aes128Block &a, const Aes128Block &b);
+
+  private:
+    Aes128 aes_;
+    Aes128Block k1_;
+    Aes128Block k2_;
+};
+
+} // namespace secdimm::crypto
+
+#endif // SECUREDIMM_CRYPTO_CMAC_HH

@@ -1,0 +1,46 @@
+#include "crypto/ctr_mode.hh"
+
+#include <cstring>
+
+namespace secdimm::crypto
+{
+
+Aes128Block
+CtrCipher::pad(std::uint64_t nonce, std::uint64_t counter,
+               std::uint32_t lane) const
+{
+    Aes128Block ctr_block{};
+    // Layout: nonce[0:8) | counter[8:12) folded | lane[12:16).
+    std::memcpy(ctr_block.data(), &nonce, 8);
+    const std::uint32_t ctr_lo = static_cast<std::uint32_t>(counter);
+    const std::uint32_t ctr_hi =
+        static_cast<std::uint32_t>(counter >> 32) ^ lane;
+    std::memcpy(ctr_block.data() + 8, &ctr_lo, 4);
+    std::memcpy(ctr_block.data() + 12, &ctr_hi, 4);
+    return aes_.encrypt(ctr_block);
+}
+
+void
+CtrCipher::transformBlock(BlockData &data, std::uint64_t nonce,
+                          std::uint64_t counter) const
+{
+    transformBuffer(data.data(), data.size(), nonce, counter);
+}
+
+void
+CtrCipher::transformBuffer(std::uint8_t *data, std::size_t len,
+                           std::uint64_t nonce,
+                           std::uint64_t counter) const
+{
+    std::uint32_t lane = 0;
+    std::size_t off = 0;
+    while (off < len) {
+        const Aes128Block p = pad(nonce, counter, lane++);
+        const std::size_t n = std::min<std::size_t>(16, len - off);
+        for (std::size_t i = 0; i < n; ++i)
+            data[off + i] ^= p[i];
+        off += n;
+    }
+}
+
+} // namespace secdimm::crypto

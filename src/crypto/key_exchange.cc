@@ -1,0 +1,67 @@
+#include "crypto/key_exchange.hh"
+
+#include "crypto/cmac.hh"
+
+namespace secdimm::crypto
+{
+
+namespace
+{
+
+std::uint64_t
+modMul(std::uint64_t a, std::uint64_t b)
+{
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) % dhModulus);
+}
+
+} // namespace
+
+std::uint64_t
+dhModPow(std::uint64_t base, std::uint64_t exp)
+{
+    std::uint64_t result = 1;
+    std::uint64_t cur = base % dhModulus;
+    while (exp != 0) {
+        if (exp & 1)
+            result = modMul(result, cur);
+        cur = modMul(cur, cur);
+        exp >>= 1;
+    }
+    return result;
+}
+
+DhKeyPair
+dhGenerate(Rng &rng)
+{
+    DhKeyPair kp;
+    // Private exponent in [2, p-2].
+    kp.priv = 2 + rng.nextBelow(dhModulus - 3);
+    kp.pub = dhModPow(dhGenerator, kp.priv);
+    return kp;
+}
+
+std::uint64_t
+dhShared(std::uint64_t my_priv, std::uint64_t other_pub)
+{
+    return dhModPow(other_pub, my_priv);
+}
+
+Aes128Key
+deriveSessionKey(std::uint64_t shared, std::uint64_t label)
+{
+    // KDF: AES-CMAC of the label under a key built from the shared
+    // secret -- deterministic on both ends, direction-separated.
+    const Aes128Key kdf_key = makeKey(shared, ~shared);
+    Cmac prf(kdf_key);
+    std::uint8_t msg[16]{};
+    for (int i = 0; i < 8; ++i)
+        msg[i] = static_cast<std::uint8_t>(label >> (8 * i));
+    const Aes128Block out = prf.compute(msg, sizeof(msg));
+    Aes128Key key;
+    for (std::size_t i = 0; i < key.size(); ++i)
+        key[i] = out[i];
+    return key;
+}
+
+} // namespace secdimm::crypto

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Toy Diffie-Hellman session establishment modeling the paper's
+ * SEND_PKEY / RECEIVE_SECRET boot-time flow between the CPU and each
+ * SDIMM secure buffer (Section III-B).
+ *
+ * DESIGN.md substitution note: the paper delegates authentication to
+ * "industry best practices" (Verisign-style third party); we stand in a
+ * DH exchange over the Mersenne-prime group p = 2^61 - 1 so the whole
+ * command flow is executable end to end.  It exercises the same code
+ * path; it is NOT cryptographically strong and must not be reused
+ * outside the simulator.
+ */
+
+#ifndef SECUREDIMM_CRYPTO_KEY_EXCHANGE_HH
+#define SECUREDIMM_CRYPTO_KEY_EXCHANGE_HH
+
+#include <cstdint>
+
+#include "crypto/aes128.hh"
+#include "util/rng.hh"
+
+namespace secdimm::crypto
+{
+
+/** Group modulus: the Mersenne prime 2^61 - 1. */
+inline constexpr std::uint64_t dhModulus = (std::uint64_t{1} << 61) - 1;
+
+/** Generator of a large subgroup mod dhModulus. */
+inline constexpr std::uint64_t dhGenerator = 3;
+
+/** Private/public half of a DH exchange. */
+struct DhKeyPair
+{
+    std::uint64_t priv;
+    std::uint64_t pub;
+};
+
+/** Modular exponentiation base^exp mod dhModulus. */
+std::uint64_t dhModPow(std::uint64_t base, std::uint64_t exp);
+
+/** Generate a key pair from simulator randomness. */
+DhKeyPair dhGenerate(Rng &rng);
+
+/** Shared secret = other_pub ^ my_priv. */
+std::uint64_t dhShared(std::uint64_t my_priv, std::uint64_t other_pub);
+
+/**
+ * Derive a direction-specific AES session key from the shared secret.
+ * @param label 0 = upstream (CPU->SDIMM), 1 = downstream, etc.
+ */
+Aes128Key deriveSessionKey(std::uint64_t shared, std::uint64_t label);
+
+} // namespace secdimm::crypto
+
+#endif // SECUREDIMM_CRYPTO_KEY_EXCHANGE_HH

@@ -1,0 +1,31 @@
+#include "crypto/pmmac.hh"
+
+#include <cstring>
+
+namespace secdimm::crypto
+{
+
+Tag64
+Pmmac::tag(std::uint64_t id, std::uint64_t counter,
+           const std::uint8_t *data, std::size_t len) const
+{
+    std::vector<std::uint8_t> msg(16 + len);
+    std::memcpy(msg.data(), &id, 8);
+    std::memcpy(msg.data() + 8, &counter, 8);
+    if (len != 0)
+        std::memcpy(msg.data() + 16, data, len);
+    const Aes128Block full = cmac_.compute(msg.data(), msg.size());
+    Tag64 t;
+    std::memcpy(&t, full.data(), 8);
+    return t;
+}
+
+bool
+Pmmac::verify(std::uint64_t id, std::uint64_t counter,
+              const std::uint8_t *data, std::size_t len,
+              Tag64 expected) const
+{
+    return tag(id, counter, data, len) == expected;
+}
+
+} // namespace secdimm::crypto

@@ -1,0 +1,74 @@
+#include "dram/address_map.hh"
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::dram
+{
+
+AddressMap::AddressMap(const Geometry &geom, MapPolicy policy)
+    : geom_(geom), policy_(policy)
+{
+    SD_ASSERT(isPowerOfTwo(geom.blocksPerRow()));
+    SD_ASSERT(isPowerOfTwo(geom.banksPerRank));
+    SD_ASSERT(isPowerOfTwo(geom.ranksPerChannel));
+    SD_ASSERT(isPowerOfTwo(geom.rowsPerBank));
+    colBits_ = floorLog2(geom.blocksPerRow());
+    bankBits_ = floorLog2(geom.banksPerRank);
+    rankBits_ = floorLog2(geom.ranksPerChannel);
+    rowBits_ = floorLog2(geom.rowsPerBank);
+    blockCount_ = Addr{1} << (colBits_ + bankBits_ + rankBits_ + rowBits_);
+}
+
+DramCoord
+AddressMap::decode(Addr block_index) const
+{
+    SD_ASSERT(block_index < blockCount_);
+    DramCoord c;
+    unsigned shift = 0;
+    c.col = static_cast<unsigned>(bits(block_index, shift, colBits_));
+    shift += colBits_;
+    c.bank = static_cast<unsigned>(bits(block_index, shift, bankBits_));
+    shift += bankBits_;
+    switch (policy_) {
+      case MapPolicy::RowRankBankCol:
+        c.rank = static_cast<unsigned>(
+            bits(block_index, shift, rankBits_));
+        shift += rankBits_;
+        c.row = static_cast<unsigned>(bits(block_index, shift, rowBits_));
+        break;
+      case MapPolicy::RankRowBankCol:
+        c.row = static_cast<unsigned>(bits(block_index, shift, rowBits_));
+        shift += rowBits_;
+        c.rank = static_cast<unsigned>(
+            bits(block_index, shift, rankBits_));
+        break;
+    }
+    return c;
+}
+
+Addr
+AddressMap::encode(const DramCoord &coord) const
+{
+    Addr a = 0;
+    unsigned shift = 0;
+    a = insertBits(a, shift, colBits_, coord.col);
+    shift += colBits_;
+    a = insertBits(a, shift, bankBits_, coord.bank);
+    shift += bankBits_;
+    switch (policy_) {
+      case MapPolicy::RowRankBankCol:
+        a = insertBits(a, shift, rankBits_, coord.rank);
+        shift += rankBits_;
+        a = insertBits(a, shift, rowBits_, coord.row);
+        break;
+      case MapPolicy::RankRowBankCol:
+        a = insertBits(a, shift, rowBits_, coord.row);
+        shift += rowBits_;
+        a = insertBits(a, shift, rankBits_, coord.rank);
+        break;
+    }
+    return a;
+}
+
+} // namespace secdimm::dram

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Block-address to DRAM-coordinate mapping.  The ORAM layouts in the
+ * paper depend on where consecutive blocks land: the Ren et al. subtree
+ * layout wants consecutive blocks in the same row (row-buffer hits),
+ * and the low-power layout (Section III-E) wants whole subtrees inside
+ * one rank.
+ */
+
+#ifndef SECUREDIMM_DRAM_ADDRESS_MAP_HH
+#define SECUREDIMM_DRAM_ADDRESS_MAP_HH
+
+#include "dram/request.hh"
+#include "dram/timing.hh"
+
+namespace secdimm::dram
+{
+
+/** How block addresses spread across ranks/banks/rows. */
+enum class MapPolicy
+{
+    /**
+     * row : rank : bank : column.  Consecutive blocks fill a row in one
+     * bank, then move to the next bank, then the next rank.  Good
+     * row-buffer locality for sequential path reads (baseline layout).
+     */
+    RowRankBankCol,
+
+    /**
+     * rank : row : bank : column.  The rank is selected by the TOP
+     * address bits, so a contiguous region stays entirely inside one
+     * rank -- the low-power subtree-per-rank layout of Section III-E.
+     */
+    RankRowBankCol,
+};
+
+/** Maps channel-local block addresses to (rank, bank, row, col). */
+class AddressMap
+{
+  public:
+    AddressMap(const Geometry &geom, MapPolicy policy);
+
+    /** Decode a channel-local block index. */
+    DramCoord decode(Addr block_index) const;
+
+    /** Inverse of decode (used by tests and layout planners). */
+    Addr encode(const DramCoord &coord) const;
+
+    /** Blocks addressable in the channel. */
+    Addr blockCount() const { return blockCount_; }
+
+    MapPolicy policy() const { return policy_; }
+
+  private:
+    Geometry geom_;
+    MapPolicy policy_;
+    Addr blockCount_;
+    unsigned colBits_;
+    unsigned bankBits_;
+    unsigned rankBits_;
+    unsigned rowBits_;
+};
+
+} // namespace secdimm::dram
+
+#endif // SECUREDIMM_DRAM_ADDRESS_MAP_HH

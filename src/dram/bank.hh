@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Timing state of a single DRAM bank.  All fields are earliest-legal
+ * ticks maintained by the channel as commands issue.
+ */
+
+#ifndef SECUREDIMM_DRAM_BANK_HH
+#define SECUREDIMM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace secdimm::dram
+{
+
+/** Row value meaning "no row open". */
+inline constexpr int noOpenRow = -1;
+
+/** Per-bank row state and timing fences. */
+struct BankState
+{
+    int openRow = noOpenRow;   ///< Currently open row, or noOpenRow.
+
+    Tick actAllowedAt = 0;     ///< Earliest ACT (tRP / tRC fences).
+    Tick preAllowedAt = 0;     ///< Earliest PRE (tRAS / tRTP / tWR).
+    Tick casAllowedAt = 0;     ///< Earliest RD/WR CAS (tRCD fence).
+
+    bool rowOpen() const { return openRow != noOpenRow; }
+};
+
+} // namespace secdimm::dram
+
+#endif // SECUREDIMM_DRAM_BANK_HH

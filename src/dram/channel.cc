@@ -1,0 +1,526 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secdimm::dram
+{
+
+DramChannel::DramChannel(std::string name, const TimingParams &timing,
+                         const Geometry &geom, MapPolicy map_policy,
+                         SchedPolicy sched_policy)
+    : name_(std::move(name)),
+      timing_(timing),
+      geom_(geom),
+      map_(geom, map_policy),
+      schedPolicy_(sched_policy),
+      banks_(static_cast<std::size_t>(geom.ranksPerChannel) *
+             geom.banksPerRank),
+      ranks_(geom.ranksPerChannel),
+      rankLastActivity_(geom.ranksPerChannel, 0)
+{
+    // Stagger refresh deadlines across ranks so they do not all block
+    // the channel at once (standard controller practice).
+    for (unsigned r = 0; r < geom.ranksPerChannel; ++r) {
+        ranks_[r].nextRefreshAt =
+            timing_.tREFI * (r + 1) / geom.ranksPerChannel;
+    }
+}
+
+BankState &
+DramChannel::bank(const DramCoord &c)
+{
+    return banks_[static_cast<std::size_t>(c.rank) * geom_.banksPerRank +
+                  c.bank];
+}
+
+bool
+DramChannel::canEnqueue(bool write) const
+{
+    if (write)
+        return writeQ_.size() < drainPolicy_.queueCapacity;
+    return readQ_.size() < drainPolicy_.queueCapacity;
+}
+
+void
+DramChannel::enqueue(std::uint64_t id, Addr block_index, bool write,
+                     Tick at)
+{
+    Entry e;
+    e.req.id = id;
+    e.req.addr = block_index;
+    e.req.coord = map_.decode(block_index);
+    e.req.write = write;
+    e.req.enqueuedAt = at;
+
+    // Wake the target rank immediately so the tXPDLL exit latency
+    // overlaps with queueing delay (Section III-E: "turn on the rank
+    // required for the next request early enough").
+    RankState &rs = rank(e.req.coord.rank);
+    if (rs.powerState == RankPowerState::PowerDown)
+        wakeRank(e.req.coord.rank, std::max(at, curTick_));
+
+    if (write)
+        writeQ_.push_back(e);
+    else
+        readQ_.push_back(e);
+}
+
+bool
+DramChannel::drainingWrites() const
+{
+    return writeDrainMode_ || readQ_.empty();
+}
+
+DramChannel::NextAction
+DramChannel::nextAction(const Entry &e) const
+{
+    const DramCoord &c = e.req.coord;
+    const BankState &b =
+        banks_[static_cast<std::size_t>(c.rank) * geom_.banksPerRank +
+               c.bank];
+    const RankState &r = ranks_[c.rank];
+
+    NextAction a;
+    const Tick arrival = std::max(e.req.enqueuedAt, curTick_);
+    const Tick rank_ready =
+        std::max({arrival, r.refreshDoneAt, r.powerUpAt});
+
+    if (b.openRow == static_cast<int>(c.row)) {
+        a.kind = NextAction::Kind::Cas;
+        a.rowHit = true;
+        a.at = std::max(rank_ready, earliestCas(e));
+    } else if (!b.rowOpen()) {
+        a.kind = NextAction::Kind::Act;
+        Tick t = std::max(rank_ready, b.actAllowedAt);
+        if (r.anyActIssued)
+            t = std::max(t, r.lastActAt + timing_.tRRD);
+        t = std::max(t, r.fawAllowedAt(timing_.tFAW));
+        a.at = t;
+    } else {
+        a.kind = NextAction::Kind::Pre;
+        a.at = std::max(rank_ready, b.preAllowedAt);
+    }
+    return a;
+}
+
+Tick
+DramChannel::earliestCas(const Entry &e) const
+{
+    const DramCoord &c = e.req.coord;
+    const BankState &b =
+        banks_[static_cast<std::size_t>(c.rank) * geom_.banksPerRank +
+               c.bank];
+    const RankState &r = ranks_[c.rank];
+
+    Tick t = std::max(curTick_, b.casAllowedAt);
+    t = std::max(t, e.req.enqueuedAt);
+
+    const Cycles cas_to_data = e.req.write ? timing_.cwl : timing_.cl;
+
+    // Write-to-read turnaround within the rank.
+    if (!e.req.write)
+        t = std::max(t, r.wrToRdAt);
+
+    // Data-bus availability, plus tRTRS when the bus changes owner
+    // rank or direction.
+    const bool switch_penalty =
+        lastBurstRank_ >= 0 &&
+        (lastBurstRank_ != static_cast<int>(c.rank) ||
+         lastBurstWasWrite_ != e.req.write);
+    Tick bus_free = dataBusFreeAt_;
+    if (switch_penalty)
+        bus_free += timing_.tRTRS;
+    if (bus_free > cas_to_data && t + cas_to_data < bus_free)
+        t = bus_free - cas_to_data;
+
+    return t;
+}
+
+int
+DramChannel::pick(const std::vector<Entry> &q, Tick horizon,
+                  Tick &best_at) const
+{
+    // Only the oldest request per bank may issue PRE/ACT, preventing
+    // row thrash between same-bank requests.  Commands then issue in
+    // ready-time order (this makes the event-driven loop equivalent to
+    // a per-cycle scheduler); among commands ready at the same instant
+    // FR-FCFS prefers row-hit CAS commands, then the oldest request.
+    std::vector<int> oldest_for_bank(banks_.size(), -1);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        const DramCoord &c = q[i].req.coord;
+        const std::size_t bidx =
+            static_cast<std::size_t>(c.rank) * geom_.banksPerRank +
+            c.bank;
+        if (oldest_for_bank[bidx] < 0)
+            oldest_for_bank[bidx] = static_cast<int>(i);
+    }
+
+    // Strict FCFS serves requests in arrival order: only the head of
+    // the queue is a candidate.
+    const std::size_t limit =
+        schedPolicy_ == SchedPolicy::Fcfs && !q.empty() ? 1 : q.size();
+
+    int best = -1;
+    Tick soonest = tickNever;
+    bool best_is_hit = false;
+    for (std::size_t i = 0; i < limit; ++i) {
+        const NextAction a = nextAction(q[i]);
+        const DramCoord &c = q[i].req.coord;
+        const std::size_t bidx =
+            static_cast<std::size_t>(c.rank) * geom_.banksPerRank +
+            c.bank;
+        const bool may_prep =
+            oldest_for_bank[bidx] == static_cast<int>(i);
+        if (a.kind != NextAction::Kind::Cas && !may_prep)
+            continue;
+
+        const bool is_hit = schedPolicy_ == SchedPolicy::FrFcfs &&
+                            a.kind == NextAction::Kind::Cas && a.rowHit;
+        const bool better =
+            a.at < soonest || (a.at == soonest && is_hit && !best_is_hit);
+        if (better) {
+            soonest = a.at;
+            best = static_cast<int>(i);
+            best_is_hit = is_hit;
+        }
+    }
+
+    best_at = soonest;
+    if (best >= 0 && soonest > horizon)
+        return -1;
+    return best;
+}
+
+void
+DramChannel::issuePre(Entry &e, Tick t)
+{
+    BankState &b = bank(e.req.coord);
+    RankState &r = rank(e.req.coord.rank);
+    SD_ASSERT(b.rowOpen());
+    b.openRow = noOpenRow;
+    b.actAllowedAt = std::max(b.actAllowedAt, t + timing_.tRP);
+    SD_ASSERT(r.openBanks > 0);
+    --r.openBanks;
+    if (r.openBanks == 0)
+        r.setPowerState(RankPowerState::PrechargeStandby, t);
+    e.actIssuedForUs = true;
+    ++stats_.precharges;
+}
+
+void
+DramChannel::issueAct(Entry &e, Tick t)
+{
+    BankState &b = bank(e.req.coord);
+    RankState &r = rank(e.req.coord.rank);
+    SD_ASSERT(!b.rowOpen());
+    b.openRow = static_cast<int>(e.req.coord.row);
+    b.casAllowedAt = t + timing_.tRCD;
+    b.preAllowedAt = std::max(b.preAllowedAt, t + timing_.tRAS);
+    b.actAllowedAt = t + timing_.tRC;
+    r.recordAct(t);
+    ++r.openBanks;
+    if (r.powerState != RankPowerState::ActiveStandby)
+        r.setPowerState(RankPowerState::ActiveStandby, t);
+    e.actIssuedForUs = true;
+    ++stats_.activates;
+}
+
+void
+DramChannel::issueCas(std::vector<Entry> &q, std::size_t idx, Tick t)
+{
+    Entry &e = q[idx];
+    BankState &b = bank(e.req.coord);
+    RankState &r = rank(e.req.coord.rank);
+    const bool write = e.req.write;
+    const Cycles cas_to_data = write ? timing_.cwl : timing_.cl;
+    const Tick data_start = t + cas_to_data;
+    const Tick data_end = data_start + timing_.tBURST;
+
+    if (lastBurstRank_ >= 0 &&
+        lastBurstRank_ != static_cast<int>(e.req.coord.rank)) {
+        ++stats_.rankSwitches;
+    }
+
+    dataBusFreeAt_ = data_end;
+    lastBurstRank_ = static_cast<int>(e.req.coord.rank);
+    lastBurstWasWrite_ = write;
+
+    if (write) {
+        r.wrToRdAt = std::max(r.wrToRdAt, data_end + timing_.tWTR);
+        b.preAllowedAt = std::max(b.preAllowedAt, data_end + timing_.tWR);
+        ++stats_.writes;
+    } else {
+        b.preAllowedAt = std::max(b.preAllowedAt, t + timing_.tRTP);
+        ++stats_.reads;
+        stats_.readLatencySum +=
+            static_cast<double>(data_end - e.req.enqueuedAt);
+        ++stats_.readLatencyCount;
+    }
+
+    if (e.actIssuedForUs)
+        ++stats_.rowMisses;
+    else
+        ++stats_.rowHits;
+
+    rankLastActivity_[e.req.coord.rank] = data_end;
+
+    if (onComplete_) {
+        DramCompletion done;
+        done.id = e.req.id;
+        done.write = write;
+        done.enqueuedAt = e.req.enqueuedAt;
+        done.doneAt = data_end;
+        onComplete_(done);
+    }
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void
+DramChannel::applyDueRefreshes(Tick now)
+{
+    for (unsigned ri = 0; ri < ranks_.size(); ++ri) {
+        RankState &r = ranks_[ri];
+        while (r.nextRefreshAt <= now) {
+            // Wake the rank if needed, close all banks, refresh.
+            Tick start = std::max(r.nextRefreshAt, r.refreshDoneAt);
+            start = std::max(start, r.powerUpAt);
+            if (r.powerState == RankPowerState::PowerDown) {
+                r.setPowerState(RankPowerState::PrechargeStandby, start);
+                start += timing_.tXPDLL;
+                ++stats_.powerUps;
+            }
+            for (unsigned bi = 0; bi < geom_.banksPerRank; ++bi) {
+                BankState &b =
+                    banks_[static_cast<std::size_t>(ri) *
+                               geom_.banksPerRank +
+                           bi];
+                if (b.rowOpen()) {
+                    start = std::max(start, b.preAllowedAt);
+                    b.openRow = noOpenRow;
+                    SD_ASSERT(r.openBanks > 0);
+                    --r.openBanks;
+                    ++stats_.precharges;
+                }
+            }
+            if (r.openBanks == 0 &&
+                r.powerState == RankPowerState::ActiveStandby) {
+                r.setPowerState(RankPowerState::PrechargeStandby, start);
+            }
+            start += timing_.tRP;
+            r.refreshDoneAt = start + timing_.tRFC;
+            for (unsigned bi = 0; bi < geom_.banksPerRank; ++bi) {
+                BankState &b =
+                    banks_[static_cast<std::size_t>(ri) *
+                               geom_.banksPerRank +
+                           bi];
+                b.actAllowedAt =
+                    std::max(b.actAllowedAt, r.refreshDoneAt);
+            }
+            r.nextRefreshAt += timing_.tREFI;
+            ++stats_.refreshes;
+        }
+    }
+}
+
+bool
+DramChannel::rankHasQueuedWork(unsigned r) const
+{
+    auto targets = [r](const Entry &e) {
+        return e.req.coord.rank == r;
+    };
+    return std::any_of(readQ_.begin(), readQ_.end(), targets) ||
+           std::any_of(writeQ_.begin(), writeQ_.end(), targets);
+}
+
+void
+DramChannel::applyIdlePowerDown(Tick now)
+{
+    if (idlePowerDownThreshold_ == 0)
+        return;
+    for (unsigned ri = 0; ri < ranks_.size(); ++ri) {
+        RankState &r = ranks_[ri];
+        if (r.powerState == RankPowerState::PowerDown)
+            continue;
+        Tick enter_at = rankLastActivity_[ri] + idlePowerDownThreshold_;
+        if (enter_at > now || rankHasQueuedWork(ri))
+            continue;
+        // Close any pages left open by the open-page policy; only a
+        // fully-precharged rank can enter power-down.
+        if (r.openBanks != 0) {
+            for (unsigned bi = 0; bi < geom_.banksPerRank; ++bi) {
+                BankState &b =
+                    banks_[static_cast<std::size_t>(ri) *
+                               geom_.banksPerRank +
+                           bi];
+                if (!b.rowOpen())
+                    continue;
+                const Tick pre_at = std::max(enter_at, b.preAllowedAt);
+                if (pre_at > now)
+                    continue; // Try again on a later pass.
+                b.openRow = noOpenRow;
+                b.actAllowedAt =
+                    std::max(b.actAllowedAt, pre_at + timing_.tRP);
+                SD_ASSERT(r.openBanks > 0);
+                --r.openBanks;
+                ++stats_.precharges;
+                enter_at = std::max(enter_at, pre_at + timing_.tRP);
+            }
+            if (r.openBanks == 0)
+                r.setPowerState(RankPowerState::PrechargeStandby,
+                                std::min(enter_at, now));
+        }
+        if (r.openBanks == 0 &&
+            r.powerState == RankPowerState::PrechargeStandby) {
+            powerDownRank(ri, std::max(enter_at, r.lastStateChange));
+        }
+    }
+}
+
+void
+DramChannel::powerDownRank(unsigned rank_idx, Tick now)
+{
+    RankState &r = ranks_[rank_idx];
+    if (r.powerState == RankPowerState::PowerDown)
+        return;
+    if (r.openBanks != 0)
+        return; // Only precharge power-down is modeled.
+    if (now < r.refreshDoneAt)
+        return;
+    r.setPowerState(RankPowerState::PowerDown, now);
+    ++stats_.powerDownEntries;
+}
+
+void
+DramChannel::wakeRank(unsigned rank_idx, Tick now)
+{
+    RankState &r = ranks_[rank_idx];
+    if (r.powerState != RankPowerState::PowerDown)
+        return;
+    // Honor minimum residency, then pay the slow (DLL-off) exit that
+    // matches the paper's quoted 24 ns wake-up.
+    const Tick exit_start =
+        std::max(now, r.lastStateChange + timing_.tCKE);
+    r.setPowerState(RankPowerState::PrechargeStandby, exit_start);
+    r.powerUpAt = std::max(r.powerUpAt, exit_start + timing_.tXPDLL);
+    ++stats_.powerUps;
+}
+
+void
+DramChannel::setIdlePowerDown(Cycles idle_threshold)
+{
+    idlePowerDownThreshold_ = idle_threshold;
+}
+
+Tick
+DramChannel::nextEventAt() const
+{
+    Tick best = tickNever;
+    if (drainingWrites()) {
+        Tick at = tickNever;
+        if (pick(writeQ_, tickNever, at) >= 0 || at != tickNever)
+            best = std::min(best, at);
+        if (!readQ_.empty()) {
+            Tick rat = tickNever;
+            if (pick(readQ_, tickNever, rat) >= 0 || rat != tickNever)
+                best = std::min(best, rat);
+        }
+    } else {
+        Tick at = tickNever;
+        if (pick(readQ_, tickNever, at) >= 0 || at != tickNever)
+            best = std::min(best, at);
+        if (!writeQ_.empty()) {
+            Tick wat = tickNever;
+            if (pick(writeQ_, tickNever, wat) >= 0 || wat != tickNever)
+                best = std::min(best, wat);
+        }
+    }
+    return best;
+}
+
+void
+DramChannel::advanceTo(Tick now)
+{
+    // Advancing to "never" would spin the refresh catch-up forever;
+    // it always indicates a driver bug (advanceTo(nextEventAt()) with
+    // no pending work).
+    SD_ASSERT(now != tickNever);
+    applyDueRefreshes(now);
+
+    for (;;) {
+        // Update drain-mode hysteresis.
+        if (writeQ_.size() > drainPolicy_.highWatermark)
+            writeDrainMode_ = true;
+        else if (writeQ_.size() < drainPolicy_.lowWatermark)
+            writeDrainMode_ = false;
+
+        std::vector<Entry> *primary = &readQ_;
+        std::vector<Entry> *secondary = &writeQ_;
+        if (drainingWrites()) {
+            primary = &writeQ_;
+            secondary = &readQ_;
+        }
+
+        Tick at = tickNever;
+        int idx = pick(*primary, now, at);
+        std::vector<Entry> *chosen_q = primary;
+
+        if (idx < 0) {
+            // Opportunistically service the other queue.
+            Tick at2 = tickNever;
+            const int idx2 = pick(*secondary, now, at2);
+            if (idx2 >= 0) {
+                idx = idx2;
+                at = at2;
+                chosen_q = secondary;
+            }
+        }
+
+        if (idx < 0)
+            break;
+
+        SD_ASSERT(at >= curTick_ || curTick_ == 0);
+        curTick_ = std::max(curTick_, at);
+
+        Entry &e = (*chosen_q)[static_cast<std::size_t>(idx)];
+        const NextAction a = nextAction(e);
+        switch (a.kind) {
+          case NextAction::Kind::Pre:
+            issuePre(e, at);
+            break;
+          case NextAction::Kind::Act:
+            issueAct(e, at);
+            break;
+          case NextAction::Kind::Cas:
+            issueCas(*chosen_q, static_cast<std::size_t>(idx), at);
+            break;
+        }
+
+        applyDueRefreshes(now);
+    }
+
+    curTick_ = std::max(curTick_, now);
+    applyIdlePowerDown(now);
+}
+
+Tick
+DramChannel::drain()
+{
+    while (!idle()) {
+        const Tick next = nextEventAt();
+        SD_ASSERT(next != tickNever);
+        advanceTo(next);
+    }
+    return std::max(curTick_, dataBusFreeAt_);
+}
+
+void
+DramChannel::finalizeStats(Tick end)
+{
+    for (auto &r : ranks_)
+        r.accountTo(end);
+    curTick_ = std::max(curTick_, end);
+}
+
+} // namespace secdimm::dram

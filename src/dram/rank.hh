@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Timing and power state of one rank: tFAW/tRRD activation fences,
+ * write-to-read turnaround, refresh schedule, and the power-state
+ * timeline the background-energy model integrates over.
+ */
+
+#ifndef SECUREDIMM_DRAM_RANK_HH
+#define SECUREDIMM_DRAM_RANK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace secdimm::dram
+{
+
+/** Background power state of a rank (Micron power-calc categories). */
+enum class RankPowerState
+{
+    ActiveStandby,     ///< At least one bank open.
+    PrechargeStandby,  ///< All banks closed, CKE high.
+    PowerDown,         ///< Precharge power-down, CKE low.
+};
+
+/** Per-rank timing fences and power accounting. */
+struct RankState
+{
+    /** Ring buffer of the last four ACT issue times (tFAW window). */
+    std::array<Tick, 4> actWindow{};
+    unsigned actWindowIdx = 0;
+    unsigned actCount = 0;     ///< ACTs recorded so far (caps at 4).
+
+    Tick lastActAt = 0;        ///< For tRRD (any bank in this rank).
+    bool anyActIssued = false;
+    Tick wrToRdAt = 0;         ///< Earliest read CAS after a write (tWTR).
+
+    unsigned openBanks = 0;
+
+    Tick nextRefreshAt = 0;    ///< When the next REF falls due.
+    Tick refreshDoneAt = 0;    ///< Rank blocked until here during REF.
+
+    RankPowerState powerState = RankPowerState::PrechargeStandby;
+    Tick powerUpAt = 0;        ///< Commands blocked until exit done.
+    Tick lastStateChange = 0;
+
+    /** Integrated cycles spent in each background state. */
+    std::uint64_t cyclesActiveStandby = 0;
+    std::uint64_t cyclesPrechargeStandby = 0;
+    std::uint64_t cyclesPowerDown = 0;
+
+    /** Accumulate state residency up to @p now, then switch state. */
+    void
+    accountTo(Tick now)
+    {
+        if (now <= lastStateChange)
+            return;
+        const std::uint64_t d = now - lastStateChange;
+        switch (powerState) {
+          case RankPowerState::ActiveStandby:
+            cyclesActiveStandby += d;
+            break;
+          case RankPowerState::PrechargeStandby:
+            cyclesPrechargeStandby += d;
+            break;
+          case RankPowerState::PowerDown:
+            cyclesPowerDown += d;
+            break;
+        }
+        lastStateChange = now;
+    }
+
+    void
+    setPowerState(RankPowerState s, Tick now)
+    {
+        accountTo(now);
+        powerState = s;
+    }
+
+    /** Earliest tick the tFAW window allows a new ACT. */
+    Tick
+    fawAllowedAt(Cycles tFAW) const
+    {
+        if (actCount < actWindow.size())
+            return 0;
+        return actWindow[actWindowIdx] + tFAW;
+    }
+
+    void
+    recordAct(Tick t)
+    {
+        actWindow[actWindowIdx] = t;
+        actWindowIdx = (actWindowIdx + 1) % actWindow.size();
+        if (actCount < actWindow.size())
+            ++actCount;
+        lastActAt = t;
+        anyActIssued = true;
+    }
+};
+
+} // namespace secdimm::dram
+
+#endif // SECUREDIMM_DRAM_RANK_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The unit of work handed to a DRAM channel: one 64-byte read or write
+ * burst, already decoded to DRAM coordinates.
+ */
+
+#ifndef SECUREDIMM_DRAM_REQUEST_HH
+#define SECUREDIMM_DRAM_REQUEST_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace secdimm::dram
+{
+
+/** Decoded DRAM coordinates of a block within one channel. */
+struct DramCoord
+{
+    unsigned rank = 0;
+    unsigned bank = 0;
+    unsigned row = 0;
+    unsigned col = 0;  ///< Block index within the row.
+};
+
+/** One 64-byte DRAM access (a full burst). */
+struct DramRequest
+{
+    std::uint64_t id = 0;      ///< Caller-assigned tag.
+    Addr addr = 0;             ///< Channel-local block address.
+    DramCoord coord;           ///< Decoded coordinates.
+    bool write = false;
+    Tick enqueuedAt = 0;
+};
+
+/** Completion record delivered through the channel callback. */
+struct DramCompletion
+{
+    std::uint64_t id = 0;
+    bool write = false;
+    Tick enqueuedAt = 0;
+    Tick doneAt = 0;
+};
+
+} // namespace secdimm::dram
+
+#endif // SECUREDIMM_DRAM_REQUEST_HH

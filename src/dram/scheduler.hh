@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Memory-scheduler policy selection.  The paper's backend uses FR-FCFS
+ * with read priority and a write-drain watermark of 40 (Section IV-A);
+ * FCFS is kept as an ablation point.
+ */
+
+#ifndef SECUREDIMM_DRAM_SCHEDULER_HH
+#define SECUREDIMM_DRAM_SCHEDULER_HH
+
+#include <cstdint>
+
+namespace secdimm::dram
+{
+
+/** Request-selection policy within a channel. */
+enum class SchedPolicy
+{
+    FrFcfs, ///< First-ready (row hit) first, then oldest.
+    Fcfs,   ///< Strictly oldest first.
+};
+
+/** Write-queue watermarks (USIMM-style drain hysteresis). */
+struct WriteDrainPolicy
+{
+    unsigned queueCapacity = 64; ///< Table II: 64-entry write queue.
+    unsigned highWatermark = 40; ///< Start draining above this.
+    unsigned lowWatermark = 20;  ///< Stop draining below this.
+};
+
+} // namespace secdimm::dram
+
+#endif // SECUREDIMM_DRAM_SCHEDULER_HH

@@ -1,0 +1,61 @@
+#include "dram/timing.hh"
+
+namespace secdimm::dram
+{
+
+TimingParams
+ddr3_1600()
+{
+    return TimingParams{};
+}
+
+TimingParams
+ddr4_2400()
+{
+    TimingParams p;
+    p.tckNs = 0.833;
+    p.cl = 17;
+    p.cwl = 12;
+    p.tRCD = 17;
+    p.tRP = 17;
+    p.tRAS = 39;
+    p.tRC = 56;
+    p.tBURST = 4;
+    p.tCCD = 6;   // tCCD_L.
+    p.tRRD = 6;   // tRRD_L.
+    p.tFAW = 26;
+    p.tWTR = 9;
+    p.tRTP = 9;
+    p.tWR = 18;
+    p.tRTRS = 3;
+    p.tREFI = 9363;
+    p.tRFC = 421; // 8 Gb device.
+    p.tXP = 8;
+    p.tXPDLL = 29;
+    return p;
+}
+
+TimingParams
+ddr3_1066()
+{
+    TimingParams p;
+    p.tckNs = 1.875;
+    p.cl = 8;
+    p.cwl = 6;
+    p.tRCD = 8;
+    p.tRP = 8;
+    p.tRAS = 20;
+    p.tRC = 28;
+    p.tCCD = 4;
+    p.tRRD = 4;
+    p.tFAW = 20;
+    p.tWTR = 4;
+    p.tRTP = 4;
+    p.tWR = 8;
+    p.tREFI = 4160;
+    p.tRFC = 86;
+    p.tXPDLL = 13;
+    return p;
+}
+
+} // namespace secdimm::dram

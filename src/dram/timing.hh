@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DDR timing parameters and memory geometry for the DRAM timing model.
+ * Defaults follow a DDR3-1600 x8 device (Micron MT41J256M8 class, the
+ * device in the paper's Table II), expressed in memory-controller
+ * clock cycles (800 MHz clock, 1.25 ns tCK, 1600 MT/s data rate).
+ */
+
+#ifndef SECUREDIMM_DRAM_TIMING_HH
+#define SECUREDIMM_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace secdimm::dram
+{
+
+/** All DDR protocol timing constraints, in memory clock cycles. */
+struct TimingParams
+{
+    double tckNs = 1.25;      ///< Clock period in ns (DDR3-1600).
+
+    Cycles cl = 11;           ///< CAS latency (read).
+    Cycles cwl = 8;           ///< CAS write latency.
+    Cycles tRCD = 11;         ///< ACT to RD/WR.
+    Cycles tRP = 11;          ///< PRE to ACT.
+    Cycles tRAS = 28;         ///< ACT to PRE.
+    Cycles tRC = 39;          ///< ACT to ACT, same bank.
+    Cycles tBURST = 4;        ///< BL8 data burst occupancy.
+    Cycles tCCD = 4;          ///< CAS to CAS, same rank.
+    Cycles tRRD = 5;          ///< ACT to ACT, different bank, same rank.
+    Cycles tFAW = 24;         ///< Four-activate window, per rank.
+    Cycles tWTR = 6;          ///< Write burst end to read CAS, same rank.
+    Cycles tRTP = 6;          ///< Read CAS to PRE.
+    Cycles tWR = 12;          ///< Write recovery (burst end to PRE).
+    Cycles tRTRS = 2;         ///< Rank-to-rank data-bus switch penalty.
+    Cycles tREFI = 6240;      ///< Refresh interval (7.8 us).
+    Cycles tRFC = 128;        ///< Refresh cycle time (160 ns).
+    Cycles tXP = 5;           ///< Fast power-down exit.
+    Cycles tXPDLL = 19;       ///< Slow (DLL-off) power-down exit, 24 ns.
+    Cycles tCKE = 4;          ///< Minimum power-down residency.
+
+    /** Nanoseconds for @p c cycles. */
+    double ns(Cycles c) const { return tckNs * static_cast<double>(c); }
+};
+
+/** Physical organization of one memory channel. */
+struct Geometry
+{
+    unsigned channels = 1;        ///< Channels in the system.
+    unsigned ranksPerChannel = 8; ///< Table II: 8 ranks per channel.
+    unsigned banksPerRank = 8;    ///< DDR3: 8 banks per chip.
+    unsigned rowsPerBank = 32768; ///< MT41J256M8: 32K rows.
+    unsigned rowBufferBytes = 8192; ///< Table II: 8 KB row buffer.
+    unsigned devicesPerRank = 9;  ///< x8 devices incl. ECC, 72-bit bus.
+
+    /** 64-byte blocks that fit in one open row. */
+    unsigned blocksPerRow() const { return rowBufferBytes / blockBytes; }
+
+    /** Bytes addressable in one rank. */
+    std::uint64_t
+    bytesPerRank() const
+    {
+        return static_cast<std::uint64_t>(banksPerRank) * rowsPerBank *
+               rowBufferBytes;
+    }
+
+    /** Bytes addressable in one channel. */
+    std::uint64_t
+    bytesPerChannel() const
+    {
+        return bytesPerRank() * ranksPerChannel;
+    }
+
+    /** Total bytes in the system. */
+    std::uint64_t
+    totalBytes() const
+    {
+        return bytesPerChannel() * channels;
+    }
+};
+
+/** DDR3-1600 timing preset (default-constructed TimingParams). */
+TimingParams ddr3_1600();
+
+/** Slower DDR3-1066 preset for sensitivity studies. */
+TimingParams ddr3_1066();
+
+/**
+ * DDR4-2400 preset (the paper's footnote 1 discusses adapting the
+ * SDIMM buffer to DDR4 topologies): higher bandwidth, higher
+ * absolute-cycle latencies.
+ */
+TimingParams ddr4_2400();
+
+} // namespace secdimm::dram
+
+#endif // SECUREDIMM_DRAM_TIMING_HH

@@ -1,0 +1,80 @@
+#include "oram/bucket.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace secdimm::oram
+{
+
+int
+Bucket::firstFreeSlot() const
+{
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].valid())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+unsigned
+Bucket::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &s : slots_)
+        n += s.valid();
+    return n;
+}
+
+void
+Bucket::clear()
+{
+    for (auto &s : slots_)
+        s = BlockSlot{};
+}
+
+std::size_t
+Bucket::metadataBytes(unsigned z)
+{
+    return static_cast<std::size_t>(z) * 16;
+}
+
+std::size_t
+Bucket::imageBytes(unsigned z)
+{
+    return metadataBytes(z) + static_cast<std::size_t>(z) * blockBytes;
+}
+
+std::vector<std::uint8_t>
+Bucket::toImage() const
+{
+    const unsigned z = this->z();
+    std::vector<std::uint8_t> image(imageBytes(z));
+    std::uint8_t *meta = image.data();
+    std::uint8_t *data = image.data() + metadataBytes(z);
+    for (unsigned i = 0; i < z; ++i) {
+        std::memcpy(meta + 16 * i, &slots_[i].addr, 8);
+        std::memcpy(meta + 16 * i + 8, &slots_[i].leaf, 8);
+        std::memcpy(data + blockBytes * i, slots_[i].data.data(),
+                    blockBytes);
+    }
+    return image;
+}
+
+Bucket
+Bucket::fromImage(const std::vector<std::uint8_t> &image, unsigned z)
+{
+    SD_ASSERT(image.size() == imageBytes(z));
+    Bucket b(z);
+    const std::uint8_t *meta = image.data();
+    const std::uint8_t *data = image.data() + metadataBytes(z);
+    for (unsigned i = 0; i < z; ++i) {
+        std::memcpy(&b.slots_[i].addr, meta + 16 * i, 8);
+        std::memcpy(&b.slots_[i].leaf, meta + 16 * i + 8, 8);
+        std::memcpy(b.slots_[i].data.data(), data + blockBytes * i,
+                    blockBytes);
+    }
+    return b;
+}
+
+} // namespace secdimm::oram

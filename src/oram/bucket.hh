@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional Path ORAM bucket: Z block slots, each carrying the
+ * block's physical address tag and current leaf, plus a per-bucket
+ * freshness counter.  Buckets serialize to a byte image that is
+ * AES-CTR encrypted and PMMAC-authenticated in the BucketStore.
+ */
+
+#ifndef SECUREDIMM_ORAM_BUCKET_HH
+#define SECUREDIMM_ORAM_BUCKET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace secdimm::oram
+{
+
+/** One block slot inside a bucket. */
+struct BlockSlot
+{
+    Addr addr = invalidAddr; ///< invalidAddr marks a dummy slot.
+    LeafId leaf = invalidLeaf;
+    BlockData data{};
+
+    bool valid() const { return addr != invalidAddr; }
+};
+
+/** Plaintext view of one bucket. */
+class Bucket
+{
+  public:
+    explicit Bucket(unsigned z) : slots_(z) {}
+
+    unsigned z() const { return static_cast<unsigned>(slots_.size()); }
+    BlockSlot &slot(unsigned i) { return slots_.at(i); }
+    const BlockSlot &slot(unsigned i) const { return slots_.at(i); }
+
+    /** Index of the first empty slot, or -1 if full. */
+    int firstFreeSlot() const;
+
+    /** Number of valid blocks. */
+    unsigned occupancy() const;
+
+    /** Clear every slot to dummy. */
+    void clear();
+
+    /**
+     * Byte image size: Z * (8B tag + 8B leaf) metadata followed by
+     * Z * 64B data.
+     */
+    static std::size_t imageBytes(unsigned z);
+
+    /** Metadata-only prefix length of the image. */
+    static std::size_t metadataBytes(unsigned z);
+
+    /** Serialize to the canonical image. */
+    std::vector<std::uint8_t> toImage() const;
+
+    /** Rebuild from an image produced by toImage(). */
+    static Bucket fromImage(const std::vector<std::uint8_t> &image,
+                            unsigned z);
+
+  private:
+    std::vector<BlockSlot> slots_;
+};
+
+} // namespace secdimm::oram
+
+#endif // SECUREDIMM_ORAM_BUCKET_HH

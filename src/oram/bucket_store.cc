@@ -1,0 +1,99 @@
+#include "oram/bucket_store.hh"
+
+#include "util/logging.hh"
+
+namespace secdimm::oram
+{
+
+BucketStore::BucketStore(std::uint64_t num_buckets, unsigned z,
+                         const crypto::Aes128Key &enc_key,
+                         const crypto::Aes128Key &mac_key,
+                         std::uint64_t nonce_salt)
+    : z_(z),
+      cipher_(enc_key),
+      mac_(mac_key),
+      nonceSalt_(nonce_salt),
+      images_(num_buckets),
+      counters_(num_buckets, 0),
+      macs_(num_buckets, 0)
+{
+    // Initialize every bucket to an all-dummy image so the tree is
+    // well-formed (and indistinguishable) from the first access.
+    Bucket empty(z_);
+    for (std::uint64_t seq = 0; seq < num_buckets; ++seq)
+        writeBucket(seq, empty);
+}
+
+std::uint64_t
+BucketStore::nonce(std::uint64_t seq) const
+{
+    // Mix the salt into the spatial nonce so two trees (or two Split
+    // slices) never share a pad even under one key.
+    return seq ^ (nonceSalt_ << 48) ^ (nonceSalt_ * 0x9e3779b97f4a7c15ULL);
+}
+
+void
+BucketStore::writeBucket(std::uint64_t seq, const Bucket &bucket)
+{
+    SD_ASSERT(seq < images_.size());
+    SD_ASSERT(bucket.z() == z_);
+    std::vector<std::uint8_t> image = bucket.toImage();
+    const std::uint64_t ctr = ++counters_[seq];
+    cipher_.transformBuffer(image.data(), image.size(), nonce(seq), ctr);
+    macs_[seq] = mac_.tag(nonce(seq), ctr, image.data(), image.size());
+    images_[seq] = std::move(image);
+}
+
+BucketReadResult
+BucketStore::readBucket(std::uint64_t seq) const
+{
+    SD_ASSERT(seq < images_.size());
+    const std::uint64_t ctr = counters_[seq];
+    std::vector<std::uint8_t> image = images_[seq];
+    const bool authentic = mac_.verify(nonce(seq), ctr, image.data(),
+                                       image.size(), macs_[seq]);
+    cipher_.transformBuffer(image.data(), image.size(), nonce(seq), ctr);
+    BucketReadResult r{Bucket::fromImage(image, z_), authentic};
+    return r;
+}
+
+std::uint64_t
+BucketStore::counter(std::uint64_t seq) const
+{
+    SD_ASSERT(seq < counters_.size());
+    return counters_[seq];
+}
+
+void
+BucketStore::tamperData(std::uint64_t seq, std::size_t byte_index)
+{
+    SD_ASSERT(seq < images_.size());
+    images_[seq].at(byte_index) ^= 0x01;
+}
+
+void
+BucketStore::replayFrom(std::uint64_t seq,
+                        const std::vector<std::uint8_t> &old_image,
+                        std::uint64_t old_counter, crypto::Tag64 old_mac)
+{
+    SD_ASSERT(seq < images_.size());
+    images_[seq] = old_image;
+    counters_[seq] = old_counter;
+    macs_[seq] = old_mac;
+}
+
+const std::vector<std::uint8_t> &
+BucketStore::rawImage(std::uint64_t seq) const
+{
+    SD_ASSERT(seq < images_.size());
+    return images_[seq];
+}
+
+crypto::Tag64
+BucketStore::rawMac(std::uint64_t seq) const
+{
+    SD_ASSERT(seq < macs_.size());
+    return macs_[seq];
+}
+
+} // namespace secdimm::oram

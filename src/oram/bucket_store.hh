@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The untrusted memory image of an ORAM tree: every bucket stored as
+ * AES-CTR ciphertext with a plaintext freshness counter and a PMMAC
+ * tag binding (bucket id, counter, ciphertext) -- encrypt-then-MAC.
+ *
+ * This models the DRAM contents an attacker can see and tamper with;
+ * tamperData()/replayFrom() let tests inject exactly such attacks.
+ */
+
+#ifndef SECUREDIMM_ORAM_BUCKET_STORE_HH
+#define SECUREDIMM_ORAM_BUCKET_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/ctr_mode.hh"
+#include "crypto/pmmac.hh"
+#include "oram/bucket.hh"
+
+namespace secdimm::oram
+{
+
+/** Result of an authenticated bucket read. */
+struct BucketReadResult
+{
+    Bucket bucket;
+    bool authentic = false;
+};
+
+/** Encrypted, MAC'd array of buckets (one per bucket sequence no.). */
+class BucketStore
+{
+  public:
+    /**
+     * @param num_buckets total buckets in the tree
+     * @param z           blocks per bucket
+     * @param enc_key     AES key for CTR bucket encryption
+     * @param mac_key     AES key for PMMAC
+     * @param nonce_salt  distinguishes trees sharing a key (e.g.
+     *                    Split ORAM slice id)
+     */
+    BucketStore(std::uint64_t num_buckets, unsigned z,
+                const crypto::Aes128Key &enc_key,
+                const crypto::Aes128Key &mac_key,
+                std::uint64_t nonce_salt = 0);
+
+    /** Encrypt, MAC, and store @p bucket; bumps its counter. */
+    void writeBucket(std::uint64_t seq, const Bucket &bucket);
+
+    /** Decrypt and verify; authentic==false on any mismatch. */
+    BucketReadResult readBucket(std::uint64_t seq) const;
+
+    /** Current freshness counter of a bucket. */
+    std::uint64_t counter(std::uint64_t seq) const;
+
+    /** Flip one ciphertext byte (tamper-injection for tests). */
+    void tamperData(std::uint64_t seq, std::size_t byte_index);
+
+    /** Roll a bucket back to a previous image (replay attack). */
+    void replayFrom(std::uint64_t seq,
+                    const std::vector<std::uint8_t> &old_image,
+                    std::uint64_t old_counter, crypto::Tag64 old_mac);
+
+    /** Raw ciphertext image (for replay capture in tests). */
+    const std::vector<std::uint8_t> &rawImage(std::uint64_t seq) const;
+    crypto::Tag64 rawMac(std::uint64_t seq) const;
+
+    std::uint64_t numBuckets() const { return images_.size(); }
+    unsigned z() const { return z_; }
+
+  private:
+    std::uint64_t nonce(std::uint64_t seq) const;
+
+    unsigned z_;
+    crypto::CtrCipher cipher_;
+    crypto::Pmmac mac_;
+    std::uint64_t nonceSalt_;
+    std::vector<std::vector<std::uint8_t>> images_;
+    std::vector<std::uint64_t> counters_;
+    std::vector<crypto::Tag64> macs_;
+};
+
+} // namespace secdimm::oram
+
+#endif // SECUREDIMM_ORAM_BUCKET_STORE_HH

@@ -1,0 +1,309 @@
+#include "oram/freecursive_backend.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secdimm::oram
+{
+
+namespace
+{
+
+/** Completion-id kinds (encoded in the top bits of DRAM request ids). */
+constexpr std::uint64_t kindShift = 62;
+constexpr std::uint64_t kindPlain = 0;
+constexpr std::uint64_t kindData = 1;
+constexpr std::uint64_t kindWrite = 2;
+constexpr std::uint64_t kindMeta = 3;
+
+std::uint64_t
+makeId(std::uint64_t kind)
+{
+    return kind << kindShift;
+}
+
+std::uint64_t
+idKind(std::uint64_t id)
+{
+    return id >> kindShift;
+}
+
+} // namespace
+
+FreecursiveBackend::FreecursiveBackend(const OramParams &oram,
+                                       const RecursionParams &recursion,
+                                       const dram::TimingParams &timing,
+                                       const dram::Geometry &geom,
+                                       std::uint64_t seed)
+    : oram_(oram),
+      layout_(oram.levels, oram.linesPerBucket()),
+      recursion_(recursion),
+      sys_("freecursive", timing, geom, dram::MapPolicy::RowRankBankCol),
+      rng_(seed)
+{
+    sys_.setCompletionCallback(
+        [this](const dram::DramCompletion &c) { onDramDone(c); });
+    stagedPerCh_.resize(sys_.channelCount());
+    blockFetchCycles_ = timing.cl + timing.tBURST + 2;
+}
+
+void
+FreecursiveBackend::setCompletionCallback(CompletionFn fn)
+{
+    onComplete_ = std::move(fn);
+}
+
+bool
+FreecursiveBackend::canAccept() const
+{
+    return jobs_.size() < jobCapacity_;
+}
+
+Addr
+FreecursiveBackend::lineToDramBlock(Addr line) const
+{
+    // The tree occupies lines [0, totalLines); larger configurations
+    // wrap (timing-only aliasing, see DESIGN.md).
+    return line % sys_.blockCount();
+}
+
+void
+FreecursiveBackend::stageLine(Addr line, Tick at, std::uint64_t kind)
+{
+    const Addr block = lineToDramBlock(line);
+    const unsigned ch = sys_.channelOf(block);
+    const bool write = kind == kindWrite;
+    stagedPerCh_[ch][write ? 1 : 0].push_back(
+        StagedLine{block, at, kind});
+    ++stagedTotal_;
+    if (kind == kindMeta)
+        ++stagedMetaReads_;
+    else if (kind == kindData)
+        ++stagedDataReads_;
+}
+
+void
+FreecursiveBackend::access(std::uint64_t id, Addr byte_addr, bool write,
+                           Tick now)
+{
+    (void)write; // Reads and writes are indistinguishable in ORAM.
+    SD_ASSERT(canAccept());
+    const std::uint64_t block = byte_addr / blockBytes;
+    const unsigned ops = recursion_.opsForAccess(block);
+    jobs_.push_back(Job{id, ops, now});
+    ++traffic_.requests;
+    startNextOp(now);
+    pump();
+}
+
+void
+FreecursiveBackend::startNextOp(Tick now)
+{
+    if (opInFlight_)
+        return;
+    // Pick the pending job whose next op is ready soonest.
+    Job *job = nullptr;
+    for (auto &j : jobs_) {
+        if (!j.opIssued && (job == nullptr || j.readyAt < job->readyAt))
+            job = &j;
+    }
+    if (job == nullptr)
+        return;
+    job->opIssued = true;
+    opJobId_ = job->id;
+    opInFlight_ = true;
+    responseSent_ = false;
+    opStartAt_ = std::max(now, job->readyAt);
+    ++traffic_.accessOrams;
+
+    opLeaf_ = rng_.nextBelow(oram_.numLeaves());
+    std::vector<Addr> meta, data;
+    layout_.pathLinesPhased(opLeaf_, oram_.cachedLevels,
+                            oram_.metadataLines, meta, data);
+    lastReadDone_ = opStartAt_;
+    lastMetaDone_ = opStartAt_;
+    for (Addr line : meta)
+        stageLine(line, opStartAt_, kindMeta);
+    for (Addr line : data)
+        stageLine(line, opStartAt_, kindData);
+    traffic_.channelLines += meta.size() + data.size();
+}
+
+void
+FreecursiveBackend::respondOp(Tick avail)
+{
+    // The metadata pass identified the block; one row-hit fetch and a
+    // decrypt later it is available -- this is what unblocks the LLC
+    // (or the next recursion level), while the rest of the path
+    // streams in behind.
+    Job *job = nullptr;
+    for (auto &j : jobs_) {
+        if (j.id == opJobId_) {
+            job = &j;
+            break;
+        }
+    }
+    SD_ASSERT(job != nullptr);
+    SD_ASSERT(job->opsLeft > 0);
+    --job->opsLeft;
+    job->opIssued = false;
+    if (job->opsLeft == 0) {
+        if (onComplete_)
+            onComplete_(job->id, avail);
+        for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+            if (it->id == opJobId_) {
+                jobs_.erase(it);
+                break;
+            }
+        }
+    } else {
+        job->readyAt = avail;
+    }
+}
+
+void
+FreecursiveBackend::finishOpReads(Tick reads_done)
+{
+    // Path fully read: stage the write-back and free the controller.
+    const Tick wb_at = reads_done + oram_.encLatency;
+    std::vector<Addr> meta, data;
+    layout_.pathLinesPhased(opLeaf_, oram_.cachedLevels,
+                            oram_.metadataLines, meta, data);
+    for (Addr line : data)
+        stageLine(line, wb_at, kindWrite);
+    for (Addr line : meta)
+        stageLine(line, wb_at, kindWrite);
+    traffic_.channelLines += meta.size() + data.size();
+
+    opInFlight_ = false;
+    startNextOp(reads_done);
+    pump();
+}
+
+void
+FreecursiveBackend::accessPlain(std::uint64_t id, Addr byte_addr,
+                                bool write, Tick now)
+{
+    const Addr block = (byte_addr / blockBytes) % sys_.blockCount();
+    const std::uint64_t seq = nextPlainSeq_++;
+    plainIds_.emplace(seq, id);
+    sys_.enqueue(makeId(kindPlain) | seq, block, write, now);
+}
+
+void
+FreecursiveBackend::setPlainCompletionCallback(CompletionFn fn)
+{
+    onPlainComplete_ = std::move(fn);
+}
+
+bool
+FreecursiveBackend::canAcceptPlain(Addr byte_addr, bool write) const
+{
+    const Addr block = (byte_addr / blockBytes) % sys_.blockCount();
+    return sys_.canEnqueue(block, write);
+}
+
+void
+FreecursiveBackend::onDramDone(const dram::DramCompletion &c)
+{
+    const std::uint64_t kind = idKind(c.id);
+    if (kind == kindPlain) {
+        const std::uint64_t seq = c.id & ((1ULL << kindShift) - 1);
+        auto it = plainIds_.find(seq);
+        SD_ASSERT(it != plainIds_.end());
+        const std::uint64_t caller_id = it->second;
+        plainIds_.erase(it);
+        if (onPlainComplete_)
+            onPlainComplete_(caller_id, c.doneAt);
+        pump();
+        return;
+    }
+    if (kind == kindWrite) {
+        SD_ASSERT(outstandingWrites_ > 0);
+        --outstandingWrites_;
+        pump();
+        return;
+    }
+
+    SD_ASSERT(outstandingReads_ > 0);
+    --outstandingReads_;
+    lastReadDone_ = std::max(lastReadDone_, c.doneAt);
+    if (kind == kindMeta) {
+        SD_ASSERT(outstandingMetaReads_ > 0);
+        --outstandingMetaReads_;
+        lastMetaDone_ = std::max(lastMetaDone_, c.doneAt);
+    }
+    if (opInFlight_ && outstandingReads_ == 0 && stagedMetaReads_ == 0 &&
+        stagedDataReads_ == 0) {
+        // The CPU-side controller finds the block only once the whole
+        // path is in the stash; respond, then write back.
+        if (!responseSent_) {
+            responseSent_ = true;
+            respondOp(lastReadDone_ + oram_.encLatency);
+        }
+        finishOpReads(lastReadDone_);
+    }
+    pump();
+}
+
+void
+FreecursiveBackend::pump()
+{
+    if (stagedTotal_ == 0)
+        return;
+    for (unsigned c = 0; c < sys_.channelCount(); ++c) {
+        auto &ch = sys_.channel(c);
+
+        auto &rq = stagedPerCh_[c][0];
+        while (!rq.empty() && ch.canEnqueue(false)) {
+            const StagedLine &s = rq.front();
+            ch.enqueue(makeId(s.kind), sys_.localBlockOf(s.line), false,
+                       s.at);
+            ++outstandingReads_;
+            if (s.kind == kindMeta) {
+                SD_ASSERT(stagedMetaReads_ > 0);
+                --stagedMetaReads_;
+                ++outstandingMetaReads_;
+            } else {
+                SD_ASSERT(stagedDataReads_ > 0);
+                --stagedDataReads_;
+            }
+            rq.pop_front();
+            --stagedTotal_;
+        }
+
+        auto &wq = stagedPerCh_[c][1];
+        while (!wq.empty() && ch.canEnqueue(true)) {
+            const StagedLine s = wq.front();
+            wq.pop_front();
+            --stagedTotal_;
+            ch.enqueue(makeId(kindWrite), sys_.localBlockOf(s.line),
+                       true, s.at);
+            ++outstandingWrites_;
+        }
+    }
+}
+
+Tick
+FreecursiveBackend::nextEventAt() const
+{
+    return sys_.nextEventAt();
+}
+
+void
+FreecursiveBackend::advanceTo(Tick now)
+{
+    sys_.advanceTo(now);
+    pump();
+}
+
+bool
+FreecursiveBackend::idle() const
+{
+    return jobs_.empty() && !opInFlight_ && stagedTotal_ == 0 &&
+           outstandingReads_ == 0 && outstandingWrites_ == 0 &&
+           sys_.idle();
+}
+
+} // namespace secdimm::oram

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Path ORAM configuration shared by the functional and timing layers.
+ * Defaults follow the paper's Table II: Z = 4 blocks per bucket,
+ * 64-byte blocks, 21-cycle encryption latency, 5 recursive PosMaps,
+ * 200-entry stash.
+ */
+
+#ifndef SECUREDIMM_ORAM_ORAM_PARAMS_HH
+#define SECUREDIMM_ORAM_ORAM_PARAMS_HH
+
+#include <cstdint>
+
+#include "util/bit_utils.hh"
+#include "util/types.hh"
+
+namespace secdimm::oram
+{
+
+/** Operation type of accessORAM. */
+enum class OramOp
+{
+    Read,
+    Write,
+};
+
+/** Static shape of one Path ORAM tree. */
+struct OramParams
+{
+    /** Tree depth: leaves live at this level; levels 0..levels. */
+    unsigned levels = 20;
+
+    /** Blocks per bucket (Z). */
+    unsigned bucketBlocks = 4;
+
+    /**
+     * Top tree levels held in on-controller SRAM (the paper's 64 KB
+     * "ORAM cache" holds ~7 levels); those levels cost no DRAM
+     * traffic.
+     */
+    unsigned cachedLevels = 0;
+
+    /** 64-byte lines of metadata per bucket (tags/leaves/ctr/MAC). */
+    unsigned metadataLines = 1;
+
+    /** Controller encrypt/decrypt latency, memory cycles (Table II). */
+    Cycles encLatency = 21;
+
+    /** Stash capacity in blocks (Table: typically 200). */
+    unsigned stashCapacity = 200;
+
+    LeafId numLeaves() const { return LeafId{1} << levels; }
+
+    std::uint64_t
+    numBuckets() const
+    {
+        return (std::uint64_t{1} << (levels + 1)) - 1;
+    }
+
+    /** 64-byte lines occupied by one bucket (data + metadata). */
+    unsigned linesPerBucket() const { return bucketBlocks + metadataLines; }
+
+    /**
+     * Usable data capacity in blocks; Path ORAM is typically run at
+     * ~50% utilization of Z * leaves for a negligible stash-overflow
+     * probability.
+     */
+    std::uint64_t
+    capacityBlocks() const
+    {
+        return (static_cast<std::uint64_t>(bucketBlocks) * numLeaves()) /
+               2;
+    }
+
+    /** Tree levels that actually touch DRAM. */
+    unsigned
+    dramLevels() const
+    {
+        return levels + 1 > cachedLevels ? levels + 1 - cachedLevels : 0;
+    }
+
+    /** DRAM lines moved by one accessORAM (read + write of a path). */
+    std::uint64_t
+    linesPerAccess() const
+    {
+        return 2ULL * linesPerBucket() * dramLevels();
+    }
+};
+
+/**
+ * Smallest tree depth whose ~50%-utilized capacity covers
+ * @p blocks data blocks with @p z blocks per bucket.
+ */
+inline unsigned
+levelsForCapacity(std::uint64_t blocks, unsigned z)
+{
+    unsigned levels = 2;
+    while ((static_cast<std::uint64_t>(z) << levels) / 2 < blocks)
+        ++levels;
+    return levels;
+}
+
+/** Recursive PosMap configuration (Freecursive, Table II). */
+struct RecursionParams
+{
+    /** Number of PosMap ORAMs kept in memory (ORAM_1 .. ORAM_n). */
+    unsigned posmapLevels = 5;
+
+    /** log2(leaf entries per 64-byte PosMap block): 16 entries. */
+    unsigned leavesPerBlockLog2 = 4;
+
+    /** PLB capacity in 64-byte entries (64 KB / 64 B). */
+    unsigned plbEntries = 1024;
+
+    /** PLB associativity. */
+    unsigned plbWays = 8;
+};
+
+} // namespace secdimm::oram
+
+#endif // SECUREDIMM_ORAM_ORAM_PARAMS_HH

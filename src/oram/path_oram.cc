@@ -1,0 +1,231 @@
+#include "oram/path_oram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secdimm::oram
+{
+
+PathOram::PathOram(const OramParams &params,
+                   const crypto::Aes128Key &enc_key,
+                   const crypto::Aes128Key &mac_key, std::uint64_t seed,
+                   std::uint64_t store_salt)
+    : params_(params),
+      layout_(params.levels, params.linesPerBucket()),
+      store_(params.numBuckets(), params.bucketBlocks, enc_key, mac_key,
+             store_salt),
+      stash_(params.stashCapacity),
+      rng_(seed),
+      posMap_(params.capacityBlocks()),
+      expectedCounter_(params.numBuckets(), 1)
+{
+    // The BucketStore constructor wrote every bucket once (counter 1).
+    for (auto &leaf : posMap_)
+        leaf = rng_.nextBelow(params_.numLeaves());
+}
+
+LeafId
+PathOram::leafOf(Addr addr) const
+{
+    SD_ASSERT(addr < posMap_.size());
+    return posMap_[addr];
+}
+
+void
+PathOram::readPath(LeafId leaf)
+{
+    for (unsigned level = 0; level <= params_.levels; ++level) {
+        const std::uint64_t seq =
+            layout_.bucketSeq(pathBucket(leaf, level, params_.levels));
+        const BucketReadResult r = store_.readBucket(seq);
+        const bool counter_fresh =
+            store_.counter(seq) == expectedCounter_[seq];
+        if (!r.authentic || !counter_fresh) {
+            ++stats_.integrityFailures;
+            continue;
+        }
+        for (unsigned i = 0; i < r.bucket.z(); ++i) {
+            const BlockSlot &s = r.bucket.slot(i);
+            if (s.valid()) {
+                const bool ok = stash_.put(s.addr, s.leaf, s.data);
+                if (!ok) {
+                    panic("stash overflow: capacity %u exceeded while "
+                          "reading path to leaf %llu",
+                          stash_.capacity(),
+                          static_cast<unsigned long long>(leaf));
+                }
+            }
+        }
+    }
+}
+
+void
+PathOram::writePath(LeafId leaf)
+{
+    // Bottom-up greedy packing maximizes how deep blocks settle.
+    for (int level = static_cast<int>(params_.levels); level >= 0;
+         --level) {
+        const auto picked = stash_.evictForBucket(
+            leaf, static_cast<unsigned>(level), params_.levels,
+            params_.bucketBlocks);
+        Bucket bucket(params_.bucketBlocks);
+        for (std::size_t i = 0; i < picked.size(); ++i) {
+            bucket.slot(static_cast<unsigned>(i)) =
+                BlockSlot{picked[i].addr, picked[i].leaf,
+                          picked[i].data};
+        }
+        const std::uint64_t seq = layout_.bucketSeq(pathBucket(
+            leaf, static_cast<unsigned>(level), params_.levels));
+        store_.writeBucket(seq, bucket);
+        expectedCounter_[seq] = store_.counter(seq);
+    }
+}
+
+BlockData
+PathOram::access(Addr addr, OramOp op, const BlockData *new_data)
+{
+    SD_ASSERT(addr < posMap_.size());
+    ++stats_.accesses;
+
+    // Step 1: look up and remap the leaf.
+    const LeafId leaf = posMap_[addr];
+    const LeafId new_leaf = rng_.nextBelow(params_.numLeaves());
+    posMap_[addr] = new_leaf;
+    leafTrace_.push_back(leaf);
+
+    // Step 2: fetch the whole path into the stash.
+    readPath(leaf);
+
+    // Step 3: serve the block (uninitialized blocks read as zero).
+    StashEntry *entry = stash_.find(addr);
+    BlockData old_value{};
+    if (entry != nullptr) {
+        old_value = entry->data;
+        entry->leaf = new_leaf;
+        if (op == OramOp::Write) {
+            SD_ASSERT(new_data != nullptr);
+            entry->data = *new_data;
+        }
+    } else {
+        BlockData fresh{};
+        if (op == OramOp::Write) {
+            SD_ASSERT(new_data != nullptr);
+            fresh = *new_data;
+        }
+        if (!stash_.put(addr, new_leaf, fresh))
+            panic("stash overflow inserting accessed block");
+    }
+
+    // Step 4: write the path back.
+    writePath(leaf);
+
+    stats_.maxStashSize =
+        std::max(stats_.maxStashSize, stash_.maxSizeSeen());
+
+    // Background eviction keeps the stash comfortably below capacity.
+    while (stash_.size() > params_.stashCapacity / 2)
+        backgroundEvict();
+
+    return old_value;
+}
+
+BlockData
+PathOram::accessExplicit(Addr addr, LeafId old_leaf, LeafId new_leaf,
+                         OramOp op, const BlockData *new_data)
+{
+    SD_ASSERT(old_leaf < params_.numLeaves());
+    ++stats_.accesses;
+    leafTrace_.push_back(old_leaf);
+
+    readPath(old_leaf);
+
+    const bool remove = new_leaf == invalidLeaf;
+    StashEntry *entry = stash_.find(addr);
+    BlockData old_value{};
+    if (entry != nullptr) {
+        old_value = entry->data;
+        if (op == OramOp::Write) {
+            SD_ASSERT(new_data != nullptr);
+            entry->data = *new_data;
+        }
+        if (remove) {
+            stash_.erase(addr);
+        } else {
+            entry->leaf = new_leaf;
+        }
+    } else if (!remove) {
+        BlockData fresh{};
+        if (op == OramOp::Write) {
+            SD_ASSERT(new_data != nullptr);
+            fresh = *new_data;
+        }
+        if (!stash_.put(addr, new_leaf, fresh))
+            panic("stash overflow inserting accessed block");
+    } else if (op == OramOp::Write && new_data != nullptr) {
+        // Removing an uninitialized block: its post-write value
+        // travels with the caller (APPEND), nothing to keep here.
+        old_value = BlockData{};
+    }
+
+    writePath(old_leaf);
+    stats_.maxStashSize =
+        std::max(stats_.maxStashSize, stash_.maxSizeSeen());
+    while (stash_.size() > params_.stashCapacity / 2)
+        backgroundEvict();
+    return old_value;
+}
+
+BlockData
+PathOram::accessMutate(Addr addr, LeafId old_leaf, LeafId new_leaf,
+                       const std::function<void(BlockData &)> &mutate)
+{
+    SD_ASSERT(old_leaf < params_.numLeaves());
+    SD_ASSERT(new_leaf < params_.numLeaves());
+    ++stats_.accesses;
+    leafTrace_.push_back(old_leaf);
+
+    readPath(old_leaf);
+
+    StashEntry *entry = stash_.find(addr);
+    BlockData old_value{};
+    if (entry != nullptr) {
+        old_value = entry->data;
+        mutate(entry->data);
+        entry->leaf = new_leaf;
+    } else {
+        BlockData fresh{};
+        mutate(fresh);
+        if (!stash_.put(addr, new_leaf, fresh))
+            panic("stash overflow inserting mutated block");
+    }
+
+    writePath(old_leaf);
+    stats_.maxStashSize =
+        std::max(stats_.maxStashSize, stash_.maxSizeSeen());
+    while (stash_.size() > params_.stashCapacity / 2)
+        backgroundEvict();
+    return old_value;
+}
+
+bool
+PathOram::adoptBlock(Addr addr, LeafId local_leaf, const BlockData &data)
+{
+    SD_ASSERT(local_leaf < params_.numLeaves());
+    const bool ok = stash_.put(addr, local_leaf, data);
+    if (ok && stash_.size() > params_.stashCapacity / 2)
+        backgroundEvict();
+    return ok;
+}
+
+void
+PathOram::backgroundEvict()
+{
+    ++stats_.dummyAccesses;
+    const LeafId leaf = rng_.nextBelow(params_.numLeaves());
+    leafTrace_.push_back(leaf);
+    readPath(leaf);
+    writePath(leaf);
+}
+
+} // namespace secdimm::oram

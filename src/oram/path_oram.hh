@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Functional Path ORAM (Stefanov et al. [11]) with real encrypted
+ * storage: the authoritative implementation of accessORAM that the
+ * SDIMM protocols decompose.
+ *
+ * Integrity: every bucket is PMMAC-tagged; the controller mirrors the
+ * expected freshness counter for every bucket (standing in for the
+ * PMMAC counter chain of Freecursive [4]), so both tampering and
+ * rollback/replay are detected.
+ */
+
+#ifndef SECUREDIMM_ORAM_PATH_ORAM_HH
+#define SECUREDIMM_ORAM_PATH_ORAM_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "oram/bucket_store.hh"
+#include "oram/oram_params.hh"
+#include "oram/stash.hh"
+#include "oram/tree_layout.hh"
+#include "util/rng.hh"
+
+namespace secdimm::oram
+{
+
+/** Statistics of one PathOram instance. */
+struct PathOramStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t dummyAccesses = 0;   ///< Background evictions.
+    std::uint64_t integrityFailures = 0;
+    std::size_t maxStashSize = 0;
+};
+
+/** Functional single-tree Path ORAM. */
+class PathOram
+{
+  public:
+    PathOram(const OramParams &params, const crypto::Aes128Key &enc_key,
+             const crypto::Aes128Key &mac_key, std::uint64_t seed,
+             std::uint64_t store_salt = 0);
+
+    /**
+     * The accessORAM(a, op, d') interface of Section II-C.
+     *
+     * @param addr   block address in [0, capacityBlocks)
+     * @param op     read or write
+     * @param new_data payload for writes (ignored for reads)
+     * @return the block's (pre-write) content
+     */
+    BlockData access(Addr addr, OramOp op,
+                     const BlockData *new_data = nullptr);
+
+    /**
+     * accessORAM with an externally supplied leaf, for distributed
+     * frontends (the SDIMM Independent protocol keeps the PosMap at
+     * the CPU and ships leaves inside the ACCESS message).
+     *
+     * @param addr        block address (global; PosMap not consulted)
+     * @param old_leaf    current leaf within THIS tree
+     * @param new_leaf    new local leaf if the block stays in this
+     *                    tree; invalidLeaf if it is being removed
+     *                    (remapped to another SDIMM)
+     * @param op / new_data as access()
+     * @return the block's pre-write content
+     */
+    BlockData accessExplicit(Addr addr, LeafId old_leaf, LeafId new_leaf,
+                             OramOp op,
+                             const BlockData *new_data = nullptr);
+
+    /**
+     * Read-modify-write accessORAM with an explicit leaf: fetches the
+     * block, lets @p mutate edit it in place, and keeps it under
+     * @p new_leaf -- one path access, used by the recursive PosMap
+     * ORAMs to swap a child leaf inside a PosMap block.
+     *
+     * @return the block's PRE-mutation content
+     */
+    BlockData accessMutate(Addr addr, LeafId old_leaf, LeafId new_leaf,
+                           const std::function<void(BlockData &)> &mutate);
+
+    /**
+     * Service of an APPEND: adopt a block arriving from another
+     * SDIMM into the local stash (it settles into the tree on later
+     * path writes).  Returns false if the stash is full.
+     */
+    bool adoptBlock(Addr addr, LeafId local_leaf, const BlockData &data);
+
+    /**
+     * Dummy access draining the stash (background eviction, Ren et
+     * al. [10]): reads and rewrites a random path without touching
+     * any block.
+     */
+    void backgroundEvict();
+
+    /** Current leaf of a block (tests; a real controller hides this). */
+    LeafId leafOf(Addr addr) const;
+
+    /** Sequence of leaves touched, for obliviousness tests. */
+    const std::vector<LeafId> &leafTrace() const { return leafTrace_; }
+    void clearLeafTrace() { leafTrace_.clear(); }
+
+    const OramParams &params() const { return params_; }
+    const PathOramStats &stats() const { return stats_; }
+    std::size_t stashSize() const { return stash_.size(); }
+
+    /** Underlying untrusted store (tamper-injection in tests). */
+    BucketStore &store() { return store_; }
+
+    /** True while every MAC/counter check has passed. */
+    bool integrityOk() const { return stats_.integrityFailures == 0; }
+
+  private:
+    /** Read one path into the stash; verifies integrity. */
+    void readPath(LeafId leaf);
+
+    /** Greedily write the stash back onto one path. */
+    void writePath(LeafId leaf);
+
+    OramParams params_;
+    TreeLayout layout_;
+    BucketStore store_;
+    Stash stash_;
+    Rng rng_;
+
+    std::vector<LeafId> posMap_;
+    /** Controller-side mirror of bucket counters (replay detection). */
+    std::vector<std::uint64_t> expectedCounter_;
+
+    std::vector<LeafId> leafTrace_;
+    PathOramStats stats_;
+};
+
+} // namespace secdimm::oram
+
+#endif // SECUREDIMM_ORAM_PATH_ORAM_HH

@@ -1,0 +1,75 @@
+#include "oram/plb.hh"
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::oram
+{
+
+Plb::Plb(unsigned entries, unsigned ways) : ways_(ways)
+{
+    SD_ASSERT(ways >= 1);
+    SD_ASSERT(entries >= ways);
+    sets_ = entries / ways;
+    SD_ASSERT(isPowerOfTwo(sets_));
+    table_.resize(sets_ * ways_);
+}
+
+bool
+Plb::lookup(std::uint64_t key)
+{
+    const std::uint64_t set = (key ^ (key >> 17)) & (sets_ - 1);
+    Way *base = &table_[set * ways_];
+    ++clock_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].key == key) {
+            base[w].lastUse = clock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Plb::contains(std::uint64_t key) const
+{
+    const std::uint64_t set = (key ^ (key >> 17)) & (sets_ - 1);
+    const Way *base = &table_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].key == key)
+            return true;
+    }
+    return false;
+}
+
+void
+Plb::insert(std::uint64_t key)
+{
+    const std::uint64_t set = (key ^ (key >> 17)) & (sets_ - 1);
+    Way *base = &table_[set * ways_];
+    ++clock_;
+    // Refresh if present.
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].key == key) {
+            base[w].lastUse = clock_;
+            return;
+        }
+    }
+    unsigned victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lastUse < oldest) {
+            oldest = base[w].lastUse;
+            victim = w;
+        }
+    }
+    base[victim] = Way{true, key, clock_};
+}
+
+} // namespace secdimm::oram

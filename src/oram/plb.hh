@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PosMap Lookaside Buffer (Fletcher et al. [4]): a set-associative
+ * cache of PosMap blocks that short-circuits recursive PosMap ORAM
+ * accesses.  Keys are (posmap level, posmap block index) pairs.
+ */
+
+#ifndef SECUREDIMM_ORAM_PLB_HH
+#define SECUREDIMM_ORAM_PLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace secdimm::oram
+{
+
+/** Set-associative LRU cache over 64-bit keys. */
+class Plb
+{
+  public:
+    Plb(unsigned entries, unsigned ways);
+
+    /** Probe (and LRU-touch on hit). */
+    bool lookup(std::uint64_t key);
+
+    /** Install a key (evicting LRU in its set if needed). */
+    void insert(std::uint64_t key);
+
+    /** Probe without disturbing LRU state. */
+    bool contains(std::uint64_t key) const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t t = hits_ + misses_;
+        return t ? static_cast<double>(hits_) / t : 0.0;
+    }
+
+    /** Compose the canonical (level, block) key. */
+    static std::uint64_t
+    makeKey(unsigned level, std::uint64_t block_index)
+    {
+        return (static_cast<std::uint64_t>(level) << 56) |
+               (block_index & ((std::uint64_t{1} << 56) - 1));
+    }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned ways_;
+    std::uint64_t sets_;
+    std::vector<Way> table_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace secdimm::oram
+
+#endif // SECUREDIMM_ORAM_PLB_HH

@@ -1,0 +1,42 @@
+#include "oram/recursion.hh"
+
+namespace secdimm::oram
+{
+
+RecursionEngine::RecursionEngine(const RecursionParams &params)
+    : params_(params), plb_(params.plbEntries, params.plbWays)
+{
+}
+
+unsigned
+RecursionEngine::opsForAccess(std::uint64_t block_index)
+{
+    ++stats_.requests;
+
+    unsigned ops = params_.posmapLevels + 1; // Full miss: ORAM_n..ORAM_0.
+    unsigned walked = params_.posmapLevels;
+    for (unsigned level = 1; level <= params_.posmapLevels; ++level) {
+        const std::uint64_t pm_block =
+            block_index >> (params_.leavesPerBlockLog2 * level);
+        if (plb_.lookup(Plb::makeKey(level, pm_block))) {
+            // PLB holds the ORAM_level block: it already contains the
+            // leaf for the ORAM_{level-1} access, so `level` ops
+            // remain (ORAM_{level-1} .. ORAM_0).
+            ops = level;
+            walked = level;
+            break;
+        }
+    }
+
+    // The performed accesses fill the PLB with every walked block.
+    for (unsigned level = 1; level <= walked; ++level) {
+        const std::uint64_t pm_block =
+            block_index >> (params_.leavesPerBlockLog2 * level);
+        plb_.insert(Plb::makeKey(level, pm_block));
+    }
+
+    stats_.orams += ops;
+    return ops;
+}
+
+} // namespace secdimm::oram

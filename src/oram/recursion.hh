@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Freecursive recursion engine: decides how many accessORAM
+ * operations one LLC miss costs, by walking the PosMap hierarchy
+ * through the PLB (Fletcher et al. [4], Section II-D).
+ *
+ * To find data block b, the controller needs its leaf from PosMap
+ * block b>>g (an ORAM_1 block), whose leaf comes from b>>2g (ORAM_2),
+ * and so on (g = log2 leaves per PosMap block).  The walk stops at the
+ * first PosMap block the PLB holds; a full miss falls back to the
+ * on-chip PosMap of ORAM_n.  Accessing ORAM_i brings the walked
+ * PosMap blocks into the PLB.
+ */
+
+#ifndef SECUREDIMM_ORAM_RECURSION_HH
+#define SECUREDIMM_ORAM_RECURSION_HH
+
+#include <cstdint>
+
+#include "oram/oram_params.hh"
+#include "oram/plb.hh"
+
+namespace secdimm::oram
+{
+
+/** Recursion statistics. */
+struct RecursionStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t orams = 0; ///< Total accessORAM ops generated.
+
+    double
+    avgOramsPerRequest() const
+    {
+        return requests ? static_cast<double>(orams) / requests : 0.0;
+    }
+};
+
+/** PLB-based recursion depth calculator. */
+class RecursionEngine
+{
+  public:
+    explicit RecursionEngine(const RecursionParams &params);
+
+    /**
+     * Number of accessORAM operations needed to serve data block
+     * @p block_index, updating the PLB with the walked PosMap blocks.
+     * Always >= 1 (the data access itself).
+     */
+    unsigned opsForAccess(std::uint64_t block_index);
+
+    const RecursionStats &stats() const { return stats_; }
+    const Plb &plb() const { return plb_; }
+    const RecursionParams &params() const { return params_; }
+
+  private:
+    RecursionParams params_;
+    Plb plb_;
+    RecursionStats stats_;
+};
+
+} // namespace secdimm::oram
+
+#endif // SECUREDIMM_ORAM_RECURSION_HH

@@ -1,0 +1,212 @@
+#include "oram/recursive_oram.hh"
+
+#include <cstring>
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::oram
+{
+
+RecursiveOram::RecursiveOram(const Params &params, std::uint64_t seed)
+    : params_(params),
+      leavesPerBlockLog2_(params.leavesPerBlockLog2),
+      rng_(seed)
+{
+    SD_ASSERT((std::size_t{1} << leavesPerBlockLog2_) * 8 <=
+              blockBytes);
+    SD_ASSERT(params_.plbEntries >= 1);
+
+    // Build the tree chain: ORAM_0 is the data tree; each ORAM_{i+1}
+    // stores the leaves of ORAM_i's blocks, 2^g per block.
+    std::vector<std::uint64_t> sizes;
+    sizes.push_back(params_.data.capacityBlocks());
+    trees_.push_back(std::make_unique<PathOram>(
+        params_.data, crypto::makeKey(0x9000, seed),
+        crypto::makeKey(0x9001, seed), seed * 31 + 1,
+        /*store_salt=*/1000));
+
+    while (sizes.back() > params_.onChipMaxEntries) {
+        const std::uint64_t next =
+            divCeil(sizes.back(), leavesPerBlock());
+        OramParams p = params_.data;
+        p.levels = levelsForCapacity(next, p.bucketBlocks);
+        const unsigned level = static_cast<unsigned>(trees_.size());
+        trees_.push_back(std::make_unique<PathOram>(
+            p, crypto::makeKey(0x9000 + level, seed),
+            crypto::makeKey(0x9100 + level, seed),
+            seed * 31 + 1 + level, /*store_salt=*/1000 + level));
+        sizes.push_back(next);
+    }
+
+    // On-chip PosMap: the leaves of the TOP tree's blocks.  Leaf 0 is
+    // the uninitialized default; untouched blocks are simply absent
+    // from their tree, so any leaf value is a correct starting point.
+    onChip_.assign(sizes.back(), 0);
+}
+
+std::uint64_t
+RecursiveOram::capacityBlocks() const
+{
+    return params_.data.capacityBlocks();
+}
+
+BlockData
+RecursiveOram::packLeaves(const std::vector<LeafId> &leaves) const
+{
+    SD_ASSERT(leaves.size() == leavesPerBlock());
+    BlockData d{};
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+        std::memcpy(d.data() + 8 * i, &leaves[i], 8);
+    return d;
+}
+
+std::vector<LeafId>
+RecursiveOram::unpackLeaves(const BlockData &data) const
+{
+    std::vector<LeafId> leaves(leavesPerBlock());
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+        std::memcpy(&leaves[i], data.data() + 8 * i, 8);
+    return leaves;
+}
+
+LeafId
+RecursiveOram::fetchAndRemapLeaf(unsigned level, Addr idx,
+                                 LeafId new_leaf, bool allow_plb_fill)
+{
+    const unsigned top = static_cast<unsigned>(trees_.size()) - 1;
+    if (level == top) {
+        SD_ASSERT(idx < onChip_.size());
+        const LeafId old = onChip_[idx];
+        onChip_[idx] = new_leaf;
+        return old;
+    }
+
+    const unsigned parent_level = level + 1;
+    const Addr parent_idx = idx >> leavesPerBlockLog2_;
+    const unsigned slot =
+        static_cast<unsigned>(idx & (leavesPerBlock() - 1));
+    const std::uint64_t key = plbKey(parent_level, parent_idx);
+
+    auto it = plb_.find(key);
+    if (it != plb_.end()) {
+        ++stats_.plbHits;
+        plbLru_.erase(it->second.lruIt);
+        plbLru_.push_front(key);
+        it->second.lruIt = plbLru_.begin();
+        const LeafId old = it->second.leaves[slot];
+        it->second.leaves[slot] = new_leaf;
+        it->second.dirty = true;
+        return old;
+    }
+    ++stats_.plbMisses;
+
+    // Miss: access the parent PosMap block in ORAM_{parent_level},
+    // remapping it as a side effect (every touched block moves).
+    const LeafId parent_new =
+        rng_.nextBelow(trees_[parent_level]->params().numLeaves());
+    const LeafId parent_old = fetchAndRemapLeaf(
+        parent_level, parent_idx, parent_new, allow_plb_fill);
+
+    LeafId old = 0;
+    std::vector<LeafId> after;
+    trees_[parent_level]->accessMutate(
+        parent_idx, parent_old, parent_new,
+        [&](BlockData &d) {
+            auto leaves = unpackLeaves(d);
+            old = leaves[slot];
+            leaves[slot] = new_leaf;
+            d = packLeaves(leaves);
+            after = std::move(leaves);
+        });
+    ++stats_.treeAccesses;
+
+    if (allow_plb_fill)
+        plbInsert(parent_level, parent_idx, std::move(after),
+                  /*dirty=*/false);
+    return old;
+}
+
+void
+RecursiveOram::plbInsert(unsigned level, Addr block,
+                         std::vector<LeafId> leaves, bool dirty)
+{
+    const std::uint64_t key = plbKey(level, block);
+    auto it = plb_.find(key);
+    if (it != plb_.end()) {
+        it->second.leaves = std::move(leaves);
+        it->second.dirty = it->second.dirty || dirty;
+        plbLru_.erase(it->second.lruIt);
+        plbLru_.push_front(key);
+        it->second.lruIt = plbLru_.begin();
+        return;
+    }
+
+    while (plb_.size() >= params_.plbEntries) {
+        const std::uint64_t victim_key = plbLru_.back();
+        plbLru_.pop_back();
+        auto vit = plb_.find(victim_key);
+        SD_ASSERT(vit != plb_.end());
+        const bool victim_dirty = vit->second.dirty;
+        const std::vector<LeafId> victim_leaves =
+            std::move(vit->second.leaves);
+        plb_.erase(vit);
+        if (victim_dirty) {
+            writeBackPosmapBlock(
+                static_cast<unsigned>(victim_key >> 48),
+                victim_key & ((1ULL << 48) - 1), victim_leaves);
+        }
+    }
+
+    plbLru_.push_front(key);
+    PlbEntry entry;
+    entry.leaves = std::move(leaves);
+    entry.dirty = dirty;
+    entry.lruIt = plbLru_.begin();
+    plb_.emplace(key, std::move(entry));
+}
+
+void
+RecursiveOram::writeBackPosmapBlock(unsigned level, Addr block,
+                                    const std::vector<LeafId> &leaves)
+{
+    ++stats_.plbWritebacks;
+    const LeafId new_leaf =
+        rng_.nextBelow(trees_[level]->params().numLeaves());
+    // No PLB fill during write-back, so eviction cannot cascade.
+    const LeafId old_leaf =
+        fetchAndRemapLeaf(level, block, new_leaf, /*allow_fill=*/false);
+    trees_[level]->accessMutate(block, old_leaf, new_leaf,
+                                [&](BlockData &d) {
+                                    d = packLeaves(leaves);
+                                });
+    ++stats_.treeAccesses;
+}
+
+BlockData
+RecursiveOram::access(Addr addr, OramOp op, const BlockData *new_data)
+{
+    SD_ASSERT(addr < capacityBlocks());
+    ++stats_.requests;
+    const LeafId new_leaf =
+        rng_.nextBelow(trees_[0]->params().numLeaves());
+    const LeafId old_leaf =
+        fetchAndRemapLeaf(0, addr, new_leaf, /*allow_fill=*/true);
+    const BlockData result =
+        trees_[0]->accessExplicit(addr, old_leaf, new_leaf, op,
+                                  new_data);
+    ++stats_.treeAccesses;
+    return result;
+}
+
+bool
+RecursiveOram::integrityOk() const
+{
+    for (const auto &tree : trees_) {
+        if (!tree->integrityOk())
+            return false;
+    }
+    return true;
+}
+
+} // namespace secdimm::oram

@@ -1,0 +1,68 @@
+#include "oram/stash.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secdimm::oram
+{
+
+bool
+Stash::put(Addr addr, LeafId leaf, const BlockData &data)
+{
+    auto it = entries_.find(addr);
+    if (it != entries_.end()) {
+        it->second.leaf = leaf;
+        it->second.data = data;
+        return true;
+    }
+    if (entries_.size() >= capacity_)
+        return false;
+    entries_.emplace(addr, StashEntry{addr, leaf, data});
+    maxSize_ = std::max(maxSize_, entries_.size());
+    return true;
+}
+
+StashEntry *
+Stash::find(Addr addr)
+{
+    auto it = entries_.find(addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const StashEntry *
+Stash::find(Addr addr) const
+{
+    auto it = entries_.find(addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+Stash::erase(Addr addr)
+{
+    return entries_.erase(addr) != 0;
+}
+
+std::vector<StashEntry>
+Stash::evictForBucket(LeafId path_leaf, unsigned level,
+                      unsigned tree_levels, unsigned z)
+{
+    SD_ASSERT(level <= tree_levels);
+    const unsigned shift = tree_levels - level;
+    const std::uint64_t bucket_index = path_leaf >> shift;
+
+    std::vector<StashEntry> picked;
+    picked.reserve(z);
+    for (auto it = entries_.begin();
+         it != entries_.end() && picked.size() < z;) {
+        if ((it->second.leaf >> shift) == bucket_index) {
+            picked.push_back(it->second);
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return picked;
+}
+
+} // namespace secdimm::oram

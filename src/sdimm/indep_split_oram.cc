@@ -1,0 +1,96 @@
+#include "sdimm/indep_split_oram.hh"
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::sdimm
+{
+
+IndepSplitOram::IndepSplitOram(const Params &params, std::uint64_t seed)
+    : params_(params),
+      localLevels_(params.perGroupTree.levels),
+      rng_(seed)
+{
+    SD_ASSERT(isPowerOfTwo(params_.groups));
+    for (unsigned g = 0; g < params_.groups; ++g) {
+        SplitOram::Params sp;
+        sp.tree = params_.perGroupTree;
+        sp.slices = params_.slicesPerGroup;
+        groups_.push_back(
+            std::make_unique<SplitOram>(sp, seed * 2654435761u + g));
+    }
+    const std::uint64_t global_leaves =
+        static_cast<std::uint64_t>(params_.groups) *
+        params_.perGroupTree.numLeaves();
+    posMap_.resize(capacityBlocks());
+    for (auto &leaf : posMap_)
+        leaf = rng_.nextBelow(global_leaves);
+}
+
+std::uint64_t
+IndepSplitOram::capacityBlocks() const
+{
+    return static_cast<std::uint64_t>(params_.groups) *
+           params_.perGroupTree.capacityBlocks();
+}
+
+unsigned
+IndepSplitOram::groupOf(LeafId global_leaf) const
+{
+    return static_cast<unsigned>(global_leaf >> localLevels_);
+}
+
+LeafId
+IndepSplitOram::localLeaf(LeafId global_leaf) const
+{
+    return global_leaf & ((LeafId{1} << localLevels_) - 1);
+}
+
+BlockData
+IndepSplitOram::access(Addr addr, oram::OramOp op,
+                       const BlockData *new_data)
+{
+    SD_ASSERT(addr < posMap_.size());
+    const bool write = op == oram::OramOp::Write;
+    SD_ASSERT(!write || new_data != nullptr);
+
+    const LeafId old_leaf = posMap_[addr];
+    const std::uint64_t global_leaves =
+        static_cast<std::uint64_t>(params_.groups) *
+        params_.perGroupTree.numLeaves();
+    const LeafId new_leaf = rng_.nextBelow(global_leaves);
+    posMap_[addr] = new_leaf;
+
+    const unsigned src = groupOf(old_leaf);
+    const unsigned dst = groupOf(new_leaf);
+    const bool stays = src == dst;
+
+    // The Split access inside the source group (the ACCESS command).
+    busTrace_.push_back({SdimmCommandType::Access, src});
+    const BlockData old = groups_[src]->accessExplicit(
+        addr, localLeaf(old_leaf),
+        stays ? localLeaf(new_leaf) : invalidLeaf, op, new_data);
+
+    // Independent dimension: one APPEND per group (real only at the
+    // destination, and only when the block actually moved).
+    for (unsigned g = 0; g < params_.groups; ++g) {
+        busTrace_.push_back({SdimmCommandType::Append, g});
+        if (!stays && g == dst) {
+            groups_[g]->adoptBlock(addr, localLeaf(new_leaf),
+                                   write ? *new_data : old);
+        }
+    }
+    return old;
+}
+
+bool
+IndepSplitOram::integrityOk() const
+{
+    for (const auto &g : groups_) {
+        if (!g->integrityOk())
+            return false;
+    }
+    return true;
+}
+
+} // namespace secdimm::sdimm

@@ -1,0 +1,171 @@
+#include "sdimm/independent_backend.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secdimm::sdimm
+{
+
+IndependentBackend::IndependentBackend(const SdimmTimingConfig &config,
+                                       std::uint64_t seed)
+    : config_(config), recursion_(config.recursion), rng_(seed)
+{
+    SD_ASSERT(config_.numSdimms >= 1);
+    SD_ASSERT(config_.cpuChannels >= 1);
+    for (unsigned i = 0; i < config_.numSdimms; ++i) {
+        executors_.push_back(std::make_unique<PathExecutor>(
+            "sdimm" + std::to_string(i), config_.perSdimm,
+            config_.timing, config_.sdimmGeom, config_.lowPower,
+            seed * 7919 + i));
+        executors_.back()->setOpDoneCallback(
+            [this](std::uint64_t tag, Tick avail) {
+                onOpDone(tag, avail);
+            });
+    }
+    for (unsigned c = 0; c < config_.cpuChannels; ++c)
+        buses_.push_back(std::make_unique<LinkBus>(config_.timing));
+}
+
+void
+IndependentBackend::setCompletionCallback(CompletionFn fn)
+{
+    onComplete_ = std::move(fn);
+}
+
+bool
+IndependentBackend::canAccept() const
+{
+    return jobs_.size() < jobCapacity_;
+}
+
+unsigned
+IndependentBackend::busOf(unsigned sdimm) const
+{
+    return sdimm % config_.cpuChannels;
+}
+
+void
+IndependentBackend::access(std::uint64_t id, Addr byte_addr, bool write,
+                           Tick now)
+{
+    (void)write;
+    SD_ASSERT(canAccept());
+    const std::uint64_t block = byte_addr / blockBytes;
+    const unsigned ops = recursion_.opsForAccess(block);
+    jobs_.emplace(id, Job{id, ops});
+    startOp(id, now);
+}
+
+void
+IndependentBackend::startOp(std::uint64_t job_id, Tick ready_at)
+{
+    // The op's leaf is uniformly random, so the target SDIMM is too.
+    const unsigned sdimm =
+        static_cast<unsigned>(rng_.nextBelow(config_.numSdimms));
+
+    // ACCESS long command: header + one (possibly dummy) block.
+    LinkBus &bus = *buses_[busOf(sdimm)];
+    const Tick issued = bus.transferBytes(ready_at, 8 + 89);
+
+    const std::uint64_t tag = nextTag_++;
+    ops_.emplace(tag, OpRef{job_id, sdimm, issued, /*drain=*/false});
+    executors_[sdimm]->submitOp(tag, issued + config_.perSdimm.encLatency);
+}
+
+void
+IndependentBackend::onOpDone(std::uint64_t tag, Tick avail)
+{
+    auto it = ops_.find(tag);
+    SD_ASSERT(it != ops_.end());
+    const OpRef ref = it->second;
+    ops_.erase(it);
+
+    if (ref.drain) {
+        return; // Drain ops have no CPU-visible result.
+    }
+
+    LinkBus &bus = *buses_[busOf(ref.sdimm)];
+
+    // PROBE polling: the CPU polls every probeInterval cycles from op
+    // issue; the positive probe lands at the first poll tick >= avail.
+    const Cycles interval = config_.probeInterval;
+    std::uint64_t polls = 1;
+    if (avail > ref.issuedAt)
+        polls = (avail - ref.issuedAt + interval - 1) / interval;
+    const Tick observed = ref.issuedAt + polls * interval;
+    for (std::uint64_t p = 0; p < polls; ++p)
+        bus.shortCommand(ref.issuedAt + (p + 1) * interval, true);
+
+    // FETCH_RESULT: one burst carrying the (sealed) block.
+    const Tick fetched = bus.transferBytes(observed, 8 + 65);
+    const Tick done = fetched + config_.perSdimm.encLatency;
+
+    // APPEND to every SDIMM (one real, rest dummies).
+    Tick appends_done = fetched;
+    for (unsigned i = 0; i < config_.numSdimms; ++i) {
+        appends_done =
+            std::max(appends_done,
+                     buses_[busOf(i)]->transferBytes(fetched, 8 + 81));
+    }
+
+    // Occasional extra drain accessORAM at the APPEND destination
+    // (Section IV-C overflow avoidance).
+    if (rng_.nextBool(config_.drainProb)) {
+        const unsigned dst =
+            static_cast<unsigned>(rng_.nextBelow(config_.numSdimms));
+        const std::uint64_t drain_tag = nextTag_++;
+        ops_.emplace(drain_tag, OpRef{0, dst, appends_done, true});
+        executors_[dst]->submitOp(drain_tag, appends_done);
+        ++drainOps_;
+    }
+
+    auto jit = jobs_.find(ref.jobId);
+    SD_ASSERT(jit != jobs_.end());
+    Job &job = jit->second;
+    SD_ASSERT(job.opsLeft > 0);
+    --job.opsLeft;
+    if (job.opsLeft == 0) {
+        if (onComplete_)
+            onComplete_(job.id, done);
+        jobs_.erase(jit);
+    } else {
+        startOp(ref.jobId, done);
+    }
+}
+
+Tick
+IndependentBackend::nextEventAt() const
+{
+    Tick best = tickNever;
+    for (const auto &e : executors_)
+        best = std::min(best, e->nextEventAt());
+    return best;
+}
+
+void
+IndependentBackend::advanceTo(Tick now)
+{
+    for (auto &e : executors_)
+        e->advanceTo(now);
+}
+
+bool
+IndependentBackend::idle() const
+{
+    if (!jobs_.empty())
+        return false;
+    return std::all_of(executors_.begin(), executors_.end(),
+                       [](const auto &e) { return e->idle(); });
+}
+
+std::uint64_t
+IndependentBackend::offDimmLines() const
+{
+    double lines = 0;
+    for (const auto &b : buses_)
+        lines += b->stats().lineEquivalents();
+    return static_cast<std::uint64_t>(lines + 0.5);
+}
+
+} // namespace secdimm::sdimm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Timing model of the Independent SDIMM protocol (Section III-C).
+ * The CPU-side frontend (PLB + PosMap) turns each LLC miss into 1..n+1
+ * accessORAM ops; each op is shipped to a (random-leaf-determined)
+ * SDIMM with an ACCESS long command, executed entirely inside that
+ * SDIMM by its PathExecutor, polled with PROBEs, fetched with
+ * FETCH_RESULT, and finished with one APPEND to every SDIMM.  Only
+ * those few bursts touch the CPU channel; the 2(Z+1)L path lines stay
+ * on the DIMM.
+ */
+
+#ifndef SECUREDIMM_SDIMM_INDEPENDENT_BACKEND_HH
+#define SECUREDIMM_SDIMM_INDEPENDENT_BACKEND_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "oram/recursion.hh"
+#include "sdimm/link_bus.hh"
+#include "sdimm/path_executor.hh"
+#include "trace/memory_backend.hh"
+
+namespace secdimm::sdimm
+{
+
+/** Shared configuration of the SDIMM timing backends. */
+struct SdimmTimingConfig
+{
+    oram::OramParams perSdimm;   ///< Local tree of each SDIMM.
+    oram::RecursionParams recursion;
+    unsigned numSdimms = 2;
+    unsigned cpuChannels = 1;    ///< LinkBus count (SDIMMs round-robin).
+    dram::TimingParams timing;   ///< Shared DDR timing.
+    dram::Geometry sdimmGeom;    ///< Internal geometry of one SDIMM.
+    bool lowPower = true;        ///< Section III-E layout/power-down.
+    Cycles probeInterval = 32;   ///< PROBE polling cadence.
+
+    /**
+     * Transfer-queue drain probability p (Section IV-C).  With the
+     * 8 KB buffer (128 entries), p = 0.1 gives rho = 0.71 and an
+     * overflow probability ~1e-19 (see analytic::mm1k) at a 10%
+     * accessORAM overhead.
+     */
+    double drainProb = 0.1;
+
+    SdimmTimingConfig()
+    {
+        sdimmGeom.channels = 1;
+        sdimmGeom.ranksPerChannel = 4; // Quad-rank SDIMM (Sec III-E).
+    }
+};
+
+/** Independent-protocol MemoryBackend. */
+class IndependentBackend : public MemoryBackend
+{
+  public:
+    IndependentBackend(const SdimmTimingConfig &config,
+                       std::uint64_t seed = 1);
+
+    void setCompletionCallback(CompletionFn fn) override;
+    bool canAccept() const override;
+    void access(std::uint64_t id, Addr byte_addr, bool write,
+                Tick now) override;
+    Tick nextEventAt() const override;
+    void advanceTo(Tick now) override;
+    bool idle() const override;
+
+    const SdimmTimingConfig &config() const { return config_; }
+    PathExecutor &executor(unsigned i) { return *executors_[i]; }
+    const PathExecutor &executor(unsigned i) const
+    {
+        return *executors_[i];
+    }
+    LinkBus &bus(unsigned channel) { return *buses_[channel]; }
+    const LinkBus &bus(unsigned channel) const { return *buses_[channel]; }
+    unsigned busCount() const
+    {
+        return static_cast<unsigned>(buses_.size());
+    }
+
+    const oram::RecursionEngine &recursion() const { return recursion_; }
+    std::uint64_t drainOps() const { return drainOps_; }
+
+    /** Sum of off-DIMM (CPU channel) data lines. */
+    std::uint64_t offDimmLines() const;
+
+  private:
+    struct Job
+    {
+        std::uint64_t id;
+        unsigned opsLeft;
+    };
+
+    void startOp(std::uint64_t job_id, Tick ready_at);
+    void onOpDone(std::uint64_t tag, Tick avail);
+    unsigned busOf(unsigned sdimm) const;
+
+    SdimmTimingConfig config_;
+    oram::RecursionEngine recursion_;
+    Rng rng_;
+    CompletionFn onComplete_;
+
+    std::vector<std::unique_ptr<PathExecutor>> executors_;
+    std::vector<std::unique_ptr<LinkBus>> buses_;
+
+    std::unordered_map<std::uint64_t, Job> jobs_;
+    /** Executor op tag -> (job id, source sdimm). */
+    struct OpRef
+    {
+        std::uint64_t jobId;
+        unsigned sdimm;
+        Tick issuedAt;
+        bool drain;
+    };
+    std::unordered_map<std::uint64_t, OpRef> ops_;
+    std::uint64_t nextTag_ = 1;
+    std::uint64_t drainOps_ = 0;
+
+    static constexpr std::size_t jobCapacity_ = 16;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_INDEPENDENT_BACKEND_HH

@@ -1,0 +1,134 @@
+#include "sdimm/independent_oram.hh"
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::sdimm
+{
+
+IndependentOram::IndependentOram(const Params &params, std::uint64_t seed)
+    : params_(params),
+      localLevels_(params.perSdimm.levels),
+      rng_(seed)
+{
+    SD_ASSERT(isPowerOfTwo(params_.numSdimms));
+    for (unsigned i = 0; i < params_.numSdimms; ++i) {
+        buffers_.push_back(std::make_unique<SecureBuffer>(
+            params_.perSdimm, i, seed * 1000003 + i,
+            params_.transferCapacity, params_.drainProb, rng_));
+    }
+    const std::uint64_t global_leaves =
+        static_cast<std::uint64_t>(params_.numSdimms) *
+        params_.perSdimm.numLeaves();
+    posMap_.resize(capacityBlocks());
+    for (auto &leaf : posMap_)
+        leaf = rng_.nextBelow(global_leaves);
+}
+
+std::uint64_t
+IndependentOram::capacityBlocks() const
+{
+    return static_cast<std::uint64_t>(params_.numSdimms) *
+           params_.perSdimm.capacityBlocks();
+}
+
+unsigned
+IndependentOram::sdimmOf(LeafId global_leaf) const
+{
+    return static_cast<unsigned>(global_leaf >> localLevels_);
+}
+
+LeafId
+IndependentOram::localLeaf(LeafId global_leaf) const
+{
+    return global_leaf & ((LeafId{1} << localLevels_) - 1);
+}
+
+BlockData
+IndependentOram::access(Addr addr, oram::OramOp op,
+                        const BlockData *new_data)
+{
+    SD_ASSERT(addr < posMap_.size());
+    const bool write = op == oram::OramOp::Write;
+    SD_ASSERT(!write || new_data != nullptr);
+
+    // Frontend: look up and remap the global leaf.
+    const LeafId old_leaf = posMap_[addr];
+    const std::uint64_t global_leaves =
+        static_cast<std::uint64_t>(params_.numSdimms) *
+        params_.perSdimm.numLeaves();
+    const LeafId new_leaf = rng_.nextBelow(global_leaves);
+    posMap_[addr] = new_leaf;
+
+    const unsigned src = sdimmOf(old_leaf);
+    const unsigned dst = sdimmOf(new_leaf);
+    const bool stays = src == dst;
+
+    // Step 1-2: sealed ACCESS to the source SDIMM (a read still
+    // carries one -- dummy -- data block so the operation type is
+    // hidden; the fixed message size realizes that).
+    AccessRequest req;
+    req.addr = addr;
+    req.localLeaf = localLeaf(old_leaf);
+    req.newLocalLeaf = stays ? localLeaf(new_leaf) : invalidLeaf;
+    req.write = write;
+    if (write)
+        req.data = *new_data;
+    SealedMessage access_msg =
+        buffers_[src]->cpuLink().seal(0x02, packAccess(req));
+    busTrace_.push_back(
+        {SdimmCommandType::Access, src, access_msg.body.size()});
+
+    // Steps 3-5 happen inside the SDIMM; the CPU polls (PROBE) and
+    // fetches the response.
+    const SealedMessage resp_msg = buffers_[src]->handleAccess(access_msg);
+    busTrace_.push_back({SdimmCommandType::Probe, src, 0});
+    busTrace_.push_back(
+        {SdimmCommandType::FetchResult, src, resp_msg.body.size()});
+
+    auto resp_plain = buffers_[src]->cpuLink().unseal(resp_msg);
+    if (!resp_plain)
+        panic("CPU: SDIMM %u response failed authentication", src);
+    const AccessResponse resp = unpackResponse(*resp_plain);
+
+    // The value returned to the LLC (pre-write content).
+    BlockData result{};
+    if (!resp.dummy)
+        result = resp.data;
+    if (write && resp.dummy) {
+        // Local write: the SDIMM kept the (updated) block; the old
+        // value is not needed by the caller in this protocol.
+        result = BlockData{};
+    }
+
+    // Step 6: one APPEND to every SDIMM; only the destination's is
+    // real (and only if the block actually moved).
+    for (unsigned i = 0; i < params_.numSdimms; ++i) {
+        AppendRequest app;
+        app.real = !stays && i == dst;
+        if (app.real) {
+            app.addr = addr;
+            app.localLeaf = localLeaf(new_leaf);
+            app.data = write ? *new_data : resp.data;
+        }
+        SealedMessage app_msg =
+            buffers_[i]->cpuLink().seal(0x03, packAppend(app));
+        busTrace_.push_back(
+            {SdimmCommandType::Append, i, app_msg.body.size()});
+        buffers_[i]->handleAppend(app_msg);
+    }
+
+    return result;
+}
+
+bool
+IndependentOram::integrityOk() const
+{
+    for (const auto &b : buffers_) {
+        if (!b->integrityOk())
+            return false;
+    }
+    return true;
+}
+
+} // namespace secdimm::sdimm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional Independent ORAM (Section III-C): the address space is
+ * partitioned across SDIMMs by the top bits of the (global) leaf ID;
+ * each SDIMM runs a complete local Path ORAM.  The CPU keeps the
+ * PosMap/frontend; per access it sends one ACCESS to the
+ * leaf-determined SDIMM, polls with PROBE, FETCHes the result, and
+ * obfuscates the block's relocation with one APPEND to *every* SDIMM
+ * (exactly one carries the real block).
+ */
+
+#ifndef SECUREDIMM_SDIMM_INDEPENDENT_ORAM_HH
+#define SECUREDIMM_SDIMM_INDEPENDENT_ORAM_HH
+
+#include <memory>
+#include <vector>
+
+#include "oram/path_oram.hh"
+#include "sdimm/sdimm_command.hh"
+#include "sdimm/secure_buffer.hh"
+
+namespace secdimm::sdimm
+{
+
+/** One observable transaction on the (untrusted) memory channel. */
+struct BusEvent
+{
+    SdimmCommandType type;
+    unsigned sdimm;
+    std::size_t bytes; ///< Sealed payload size (0 for short commands).
+};
+
+/** Functional distributed Independent ORAM. */
+class IndependentOram
+{
+  public:
+    struct Params
+    {
+        oram::OramParams perSdimm; ///< Local tree of EACH SDIMM.
+        unsigned numSdimms = 2;    ///< Power of two.
+        std::size_t transferCapacity = 64;
+        double drainProb = 0.25;
+    };
+
+    IndependentOram(const Params &params, std::uint64_t seed);
+
+    /** Total data capacity in blocks. */
+    std::uint64_t capacityBlocks() const;
+
+    /** accessORAM against the distributed tree. */
+    BlockData access(Addr addr, oram::OramOp op,
+                     const BlockData *new_data = nullptr);
+
+    /** Bus transactions observed so far (obliviousness tests). */
+    const std::vector<BusEvent> &busTrace() const { return busTrace_; }
+    void clearBusTrace() { busTrace_.clear(); }
+
+    unsigned numSdimms() const { return params_.numSdimms; }
+    SecureBuffer &buffer(unsigned i) { return *buffers_[i]; }
+    const SecureBuffer &buffer(unsigned i) const { return *buffers_[i]; }
+
+    /** Every tree, link, and queue check passed so far. */
+    bool integrityOk() const;
+
+    /** Current global leaf of a block (tests only). */
+    LeafId leafOf(Addr addr) const { return posMap_.at(addr); }
+
+  private:
+    unsigned sdimmOf(LeafId global_leaf) const;
+    LeafId localLeaf(LeafId global_leaf) const;
+
+    Params params_;
+    unsigned localLevels_;
+    Rng rng_;
+    std::vector<std::unique_ptr<SecureBuffer>> buffers_;
+    std::vector<LeafId> posMap_;
+    std::vector<BusEvent> busTrace_;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_INDEPENDENT_ORAM_HH

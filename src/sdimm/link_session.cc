@@ -1,0 +1,123 @@
+#include "sdimm/link_session.hh"
+
+#include <cstring>
+
+namespace secdimm::sdimm
+{
+
+namespace
+{
+
+/** Nonce domain separating link traffic from bucket encryption. */
+constexpr std::uint64_t linkNonce = 0x4c494e4bULL << 32; // "LINK"
+
+} // namespace
+
+LinkEndpoint::LinkEndpoint(const crypto::Aes128Key &up_key,
+                           const crypto::Aes128Key &down_key, bool is_cpu)
+    : upCipher_(up_key),
+      downCipher_(down_key),
+      upMac_(crypto::makeKey(0x6d61632d7570ULL, 0)), // placeholder, reset
+      downMac_(crypto::makeKey(0x6d61632d646eULL, 0)),
+      isCpu_(is_cpu)
+{
+    // Derive MAC keys from the direction keys so both ends agree.
+    crypto::Aes128Key up_mac = up_key;
+    crypto::Aes128Key down_mac = down_key;
+    for (auto &b : up_mac)
+        b ^= 0xa5;
+    for (auto &b : down_mac)
+        b ^= 0x5a;
+    upMac_ = crypto::Cmac(up_mac);
+    downMac_ = crypto::Cmac(down_mac);
+}
+
+const crypto::CtrCipher &
+LinkEndpoint::txCipher() const
+{
+    return isCpu_ ? upCipher_ : downCipher_;
+}
+
+const crypto::CtrCipher &
+LinkEndpoint::rxCipher() const
+{
+    return isCpu_ ? downCipher_ : upCipher_;
+}
+
+const crypto::Cmac &
+LinkEndpoint::txMac() const
+{
+    return isCpu_ ? upMac_ : downMac_;
+}
+
+const crypto::Cmac &
+LinkEndpoint::rxMac() const
+{
+    return isCpu_ ? downMac_ : upMac_;
+}
+
+crypto::Tag64
+LinkEndpoint::messageTag(const crypto::Cmac &mac,
+                         const SealedMessage &msg) const
+{
+    std::vector<std::uint8_t> buf(9 + msg.body.size());
+    buf[0] = msg.opcode;
+    std::memcpy(buf.data() + 1, &msg.seq, 8);
+    std::memcpy(buf.data() + 9, msg.body.data(), msg.body.size());
+    const crypto::Aes128Block full = mac.compute(buf.data(), buf.size());
+    crypto::Tag64 t;
+    std::memcpy(&t, full.data(), 8);
+    return t;
+}
+
+SealedMessage
+LinkEndpoint::seal(std::uint8_t opcode,
+                   const std::vector<std::uint8_t> &plaintext)
+{
+    SealedMessage msg;
+    msg.opcode = opcode;
+    msg.seq = sendSeq_++;
+    msg.body = plaintext;
+    txCipher().transformBuffer(msg.body.data(), msg.body.size(),
+                               linkNonce | opcode, msg.seq);
+    msg.mac = messageTag(txMac(), msg);
+    return msg;
+}
+
+std::optional<std::vector<std::uint8_t>>
+LinkEndpoint::unseal(const SealedMessage &msg)
+{
+    if (msg.seq < nextRecvSeq_) {
+        ++authFailures_; // Replay.
+        return std::nullopt;
+    }
+    if (messageTag(rxMac(), msg) != msg.mac) {
+        ++authFailures_;
+        return std::nullopt;
+    }
+    nextRecvSeq_ = msg.seq + 1;
+    std::vector<std::uint8_t> plain = msg.body;
+    rxCipher().transformBuffer(plain.data(), plain.size(),
+                               linkNonce | msg.opcode, msg.seq);
+    return plain;
+}
+
+std::pair<LinkEndpoint, LinkEndpoint>
+establishLink(Rng &rng)
+{
+    // SEND_PKEY / RECEIVE_SECRET: each end contributes a DH half.
+    const crypto::DhKeyPair cpu = crypto::dhGenerate(rng);
+    const crypto::DhKeyPair dimm = crypto::dhGenerate(rng);
+    const std::uint64_t shared_cpu = crypto::dhShared(cpu.priv, dimm.pub);
+    const std::uint64_t shared_dimm =
+        crypto::dhShared(dimm.priv, cpu.pub);
+    // Both ends derive identical direction keys.
+    const auto up_c = crypto::deriveSessionKey(shared_cpu, 0);
+    const auto down_c = crypto::deriveSessionKey(shared_cpu, 1);
+    const auto up_d = crypto::deriveSessionKey(shared_dimm, 0);
+    const auto down_d = crypto::deriveSessionKey(shared_dimm, 1);
+    return {LinkEndpoint(up_c, down_c, true),
+            LinkEndpoint(up_d, down_d, false)};
+}
+
+} // namespace secdimm::sdimm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The encrypted CPU<->secure-buffer link of Section III-B: session
+ * keys established at boot (SEND_PKEY / RECEIVE_SECRET over a DH
+ * exchange), then counter-mode AES with per-direction counters and a
+ * CMAC over every message.  Replay of an old message or any bit flip
+ * fails unseal().
+ */
+
+#ifndef SECUREDIMM_SDIMM_LINK_SESSION_HH
+#define SECUREDIMM_SDIMM_LINK_SESSION_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/cmac.hh"
+#include "crypto/ctr_mode.hh"
+#include "crypto/key_exchange.hh"
+#include "crypto/pmmac.hh"
+#include "util/rng.hh"
+
+namespace secdimm::sdimm
+{
+
+/** Wire form of one sealed link message. */
+struct SealedMessage
+{
+    std::uint8_t opcode = 0;          ///< Long-command opcode byte.
+    std::uint64_t seq = 0;            ///< Direction-local counter.
+    std::vector<std::uint8_t> body;   ///< Ciphertext payload.
+    crypto::Tag64 mac = 0;            ///< CMAC over header + body.
+};
+
+/** One end of the encrypted link. */
+class LinkEndpoint
+{
+  public:
+    /**
+     * @param up_key   CPU -> SDIMM direction key
+     * @param down_key SDIMM -> CPU direction key
+     * @param is_cpu   which end this is
+     */
+    LinkEndpoint(const crypto::Aes128Key &up_key,
+                 const crypto::Aes128Key &down_key, bool is_cpu);
+
+    /** Encrypt + MAC a payload for the peer. */
+    SealedMessage seal(std::uint8_t opcode,
+                       const std::vector<std::uint8_t> &plaintext);
+
+    /**
+     * Verify + decrypt a message from the peer.  Returns nullopt on
+     * MAC failure or replay (non-monotonic sequence number).
+     */
+    std::optional<std::vector<std::uint8_t>>
+    unseal(const SealedMessage &msg);
+
+    std::uint64_t sendCount() const { return sendSeq_; }
+    std::uint64_t authFailures() const { return authFailures_; }
+
+  private:
+    const crypto::CtrCipher &txCipher() const;
+    const crypto::CtrCipher &rxCipher() const;
+    const crypto::Cmac &txMac() const;
+    const crypto::Cmac &rxMac() const;
+
+    crypto::Tag64 messageTag(const crypto::Cmac &mac,
+                             const SealedMessage &msg) const;
+
+    crypto::CtrCipher upCipher_;
+    crypto::CtrCipher downCipher_;
+    crypto::Cmac upMac_;
+    crypto::Cmac downMac_;
+    bool isCpu_;
+    std::uint64_t sendSeq_ = 0;
+    std::uint64_t nextRecvSeq_ = 0;
+    std::uint64_t authFailures_ = 0;
+};
+
+/**
+ * Simulate the boot-time handshake (authentication + key agreement)
+ * for one SDIMM; returns the CPU-side and buffer-side endpoints, which
+ * share derived session keys.
+ */
+std::pair<LinkEndpoint, LinkEndpoint> establishLink(Rng &rng);
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_LINK_SESSION_HH

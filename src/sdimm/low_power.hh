@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The low-power ORAM placement of Section III-E: the tree is arranged
+ * so each rank holds whole subtrees and one accessORAM touches exactly
+ * one rank; the top `rankLevels` levels (shared by all subtrees) live
+ * in the secure buffer's SRAM.  Idle ranks sit in precharge power-down
+ * and are woken ahead of use (24 ns tXPDLL, hidden under queueing).
+ */
+
+#ifndef SECUREDIMM_SDIMM_LOW_POWER_HH
+#define SECUREDIMM_SDIMM_LOW_POWER_HH
+
+#include <vector>
+
+#include "oram/oram_params.hh"
+#include "oram/tree_layout.hh"
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::sdimm
+{
+
+/** Maps path lines so every path stays within one rank region. */
+class LowPowerLayout
+{
+  public:
+    /**
+     * @param params      local tree parameters
+     * @param num_ranks   ranks on the SDIMM (power of two)
+     * @param rank_region_lines 64-byte lines per rank
+     */
+    LowPowerLayout(const oram::OramParams &params, unsigned num_ranks,
+                   Addr rank_region_lines)
+        : rankLevels_(floorLog2(num_ranks)),
+          regionLines_(rank_region_lines),
+          inner_(params.levels - rankLevels_, params.linesPerBucket())
+    {
+        SD_ASSERT(isPowerOfTwo(num_ranks));
+        SD_ASSERT(params.levels >= rankLevels_);
+        SD_ASSERT(rank_region_lines > 0);
+        // Trees larger than a rank wrap within their region (the
+        // usual timing-only aliasing; see DESIGN.md).
+    }
+
+    /** Levels resident in the secure buffer (no DRAM traffic). */
+    unsigned bufferLevels() const { return rankLevels_; }
+
+    /** Which rank region a leaf's path lives in. */
+    unsigned
+    rankOf(LeafId leaf) const
+    {
+        return static_cast<unsigned>(leaf >> inner_.treeLevels());
+    }
+
+    /**
+     * Line addresses of the path to @p leaf, skipping the first
+     * @p cached_levels levels of the *global* tree (the buffer-cached
+     * levels subsume the shared top).
+     */
+    void
+    pathLines(LeafId leaf, unsigned cached_levels,
+              std::vector<Addr> &out) const
+    {
+        const unsigned skip_local =
+            cached_levels > rankLevels_ ? cached_levels - rankLevels_
+                                        : 0;
+        const LeafId local =
+            leaf & ((LeafId{1} << inner_.treeLevels()) - 1);
+        const Addr base = static_cast<Addr>(rankOf(leaf)) * regionLines_;
+        const std::size_t start = out.size();
+        inner_.pathLines(local, skip_local, out);
+        for (std::size_t i = start; i < out.size(); ++i)
+            out[i] = base + (out[i] % regionLines_);
+    }
+
+    /** Phased variant of pathLines (see TreeLayout::pathLinesPhased). */
+    void
+    pathLinesPhased(LeafId leaf, unsigned cached_levels,
+                    unsigned meta_lines, std::vector<Addr> &meta,
+                    std::vector<Addr> &data) const
+    {
+        const unsigned skip_local =
+            cached_levels > rankLevels_ ? cached_levels - rankLevels_
+                                        : 0;
+        const LeafId local =
+            leaf & ((LeafId{1} << inner_.treeLevels()) - 1);
+        const Addr base = static_cast<Addr>(rankOf(leaf)) * regionLines_;
+        const std::size_t meta_start = meta.size();
+        const std::size_t data_start = data.size();
+        inner_.pathLinesPhased(local, skip_local, meta_lines, meta,
+                               data);
+        for (std::size_t i = meta_start; i < meta.size(); ++i)
+            meta[i] = base + (meta[i] % regionLines_);
+        for (std::size_t i = data_start; i < data.size(); ++i)
+            data[i] = base + (data[i] % regionLines_);
+    }
+
+    const oram::TreeLayout &inner() const { return inner_; }
+
+  private:
+    unsigned rankLevels_;
+    Addr regionLines_;
+    oram::TreeLayout inner_;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_LOW_POWER_HH

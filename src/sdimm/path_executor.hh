@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Timing engine of one SDIMM secure buffer running full accessORAM
+ * operations locally (the Independent protocol's backend): a serial
+ * queue of path operations over the SDIMM's internal DRAM channel.
+ * Optionally uses the low-power one-rank-per-path layout with idle
+ * rank power-down.
+ */
+
+#ifndef SECUREDIMM_SDIMM_PATH_EXECUTOR_HH
+#define SECUREDIMM_SDIMM_PATH_EXECUTOR_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "oram/oram_params.hh"
+#include "oram/tree_layout.hh"
+#include "sdimm/low_power.hh"
+#include "trace/memory_backend.hh"
+#include "util/rng.hh"
+
+namespace secdimm::sdimm
+{
+
+/** Serial accessORAM executor over one internal DDR channel. */
+class PathExecutor
+{
+  public:
+    /** Fired when an op's result is available at the buffer. */
+    using OpDoneFn = std::function<void(std::uint64_t tag, Tick avail)>;
+
+    /**
+     * @param low_power  use the Section III-E rank-major layout with
+     *                   idle-rank power-down
+     */
+    PathExecutor(const std::string &name, const oram::OramParams &params,
+                 const dram::TimingParams &timing,
+                 const dram::Geometry &geom, bool low_power,
+                 std::uint64_t seed);
+
+    void setOpDoneCallback(OpDoneFn fn) { onOpDone_ = std::move(fn); }
+
+    /** Queue one accessORAM; it may start at or after @p ready_at. */
+    void submitOp(std::uint64_t tag, Tick ready_at);
+
+    std::size_t queuedOps() const { return ops_.size(); }
+    bool busy() const { return opInFlight_; }
+    std::uint64_t opsExecuted() const { return opsExecuted_; }
+
+    Tick nextEventAt() const;
+    void advanceTo(Tick now);
+    bool idle() const;
+
+    dram::DramChannel &channel() { return *channel_; }
+    const dram::DramChannel &channel() const { return *channel_; }
+    bool lowPower() const { return lowPower_; }
+
+  private:
+    struct ExecOp
+    {
+        std::uint64_t tag;
+        Tick readyAt;
+    };
+
+    struct StagedLine
+    {
+        Addr line;
+        Tick at;
+        bool write;
+    };
+
+    void onDramDone(const dram::DramCompletion &c);
+    void tryStart();
+    void pump();
+    void buildPath(std::vector<Addr> &meta, std::vector<Addr> &data);
+
+    oram::OramParams params_;
+    oram::TreeLayout layout_;
+    std::optional<LowPowerLayout> lowPowerLayout_;
+    bool lowPower_;
+    std::unique_ptr<dram::DramChannel> channel_;
+    Rng rng_;
+    OpDoneFn onOpDone_;
+
+    std::deque<ExecOp> ops_;
+    bool opInFlight_ = false;
+    Tick nextOpEarliest_ = 0;
+    /** Staged lines per kind (0 = read, 1 = write); front-blocking. */
+    std::array<std::deque<StagedLine>, 2> staged_;
+    std::size_t stagedTotal_ = 0;
+    std::size_t stagedMetaReads_ = 0;
+    std::size_t stagedDataReads_ = 0;
+    std::uint64_t outstandingReads_ = 0;
+    std::uint64_t outstandingMetaReads_ = 0;
+    std::uint64_t outstandingWrites_ = 0;
+    Tick lastReadDone_ = 0;
+    Tick lastMetaDone_ = 0;
+    bool responseSent_ = false;
+    Cycles blockFetchCycles_ = 17;
+    LeafId opLeaf_ = 0;
+    std::uint64_t opsExecuted_ = 0;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_PATH_EXECUTOR_HH

@@ -1,0 +1,98 @@
+#include "sdimm/sdimm_command.hh"
+
+namespace secdimm::sdimm
+{
+
+namespace
+{
+
+/**
+ * Table I.  Short (RD) commands are distinguished by the CAS column
+ * within reserved block 0 (8-byte word granularity: 0x0, 0x8, 0x10,
+ * 0x18).  Long (WR) commands mostly share RAS(0x0) CAS(0x0) and carry
+ * an opcode in the first payload byte; FETCH_STASH uses CAS 0x18 with
+ * the stash index in a subsequent CAS.
+ */
+struct Row
+{
+    SdimmCommandType type;
+    DdrEncoding enc;
+};
+
+const Row table[] = {
+    {SdimmCommandType::SendPkey, {false, 0x0, 0x00, false, 0}},
+    {SdimmCommandType::ReceiveSecret, {true, 0x0, 0x00, true, 1}},
+    {SdimmCommandType::Access, {true, 0x0, 0x00, true, 2}},
+    {SdimmCommandType::Probe, {false, 0x0, 0x08, false, 0}},
+    {SdimmCommandType::FetchResult, {false, 0x0, 0x10, false, 0}},
+    {SdimmCommandType::Append, {true, 0x0, 0x00, true, 3}},
+    {SdimmCommandType::FetchData, {false, 0x0, 0x18, false, 0}},
+    {SdimmCommandType::FetchStash, {true, 0x0, 0x18, true, 4}},
+    {SdimmCommandType::ReceiveList, {true, 0x0, 0x00, true, 5}},
+};
+
+} // namespace
+
+DdrEncoding
+encodeCommand(SdimmCommandType type)
+{
+    for (const Row &row : table) {
+        if (row.type == type)
+            return row.enc;
+    }
+    return DdrEncoding{};
+}
+
+std::optional<SdimmCommandType>
+decodeCommand(bool write, std::uint32_t ras_row, std::uint32_t cas_col,
+              std::uint8_t payload_opcode)
+{
+    if (ras_row != 0)
+        return std::nullopt; // Normal memory access.
+    for (const Row &row : table) {
+        if (row.enc.write != write || row.enc.casCol != cas_col)
+            continue;
+        if (row.enc.needsDataBus && row.enc.opcode != payload_opcode)
+            continue;
+        return row.type;
+    }
+    return std::nullopt;
+}
+
+bool
+isLongCommand(SdimmCommandType type)
+{
+    return encodeCommand(type).needsDataBus;
+}
+
+const char *
+commandName(SdimmCommandType type)
+{
+    switch (type) {
+      case SdimmCommandType::SendPkey: return "SEND_PKEY";
+      case SdimmCommandType::ReceiveSecret: return "RECEIVE_SECRET";
+      case SdimmCommandType::Access: return "ACCESS";
+      case SdimmCommandType::Probe: return "PROBE";
+      case SdimmCommandType::FetchResult: return "FETCH_RESULT";
+      case SdimmCommandType::Append: return "APPEND";
+      case SdimmCommandType::FetchData: return "FETCH_DATA";
+      case SdimmCommandType::FetchStash: return "FETCH_STASH";
+      case SdimmCommandType::ReceiveList: return "RECEIVE_LIST";
+    }
+    return "UNKNOWN";
+}
+
+const std::vector<SdimmCommandType> &
+allCommands()
+{
+    static const std::vector<SdimmCommandType> all = {
+        SdimmCommandType::SendPkey,    SdimmCommandType::ReceiveSecret,
+        SdimmCommandType::Access,      SdimmCommandType::Probe,
+        SdimmCommandType::FetchResult, SdimmCommandType::Append,
+        SdimmCommandType::FetchData,   SdimmCommandType::FetchStash,
+        SdimmCommandType::ReceiveList,
+    };
+    return all;
+}
+
+} // namespace secdimm::sdimm

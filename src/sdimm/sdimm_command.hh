@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The SDIMM command extension of Table I: new commands shoehorned into
+ * the stock DDR interface by reserving the SDIMM's first memory blocks
+ * (Section III-F).  RAS/CAS to reserved addresses are interpreted by
+ * the secure buffer as commands; "short" commands need only the
+ * command/address bus, "long" commands carry a payload on the data
+ * bus (whose first byte disambiguates long commands sharing an
+ * encoding).
+ */
+
+#ifndef SECUREDIMM_SDIMM_SDIMM_COMMAND_HH
+#define SECUREDIMM_SDIMM_SDIMM_COMMAND_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace secdimm::sdimm
+{
+
+/** The nine SDIMM commands of Table I. */
+enum class SdimmCommandType : std::uint8_t
+{
+    SendPkey,      ///< short RD  -- boot: request buffer public key.
+    ReceiveSecret, ///< long  WR  -- boot: deliver session secret.
+    Access,        ///< long  WR  -- start an accessORAM (Independent).
+    Probe,         ///< short RD  -- poll for a ready response.
+    FetchResult,   ///< short RD  -- read the completed block.
+    Append,        ///< long  WR  -- push a (possibly dummy) block.
+    FetchData,     ///< short RD  -- Split: pull path data to stash.
+    FetchStash,    ///< long  WR  -- Split: request stash entry pieces.
+    ReceiveList,   ///< long  WR  -- Split: eviction list + counters.
+};
+
+/** How a command appears on the DDR buses. */
+struct DdrEncoding
+{
+    bool write = false;       ///< WR (long) vs RD (short) flavor.
+    std::uint32_t rasRow = 0; ///< Row of the reserved region (0x0).
+    std::uint32_t casCol = 0; ///< Column select within block 0.
+    bool needsDataBus = false;///< Long command (payload follows).
+    std::uint8_t opcode = 0;  ///< First payload byte for long cmds.
+};
+
+/** Encode a command per Table I. */
+DdrEncoding encodeCommand(SdimmCommandType type);
+
+/**
+ * Decode bus activity back into a command.
+ * @param write  RD vs WR
+ * @param ras_row / cas_col as observed
+ * @param payload_opcode first data byte (long commands only)
+ * @return the command, or nullopt if this is a normal memory access.
+ */
+std::optional<SdimmCommandType> decodeCommand(
+    bool write, std::uint32_t ras_row, std::uint32_t cas_col,
+    std::uint8_t payload_opcode);
+
+/** True for commands that occupy the data bus. */
+bool isLongCommand(SdimmCommandType type);
+
+/** Human-readable name. */
+const char *commandName(SdimmCommandType type);
+
+/** All commands, for table-driven tests and the Table I bench. */
+const std::vector<SdimmCommandType> &allCommands();
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_SDIMM_COMMAND_HH

@@ -1,0 +1,199 @@
+#include "sdimm/secure_buffer.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace secdimm::sdimm
+{
+
+namespace
+{
+
+void
+put64(std::vector<std::uint8_t> &b, std::size_t off, std::uint64_t v)
+{
+    std::memcpy(b.data() + off, &v, 8);
+}
+
+std::uint64_t
+get64(const std::vector<std::uint8_t> &b, std::size_t off)
+{
+    std::uint64_t v;
+    std::memcpy(&v, b.data() + off, 8);
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+packAccess(const AccessRequest &r)
+{
+    std::vector<std::uint8_t> b(accessBodyBytes);
+    put64(b, 0, r.addr);
+    put64(b, 8, r.localLeaf);
+    put64(b, 16, r.newLocalLeaf);
+    b[24] = r.write ? 1 : 0;
+    std::memcpy(b.data() + 25, r.data.data(), blockBytes);
+    return b;
+}
+
+AccessRequest
+unpackAccess(const std::vector<std::uint8_t> &b)
+{
+    SD_ASSERT(b.size() == accessBodyBytes);
+    AccessRequest r;
+    r.addr = get64(b, 0);
+    r.localLeaf = get64(b, 8);
+    r.newLocalLeaf = get64(b, 16);
+    r.write = b[24] != 0;
+    std::memcpy(r.data.data(), b.data() + 25, blockBytes);
+    return r;
+}
+
+std::vector<std::uint8_t>
+packResponse(const AccessResponse &r)
+{
+    std::vector<std::uint8_t> b(responseBodyBytes);
+    std::memcpy(b.data(), r.data.data(), blockBytes);
+    b[blockBytes] = r.dummy ? 1 : 0;
+    return b;
+}
+
+AccessResponse
+unpackResponse(const std::vector<std::uint8_t> &b)
+{
+    SD_ASSERT(b.size() == responseBodyBytes);
+    AccessResponse r;
+    std::memcpy(r.data.data(), b.data(), blockBytes);
+    r.dummy = b[blockBytes] != 0;
+    return r;
+}
+
+std::vector<std::uint8_t>
+packAppend(const AppendRequest &r)
+{
+    std::vector<std::uint8_t> b(appendBodyBytes);
+    b[0] = r.real ? 1 : 0;
+    put64(b, 1, r.addr);
+    put64(b, 9, r.localLeaf);
+    std::memcpy(b.data() + 17, r.data.data(), blockBytes);
+    return b;
+}
+
+AppendRequest
+unpackAppend(const std::vector<std::uint8_t> &b)
+{
+    SD_ASSERT(b.size() == appendBodyBytes);
+    AppendRequest r;
+    r.real = b[0] != 0;
+    r.addr = get64(b, 1);
+    r.localLeaf = get64(b, 9);
+    std::memcpy(r.data.data(), b.data() + 17, blockBytes);
+    return r;
+}
+
+SecureBuffer::SecureBuffer(const oram::OramParams &params, unsigned index,
+                           std::uint64_t seed,
+                           std::size_t transfer_capacity,
+                           double drain_prob, Rng &boot_rng)
+    : SecureBuffer(params, index, seed, transfer_capacity, drain_prob,
+                   establishLink(boot_rng))
+{
+}
+
+SecureBuffer::SecureBuffer(const oram::OramParams &params, unsigned index,
+                           std::uint64_t seed,
+                           std::size_t transfer_capacity,
+                           double drain_prob,
+                           std::pair<LinkEndpoint, LinkEndpoint> link)
+    : index_(index),
+      cpuEnd_(std::move(link.first)),
+      dimmEnd_(std::move(link.second)),
+      oram_(std::make_unique<oram::PathOram>(
+          params,
+          crypto::makeKey(0xe0c0 + index, seed ^ 0x11),
+          crypto::makeKey(0x3a4c + index, seed ^ 0x22), seed + index,
+          /*store_salt=*/index)),
+      xfer_(transfer_capacity, drain_prob, seed ^ (0x7153 + index))
+{
+}
+
+void
+SecureBuffer::serviceTransferQueue()
+{
+    auto entry = xfer_.pop();
+    if (!entry)
+        return;
+    if (!oram_->adoptBlock(entry->addr, entry->leaf, entry->data))
+        panic("SDIMM %u: normal stash full while servicing transfer "
+              "queue", index_);
+}
+
+SealedMessage
+SecureBuffer::handleAccess(const SealedMessage &msg)
+{
+    auto plain = dimmEnd_.unseal(msg);
+    if (!plain)
+        panic("SDIMM %u: ACCESS failed authentication", index_);
+    const AccessRequest req = unpackAccess(*plain);
+
+    ++stats_.accessOps;
+
+    AccessResponse resp;
+
+    // The requested block may still sit in the transfer queue (it was
+    // APPENDed but not yet adopted).  Adopt the whole queue into the
+    // normal stash before the accessORAM -- this both realizes the
+    // "one service per access" rule of Section IV-C with margin and
+    // guarantees the lookup sees every resident block.
+    while (!xfer_.empty())
+        serviceTransferQueue();
+
+    const bool keep = req.newLocalLeaf != invalidLeaf;
+    const BlockData old = oram_->accessExplicit(
+        req.addr, req.localLeaf, req.newLocalLeaf,
+        req.write ? oram::OramOp::Write : oram::OramOp::Read,
+        req.write ? &req.data : nullptr);
+
+    if (keep && req.write) {
+        // Block stays local after a write: nothing useful to return.
+        resp.dummy = true;
+    } else {
+        resp.data = req.write ? req.data : old;
+        resp.dummy = false;
+    }
+
+    return dimmEnd_.seal(/*opcode=*/0x10, packResponse(resp));
+}
+
+void
+SecureBuffer::handleAppend(const SealedMessage &msg)
+{
+    auto plain = dimmEnd_.unseal(msg);
+    if (!plain)
+        panic("SDIMM %u: APPEND failed authentication", index_);
+    const AppendRequest req = unpackAppend(*plain);
+    if (!req.real) {
+        ++stats_.appendsDummy;
+        return;
+    }
+    ++stats_.appendsReal;
+    if (!xfer_.push(oram::StashEntry{req.addr, req.localLeaf, req.data}))
+        panic("SDIMM %u: transfer queue overflow", index_);
+    if (xfer_.rollDrain()) {
+        ++stats_.drainOps;
+        ++stats_.accessOps;
+        serviceTransferQueue();
+        oram_->backgroundEvict();
+    }
+}
+
+bool
+SecureBuffer::integrityOk() const
+{
+    return oram_->integrityOk() && cpuEnd_.authFailures() == 0 &&
+           dimmEnd_.authFailures() == 0;
+}
+
+} // namespace secdimm::sdimm

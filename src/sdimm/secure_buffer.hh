@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Functional model of the SDIMM secure buffer chip (Section III-A):
+ * an on-DIMM ORAM controller (local Path ORAM over this SDIMM's
+ * subtree), a transfer queue for blocks arriving from other SDIMMs,
+ * and the encrypted-link endpoint the CPU talks to.
+ *
+ * Message payloads have fixed, operation-independent sizes -- the
+ * property the privacy argument of Section III-G rests on.
+ */
+
+#ifndef SECUREDIMM_SDIMM_SECURE_BUFFER_HH
+#define SECUREDIMM_SDIMM_SECURE_BUFFER_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "oram/path_oram.hh"
+#include "sdimm/link_session.hh"
+#include "sdimm/transfer_queue.hh"
+
+namespace secdimm::sdimm
+{
+
+/** Fixed wire sizes of the Independent-protocol messages. */
+inline constexpr std::size_t accessBodyBytes = 8 + 8 + 8 + 1 + blockBytes;
+inline constexpr std::size_t responseBodyBytes = blockBytes + 1;
+inline constexpr std::size_t appendBodyBytes = 1 + 8 + 8 + blockBytes;
+
+/** Plaintext content of an ACCESS message. */
+struct AccessRequest
+{
+    Addr addr = 0;
+    LeafId localLeaf = 0;
+    /** New leaf within this SDIMM, or invalidLeaf if moving away. */
+    LeafId newLocalLeaf = invalidLeaf;
+    bool write = false;
+    BlockData data{};
+};
+
+/** Plaintext content of the buffer's response. */
+struct AccessResponse
+{
+    BlockData data{};
+    bool dummy = false;
+};
+
+/** Plaintext content of an APPEND message. */
+struct AppendRequest
+{
+    bool real = false;
+    Addr addr = 0;
+    LeafId localLeaf = 0;
+    BlockData data{};
+};
+
+/** Serialize/parse the fixed-size message bodies. */
+std::vector<std::uint8_t> packAccess(const AccessRequest &r);
+AccessRequest unpackAccess(const std::vector<std::uint8_t> &b);
+std::vector<std::uint8_t> packResponse(const AccessResponse &r);
+AccessResponse unpackResponse(const std::vector<std::uint8_t> &b);
+std::vector<std::uint8_t> packAppend(const AppendRequest &r);
+AppendRequest unpackAppend(const std::vector<std::uint8_t> &b);
+
+/** Per-buffer counters. */
+struct SecureBufferStats
+{
+    std::uint64_t accessOps = 0;   ///< accessORAMs run (incl. drains).
+    std::uint64_t drainOps = 0;    ///< Extra drain accessORAMs.
+    std::uint64_t appendsReal = 0;
+    std::uint64_t appendsDummy = 0;
+};
+
+/** One SDIMM's trusted buffer chip. */
+class SecureBuffer
+{
+  public:
+    /**
+     * @param params local tree shape (levels = global L - log2 #SDIMMs)
+     * @param index  SDIMM index (key/nonce separation)
+     * @param transfer_capacity / drain_prob  Section IV-C parameters
+     */
+    SecureBuffer(const oram::OramParams &params, unsigned index,
+                 std::uint64_t seed, std::size_t transfer_capacity,
+                 double drain_prob, Rng &boot_rng);
+
+    /** CPU-side endpoint of this SDIMM's link (frontend seals with it). */
+    LinkEndpoint &cpuLink() { return cpuEnd_; }
+
+    /** Handle a sealed ACCESS; returns the sealed response. */
+    SealedMessage handleAccess(const SealedMessage &msg);
+
+    /** Handle a sealed APPEND. */
+    void handleAppend(const SealedMessage &msg);
+
+    oram::PathOram &oram() { return *oram_; }
+    const oram::PathOram &oram() const { return *oram_; }
+    const TransferQueue &transferQueue() const { return xfer_; }
+    const SecureBufferStats &stats() const { return stats_; }
+    unsigned index() const { return index_; }
+
+    /** All MACs/counters verified so far (tree + link). */
+    bool integrityOk() const;
+
+  private:
+    SecureBuffer(const oram::OramParams &params, unsigned index,
+                 std::uint64_t seed, std::size_t transfer_capacity,
+                 double drain_prob,
+                 std::pair<LinkEndpoint, LinkEndpoint> link);
+
+    /** Pull one transfer-queue entry into the normal stash. */
+    void serviceTransferQueue();
+
+    unsigned index_;
+    LinkEndpoint cpuEnd_;
+    LinkEndpoint dimmEnd_;
+    std::unique_ptr<oram::PathOram> oram_;
+    TransferQueue xfer_;
+    SecureBufferStats stats_;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_SECURE_BUFFER_HH

@@ -1,0 +1,316 @@
+#include "sdimm/split_engine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace secdimm::sdimm
+{
+
+namespace
+{
+
+constexpr std::uint64_t metaFlag = std::uint64_t{1} << 63;
+
+} // namespace
+
+SplitGroupEngine::SplitGroupEngine(const std::string &name,
+                                   const oram::OramParams &tree,
+                                   unsigned slices,
+                                   std::vector<LinkBus *> buses,
+                                   const dram::TimingParams &timing,
+                                   const dram::Geometry &geom,
+                                   bool low_power, std::uint64_t seed)
+    : tree_(tree),
+      dataLines_(std::max(1u, tree.bucketBlocks / slices)),
+      lowPower_(low_power),
+      rng_(seed)
+{
+    SD_ASSERT(slices >= 1);
+    SD_ASSERT(buses.size() == slices);
+
+    // Each slice stores (dataLines_ + 1 metadata) lines per bucket.
+    oram::OramParams slice_params = tree;
+    slice_params.bucketBlocks = dataLines_;
+    slice_params.metadataLines = 1;
+    if (!low_power)
+        layout_.emplace(tree.levels, dataLines_ + 1);
+
+    slices_.resize(slices);
+    for (unsigned i = 0; i < slices; ++i) {
+        Slice &sl = slices_[i];
+        sl.channel = std::make_unique<dram::DramChannel>(
+            name + ".slice" + std::to_string(i), timing, geom,
+            low_power ? dram::MapPolicy::RankRowBankCol
+                      : dram::MapPolicy::RowRankBankCol);
+        sl.bus = buses[i];
+        if (low_power)
+            sl.channel->setIdlePowerDown(2 * timing.tXPDLL);
+        sl.channel->setCompletionCallback(
+            [this, i](const dram::DramCompletion &c) {
+                onDramDone(i, c);
+            });
+    }
+
+    if (low_power) {
+        const Addr region_lines =
+            slices_[0].channel->addressMap().blockCount() /
+            geom.ranksPerChannel;
+        lowPowerLayout_.emplace(slice_params, geom.ranksPerChannel,
+                                region_lines);
+    }
+
+    blockFetchCycles_ = timing.cl + timing.tBURST + 2;
+}
+
+std::uint64_t
+SplitGroupEngine::listBytesPerSlice() const
+{
+    // Per bucket: Z compact (tag, leaf) pairs (8Z B), the counter
+    // (8 B), and the eviction schedule entries (~2Z B), split across
+    // slices.
+    const std::uint64_t per_bucket =
+        8ULL * tree_.bucketBlocks + 8 + 2ULL * tree_.bucketBlocks;
+    return divCeil(per_bucket * tree_.dramLevels(),
+                   static_cast<std::uint64_t>(slices_.size()));
+}
+
+void
+SplitGroupEngine::buildSlicePath(std::vector<Addr> &meta,
+                                 std::vector<Addr> &data) const
+{
+    if (lowPower_) {
+        lowPowerLayout_->pathLinesPhased(opLeaf_, tree_.cachedLevels, 1,
+                                         meta, data);
+    } else {
+        layout_->pathLinesPhased(opLeaf_, tree_.cachedLevels, 1, meta,
+                                 data);
+    }
+}
+
+void
+SplitGroupEngine::submitOp(std::uint64_t tag, Tick ready_at)
+{
+    ops_.push_back(PendingOp{tag, ready_at});
+    tryStart();
+}
+
+void
+SplitGroupEngine::tryStart()
+{
+    if (opInFlight_ || ops_.empty())
+        return;
+    opInFlight_ = true;
+    responseSent_ = false;
+    ++opsExecuted_;
+    const Tick start = std::max(ops_.front().readyAt, groupFreeAt_);
+    opLeaf_ = rng_.nextBelow(tree_.numLeaves());
+
+    std::vector<Addr> meta, data;
+    buildSlicePath(meta, data);
+
+    for (auto &sl : slices_) {
+        sl.bus->shortCommand(start); // FETCH_DATA.
+        sl.metaAtCpu = start;
+        sl.lastReadDone = start;
+        for (Addr line : meta) {
+            sl.staged[0].push_back(StagedLine{line, start, false, true});
+            ++sl.stagedMetaReads;
+        }
+        for (Addr line : data) {
+            sl.staged[0].push_back(
+                StagedLine{line, start, false, false});
+            ++sl.stagedDataReads;
+        }
+        sl.stagedTotal += meta.size() + data.size();
+        pump(sl);
+    }
+}
+
+void
+SplitGroupEngine::onDramDone(unsigned slice, const dram::DramCompletion &c)
+{
+    Slice &sl = slices_[slice];
+    if (c.write) {
+        SD_ASSERT(sl.outstandingWrites > 0);
+        --sl.outstandingWrites;
+    } else {
+        SD_ASSERT(sl.outstandingReads > 0);
+        --sl.outstandingReads;
+        sl.lastReadDone = std::max(sl.lastReadDone, c.doneAt);
+        if (c.id & metaFlag) {
+            SD_ASSERT(sl.outstandingMetaReads > 0);
+            --sl.outstandingMetaReads;
+            // Relay this metadata share to the CPU: each slice holds
+            // 1/S of the bucket's (tags, leaves, counter) bytes --
+            // compact 4-byte tags and leaves as in hardware ORAM
+            // controllers -- so a burst-chopped transaction suffices.
+            const std::uint64_t share_bytes = divCeil(
+                8ULL * tree_.bucketBlocks + 8,
+                static_cast<std::uint64_t>(slices_.size()));
+            sl.metaAtCpu = std::max(
+                sl.metaAtCpu,
+                sl.bus->transferBytes(c.doneAt, share_bytes));
+            maybeRespond();
+        }
+        maybeFinishReads();
+    }
+    pump(sl);
+}
+
+void
+SplitGroupEngine::maybeRespond()
+{
+    if (!opInFlight_ || responseSent_)
+        return;
+    for (const auto &sl : slices_) {
+        if (sl.stagedMetaReads != 0 || sl.outstandingMetaReads != 0)
+            return;
+    }
+    responseSent_ = true;
+
+    // CPU reassembles tags/leaves/counters, finds the block, and
+    // issues FETCH_STASH; each slice fetches the block's line
+    // on demand (row still open from the metadata pass) and returns
+    // its 1/S piece over the bus.
+    Tick meta_at = 0;
+    for (const auto &sl : slices_)
+        meta_at = std::max(meta_at, sl.metaAtCpu);
+    const Tick t_meta = meta_at + tree_.encLatency;
+
+    const std::uint64_t piece_bytes =
+        divCeil(blockBytes, slices_.size());
+    Tick fetched = t_meta;
+    for (auto &sl : slices_) {
+        sl.bus->shortCommand(t_meta);
+        fetched = std::max(
+            fetched, sl.bus->transferBytes(t_meta + blockFetchCycles_,
+                                           piece_bytes));
+    }
+    const Tick result = fetched + tree_.encLatency;
+
+    // RECEIVE_LIST: eviction schedule + counters + new metadata.
+    const std::uint64_t list_bytes = listBytesPerSlice();
+    listDoneAt_ = result;
+    for (auto &sl : slices_) {
+        listDoneAt_ = std::max(
+            sl.bus->transferBytes(result, list_bytes), listDoneAt_);
+    }
+
+    if (onOpDone_)
+        onOpDone_(ops_.front().tag, result);
+}
+
+void
+SplitGroupEngine::maybeFinishReads()
+{
+    if (!opInFlight_)
+        return;
+    // Only READ state gates the op: write-backs of earlier ops may
+    // still be staged behind a full write queue, and they drain on
+    // their own (write completions never re-evaluate this check).
+    for (const auto &sl : slices_) {
+        if (sl.stagedMetaReads != 0 || sl.stagedDataReads != 0 ||
+            sl.outstandingReads != 0) {
+            return;
+        }
+    }
+    SD_ASSERT(responseSent_);
+
+    Tick reads_done = 0;
+    for (const auto &sl : slices_)
+        reads_done = std::max(reads_done, sl.lastReadDone);
+
+    // Local write-back of the path (data + metadata shares) once the
+    // eviction list has arrived and every piece is in the stash.
+    std::vector<Addr> meta, data;
+    buildSlicePath(meta, data);
+    const Tick wb_at =
+        std::max(listDoneAt_, reads_done) + tree_.encLatency;
+    for (auto &sl : slices_) {
+        for (Addr line : data)
+            sl.staged[1].push_back(StagedLine{line, wb_at, true, false});
+        for (Addr line : meta)
+            sl.staged[1].push_back(StagedLine{line, wb_at, true, false});
+        sl.stagedTotal += meta.size() + data.size();
+        pump(sl);
+    }
+
+    ops_.pop_front();
+    opInFlight_ = false;
+    groupFreeAt_ = reads_done;
+    tryStart();
+}
+
+void
+SplitGroupEngine::pump(Slice &sl)
+{
+    if (sl.stagedTotal == 0)
+        return;
+    const Addr block_count = sl.channel->addressMap().blockCount();
+
+    // Reads: metadata pass strictly precedes the data pass.
+    auto &rq = sl.staged[0];
+    while (!rq.empty() && sl.channel->canEnqueue(false)) {
+        const StagedLine &front = rq.front();
+        if (!front.meta && sl.outstandingMetaReads > 0)
+            break;
+        const StagedLine s = front;
+        rq.pop_front();
+        --sl.stagedTotal;
+        sl.channel->enqueue(s.meta ? metaFlag : 0,
+                            s.line % block_count, false, s.at);
+        ++sl.outstandingReads;
+        if (s.meta) {
+            SD_ASSERT(sl.stagedMetaReads > 0);
+            --sl.stagedMetaReads;
+            ++sl.outstandingMetaReads;
+        } else {
+            SD_ASSERT(sl.stagedDataReads > 0);
+            --sl.stagedDataReads;
+        }
+    }
+
+    auto &wq = sl.staged[1];
+    while (!wq.empty() && sl.channel->canEnqueue(true)) {
+        const StagedLine s = wq.front();
+        wq.pop_front();
+        --sl.stagedTotal;
+        sl.channel->enqueue(0, s.line % block_count, true, s.at);
+        ++sl.outstandingWrites;
+    }
+}
+
+Tick
+SplitGroupEngine::nextEventAt() const
+{
+    Tick best = tickNever;
+    for (const auto &sl : slices_)
+        best = std::min(best, sl.channel->nextEventAt());
+    return best;
+}
+
+void
+SplitGroupEngine::advanceTo(Tick now)
+{
+    for (auto &sl : slices_) {
+        sl.channel->advanceTo(now);
+        pump(sl);
+    }
+}
+
+bool
+SplitGroupEngine::idle() const
+{
+    if (!ops_.empty() || opInFlight_)
+        return false;
+    for (const auto &sl : slices_) {
+        if (sl.stagedTotal != 0 || sl.outstandingReads != 0 ||
+            sl.outstandingWrites != 0 || !sl.channel->idle()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace secdimm::sdimm

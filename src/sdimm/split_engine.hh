@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Timing engine of one Split-ORAM group (Section III-D): the S slices
+ * of one tree, each on its own internal channel, executing one
+ * accessORAM at a time.  Data pieces move buffer-locally
+ * (FETCH_DATA); metadata slices stream to the CPU over the channel;
+ * the CPU reassembles, picks the block (FETCH_STASH) and ships the
+ * eviction schedule (RECEIVE_LIST); write-backs drain locally while
+ * the next operation starts.
+ */
+
+#ifndef SECUREDIMM_SDIMM_SPLIT_ENGINE_HH
+#define SECUREDIMM_SDIMM_SPLIT_ENGINE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/channel.hh"
+#include "oram/oram_params.hh"
+#include "oram/tree_layout.hh"
+#include "sdimm/link_bus.hh"
+#include "sdimm/low_power.hh"
+#include "util/bit_utils.hh"
+#include "util/rng.hh"
+
+namespace secdimm::sdimm
+{
+
+/** One Split group (all S slices of one tree). */
+class SplitGroupEngine
+{
+  public:
+    /** Fired when the requested block reaches the CPU. */
+    using OpDoneFn = std::function<void(std::uint64_t tag, Tick result)>;
+
+    /**
+     * @param tree   the group's (full) tree parameters
+     * @param buses  one LinkBus per slice (slices may share buses)
+     */
+    SplitGroupEngine(const std::string &name,
+                     const oram::OramParams &tree, unsigned slices,
+                     std::vector<LinkBus *> buses,
+                     const dram::TimingParams &timing,
+                     const dram::Geometry &geom, bool low_power,
+                     std::uint64_t seed);
+
+    void setOpDoneCallback(OpDoneFn fn) { onOpDone_ = std::move(fn); }
+
+    void submitOp(std::uint64_t tag, Tick ready_at);
+
+    Tick nextEventAt() const;
+    void advanceTo(Tick now);
+    bool idle() const;
+
+    unsigned sliceCount() const
+    {
+        return static_cast<unsigned>(slices_.size());
+    }
+    dram::DramChannel &sliceChannel(unsigned i)
+    {
+        return *slices_[i].channel;
+    }
+    const dram::DramChannel &sliceChannel(unsigned i) const
+    {
+        return *slices_[i].channel;
+    }
+    std::uint64_t opsExecuted() const { return opsExecuted_; }
+
+    /** 64-byte lines each slice's bucket share occupies. */
+    unsigned dataLinesPerBucket() const { return dataLines_; }
+    unsigned linesPerBucketSlice() const { return dataLines_ + 1; }
+
+    /** RECEIVE_LIST size per slice, in bytes. */
+    std::uint64_t listBytesPerSlice() const;
+
+  private:
+    struct StagedLine
+    {
+        Addr line;
+        Tick at;
+        bool write;
+        bool meta;
+    };
+
+    struct Slice
+    {
+        std::unique_ptr<dram::DramChannel> channel;
+        LinkBus *bus = nullptr;
+        /** Staged lines per kind (0 = read, 1 = write). */
+        std::array<std::deque<StagedLine>, 2> staged;
+        std::size_t stagedTotal = 0;
+        std::size_t stagedMetaReads = 0;
+        std::size_t stagedDataReads = 0;
+        std::uint64_t outstandingReads = 0;
+        std::uint64_t outstandingMetaReads = 0;
+        std::uint64_t outstandingWrites = 0;
+        Tick lastReadDone = 0;
+        Tick metaAtCpu = 0;
+    };
+
+    struct PendingOp
+    {
+        std::uint64_t tag;
+        Tick readyAt;
+    };
+
+    void onDramDone(unsigned slice, const dram::DramCompletion &c);
+    void tryStart();
+    void maybeRespond();
+    void maybeFinishReads();
+    void pump(Slice &sl);
+    void buildSlicePath(std::vector<Addr> &meta,
+                        std::vector<Addr> &data) const;
+
+    oram::OramParams tree_;
+    unsigned dataLines_;
+    std::optional<oram::TreeLayout> layout_;
+    std::optional<LowPowerLayout> lowPowerLayout_;
+    bool lowPower_;
+    Rng rng_;
+    OpDoneFn onOpDone_;
+
+    std::vector<Slice> slices_;
+    std::deque<PendingOp> ops_;
+    bool opInFlight_ = false;
+    bool responseSent_ = false;
+    Tick groupFreeAt_ = 0;
+    Tick listDoneAt_ = 0;
+    Cycles blockFetchCycles_ = 17;
+    LeafId opLeaf_ = 0;
+    std::uint64_t opsExecuted_ = 0;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_SPLIT_ENGINE_HH

@@ -1,0 +1,438 @@
+#include "sdimm/split_oram.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::sdimm
+{
+
+namespace
+{
+
+/** Metadata plaintext for up to Z (addr, leaf) pairs. */
+std::vector<std::uint8_t>
+buildMeta(unsigned z,
+          const std::vector<std::pair<Addr, LeafId>> &blocks)
+{
+    std::vector<std::uint8_t> meta(static_cast<std::size_t>(z) * 16);
+    for (unsigned i = 0; i < z; ++i) {
+        Addr a = invalidAddr;
+        LeafId l = invalidLeaf;
+        if (i < blocks.size()) {
+            a = blocks[i].first;
+            l = blocks[i].second;
+        }
+        std::memcpy(meta.data() + 16 * i, &a, 8);
+        std::memcpy(meta.data() + 16 * i + 8, &l, 8);
+    }
+    return meta;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+extractShare(const std::vector<std::uint8_t> &full, unsigned slice,
+             unsigned s)
+{
+    std::vector<std::uint8_t> share;
+    share.reserve(full.size() / s + 1);
+    for (std::size_t i = slice; i < full.size(); i += s)
+        share.push_back(full[i]);
+    return share;
+}
+
+void
+mergeShare(std::vector<std::uint8_t> &full,
+           const std::vector<std::uint8_t> &share, unsigned slice,
+           unsigned s)
+{
+    std::size_t k = 0;
+    for (std::size_t i = slice; i < full.size() && k < share.size();
+         i += s, ++k) {
+        full[i] = share[k];
+    }
+}
+
+SplitOram::SplitOram(const Params &params, std::uint64_t seed)
+    : params_(params),
+      layout_(params.tree.levels, params.tree.linesPerBucket()),
+      cipher_(crypto::makeKey(0x5b117 ^ seed, 0xe17c ^ (seed << 1))),
+      mac_(crypto::makeKey(0x3ac5 ^ seed, 0x91b2 ^ (seed << 2))),
+      rng_(seed),
+      slices_(params.slices),
+      posMap_(params.tree.capacityBlocks())
+{
+    SD_ASSERT(params_.slices >= 1);
+    SD_ASSERT(blockBytes % params_.slices == 0);
+    const std::uint64_t buckets = params_.tree.numBuckets();
+    const unsigned z = params_.tree.bucketBlocks;
+
+    for (auto &leaf : posMap_)
+        leaf = rng_.nextBelow(params_.tree.numLeaves());
+
+    for (auto &sl : slices_) {
+        sl.metaShare.resize(buckets);
+        sl.dataShare.resize(buckets);
+        sl.counter.assign(buckets, 0);
+        sl.mac.assign(buckets, 0);
+        for (auto &d : sl.dataShare)
+            d.resize(z);
+    }
+
+    // Initialize every bucket empty.
+    const std::vector<std::uint8_t> meta_plain = buildMeta(z, {});
+    const std::vector<std::uint8_t> zero_block(blockBytes, 0);
+    for (std::uint64_t seq = 0; seq < buckets; ++seq) {
+        const std::uint64_t ctr = 1;
+        std::vector<std::uint8_t> meta_cipher = meta_plain;
+        cipher_.transformBuffer(meta_cipher.data(), meta_cipher.size(),
+                                metaNonce(seq), ctr);
+        std::vector<std::vector<std::uint8_t>> slot_cipher(z);
+        for (unsigned s = 0; s < z; ++s) {
+            slot_cipher[s] = zero_block;
+            cipher_.transformBuffer(slot_cipher[s].data(), blockBytes,
+                                    dataNonce(seq, s), ctr);
+        }
+        for (unsigned j = 0; j < params_.slices; ++j) {
+            Slice &sl = slices_[j];
+            sl.metaShare[seq] =
+                extractShare(meta_cipher, j, params_.slices);
+            for (unsigned s = 0; s < z; ++s) {
+                sl.dataShare[seq][s] =
+                    extractShare(slot_cipher[s], j, params_.slices);
+            }
+            sl.counter[seq] = ctr;
+            sl.mac[seq] = sliceMac(j, seq, sl);
+        }
+    }
+}
+
+std::uint64_t
+SplitOram::metaNonce(std::uint64_t seq) const
+{
+    return (seq << 6) | (std::uint64_t{1} << 62);
+}
+
+std::uint64_t
+SplitOram::dataNonce(std::uint64_t seq, unsigned slot) const
+{
+    return (seq << 6) | slot | (std::uint64_t{1} << 61);
+}
+
+std::vector<std::uint8_t>
+SplitOram::ctrPad(std::uint64_t nonce, std::uint64_t counter,
+                  std::size_t len) const
+{
+    std::vector<std::uint8_t> pad(len, 0);
+    cipher_.transformBuffer(pad.data(), len, nonce, counter);
+    return pad;
+}
+
+crypto::Tag64
+SplitOram::sliceMac(unsigned slice, std::uint64_t seq,
+                    const Slice &sl) const
+{
+    std::vector<std::uint8_t> buf = sl.metaShare[seq];
+    for (const auto &share : sl.dataShare[seq])
+        buf.insert(buf.end(), share.begin(), share.end());
+    const std::uint64_t id =
+        seq | (static_cast<std::uint64_t>(slice) << 56);
+    return mac_.tag(id, sl.counter[seq], buf.data(), buf.size());
+}
+
+std::size_t
+SplitOram::allocStashSlot()
+{
+    if (!freeSlots_.empty()) {
+        const std::size_t idx = freeSlots_.back();
+        freeSlots_.pop_back();
+        return idx;
+    }
+    const std::size_t idx = stashSlots_++;
+    for (auto &sl : slices_)
+        sl.stash.resize(stashSlots_);
+    return idx;
+}
+
+void
+SplitOram::freeStashSlot(std::size_t idx)
+{
+    for (auto &sl : slices_)
+        sl.stash[idx].reset();
+    freeSlots_.push_back(idx);
+}
+
+void
+SplitOram::readPath(LeafId leaf)
+{
+    const unsigned z = params_.tree.bucketBlocks;
+    for (unsigned level = 0; level <= params_.tree.levels; ++level) {
+        const std::uint64_t seq = layout_.bucketSeq(
+            oram::pathBucket(leaf, level, params_.tree.levels));
+
+        // Each SDIMM verifies its slice MAC (FETCH_DATA step).
+        for (unsigned j = 0; j < params_.slices; ++j) {
+            const Slice &sl = slices_[j];
+            if (sliceMac(j, seq, sl) != sl.mac[seq])
+                ++stats_.integrityFailures;
+        }
+
+        // Reassemble counter and metadata at the CPU.
+        const std::uint64_t ctr = slices_[0].counter[seq];
+        for (unsigned j = 1; j < params_.slices; ++j)
+            SD_ASSERT(slices_[j].counter[seq] == ctr);
+
+        std::vector<std::uint8_t> meta_cipher(
+            static_cast<std::size_t>(z) * 16, 0);
+        for (unsigned j = 0; j < params_.slices; ++j) {
+            mergeShare(meta_cipher, slices_[j].metaShare[seq], j,
+                       params_.slices);
+        }
+        stats_.channelBytes += meta_cipher.size() + 8; // meta + ctr.
+        cipher_.transformBuffer(meta_cipher.data(), meta_cipher.size(),
+                                metaNonce(seq), ctr);
+
+        // Data pieces move into the slice stashes (local traffic).
+        for (unsigned slot = 0; slot < z; ++slot) {
+            Addr a;
+            LeafId l;
+            std::memcpy(&a, meta_cipher.data() + 16 * slot, 8);
+            std::memcpy(&l, meta_cipher.data() + 16 * slot + 8, 8);
+            if (a == invalidAddr)
+                continue;
+            SD_ASSERT(shadow_.find(a) == shadow_.end());
+            const std::size_t idx = allocStashSlot();
+            for (unsigned j = 0; j < params_.slices; ++j) {
+                Slice &sl = slices_[j];
+                sl.stash[idx] = SlicePiece{sl.dataShare[seq][slot], seq,
+                                           slot, ctr};
+            }
+            stats_.localBytes += blockBytes;
+            ShadowEntry e;
+            e.leaf = l;
+            e.cpuResident = false;
+            e.stashIdx = idx;
+            e.srcSeq = seq;
+            e.srcSlot = slot;
+            e.srcCounter = ctr;
+            shadow_.emplace(a, e);
+        }
+    }
+    stats_.maxShadowStash =
+        std::max(stats_.maxShadowStash, shadow_.size());
+}
+
+BlockData
+SplitOram::fetchStash(const ShadowEntry &e)
+{
+    SD_ASSERT(!e.cpuResident);
+    std::vector<std::uint8_t> merged(blockBytes, 0);
+    for (unsigned j = 0; j < params_.slices; ++j) {
+        const auto &piece = slices_[j].stash[e.stashIdx];
+        SD_ASSERT(piece.has_value());
+        mergeShare(merged, piece->cipher, j, params_.slices);
+    }
+    stats_.channelBytes += blockBytes; // FETCH_STASH responses.
+    cipher_.transformBuffer(merged.data(), merged.size(),
+                            dataNonce(e.srcSeq, e.srcSlot),
+                            e.srcCounter);
+    BlockData out{};
+    std::memcpy(out.data(), merged.data(), blockBytes);
+    return out;
+}
+
+void
+SplitOram::writePath(LeafId leaf)
+{
+    const unsigned z = params_.tree.bucketBlocks;
+    const unsigned L = params_.tree.levels;
+
+    for (int level = static_cast<int>(L); level >= 0; --level) {
+        const unsigned shift = L - static_cast<unsigned>(level);
+        const std::uint64_t bucket_index = leaf >> shift;
+        const std::uint64_t seq = layout_.bucketSeq(oram::pathBucket(
+            leaf, static_cast<unsigned>(level), L));
+
+        // CPU: pick up to Z compatible shadow-stash blocks.
+        std::vector<std::pair<Addr, ShadowEntry>> chosen;
+        for (auto it = shadow_.begin();
+             it != shadow_.end() && chosen.size() < z;) {
+            if ((it->second.leaf >> shift) == bucket_index) {
+                chosen.emplace_back(it->first, it->second);
+                it = shadow_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        const std::uint64_t new_ctr = slices_[0].counter[seq] + 1;
+
+        // CPU composes the new metadata and sends it in RECEIVE_LIST.
+        std::vector<std::pair<Addr, LeafId>> meta_blocks;
+        for (const auto &kv : chosen)
+            meta_blocks.emplace_back(kv.first, kv.second.leaf);
+        std::vector<std::uint8_t> meta_cipher =
+            buildMeta(z, meta_blocks);
+        stats_.channelBytes += meta_cipher.size() + 8 + 4 * z; // list.
+        cipher_.transformBuffer(meta_cipher.data(), meta_cipher.size(),
+                                metaNonce(seq), new_ctr);
+
+        // Fill the bucket's data slots slice by slice.
+        for (unsigned slot = 0; slot < z; ++slot) {
+            if (slot < chosen.size() && chosen[slot].second.cpuResident) {
+                // CPU-resident block: the CPU encrypts for the
+                // destination and ships each slice its share.
+                const ShadowEntry &e = chosen[slot].second;
+                std::vector<std::uint8_t> full(
+                    e.data.begin(), e.data.end());
+                cipher_.transformBuffer(full.data(), full.size(),
+                                        dataNonce(seq, slot), new_ctr);
+                stats_.channelBytes += blockBytes;
+                for (unsigned j = 0; j < params_.slices; ++j) {
+                    slices_[j].dataShare[seq][slot] =
+                        extractShare(full, j, params_.slices);
+                }
+            } else if (slot < chosen.size()) {
+                // Piece-resident block: each SDIMM re-encrypts its
+                // share locally (old pad out, new pad in).
+                const ShadowEntry &e = chosen[slot].second;
+                const auto old_pad =
+                    ctrPad(dataNonce(e.srcSeq, e.srcSlot), e.srcCounter,
+                           blockBytes);
+                const auto new_pad =
+                    ctrPad(dataNonce(seq, slot), new_ctr, blockBytes);
+                for (unsigned j = 0; j < params_.slices; ++j) {
+                    Slice &sl = slices_[j];
+                    const auto &piece = sl.stash[e.stashIdx];
+                    SD_ASSERT(piece.has_value());
+                    std::vector<std::uint8_t> share = piece->cipher;
+                    for (std::size_t k = 0; k < share.size(); ++k) {
+                        const std::size_t gi = j + params_.slices * k;
+                        share[k] = static_cast<std::uint8_t>(
+                            share[k] ^ old_pad[gi] ^ new_pad[gi]);
+                    }
+                    sl.dataShare[seq][slot] = std::move(share);
+                }
+                stats_.localBytes += blockBytes;
+                freeStashSlot(e.stashIdx);
+            } else {
+                // Dummy slot: each SDIMM writes its share of an
+                // encrypted zero block.
+                std::vector<std::uint8_t> zero(blockBytes, 0);
+                cipher_.transformBuffer(zero.data(), zero.size(),
+                                        dataNonce(seq, slot), new_ctr);
+                for (unsigned j = 0; j < params_.slices; ++j) {
+                    slices_[j].dataShare[seq][slot] =
+                        extractShare(zero, j, params_.slices);
+                }
+                stats_.localBytes += blockBytes;
+            }
+        }
+
+        // Commit metadata, counter, and fresh slice MACs.
+        for (unsigned j = 0; j < params_.slices; ++j) {
+            Slice &sl = slices_[j];
+            sl.metaShare[seq] =
+                extractShare(meta_cipher, j, params_.slices);
+            sl.counter[seq] = new_ctr;
+            sl.mac[seq] = sliceMac(j, seq, sl);
+        }
+    }
+}
+
+BlockData
+SplitOram::access(Addr addr, oram::OramOp op, const BlockData *new_data)
+{
+    SD_ASSERT(addr < posMap_.size());
+    const LeafId leaf = posMap_[addr];
+    const LeafId new_leaf = rng_.nextBelow(params_.tree.numLeaves());
+    posMap_[addr] = new_leaf;
+    return accessExplicit(addr, leaf, new_leaf, op, new_data);
+}
+
+BlockData
+SplitOram::accessExplicit(Addr addr, LeafId old_leaf, LeafId new_leaf,
+                          oram::OramOp op, const BlockData *new_data)
+{
+    SD_ASSERT(old_leaf < params_.tree.numLeaves());
+    ++stats_.accesses;
+    leafTrace_.push_back(old_leaf);
+
+    readPath(old_leaf);
+
+    const bool remove = new_leaf == invalidLeaf;
+    auto it = shadow_.find(addr);
+    BlockData old_value{};
+    if (it == shadow_.end()) {
+        if (!remove) {
+            // Uninitialized block: materialize at the CPU.
+            ShadowEntry e;
+            e.leaf = new_leaf;
+            e.cpuResident = true;
+            it = shadow_.emplace(addr, e).first;
+        }
+    } else {
+        ShadowEntry &e = it->second;
+        if (!e.cpuResident) {
+            old_value = fetchStash(e);
+            freeStashSlot(e.stashIdx);
+            e.cpuResident = true;
+            e.data = old_value;
+        } else {
+            old_value = e.data;
+        }
+        e.leaf = new_leaf;
+    }
+    if (op == oram::OramOp::Write && it != shadow_.end() && !remove) {
+        SD_ASSERT(new_data != nullptr);
+        it->second.data = *new_data;
+    }
+    if (remove && it != shadow_.end())
+        shadow_.erase(it);
+
+    writePath(old_leaf);
+
+    while (shadow_.size() > params_.tree.stashCapacity / 2)
+        backgroundEvict();
+
+    return old_value;
+}
+
+void
+SplitOram::adoptBlock(Addr addr, LeafId leaf, const BlockData &data)
+{
+    SD_ASSERT(leaf < params_.tree.numLeaves());
+    SD_ASSERT(shadow_.find(addr) == shadow_.end());
+    ShadowEntry e;
+    e.leaf = leaf;
+    e.cpuResident = true;
+    e.data = data;
+    shadow_.emplace(addr, e);
+    stats_.maxShadowStash =
+        std::max(stats_.maxShadowStash, shadow_.size());
+    while (shadow_.size() > params_.tree.stashCapacity / 2)
+        backgroundEvict();
+}
+
+void
+SplitOram::backgroundEvict()
+{
+    ++stats_.dummyAccesses;
+    const LeafId leaf = rng_.nextBelow(params_.tree.numLeaves());
+    leafTrace_.push_back(leaf);
+    readPath(leaf);
+    writePath(leaf);
+}
+
+void
+SplitOram::tamperSlice(unsigned slice, std::uint64_t bucket_seq,
+                       unsigned slot, std::size_t byte_index)
+{
+    slices_.at(slice).dataShare.at(bucket_seq).at(slot).at(byte_index) ^=
+        0x01;
+}
+
+} // namespace secdimm::sdimm

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Functional Split ORAM (Section III-D): ONE Path ORAM tree whose
+ * every bucket is byte-sliced across all SDIMMs -- slice j of a
+ * bucket holds bytes {i : i mod S == j} of each encrypted field, plus
+ * its own MAC (the n-fold MAC overhead the paper notes).
+ *
+ * Per access: FETCH_DATA pulls the path's data pieces into each
+ * SDIMM's local stash (still ciphertext); normal reads return the
+ * metadata shares + counters to the CPU, which reassembles tags and
+ * leaves; FETCH_STASH retrieves just the requested block's pieces;
+ * RECEIVE_LIST ships the eviction schedule (stash index -> bucket
+ * slot), fresh counters, and new metadata, and the SDIMMs re-encrypt
+ * and write their shares back locally.  Only metadata and the one
+ * requested block ever cross the CPU channel.
+ *
+ * DESIGN.md substitution note: bucket counters are replicated per
+ * slice instead of bit-split, letting each SDIMM verify its slice MAC
+ * at read time.  Wire sizes are modeled as if split (the timing layer
+ * charges the paper's message sizes).
+ */
+
+#ifndef SECUREDIMM_SDIMM_SPLIT_ORAM_HH
+#define SECUREDIMM_SDIMM_SPLIT_ORAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/ctr_mode.hh"
+#include "crypto/pmmac.hh"
+#include "oram/oram_params.hh"
+#include "oram/tree_layout.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace secdimm::sdimm
+{
+
+/** Byte-interleaving helpers (slice j gets bytes i with i%S == j). */
+std::vector<std::uint8_t> extractShare(
+    const std::vector<std::uint8_t> &full, unsigned slice, unsigned s);
+void mergeShare(std::vector<std::uint8_t> &full,
+                const std::vector<std::uint8_t> &share, unsigned slice,
+                unsigned s);
+
+/** Split ORAM statistics. */
+struct SplitOramStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t dummyAccesses = 0;
+    std::uint64_t integrityFailures = 0;
+    std::size_t maxShadowStash = 0;
+    /** CPU-channel payload bytes (metadata + fetched pieces + lists). */
+    std::uint64_t channelBytes = 0;
+    /** Bytes moved only inside SDIMMs (data shuffles). */
+    std::uint64_t localBytes = 0;
+};
+
+/** Functional S-way Split ORAM. */
+class SplitOram
+{
+  public:
+    struct Params
+    {
+        oram::OramParams tree; ///< The (single) full tree.
+        unsigned slices = 2;   ///< SDIMM count; divides blockBytes.
+    };
+
+    SplitOram(const Params &params, std::uint64_t seed);
+
+    std::uint64_t capacityBlocks() const
+    {
+        return params_.tree.capacityBlocks();
+    }
+
+    /** accessORAM via the Split protocol. */
+    BlockData access(Addr addr, oram::OramOp op,
+                     const BlockData *new_data = nullptr);
+
+    /**
+     * accessORAM with an externally supplied leaf, for the combined
+     * INDEP-SPLIT organization where the CPU frontend owns a global
+     * PosMap spanning several Split groups.  new_leaf == invalidLeaf
+     * removes the block from this group (it is moving to another);
+     * the pre-write content is returned either way.
+     */
+    BlockData accessExplicit(Addr addr, LeafId old_leaf,
+                             LeafId new_leaf, oram::OramOp op,
+                             const BlockData *new_data = nullptr);
+
+    /**
+     * Adopt a block arriving from another group (the APPEND of the
+     * Independent dimension): it enters the CPU-side shadow stash and
+     * settles into this group's tree on later evictions.
+     */
+    void adoptBlock(Addr addr, LeafId leaf, const BlockData &data);
+
+    /** Dummy access draining the shadow stash. */
+    void backgroundEvict();
+
+    const SplitOramStats &stats() const { return stats_; }
+    const std::vector<LeafId> &leafTrace() const { return leafTrace_; }
+    void clearLeafTrace() { leafTrace_.clear(); }
+    std::size_t shadowStashSize() const { return shadow_.size(); }
+    bool integrityOk() const { return stats_.integrityFailures == 0; }
+    unsigned slices() const { return params_.slices; }
+
+    /** Tamper with one slice's stored share (integrity tests). */
+    void tamperSlice(unsigned slice, std::uint64_t bucket_seq,
+                     unsigned slot, std::size_t byte_index);
+
+  private:
+    /** Per-slice ciphertext share of one block, parked in a stash. */
+    struct SlicePiece
+    {
+        std::vector<std::uint8_t> cipher; ///< blockBytes/S bytes.
+        std::uint64_t srcSeq = 0;
+        unsigned srcSlot = 0;
+        std::uint64_t srcCounter = 0;
+    };
+
+    /** One SDIMM's slice of the tree + its local stash. */
+    struct Slice
+    {
+        /** [bucket] metadata cipher share. */
+        std::vector<std::vector<std::uint8_t>> metaShare;
+        /** [bucket][slot] data cipher share. */
+        std::vector<std::vector<std::vector<std::uint8_t>>> dataShare;
+        std::vector<std::uint64_t> counter; ///< Replicated per slice.
+        std::vector<crypto::Tag64> mac;
+        std::vector<std::optional<SlicePiece>> stash;
+    };
+
+    /** CPU-side record of a block held in the SDIMM stashes. */
+    struct ShadowEntry
+    {
+        LeafId leaf = invalidLeaf;
+        bool cpuResident = false; ///< Data lives at the CPU (no pieces).
+        BlockData data{};         ///< Valid when cpuResident.
+        std::size_t stashIdx = 0; ///< Valid when !cpuResident.
+        std::uint64_t srcSeq = 0;
+        unsigned srcSlot = 0;
+        std::uint64_t srcCounter = 0;
+    };
+
+    std::uint64_t metaNonce(std::uint64_t seq) const;
+    std::uint64_t dataNonce(std::uint64_t seq, unsigned slot) const;
+
+    /** Full CTR pad of @p len bytes. */
+    std::vector<std::uint8_t> ctrPad(std::uint64_t nonce,
+                                     std::uint64_t counter,
+                                     std::size_t len) const;
+
+    crypto::Tag64 sliceMac(unsigned slice, std::uint64_t seq,
+                           const Slice &sl) const;
+
+    /** Allocate the same stash slot in every slice. */
+    std::size_t allocStashSlot();
+    void freeStashSlot(std::size_t idx);
+
+    /** Steps 1-3 for one path; fills shadow stash from metadata. */
+    void readPath(LeafId leaf);
+
+    /** Steps 4.5-6: evict shadow-stash blocks onto the path. */
+    void writePath(LeafId leaf);
+
+    /** Reassemble + decrypt a block from its stash pieces. */
+    BlockData fetchStash(const ShadowEntry &e);
+
+    Params params_;
+    oram::TreeLayout layout_;
+    crypto::CtrCipher cipher_;
+    crypto::Pmmac mac_;
+    Rng rng_;
+
+    std::vector<Slice> slices_;
+    std::vector<LeafId> posMap_;
+    std::unordered_map<Addr, ShadowEntry> shadow_;
+    std::size_t stashSlots_ = 0;
+    std::vector<std::size_t> freeSlots_; ///< Shared slot allocator.
+
+    std::vector<LeafId> leafTrace_;
+    SplitOramStats stats_;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_SPLIT_ORAM_HH

@@ -1,0 +1,49 @@
+#include "sdimm/transfer_queue.hh"
+
+#include <algorithm>
+
+namespace secdimm::sdimm
+{
+
+TransferQueue::TransferQueue(std::size_t capacity, double drain_prob,
+                             std::uint64_t seed)
+    : capacity_(capacity), drainProb_(drain_prob), rng_(seed)
+{
+}
+
+bool
+TransferQueue::push(const oram::StashEntry &entry)
+{
+    ++stats_.arrivals;
+    if (q_.size() >= capacity_) {
+        ++stats_.overflows;
+        return false;
+    }
+    q_.push_back(entry);
+    stats_.maxOccupancy = std::max(stats_.maxOccupancy, q_.size());
+    return true;
+}
+
+bool
+TransferQueue::rollDrain()
+{
+    if (q_.empty())
+        return false;
+    const bool drain = rng_.nextBool(drainProb_);
+    if (drain)
+        ++stats_.drains;
+    return drain;
+}
+
+std::optional<oram::StashEntry>
+TransferQueue::pop()
+{
+    if (q_.empty())
+        return std::nullopt;
+    const oram::StashEntry e = q_.front();
+    q_.pop_front();
+    ++stats_.services;
+    return e;
+}
+
+} // namespace secdimm::sdimm

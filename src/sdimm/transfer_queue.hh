@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The SDIMM transfer queue of Section IV-C: blocks APPENDed from
+ * other SDIMMs wait here before entering the normal stash.  Without
+ * help the queue is a saturated random walk (arrival rate == service
+ * rate); the paper's fix drains one entry with an extra accessORAM
+ * with probability p, making utilization rho = 0.25 / (0.25 + p) < 1.
+ */
+
+#ifndef SECUREDIMM_SDIMM_TRANSFER_QUEUE_HH
+#define SECUREDIMM_SDIMM_TRANSFER_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "oram/stash.hh"
+#include "util/rng.hh"
+
+namespace secdimm::sdimm
+{
+
+/** Transfer-queue occupancy and overflow statistics. */
+struct TransferQueueStats
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t services = 0;
+    std::uint64_t drains = 0;    ///< Extra accessORAM drains triggered.
+    std::uint64_t overflows = 0; ///< Arrivals dropped (should be ~0).
+    std::size_t maxOccupancy = 0;
+};
+
+/** Bounded FIFO with probabilistic extra-drain decisions. */
+class TransferQueue
+{
+  public:
+    /**
+     * @param capacity   queue slots (the paper sizes an 8 KB buffer)
+     * @param drain_prob p: probability an arrival triggers an extra
+     *                   accessORAM to service one entry
+     */
+    TransferQueue(std::size_t capacity, double drain_prob,
+                  std::uint64_t seed);
+
+    /**
+     * Enqueue an arriving block.  Returns false (and counts an
+     * overflow) when full.
+     */
+    bool push(const oram::StashEntry &entry);
+
+    /**
+     * Roll the drain decision for the latest arrival: true means the
+     * owner should run one extra accessORAM and service an entry.
+     */
+    bool rollDrain();
+
+    /** Remove and return the oldest entry (service). */
+    std::optional<oram::StashEntry> pop();
+
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return q_.empty(); }
+    double drainProb() const { return drainProb_; }
+    const TransferQueueStats &stats() const { return stats_; }
+
+  private:
+    std::size_t capacity_;
+    double drainProb_;
+    Rng rng_;
+    std::deque<oram::StashEntry> q_;
+    TransferQueueStats stats_;
+};
+
+} // namespace secdimm::sdimm
+
+#endif // SECUREDIMM_SDIMM_TRANSFER_QUEUE_HH

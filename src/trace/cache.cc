@@ -1,0 +1,81 @@
+#include "trace/cache.hh"
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::trace
+{
+
+CacheModel::CacheModel(std::uint64_t size_bytes, unsigned ways,
+                       unsigned line_bytes)
+    : ways_(ways), lineBytes_(line_bytes)
+{
+    SD_ASSERT(ways >= 1);
+    SD_ASSERT(isPowerOfTwo(line_bytes));
+    sets_ = size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
+    SD_ASSERT(sets_ >= 1);
+    SD_ASSERT(isPowerOfTwo(sets_));
+    lines_.resize(sets_ * ways_);
+}
+
+CacheAccessResult
+CacheModel::access(Addr addr, bool write)
+{
+    CacheAccessResult result;
+    const Addr line_addr = addr / lineBytes_;
+    const std::uint64_t set = line_addr & (sets_ - 1);
+    const Addr tag = line_addr >> floorLog2(sets_);
+    Line *base = &lines_[set * ways_];
+    ++useClock_;
+
+    // Hit path.
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = useClock_;
+            l.dirty = l.dirty || write;
+            ++stats_.hits;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: find victim (invalid first, else LRU).
+    ++stats_.misses;
+    unsigned victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = w;
+        }
+    }
+
+    Line &v = base[victim];
+    if (v.valid && v.dirty) {
+        result.writeback = true;
+        result.victimAddr =
+            ((v.tag << floorLog2(sets_)) | set) * lineBytes_;
+        ++stats_.writebacks;
+    }
+    v.valid = true;
+    v.dirty = write;
+    v.tag = tag;
+    v.lastUse = useClock_;
+    return result;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &l : lines_)
+        l = Line{};
+}
+
+} // namespace secdimm::trace

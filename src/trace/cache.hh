@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Set-associative write-back/write-allocate cache model with true-LRU
+ * replacement -- the shared L2/LLC of the paper's Table II (2 MB,
+ * 64-byte lines, 8-way, 10-cycle).
+ */
+
+#ifndef SECUREDIMM_TRACE_CACHE_HH
+#define SECUREDIMM_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace secdimm::trace
+{
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false; ///< A dirty victim was evicted.
+    Addr victimAddr = 0;    ///< Byte address of the dirty victim.
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(misses) / total : 0.0;
+    }
+};
+
+/** LRU set-associative cache. */
+class CacheModel
+{
+  public:
+    CacheModel(std::uint64_t size_bytes, unsigned ways,
+               unsigned line_bytes = blockBytes);
+
+    /** Touch @p addr; allocate on miss; mark dirty on write. */
+    CacheAccessResult access(Addr addr, bool write);
+
+    /** Drop all contents (keeps statistics). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    unsigned ways() const { return ways_; }
+    std::uint64_t sets() const { return sets_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned ways_;
+    unsigned lineBytes_;
+    std::uint64_t sets_;
+    std::vector<Line> lines_; ///< [set * ways + way].
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace secdimm::trace
+
+#endif // SECUREDIMM_TRACE_CACHE_HH

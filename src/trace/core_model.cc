@@ -1,0 +1,161 @@
+#include "trace/core_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace secdimm::trace
+{
+
+CoreModel::CoreModel(const CoreParams &params, CacheModel &llc,
+                     MemoryBackend &mem)
+    : params_(params), llc_(llc), mem_(mem)
+{
+    mem_.setCompletionCallback([this](std::uint64_t id, Tick done) {
+        completed_[id] = done;
+    });
+}
+
+Tick
+CoreModel::waitForCompletion(std::uint64_t id)
+{
+    for (;;) {
+        auto it = completed_.find(id);
+        if (it != completed_.end()) {
+            const Tick done = it->second;
+            completed_.erase(it);
+            return done;
+        }
+        const Tick next = mem_.nextEventAt();
+        SD_ASSERT(next != tickNever);
+        mem_.advanceTo(next);
+    }
+}
+
+void
+CoreModel::waitForAcceptance()
+{
+    while (!mem_.canAccept()) {
+        const Tick next = mem_.nextEventAt();
+        SD_ASSERT(next != tickNever);
+        mem_.advanceTo(next);
+    }
+}
+
+CoreRunResult
+CoreModel::run(TraceGenerator &gen, std::uint64_t warmup_records,
+               std::uint64_t measure_records)
+{
+    // Warm-up: touch the LLC functionally, no timing.
+    for (std::uint64_t i = 0; i < warmup_records; ++i) {
+        const TraceRecord r = gen.next();
+        llc_.access(r.addr, r.write);
+    }
+    llc_.resetStats();
+
+    CoreRunResult result;
+    double fetch_time = 0.0; ///< Fractional memory cycles.
+    std::uint64_t instr_index = 0;
+
+    rob_.clear();
+    completed_.clear();
+
+    for (std::uint64_t i = 0; i < measure_records; ++i) {
+        const TraceRecord r = gen.next();
+        instr_index += r.instGap;
+        result.instructions += r.instGap;
+        ++result.l1Misses;
+
+        fetch_time +=
+            static_cast<double>(r.instGap) / params_.instrPerMemCycle;
+
+        // In-order retirement: pop entries that completed before the
+        // fetch frontier; stall on the ROB head when the window fills.
+        auto resolve_front = [&]() {
+            RobEntry &front = rob_.front();
+            if (front.accessId != 0) {
+                front.doneAt = waitForCompletion(front.accessId);
+                front.accessId = 0;
+            }
+        };
+        while (!rob_.empty()) {
+            const bool window_full =
+                instr_index - rob_.front().instrIndex >=
+                params_.robEntries;
+            if (window_full) {
+                resolve_front();
+                fetch_time = std::max(
+                    fetch_time,
+                    static_cast<double>(rob_.front().doneAt));
+                rob_.pop_front();
+                continue;
+            }
+            // Retire opportunistically when completion is known and
+            // already in the past.
+            RobEntry &front = rob_.front();
+            if (front.accessId != 0) {
+                auto it = completed_.find(front.accessId);
+                if (it == completed_.end())
+                    break;
+                front.doneAt = it->second;
+                completed_.erase(it);
+                front.accessId = 0;
+            }
+            if (static_cast<double>(front.doneAt) <= fetch_time)
+                rob_.pop_front();
+            else
+                break;
+        }
+
+        const Tick now = static_cast<Tick>(std::ceil(fetch_time));
+        const CacheAccessResult c = llc_.access(r.addr, r.write);
+
+        RobEntry entry;
+        entry.instrIndex = instr_index;
+        if (c.hit) {
+            entry.accessId = 0;
+            entry.doneAt = now + params_.llcLatency;
+        } else {
+            ++result.llcMisses;
+            waitForAcceptance();
+            entry.accessId = nextId_++;
+            mem_.access(entry.accessId, r.addr, r.write,
+                        now + params_.llcLatency);
+        }
+        rob_.push_back(entry);
+
+        // Dirty victim: fire-and-forget write to memory.
+        if (c.writeback) {
+            ++result.llcWritebacks;
+            waitForAcceptance();
+            mem_.access(nextId_++, c.victimAddr, true,
+                        now + params_.llcLatency);
+            // The writeback is not tracked in the ROB; drop its
+            // completion record when it arrives.
+        }
+    }
+
+    // Drain: every tracked access must complete.
+    Tick end = static_cast<Tick>(std::ceil(fetch_time));
+    while (!rob_.empty()) {
+        RobEntry &front = rob_.front();
+        if (front.accessId != 0) {
+            front.doneAt = waitForCompletion(front.accessId);
+            front.accessId = 0;
+        }
+        end = std::max(end, front.doneAt);
+        rob_.pop_front();
+    }
+    while (!mem_.idle()) {
+        const Tick next = mem_.nextEventAt();
+        SD_ASSERT(next != tickNever);
+        mem_.advanceTo(next);
+    }
+
+    result.cycles = end;
+    completed_.clear();
+    return result;
+}
+
+} // namespace secdimm::trace

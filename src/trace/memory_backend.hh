@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The interface between the CPU/cache model and a memory system.
+ * Implementations: the non-secure DRAM baseline, Freecursive ORAM, and
+ * the SDIMM Independent / Split / Indep-Split protocols.
+ *
+ * The contract is event-driven: access() hands over one LLC miss;
+ * the backend later reports the finish tick through the completion
+ * callback while the caller drives time forward with advanceTo().
+ */
+
+#ifndef SECUREDIMM_TRACE_MEMORY_BACKEND_HH
+#define SECUREDIMM_TRACE_MEMORY_BACKEND_HH
+
+#include <functional>
+
+#include "util/types.hh"
+
+namespace secdimm
+{
+
+/** Abstract timing model of a memory system under an LLC. */
+class MemoryBackend
+{
+  public:
+    /** Called once per completed access with (id, finish tick). */
+    using CompletionFn = std::function<void(std::uint64_t, Tick)>;
+
+    virtual ~MemoryBackend() = default;
+
+    /** Register the completion consumer (single consumer). */
+    virtual void setCompletionCallback(CompletionFn fn) = 0;
+
+    /** Whether a new access can be admitted right now. */
+    virtual bool canAccept() const = 0;
+
+    /**
+     * Admit one 64-byte access.
+     * @param id       caller-chosen tag echoed at completion
+     * @param byteAddr physical byte address (block aligned or not)
+     * @param write    store vs load
+     * @param now      current simulation tick
+     */
+    virtual void access(std::uint64_t id, Addr byteAddr, bool write,
+                        Tick now) = 0;
+
+    /** Earliest tick at which internal state can change. */
+    virtual Tick nextEventAt() const = 0;
+
+    /** Advance internal machinery; may fire completions. */
+    virtual void advanceTo(Tick now) = 0;
+
+    /** No queued or in-flight work. */
+    virtual bool idle() const = 0;
+};
+
+} // namespace secdimm
+
+#endif // SECUREDIMM_TRACE_MEMORY_BACKEND_HH

@@ -1,0 +1,109 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace secdimm::trace
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'S', 'D', 'T', 'R'};
+
+#pragma pack(push, 1)
+struct PackedRecord
+{
+    std::uint32_t instGap;
+    std::uint64_t addr;
+    std::uint8_t write;
+};
+#pragma pack(pop)
+
+} // namespace
+
+bool
+writeTraceText(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    for (const auto &r : records) {
+        out << r.instGap << " 0x" << std::hex << r.addr << std::dec
+            << " " << (r.write ? "W" : "R") << "\n";
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+readTraceText(const std::string &path, std::vector<TraceRecord> &records)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    records.clear();
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        TraceRecord r;
+        std::string rw;
+        if (!(is >> r.instGap >> std::hex >> r.addr >> std::dec >> rw))
+            return false;
+        if (rw != "R" && rw != "W")
+            return false;
+        r.write = rw == "W";
+        records.push_back(r);
+    }
+    return true;
+}
+
+bool
+writeTraceBinary(const std::string &path,
+                 const std::vector<TraceRecord> &records)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out.write(traceMagic, sizeof(traceMagic));
+    const std::uint64_t count = records.size();
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const auto &r : records) {
+        PackedRecord p{r.instGap, r.addr,
+                       static_cast<std::uint8_t>(r.write ? 1 : 0)};
+        out.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+readTraceBinary(const std::string &path,
+                std::vector<TraceRecord> &records)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, traceMagic, sizeof(magic)) != 0)
+        return false;
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in)
+        return false;
+    records.clear();
+    records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord p;
+        in.read(reinterpret_cast<char *>(&p), sizeof(p));
+        if (!in)
+            return false;
+        records.push_back({p.instGap, p.addr, p.write != 0});
+    }
+    return true;
+}
+
+} // namespace secdimm::trace

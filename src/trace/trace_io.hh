@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reading and writing L1-miss traces.  The text form ("gap addr r/w"
+ * per line) is diff-friendly; the binary form ("SDTR" magic + packed
+ * records) is compact for long captures.
+ */
+
+#ifndef SECUREDIMM_TRACE_TRACE_IO_HH
+#define SECUREDIMM_TRACE_TRACE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_record.hh"
+
+namespace secdimm::trace
+{
+
+/** Write @p records as text; returns false on I/O failure. */
+bool writeTraceText(const std::string &path,
+                    const std::vector<TraceRecord> &records);
+
+/** Read a text trace; returns false on I/O or parse failure. */
+bool readTraceText(const std::string &path,
+                   std::vector<TraceRecord> &records);
+
+/** Write @p records in the binary "SDTR" format. */
+bool writeTraceBinary(const std::string &path,
+                      const std::vector<TraceRecord> &records);
+
+/** Read a binary trace; validates the magic and length. */
+bool readTraceBinary(const std::string &path,
+                     std::vector<TraceRecord> &records);
+
+} // namespace secdimm::trace
+
+#endif // SECUREDIMM_TRACE_TRACE_IO_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * One record of an L1-miss trace: how many instructions executed since
+ * the previous memory reference, the referenced address, and whether
+ * it is a store.  The paper captures such traces with Simics; we
+ * synthesize them (see workload.hh).
+ */
+
+#ifndef SECUREDIMM_TRACE_TRACE_RECORD_HH
+#define SECUREDIMM_TRACE_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace secdimm::trace
+{
+
+/** One L1 miss event. */
+struct TraceRecord
+{
+    std::uint32_t instGap = 0; ///< Instructions since previous record.
+    Addr addr = 0;             ///< Byte address touched.
+    bool write = false;
+};
+
+} // namespace secdimm::trace
+
+#endif // SECUREDIMM_TRACE_TRACE_RECORD_HH

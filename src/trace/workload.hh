@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic L1-miss trace generators standing in for the paper's
+ * Simics-captured SPEC CPU2006 traces (see DESIGN.md substitutions).
+ *
+ * Each profile fixes the trace properties the paper's results actually
+ * depend on: miss intensity (instructions between misses), burstiness
+ * (memory-level parallelism available inside the 128-entry ROB),
+ * read/write mix, spatial locality (PLB and row-buffer behaviour), and
+ * footprint (LLC behaviour).  gromacs/omnetpp are configured with high
+ * MLP (they favor the Independent protocol in the paper) and GemsFDTD
+ * with near-serial dependent misses (it favors Split).
+ */
+
+#ifndef SECUREDIMM_TRACE_WORKLOAD_HH
+#define SECUREDIMM_TRACE_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_record.hh"
+#include "util/rng.hh"
+
+namespace secdimm::trace
+{
+
+/** Tunable knobs of one synthetic benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+    double meanInstGap = 100.0;  ///< Mean instructions between misses.
+    double burstMean = 2.0;      ///< Mean misses per dependence-free burst.
+    std::uint32_t burstInstGap = 4; ///< Gap between misses inside a burst.
+    double writeFraction = 0.3;
+    double seqProb = 0.5;        ///< P(next line = previous + 64B).
+    std::uint64_t footprintBytes = 256ULL << 20;
+
+    /**
+     * Fraction of references landing in a small hot region that fits
+     * the LLC; models the temporal reuse real programs exhibit and
+     * sets the LLC hit rate.
+     */
+    double hotFraction = 0.45;
+    std::uint64_t hotBytes = 1ULL << 20;
+};
+
+/** Stream of synthetic TraceRecords for one profile. */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const WorkloadProfile &profile, std::uint64_t seed);
+
+    /** Produce the next L1 miss event. */
+    TraceRecord next();
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    WorkloadProfile profile_;
+    Rng rng_;
+    Addr coldAddr_ = 0; ///< Cursor in the large cold region.
+    Addr hotAddr_ = 0;  ///< Cursor in the LLC-resident hot region.
+    std::uint64_t burstLeft_ = 0;
+};
+
+/**
+ * The ten memory-intensive SPEC CPU2006 profiles evaluated in the
+ * paper's Section IV.
+ */
+const std::vector<WorkloadProfile> &spec2006Profiles();
+
+/** Lookup by name; nullptr when unknown. */
+const WorkloadProfile *findProfile(const std::string &name);
+
+} // namespace secdimm::trace
+
+#endif // SECUREDIMM_TRACE_WORKLOAD_HH

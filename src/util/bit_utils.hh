@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by address mapping and tree math.
+ */
+
+#ifndef SECUREDIMM_UTIL_BIT_UTILS_HH
+#define SECUREDIMM_UTIL_BIT_UTILS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace secdimm
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); panics on v == 0. */
+inline unsigned
+floorLog2(std::uint64_t v)
+{
+    SD_ASSERT(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceil of log2(v); panics on v == 0. */
+inline unsigned
+ceilLog2(std::uint64_t v)
+{
+    SD_ASSERT(v != 0);
+    return v == 1 ? 0u : floorLog2(v - 1) + 1;
+}
+
+/** Extract bits [lo, lo+width) from @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return v >> lo;
+    return (v >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, unsigned lo, unsigned width,
+           std::uint64_t field)
+{
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return (v & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Round @p v up to the next multiple of @p align (align must be pow2). */
+constexpr std::uint64_t
+roundUpPow2(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace secdimm
+
+#endif // SECUREDIMM_UTIL_BIT_UTILS_HH

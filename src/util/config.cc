@@ -1,0 +1,155 @@
+#include "util/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace secdimm
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+} // namespace
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::setUInt(const std::string &key, std::uint64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::setDouble(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    values_[key] = os.str();
+}
+
+void
+Config::setBool(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::uint64_t
+Config::getUInt(const std::string &key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    try {
+        return std::stoull(it->second, nullptr, 0);
+    } catch (...) {
+        return def;
+    }
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    try {
+        return std::stod(it->second);
+    } catch (...) {
+        return def;
+    }
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    return def;
+}
+
+bool
+Config::parseLine(const std::string &line)
+{
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#')
+        return true;
+    const auto eq = t.find('=');
+    if (eq == std::string::npos)
+        return false;
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty())
+        return false;
+    set(key, value);
+    return true;
+}
+
+bool
+Config::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    bool ok = true;
+    while (std::getline(in, line))
+        ok = parseLine(line) && ok;
+    return ok;
+}
+
+void
+Config::applyEnvOverrides(const std::string &prefix)
+{
+    for (auto &kv : values_) {
+        std::string env_name = prefix;
+        for (char c : kv.first) {
+            if (c == '.' || c == '-')
+                env_name += '_';
+            else
+                env_name += static_cast<char>(
+                    std::toupper(static_cast<unsigned char>(c)));
+        }
+        if (const char *v = std::getenv(env_name.c_str()))
+            kv.second = v;
+    }
+}
+
+} // namespace secdimm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Typed key/value configuration store with defaults, environment
+ * overrides, and simple "key = value" file parsing.  Benches use it to
+ * expose sweep parameters without recompiling.
+ */
+
+#ifndef SECUREDIMM_UTIL_CONFIG_HH
+#define SECUREDIMM_UTIL_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace secdimm
+{
+
+/** String-backed configuration dictionary with typed accessors. */
+class Config
+{
+  public:
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+    void setUInt(const std::string &key, std::uint64_t value);
+    void setDouble(const std::string &key, double value);
+    void setBool(const std::string &key, bool value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters returning @p def when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::uint64_t getUInt(const std::string &key,
+                          std::uint64_t def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    /**
+     * Parse "key = value" lines ('#' comments, blank lines ignored).
+     * @return false (with no mutation of previously-set keys rolled
+     * back) if any line is malformed.
+     */
+    bool parseLine(const std::string &line);
+    bool loadFile(const std::string &path);
+
+    /**
+     * Override keys from environment variables: key "dram.channels"
+     * maps to env var prefix + "DRAM_CHANNELS".
+     */
+    void applyEnvOverrides(const std::string &prefix);
+
+    std::size_t size() const { return values_.size(); }
+    const std::map<std::string, std::string> &raw() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace secdimm
+
+#endif // SECUREDIMM_UTIL_CONFIG_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for simulator bugs,
+ * fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef SECUREDIMM_UTIL_LOGGING_HH
+#define SECUREDIMM_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace secdimm
+{
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort().
+ * Use for conditions that must never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad arguments)
+ * and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** Number of warn() calls so far (tests assert on this). */
+std::uint64_t warnCount();
+
+/**
+ * Assert-like check active in all build types.  On failure, panics with
+ * the stringified condition and location.
+ */
+#define SD_ASSERT(cond)                                                  \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::secdimm::panic("assertion '%s' failed at %s:%d", #cond,    \
+                             __FILE__, __LINE__);                        \
+        }                                                                \
+    } while (0)
+
+} // namespace secdimm
+
+#endif // SECUREDIMM_UTIL_LOGGING_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used for
+ * ORAM leaf remapping and workload synthesis.  Deterministic seeding
+ * keeps every simulation reproducible.
+ *
+ * Note: simulation-side randomness only.  Cryptographic randomness in
+ * the protocol model comes from AES-CTR pads in src/crypto.
+ */
+
+#ifndef SECUREDIMM_UTIL_RNG_HH
+#define SECUREDIMM_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace secdimm
+{
+
+/**
+ * xoshiro256** by Blackman & Vigna: fast, high-quality 64-bit PRNG with
+ * a 256-bit state, seeded via splitmix64.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5eed5d1335u) { reseed(seed); }
+
+    /** Re-initialize the state from @p seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound); bound == 0 returns 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish inter-arrival sample with mean @p mean (>=1),
+     * used by the synthetic workload generators.
+     */
+    std::uint64_t nextGeometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace secdimm
+
+#endif // SECUREDIMM_UTIL_RNG_HH

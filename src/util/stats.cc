@@ -1,0 +1,118 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace secdimm
+{
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Average::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(std::size_t buckets, double bucket_width)
+    : counts_(buckets == 0 ? 1 : buckets, 0),
+      bucketWidth_(bucket_width <= 0.0 ? 1.0 : bucket_width)
+{
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    sum_ += v;
+    if (v < 0) {
+        ++overflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(v / bucketWidth_);
+    if (idx >= counts_.size())
+        ++overflow_;
+    else
+        ++counts_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Average &
+StatRegistry::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &name, std::size_t buckets,
+                        double bucket_width)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(buckets, bucket_width))
+                 .first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatRegistry::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : averages_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : averages_) {
+        os << kv.first << ".mean " << std::setprecision(6)
+           << kv.second.mean() << "\n";
+        os << kv.first << ".count " << kv.second.count() << "\n";
+    }
+    for (const auto &kv : histograms_) {
+        os << kv.first << ".samples " << kv.second.total() << "\n";
+        os << kv.first << ".mean " << kv.second.mean() << "\n";
+    }
+}
+
+} // namespace secdimm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages, and
+ * fixed-bucket histograms, grouped in a registry that can be dumped in
+ * a stable, diffable text format.
+ */
+
+#ifndef SECUREDIMM_UTIL_STATS_HH
+#define SECUREDIMM_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace secdimm
+{
+
+/** Monotonic scalar counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over observed samples. */
+class Average
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Histogram over [0, buckets*bucketWidth) with an overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(std::size_t buckets = 16, double bucket_width = 1.0);
+
+    void sample(double v);
+    void reset();
+
+    std::size_t bucketCount() const { return counts_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+    std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    double bucketWidth_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Named collection of statistics.  Components register stats by name;
+ * dump() prints "name value" lines sorted by name.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Average &average(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::size_t buckets = 16,
+                         double bucket_width = 1.0);
+
+    /** Fetch an existing counter's value; 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    void reset();
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace secdimm
+
+#endif // SECUREDIMM_UTIL_STATS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types and block-sized value types shared by every
+ * module in the Secure DIMM reproduction.
+ */
+
+#ifndef SECUREDIMM_UTIL_TYPES_HH
+#define SECUREDIMM_UTIL_TYPES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace secdimm
+{
+
+/** Physical or ORAM-logical byte/block address. */
+using Addr = std::uint64_t;
+
+/** Absolute simulation time, measured in memory-controller cycles. */
+using Tick = std::uint64_t;
+
+/** A duration in memory-controller cycles. */
+using Cycles = std::uint64_t;
+
+/** Leaf identifier in a Path ORAM tree (0 .. 2^L - 1). */
+using LeafId = std::uint64_t;
+
+/** Cache-line / ORAM-block size used throughout (bytes). */
+inline constexpr std::size_t blockBytes = 64;
+
+/** One 64-byte data block, the unit of all ORAM data movement. */
+using BlockData = std::array<std::uint8_t, blockBytes>;
+
+/** A tick value meaning "never" / "not scheduled". */
+inline constexpr Tick tickNever = ~Tick{0};
+
+/** Sentinel for an invalid / absent address. */
+inline constexpr Addr invalidAddr = ~Addr{0};
+
+/** Sentinel for an invalid leaf. */
+inline constexpr LeafId invalidLeaf = ~LeafId{0};
+
+/** Zero-filled block, handy for dummies. */
+inline BlockData
+zeroBlock()
+{
+    return BlockData{};
+}
+
+} // namespace secdimm
+
+#endif // SECUREDIMM_UTIL_TYPES_HH

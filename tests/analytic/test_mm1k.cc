@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "analytic/area_model.hh"
+#include "analytic/mm1k.hh"
+
+namespace secdimm::analytic
+{
+namespace
+{
+
+TEST(Mm1k, UtilizationFormula)
+{
+    // rho = 0.25 / (0.25 + p), Section IV-C.
+    EXPECT_DOUBLE_EQ(mm1kUtilization(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(mm1kUtilization(0.25), 0.5);
+    EXPECT_DOUBLE_EQ(mm1kUtilization(0.75), 0.25);
+}
+
+TEST(Mm1k, SaturatedQueueBlocking)
+{
+    // rho == 1: uniform occupancy, blocking = 1/(K+1).
+    EXPECT_NEAR(mm1kBlockingProbability(1.0, 16), 1.0 / 17, 1e-12);
+}
+
+TEST(Mm1k, BlockingDropsWithQueueSize)
+{
+    const double rho = 0.5;
+    double prev = 1;
+    for (unsigned k : {2u, 4u, 8u, 16u, 32u}) {
+        const double p = mm1kBlockingProbability(rho, k);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+    // 32 slots at rho=0.5: essentially never overflows.
+    EXPECT_LT(prev, 1e-9);
+}
+
+TEST(Mm1k, BlockingDropsWithDrainProbability)
+{
+    double prev = 1;
+    for (double p : {0.05, 0.1, 0.25, 0.5}) {
+        const double blocking = transferQueueOverflow(p, 16);
+        EXPECT_LT(blocking, prev);
+        prev = blocking;
+    }
+}
+
+TEST(Mm1k, Figure13bSmallQueueSmallPSuffices)
+{
+    // The paper's takeaway: "even a small queue has a very small
+    // overflow rate if we occasionally service an incoming block".
+    EXPECT_LT(transferQueueOverflow(0.25, 32), 1e-8);
+    EXPECT_LT(transferQueueOverflow(0.1, 64), 1e-8);
+    // Without drains a small queue saturates.
+    EXPECT_GT(transferQueueOverflow(0.0, 32), 0.025);
+}
+
+TEST(Mm1k, OccupancySumsToOne)
+{
+    for (double rho : {0.3, 0.5, 1.0}) {
+        const auto pi = mm1kOccupancy(rho, 16);
+        double sum = 0;
+        for (double p : pi)
+            sum += p;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "rho=" << rho;
+    }
+}
+
+TEST(Mm1k, MeanOccupancyIncreasesWithRho)
+{
+    EXPECT_LT(mm1kMeanOccupancy(0.3, 16), mm1kMeanOccupancy(0.7, 16));
+    EXPECT_LT(mm1kMeanOccupancy(0.7, 16), mm1kMeanOccupancy(1.0, 16));
+}
+
+TEST(AreaModel, PaperAnchor)
+{
+    // Section IV-B: controller 0.47 mm^2 + 8KB buffer < 0.42 mm^2,
+    // total < 1 mm^2.
+    const SecureBufferArea a = secureBufferArea(8192);
+    EXPECT_DOUBLE_EQ(a.oramControllerMm2, 0.47);
+    EXPECT_LE(a.bufferMm2, 0.42 + 1e-9);
+    EXPECT_LT(a.totalMm2(), 1.0);
+}
+
+TEST(AreaModel, SramScalesWithCapacity)
+{
+    EXPECT_LT(sramAreaMm2(4096), sramAreaMm2(8192));
+    EXPECT_LT(sramAreaMm2(8192), sramAreaMm2(16384));
+    EXPECT_DOUBLE_EQ(sramAreaMm2(0), 0.0);
+}
+
+} // namespace
+} // namespace secdimm::analytic

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.hh"
+
+namespace secdimm::crypto
+{
+namespace
+{
+
+Aes128Block
+blockFromBytes(std::initializer_list<std::uint8_t> bytes)
+{
+    Aes128Block b{};
+    std::size_t i = 0;
+    for (auto v : bytes)
+        b[i++] = v;
+    return b;
+}
+
+/** FIPS-197 Appendix C.1 known-answer test. */
+TEST(Aes128, Fips197KnownAnswer)
+{
+    const Aes128Key key = blockFromBytes(
+        {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+         0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f});
+    const Aes128Block pt = blockFromBytes(
+        {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+         0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff});
+    const Aes128Block expected = blockFromBytes(
+        {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+         0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a});
+
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encrypt(pt), expected);
+    EXPECT_EQ(aes.decrypt(expected), pt);
+}
+
+/** NIST SP 800-38A F.1.1 ECB-AES128 vector. */
+TEST(Aes128, Sp80038aVector)
+{
+    const Aes128Key key = blockFromBytes(
+        {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+         0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+    const Aes128Block pt = blockFromBytes(
+        {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+         0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a});
+    const Aes128Block expected = blockFromBytes(
+        {0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60,
+         0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66, 0xef, 0x97});
+
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encrypt(pt), expected);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    Aes128 aes(makeKey(0x0123456789abcdefULL, 0xfedcba9876543210ULL));
+    Aes128Block pt{};
+    for (int trial = 0; trial < 64; ++trial) {
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(b * 31 + trial + 7);
+        EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+    }
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertext)
+{
+    Aes128 a(makeKey(1, 2));
+    Aes128 b(makeKey(1, 3));
+    const Aes128Block pt{};
+    EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+TEST(Aes128, RekeyChangesOutput)
+{
+    Aes128 aes(makeKey(1, 2));
+    const Aes128Block pt{};
+    const auto c1 = aes.encrypt(pt);
+    aes.rekey(makeKey(9, 9));
+    EXPECT_NE(aes.encrypt(pt), c1);
+    aes.rekey(makeKey(1, 2));
+    EXPECT_EQ(aes.encrypt(pt), c1);
+}
+
+TEST(Aes128, AvalancheOnPlaintextBitFlip)
+{
+    Aes128 aes(makeKey(0xaaaa, 0x5555));
+    Aes128Block pt{};
+    const auto c1 = aes.encrypt(pt);
+    pt[0] ^= 1;
+    const auto c2 = aes.encrypt(pt);
+    int differing_bits = 0;
+    for (std::size_t i = 0; i < c1.size(); ++i) {
+        std::uint8_t d = c1[i] ^ c2[i];
+        while (d) {
+            differing_bits += d & 1;
+            d >>= 1;
+        }
+    }
+    // Expect roughly half of the 128 bits to flip.
+    EXPECT_GT(differing_bits, 40);
+    EXPECT_LT(differing_bits, 90);
+}
+
+TEST(Aes128, BlockXor)
+{
+    Aes128Block a{}, b{};
+    a[0] = 0xf0;
+    b[0] = 0x0f;
+    b[15] = 0xff;
+    const auto x = blockXor(a, b);
+    EXPECT_EQ(x[0], 0xff);
+    EXPECT_EQ(x[15], 0xff);
+    EXPECT_EQ(x[7], 0x00);
+}
+
+TEST(Aes128, MakeKeyByteOrder)
+{
+    const auto k = makeKey(0x0102030405060708ULL, 0x090a0b0c0d0e0f10ULL);
+    EXPECT_EQ(k[0], 0x01);
+    EXPECT_EQ(k[7], 0x08);
+    EXPECT_EQ(k[8], 0x09);
+    EXPECT_EQ(k[15], 0x10);
+}
+
+} // namespace
+} // namespace secdimm::crypto

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/cmac.hh"
+
+namespace secdimm::crypto
+{
+namespace
+{
+
+Aes128Key
+rfc4493Key()
+{
+    return Aes128Key{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+}
+
+const std::uint8_t rfc4493Msg[64] = {
+    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+    0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a,
+    0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c,
+    0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51,
+    0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11,
+    0xe5, 0xfb, 0xc1, 0x19, 0x1a, 0x0a, 0x52, 0xef,
+    0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17,
+    0xad, 0x2b, 0x41, 0x7b, 0xe6, 0x6c, 0x37, 0x10,
+};
+
+/** RFC 4493 test vector: empty message. */
+TEST(Cmac, Rfc4493EmptyMessage)
+{
+    const Aes128Block expected{0xbb, 0x1d, 0x69, 0x29, 0xe9, 0x59,
+                               0x37, 0x28, 0x7f, 0xa3, 0x7d, 0x12,
+                               0x9b, 0x75, 0x67, 0x46};
+    Cmac cmac(rfc4493Key());
+    EXPECT_EQ(cmac.compute(nullptr, 0), expected);
+}
+
+/** RFC 4493 test vector: 16-byte message. */
+TEST(Cmac, Rfc449316Bytes)
+{
+    const Aes128Block expected{0x07, 0x0a, 0x16, 0xb4, 0x6b, 0x4d,
+                               0x41, 0x44, 0xf7, 0x9b, 0xdd, 0x9d,
+                               0xd0, 0x4a, 0x28, 0x7c};
+    Cmac cmac(rfc4493Key());
+    EXPECT_EQ(cmac.compute(rfc4493Msg, 16), expected);
+}
+
+/** RFC 4493 test vector: 40-byte message (partial final block). */
+TEST(Cmac, Rfc449340Bytes)
+{
+    const Aes128Block expected{0xdf, 0xa6, 0x67, 0x47, 0xde, 0x9a,
+                               0xe6, 0x30, 0x30, 0xca, 0x32, 0x61,
+                               0x14, 0x97, 0xc8, 0x27};
+    Cmac cmac(rfc4493Key());
+    EXPECT_EQ(cmac.compute(rfc4493Msg, 40), expected);
+}
+
+/** RFC 4493 test vector: 64-byte message. */
+TEST(Cmac, Rfc449364Bytes)
+{
+    const Aes128Block expected{0x51, 0xf0, 0xbe, 0xbf, 0x7e, 0x3b,
+                               0x9d, 0x92, 0xfc, 0x49, 0x74, 0x17,
+                               0x79, 0x36, 0x3c, 0xfe};
+    Cmac cmac(rfc4493Key());
+    EXPECT_EQ(cmac.compute(rfc4493Msg, 64), expected);
+}
+
+TEST(Cmac, AnyBitFlipChangesTag)
+{
+    Cmac cmac(rfc4493Key());
+    const auto base = cmac.compute(rfc4493Msg, 40);
+    for (std::size_t byte = 0; byte < 40; byte += 5) {
+        std::uint8_t msg[40];
+        std::memcpy(msg, rfc4493Msg, 40);
+        msg[byte] ^= 0x01;
+        EXPECT_NE(cmac.compute(msg, 40), base) << "byte=" << byte;
+    }
+}
+
+TEST(Cmac, LengthExtensionChangesTag)
+{
+    Cmac cmac(rfc4493Key());
+    // A message and its zero-padded extension must have distinct tags.
+    std::vector<std::uint8_t> m(24, 0xab);
+    std::vector<std::uint8_t> m2(25, 0xab);
+    m2[24] = 0x00;
+    EXPECT_NE(cmac.compute(m.data(), m.size()),
+              cmac.compute(m2.data(), m2.size()));
+}
+
+TEST(Cmac, TagsEqualHelper)
+{
+    Aes128Block a{}, b{};
+    EXPECT_TRUE(Cmac::tagsEqual(a, b));
+    b[9] = 1;
+    EXPECT_FALSE(Cmac::tagsEqual(a, b));
+}
+
+} // namespace
+} // namespace secdimm::crypto

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "crypto/key_exchange.hh"
+
+namespace secdimm::crypto
+{
+namespace
+{
+
+TEST(KeyExchange, ModPowBasics)
+{
+    EXPECT_EQ(dhModPow(2, 0), 1u);
+    EXPECT_EQ(dhModPow(2, 1), 2u);
+    EXPECT_EQ(dhModPow(2, 10), 1024u);
+    // Fermat: g^(p-1) == 1 mod p for prime p.
+    EXPECT_EQ(dhModPow(dhGenerator, dhModulus - 1), 1u);
+}
+
+TEST(KeyExchange, SharedSecretAgrees)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 10; ++trial) {
+        const DhKeyPair cpu = dhGenerate(rng);
+        const DhKeyPair dimm = dhGenerate(rng);
+        const auto s1 = dhShared(cpu.priv, dimm.pub);
+        const auto s2 = dhShared(dimm.priv, cpu.pub);
+        EXPECT_EQ(s1, s2);
+    }
+}
+
+TEST(KeyExchange, DistinctSessionsDistinctSecrets)
+{
+    Rng rng(7);
+    const DhKeyPair a1 = dhGenerate(rng);
+    const DhKeyPair b1 = dhGenerate(rng);
+    const DhKeyPair a2 = dhGenerate(rng);
+    const DhKeyPair b2 = dhGenerate(rng);
+    EXPECT_NE(dhShared(a1.priv, b1.pub), dhShared(a2.priv, b2.pub));
+}
+
+TEST(KeyExchange, DerivedKeysDirectionSeparated)
+{
+    const std::uint64_t shared = 0x1234567890abcdefULL & (dhModulus - 1);
+    const auto up = deriveSessionKey(shared, 0);
+    const auto down = deriveSessionKey(shared, 1);
+    EXPECT_NE(up, down);
+    // Deterministic on both ends.
+    EXPECT_EQ(deriveSessionKey(shared, 0), up);
+}
+
+TEST(KeyExchange, DifferentSecretsDifferentKeys)
+{
+    EXPECT_NE(deriveSessionKey(1, 0), deriveSessionKey(2, 0));
+}
+
+TEST(KeyExchange, PublicKeyInGroup)
+{
+    Rng rng(99);
+    for (int i = 0; i < 20; ++i) {
+        const DhKeyPair kp = dhGenerate(rng);
+        EXPECT_GT(kp.pub, 0u);
+        EXPECT_LT(kp.pub, dhModulus);
+    }
+}
+
+} // namespace
+} // namespace secdimm::crypto

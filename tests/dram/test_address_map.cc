@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "dram/address_map.hh"
+
+namespace secdimm::dram
+{
+namespace
+{
+
+Geometry
+smallGeom()
+{
+    Geometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 4;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 64;
+    g.rowBufferBytes = 8192;
+    return g;
+}
+
+TEST(AddressMap, BlockCountMatchesGeometry)
+{
+    const Geometry g = smallGeom();
+    AddressMap m(g, MapPolicy::RowRankBankCol);
+    const Addr expected = static_cast<Addr>(g.ranksPerChannel) *
+                          g.banksPerRank * g.rowsPerBank *
+                          g.blocksPerRow();
+    EXPECT_EQ(m.blockCount(), expected);
+}
+
+TEST(AddressMap, DecodeEncodeRoundTrip)
+{
+    AddressMap m(smallGeom(), MapPolicy::RowRankBankCol);
+    for (Addr a = 0; a < m.blockCount(); a += 977) {
+        const DramCoord c = m.decode(a);
+        EXPECT_EQ(m.encode(c), a);
+    }
+}
+
+TEST(AddressMap, RankMajorRoundTrip)
+{
+    AddressMap m(smallGeom(), MapPolicy::RankRowBankCol);
+    for (Addr a = 0; a < m.blockCount(); a += 1013) {
+        const DramCoord c = m.decode(a);
+        EXPECT_EQ(m.encode(c), a);
+    }
+}
+
+TEST(AddressMap, ConsecutiveBlocksShareRow)
+{
+    // Both policies must keep consecutive blocks in the same open row
+    // until a row boundary -- the property subtree packing relies on.
+    for (auto policy :
+         {MapPolicy::RowRankBankCol, MapPolicy::RankRowBankCol}) {
+        AddressMap m(smallGeom(), policy);
+        const unsigned bpr = smallGeom().blocksPerRow();
+        const DramCoord c0 = m.decode(0);
+        for (Addr a = 1; a < bpr; ++a) {
+            const DramCoord c = m.decode(a);
+            EXPECT_EQ(c.row, c0.row);
+            EXPECT_EQ(c.bank, c0.bank);
+            EXPECT_EQ(c.rank, c0.rank);
+            EXPECT_EQ(c.col, a);
+        }
+        EXPECT_NE(m.decode(bpr).bank, c0.bank);
+    }
+}
+
+TEST(AddressMap, RankMajorKeepsRegionsInOneRank)
+{
+    // Top address bits select the rank: one quarter of the space maps
+    // entirely to rank 0 (the Section III-E low-power layout).
+    const Geometry g = smallGeom();
+    AddressMap m(g, MapPolicy::RankRowBankCol);
+    const Addr region = m.blockCount() / g.ranksPerChannel;
+    for (Addr a = 0; a < region; a += 97)
+        EXPECT_EQ(m.decode(a).rank, 0u);
+    for (Addr a = region; a < 2 * region; a += 97)
+        EXPECT_EQ(m.decode(a).rank, 1u);
+}
+
+TEST(AddressMap, RowInterleavedPolicySpreadsAcrossRanks)
+{
+    // In the baseline policy the rank bits sit below the row bits, so
+    // walking addresses at bank*row stride rotates through ranks.
+    const Geometry g = smallGeom();
+    AddressMap m(g, MapPolicy::RowRankBankCol);
+    const Addr stride =
+        static_cast<Addr>(g.blocksPerRow()) * g.banksPerRank;
+    EXPECT_EQ(m.decode(0).rank, 0u);
+    EXPECT_EQ(m.decode(stride).rank, 1u);
+    EXPECT_EQ(m.decode(2 * stride).rank, 2u);
+}
+
+TEST(AddressMap, DistinctAddressesDistinctCoords)
+{
+    AddressMap m(smallGeom(), MapPolicy::RowRankBankCol);
+    const DramCoord a = m.decode(12345);
+    const DramCoord b = m.decode(12346);
+    EXPECT_FALSE(a.rank == b.rank && a.bank == b.bank &&
+                 a.row == b.row && a.col == b.col);
+}
+
+} // namespace
+} // namespace secdimm::dram

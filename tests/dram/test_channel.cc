@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "dram/channel.hh"
+
+namespace secdimm::dram
+{
+namespace
+{
+
+Geometry
+smallGeom()
+{
+    Geometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 2;
+    g.banksPerRank = 4;
+    g.rowsPerBank = 128;
+    g.rowBufferBytes = 8192;
+    return g;
+}
+
+struct Harness
+{
+    TimingParams t = ddr3_1600();
+    DramChannel ch;
+    std::vector<DramCompletion> done;
+
+    Harness()
+        : ch("test", ddr3_1600(), smallGeom(), MapPolicy::RowRankBankCol)
+    {
+        ch.setCompletionCallback(
+            [this](const DramCompletion &c) { done.push_back(c); });
+    }
+
+    Tick
+    finish()
+    {
+        return ch.drain();
+    }
+
+    /** Block address for explicit coordinates. */
+    Addr
+    blockAt(unsigned rank, unsigned bank, unsigned row, unsigned col)
+    {
+        DramCoord c{rank, bank, row, col};
+        return ch.addressMap().encode(c);
+    }
+};
+
+TEST(DramChannel, SingleReadLatencyFromIdle)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 1u);
+    // ACT at 0, CAS at tRCD, data complete CL + tBURST later.
+    EXPECT_EQ(h.done[0].doneAt, h.t.tRCD + h.t.cl + h.t.tBURST);
+}
+
+TEST(DramChannel, RowHitBackToBackReads)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    h.ch.enqueue(2, h.blockAt(0, 0, 5, 1), false, 0);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 2u);
+    // Second burst streams right behind the first (tCCD == tBURST).
+    EXPECT_EQ(h.done[1].doneAt - h.done[0].doneAt, h.t.tBURST);
+    EXPECT_EQ(h.ch.stats().rowHits, 1u);
+    EXPECT_EQ(h.ch.stats().rowMisses, 1u);
+}
+
+TEST(DramChannel, RowConflictPaysPrechargeAndActivate)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    h.ch.enqueue(2, h.blockAt(0, 0, 9, 0), false, 0);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 2u);
+    // Second access: PRE cannot issue before tRAS, then tRP + tRCD +
+    // CL + tBURST.
+    const Tick expected_second =
+        h.t.tRAS + h.t.tRP + h.t.tRCD + h.t.cl + h.t.tBURST;
+    EXPECT_GE(h.done[1].doneAt, expected_second);
+    EXPECT_EQ(h.ch.stats().precharges, 1u);
+    EXPECT_EQ(h.ch.stats().activates, 2u);
+}
+
+TEST(DramChannel, BankParallelismOverlapsActivates)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    h.ch.enqueue(2, h.blockAt(0, 1, 5, 0), false, 0);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 2u);
+    // Different banks: the second ACT only waits tRRD, so the bursts
+    // are separated by max(tBURST, tRRD) rather than a full tRC.
+    EXPECT_EQ(h.done[1].doneAt - h.done[0].doneAt,
+              std::max(h.t.tBURST, h.t.tRRD));
+}
+
+TEST(DramChannel, WriteThenReadSameRankPaysTurnaround)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), true, 0);
+    h.finish();
+    const Tick write_data_end = h.t.tRCD + h.t.cwl + h.t.tBURST;
+    ASSERT_EQ(h.done.size(), 1u);
+    EXPECT_EQ(h.done[0].doneAt, write_data_end);
+
+    // Now a read to the same open row must honor tWTR after the write
+    // burst before its CAS.
+    h.ch.enqueue(2, h.blockAt(0, 0, 5, 1), false, write_data_end);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 2u);
+    EXPECT_GE(h.done[1].doneAt,
+              write_data_end + h.t.tWTR + h.t.cl + h.t.tBURST);
+}
+
+TEST(DramChannel, RankSwitchPaysTrtrs)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    h.ch.enqueue(2, h.blockAt(1, 0, 5, 0), false, 0);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 2u);
+    // Bursts on different ranks are separated by at least
+    // tBURST + tRTRS on the shared data bus.
+    EXPECT_GE(h.done[1].doneAt - h.done[0].doneAt,
+              h.t.tBURST + h.t.tRTRS);
+    EXPECT_EQ(h.ch.stats().rankSwitches, 1u);
+}
+
+TEST(DramChannel, FrFcfsPrefersRowHitOverOlderConflict)
+{
+    Harness h;
+    // Open row 5 in bank 0.
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    // Request A (older): conflict in bank 0 (row 9).
+    h.ch.enqueue(2, h.blockAt(0, 0, 9, 0), false, 1);
+    // Request B (younger): hit in bank 0 row 5.
+    h.ch.enqueue(3, h.blockAt(0, 0, 5, 3), false, 2);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 3u);
+    // FR-FCFS services the row hit (id 3) before the conflict (id 2).
+    EXPECT_EQ(h.done[1].id, 3u);
+    EXPECT_EQ(h.done[2].id, 2u);
+}
+
+TEST(DramChannel, FcfsServicesInOrder)
+{
+    DramChannel ch("fcfs", ddr3_1600(), smallGeom(),
+                   MapPolicy::RowRankBankCol, SchedPolicy::Fcfs);
+    std::vector<DramCompletion> done;
+    ch.setCompletionCallback(
+        [&](const DramCompletion &c) { done.push_back(c); });
+    AddressMap map(smallGeom(), MapPolicy::RowRankBankCol);
+    ch.enqueue(1, map.encode({0, 0, 5, 0}), false, 0);
+    ch.enqueue(2, map.encode({0, 0, 9, 0}), false, 1);
+    ch.enqueue(3, map.encode({0, 0, 5, 3}), false, 2);
+    ch.drain();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0].id, 1u);
+    EXPECT_EQ(done[1].id, 2u);
+    EXPECT_EQ(done[2].id, 3u);
+}
+
+TEST(DramChannel, ReadsPrioritizedOverWrites)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 1, 0), true, 0);
+    h.ch.enqueue(2, h.blockAt(0, 1, 2, 0), false, 0);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 2u);
+    EXPECT_EQ(h.done[0].id, 2u) << "read should finish first";
+}
+
+TEST(DramChannel, WriteDrainEngagesAboveWatermark)
+{
+    Harness h;
+    // Fill write queue past the high watermark (40) plus a read.
+    for (unsigned i = 0; i < 45; ++i)
+        h.ch.enqueue(100 + i, h.blockAt(0, 0, 1, i % 64), true, 0);
+    h.ch.enqueue(1, h.blockAt(0, 1, 2, 0), false, 0);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 46u);
+    // Drain mode: many writes complete before the read gets service.
+    std::size_t read_pos = 0;
+    for (std::size_t i = 0; i < h.done.size(); ++i) {
+        if (h.done[i].id == 1)
+            read_pos = i;
+    }
+    EXPECT_GT(read_pos, 10u);
+}
+
+TEST(DramChannel, FutureEnqueueNotServedEarly)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 1000);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 1u);
+    EXPECT_GE(h.done[0].doneAt,
+              1000 + h.t.tRCD + h.t.cl + h.t.tBURST);
+}
+
+TEST(DramChannel, RefreshHappensPeriodically)
+{
+    Harness h;
+    // Spread light traffic across several tREFI windows.
+    const Tick horizon = 4 * h.t.tREFI;
+    for (Tick at = 0; at < horizon; at += h.t.tREFI / 4) {
+        h.ch.enqueue(at, h.blockAt(0, 0, 5, 0), false, at);
+        h.ch.advanceTo(at);
+    }
+    h.ch.advanceTo(horizon);
+    h.finish();
+    // 2 ranks x ~4 windows of refreshes expected (+/- staggering).
+    EXPECT_GE(h.ch.stats().refreshes, 6u);
+    EXPECT_LE(h.ch.stats().refreshes, 10u);
+}
+
+TEST(DramChannel, ExplicitPowerDownAccumulatesResidency)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    const Tick end = h.finish();
+    // Close the bank via drain; then force rank 1 (idle) down.  Stay
+    // under a refresh interval: the periodic REF wakes the rank (a
+    // power-down rank cannot refresh), ending the residency.
+    h.ch.powerDownRank(1, end);
+    h.ch.advanceTo(end + 5000);
+    h.ch.finalizeStats(end + 5000);
+    EXPECT_GE(h.ch.rankStates()[1].cyclesPowerDown, 4500u);
+    EXPECT_EQ(h.ch.stats().powerDownEntries, 1u);
+}
+
+TEST(DramChannel, WakeFromPowerDownDelaysAccess)
+{
+    Harness h;
+    h.ch.powerDownRank(0, 0);
+    h.ch.advanceTo(1000);
+    // Enqueue triggers wake; access completes no earlier than
+    // wake (tXPDLL) + tRCD + CL + tBURST after enqueue.
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 1000);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 1u);
+    EXPECT_GE(h.done[0].doneAt, 1000 + h.t.tXPDLL + h.t.tRCD +
+                                    h.t.cl + h.t.tBURST);
+    EXPECT_EQ(h.ch.stats().powerUps, 1u);
+}
+
+TEST(DramChannel, IdlePowerDownKicksIn)
+{
+    Harness h;
+    h.ch.setIdlePowerDown(100);
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 0);
+    h.finish();
+    // Need the bank precharged before power-down is permitted; force a
+    // conflicting access and drain so the bank closes.
+    h.ch.enqueue(2, h.blockAt(0, 0, 9, 0), false, 200);
+    const Tick end = h.finish();
+    h.ch.advanceTo(end + 10000);
+    h.ch.finalizeStats(end + 10000);
+    // Rank 1 never used: it must have entered power-down.
+    EXPECT_GT(h.ch.rankStates()[1].cyclesPowerDown, 0u);
+}
+
+TEST(DramChannel, CompletionCarriesEnqueueTick)
+{
+    Harness h;
+    h.ch.enqueue(1, h.blockAt(0, 0, 5, 0), false, 123);
+    h.finish();
+    ASSERT_EQ(h.done.size(), 1u);
+    EXPECT_EQ(h.done[0].enqueuedAt, 123u);
+    EXPECT_FALSE(h.done[0].write);
+}
+
+TEST(DramChannel, ManyRandomRequestsAllComplete)
+{
+    Harness h;
+    const unsigned n = 500;
+    std::uint64_t seed = 88172645463325252ULL;
+    unsigned enqueued = 0;
+    Tick at = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        const bool write = (seed & 1) != 0;
+        if (!h.ch.canEnqueue(write)) {
+            h.ch.advanceTo(h.ch.nextEventAt());
+            at = h.ch.curTick();
+        }
+        if (!h.ch.canEnqueue(write)) {
+            h.finish();
+            at = h.ch.curTick();
+        }
+        const Addr block =
+            seed % h.ch.addressMap().blockCount();
+        h.ch.enqueue(i, block, write, at);
+        ++enqueued;
+    }
+    h.finish();
+    EXPECT_EQ(h.done.size(), enqueued);
+}
+
+TEST(DramChannel, TfawLimitsActivateBursts)
+{
+    Harness h;
+    // Five activates to distinct banks... only 4 banks, so use rank 0
+    // banks 0-3 plus a second row in bank 0 later. Instead check four
+    // ACTs then a fifth to a different row: the fifth ACT must be at
+    // least tFAW after the first.
+    Geometry g = smallGeom();
+    g.banksPerRank = 8;
+    DramChannel ch("faw", ddr3_1600(), g, MapPolicy::RowRankBankCol);
+    std::vector<DramCompletion> done;
+    ch.setCompletionCallback(
+        [&](const DramCompletion &c) { done.push_back(c); });
+    AddressMap map(g, MapPolicy::RowRankBankCol);
+    for (unsigned b = 0; b < 5; ++b)
+        ch.enqueue(b, map.encode({0, b, 3, 0}), false, 0);
+    ch.drain();
+    ASSERT_EQ(done.size(), 5u);
+    const TimingParams t = ddr3_1600();
+    // First ACT at 0; fifth ACT >= tFAW; its data at
+    // >= tFAW + tRCD + CL + tBURST.
+    EXPECT_GE(done[4].doneAt, t.tFAW + t.tRCD + t.cl + t.tBURST);
+}
+
+} // namespace
+} // namespace secdimm::dram

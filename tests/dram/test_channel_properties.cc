@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Property sweeps over the DRAM channel: conservation and ordering
+ * invariants that must hold for every timing preset, geometry, and
+ * scheduler policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "dram/channel.hh"
+
+namespace secdimm::dram
+{
+namespace
+{
+
+using ChanParam =
+    std::tuple<int /*timing preset*/, unsigned /*ranks*/,
+               SchedPolicy>;
+
+class ChannelSweep : public ::testing::TestWithParam<ChanParam>
+{
+  protected:
+    TimingParams
+    timing() const
+    {
+        return std::get<0>(GetParam()) == 0 ? ddr3_1600() : ddr3_1066();
+    }
+
+    Geometry
+    geom() const
+    {
+        Geometry g;
+        g.ranksPerChannel = std::get<1>(GetParam());
+        g.banksPerRank = 8;
+        g.rowsPerBank = 1024;
+        return g;
+    }
+
+    std::unique_ptr<DramChannel>
+    make()
+    {
+        return std::make_unique<DramChannel>(
+            "prop", timing(), geom(), MapPolicy::RowRankBankCol,
+            std::get<2>(GetParam()));
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChannelSweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(1u, 2u, 8u),
+                       ::testing::Values(SchedPolicy::FrFcfs,
+                                         SchedPolicy::Fcfs)),
+    [](const ::testing::TestParamInfo<ChanParam> &info) {
+        return std::string(std::get<0>(info.param) == 0 ? "ddr1600"
+                                                        : "ddr1066") +
+               "_r" + std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) == SchedPolicy::FrFcfs
+                    ? "_frfcfs"
+                    : "_fcfs");
+    });
+
+TEST_P(ChannelSweep, EveryRequestCompletesExactlyOnce)
+{
+    auto ch = make();
+    std::vector<int> seen(400, 0);
+    ch->setCompletionCallback([&](const DramCompletion &c) {
+        ++seen[static_cast<std::size_t>(c.id)];
+    });
+    std::uint64_t x = 12345;
+    Tick at = 0;
+    for (unsigned i = 0; i < 400; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        while (!ch->canEnqueue(i % 3 == 0)) {
+            ch->advanceTo(ch->nextEventAt());
+            at = ch->curTick();
+        }
+        ch->enqueue(i, x % ch->addressMap().blockCount(), i % 3 == 0,
+                    at);
+    }
+    ch->drain();
+    for (unsigned i = 0; i < 400; ++i)
+        ASSERT_EQ(seen[i], 1) << "request " << i;
+}
+
+TEST_P(ChannelSweep, StatsAreConserved)
+{
+    auto ch = make();
+    ch->setCompletionCallback([](const DramCompletion &) {});
+    std::uint64_t x = 777;
+    for (unsigned i = 0; i < 300; ++i) {
+        x = x * 6364136223846793005ULL + 1;
+        while (!ch->canEnqueue(i % 2 == 0))
+            ch->advanceTo(ch->nextEventAt());
+        ch->enqueue(i, x % ch->addressMap().blockCount(), i % 2 == 0,
+                    ch->curTick());
+    }
+    ch->drain();
+    const ChannelStats &s = ch->stats();
+    // Every CAS is classified exactly once.
+    EXPECT_EQ(s.rowHits + s.rowMisses, s.reads + s.writes);
+    EXPECT_EQ(s.reads + s.writes, 300u);
+    // Precharges never exceed activates (+ refresh-forced closes).
+    EXPECT_LE(s.precharges, s.activates + 8 * s.refreshes +
+                                geom().ranksPerChannel * 8);
+    // Every row miss required an activate.  An activate can be
+    // orphaned (row closed before its CAS by a refresh, or by the
+    // other queue's oldest request precharging the bank), forcing a
+    // re-activate; every orphaning implies an intervening precharge.
+    EXPECT_GE(s.activates, s.rowMisses);
+    EXPECT_LE(s.activates - s.rowMisses,
+              s.precharges + s.refreshes * geom().banksPerRank);
+}
+
+TEST_P(ChannelSweep, CompletionsNeverPredateEnqueue)
+{
+    auto ch = make();
+    const Cycles min_latency =
+        timing().cl + timing().tBURST; // Lower bound for any read.
+    bool ok = true;
+    ch->setCompletionCallback([&](const DramCompletion &c) {
+        if (c.doneAt < c.enqueuedAt + (c.write ? 1 : min_latency))
+            ok = false;
+    });
+    std::uint64_t x = 424242;
+    for (unsigned i = 0; i < 200; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        while (!ch->canEnqueue(false))
+            ch->advanceTo(ch->nextEventAt());
+        ch->enqueue(i, x % ch->addressMap().blockCount(), false,
+                    ch->curTick() + (i % 5) * 100);
+    }
+    ch->drain();
+    EXPECT_TRUE(ok);
+}
+
+TEST_P(ChannelSweep, DataBusNeverDoubleBooked)
+{
+    // Completions are burst-ends on a shared bus: two read completions
+    // must be at least tBURST apart.
+    auto ch = make();
+    std::vector<Tick> read_ends;
+    ch->setCompletionCallback([&](const DramCompletion &c) {
+        if (!c.write)
+            read_ends.push_back(c.doneAt);
+    });
+    std::uint64_t x = 31337;
+    for (unsigned i = 0; i < 150; ++i) {
+        x = x * 2862933555777941757ULL + 3037000493ULL;
+        while (!ch->canEnqueue(false))
+            ch->advanceTo(ch->nextEventAt());
+        ch->enqueue(i, x % ch->addressMap().blockCount(), false,
+                    ch->curTick());
+    }
+    ch->drain();
+    std::sort(read_ends.begin(), read_ends.end());
+    for (std::size_t i = 1; i < read_ends.size(); ++i) {
+        ASSERT_GE(read_ends[i] - read_ends[i - 1], timing().tBURST)
+            << "bursts overlap at " << read_ends[i];
+    }
+}
+
+TEST_P(ChannelSweep, DrainLeavesChannelIdle)
+{
+    auto ch = make();
+    ch->setCompletionCallback([](const DramCompletion &) {});
+    for (unsigned i = 0; i < 50; ++i)
+        ch->enqueue(i, i * 17 % ch->addressMap().blockCount(),
+                    i % 2 == 0, 0);
+    ch->drain();
+    EXPECT_TRUE(ch->idle());
+    EXPECT_EQ(ch->nextEventAt(), tickNever);
+}
+
+} // namespace
+} // namespace secdimm::dram

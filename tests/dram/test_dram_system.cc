@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/dram_system.hh"
+
+namespace secdimm::dram
+{
+namespace
+{
+
+Geometry
+geom2ch()
+{
+    Geometry g;
+    g.channels = 2;
+    g.ranksPerChannel = 2;
+    g.banksPerRank = 4;
+    g.rowsPerBank = 128;
+    return g;
+}
+
+TEST(DramSystem, ChannelInterleaveByBlock)
+{
+    DramSystem sys("sys", ddr3_1600(), geom2ch(),
+                   MapPolicy::RowRankBankCol);
+    EXPECT_EQ(sys.channelOf(0), 0u);
+    EXPECT_EQ(sys.channelOf(1), 1u);
+    EXPECT_EQ(sys.channelOf(2), 0u);
+    EXPECT_EQ(sys.localBlockOf(5), 2u);
+}
+
+TEST(DramSystem, BlockCountSumsChannels)
+{
+    DramSystem sys("sys", ddr3_1600(), geom2ch(),
+                   MapPolicy::RowRankBankCol);
+    const Geometry g = geom2ch();
+    const Addr per_ch = static_cast<Addr>(g.ranksPerChannel) *
+                        g.banksPerRank * g.rowsPerBank *
+                        g.blocksPerRow();
+    EXPECT_EQ(sys.blockCount(), 2 * per_ch);
+}
+
+TEST(DramSystem, ParallelChannelsOverlap)
+{
+    DramSystem sys("sys", ddr3_1600(), geom2ch(),
+                   MapPolicy::RowRankBankCol);
+    std::vector<DramCompletion> done;
+    sys.setCompletionCallback(
+        [&](const DramCompletion &c) { done.push_back(c); });
+    // One read per channel: both should finish at the idle-latency
+    // time, proving the channels are independent.
+    sys.enqueue(1, 0, false, 0);
+    sys.enqueue(2, 1, false, 0);
+    sys.drainAll();
+    ASSERT_EQ(done.size(), 2u);
+    const TimingParams t = ddr3_1600();
+    EXPECT_EQ(done[0].doneAt, t.tRCD + t.cl + t.tBURST);
+    EXPECT_EQ(done[1].doneAt, t.tRCD + t.cl + t.tBURST);
+}
+
+TEST(DramSystem, AggregateStatsSumAcrossChannels)
+{
+    DramSystem sys("sys", ddr3_1600(), geom2ch(),
+                   MapPolicy::RowRankBankCol);
+    sys.setCompletionCallback([](const DramCompletion &) {});
+    for (Addr a = 0; a < 8; ++a)
+        sys.enqueue(a, a, false, 0);
+    sys.drainAll();
+    const ChannelStats agg = sys.aggregateStats();
+    EXPECT_EQ(agg.reads, 8u);
+    EXPECT_EQ(agg.reads, sys.channel(0).stats().reads +
+                             sys.channel(1).stats().reads);
+}
+
+TEST(DramSystem, DrainAllReturnsFinalTick)
+{
+    DramSystem sys("sys", ddr3_1600(), geom2ch(),
+                   MapPolicy::RowRankBankCol);
+    sys.setCompletionCallback([](const DramCompletion &) {});
+    sys.enqueue(1, 0, false, 500);
+    const Tick end = sys.drainAll();
+    EXPECT_GE(end, 500u);
+    EXPECT_TRUE(sys.idle());
+}
+
+TEST(DramSystem, IdleWithNoWork)
+{
+    DramSystem sys("sys", ddr3_1600(), geom2ch(),
+                   MapPolicy::RowRankBankCol);
+    EXPECT_TRUE(sys.idle());
+    EXPECT_EQ(sys.nextEventAt(), tickNever);
+}
+
+} // namespace
+} // namespace secdimm::dram

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "dram/power_model.hh"
+
+namespace secdimm::dram
+{
+namespace
+{
+
+Geometry
+geom()
+{
+    Geometry g;
+    g.ranksPerChannel = 2;
+    return g;
+}
+
+TEST(PowerModel, ZeroActivityZeroEnergy)
+{
+    PowerModel pm(ddr3_1600(), geom(), false);
+    ChannelStats s;
+    std::vector<RankState> ranks(2);
+    const EnergyBreakdown e = pm.compute(s, ranks);
+    EXPECT_DOUBLE_EQ(e.totalNj(), 0.0);
+}
+
+TEST(PowerModel, ActivateEnergyScalesLinearly)
+{
+    PowerModel pm(ddr3_1600(), geom(), false);
+    std::vector<RankState> ranks(2);
+    ChannelStats s1, s2;
+    s1.activates = 10;
+    s2.activates = 20;
+    EXPECT_NEAR(pm.compute(s2, ranks).actPreNj,
+                2 * pm.compute(s1, ranks).actPreNj, 1e-9);
+}
+
+TEST(PowerModel, OnDimmIoCheaperThanOffDimm)
+{
+    PowerModel off(ddr3_1600(), geom(), false);
+    PowerModel on(ddr3_1600(), geom(), true);
+    EXPECT_LT(on.ioEnergyPerBurstNj(), off.ioEnergyPerBurstNj());
+    // Default parameters: on-DIMM I/O is 4.5x cheaper (18 vs 4
+    // pJ/bit).
+    EXPECT_NEAR(off.ioEnergyPerBurstNj() / on.ioEnergyPerBurstNj(),
+                4.5, 1e-6);
+}
+
+TEST(PowerModel, PowerDownResidencyCheaperThanStandby)
+{
+    PowerModel pm(ddr3_1600(), geom(), false);
+    ChannelStats s;
+    std::vector<RankState> standby(1), down(1);
+    standby[0].cyclesPrechargeStandby = 1'000'000;
+    down[0].cyclesPowerDown = 1'000'000;
+    const double e_standby = pm.compute(s, standby).backgroundNj;
+    const double e_down = pm.compute(s, down).backgroundNj;
+    EXPECT_GT(e_standby, e_down);
+    // IDD2N / IDD2P = 42 / 12 = 3.5x.
+    EXPECT_NEAR(e_standby / e_down, 3.5, 0.01);
+}
+
+TEST(PowerModel, ActiveStandbyMostExpensiveBackground)
+{
+    PowerModel pm(ddr3_1600(), geom(), false);
+    ChannelStats s;
+    std::vector<RankState> act(1), pre(1);
+    act[0].cyclesActiveStandby = 1000;
+    pre[0].cyclesPrechargeStandby = 1000;
+    EXPECT_GT(pm.compute(s, act).backgroundNj,
+              pm.compute(s, pre).backgroundNj);
+}
+
+TEST(PowerModel, ReadWriteEnergyPositiveAndComparable)
+{
+    PowerModel pm(ddr3_1600(), geom(), false);
+    std::vector<RankState> ranks(1);
+    ChannelStats r, w;
+    r.reads = 100;
+    w.writes = 100;
+    const double er = pm.compute(r, ranks).rdWrNj;
+    const double ew = pm.compute(w, ranks).rdWrNj;
+    EXPECT_GT(er, 0.0);
+    // IDD4W slightly above IDD4R.
+    EXPECT_GT(ew, er);
+    EXPECT_LT(ew / er, 1.2);
+}
+
+TEST(PowerModel, RefreshEnergyCounted)
+{
+    PowerModel pm(ddr3_1600(), geom(), false);
+    std::vector<RankState> ranks(1);
+    ChannelStats s;
+    s.refreshes = 5;
+    EXPECT_GT(pm.compute(s, ranks).refreshNj, 0.0);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal)
+{
+    PowerModel pm(ddr3_1600(), geom(), false);
+    std::vector<RankState> ranks(2);
+    ranks[0].cyclesActiveStandby = 500;
+    ranks[1].cyclesPowerDown = 500;
+    ChannelStats s;
+    s.activates = 3;
+    s.reads = 10;
+    s.writes = 4;
+    s.refreshes = 1;
+    const EnergyBreakdown e = pm.compute(s, ranks);
+    EXPECT_NEAR(e.totalNj(), e.actPreNj + e.rdWrNj + e.ioNj +
+                                 e.backgroundNj + e.refreshNj,
+                1e-12);
+    EXPECT_GT(e.totalNj(), 0.0);
+}
+
+TEST(PowerModel, AccumulateOperator)
+{
+    EnergyBreakdown a, b;
+    a.actPreNj = 1;
+    a.ioNj = 2;
+    b.actPreNj = 3;
+    b.backgroundNj = 4;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.actPreNj, 4.0);
+    EXPECT_DOUBLE_EQ(a.ioNj, 2.0);
+    EXPECT_DOUBLE_EQ(a.backgroundNj, 4.0);
+}
+
+} // namespace
+} // namespace secdimm::dram

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "oram/freecursive_backend.hh"
+#include "oram/nonsecure_backend.hh"
+
+namespace secdimm::oram
+{
+namespace
+{
+
+dram::Geometry
+smallGeom(unsigned channels)
+{
+    dram::Geometry g;
+    g.channels = channels;
+    g.ranksPerChannel = 4;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 4096;
+    return g;
+}
+
+OramParams
+smallTree()
+{
+    OramParams p;
+    p.levels = 12;
+    p.cachedLevels = 4;
+    return p;
+}
+
+/** Drive a backend until the given number of completions arrive. */
+std::map<std::uint64_t, Tick>
+runAccesses(MemoryBackend &backend, unsigned n, std::uint64_t stride)
+{
+    std::map<std::uint64_t, Tick> done;
+    backend.setCompletionCallback(
+        [&](std::uint64_t id, Tick t) { done[id] = t; });
+    Tick now = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        while (!backend.canAccept()) {
+            const Tick next = backend.nextEventAt();
+            backend.advanceTo(next);
+            now = std::max(now, next);
+        }
+        backend.access(i + 1, (i * stride) % (1ULL << 24), i % 3 == 0,
+                       now);
+    }
+    while (!backend.idle()) {
+        const Tick next = backend.nextEventAt();
+        if (next == tickNever)
+            break;
+        backend.advanceTo(next);
+    }
+    return done;
+}
+
+TEST(NonSecureBackend, CompletesAllAccesses)
+{
+    NonSecureBackend backend(dram::ddr3_1600(), smallGeom(1));
+    const auto done = runAccesses(backend, 50, 4096);
+    EXPECT_EQ(done.size(), 50u);
+    for (const auto &kv : done)
+        EXPECT_GT(kv.second, 0u);
+}
+
+TEST(NonSecureBackend, OneBurstPerAccess)
+{
+    NonSecureBackend backend(dram::ddr3_1600(), smallGeom(1));
+    runAccesses(backend, 30, 4096);
+    const auto agg = backend.dramSystem().aggregateStats();
+    EXPECT_EQ(agg.reads + agg.writes, 30u);
+}
+
+TEST(FreecursiveBackend, CompletesAllAccesses)
+{
+    FreecursiveBackend backend(smallTree(), RecursionParams{},
+                               dram::ddr3_1600(), smallGeom(1));
+    const auto done = runAccesses(backend, 20, 64 * 1024);
+    EXPECT_EQ(done.size(), 20u);
+}
+
+TEST(FreecursiveBackend, PathTrafficMatchesFormula)
+{
+    FreecursiveBackend backend(smallTree(), RecursionParams{},
+                               dram::ddr3_1600(), smallGeom(1));
+    runAccesses(backend, 10, 64 * 1024);
+    // Each accessORAM moves 2*(Z+1)*dramLevels lines.
+    const OramParams p = smallTree();
+    const std::uint64_t expected =
+        backend.traffic().accessOrams * p.linesPerAccess();
+    EXPECT_EQ(backend.traffic().channelLines, expected);
+    const auto agg = backend.dramSystem().aggregateStats();
+    EXPECT_EQ(agg.reads + agg.writes, expected);
+}
+
+TEST(FreecursiveBackend, RecursionMultipliesOps)
+{
+    FreecursiveBackend backend(smallTree(), RecursionParams{},
+                               dram::ddr3_1600(), smallGeom(1));
+    runAccesses(backend, 20, 64 * 1024);
+    EXPECT_GE(backend.traffic().accessOrams, 20u);
+    EXPECT_EQ(backend.traffic().requests, 20u);
+    EXPECT_GE(backend.recursion().stats().avgOramsPerRequest(), 1.0);
+}
+
+TEST(FreecursiveBackend, MuchSlowerThanNonSecure)
+{
+    // The essence of Figure 6: ORAM latency dwarfs a plain access.
+    NonSecureBackend plain(dram::ddr3_1600(), smallGeom(1));
+    FreecursiveBackend oram(smallTree(), RecursionParams{},
+                            dram::ddr3_1600(), smallGeom(1));
+    const auto d1 = runAccesses(plain, 10, 64 * 1024);
+    const auto d2 = runAccesses(oram, 10, 64 * 1024);
+    EXPECT_GT(d2.rbegin()->second, 4 * d1.rbegin()->second);
+}
+
+TEST(FreecursiveBackend, TwoChannelsFasterThanOne)
+{
+    FreecursiveBackend one(smallTree(), RecursionParams{},
+                           dram::ddr3_1600(), smallGeom(1));
+    FreecursiveBackend two(smallTree(), RecursionParams{},
+                           dram::ddr3_1600(), smallGeom(2));
+    const auto d1 = runAccesses(one, 15, 64 * 1024);
+    const auto d2 = runAccesses(two, 15, 64 * 1024);
+    EXPECT_LT(d2.rbegin()->second, d1.rbegin()->second);
+}
+
+TEST(FreecursiveBackend, OramCacheReducesTraffic)
+{
+    OramParams no_cache = smallTree();
+    no_cache.cachedLevels = 0;
+    FreecursiveBackend cached(smallTree(), RecursionParams{},
+                              dram::ddr3_1600(), smallGeom(1));
+    FreecursiveBackend uncached(no_cache, RecursionParams{},
+                                dram::ddr3_1600(), smallGeom(1));
+    runAccesses(cached, 10, 64 * 1024);
+    runAccesses(uncached, 10, 64 * 1024);
+    EXPECT_LT(cached.traffic().channelLines,
+              uncached.traffic().channelLines);
+}
+
+TEST(FreecursiveBackend, BackpressureRespectsJobCapacity)
+{
+    FreecursiveBackend backend(smallTree(), RecursionParams{},
+                               dram::ddr3_1600(), smallGeom(1));
+    backend.setCompletionCallback([](std::uint64_t, Tick) {});
+    unsigned accepted = 0;
+    while (backend.canAccept()) {
+        backend.access(accepted + 1, accepted * 64, false, 0);
+        ++accepted;
+    }
+    EXPECT_GT(accepted, 0u);
+    EXPECT_LE(accepted, 8u);
+    while (!backend.idle())
+        backend.advanceTo(backend.nextEventAt());
+    EXPECT_TRUE(backend.canAccept());
+}
+
+} // namespace
+} // namespace secdimm::oram

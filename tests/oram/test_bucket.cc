@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "oram/bucket_store.hh"
+
+namespace secdimm::oram
+{
+namespace
+{
+
+BlockData
+patternBlock(std::uint8_t seed)
+{
+    BlockData d;
+    for (std::size_t i = 0; i < d.size(); ++i)
+        d[i] = static_cast<std::uint8_t>(seed + i);
+    return d;
+}
+
+TEST(Bucket, SlotsStartInvalid)
+{
+    Bucket b(4);
+    EXPECT_EQ(b.occupancy(), 0u);
+    EXPECT_EQ(b.firstFreeSlot(), 0);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_FALSE(b.slot(i).valid());
+}
+
+TEST(Bucket, ImageRoundTrip)
+{
+    Bucket b(4);
+    b.slot(0) = BlockSlot{0x1234, 7, patternBlock(1)};
+    b.slot(2) = BlockSlot{0x9999, 3, patternBlock(9)};
+    const auto image = b.toImage();
+    EXPECT_EQ(image.size(), Bucket::imageBytes(4));
+    const Bucket c = Bucket::fromImage(image, 4);
+    EXPECT_EQ(c.slot(0).addr, 0x1234u);
+    EXPECT_EQ(c.slot(0).leaf, 7u);
+    EXPECT_EQ(c.slot(0).data, patternBlock(1));
+    EXPECT_FALSE(c.slot(1).valid());
+    EXPECT_EQ(c.slot(2).addr, 0x9999u);
+    EXPECT_EQ(c.occupancy(), 2u);
+}
+
+TEST(Bucket, ClearResets)
+{
+    Bucket b(4);
+    b.slot(1) = BlockSlot{5, 5, patternBlock(5)};
+    b.clear();
+    EXPECT_EQ(b.occupancy(), 0u);
+}
+
+class BucketStoreTest : public ::testing::Test
+{
+  protected:
+    BucketStoreTest()
+        : store_(16, 4, crypto::makeKey(1, 2), crypto::makeKey(3, 4))
+    {
+    }
+    BucketStore store_;
+};
+
+TEST_F(BucketStoreTest, FreshStoreReadsEmptyAuthentic)
+{
+    for (std::uint64_t seq = 0; seq < store_.numBuckets(); ++seq) {
+        const auto r = store_.readBucket(seq);
+        EXPECT_TRUE(r.authentic);
+        EXPECT_EQ(r.bucket.occupancy(), 0u);
+    }
+}
+
+TEST_F(BucketStoreTest, WriteReadRoundTrip)
+{
+    Bucket b(4);
+    b.slot(0) = BlockSlot{42, 9, patternBlock(3)};
+    store_.writeBucket(5, b);
+    const auto r = store_.readBucket(5);
+    EXPECT_TRUE(r.authentic);
+    EXPECT_EQ(r.bucket.slot(0).addr, 42u);
+    EXPECT_EQ(r.bucket.slot(0).data, patternBlock(3));
+}
+
+TEST_F(BucketStoreTest, CounterAdvancesPerWrite)
+{
+    const auto c0 = store_.counter(3);
+    store_.writeBucket(3, Bucket(4));
+    EXPECT_EQ(store_.counter(3), c0 + 1);
+}
+
+TEST_F(BucketStoreTest, CiphertextChangesEvenForSameContent)
+{
+    Bucket b(4);
+    b.slot(0) = BlockSlot{42, 9, patternBlock(3)};
+    store_.writeBucket(5, b);
+    const auto img1 = store_.rawImage(5);
+    store_.writeBucket(5, b);
+    const auto img2 = store_.rawImage(5);
+    EXPECT_NE(img1, img2) << "counter-mode freshness violated";
+}
+
+TEST_F(BucketStoreTest, TamperDetected)
+{
+    Bucket b(4);
+    b.slot(0) = BlockSlot{42, 9, patternBlock(3)};
+    store_.writeBucket(5, b);
+    store_.tamperData(5, 17);
+    EXPECT_FALSE(store_.readBucket(5).authentic);
+}
+
+TEST_F(BucketStoreTest, ReplayOfConsistentTripleVerifiesButCounterTells)
+{
+    // A replayed (image, counter, mac) triple is self-consistent, so
+    // the MAC alone passes; rollback detection is the controller's
+    // counter mirror (tested in PathOram).  Here we check the replay
+    // plumbing itself.
+    Bucket b(4);
+    b.slot(0) = BlockSlot{42, 9, patternBlock(3)};
+    store_.writeBucket(5, b);
+    const auto old_image = store_.rawImage(5);
+    const auto old_counter = store_.counter(5);
+    const auto old_mac = store_.rawMac(5);
+
+    Bucket b2(4);
+    b2.slot(0) = BlockSlot{42, 9, patternBlock(99)};
+    store_.writeBucket(5, b2);
+
+    store_.replayFrom(5, old_image, old_counter, old_mac);
+    const auto r = store_.readBucket(5);
+    EXPECT_TRUE(r.authentic); // MAC alone cannot catch rollback...
+    EXPECT_EQ(store_.counter(5), old_counter); // ...the counter can.
+    EXPECT_EQ(r.bucket.slot(0).data, patternBlock(3));
+}
+
+TEST_F(BucketStoreTest, SaltSeparatesTrees)
+{
+    BucketStore a(4, 4, crypto::makeKey(1, 2), crypto::makeKey(3, 4),
+                  /*salt=*/0);
+    BucketStore b(4, 4, crypto::makeKey(1, 2), crypto::makeKey(3, 4),
+                  /*salt=*/1);
+    Bucket bucket(4);
+    bucket.slot(0) = BlockSlot{1, 1, patternBlock(1)};
+    a.writeBucket(0, bucket);
+    b.writeBucket(0, bucket);
+    EXPECT_NE(a.rawImage(0), b.rawImage(0));
+}
+
+} // namespace
+} // namespace secdimm::oram

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "oram/plb.hh"
+
+namespace secdimm::oram
+{
+namespace
+{
+
+TEST(Plb, MissThenHit)
+{
+    Plb plb(64, 4);
+    const auto key = Plb::makeKey(1, 42);
+    EXPECT_FALSE(plb.lookup(key));
+    plb.insert(key);
+    EXPECT_TRUE(plb.lookup(key));
+    EXPECT_EQ(plb.hits(), 1u);
+    EXPECT_EQ(plb.misses(), 1u);
+}
+
+TEST(Plb, KeysAreLevelQualified)
+{
+    Plb plb(64, 4);
+    plb.insert(Plb::makeKey(1, 42));
+    EXPECT_FALSE(plb.contains(Plb::makeKey(2, 42)));
+    EXPECT_TRUE(plb.contains(Plb::makeKey(1, 42)));
+}
+
+TEST(Plb, LruEvictionWithinSet)
+{
+    // Direct-mapped-ish: 4 entries, 4 ways => one set.
+    Plb plb(4, 4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        plb.insert(Plb::makeKey(0, i));
+    plb.lookup(Plb::makeKey(0, 0)); // Refresh key 0.
+    plb.insert(Plb::makeKey(0, 99)); // Evicts LRU (key 1).
+    EXPECT_TRUE(plb.contains(Plb::makeKey(0, 0)));
+    EXPECT_FALSE(plb.contains(Plb::makeKey(0, 1)));
+    EXPECT_TRUE(plb.contains(Plb::makeKey(0, 99)));
+}
+
+TEST(Plb, InsertExistingRefreshes)
+{
+    Plb plb(4, 4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        plb.insert(Plb::makeKey(0, i));
+    plb.insert(Plb::makeKey(0, 0)); // Refresh, not duplicate.
+    plb.insert(Plb::makeKey(0, 50));
+    EXPECT_TRUE(plb.contains(Plb::makeKey(0, 0)));
+}
+
+TEST(Plb, HitRate)
+{
+    Plb plb(64, 4);
+    plb.insert(Plb::makeKey(1, 1));
+    plb.lookup(Plb::makeKey(1, 1));
+    plb.lookup(Plb::makeKey(1, 2));
+    EXPECT_NEAR(plb.hitRate(), 0.5, 1e-9);
+}
+
+TEST(Plb, ContainsDoesNotDisturbState)
+{
+    Plb plb(64, 4);
+    plb.contains(Plb::makeKey(0, 5));
+    EXPECT_EQ(plb.hits() + plb.misses(), 0u);
+}
+
+} // namespace
+} // namespace secdimm::oram

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "oram/recursive_oram.hh"
+
+namespace secdimm::oram
+{
+namespace
+{
+
+RecursiveOram::Params
+smallParams(unsigned data_levels = 9,
+            std::uint64_t on_chip_entries = 64,
+            std::size_t plb_entries = 16)
+{
+    RecursiveOram::Params p;
+    p.data.levels = data_levels;
+    p.data.stashCapacity = 250;
+    p.onChipMaxEntries = on_chip_entries;
+    p.plbEntries = plb_entries;
+    return p;
+}
+
+BlockData
+blockOf(std::uint64_t v)
+{
+    BlockData d{};
+    for (int i = 0; i < 8; ++i)
+        d[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+    return d;
+}
+
+TEST(RecursiveOram, BuildsTheExpectedChain)
+{
+    // 9 levels => 1024 data blocks; posmaps shrink 8x per level:
+    // 1024 -> 128 -> 16 (<= 64 on-chip) => 2 PosMap ORAMs.
+    RecursiveOram oram(smallParams(), 1);
+    EXPECT_EQ(oram.posmapLevels(), 2u);
+    EXPECT_EQ(oram.capacityBlocks(), 1024u);
+}
+
+TEST(RecursiveOram, SingleTreeWhenPosmapFitsOnChip)
+{
+    RecursiveOram oram(smallParams(6, 4096), 1);
+    EXPECT_EQ(oram.posmapLevels(), 0u);
+}
+
+TEST(RecursiveOram, ReadYourWrites)
+{
+    RecursiveOram oram(smallParams(), 3);
+    const BlockData v = blockOf(0x123456789abcdefULL);
+    oram.access(77, OramOp::Write, &v);
+    EXPECT_EQ(oram.access(77, OramOp::Read), v);
+    EXPECT_TRUE(oram.integrityOk());
+}
+
+TEST(RecursiveOram, UninitializedReadsZero)
+{
+    RecursiveOram oram(smallParams(), 5);
+    EXPECT_EQ(oram.access(0, OramOp::Read), BlockData{});
+    EXPECT_EQ(oram.access(1023, OramOp::Read), BlockData{});
+}
+
+TEST(RecursiveOram, ChurnAcrossWholeAddressSpace)
+{
+    RecursiveOram oram(smallParams(), 7);
+    const std::uint64_t capacity = oram.capacityBlocks();
+    std::map<Addr, std::uint64_t> expected;
+    Rng rng(13);
+    for (int i = 0; i < 600; ++i) {
+        const Addr a = rng.nextBelow(capacity);
+        if (rng.nextBool(0.5)) {
+            const std::uint64_t v = rng.next();
+            const BlockData d = blockOf(v);
+            oram.access(a, OramOp::Write, &d);
+            expected[a] = v;
+        } else {
+            const auto it = expected.find(a);
+            const BlockData want =
+                it == expected.end() ? BlockData{} : blockOf(it->second);
+            ASSERT_EQ(oram.access(a, OramOp::Read), want)
+                << "addr " << a << " iter " << i;
+        }
+    }
+    EXPECT_TRUE(oram.integrityOk());
+}
+
+TEST(RecursiveOram, PlbShortCircuitsRecursion)
+{
+    RecursiveOram oram(smallParams(), 9);
+    const BlockData v = blockOf(1);
+    // Sequential addresses share PosMap blocks: after the first touch
+    // the PLB should serve the walk.
+    for (Addr a = 0; a < 64; ++a)
+        oram.access(a, OramOp::Write, &v);
+    const auto &s = oram.stats();
+    EXPECT_GT(s.plbHits, s.plbMisses);
+    // With a cold hierarchy each request would cost posmapLevels()+1
+    // accesses; the PLB must beat that on this local stream.
+    EXPECT_LT(s.avgAccessesPerRequest(),
+              static_cast<double>(oram.posmapLevels()) + 1.0);
+    EXPECT_GE(s.avgAccessesPerRequest(), 1.0);
+}
+
+TEST(RecursiveOram, DirtyPlbEntriesSurviveEviction)
+{
+    // A tiny PLB forces constant eviction of dirty PosMap blocks;
+    // leaf bookkeeping must survive the write-backs.
+    RecursiveOram oram(smallParams(9, 64, 2), 11);
+    const std::uint64_t capacity = oram.capacityBlocks();
+    std::map<Addr, std::uint64_t> expected;
+    Rng rng(17);
+    for (int i = 0; i < 300; ++i) {
+        // Scattered addresses maximize PLB pressure.
+        const Addr a = rng.nextBelow(capacity);
+        const std::uint64_t v = rng.next();
+        const BlockData d = blockOf(v);
+        oram.access(a, OramOp::Write, &d);
+        expected[a] = v;
+    }
+    for (const auto &kv : expected) {
+        ASSERT_EQ(oram.access(kv.first, OramOp::Read),
+                  blockOf(kv.second))
+            << "addr " << kv.first;
+    }
+    EXPECT_GT(oram.stats().plbWritebacks, 0u);
+    EXPECT_TRUE(oram.integrityOk());
+}
+
+TEST(RecursiveOram, RandomStreamCostsMoreThanSequential)
+{
+    auto avg_cost = [](bool sequential) {
+        RecursiveOram oram(smallParams(), 21);
+        const BlockData v = blockOf(1);
+        Rng rng(23);
+        for (int i = 0; i < 200; ++i) {
+            const Addr a = sequential
+                               ? static_cast<Addr>(i) % 1024
+                               : rng.nextBelow(1024);
+            oram.access(a, OramOp::Write, &v);
+        }
+        return oram.stats().avgAccessesPerRequest();
+    };
+    EXPECT_LT(avg_cost(true), avg_cost(false));
+}
+
+TEST(RecursiveOram, EveryTreeSeesTraffic)
+{
+    RecursiveOram oram(smallParams(), 25);
+    const BlockData v = blockOf(1);
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i)
+        oram.access(rng.nextBelow(1024), OramOp::Write, &v);
+    for (unsigned level = 0; level <= oram.posmapLevels(); ++level) {
+        EXPECT_GT(oram.tree(level).stats().accesses, 0u)
+            << "tree " << level;
+    }
+}
+
+TEST(RecursiveOram, TamperInPosmapTreeDetected)
+{
+    RecursiveOram oram(smallParams(), 31);
+    const BlockData v = blockOf(1);
+    oram.access(0, OramOp::Write, &v);
+    ASSERT_GE(oram.posmapLevels(), 1u);
+    auto &posmap_tree = oram.tree(1);
+    for (std::uint64_t seq = 0; seq < posmap_tree.store().numBuckets();
+         ++seq) {
+        posmap_tree.store().tamperData(seq, 3);
+    }
+    // Force posmap traffic (cold addresses with a tiny PLB).
+    Rng rng(37);
+    for (int i = 0; i < 50; ++i)
+        oram.access(rng.nextBelow(1024), OramOp::Read);
+    EXPECT_FALSE(oram.integrityOk());
+}
+
+} // namespace
+} // namespace secdimm::oram

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "oram/stash.hh"
+
+namespace secdimm::oram
+{
+namespace
+{
+
+BlockData
+blockOf(std::uint8_t v)
+{
+    BlockData d{};
+    d[0] = v;
+    return d;
+}
+
+TEST(Stash, PutFindErase)
+{
+    Stash s(10);
+    EXPECT_TRUE(s.put(1, 5, blockOf(1)));
+    ASSERT_NE(s.find(1), nullptr);
+    EXPECT_EQ(s.find(1)->leaf, 5u);
+    EXPECT_TRUE(s.erase(1));
+    EXPECT_EQ(s.find(1), nullptr);
+    EXPECT_FALSE(s.erase(1));
+}
+
+TEST(Stash, PutOverwritesExisting)
+{
+    Stash s(10);
+    s.put(1, 5, blockOf(1));
+    s.put(1, 9, blockOf(2));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.find(1)->leaf, 9u);
+    EXPECT_EQ(s.find(1)->data, blockOf(2));
+}
+
+TEST(Stash, CapacityEnforced)
+{
+    Stash s(2);
+    EXPECT_TRUE(s.put(1, 0, blockOf(1)));
+    EXPECT_TRUE(s.put(2, 0, blockOf(2)));
+    EXPECT_FALSE(s.put(3, 0, blockOf(3)));
+    EXPECT_TRUE(s.full());
+    // Overwrite of an existing key is still allowed when full.
+    EXPECT_TRUE(s.put(2, 1, blockOf(9)));
+}
+
+TEST(Stash, MaxSizeSeenTracksHighWater)
+{
+    Stash s(10);
+    s.put(1, 0, blockOf(1));
+    s.put(2, 0, blockOf(2));
+    s.erase(1);
+    s.erase(2);
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_EQ(s.maxSizeSeen(), 2u);
+}
+
+TEST(Stash, EvictForBucketPicksOnlyCompatible)
+{
+    // Tree with 3 levels; bucket at level 1 on path to leaf 5 (0b101)
+    // has index 0b1: blocks with leaf in {4,5,6,7} qualify.
+    Stash s(10);
+    s.put(10, 5, blockOf(1)); // Compatible.
+    s.put(11, 4, blockOf(2)); // Compatible.
+    s.put(12, 3, blockOf(3)); // Not compatible (leaf>>2 == 0).
+    auto picked = s.evictForBucket(5, 1, 3, 4);
+    EXPECT_EQ(picked.size(), 2u);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_NE(s.find(12), nullptr);
+}
+
+TEST(Stash, EvictForBucketRespectsZ)
+{
+    Stash s(10);
+    for (Addr a = 0; a < 6; ++a)
+        s.put(a, 5, blockOf(static_cast<std::uint8_t>(a)));
+    auto picked = s.evictForBucket(5, 3, 3, 4); // Leaf bucket, Z=4.
+    EXPECT_EQ(picked.size(), 4u);
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Stash, EvictAtRootTakesAnything)
+{
+    Stash s(10);
+    s.put(1, 0, blockOf(1));
+    s.put(2, 7, blockOf(2));
+    auto picked = s.evictForBucket(/*path_leaf=*/3, /*level=*/0,
+                                   /*tree_levels=*/3, 4);
+    EXPECT_EQ(picked.size(), 2u); // Root is on every path.
+}
+
+TEST(Stash, EvictedEntriesCarryData)
+{
+    Stash s(10);
+    s.put(42, 6, blockOf(0xab));
+    auto picked = s.evictForBucket(6, 3, 3, 4);
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0].addr, 42u);
+    EXPECT_EQ(picked[0].leaf, 6u);
+    EXPECT_EQ(picked[0].data, blockOf(0xab));
+}
+
+} // namespace
+} // namespace secdimm::oram

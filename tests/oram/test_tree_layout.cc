@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "oram/tree_layout.hh"
+
+namespace secdimm::oram
+{
+namespace
+{
+
+TEST(TreeLayout, PathBucketIndices)
+{
+    // Tree with leaves at level 3; path to leaf 5 (0b101).
+    EXPECT_EQ(pathBucket(5, 0, 3).index, 0u);
+    EXPECT_EQ(pathBucket(5, 1, 3).index, 1u);  // 0b1
+    EXPECT_EQ(pathBucket(5, 2, 3).index, 2u);  // 0b10
+    EXPECT_EQ(pathBucket(5, 3, 3).index, 5u);  // 0b101
+}
+
+TEST(TreeLayout, BucketSeqBfs)
+{
+    EXPECT_EQ(bucketSeqBfs({0, 0}), 0u);
+    EXPECT_EQ(bucketSeqBfs({1, 0}), 1u);
+    EXPECT_EQ(bucketSeqBfs({1, 1}), 2u);
+    EXPECT_EQ(bucketSeqBfs({2, 3}), 6u);
+    EXPECT_EQ(bucketSeqBfs({3, 0}), 7u);
+}
+
+TEST(TreeLayout, SeqIsAPermutation)
+{
+    // Every bucket maps to a unique sequence number in range.
+    for (unsigned subtree : {1u, 2u, 3u, 4u}) {
+        TreeLayout layout(6, 5, subtree);
+        std::set<std::uint64_t> seen;
+        for (unsigned level = 0; level <= 6; ++level) {
+            for (std::uint64_t idx = 0; idx < (1ULL << level); ++idx) {
+                const std::uint64_t seq =
+                    layout.bucketSeq({level, idx});
+                EXPECT_LT(seq, layout.numBuckets());
+                EXPECT_TRUE(seen.insert(seq).second)
+                    << "dup at level " << level << " idx " << idx
+                    << " subtree " << subtree;
+            }
+        }
+        EXPECT_EQ(seen.size(), layout.numBuckets());
+    }
+}
+
+TEST(TreeLayout, SubtreePackingKeepsSubtreeContiguous)
+{
+    // Subtree height 3: root + 2 children + 4 grandchildren = 7
+    // buckets, consecutive sequence numbers.
+    TreeLayout layout(8, 5, 3);
+    const std::uint64_t root_seq = layout.bucketSeq({0, 0});
+    std::set<std::uint64_t> seqs{root_seq};
+    for (unsigned level = 1; level < 3; ++level) {
+        for (std::uint64_t idx = 0; idx < (1ULL << level); ++idx)
+            seqs.insert(layout.bucketSeq({level, idx}));
+    }
+    EXPECT_EQ(*seqs.rbegin() - *seqs.begin(), 6u);
+    EXPECT_EQ(seqs.size(), 7u);
+}
+
+TEST(TreeLayout, PathLinesCountMatchesLevels)
+{
+    TreeLayout layout(10, 5, 4);
+    std::vector<Addr> lines;
+    layout.pathLines(123, 0, lines);
+    EXPECT_EQ(lines.size(), 11u * 5u);
+    lines.clear();
+    layout.pathLines(123, 7, lines);
+    EXPECT_EQ(lines.size(), 4u * 5u);
+}
+
+TEST(TreeLayout, PathLinesWithinTree)
+{
+    TreeLayout layout(12, 5, 4);
+    std::vector<Addr> lines;
+    layout.pathLines(1000, 0, lines);
+    for (Addr line : lines)
+        EXPECT_LT(line, layout.totalLines());
+}
+
+TEST(TreeLayout, SameSubtreePathLinesAreClose)
+{
+    // Consecutive levels inside one packed subtree sit within the
+    // subtree's line span -- the row-buffer-hit property.
+    const unsigned h = 4;
+    TreeLayout layout(12, 5, h);
+    const std::uint64_t subtree_span = ((1ULL << h) - 1) * 5;
+    std::vector<Addr> lines;
+    layout.pathLines(77, 0, lines);
+    // Levels 0..3 share a subtree: their lines span < subtree_span.
+    Addr lo = ~Addr{0}, hi = 0;
+    for (unsigned level = 0; level < h; ++level) {
+        const Addr first = lines[level * 5];
+        lo = std::min(lo, first);
+        hi = std::max(hi, first + 4);
+    }
+    EXPECT_LT(hi - lo, subtree_span);
+}
+
+TEST(TreeLayout, PartialBottomSuperLevel)
+{
+    // 5 levels (0..5 => 6 total) with height-4 subtrees: the second
+    // super-level has height 2; layout must still be a permutation.
+    TreeLayout layout(5, 2, 4);
+    std::set<std::uint64_t> seen;
+    for (unsigned level = 0; level <= 5; ++level) {
+        for (std::uint64_t idx = 0; idx < (1ULL << level); ++idx)
+            EXPECT_TRUE(seen.insert(layout.bucketSeq({level, idx})).second);
+    }
+    EXPECT_EQ(seen.size(), layout.numBuckets());
+}
+
+TEST(TreeLayout, TotalLines)
+{
+    TreeLayout layout(4, 5, 2);
+    EXPECT_EQ(layout.numBuckets(), 31u);
+    EXPECT_EQ(layout.totalLines(), 155u);
+}
+
+} // namespace
+} // namespace secdimm::oram

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sdimm/sdimm_command.hh"
+
+namespace secdimm::sdimm
+{
+namespace
+{
+
+TEST(SdimmCommand, TableIHasNineCommands)
+{
+    EXPECT_EQ(allCommands().size(), 9u);
+}
+
+TEST(SdimmCommand, ShortCommandsAreReads)
+{
+    // Table I: every short command uses the RD flavor.
+    for (auto type : allCommands()) {
+        const DdrEncoding enc = encodeCommand(type);
+        if (!enc.needsDataBus)
+            EXPECT_FALSE(enc.write) << commandName(type);
+        else
+            EXPECT_TRUE(enc.write) << commandName(type);
+    }
+}
+
+TEST(SdimmCommand, ReservedRowZero)
+{
+    for (auto type : allCommands())
+        EXPECT_EQ(encodeCommand(type).rasRow, 0u) << commandName(type);
+}
+
+TEST(SdimmCommand, ShortCasOffsetsMatchTableI)
+{
+    EXPECT_EQ(encodeCommand(SdimmCommandType::SendPkey).casCol, 0x00u);
+    EXPECT_EQ(encodeCommand(SdimmCommandType::Probe).casCol, 0x08u);
+    EXPECT_EQ(encodeCommand(SdimmCommandType::FetchResult).casCol,
+              0x10u);
+    EXPECT_EQ(encodeCommand(SdimmCommandType::FetchData).casCol, 0x18u);
+    EXPECT_EQ(encodeCommand(SdimmCommandType::FetchStash).casCol,
+              0x18u);
+}
+
+TEST(SdimmCommand, EncodeDecodeRoundTrip)
+{
+    for (auto type : allCommands()) {
+        const DdrEncoding enc = encodeCommand(type);
+        const auto decoded = decodeCommand(enc.write, enc.rasRow,
+                                           enc.casCol, enc.opcode);
+        ASSERT_TRUE(decoded.has_value()) << commandName(type);
+        EXPECT_EQ(*decoded, type) << commandName(type);
+    }
+}
+
+TEST(SdimmCommand, NormalAccessesAreNotCommands)
+{
+    // RAS to any non-reserved row is a plain memory access.
+    EXPECT_FALSE(decodeCommand(false, 0x100, 0x0, 0).has_value());
+    EXPECT_FALSE(decodeCommand(true, 0x7fff, 0x8, 2).has_value());
+}
+
+TEST(SdimmCommand, LongCommandsDistinguishedByOpcode)
+{
+    // RECEIVE_SECRET / ACCESS / APPEND / RECEIVE_LIST all share
+    // WR RAS(0) CAS(0); the payload opcode disambiguates.
+    std::set<std::uint8_t> opcodes;
+    for (auto type :
+         {SdimmCommandType::ReceiveSecret, SdimmCommandType::Access,
+          SdimmCommandType::Append, SdimmCommandType::ReceiveList}) {
+        const DdrEncoding enc = encodeCommand(type);
+        EXPECT_TRUE(enc.write);
+        EXPECT_EQ(enc.casCol, 0x0u);
+        EXPECT_TRUE(opcodes.insert(enc.opcode).second)
+            << "duplicate opcode for " << commandName(type);
+    }
+}
+
+TEST(SdimmCommand, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (auto type : allCommands())
+        EXPECT_TRUE(names.insert(commandName(type)).second);
+}
+
+TEST(SdimmCommand, LongFlagConsistentWithHelper)
+{
+    for (auto type : allCommands()) {
+        EXPECT_EQ(isLongCommand(type),
+                  encodeCommand(type).needsDataBus);
+    }
+}
+
+} // namespace
+} // namespace secdimm::sdimm

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "sdimm/link_session.hh"
+
+namespace secdimm::sdimm
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+payload(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i);
+    return v;
+}
+
+class LinkSessionTest : public ::testing::Test
+{
+  protected:
+    LinkSessionTest() : rng_(2024), ends_(establishLink(rng_)) {}
+
+    Rng rng_;
+    std::pair<LinkEndpoint, LinkEndpoint> ends_;
+    LinkEndpoint &cpu() { return ends_.first; }
+    LinkEndpoint &dimm() { return ends_.second; }
+};
+
+TEST_F(LinkSessionTest, SealUnsealRoundTripBothDirections)
+{
+    const auto msg = payload(89, 3);
+    const SealedMessage up = cpu().seal(0x02, msg);
+    const auto up_plain = dimm().unseal(up);
+    ASSERT_TRUE(up_plain.has_value());
+    EXPECT_EQ(*up_plain, msg);
+
+    const SealedMessage down = dimm().seal(0x10, msg);
+    const auto down_plain = cpu().unseal(down);
+    ASSERT_TRUE(down_plain.has_value());
+    EXPECT_EQ(*down_plain, msg);
+}
+
+TEST_F(LinkSessionTest, CiphertextHidesPlaintext)
+{
+    const auto msg = payload(64, 5);
+    const SealedMessage sealed = cpu().seal(0x02, msg);
+    EXPECT_NE(sealed.body, msg);
+}
+
+TEST_F(LinkSessionTest, SamePlaintextDifferentCiphertext)
+{
+    const auto msg = payload(64, 5);
+    const SealedMessage a = cpu().seal(0x02, msg);
+    const SealedMessage b = cpu().seal(0x02, msg);
+    EXPECT_NE(a.body, b.body) << "counter-mode pad reuse";
+}
+
+TEST_F(LinkSessionTest, BitFlipRejected)
+{
+    SealedMessage sealed = cpu().seal(0x02, payload(64, 1));
+    sealed.body[10] ^= 0x80;
+    EXPECT_FALSE(dimm().unseal(sealed).has_value());
+    EXPECT_EQ(dimm().authFailures(), 1u);
+}
+
+TEST_F(LinkSessionTest, HeaderTamperRejected)
+{
+    SealedMessage sealed = cpu().seal(0x02, payload(64, 1));
+    sealed.opcode = 0x03;
+    EXPECT_FALSE(dimm().unseal(sealed).has_value());
+}
+
+TEST_F(LinkSessionTest, ReplayRejected)
+{
+    const SealedMessage sealed = cpu().seal(0x02, payload(64, 1));
+    ASSERT_TRUE(dimm().unseal(sealed).has_value());
+    EXPECT_FALSE(dimm().unseal(sealed).has_value()) << "replay accepted";
+}
+
+TEST_F(LinkSessionTest, DistinctSessionsCannotCrossTalk)
+{
+    Rng other_rng(9999);
+    auto other = establishLink(other_rng);
+    const SealedMessage sealed = cpu().seal(0x02, payload(64, 1));
+    EXPECT_FALSE(other.second.unseal(sealed).has_value());
+}
+
+TEST_F(LinkSessionTest, SequenceNumbersAdvance)
+{
+    const SealedMessage a = cpu().seal(0x02, payload(16, 1));
+    const SealedMessage b = cpu().seal(0x02, payload(16, 1));
+    EXPECT_EQ(b.seq, a.seq + 1);
+    EXPECT_EQ(cpu().sendCount(), 2u);
+}
+
+} // namespace
+} // namespace secdimm::sdimm

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sdimm/split_oram.hh"
+
+namespace secdimm::sdimm
+{
+namespace
+{
+
+SplitOram::Params
+smallParams(unsigned slices = 2, unsigned levels = 7)
+{
+    SplitOram::Params p;
+    p.tree.levels = levels;
+    p.tree.stashCapacity = 200;
+    p.slices = slices;
+    return p;
+}
+
+BlockData
+blockOf(std::uint64_t v)
+{
+    BlockData d{};
+    for (int i = 0; i < 8; ++i)
+        d[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+    return d;
+}
+
+TEST(SplitShares, ExtractMergeRoundTrip)
+{
+    std::vector<std::uint8_t> full(64);
+    for (std::size_t i = 0; i < full.size(); ++i)
+        full[i] = static_cast<std::uint8_t>(i * 7);
+    for (unsigned s : {2u, 4u}) {
+        std::vector<std::uint8_t> rebuilt(64, 0);
+        for (unsigned j = 0; j < s; ++j)
+            mergeShare(rebuilt, extractShare(full, j, s), j, s);
+        EXPECT_EQ(rebuilt, full) << "slices=" << s;
+    }
+}
+
+TEST(SplitShares, SharesPartitionTheBytes)
+{
+    std::vector<std::uint8_t> full(64, 0xff);
+    const auto s0 = extractShare(full, 0, 2);
+    const auto s1 = extractShare(full, 1, 2);
+    EXPECT_EQ(s0.size() + s1.size(), full.size());
+}
+
+TEST(SplitOram, UninitializedReadsZero)
+{
+    SplitOram oram(smallParams(), 1);
+    EXPECT_EQ(oram.access(0, oram::OramOp::Read), BlockData{});
+}
+
+TEST(SplitOram, ReadYourWrites)
+{
+    SplitOram oram(smallParams(), 1);
+    const BlockData v = blockOf(0xfeedfacecafebeefULL);
+    oram.access(3, oram::OramOp::Write, &v);
+    EXPECT_EQ(oram.access(3, oram::OramOp::Read), v);
+    EXPECT_TRUE(oram.integrityOk());
+}
+
+TEST(SplitOram, WriteReturnsOldValue)
+{
+    SplitOram oram(smallParams(), 1);
+    const BlockData v1 = blockOf(1), v2 = blockOf(2);
+    oram.access(3, oram::OramOp::Write, &v1);
+    EXPECT_EQ(oram.access(3, oram::OramOp::Write, &v2), v1);
+    EXPECT_EQ(oram.access(3, oram::OramOp::Read), v2);
+}
+
+TEST(SplitOram, ManyBlocksSurviveShuffling)
+{
+    SplitOram oram(smallParams(2, 8), 3);
+    const std::uint64_t capacity = oram.capacityBlocks();
+    std::map<Addr, std::uint64_t> expected;
+    Rng rng(21);
+    for (int i = 0; i < 200; ++i) {
+        const Addr a = rng.nextBelow(capacity);
+        const std::uint64_t v = rng.next();
+        const BlockData d = blockOf(v);
+        oram.access(a, oram::OramOp::Write, &d);
+        expected[a] = v;
+    }
+    for (int i = 0; i < 400; ++i) {
+        const Addr a = rng.nextBelow(capacity);
+        const auto it = expected.find(a);
+        const BlockData want =
+            it == expected.end() ? BlockData{} : blockOf(it->second);
+        ASSERT_EQ(oram.access(a, oram::OramOp::Read), want)
+            << "addr " << a << " iter " << i;
+    }
+    EXPECT_TRUE(oram.integrityOk());
+    EXPECT_EQ(oram.stats().integrityFailures, 0u);
+}
+
+TEST(SplitOram, FourWaySplitWorks)
+{
+    SplitOram oram(smallParams(4, 6), 5);
+    const BlockData v = blockOf(77);
+    for (Addr a = 0; a < 40; ++a)
+        oram.access(a, oram::OramOp::Write, &v);
+    for (Addr a = 0; a < 40; ++a)
+        EXPECT_EQ(oram.access(a, oram::OramOp::Read), v);
+    EXPECT_TRUE(oram.integrityOk());
+}
+
+TEST(SplitOram, SliceTamperDetected)
+{
+    SplitOram oram(smallParams(2, 6), 7);
+    const BlockData v = blockOf(1);
+    oram.access(0, oram::OramOp::Write, &v);
+    // Corrupt one byte of slice 1's share of the root bucket data.
+    oram.tamperSlice(1, 0, 0, 0);
+    oram.access(0, oram::OramOp::Read);
+    EXPECT_FALSE(oram.integrityOk());
+}
+
+TEST(SplitOram, ChannelTrafficIsMetadataDominated)
+{
+    // The point of Split: local (on-DIMM) bytes dwarf channel bytes.
+    SplitOram oram(smallParams(2, 10), 9);
+    const BlockData v = blockOf(5);
+    for (int i = 0; i < 50; ++i)
+        oram.access(static_cast<Addr>(i), oram::OramOp::Write, &v);
+    EXPECT_GT(oram.stats().localBytes, oram.stats().channelBytes);
+}
+
+TEST(SplitOram, LeafTraceUniformUnderHammering)
+{
+    SplitOram oram(smallParams(2, 8), 11);
+    const BlockData v = blockOf(1);
+    oram.access(0, oram::OramOp::Write, &v);
+    oram.clearLeafTrace();
+    for (int i = 0; i < 400; ++i)
+        oram.access(0, oram::OramOp::Read);
+    std::vector<int> bins(16, 0);
+    for (LeafId l : oram.leafTrace())
+        ++bins[l % 16];
+    const double expect =
+        static_cast<double>(oram.leafTrace().size()) / bins.size();
+    double chi2 = 0;
+    for (int b : bins)
+        chi2 += (b - expect) * (b - expect) / expect;
+    EXPECT_LT(chi2, 45.0);
+}
+
+TEST(SplitOram, ShadowStashStaysBounded)
+{
+    SplitOram oram(smallParams(2, 7), 13);
+    const BlockData v = blockOf(3);
+    for (int i = 0; i < 1000; ++i)
+        oram.access(static_cast<Addr>(i) % oram.capacityBlocks(),
+                    oram::OramOp::Write, &v);
+    EXPECT_LE(oram.stats().maxShadowStash,
+              oram.capacityBlocks()); // Sanity.
+    EXPECT_LE(oram.shadowStashSize(), 200u);
+}
+
+TEST(SplitOram, OverwritePersistsAcrossManyAccesses)
+{
+    SplitOram oram(smallParams(2, 7), 15);
+    const BlockData v1 = blockOf(0xaaaa), v2 = blockOf(0xbbbb);
+    oram.access(9, oram::OramOp::Write, &v1);
+    for (int i = 0; i < 100; ++i)
+        oram.access(static_cast<Addr>(i % 30 + 10), oram::OramOp::Read);
+    EXPECT_EQ(oram.access(9, oram::OramOp::Write, &v2), v1);
+    for (int i = 0; i < 100; ++i)
+        oram.access(static_cast<Addr>(i % 30 + 10), oram::OramOp::Read);
+    EXPECT_EQ(oram.access(9, oram::OramOp::Read), v2);
+}
+
+} // namespace
+} // namespace secdimm::sdimm

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "analytic/mm1k.hh"
+#include "sdimm/transfer_queue.hh"
+
+namespace secdimm::sdimm
+{
+namespace
+{
+
+oram::StashEntry
+entry(Addr a)
+{
+    return oram::StashEntry{a, a % 16, BlockData{}};
+}
+
+TEST(TransferQueue, FifoOrder)
+{
+    TransferQueue q(8, 0.5, 1);
+    q.push(entry(1));
+    q.push(entry(2));
+    EXPECT_EQ(q.pop()->addr, 1u);
+    EXPECT_EQ(q.pop()->addr, 2u);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(TransferQueue, OverflowCounted)
+{
+    TransferQueue q(2, 0.5, 1);
+    EXPECT_TRUE(q.push(entry(1)));
+    EXPECT_TRUE(q.push(entry(2)));
+    EXPECT_FALSE(q.push(entry(3)));
+    EXPECT_EQ(q.stats().overflows, 1u);
+    EXPECT_EQ(q.stats().arrivals, 3u);
+}
+
+TEST(TransferQueue, DrainFrequencyMatchesProbability)
+{
+    TransferQueue q(1024, 0.3, 7);
+    int drains = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        q.push(entry(static_cast<Addr>(i)));
+        drains += q.rollDrain();
+        // Keep the queue non-empty but bounded.
+        if (q.size() > 512)
+            q.pop();
+    }
+    EXPECT_NEAR(static_cast<double>(drains) / n, 0.3, 0.02);
+}
+
+TEST(TransferQueue, NoDrainWhenEmpty)
+{
+    TransferQueue q(8, 1.0, 1);
+    EXPECT_FALSE(q.rollDrain());
+}
+
+TEST(TransferQueue, MaxOccupancyTracked)
+{
+    TransferQueue q(8, 0.0, 1);
+    q.push(entry(1));
+    q.push(entry(2));
+    q.push(entry(3));
+    q.pop();
+    q.pop();
+    q.pop();
+    EXPECT_EQ(q.stats().maxOccupancy, 3u);
+    EXPECT_EQ(q.stats().services, 3u);
+}
+
+/**
+ * Section IV-C end-to-end: simulate the arrival/service process the
+ * paper models and compare the observed overflow behaviour against
+ * the M/M/1/K prediction -- with drains (p=0.25) a small queue almost
+ * never overflows; without them it saturates.
+ */
+TEST(TransferQueue, DrainingPreventsSaturation)
+{
+    Rng rng(33);
+    auto run = [&](double p, std::size_t cap) {
+        TransferQueue q(cap, p, 55);
+        std::uint64_t overflowed = 0;
+        for (int step = 0; step < 200000; ++step) {
+            // Arrival with prob 1/4 (dual-SDIMM model).
+            if (rng.nextBool(0.25)) {
+                if (!q.push(entry(static_cast<Addr>(step))))
+                    ++overflowed;
+                else if (q.rollDrain())
+                    q.pop(); // Extra accessORAM services one entry.
+            }
+            // Baseline service with prob 1/4.
+            if (rng.nextBool(0.25))
+                q.pop();
+        }
+        return overflowed;
+    };
+    EXPECT_EQ(run(0.25, 64), 0u);
+    EXPECT_GT(run(0.0, 16), 0u);
+}
+
+TEST(TransferQueue, ObservedOccupancyMatchesMm1k)
+{
+    // The Section IV-C model: arrivals at rate 1/4, baseline service
+    // at rate 1/4, plus an extra accessORAM drain at rate p per step;
+    // with p = 0.25, rho = 0.25/(0.25+0.25) = 0.5 and the mean
+    // occupancy of M/M/1/16 is ~1.
+    Rng rng(44);
+    TransferQueue q(16, 0.25, 66);
+    double occupancy_sum = 0;
+    const int steps = 100000;
+    for (int step = 0; step < steps; ++step) {
+        if (rng.nextBool(0.25))
+            q.push(entry(static_cast<Addr>(step)));
+        if (rng.nextBool(0.25))
+            q.pop(); // Baseline service.
+        if (q.rollDrain())
+            q.pop(); // Extra drain accessORAM.
+        occupancy_sum += static_cast<double>(q.size());
+    }
+    const double mean = occupancy_sum / steps;
+    const double predicted = analytic::mm1kMeanOccupancy(
+        analytic::mm1kUtilization(0.25), 16);
+    EXPECT_NEAR(mean, predicted, 0.5);
+}
+
+} // namespace
+} // namespace secdimm::sdimm

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "trace/cache.hh"
+
+namespace secdimm::trace
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel c(4096, 4);
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    // Same line, different byte: still a hit.
+    EXPECT_TRUE(c.access(0x13f, false).hit);
+    // Next line: miss.
+    EXPECT_FALSE(c.access(0x140, false).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 sets x 2 ways x 64B = 256B cache; lines mapping to set 0:
+    // addresses 0, 128, 256, ...
+    CacheModel c(256, 2);
+    ASSERT_EQ(c.sets(), 2u);
+    c.access(0, false);
+    c.access(128, false);
+    c.access(0, false);   // Touch 0: now 128 is LRU.
+    c.access(256, false); // Evicts 128.
+    EXPECT_TRUE(c.access(0, false).hit);
+    EXPECT_FALSE(c.access(128, false).hit);
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    CacheModel c(256, 2);
+    c.access(0, true); // Dirty.
+    c.access(128, false);
+    const auto r = c.access(256, false); // Evicts 0 (LRU, dirty).
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    CacheModel c(256, 2);
+    c.access(0, false);
+    c.access(128, false);
+    const auto r = c.access(256, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    CacheModel c(256, 2);
+    c.access(0, false);
+    c.access(0, true); // Hit, marks dirty.
+    c.access(128, false);
+    const auto r = c.access(256, false); // Evict 0.
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, FlushDropsContents)
+{
+    CacheModel c(4096, 4);
+    c.access(0x100, false);
+    c.flush();
+    EXPECT_FALSE(c.access(0x100, false).hit);
+}
+
+TEST(Cache, StatsAndMissRate)
+{
+    CacheModel c(4096, 4);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(64, false);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_NEAR(c.stats().missRate(), 2.0 / 3.0, 1e-9);
+    c.resetStats();
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes)
+{
+    CacheModel c(2ULL << 20, 8); // The Table II LLC.
+    // Stream 4 MB twice: second pass still mostly misses.
+    const Addr lines = (4ULL << 20) / blockBytes;
+    for (Addr i = 0; i < lines; ++i)
+        c.access(i * blockBytes, false);
+    c.resetStats();
+    for (Addr i = 0; i < lines; ++i)
+        c.access(i * blockBytes, false);
+    EXPECT_GT(c.stats().missRate(), 0.9);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHits)
+{
+    CacheModel c(2ULL << 20, 8);
+    const Addr lines = (1ULL << 20) / blockBytes; // 1 MB set.
+    for (Addr i = 0; i < lines; ++i)
+        c.access(i * blockBytes, false);
+    c.resetStats();
+    for (Addr i = 0; i < lines; ++i)
+        c.access(i * blockBytes, false);
+    EXPECT_LT(c.stats().missRate(), 0.01);
+}
+
+} // namespace
+} // namespace secdimm::trace

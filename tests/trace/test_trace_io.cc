@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace_io.hh"
+#include "trace/workload.hh"
+
+namespace secdimm::trace
+{
+namespace
+{
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath(const char *suffix)
+    {
+        return ::testing::TempDir() + "sdimm_trace_test_" + suffix;
+    }
+
+    std::vector<TraceRecord>
+    sampleTrace(std::size_t n)
+    {
+        TraceGenerator gen(*findProfile("milc"), 77);
+        std::vector<TraceRecord> records;
+        for (std::size_t i = 0; i < n; ++i)
+            records.push_back(gen.next());
+        return records;
+    }
+};
+
+TEST_F(TraceIoTest, TextRoundTrip)
+{
+    const auto records = sampleTrace(200);
+    const std::string path = tempPath("text.trc");
+    ASSERT_TRUE(writeTraceText(path, records));
+    std::vector<TraceRecord> loaded;
+    ASSERT_TRUE(readTraceText(path, loaded));
+    ASSERT_EQ(loaded.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, records[i].addr);
+        EXPECT_EQ(loaded[i].instGap, records[i].instGap);
+        EXPECT_EQ(loaded[i].write, records[i].write);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, BinaryRoundTrip)
+{
+    const auto records = sampleTrace(500);
+    const std::string path = tempPath("bin.trc");
+    ASSERT_TRUE(writeTraceBinary(path, records));
+    std::vector<TraceRecord> loaded;
+    ASSERT_TRUE(readTraceBinary(path, loaded));
+    ASSERT_EQ(loaded.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, records[i].addr);
+        EXPECT_EQ(loaded[i].instGap, records[i].instGap);
+        EXPECT_EQ(loaded[i].write, records[i].write);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, MissingFileFails)
+{
+    std::vector<TraceRecord> loaded;
+    EXPECT_FALSE(readTraceText("/nonexistent/path.trc", loaded));
+    EXPECT_FALSE(readTraceBinary("/nonexistent/path.trc", loaded));
+}
+
+TEST_F(TraceIoTest, BinaryRejectsBadMagic)
+{
+    const std::string path = tempPath("bad.trc");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("NOTATRACE", f);
+        std::fclose(f);
+    }
+    std::vector<TraceRecord> loaded;
+    EXPECT_FALSE(readTraceBinary(path, loaded));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, TextSkipsCommentsAndRejectsGarbage)
+{
+    const std::string path = tempPath("mixed.trc");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("# header comment\n12 0x40 R\n\n", f);
+        std::fclose(f);
+    }
+    std::vector<TraceRecord> loaded;
+    ASSERT_TRUE(readTraceText(path, loaded));
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].instGap, 12u);
+    EXPECT_EQ(loaded[0].addr, 0x40u);
+    EXPECT_FALSE(loaded[0].write);
+
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("12 0x40 X\n", f); // Bad op letter.
+        std::fclose(f);
+    }
+    EXPECT_FALSE(readTraceText(path, loaded));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("empty.trc");
+    ASSERT_TRUE(writeTraceBinary(path, {}));
+    std::vector<TraceRecord> loaded{{1, 2, true}};
+    ASSERT_TRUE(readTraceBinary(path, loaded));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace secdimm::trace

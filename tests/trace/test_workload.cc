@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workload.hh"
+
+namespace secdimm::trace
+{
+namespace
+{
+
+TEST(Workload, TenPaperBenchmarksPresent)
+{
+    const auto &profiles = spec2006Profiles();
+    EXPECT_EQ(profiles.size(), 10u);
+    for (const char *name :
+         {"mcf", "omnetpp", "gromacs", "GemsFDTD", "libquantum", "lbm",
+          "milc", "soplex", "leslie3d", "bwaves"}) {
+        EXPECT_NE(findProfile(name), nullptr) << name;
+    }
+    EXPECT_EQ(findProfile("not-a-benchmark"), nullptr);
+}
+
+TEST(Workload, DeterministicForSeed)
+{
+    const WorkloadProfile &p = *findProfile("mcf");
+    TraceGenerator a(p, 42), b(p, 42);
+    for (int i = 0; i < 1000; ++i) {
+        const TraceRecord ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.addr, rb.addr);
+        EXPECT_EQ(ra.instGap, rb.instGap);
+        EXPECT_EQ(ra.write, rb.write);
+    }
+}
+
+TEST(Workload, AddressesWithinFootprintAndAligned)
+{
+    for (const auto &p : spec2006Profiles()) {
+        TraceGenerator gen(p, 7);
+        for (int i = 0; i < 500; ++i) {
+            const TraceRecord r = gen.next();
+            EXPECT_LT(r.addr, p.footprintBytes) << p.name;
+            EXPECT_EQ(r.addr % blockBytes, 0u) << p.name;
+        }
+    }
+}
+
+TEST(Workload, WriteFractionApproximatesProfile)
+{
+    const WorkloadProfile &p = *findProfile("lbm"); // 0.45 writes.
+    TraceGenerator gen(p, 11);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += gen.next().write;
+    EXPECT_NEAR(static_cast<double>(writes) / n, p.writeFraction, 0.02);
+}
+
+TEST(Workload, SequentialityTracksSeqProb)
+{
+    // libquantum (0.9) must be far more sequential than mcf (0.1).
+    // The hot/cold split means consecutive records may come from
+    // different regions, so raw adjacency understates seqProb; the
+    // ordering must still hold by a wide margin.
+    auto sequentiality = [](const char *name) {
+        TraceGenerator gen(*findProfile(name), 3);
+        Addr prev = gen.next().addr;
+        int seq = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            const Addr cur = gen.next().addr;
+            seq += cur == prev + blockBytes;
+            prev = cur;
+        }
+        return static_cast<double>(seq) / n;
+    };
+    const double lq = sequentiality("libquantum");
+    const double mc = sequentiality("mcf");
+    EXPECT_GT(lq, 0.3);
+    EXPECT_LT(mc, 0.1);
+    EXPECT_GT(lq, 3 * mc);
+}
+
+TEST(Workload, BurstinessTracksBurstMean)
+{
+    // gromacs (burstMean 9) should show many short intra-burst gaps;
+    // GemsFDTD (burstMean 1.1) should be dominated by long gaps.
+    auto small_gap_fraction = [](const char *name) {
+        TraceGenerator gen(*findProfile(name), 5);
+        int small = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            small += gen.next().instGap <= 4;
+        return static_cast<double>(small) / n;
+    };
+    EXPECT_GT(small_gap_fraction("gromacs"),
+              small_gap_fraction("GemsFDTD") + 0.3);
+}
+
+TEST(Workload, MeanGapRoughlyMatchesIntensity)
+{
+    // Mean inst gap of the whole stream is (meanInstGap +
+    // (burstMean-1)*burstGap) / burstMean; GemsFDTD (25, 1.1) must be
+    // far sparser than mcf (12, 1.5).
+    auto mean_gap = [](const char *name) {
+        TraceGenerator gen(*findProfile(name), 9);
+        double sum = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += gen.next().instGap;
+        return sum / n;
+    };
+    EXPECT_GT(mean_gap("GemsFDTD"), 1.5 * mean_gap("mcf"));
+}
+
+} // namespace
+} // namespace secdimm::trace

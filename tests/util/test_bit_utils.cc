@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "util/bit_utils.hh"
+
+namespace secdimm
+{
+namespace
+{
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1ULL << 40), 40u);
+    EXPECT_EQ(ceilLog2((1ULL << 40) + 1), 41u);
+}
+
+TEST(BitUtils, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xff, 4, 0), 0u);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(BitUtils, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 0, 8, 0xab), 0xabULL);
+    EXPECT_EQ(insertBits(0xff00, 0, 8, 0xab), 0xffabULL);
+    EXPECT_EQ(insertBits(0xffff, 4, 8, 0), 0xf00fULL);
+    // Field wider than width is masked.
+    EXPECT_EQ(insertBits(0, 0, 4, 0xff), 0xfULL);
+}
+
+TEST(BitUtils, InsertThenExtractRoundTrip)
+{
+    for (unsigned lo = 0; lo < 60; lo += 7) {
+        for (unsigned w = 1; w <= 16; w += 3) {
+            if (lo + w > 64)
+                continue; // field would not fit
+            const std::uint64_t field = 0x5a5a5a5a5a5a5a5aULL;
+            const std::uint64_t v = insertBits(0, lo, w, field);
+            EXPECT_EQ(bits(v, lo, w), bits(field, 0, w))
+                << "lo=" << lo << " w=" << w;
+        }
+    }
+}
+
+TEST(BitUtils, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(BitUtils, RoundUpPow2)
+{
+    EXPECT_EQ(roundUpPow2(0, 64), 0u);
+    EXPECT_EQ(roundUpPow2(1, 64), 64u);
+    EXPECT_EQ(roundUpPow2(64, 64), 64u);
+    EXPECT_EQ(roundUpPow2(65, 64), 128u);
+}
+
+} // namespace
+} // namespace secdimm

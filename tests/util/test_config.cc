@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/config.hh"
+
+namespace secdimm
+{
+namespace
+{
+
+TEST(Config, TypedRoundTrip)
+{
+    Config c;
+    c.setUInt("n", 42);
+    c.setDouble("x", 2.5);
+    c.setBool("flag", true);
+    c.set("s", "hello");
+    EXPECT_EQ(c.getUInt("n"), 42u);
+    EXPECT_DOUBLE_EQ(c.getDouble("x"), 2.5);
+    EXPECT_TRUE(c.getBool("flag"));
+    EXPECT_EQ(c.getString("s"), "hello");
+}
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getUInt("missing", 7), 7u);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(c.getBool("missing", false));
+    EXPECT_EQ(c.getString("missing", "d"), "d");
+}
+
+TEST(Config, ParseLineHandlesCommentsAndBlank)
+{
+    Config c;
+    EXPECT_TRUE(c.parseLine("# comment"));
+    EXPECT_TRUE(c.parseLine("   "));
+    EXPECT_TRUE(c.parseLine("key = value"));
+    EXPECT_EQ(c.getString("key"), "value");
+}
+
+TEST(Config, ParseLineRejectsMalformed)
+{
+    Config c;
+    EXPECT_FALSE(c.parseLine("no equals sign"));
+    EXPECT_FALSE(c.parseLine("= value without key"));
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    c.set("a", "YES");
+    c.set("b", "off");
+    c.set("c", "1");
+    c.set("d", "garbage");
+    EXPECT_TRUE(c.getBool("a"));
+    EXPECT_FALSE(c.getBool("b"));
+    EXPECT_TRUE(c.getBool("c"));
+    EXPECT_TRUE(c.getBool("d", true)); // falls back to default
+}
+
+TEST(Config, HexUInt)
+{
+    Config c;
+    c.set("addr", "0x40");
+    EXPECT_EQ(c.getUInt("addr"), 64u);
+}
+
+TEST(Config, EnvOverride)
+{
+    Config c;
+    c.setUInt("dram.channels", 1);
+    ::setenv("SDTEST_DRAM_CHANNELS", "4", 1);
+    c.applyEnvOverrides("SDTEST_");
+    EXPECT_EQ(c.getUInt("dram.channels"), 4u);
+    ::unsetenv("SDTEST_DRAM_CHANNELS");
+}
+
+} // namespace
+} // namespace secdimm

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+
+namespace secdimm
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.nextBelow(bound), bound);
+    }
+    EXPECT_EQ(r.nextBelow(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    // Mean of U(0,1) should be ~0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(5);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatesTarget)
+{
+    Rng r(9);
+    for (double mean : {2.0, 10.0, 50.0}) {
+        double sum = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(r.nextGeometric(mean));
+        EXPECT_NEAR(sum / n, mean, mean * 0.1) << "mean=" << mean;
+    }
+}
+
+TEST(Rng, GeometricAlwaysAtLeastOne)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.nextGeometric(0.5), 1u);
+}
+
+TEST(Rng, ReseedResetsSequence)
+{
+    Rng a(100);
+    const auto x0 = a.next();
+    a.next();
+    a.reseed(100);
+    EXPECT_EQ(a.next(), x0);
+}
+
+} // namespace
+} // namespace secdimm

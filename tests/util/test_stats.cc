@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hh"
+
+namespace secdimm
+{
+namespace
+{
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0);
+    h.sample(0.0);
+    h.sample(9.99);
+    h.sample(10.0);
+    h.sample(35.0);
+    h.sample(40.0);   // overflow
+    h.sample(-1.0);   // negative counts as overflow too
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(StatRegistry, CountersPersistByName)
+{
+    StatRegistry reg;
+    reg.counter("a").inc(3);
+    reg.counter("a").inc(2);
+    EXPECT_EQ(reg.counterValue("a"), 5u);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+}
+
+TEST(StatRegistry, DumpIsSortedAndComplete)
+{
+    StatRegistry reg;
+    reg.counter("z.last").inc(1);
+    reg.counter("a.first").inc(2);
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a.first 2"), std::string::npos);
+    EXPECT_NE(out.find("z.last 1"), std::string::npos);
+    EXPECT_LT(out.find("a.first"), out.find("z.last"));
+}
+
+TEST(StatRegistry, ResetClearsEverything)
+{
+    StatRegistry reg;
+    reg.counter("c").inc(9);
+    reg.average("avg").sample(4.0);
+    reg.histogram("h").sample(1.0);
+    reg.reset();
+    EXPECT_EQ(reg.counterValue("c"), 0u);
+    EXPECT_EQ(reg.average("avg").count(), 0u);
+    EXPECT_EQ(reg.histogram("h").total(), 0u);
+}
+
+} // namespace
+} // namespace secdimm
