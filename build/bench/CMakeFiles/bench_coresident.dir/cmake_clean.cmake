@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coresident.dir/bench_coresident.cc.o"
+  "CMakeFiles/bench_coresident.dir/bench_coresident.cc.o.d"
+  "bench_coresident"
+  "bench_coresident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coresident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

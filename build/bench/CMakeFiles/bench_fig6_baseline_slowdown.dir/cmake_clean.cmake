@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_baseline_slowdown.dir/bench_fig6_baseline_slowdown.cc.o"
+  "CMakeFiles/bench_fig6_baseline_slowdown.dir/bench_fig6_baseline_slowdown.cc.o.d"
+  "bench_fig6_baseline_slowdown"
+  "bench_fig6_baseline_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_baseline_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_single_channel.dir/bench_fig8_single_channel.cc.o"
+  "CMakeFiles/bench_fig8_single_channel.dir/bench_fig8_single_channel.cc.o.d"
+  "bench_fig8_single_channel"
+  "bench_fig8_single_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_single_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

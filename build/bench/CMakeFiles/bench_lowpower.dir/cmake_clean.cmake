@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lowpower.dir/bench_lowpower.cc.o"
+  "CMakeFiles/bench_lowpower.dir/bench_lowpower.cc.o.d"
+  "bench_lowpower"
+  "bench_lowpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lowpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_commands.dir/bench_table1_commands.cc.o"
+  "CMakeFiles/bench_table1_commands.dir/bench_table1_commands.cc.o.d"
+  "bench_table1_commands"
+  "bench_table1_commands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

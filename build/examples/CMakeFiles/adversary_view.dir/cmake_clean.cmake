@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_view.dir/adversary_view.cpp.o"
+  "CMakeFiles/adversary_view.dir/adversary_view.cpp.o.d"
+  "adversary_view"
+  "adversary_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

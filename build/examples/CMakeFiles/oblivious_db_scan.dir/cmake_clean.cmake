@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblivious_db_scan.dir/oblivious_db_scan.cpp.o"
+  "CMakeFiles/oblivious_db_scan.dir/oblivious_db_scan.cpp.o.d"
+  "oblivious_db_scan"
+  "oblivious_db_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblivious_db_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

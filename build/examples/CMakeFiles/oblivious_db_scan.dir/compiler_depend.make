@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for oblivious_db_scan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for oblivious_db_scan.
+# This may be replaced when dependencies are built.

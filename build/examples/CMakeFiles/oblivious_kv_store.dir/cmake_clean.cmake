@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblivious_kv_store.dir/oblivious_kv_store.cpp.o"
+  "CMakeFiles/oblivious_kv_store.dir/oblivious_kv_store.cpp.o.d"
+  "oblivious_kv_store"
+  "oblivious_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblivious_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/area_model.cc" "src/analytic/CMakeFiles/securedimm_analytic.dir/area_model.cc.o" "gcc" "src/analytic/CMakeFiles/securedimm_analytic.dir/area_model.cc.o.d"
+  "/root/repo/src/analytic/mm1k.cc" "src/analytic/CMakeFiles/securedimm_analytic.dir/mm1k.cc.o" "gcc" "src/analytic/CMakeFiles/securedimm_analytic.dir/mm1k.cc.o.d"
+  "/root/repo/src/analytic/random_walk.cc" "src/analytic/CMakeFiles/securedimm_analytic.dir/random_walk.cc.o" "gcc" "src/analytic/CMakeFiles/securedimm_analytic.dir/random_walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/securedimm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

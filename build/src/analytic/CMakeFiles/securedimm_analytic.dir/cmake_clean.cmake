@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_analytic.dir/area_model.cc.o"
+  "CMakeFiles/securedimm_analytic.dir/area_model.cc.o.d"
+  "CMakeFiles/securedimm_analytic.dir/mm1k.cc.o"
+  "CMakeFiles/securedimm_analytic.dir/mm1k.cc.o.d"
+  "CMakeFiles/securedimm_analytic.dir/random_walk.cc.o"
+  "CMakeFiles/securedimm_analytic.dir/random_walk.cc.o.d"
+  "libsecuredimm_analytic.a"
+  "libsecuredimm_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_core.dir/secure_memory_system.cc.o"
+  "CMakeFiles/securedimm_core.dir/secure_memory_system.cc.o.d"
+  "CMakeFiles/securedimm_core.dir/simulator.cc.o"
+  "CMakeFiles/securedimm_core.dir/simulator.cc.o.d"
+  "CMakeFiles/securedimm_core.dir/system_config.cc.o"
+  "CMakeFiles/securedimm_core.dir/system_config.cc.o.d"
+  "libsecuredimm_core.a"
+  "libsecuredimm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/securedimm_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/securedimm_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/cmac.cc" "src/crypto/CMakeFiles/securedimm_crypto.dir/cmac.cc.o" "gcc" "src/crypto/CMakeFiles/securedimm_crypto.dir/cmac.cc.o.d"
+  "/root/repo/src/crypto/ctr_mode.cc" "src/crypto/CMakeFiles/securedimm_crypto.dir/ctr_mode.cc.o" "gcc" "src/crypto/CMakeFiles/securedimm_crypto.dir/ctr_mode.cc.o.d"
+  "/root/repo/src/crypto/key_exchange.cc" "src/crypto/CMakeFiles/securedimm_crypto.dir/key_exchange.cc.o" "gcc" "src/crypto/CMakeFiles/securedimm_crypto.dir/key_exchange.cc.o.d"
+  "/root/repo/src/crypto/pmmac.cc" "src/crypto/CMakeFiles/securedimm_crypto.dir/pmmac.cc.o" "gcc" "src/crypto/CMakeFiles/securedimm_crypto.dir/pmmac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/securedimm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

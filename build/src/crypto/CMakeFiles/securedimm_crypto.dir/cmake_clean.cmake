@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_crypto.dir/aes128.cc.o"
+  "CMakeFiles/securedimm_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/securedimm_crypto.dir/cmac.cc.o"
+  "CMakeFiles/securedimm_crypto.dir/cmac.cc.o.d"
+  "CMakeFiles/securedimm_crypto.dir/ctr_mode.cc.o"
+  "CMakeFiles/securedimm_crypto.dir/ctr_mode.cc.o.d"
+  "CMakeFiles/securedimm_crypto.dir/key_exchange.cc.o"
+  "CMakeFiles/securedimm_crypto.dir/key_exchange.cc.o.d"
+  "CMakeFiles/securedimm_crypto.dir/pmmac.cc.o"
+  "CMakeFiles/securedimm_crypto.dir/pmmac.cc.o.d"
+  "libsecuredimm_crypto.a"
+  "libsecuredimm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsecuredimm_crypto.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_dram.dir/address_map.cc.o"
+  "CMakeFiles/securedimm_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/securedimm_dram.dir/channel.cc.o"
+  "CMakeFiles/securedimm_dram.dir/channel.cc.o.d"
+  "CMakeFiles/securedimm_dram.dir/dram_system.cc.o"
+  "CMakeFiles/securedimm_dram.dir/dram_system.cc.o.d"
+  "CMakeFiles/securedimm_dram.dir/power_model.cc.o"
+  "CMakeFiles/securedimm_dram.dir/power_model.cc.o.d"
+  "CMakeFiles/securedimm_dram.dir/timing.cc.o"
+  "CMakeFiles/securedimm_dram.dir/timing.cc.o.d"
+  "libsecuredimm_dram.a"
+  "libsecuredimm_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

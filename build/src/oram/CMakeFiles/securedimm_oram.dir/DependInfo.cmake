@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oram/bucket.cc" "src/oram/CMakeFiles/securedimm_oram.dir/bucket.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/bucket.cc.o.d"
+  "/root/repo/src/oram/bucket_store.cc" "src/oram/CMakeFiles/securedimm_oram.dir/bucket_store.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/bucket_store.cc.o.d"
+  "/root/repo/src/oram/freecursive_backend.cc" "src/oram/CMakeFiles/securedimm_oram.dir/freecursive_backend.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/freecursive_backend.cc.o.d"
+  "/root/repo/src/oram/nonsecure_backend.cc" "src/oram/CMakeFiles/securedimm_oram.dir/nonsecure_backend.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/nonsecure_backend.cc.o.d"
+  "/root/repo/src/oram/path_oram.cc" "src/oram/CMakeFiles/securedimm_oram.dir/path_oram.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/path_oram.cc.o.d"
+  "/root/repo/src/oram/plb.cc" "src/oram/CMakeFiles/securedimm_oram.dir/plb.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/plb.cc.o.d"
+  "/root/repo/src/oram/recursion.cc" "src/oram/CMakeFiles/securedimm_oram.dir/recursion.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/recursion.cc.o.d"
+  "/root/repo/src/oram/recursive_oram.cc" "src/oram/CMakeFiles/securedimm_oram.dir/recursive_oram.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/recursive_oram.cc.o.d"
+  "/root/repo/src/oram/stash.cc" "src/oram/CMakeFiles/securedimm_oram.dir/stash.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/stash.cc.o.d"
+  "/root/repo/src/oram/tree_layout.cc" "src/oram/CMakeFiles/securedimm_oram.dir/tree_layout.cc.o" "gcc" "src/oram/CMakeFiles/securedimm_oram.dir/tree_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/securedimm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/securedimm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/securedimm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/securedimm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_oram.dir/bucket.cc.o"
+  "CMakeFiles/securedimm_oram.dir/bucket.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/bucket_store.cc.o"
+  "CMakeFiles/securedimm_oram.dir/bucket_store.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/freecursive_backend.cc.o"
+  "CMakeFiles/securedimm_oram.dir/freecursive_backend.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/nonsecure_backend.cc.o"
+  "CMakeFiles/securedimm_oram.dir/nonsecure_backend.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/path_oram.cc.o"
+  "CMakeFiles/securedimm_oram.dir/path_oram.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/plb.cc.o"
+  "CMakeFiles/securedimm_oram.dir/plb.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/recursion.cc.o"
+  "CMakeFiles/securedimm_oram.dir/recursion.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/recursive_oram.cc.o"
+  "CMakeFiles/securedimm_oram.dir/recursive_oram.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/stash.cc.o"
+  "CMakeFiles/securedimm_oram.dir/stash.cc.o.d"
+  "CMakeFiles/securedimm_oram.dir/tree_layout.cc.o"
+  "CMakeFiles/securedimm_oram.dir/tree_layout.cc.o.d"
+  "libsecuredimm_oram.a"
+  "libsecuredimm_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

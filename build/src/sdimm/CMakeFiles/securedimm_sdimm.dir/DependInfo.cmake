@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdimm/indep_split_oram.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/indep_split_oram.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/indep_split_oram.cc.o.d"
+  "/root/repo/src/sdimm/independent_backend.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/independent_backend.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/independent_backend.cc.o.d"
+  "/root/repo/src/sdimm/independent_oram.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/independent_oram.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/independent_oram.cc.o.d"
+  "/root/repo/src/sdimm/link_session.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/link_session.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/link_session.cc.o.d"
+  "/root/repo/src/sdimm/path_executor.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/path_executor.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/path_executor.cc.o.d"
+  "/root/repo/src/sdimm/sdimm_command.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/sdimm_command.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/sdimm_command.cc.o.d"
+  "/root/repo/src/sdimm/secure_buffer.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/secure_buffer.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/secure_buffer.cc.o.d"
+  "/root/repo/src/sdimm/split_backend.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/split_backend.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/split_backend.cc.o.d"
+  "/root/repo/src/sdimm/split_engine.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/split_engine.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/split_engine.cc.o.d"
+  "/root/repo/src/sdimm/split_oram.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/split_oram.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/split_oram.cc.o.d"
+  "/root/repo/src/sdimm/transfer_queue.cc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/transfer_queue.cc.o" "gcc" "src/sdimm/CMakeFiles/securedimm_sdimm.dir/transfer_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/securedimm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/securedimm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/securedimm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/securedimm_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/securedimm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_sdimm.dir/indep_split_oram.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/indep_split_oram.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/independent_backend.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/independent_backend.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/independent_oram.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/independent_oram.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/link_session.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/link_session.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/path_executor.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/path_executor.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/sdimm_command.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/sdimm_command.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/secure_buffer.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/secure_buffer.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/split_backend.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/split_backend.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/split_engine.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/split_engine.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/split_oram.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/split_oram.cc.o.d"
+  "CMakeFiles/securedimm_sdimm.dir/transfer_queue.cc.o"
+  "CMakeFiles/securedimm_sdimm.dir/transfer_queue.cc.o.d"
+  "libsecuredimm_sdimm.a"
+  "libsecuredimm_sdimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_sdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

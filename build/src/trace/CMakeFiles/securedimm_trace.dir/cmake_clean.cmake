@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_trace.dir/cache.cc.o"
+  "CMakeFiles/securedimm_trace.dir/cache.cc.o.d"
+  "CMakeFiles/securedimm_trace.dir/core_model.cc.o"
+  "CMakeFiles/securedimm_trace.dir/core_model.cc.o.d"
+  "CMakeFiles/securedimm_trace.dir/trace_io.cc.o"
+  "CMakeFiles/securedimm_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/securedimm_trace.dir/workload.cc.o"
+  "CMakeFiles/securedimm_trace.dir/workload.cc.o.d"
+  "libsecuredimm_trace.a"
+  "libsecuredimm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

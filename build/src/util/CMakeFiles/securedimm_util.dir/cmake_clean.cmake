@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securedimm_util.dir/config.cc.o"
+  "CMakeFiles/securedimm_util.dir/config.cc.o.d"
+  "CMakeFiles/securedimm_util.dir/logging.cc.o"
+  "CMakeFiles/securedimm_util.dir/logging.cc.o.d"
+  "CMakeFiles/securedimm_util.dir/rng.cc.o"
+  "CMakeFiles/securedimm_util.dir/rng.cc.o.d"
+  "CMakeFiles/securedimm_util.dir/stats.cc.o"
+  "CMakeFiles/securedimm_util.dir/stats.cc.o.d"
+  "libsecuredimm_util.a"
+  "libsecuredimm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securedimm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

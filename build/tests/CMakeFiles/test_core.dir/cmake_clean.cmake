@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_backend_properties.cc.o"
+  "CMakeFiles/test_core.dir/core/test_backend_properties.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_secure_memory_system.cc.o"
+  "CMakeFiles/test_core.dir/core/test_secure_memory_system.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_simulator.cc.o"
+  "CMakeFiles/test_core.dir/core/test_simulator.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_system_config.cc.o"
+  "CMakeFiles/test_core.dir/core/test_system_config.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

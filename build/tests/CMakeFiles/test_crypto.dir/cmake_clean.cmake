@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_cmac.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_cmac.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_crypto_properties.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_crypto_properties.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_ctr_mode.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_ctr_mode.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_key_exchange.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_key_exchange.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_pmmac.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_pmmac.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

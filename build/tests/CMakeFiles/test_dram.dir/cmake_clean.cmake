@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/dram/test_address_map.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_address_map.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_channel.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_channel.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_channel_properties.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_channel_properties.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_dram_system.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_dram_system.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_power_model.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_power_model.cc.o.d"
+  "test_dram"
+  "test_dram.pdb"
+  "test_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

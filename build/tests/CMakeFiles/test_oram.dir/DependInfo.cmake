@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/oram/test_backends.cc" "tests/CMakeFiles/test_oram.dir/oram/test_backends.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_backends.cc.o.d"
+  "/root/repo/tests/oram/test_bucket.cc" "tests/CMakeFiles/test_oram.dir/oram/test_bucket.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_bucket.cc.o.d"
+  "/root/repo/tests/oram/test_coresident.cc" "tests/CMakeFiles/test_oram.dir/oram/test_coresident.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_coresident.cc.o.d"
+  "/root/repo/tests/oram/test_path_oram.cc" "tests/CMakeFiles/test_oram.dir/oram/test_path_oram.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_path_oram.cc.o.d"
+  "/root/repo/tests/oram/test_path_oram_properties.cc" "tests/CMakeFiles/test_oram.dir/oram/test_path_oram_properties.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_path_oram_properties.cc.o.d"
+  "/root/repo/tests/oram/test_plb.cc" "tests/CMakeFiles/test_oram.dir/oram/test_plb.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_plb.cc.o.d"
+  "/root/repo/tests/oram/test_recursion.cc" "tests/CMakeFiles/test_oram.dir/oram/test_recursion.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_recursion.cc.o.d"
+  "/root/repo/tests/oram/test_recursive_oram.cc" "tests/CMakeFiles/test_oram.dir/oram/test_recursive_oram.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_recursive_oram.cc.o.d"
+  "/root/repo/tests/oram/test_stash.cc" "tests/CMakeFiles/test_oram.dir/oram/test_stash.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_stash.cc.o.d"
+  "/root/repo/tests/oram/test_tree_layout.cc" "tests/CMakeFiles/test_oram.dir/oram/test_tree_layout.cc.o" "gcc" "tests/CMakeFiles/test_oram.dir/oram/test_tree_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/securedimm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdimm/CMakeFiles/securedimm_sdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/securedimm_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/securedimm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/securedimm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/securedimm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/securedimm_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/securedimm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oram.dir/oram/test_backends.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_backends.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_bucket.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_bucket.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_coresident.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_coresident.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_path_oram.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_path_oram.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_path_oram_properties.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_path_oram_properties.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_plb.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_plb.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_recursion.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_recursion.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_recursive_oram.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_recursive_oram.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_stash.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_stash.cc.o.d"
+  "CMakeFiles/test_oram.dir/oram/test_tree_layout.cc.o"
+  "CMakeFiles/test_oram.dir/oram/test_tree_layout.cc.o.d"
+  "test_oram"
+  "test_oram.pdb"
+  "test_oram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sdimm/test_command.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_command.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_command.cc.o.d"
+  "/root/repo/tests/sdimm/test_indep_split_oram.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_indep_split_oram.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_indep_split_oram.cc.o.d"
+  "/root/repo/tests/sdimm/test_independent_oram.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_independent_oram.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_independent_oram.cc.o.d"
+  "/root/repo/tests/sdimm/test_link_session.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_link_session.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_link_session.cc.o.d"
+  "/root/repo/tests/sdimm/test_protocol_properties.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_protocol_properties.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_protocol_properties.cc.o.d"
+  "/root/repo/tests/sdimm/test_split_oram.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_split_oram.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_split_oram.cc.o.d"
+  "/root/repo/tests/sdimm/test_timing_backends.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_timing_backends.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_timing_backends.cc.o.d"
+  "/root/repo/tests/sdimm/test_timing_engines.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_timing_engines.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_timing_engines.cc.o.d"
+  "/root/repo/tests/sdimm/test_transfer_queue.cc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_transfer_queue.cc.o" "gcc" "tests/CMakeFiles/test_sdimm.dir/sdimm/test_transfer_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/securedimm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdimm/CMakeFiles/securedimm_sdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/securedimm_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/securedimm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/securedimm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/securedimm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/securedimm_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/securedimm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

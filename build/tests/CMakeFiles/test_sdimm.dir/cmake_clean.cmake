@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdimm.dir/sdimm/test_command.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_command.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_indep_split_oram.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_indep_split_oram.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_independent_oram.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_independent_oram.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_link_session.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_link_session.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_protocol_properties.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_protocol_properties.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_split_oram.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_split_oram.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_timing_backends.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_timing_backends.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_timing_engines.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_timing_engines.cc.o.d"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_transfer_queue.cc.o"
+  "CMakeFiles/test_sdimm.dir/sdimm/test_transfer_queue.cc.o.d"
+  "test_sdimm"
+  "test_sdimm.pdb"
+  "test_sdimm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

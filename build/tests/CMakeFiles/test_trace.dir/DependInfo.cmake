@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_cache.cc" "tests/CMakeFiles/test_trace.dir/trace/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_cache.cc.o.d"
+  "/root/repo/tests/trace/test_core_model.cc" "tests/CMakeFiles/test_trace.dir/trace/test_core_model.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_core_model.cc.o.d"
+  "/root/repo/tests/trace/test_trace_io.cc" "tests/CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o.d"
+  "/root/repo/tests/trace/test_workload.cc" "tests/CMakeFiles/test_trace.dir/trace/test_workload.cc.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/securedimm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdimm/CMakeFiles/securedimm_sdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/securedimm_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/securedimm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/securedimm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/securedimm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/securedimm_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/securedimm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_cache.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_cache.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_core_model.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_core_model.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_workload.cc.o"
+  "CMakeFiles/test_trace.dir/trace/test_workload.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
