@@ -72,12 +72,18 @@ main()
                   "drain probability",
                   "design choices of Sections II-C/III-C/IV-C");
 
+    bench::JsonReport report("ablations");
+
     // 1. Scheduler policy.
     std::printf("--- 1. memory scheduler under ORAM path reads ---\n");
     const PathReadResult frfcfs =
         readPaths(dram::SchedPolicy::FrFcfs, 4, 200);
     const PathReadResult fcfs =
         readPaths(dram::SchedPolicy::Fcfs, 4, 200);
+    report.setCount("scheduler.frfcfs", "cycles", frfcfs.cycles);
+    report.set("scheduler.frfcfs", "row_hit_rate", frfcfs.rowHitRate);
+    report.setCount("scheduler.fcfs", "cycles", fcfs.cycles);
+    report.set("scheduler.fcfs", "row_hit_rate", fcfs.rowHitRate);
     std::printf("%-10s %12s %10s\n", "policy", "cycles", "row hits");
     std::printf("%-10s %12llu %9.1f%%\n", "FR-FCFS",
                 static_cast<unsigned long long>(frfcfs.cycles),
@@ -96,6 +102,9 @@ main()
         std::printf("h=%-8u %12llu %9.1f%%\n", h,
                     static_cast<unsigned long long>(r.cycles),
                     100 * r.rowHitRate);
+        const std::string point = "layout.h" + std::to_string(h);
+        report.setCount(point, "cycles", r.cycles);
+        report.set(point, "row_hit_rate", r.rowHitRate);
     }
     std::printf("(h=1 is the naive BFS layout; larger subtrees pack a "
                 "path's buckets\ninto fewer rows)\n");
@@ -131,6 +140,10 @@ main()
                     static_cast<unsigned long long>(interval),
                     static_cast<unsigned long long>(r.cycles),
                     static_cast<unsigned long long>(probes));
+        const std::string point =
+            "probe.interval" + std::to_string(interval);
+        report.setCount(point, "cycles", r.cycles);
+        report.setCount(point, "probes", probes);
     }
 
     // 4. Drain probability.
@@ -146,6 +159,11 @@ main()
         std::printf("%-8.2f %12llu %16.2e\n", p,
                     static_cast<unsigned long long>(r.core.cycles),
                     overflow);
+        char name[32];
+        std::snprintf(name, sizeof(name), "drain.p%03d",
+                      static_cast<int>(100 * p + 0.5));
+        report.add(name, r.metrics);
+        report.set(name, "overflow_probability", overflow);
     }
     std::printf("(p=0 saturates the queue -- overflow certain in "
                 "steady state)\n");

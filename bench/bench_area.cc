@@ -20,6 +20,7 @@ main()
     bench::header("Secure buffer area estimate",
                   "Section IV-B text (paper: < 1 mm^2 at 32 nm)");
 
+    bench::JsonReport report("area");
     std::printf("%-14s %12s %12s %12s\n", "buffer size", "ctrl mm^2",
                 "sram mm^2", "total mm^2");
     for (std::uint64_t bytes : {4096ULL, 8192ULL, 16384ULL, 32768ULL}) {
@@ -27,6 +28,10 @@ main()
         std::printf("%10llu B  %12.2f %12.2f %12.2f\n",
                     static_cast<unsigned long long>(bytes),
                     a.oramControllerMm2, a.bufferMm2, a.totalMm2());
+        const std::string point = "buf" + std::to_string(bytes);
+        report.set(point, "controller_mm2", a.oramControllerMm2);
+        report.set(point, "sram_mm2", a.bufferMm2);
+        report.set(point, "total_mm2", a.totalMm2());
     }
 
     const SecureBufferArea paper = secureBufferArea(8192);

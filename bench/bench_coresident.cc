@@ -197,5 +197,14 @@ main()
                 sd.meanLatency);
     std::printf("\nnon-secure latency improvement: %.1fx\n",
                 fc.meanLatency / sd.meanLatency);
+
+    bench::JsonReport report("coresident");
+    report.setCount("freecursive.shared", "vm_accesses", fc.accesses);
+    report.set("freecursive.shared", "vm_mean_latency",
+               fc.meanLatency);
+    report.setCount("indep2.shared", "vm_accesses", sd.accesses);
+    report.set("indep2.shared", "vm_mean_latency", sd.meanLatency);
+    report.set("indep2.shared", "vm_latency_improvement",
+               fc.meanLatency / sd.meanLatency);
     return 0;
 }

@@ -26,11 +26,13 @@ struct EnergyRow
 };
 
 void
-accumulate(EnergyRow &row, const core::SimResult &r, double base_nj)
+accumulate(EnergyRow &row, const core::SimResult &r, double base_nj,
+           bench::JsonReport &report, const std::string &point)
 {
     row.overheadSum += r.energy.totalNj() / base_nj;
     row.total += r.energy;
     ++row.n;
+    report.add(point, r.metrics);
 }
 
 void
@@ -57,21 +59,23 @@ main()
                   "better than Freecursive)");
 
     const auto lens = bench::lengths();
+    bench::JsonReport report("fig10_energy");
 
     EnergyRow fc1, sp2, fc2, is4;
     for (const auto &wl : bench::workloads()) {
         // Single channel.
         const SimResult ns1 = runWorkload(
             makeConfig(DesignPoint::NonSecure, 24, 7), wl, lens, 1);
+        report.add("nonsecure.1ch", ns1.metrics);
         accumulate(fc1,
                    runWorkload(makeConfig(DesignPoint::Freecursive, 24,
                                           7),
                                wl, lens, 1),
-                   ns1.energy.totalNj());
+                   ns1.energy.totalNj(), report, "freecursive.1ch");
         accumulate(sp2,
                    runWorkload(makeConfig(DesignPoint::Split2, 24, 7),
                                wl, lens, 1),
-                   ns1.energy.totalNj());
+                   ns1.energy.totalNj(), report, "split2");
 
         // Double channel.
         SystemConfig ns2_cfg = makeConfig(DesignPoint::NonSecure, 24, 7);
@@ -81,13 +85,14 @@ main()
         fc2_cfg.cpuChannels = 2;
         fc2_cfg.cpuGeom.channels = 2;
         const SimResult ns2 = runWorkload(ns2_cfg, wl, lens, 1);
+        report.add("nonsecure.2ch", ns2.metrics);
         accumulate(fc2, runWorkload(fc2_cfg, wl, lens, 1),
-                   ns2.energy.totalNj());
+                   ns2.energy.totalNj(), report, "freecursive.2ch");
         accumulate(is4,
                    runWorkload(makeConfig(DesignPoint::IndepSplit, 24,
                                           7),
                                wl, lens, 1),
-                   ns2.energy.totalNj());
+                   ns2.energy.totalNj(), report, "indepsplit");
     }
 
     std::printf("%-12s %11s   %-40s\n", "design", "overhead",
@@ -106,5 +111,15 @@ main()
     std::printf("\nenergy improvement over Freecursive:\n");
     std::printf("  SPLIT-2 (1ch):     %.2fx   (paper: 2.4x)\n", gain1);
     std::printf("  INDEP-SPLIT (2ch): %.2fx   (paper: 2.5x)\n", gain2);
+
+    report.set("freecursive.1ch", "energy_overhead",
+               fc1.overheadSum / fc1.n);
+    report.set("split2", "energy_overhead", sp2.overheadSum / sp2.n);
+    report.set("freecursive.2ch", "energy_overhead",
+               fc2.overheadSum / fc2.n);
+    report.set("indepsplit", "energy_overhead",
+               is4.overheadSum / is4.n);
+    report.set("split2", "energy_gain_vs_freecursive", gain1);
+    report.set("indepsplit", "energy_gain_vs_freecursive", gain2);
     return 0;
 }

@@ -35,9 +35,11 @@ main()
             wls.push_back(*trace::findProfile(n));
     }
 
+    bench::JsonReport report("fig11_layer_sensitivity");
     std::printf("%-6s %18s %18s\n", "layers", "SPLIT-2 / FC (1ch)",
                 "INDEP-SPLIT / FC (2ch)");
     for (unsigned levels : {20u, 22u, 24u, 26u, 28u}) {
+        const std::string tag = ".L" + std::to_string(levels);
         std::vector<double> n1, n2;
         for (const auto &wl : wls) {
             const SimResult fc1 = runWorkload(
@@ -59,7 +61,16 @@ main()
                 lens, 1);
             n2.push_back(static_cast<double>(is.core.cycles) /
                          fc2.core.cycles);
+
+            report.add("freecursive.1ch" + tag, fc1.metrics);
+            report.add("split2" + tag, sp.metrics);
+            report.add("freecursive.2ch" + tag, fc2.metrics);
+            report.add("indepsplit" + tag, is.metrics);
         }
+        report.set("split2" + tag, "normalized_time.geomean",
+                   bench::geomean(n1));
+        report.set("indepsplit" + tag, "normalized_time.geomean",
+                   bench::geomean(n2));
         std::printf("L%-5u %18.3f %18.3f\n", levels,
                     bench::geomean(n1), bench::geomean(n2));
     }

@@ -21,6 +21,8 @@ main()
     bench::header("Figure 13 -- transfer queue overflow models",
                   "Fig 13a/13b (Section IV-C)");
 
+    bench::JsonReport report("fig13_overflow");
+
     std::printf("--- Figure 13a: P(walk exceeds bound within s steps) "
                 "---\n");
     std::printf("%-9s %8s %8s %8s %8s\n", "steps", "16", "64", "256",
@@ -29,8 +31,14 @@ main()
          {25000ULL, 50000ULL, 100000ULL, 200000ULL, 400000ULL,
           800000ULL}) {
         std::printf("%-9llu", static_cast<unsigned long long>(steps));
-        for (unsigned bound : {16u, 64u, 256u, 1024u})
-            std::printf(" %8.4f", overflowProbability(steps, bound));
+        for (unsigned bound : {16u, 64u, 256u, 1024u}) {
+            const double p = overflowProbability(steps, bound);
+            std::printf(" %8.4f", p);
+            report.set("walk",
+                       "p_overflow.s" + std::to_string(steps) + ".b" +
+                           std::to_string(bound),
+                       p);
+        }
         std::printf("\n");
     }
     std::printf("paper anchors: 16@100K ~0.97; at 800K: 64 ~0.91, "
@@ -44,8 +52,15 @@ main()
     std::printf("\n");
     for (double p : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
         std::printf("%-7.2f", p);
-        for (unsigned k : {4u, 8u, 16u, 32u, 64u, 128u})
-            std::printf(" %9.2e", transferQueueOverflow(p, k));
+        for (unsigned k : {4u, 8u, 16u, 32u, 64u, 128u}) {
+            const double ov = transferQueueOverflow(p, k);
+            std::printf(" %9.2e", ov);
+            char name[64];
+            std::snprintf(name, sizeof(name),
+                          "p_overflow.p%03d.k%u",
+                          static_cast<int>(100 * p + 0.5), k);
+            report.set("mm1k", name, ov);
+        }
         std::printf("\n");
     }
     std::printf("\nconclusion (paper): even a small queue has a very "
@@ -59,5 +74,7 @@ main()
     const double exact = overflowProbability(50000, 64);
     std::printf("\nself-check: walk model %.4f vs simulation %.4f\n",
                 exact, sim);
+    report.set("walk", "selfcheck.model", exact);
+    report.set("walk", "selfcheck.montecarlo", sim);
     return 0;
 }

@@ -21,6 +21,7 @@ main()
                   "~1.4 accessORAMs per miss)");
 
     const auto lens = bench::lengths();
+    bench::JsonReport report("fig6_baseline_slowdown");
 
     std::printf("%-12s %12s %12s %12s %12s %8s\n", "workload",
                 "nonsec-1ch", "oram-1ch", "slow-1ch", "slow-2ch",
@@ -49,6 +50,13 @@ main()
         slow2.push_back(s2);
         opsPerMiss.push_back(rf1.avgOramsPerMiss);
 
+        report.add("nonsecure.1ch", rn1.metrics);
+        report.add("freecursive.1ch", rf1.metrics);
+        report.add("nonsecure.2ch", rn2.metrics);
+        report.add("freecursive.2ch", rf2.metrics);
+        report.set("freecursive.1ch", "slowdown." + wl.name, s1);
+        report.set("freecursive.2ch", "slowdown." + wl.name, s2);
+
         std::printf("%-12s %12llu %12llu %11.2fx %11.2fx %8.2f\n",
                     wl.name.c_str(),
                     static_cast<unsigned long long>(rn1.core.cycles),
@@ -61,5 +69,12 @@ main()
                 bench::mean(opsPerMiss));
     std::printf("%-12s %12s %12s %12s %12s %8s\n", "paper", "", "",
                 "8.80x", "5.20x", "1.40");
+
+    report.set("freecursive.1ch", "slowdown.geomean",
+               bench::geomean(slow1));
+    report.set("freecursive.2ch", "slowdown.geomean",
+               bench::geomean(slow2));
+    report.set("freecursive.1ch", "orams_per_miss.mean",
+               bench::mean(opsPerMiss));
     return 0;
 }

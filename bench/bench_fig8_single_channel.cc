@@ -19,8 +19,10 @@ namespace
 {
 
 void
-runVariant(unsigned cached)
+runVariant(unsigned cached, bench::JsonReport &report)
 {
+    const std::string tag =
+        cached ? ".cached" + std::to_string(cached) : ".nocache";
     const auto lens = bench::lengths();
     std::printf("\n--- %s (cached levels = %u) ---\n",
                 cached ? "with ORAM cache" : "no ORAM cache", cached);
@@ -45,9 +47,19 @@ runVariant(unsigned cached)
         n_split.push_back(ns);
         std::printf("%-12s %12.3f %12.3f %12.3f\n", wl.name.c_str(),
                     1.0, ni, ns);
+
+        report.add("freecursive" + tag, fc.metrics);
+        report.add("indep2" + tag, ind.metrics);
+        report.add("split2" + tag, sp.metrics);
+        report.set("indep2" + tag, "normalized_time." + wl.name, ni);
+        report.set("split2" + tag, "normalized_time." + wl.name, ns);
     }
     std::printf("%-12s %12.3f %12.3f %12.3f\n", "geomean", 1.0,
                 bench::geomean(n_ind), bench::geomean(n_split));
+    report.set("indep2" + tag, "normalized_time.geomean",
+               bench::geomean(n_ind));
+    report.set("split2" + tag, "normalized_time.geomean",
+               bench::geomean(n_split));
     if (cached) {
         std::printf("%-12s %12s %12s %12s  (reductions 32%% / 33.5%%)\n",
                     "paper", "1.000", "0.680", "0.665");
@@ -66,8 +78,9 @@ main()
         "Figure 8 -- single-channel SDIMM designs, normalized time",
         "Fig 8 (paper: INDEP-2 -32%, SPLIT-2 -33.5% vs Freecursive)");
 
-    runVariant(7);
+    bench::JsonReport report("fig8_single_channel");
+    runVariant(7, report);
     if (std::getenv("SDIMM_BENCH_NOCACHE"))
-        runVariant(0);
+        runVariant(0, report);
     return 0;
 }

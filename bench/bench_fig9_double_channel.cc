@@ -23,6 +23,7 @@ main()
         "INDEP-SPLIT -47.4%)");
 
     const auto lens = bench::lengths();
+    bench::JsonReport report("fig9_double_channel");
 
     std::printf("%-12s %12s %12s %12s %12s\n", "workload",
                 "Freecursive", "INDEP-4", "SPLIT-4", "INDEP-SPLIT");
@@ -49,6 +50,15 @@ main()
         lat_sp.push_back(s4.cyclesPerMiss());
         lat_is.push_back(is.cyclesPerMiss());
 
+        report.add("freecursive.2ch", fc.metrics);
+        report.add("indep4", i4.metrics);
+        report.add("split4", s4.metrics);
+        report.add("indepsplit", is.metrics);
+        report.set("indep4", "normalized_time." + wl.name, n4.back());
+        report.set("split4", "normalized_time." + wl.name, nsp.back());
+        report.set("indepsplit", "normalized_time." + wl.name,
+                   nis.back());
+
         std::printf("%-12s %12.3f %12.3f %12.3f %12.3f\n",
                     wl.name.c_str(), 1.0, n4.back(), nsp.back(),
                     nis.back());
@@ -69,5 +79,13 @@ main()
                 100.0 * red_sp);
     std::printf("  INDEP-SPLIT: %5.1f%%   (paper: 63%%)\n",
                 100.0 * red_is);
+
+    report.set("indep4", "normalized_time.geomean", bench::geomean(n4));
+    report.set("split4", "normalized_time.geomean",
+               bench::geomean(nsp));
+    report.set("indepsplit", "normalized_time.geomean",
+               bench::geomean(nis));
+    report.set("split4", "per_miss_time_reduction", red_sp);
+    report.set("indepsplit", "per_miss_time_reduction", red_is);
     return 0;
 }

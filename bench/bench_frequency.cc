@@ -38,6 +38,7 @@ main()
     };
     const auto lens = bench::lengths(500);
     const auto &wl = *trace::findProfile("milc");
+    bench::JsonReport report("frequency");
 
     std::printf("%-10s %-14s %12s %12s %12s\n", "device", "design",
                 "time (ns)", "energy (uJ)", "bkgd (uJ)");
@@ -64,6 +65,13 @@ main()
                             p.name, design, ns,
                             r.energy.totalNj() / 1000.0,
                             r.energy.backgroundNj / 1000.0);
+
+                std::string point(p.name);
+                point += sdimm ? ".indep2" : ".freecursive";
+                if (low_power)
+                    point += ".lp";
+                report.add(point, r.metrics);
+                report.set(point, "time_ns", ns);
             }
         }
     }

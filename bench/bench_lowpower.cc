@@ -24,6 +24,7 @@ main()
                   "background energy saved)");
 
     const auto lens = bench::lengths(800);
+    bench::JsonReport report("lowpower");
 
     std::printf("%-12s %12s %12s %8s %12s %12s\n", "workload",
                 "lp-on cyc", "lp-off cyc", "perf", "bkgd-on nJ",
@@ -47,6 +48,10 @@ main()
         bkgd_save.push_back(r_off.energy.backgroundNj /
                             r_on.energy.backgroundNj);
 
+        report.add("indep2.lp_on", r_on.metrics);
+        report.add("indep2.lp_off", r_off.metrics);
+        report.set("indep2.lp_on", std::string("perf_drop.") + n, drop);
+
         std::printf("%-12s %12llu %12llu %+7.1f%% %12.0f %12.0f\n", n,
                     static_cast<unsigned long long>(r_on.core.cycles),
                     static_cast<unsigned long long>(r_off.core.cycles),
@@ -58,5 +63,9 @@ main()
                 100.0 * bench::mean(perf_drop));
     std::printf("background energy saved:  %.2fx\n",
                 bench::mean(bkgd_save));
+    report.set("indep2.lp_on", "perf_drop.mean",
+               bench::mean(perf_drop));
+    report.set("indep2.lp_on", "background_energy_saved",
+               bench::mean(bkgd_save));
     return 0;
 }

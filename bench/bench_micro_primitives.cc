@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hh"
 #include "crypto/aes128.hh"
 #include "crypto/cmac.hh"
 #include "crypto/ctr_mode.hh"
@@ -159,6 +160,53 @@ BM_DramChannelRandomReads(benchmark::State &state)
 }
 BENCHMARK(BM_DramChannelRandomReads);
 
+/**
+ * Console output plus a BENCH_micro_primitives.json snapshot: one
+ * design point per microbenchmark, with time-per-iteration and
+ * throughput gauges (host cost, not simulated time).
+ */
+class SnapshotReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit SnapshotReporter(secdimm::bench::JsonReport &report)
+        : report_(report)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            const std::string point = run.benchmark_name();
+            report_.set(point, "real_time_ns",
+                        run.GetAdjustedRealTime());
+            report_.set(point, "cpu_time_ns",
+                        run.GetAdjustedCPUTime());
+            report_.setCount(point, "iterations",
+                             static_cast<std::uint64_t>(
+                                 run.iterations));
+        }
+    }
+
+  private:
+    secdimm::bench::JsonReport &report_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    secdimm::bench::JsonReport report("micro_primitives");
+    SnapshotReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    report.write();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -19,7 +19,8 @@ namespace
 double
 trafficRatio(DesignPoint design, DesignPoint baseline, unsigned cached,
              const trace::WorkloadProfile &wl,
-             const core::SimLengths &lens)
+             const core::SimLengths &lens, bench::JsonReport &report,
+             const std::string &point)
 {
     SystemConfig base_cfg = makeConfig(baseline, 24, cached);
     SystemConfig cfg = makeConfig(design, 24, cached);
@@ -27,6 +28,7 @@ trafficRatio(DesignPoint design, DesignPoint baseline, unsigned cached,
     base_cfg.cpuGeom.channels = cfg.cpuChannels;
     const SimResult base = runWorkload(base_cfg, wl, lens, 1);
     const SimResult r = runWorkload(cfg, wl, lens, 1);
+    report.add(point, r.metrics);
     return static_cast<double>(r.offDimmLines) /
            static_cast<double>(base.offDimmLines);
 }
@@ -42,6 +44,7 @@ main()
         "Split ~12%; <3.2% without ORAM cache)");
 
     const auto lens = bench::lengths(500);
+    bench::JsonReport report("offdimm_traffic");
 
     struct Row
     {
@@ -59,16 +62,21 @@ main()
     std::printf("%-12s %14s %14s %10s\n", "design", "cached(7)",
                 "no-cache", "paper");
     for (const Row &row : rows) {
+        const std::string point = designName(row.design);
         std::vector<double> cached_r, nocache_r;
         for (const char *n : {"mcf", "libquantum", "milc"}) {
             const auto &wl = *trace::findProfile(n);
             cached_r.push_back(
                 trafficRatio(row.design, DesignPoint::Freecursive, 7,
-                             wl, lens));
+                             wl, lens, report, point + ".cached7"));
             nocache_r.push_back(
                 trafficRatio(row.design, DesignPoint::Freecursive, 0,
-                             wl, lens));
+                             wl, lens, report, point + ".nocache"));
         }
+        report.set(point + ".cached7", "traffic_ratio.mean",
+                   bench::mean(cached_r));
+        report.set(point + ".nocache", "traffic_ratio.mean",
+                   bench::mean(nocache_r));
         std::printf("%-12s %13.1f%% %13.1f%% %10s\n",
                     designName(row.design),
                     100.0 * bench::mean(cached_r),

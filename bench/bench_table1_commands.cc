@@ -18,6 +18,7 @@ main()
     bench::header("Table I -- SDIMM command encodings",
                   "Table I (Section III-F)");
 
+    bench::JsonReport report("table1_commands");
     std::printf("%-16s %-6s %-8s %-12s %-8s\n", "Command", "Type",
                 "RD/WR", "cmd/addr", "opcode");
     for (auto type : allCommands()) {
@@ -43,6 +44,8 @@ main()
 
     std::printf("\nround-trip: all %zu commands decode correctly\n",
                 allCommands().size());
+    report.setCount("commands", "command_count", allCommands().size());
+    report.setCount("commands", "decode_roundtrip_ok", 1);
     std::printf("normal accesses (RAS != 0) decode as memory: %s\n",
                 decodeCommand(false, 0x40, 0x0, 0).has_value()
                     ? "FAIL"

@@ -7,12 +7,15 @@
  *   $ ./examples/trace_replay                      # defaults
  *   $ ./examples/trace_replay mcf INDEP-SPLIT 2000
  *   $ ./examples/trace_replay --list
+ *   $ ./examples/trace_replay mcf SPLIT-2 1000 --metrics      # JSON
+ *   $ ./examples/trace_replay mcf SPLIT-2 1000 --metrics=m.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/simulator.hh"
 
@@ -60,10 +63,25 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const std::string workload = argc > 1 ? argv[1] : "mcf";
-    const std::string design_name = argc > 2 ? argv[2] : "SPLIT-2";
+    // Split --metrics[=path] off from the positional arguments.
+    bool dump_metrics = false;
+    std::string metrics_path; // Empty = stdout.
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics") == 0) {
+            dump_metrics = true;
+        } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+            dump_metrics = true;
+            metrics_path = argv[i] + 10;
+        } else {
+            pos.push_back(argv[i]);
+        }
+    }
+
+    const std::string workload = !pos.empty() ? pos[0] : "mcf";
+    const std::string design_name = pos.size() > 1 ? pos[1] : "SPLIT-2";
     const std::uint64_t accesses =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1000;
+        pos.size() > 2 ? std::strtoull(pos[2], nullptr, 0) : 1000;
 
     const trace::WorkloadProfile *profile =
         trace::findProfile(workload);
@@ -122,5 +140,23 @@ main(int argc, char **argv)
                 r.energy.actPreNj / 1000.0, r.energy.rdWrNj / 1000.0,
                 r.energy.ioNj / 1000.0, r.energy.backgroundNj / 1000.0,
                 r.energy.refreshNj / 1000.0);
+
+    if (dump_metrics) {
+        const std::string json = r.metrics.toJson();
+        if (metrics_path.empty()) {
+            std::printf("\n%s\n", json.c_str());
+        } else {
+            std::FILE *f = std::fopen(metrics_path.c_str(), "w");
+            if (f == nullptr) {
+                std::printf("cannot write %s\n", metrics_path.c_str());
+                return 1;
+            }
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("\nmetrics written to %s\n",
+                        metrics_path.c_str());
+        }
+    }
     return 0;
 }

@@ -181,6 +181,29 @@ SecureMemorySystem::accessCount() const
     return 0;
 }
 
+util::MetricsRegistry
+SecureMemorySystem::metrics() const
+{
+    util::MetricsRegistry m;
+    m.setCounter("core.accesses", accessCount());
+    m.setCounter("core.capacity_blocks", capacityBlocks_);
+    switch (options_.protocol) {
+      case Protocol::PathOram:
+        pathOram_->exportMetrics(m, "oram.data");
+        break;
+      case Protocol::Freecursive:
+        recursive_->exportMetrics(m, "oram");
+        break;
+      case Protocol::Independent:
+        independent_->exportMetrics(m, "sdimm");
+        break;
+      case Protocol::Split:
+        split_->exportMetrics(m, "sdimm.split");
+        break;
+    }
+    return m;
+}
+
 bool
 SecureMemorySystem::integrityOk() const
 {

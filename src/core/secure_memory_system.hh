@@ -26,6 +26,7 @@
 #include "oram/recursive_oram.hh"
 #include "sdimm/independent_oram.hh"
 #include "sdimm/split_oram.hh"
+#include "util/metrics.hh"
 
 namespace secdimm::core
 {
@@ -77,6 +78,13 @@ class SecureMemorySystem
 
     /** All integrity checks (MACs, counters, link auth) passed. */
     bool integrityOk() const;
+
+    /**
+     * Snapshot of the active protocol's counters, namespaced core.* /
+     * oram.* / sdimm.* as in docs/METRICS.md.  Serialize with
+     * MetricsRegistry::toJson().
+     */
+    util::MetricsRegistry metrics() const;
 
     Protocol protocol() const { return options_.protocol; }
 

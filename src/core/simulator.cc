@@ -26,12 +26,15 @@ void
 collectBackendMetrics(const SystemConfig &cfg, MemoryBackend &backend,
                       Tick end, SimResult &result)
 {
+    util::MetricsRegistry &m = result.metrics;
+
     if (auto *ns = dynamic_cast<oram::NonSecureBackend *>(&backend)) {
         ns->dramSystem().finalizeStats(end);
         dram::PowerModel pm(cfg.timing, cfg.cpuGeom, false);
         for (unsigned c = 0; c < ns->dramSystem().channelCount(); ++c) {
             const auto &ch = ns->dramSystem().channel(c);
             result.energy += pm.compute(ch.stats(), ch.rankStates());
+            ch.exportMetrics(m, "dram." + ch.name());
         }
         const auto agg = ns->dramSystem().aggregateStats();
         result.offDimmLines = agg.reads + agg.writes;
@@ -44,11 +47,16 @@ collectBackendMetrics(const SystemConfig &cfg, MemoryBackend &backend,
         for (unsigned c = 0; c < fc->dramSystem().channelCount(); ++c) {
             const auto &ch = fc->dramSystem().channel(c);
             result.energy += pm.compute(ch.stats(), ch.rankStates());
+            ch.exportMetrics(m, "dram." + ch.name());
         }
         result.offDimmLines = fc->traffic().channelLines;
         result.accessOrams = fc->traffic().accessOrams;
         result.avgOramsPerMiss =
             fc->recursion().stats().avgOramsPerRequest();
+        m.setCounter("oram.access_orams", fc->traffic().accessOrams);
+        m.setCounter("oram.channel_lines", fc->traffic().channelLines);
+        m.setCounter("oram.requests", fc->traffic().requests);
+        fc->recursion().exportMetrics(m, "oram.recursion");
         return;
     }
 
@@ -60,14 +68,22 @@ collectBackendMetrics(const SystemConfig &cfg, MemoryBackend &backend,
             ch.finalizeStats(end);
             result.energy += pm.compute(ch.stats(), ch.rankStates());
             result.accessOrams += ind->executor(i).opsExecuted();
+            ch.exportMetrics(m, "dram." + ch.name());
+            ind->executor(i).exportMetrics(
+                m, "sdimm.s" + std::to_string(i));
         }
         result.offDimmLines = ind->offDimmLines();
         result.energy.ioNj +=
             linkEnergyNj(cfg, ind->offDimmLines());
-        for (unsigned b = 0; b < ind->busCount(); ++b)
+        for (unsigned b = 0; b < ind->busCount(); ++b) {
             result.probes += ind->bus(b).stats().probes;
+            ind->bus(b).exportMetrics(m,
+                                      "sdimm.bus" + std::to_string(b));
+        }
         result.avgOramsPerMiss =
             ind->recursion().stats().avgOramsPerRequest();
+        m.setCounter("sdimm.drain_ops", ind->drainOps());
+        ind->recursion().exportMetrics(m, "oram.recursion");
         return;
     }
 
@@ -77,21 +93,51 @@ collectBackendMetrics(const SystemConfig &cfg, MemoryBackend &backend,
         for (unsigned g = 0; g < sp->groupCount(); ++g) {
             auto &grp = sp->group(g);
             result.accessOrams += grp.opsExecuted();
+            grp.exportMetrics(m, "sdimm.g" + std::to_string(g));
             for (unsigned s = 0; s < grp.sliceCount(); ++s) {
                 auto &ch = grp.sliceChannel(s);
                 ch.finalizeStats(end);
                 result.energy +=
                     pm.compute(ch.stats(), ch.rankStates());
+                ch.exportMetrics(m, "dram." + ch.name());
             }
         }
         result.offDimmLines = sp->offDimmLines();
         result.energy.ioNj += linkEnergyNj(cfg, sp->offDimmLines());
-        for (unsigned b = 0; b < sp->busCount(); ++b)
+        for (unsigned b = 0; b < sp->busCount(); ++b) {
             result.probes += sp->bus(b).stats().probes;
+            sp->bus(b).exportMetrics(m,
+                                     "sdimm.bus" + std::to_string(b));
+        }
         result.avgOramsPerMiss =
             sp->recursion().stats().avgOramsPerRequest();
+        sp->recursion().exportMetrics(m, "oram.recursion");
         return;
     }
+}
+
+/** Export the run-level counters every figure is built from. */
+void
+exportCoreMetrics(SimResult &r)
+{
+    util::MetricsRegistry &m = r.metrics;
+    m.setCounter("core.cycles", r.core.cycles);
+    m.setCounter("core.instructions", r.core.instructions);
+    m.setCounter("core.l1_misses", r.core.l1Misses);
+    m.setCounter("core.llc_misses", r.core.llcMisses);
+    m.setCounter("core.llc_writebacks", r.core.llcWritebacks);
+    m.setGauge("core.ipc", r.core.ipc());
+    m.setGauge("core.cycles_per_miss", r.cyclesPerMiss());
+    m.setCounter("core.off_dimm_lines", r.offDimmLines);
+    m.setCounter("core.access_orams", r.accessOrams);
+    m.setCounter("core.probes", r.probes);
+    m.setGauge("core.orams_per_miss", r.avgOramsPerMiss);
+    m.setGauge("core.energy.act_pre_nj", r.energy.actPreNj);
+    m.setGauge("core.energy.rd_wr_nj", r.energy.rdWrNj);
+    m.setGauge("core.energy.io_nj", r.energy.ioNj);
+    m.setGauge("core.energy.background_nj", r.energy.backgroundNj);
+    m.setGauge("core.energy.refresh_nj", r.energy.refreshNj);
+    m.setGauge("core.energy.total_nj", r.energy.totalNj());
 }
 
 } // namespace
@@ -112,6 +158,7 @@ runWorkload(const SystemConfig &config,
     result.core = core.run(gen, lengths.warmupRecords,
                            lengths.measureRecords);
     collectBackendMetrics(config, *backend, result.core.cycles, result);
+    exportCoreMetrics(result);
     return result;
 }
 

@@ -16,6 +16,7 @@
 #include "dram/power_model.hh"
 #include "trace/core_model.hh"
 #include "trace/workload.hh"
+#include "util/metrics.hh"
 
 namespace secdimm::core
 {
@@ -29,6 +30,13 @@ struct SimResult
     std::uint64_t accessOrams = 0;  ///< Path ops executed anywhere.
     double avgOramsPerMiss = 0.0;   ///< Recursion cost (PLB quality).
     std::uint64_t probes = 0;       ///< PROBE polls (SDIMM designs).
+
+    /**
+     * Every layer's counters for this run, namespaced core.* /
+     * dram.* / oram.* / sdimm.* (docs/METRICS.md).  Benches serialize
+     * this into their BENCH_*.json snapshots.
+     */
+    util::MetricsRegistry metrics;
 
     double
     cyclesPerMiss() const

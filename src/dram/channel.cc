@@ -523,4 +523,38 @@ DramChannel::finalizeStats(Tick end)
     curTick_ = std::max(curTick_, end);
 }
 
+void
+DramChannel::exportMetrics(util::MetricsRegistry &m,
+                           const std::string &prefix) const
+{
+    m.setCounter(prefix + ".activates", stats_.activates);
+    m.setCounter(prefix + ".precharges", stats_.precharges);
+    m.setCounter(prefix + ".reads", stats_.reads);
+    m.setCounter(prefix + ".writes", stats_.writes);
+    m.setCounter(prefix + ".row_hits", stats_.rowHits);
+    m.setCounter(prefix + ".row_misses", stats_.rowMisses);
+    m.setCounter(prefix + ".refreshes", stats_.refreshes);
+    m.setCounter(prefix + ".power_down_entries",
+                 stats_.powerDownEntries);
+    m.setCounter(prefix + ".power_ups", stats_.powerUps);
+    m.setCounter(prefix + ".rank_switches", stats_.rankSwitches);
+    m.setGauge(prefix + ".avg_read_latency", stats_.avgReadLatency());
+    const std::uint64_t cas = stats_.rowHits + stats_.rowMisses;
+    m.setGauge(prefix + ".row_hit_rate",
+               cas ? static_cast<double>(stats_.rowHits) / cas : 0.0);
+
+    std::uint64_t active = 0, standby = 0, down = 0;
+    for (const auto &r : ranks_) {
+        active += r.cyclesActiveStandby;
+        standby += r.cyclesPrechargeStandby;
+        down += r.cyclesPowerDown;
+    }
+    m.setCounter(prefix + ".cycles_active_standby", active);
+    m.setCounter(prefix + ".cycles_precharge_standby", standby);
+    m.setCounter(prefix + ".cycles_power_down", down);
+    const std::uint64_t total = active + standby + down;
+    m.setGauge(prefix + ".power_down_residency",
+               total ? static_cast<double>(down) / total : 0.0);
+}
+
 } // namespace secdimm::dram

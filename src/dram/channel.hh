@@ -22,6 +22,7 @@
 #include "dram/request.hh"
 #include "dram/scheduler.hh"
 #include "dram/timing.hh"
+#include "util/metrics.hh"
 
 namespace secdimm::dram
 {
@@ -101,6 +102,14 @@ class DramChannel
 
     /** Close accounting at end of simulation. */
     void finalizeStats(Tick end);
+
+    /**
+     * Export this channel's counters into @p m under @p prefix
+     * (row hits/misses, command counts, power-state residency; see
+     * docs/METRICS.md "dram.*").  Call after finalizeStats().
+     */
+    void exportMetrics(util::MetricsRegistry &m,
+                       const std::string &prefix) const;
 
     const ChannelStats &stats() const { return stats_; }
     const std::vector<RankState> &rankStates() const { return ranks_; }

@@ -58,6 +58,7 @@ PathOram::readPath(LeafId leaf)
             }
         }
     }
+    stash_.sampleOccupancy();
 }
 
 void
@@ -226,6 +227,21 @@ PathOram::backgroundEvict()
     leafTrace_.push_back(leaf);
     readPath(leaf);
     writePath(leaf);
+}
+
+void
+PathOram::exportMetrics(util::MetricsRegistry &m,
+                        const std::string &prefix) const
+{
+    m.setCounter(prefix + ".accesses", stats_.accesses);
+    m.setCounter(prefix + ".dummy_accesses", stats_.dummyAccesses);
+    m.setCounter(prefix + ".integrity_failures",
+                 stats_.integrityFailures);
+    m.setCounter(prefix + ".stash.max", stats_.maxStashSize);
+    m.setGauge(prefix + ".stash.size",
+               static_cast<double>(stash_.size()));
+    m.histogram(prefix + ".stash.occupancy")
+        .merge(stash_.occupancyHistogram());
 }
 
 } // namespace secdimm::oram

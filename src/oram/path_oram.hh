@@ -114,6 +114,13 @@ class PathOram
     /** True while every MAC/counter check has passed. */
     bool integrityOk() const { return stats_.integrityFailures == 0; }
 
+    /**
+     * Export access/stash statistics into @p m under @p prefix (see
+     * docs/METRICS.md "oram.*").
+     */
+    void exportMetrics(util::MetricsRegistry &m,
+                       const std::string &prefix) const;
+
   private:
     /** Read one path into the stash; verifies integrity. */
     void readPath(LeafId leaf);

@@ -9,7 +9,10 @@
 #define SECUREDIMM_ORAM_PLB_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "util/metrics.hh"
 
 namespace secdimm::oram
 {
@@ -37,6 +40,16 @@ class Plb
     {
         const std::uint64_t t = hits_ + misses_;
         return t ? static_cast<double>(hits_) / t : 0.0;
+    }
+
+    /** Export hit/miss counters under @p prefix (docs/METRICS.md). */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".hits", hits_);
+        m.setCounter(prefix + ".misses", misses_);
+        m.setGauge(prefix + ".hit_rate", hitRate());
     }
 
     /** Compose the canonical (level, block) key. */

@@ -53,6 +53,18 @@ class RecursionEngine
     const Plb &plb() const { return plb_; }
     const RecursionParams &params() const { return params_; }
 
+    /** Export request/op counters + PLB stats under @p prefix. */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".requests", stats_.requests);
+        m.setCounter(prefix + ".orams", stats_.orams);
+        m.setGauge(prefix + ".orams_per_request",
+                   stats_.avgOramsPerRequest());
+        plb_.exportMetrics(m, prefix + ".plb");
+    }
+
   private:
     RecursionParams params_;
     Plb plb_;

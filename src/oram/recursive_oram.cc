@@ -209,4 +209,22 @@ RecursiveOram::integrityOk() const
     return true;
 }
 
+void
+RecursiveOram::exportMetrics(util::MetricsRegistry &m,
+                             const std::string &prefix) const
+{
+    m.setCounter(prefix + ".requests", stats_.requests);
+    m.setCounter(prefix + ".tree_accesses", stats_.treeAccesses);
+    m.setGauge(prefix + ".accesses_per_request",
+               stats_.avgAccessesPerRequest());
+    m.setCounter(prefix + ".plb.hits", stats_.plbHits);
+    m.setCounter(prefix + ".plb.misses", stats_.plbMisses);
+    m.setCounter(prefix + ".plb.writebacks", stats_.plbWritebacks);
+    const std::uint64_t probes = stats_.plbHits + stats_.plbMisses;
+    m.setGauge(prefix + ".plb.hit_rate",
+               probes ? static_cast<double>(stats_.plbHits) / probes
+                      : 0.0);
+    trees_.front()->exportMetrics(m, prefix + ".data");
+}
+
 } // namespace secdimm::oram

@@ -70,6 +70,13 @@ class RecursiveOram
     const RecursiveOramStats &stats() const { return stats_; }
     bool integrityOk() const;
 
+    /**
+     * Export recursion/PLB counters and the data tree's stash
+     * statistics under @p prefix (docs/METRICS.md "oram.*").
+     */
+    void exportMetrics(util::MetricsRegistry &m,
+                       const std::string &prefix) const;
+
     /** Tree at @p level (0 = data), for tests. */
     PathOram &tree(unsigned level) { return *trees_[level]; }
 

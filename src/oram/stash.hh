@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/metrics.hh"
 #include "util/types.hh"
 
 namespace secdimm::oram
@@ -56,6 +57,18 @@ class Stash
     std::size_t maxSizeSeen() const { return maxSize_; }
     bool full() const { return entries_.size() >= capacity_; }
 
+    /**
+     * Record the current occupancy as one histogram sample.  The
+     * owner calls this once per accessORAM (after the path read, at
+     * the occupancy peak) so the histogram matches Path ORAM's
+     * stash-occupancy analysis [11].
+     */
+    void sampleOccupancy() { occupancy_.sample(entries_.size()); }
+    const util::LogHistogram &occupancyHistogram() const
+    {
+        return occupancy_;
+    }
+
     /** Iteration support (tests, Split shadow stash). */
     const std::unordered_map<Addr, StashEntry> &entries() const
     {
@@ -66,6 +79,7 @@ class Stash
     unsigned capacity_;
     std::unordered_map<Addr, StashEntry> entries_;
     std::size_t maxSize_ = 0;
+    util::LogHistogram occupancy_;
 };
 
 } // namespace secdimm::oram

@@ -1,5 +1,7 @@
 #include "sdimm/independent_oram.hh"
 
+#include <cctype>
+
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
 
@@ -76,15 +78,13 @@ IndependentOram::access(Addr addr, oram::OramOp op,
         req.data = *new_data;
     SealedMessage access_msg =
         buffers_[src]->cpuLink().seal(0x02, packAccess(req));
-    busTrace_.push_back(
-        {SdimmCommandType::Access, src, access_msg.body.size()});
+    recordBus(SdimmCommandType::Access, src, access_msg.body.size());
 
     // Steps 3-5 happen inside the SDIMM; the CPU polls (PROBE) and
     // fetches the response.
     const SealedMessage resp_msg = buffers_[src]->handleAccess(access_msg);
-    busTrace_.push_back({SdimmCommandType::Probe, src, 0});
-    busTrace_.push_back(
-        {SdimmCommandType::FetchResult, src, resp_msg.body.size()});
+    recordBus(SdimmCommandType::Probe, src, 0);
+    recordBus(SdimmCommandType::FetchResult, src, resp_msg.body.size());
 
     auto resp_plain = buffers_[src]->cpuLink().unseal(resp_msg);
     if (!resp_plain)
@@ -113,8 +113,7 @@ IndependentOram::access(Addr addr, oram::OramOp op,
         }
         SealedMessage app_msg =
             buffers_[i]->cpuLink().seal(0x03, packAppend(app));
-        busTrace_.push_back(
-            {SdimmCommandType::Append, i, app_msg.body.size()});
+        recordBus(SdimmCommandType::Append, i, app_msg.body.size());
         buffers_[i]->handleAppend(app_msg);
     }
 
@@ -129,6 +128,38 @@ IndependentOram::integrityOk() const
             return false;
     }
     return true;
+}
+
+void
+IndependentOram::recordBus(SdimmCommandType type, unsigned sdimm,
+                           std::size_t bytes)
+{
+    busTrace_.push_back({type, sdimm, bytes});
+    const auto idx = static_cast<std::size_t>(type);
+    ++cmdCounts_[idx];
+    cmdBytes_[idx] += bytes;
+}
+
+void
+IndependentOram::exportMetrics(util::MetricsRegistry &m,
+                               const std::string &prefix) const
+{
+    for (const SdimmCommandType t : allCommands()) {
+        const auto idx = static_cast<std::size_t>(t);
+        if (cmdCounts_[idx] == 0)
+            continue;
+        std::string name = commandName(t);
+        for (char &c : name)
+            c = static_cast<char>(std::tolower(c));
+        m.setCounter(prefix + ".cmd." + name + ".count",
+                     cmdCounts_[idx]);
+        m.setCounter(prefix + ".cmd." + name + ".bytes",
+                     cmdBytes_[idx]);
+    }
+    for (unsigned i = 0; i < params_.numSdimms; ++i) {
+        buffers_[i]->exportMetrics(
+            m, prefix + ".buf" + std::to_string(i));
+    }
 }
 
 } // namespace secdimm::sdimm

@@ -12,6 +12,7 @@
 #ifndef SECUREDIMM_SDIMM_INDEPENDENT_ORAM_HH
 #define SECUREDIMM_SDIMM_INDEPENDENT_ORAM_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -65,9 +66,21 @@ class IndependentOram
     /** Current global leaf of a block (tests only). */
     LeafId leafOf(Addr addr) const { return posMap_.at(addr); }
 
+    /**
+     * Export per-buffer and per-command-type channel-traffic metrics
+     * under @p prefix ("sdimm" in the facade; docs/METRICS.md).
+     * Command totals survive clearBusTrace().
+     */
+    void exportMetrics(util::MetricsRegistry &m,
+                       const std::string &prefix) const;
+
   private:
     unsigned sdimmOf(LeafId global_leaf) const;
     LeafId localLeaf(LeafId global_leaf) const;
+
+    /** Append to the bus trace and the per-command totals. */
+    void recordBus(SdimmCommandType type, unsigned sdimm,
+                   std::size_t bytes);
 
     Params params_;
     unsigned localLevels_;
@@ -75,6 +88,9 @@ class IndependentOram
     std::vector<std::unique_ptr<SecureBuffer>> buffers_;
     std::vector<LeafId> posMap_;
     std::vector<BusEvent> busTrace_;
+    /** Indexed by SdimmCommandType; survives clearBusTrace(). */
+    std::array<std::uint64_t, 9> cmdCounts_{};
+    std::array<std::uint64_t, 9> cmdBytes_{};
 };
 
 } // namespace secdimm::sdimm

@@ -19,6 +19,7 @@
 
 #include "dram/timing.hh"
 #include "util/bit_utils.hh"
+#include "util/metrics.hh"
 #include "util/types.hh"
 
 namespace secdimm::sdimm
@@ -94,6 +95,19 @@ class LinkBus
 
     Tick busFreeAt() const { return busFreeAt_; }
     const LinkStats &stats() const { return stats_; }
+
+    /** Export traffic counters under @p prefix (docs/METRICS.md). */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".data_bytes", stats_.dataBytes);
+        m.setCounter(prefix + ".transfers", stats_.transfers);
+        m.setCounter(prefix + ".short_cmds", stats_.shortCmds);
+        m.setCounter(prefix + ".probes", stats_.probes);
+        m.setGauge(prefix + ".line_equivalents",
+                   stats_.lineEquivalents());
+    }
 
   private:
     dram::TimingParams timing_;

@@ -81,6 +81,7 @@ LinkEndpoint::seal(std::uint8_t opcode,
     txCipher().transformBuffer(msg.body.data(), msg.body.size(),
                                linkNonce | opcode, msg.seq);
     msg.mac = messageTag(txMac(), msg);
+    sealedBytes_ += msg.body.size();
     return msg;
 }
 
@@ -96,6 +97,7 @@ LinkEndpoint::unseal(const SealedMessage &msg)
         return std::nullopt;
     }
     nextRecvSeq_ = msg.seq + 1;
+    ++openedCount_;
     std::vector<std::uint8_t> plain = msg.body;
     rxCipher().transformBuffer(plain.data(), plain.size(),
                                linkNonce | msg.opcode, msg.seq);

@@ -18,6 +18,7 @@
 #include "crypto/ctr_mode.hh"
 #include "crypto/key_exchange.hh"
 #include "crypto/pmmac.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 
 namespace secdimm::sdimm
@@ -57,6 +58,19 @@ class LinkEndpoint
 
     std::uint64_t sendCount() const { return sendSeq_; }
     std::uint64_t authFailures() const { return authFailures_; }
+    std::uint64_t sealedBytes() const { return sealedBytes_; }
+    std::uint64_t openedCount() const { return openedCount_; }
+
+    /** Export sealed/opened/auth-failure counters under @p prefix. */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".sealed", sendSeq_);
+        m.setCounter(prefix + ".sealed_bytes", sealedBytes_);
+        m.setCounter(prefix + ".opened", openedCount_);
+        m.setCounter(prefix + ".auth_failures", authFailures_);
+    }
 
   private:
     const crypto::CtrCipher &txCipher() const;
@@ -75,6 +89,8 @@ class LinkEndpoint
     std::uint64_t sendSeq_ = 0;
     std::uint64_t nextRecvSeq_ = 0;
     std::uint64_t authFailures_ = 0;
+    std::uint64_t sealedBytes_ = 0;
+    std::uint64_t openedCount_ = 0;
 };
 
 /**

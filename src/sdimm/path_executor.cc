@@ -52,6 +52,7 @@ void
 PathExecutor::submitOp(std::uint64_t tag, Tick ready_at)
 {
     ops_.push_back(ExecOp{tag, ready_at});
+    queueDepth_.sample(ops_.size());
     tryStart();
     pump();
 }

@@ -53,6 +53,22 @@ class PathExecutor
     bool busy() const { return opInFlight_; }
     std::uint64_t opsExecuted() const { return opsExecuted_; }
 
+    /** Op-queue depth observed at each submit. */
+    const util::LogHistogram &queueDepthHistogram() const
+    {
+        return queueDepth_;
+    }
+
+    /** Export ops-executed + queue-depth under @p prefix; the
+     *  internal DRAM channel is exported separately ("dram.*"). */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".ops_executed", opsExecuted_);
+        m.histogram(prefix + ".queue_depth").merge(queueDepth_);
+    }
+
     Tick nextEventAt() const;
     void advanceTo(Tick now);
     bool idle() const;
@@ -105,6 +121,7 @@ class PathExecutor
     Cycles blockFetchCycles_ = 17;
     LeafId opLeaf_ = 0;
     std::uint64_t opsExecuted_ = 0;
+    util::LogHistogram queueDepth_;
 };
 
 } // namespace secdimm::sdimm

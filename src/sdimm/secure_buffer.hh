@@ -102,6 +102,23 @@ class SecureBuffer
     /** All MACs/counters verified so far (tree + link). */
     bool integrityOk() const;
 
+    /**
+     * Export this buffer's counters (ops, appends, local ORAM, the
+     * transfer queue, and both link endpoints) under @p prefix.
+     */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".access_ops", stats_.accessOps);
+        m.setCounter(prefix + ".drain_ops", stats_.drainOps);
+        m.setCounter(prefix + ".appends_real", stats_.appendsReal);
+        m.setCounter(prefix + ".appends_dummy", stats_.appendsDummy);
+        oram_->exportMetrics(m, prefix + ".oram");
+        xfer_.exportMetrics(m, prefix + ".xfer");
+        dimmEnd_.exportMetrics(m, prefix + ".link");
+    }
+
   private:
     SecureBuffer(const oram::OramParams &params, unsigned index,
                  std::uint64_t seed, std::size_t transfer_capacity,

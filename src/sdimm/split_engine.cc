@@ -92,6 +92,7 @@ void
 SplitGroupEngine::submitOp(std::uint64_t tag, Tick ready_at)
 {
     ops_.push_back(PendingOp{tag, ready_at});
+    queueDepth_.sample(ops_.size());
     tryStart();
 }
 

@@ -78,6 +78,16 @@ class SplitGroupEngine
     /** RECEIVE_LIST size per slice, in bytes. */
     std::uint64_t listBytesPerSlice() const;
 
+    /** Export ops-executed + queue-depth under @p prefix; slice
+     *  DRAM channels are exported separately ("dram.*"). */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".ops_executed", opsExecuted_);
+        m.histogram(prefix + ".queue_depth").merge(queueDepth_);
+    }
+
   private:
     struct StagedLine
     {
@@ -134,6 +144,7 @@ class SplitGroupEngine
     Cycles blockFetchCycles_ = 17;
     LeafId opLeaf_ = 0;
     std::uint64_t opsExecuted_ = 0;
+    util::LogHistogram queueDepth_;
 };
 
 } // namespace secdimm::sdimm

@@ -32,6 +32,7 @@
 #include "crypto/pmmac.hh"
 #include "oram/oram_params.hh"
 #include "oram/tree_layout.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -110,6 +111,23 @@ class SplitOram
     /** Tamper with one slice's stored share (integrity tests). */
     void tamperSlice(unsigned slice, std::uint64_t bucket_seq,
                      unsigned slot, std::size_t byte_index);
+
+    /** Export access/traffic counters under @p prefix. */
+    void
+    exportMetrics(util::MetricsRegistry &m,
+                  const std::string &prefix) const
+    {
+        m.setCounter(prefix + ".accesses", stats_.accesses);
+        m.setCounter(prefix + ".dummy_accesses", stats_.dummyAccesses);
+        m.setCounter(prefix + ".integrity_failures",
+                     stats_.integrityFailures);
+        m.setCounter(prefix + ".shadow_stash.max",
+                     stats_.maxShadowStash);
+        m.setGauge(prefix + ".shadow_stash.size",
+                   static_cast<double>(shadow_.size()));
+        m.setCounter(prefix + ".channel_bytes", stats_.channelBytes);
+        m.setCounter(prefix + ".local_bytes", stats_.localBytes);
+    }
 
   private:
     /** Per-slice ciphertext share of one block, parked in a stash. */

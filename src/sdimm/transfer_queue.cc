@@ -21,6 +21,7 @@ TransferQueue::push(const oram::StashEntry &entry)
     }
     q_.push_back(entry);
     stats_.maxOccupancy = std::max(stats_.maxOccupancy, q_.size());
+    depth_.sample(q_.size());
     return true;
 }
 
@@ -44,6 +45,18 @@ TransferQueue::pop()
     q_.pop_front();
     ++stats_.services;
     return e;
+}
+
+void
+TransferQueue::exportMetrics(util::MetricsRegistry &m,
+                             const std::string &prefix) const
+{
+    m.setCounter(prefix + ".arrivals", stats_.arrivals);
+    m.setCounter(prefix + ".services", stats_.services);
+    m.setCounter(prefix + ".drains", stats_.drains);
+    m.setCounter(prefix + ".overflows", stats_.overflows);
+    m.setCounter(prefix + ".max_occupancy", stats_.maxOccupancy);
+    m.histogram(prefix + ".depth").merge(depth_);
 }
 
 } // namespace secdimm::sdimm

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "oram/stash.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 
 namespace secdimm::sdimm
@@ -63,12 +64,20 @@ class TransferQueue
     double drainProb() const { return drainProb_; }
     const TransferQueueStats &stats() const { return stats_; }
 
+    /** Occupancy after each arrival (Fig 13 overflow evidence). */
+    const util::LogHistogram &depthHistogram() const { return depth_; }
+
+    /** Export arrival/service/overflow counters + depth histogram. */
+    void exportMetrics(util::MetricsRegistry &m,
+                       const std::string &prefix) const;
+
   private:
     std::size_t capacity_;
     double drainProb_;
     Rng rng_;
     std::deque<oram::StashEntry> q_;
     TransferQueueStats stats_;
+    util::LogHistogram depth_;
 };
 
 } // namespace secdimm::sdimm

@@ -1,0 +1,548 @@
+#include "util/metrics.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace secdimm::util
+{
+
+/* ----------------------------- LogHistogram ----------------------- */
+
+namespace
+{
+
+std::size_t
+bucketOf(std::uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    std::size_t i = 1;
+    while (v >>= 1)
+        ++i;
+    return i; // 1 -> bucket 1, 2..3 -> 2, 4..7 -> 3, ...
+}
+
+} // namespace
+
+void
+LogHistogram::sample(std::uint64_t v)
+{
+    const std::size_t idx = bucketOf(v);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += static_cast<double>(v);
+    if (v > max_)
+        max_ = v;
+}
+
+void
+LogHistogram::reset()
+{
+    buckets_.clear();
+    count_ = 0;
+    max_ = 0;
+    sum_ = 0.0;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+std::uint64_t
+LogHistogram::bucketLow(std::size_t i)
+{
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+LogHistogram::bucketHigh(std::size_t i)
+{
+    return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+}
+
+void
+LogHistogram::restore(std::vector<std::uint64_t> buckets,
+                      std::uint64_t count, double sum, std::uint64_t max)
+{
+    buckets_ = std::move(buckets);
+    count_ = count;
+    sum_ = sum;
+    max_ = max;
+}
+
+/* ----------------------------- registry --------------------------- */
+
+void
+MetricsRegistry::checkKind(const std::string &name, int kind) const
+{
+    const bool c = counters_.count(name) != 0;
+    const bool g = gauges_.count(name) != 0;
+    const bool h = histograms_.count(name) != 0;
+    if ((c && kind != 0) || (g && kind != 1) || (h && kind != 2))
+        throw std::logic_error("metric '" + name +
+                               "' already registered with another kind");
+}
+
+void
+MetricsRegistry::incCounter(const std::string &name, std::uint64_t n)
+{
+    checkKind(name, 0);
+    counters_[name] += n;
+}
+
+void
+MetricsRegistry::setCounter(const std::string &name, std::uint64_t v)
+{
+    checkKind(name, 0);
+    counters_[name] = v;
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double v)
+{
+    checkKind(name, 1);
+    gauges_[name] = v;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+LogHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    checkKind(name, 2);
+    return histograms_[name];
+}
+
+const LogHistogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) || gauges_.count(name) ||
+           histograms_.count(name);
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto &kv : counters_)
+        out.push_back(kv.first);
+    for (const auto &kv : gauges_)
+        out.push_back(kv.first);
+    for (const auto &kv : histograms_)
+        out.push_back(kv.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &kv : other.counters_)
+        incCounter(kv.first, kv.second);
+    for (const auto &kv : other.gauges_)
+        setGauge(kv.first, kv.second);
+    for (const auto &kv : other.histograms_)
+        histogram(kv.first).merge(kv.second);
+}
+
+void
+MetricsRegistry::reset()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+/* ----------------------------- JSON out --------------------------- */
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // Integers (common for sums) print without an exponent.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace
+{
+
+struct JsonWriter
+{
+    std::string out;
+    int indent;
+
+    explicit JsonWriter(int base) : indent(base) {}
+
+    bool pretty() const { return indent >= 0; }
+
+    void
+    newline(int level)
+    {
+        if (!pretty())
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent + 2 * level), ' ');
+    }
+};
+
+const char *
+pretty_sep(const JsonWriter &w)
+{
+    return w.pretty() ? ": " : ":";
+}
+
+template <typename Map, typename Fn>
+void
+writeObject(JsonWriter &w, int level, const Map &map, Fn &&value_fn)
+{
+    w.out += '{';
+    bool first = true;
+    for (const auto &kv : map) {
+        if (!first)
+            w.out += ',';
+        first = false;
+        w.newline(level + 1);
+        w.out += jsonQuote(kv.first);
+        w.out += pretty_sep(w);
+        value_fn(kv.second);
+    }
+    if (!first)
+        w.newline(level);
+    w.out += '}';
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson(int indent) const
+{
+    JsonWriter w(indent);
+    w.out += '{';
+    w.newline(1);
+    w.out += jsonQuote("counters");
+    w.out += pretty_sep(w);
+    writeObject(w, 1, counters_, [&](std::uint64_t v) {
+        w.out += std::to_string(v);
+    });
+    w.out += ',';
+    w.newline(1);
+    w.out += jsonQuote("gauges");
+    w.out += pretty_sep(w);
+    writeObject(w, 1, gauges_, [&](double v) { w.out += jsonNumber(v); });
+    w.out += ',';
+    w.newline(1);
+    w.out += jsonQuote("histograms");
+    w.out += pretty_sep(w);
+    writeObject(w, 1, histograms_, [&](const LogHistogram &h) {
+        w.out += '{';
+        w.newline(3);
+        w.out += jsonQuote("count");
+        w.out += pretty_sep(w);
+        w.out += std::to_string(h.count());
+        w.out += ',';
+        w.newline(3);
+        w.out += jsonQuote("sum");
+        w.out += pretty_sep(w);
+        w.out += jsonNumber(h.sum());
+        w.out += ',';
+        w.newline(3);
+        w.out += jsonQuote("max");
+        w.out += pretty_sep(w);
+        w.out += std::to_string(h.max());
+        w.out += ',';
+        w.newline(3);
+        w.out += jsonQuote("buckets");
+        w.out += pretty_sep(w);
+        w.out += '[';
+        for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+            if (i)
+                w.out += ',';
+            w.out += std::to_string(h.buckets()[i]);
+        }
+        w.out += ']';
+        w.newline(2);
+        w.out += '}';
+    });
+    w.newline(0);
+    w.out += '}';
+    return w.out;
+}
+
+/* ----------------------------- JSON in ----------------------------
+ * Minimal recursive-descent parser for the subset toJson() emits
+ * (objects, arrays, strings, numbers).  Enough for round-tripping
+ * snapshots and for tools that diff BENCH_*.json files.
+ */
+
+namespace
+{
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    bool ok = true;
+
+    void
+    ws()
+    {
+        while (p < end && std::isspace(static_cast<unsigned char>(*p)))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        ws();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        ok = false;
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        ws();
+        return p < end && *p == c;
+    }
+
+    std::string
+    string()
+    {
+        std::string out;
+        if (!consume('"'))
+            return out;
+        while (p < end && *p != '"') {
+            if (*p == '\\' && p + 1 < end) {
+                ++p;
+                switch (*p) {
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u':
+                    // toJson only emits \u00xx control escapes.
+                    if (p + 4 < end) {
+                        out += static_cast<char>(
+                            std::strtol(std::string(p + 1, p + 5).c_str(),
+                                        nullptr, 16));
+                        p += 4;
+                    }
+                    break;
+                  default:
+                    out += *p;
+                }
+                ++p;
+            } else {
+                out += *p++;
+            }
+        }
+        if (!consume('"'))
+            ok = false;
+        return out;
+    }
+
+    double
+    number()
+    {
+        ws();
+        char *after = nullptr;
+        const double v = std::strtod(p, &after);
+        if (after == p) {
+            ok = false;
+            return 0.0;
+        }
+        p = after;
+        return v;
+    }
+
+    /** Exact uint64 parse (counters exceed double's 53-bit mantissa). */
+    std::uint64_t
+    uinteger()
+    {
+        ws();
+        char *after = nullptr;
+        const std::uint64_t v = std::strtoull(p, &after, 10);
+        if (after == p) {
+            ok = false;
+            return 0;
+        }
+        p = after;
+        return v;
+    }
+
+    /** Iterate an object's members, invoking fn(key). */
+    template <typename Fn>
+    void
+    object(Fn &&fn)
+    {
+        if (!consume('{'))
+            return;
+        if (peek('}')) {
+            consume('}');
+            return;
+        }
+        do {
+            const std::string key = string();
+            if (!ok || !consume(':'))
+                return;
+            fn(key);
+        } while (ok && consume_comma());
+        consume('}');
+    }
+
+    bool
+    consume_comma()
+    {
+        ws();
+        if (p < end && *p == ',') {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::optional<MetricsRegistry>
+MetricsRegistry::fromJson(const std::string &text)
+{
+    MetricsRegistry reg;
+    Parser ps{text.data(), text.data() + text.size()};
+
+    ps.object([&](const std::string &section) {
+        if (section == "counters") {
+            ps.object([&](const std::string &name) {
+                reg.setCounter(name, ps.uinteger());
+            });
+        } else if (section == "gauges") {
+            ps.object([&](const std::string &name) {
+                reg.setGauge(name, ps.number());
+            });
+        } else if (section == "histograms") {
+            ps.object([&](const std::string &name) {
+                LogHistogram &h = reg.histogram(name);
+                std::uint64_t count = 0, max = 0;
+                double sum = 0.0;
+                std::vector<std::uint64_t> buckets;
+                ps.object([&](const std::string &field) {
+                    if (field == "count") {
+                        count = ps.uinteger();
+                    } else if (field == "sum") {
+                        sum = ps.number();
+                    } else if (field == "max") {
+                        max = ps.uinteger();
+                    } else if (field == "buckets") {
+                        if (!ps.consume('['))
+                            return;
+                        if (!ps.peek(']')) {
+                            do {
+                                buckets.push_back(ps.uinteger());
+                            } while (ps.consume_comma());
+                        }
+                        ps.consume(']');
+                    } else {
+                        ps.ok = false;
+                    }
+                });
+                h.restore(std::move(buckets), count, sum, max);
+            });
+        } else {
+            ps.ok = false;
+        }
+    });
+
+    ps.ws();
+    if (!ps.ok || ps.p != ps.end)
+        return std::nullopt;
+    return reg;
+}
+
+} // namespace secdimm::util

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * End-to-end metrics tests: runWorkload must populate non-zero
+ * dram.* / oram.* / sdimm.* metrics for each design point, and every
+ * metric name any design emits (with digit runs normalized to "N")
+ * must be documented in docs/METRICS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/secure_memory_system.hh"
+#include "core/simulator.hh"
+
+namespace secdimm::core
+{
+namespace
+{
+
+SimLengths
+tinyLengths()
+{
+    SimLengths l;
+    l.warmupRecords = 2000;
+    l.measureRecords = 300;
+    return l;
+}
+
+SystemConfig
+tinyConfig(DesignPoint d)
+{
+    SystemConfig cfg = makeConfig(d, /*tree_levels=*/14,
+                                  /*cached_levels=*/4);
+    cfg.cpuGeom.rowsPerBank = 4096;
+    cfg.sdimmGeom.rowsPerBank = 4096;
+    return cfg;
+}
+
+SimResult
+quickRun(DesignPoint d)
+{
+    return runWorkload(tinyConfig(d), *trace::findProfile("mcf"),
+                       tinyLengths(), 1);
+}
+
+/** "dram.group0.slice1.reads" -> "dram.groupN.sliceN.reads". */
+std::string
+normalizeName(const std::string &name)
+{
+    std::string out;
+    bool in_digits = false;
+    for (char c : name) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            if (!in_digits)
+                out += 'N';
+            in_digits = true;
+        } else {
+            out += c;
+            in_digits = false;
+        }
+    }
+    return out;
+}
+
+TEST(MetricsIntegration, NormalizeName)
+{
+    EXPECT_EQ(normalizeName("dram.group0.slice12.reads"),
+              "dram.groupN.sliceN.reads");
+    EXPECT_EQ(normalizeName("core.cycles"), "core.cycles");
+    EXPECT_EQ(normalizeName("sdimm.s1.queue_depth"),
+              "sdimm.sN.queue_depth");
+}
+
+TEST(MetricsIntegration, NonSecurePopulatesCoreAndDram)
+{
+    const SimResult r = quickRun(DesignPoint::NonSecure);
+    const auto &m = r.metrics;
+    EXPECT_GT(m.counter("core.cycles"), 0u);
+    EXPECT_GT(m.counter("core.llc_misses"), 0u);
+    EXPECT_GT(m.gauge("core.energy.total_nj"), 0.0);
+    EXPECT_GT(m.counter("dram.nonsecure.ch0.reads"), 0u);
+    EXPECT_GT(m.counter("dram.nonsecure.ch0.activates"), 0u);
+    EXPECT_EQ(m.counter("core.cycles"), r.core.cycles);
+}
+
+TEST(MetricsIntegration, FreecursivePopulatesOram)
+{
+    const SimResult r = quickRun(DesignPoint::Freecursive);
+    const auto &m = r.metrics;
+    EXPECT_GT(m.counter("dram.freecursive.ch0.reads"), 0u);
+    EXPECT_GT(m.counter("oram.access_orams"), 0u);
+    EXPECT_GT(m.counter("oram.requests"), 0u);
+    EXPECT_GT(m.counter("oram.recursion.requests"), 0u);
+    EXPECT_GT(m.counter("oram.recursion.plb.hits") +
+                  m.counter("oram.recursion.plb.misses"),
+              0u);
+    EXPECT_EQ(m.counter("oram.access_orams"), r.accessOrams);
+}
+
+TEST(MetricsIntegration, IndependentPopulatesSdimm)
+{
+    const SimResult r = quickRun(DesignPoint::Indep2);
+    const auto &m = r.metrics;
+    EXPECT_GT(m.counter("dram.sdimm0.reads"), 0u);
+    EXPECT_GT(m.counter("dram.sdimm1.reads"), 0u);
+    EXPECT_GT(m.counter("sdimm.s0.ops_executed"), 0u);
+    EXPECT_GT(m.counter("sdimm.bus0.transfers"), 0u);
+    EXPECT_GT(m.counter("sdimm.bus0.data_bytes"), 0u);
+    const auto *depth = m.findHistogram("sdimm.s0.queue_depth");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_GT(depth->count(), 0u);
+    EXPECT_GT(m.counter("oram.recursion.requests"), 0u);
+}
+
+TEST(MetricsIntegration, SplitPopulatesSdimm)
+{
+    const SimResult r = quickRun(DesignPoint::Split2);
+    const auto &m = r.metrics;
+    EXPECT_GT(m.counter("dram.group0.slice0.reads"), 0u);
+    EXPECT_GT(m.counter("dram.group0.slice1.reads"), 0u);
+    EXPECT_GT(m.counter("sdimm.g0.ops_executed"), 0u);
+    EXPECT_GT(m.counter("sdimm.bus0.transfers"), 0u);
+}
+
+TEST(MetricsIntegration, MetricsSurviveJsonRoundTrip)
+{
+    const SimResult r = quickRun(DesignPoint::Indep2);
+    const auto parsed =
+        util::MetricsRegistry::fromJson(r.metrics.toJson(2));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->names(), r.metrics.names());
+    EXPECT_EQ(parsed->counter("core.cycles"),
+              r.metrics.counter("core.cycles"));
+}
+
+/**
+ * Every metric name any design point emits -- from the timing-layer
+ * simulator and from the functional SecureMemorySystem -- must appear
+ * in docs/METRICS.md with digit runs spelled "N"
+ * (e.g. dram.groupN.sliceN.reads).
+ */
+TEST(MetricsIntegration, EveryMetricNameIsDocumented)
+{
+    const std::string doc_path =
+        std::string(SECUREDIMM_SOURCE_DIR) + "/docs/METRICS.md";
+    std::ifstream in(doc_path);
+    ASSERT_TRUE(in.good()) << "cannot open " << doc_path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+
+    std::set<std::string> names;
+    for (DesignPoint d :
+         {DesignPoint::NonSecure, DesignPoint::Freecursive,
+          DesignPoint::Indep2, DesignPoint::Split2,
+          DesignPoint::Indep4, DesignPoint::Split4,
+          DesignPoint::IndepSplit}) {
+        for (const auto &n : quickRun(d).metrics.names())
+            names.insert(normalizeName(n));
+    }
+
+    // The functional-layer snapshot (SecureMemorySystem::metrics).
+    for (auto proto : {SecureMemorySystem::Protocol::PathOram,
+                       SecureMemorySystem::Protocol::Freecursive,
+                       SecureMemorySystem::Protocol::Independent,
+                       SecureMemorySystem::Protocol::Split}) {
+        SecureMemorySystem::Options opt;
+        opt.protocol = proto;
+        opt.capacityBytes = 1 << 16;
+        SecureMemorySystem mem(opt);
+        BlockData d{};
+        mem.writeBlock(1, d);
+        mem.readBlock(1);
+        for (const auto &n : mem.metrics().names())
+            names.insert(normalizeName(n));
+    }
+
+    std::vector<std::string> missing;
+    for (const auto &n : names) {
+        if (doc.find(n) == std::string::npos)
+            missing.push_back(n);
+    }
+    EXPECT_TRUE(missing.empty())
+        << "metric names not documented in docs/METRICS.md:\n  "
+        << [&] {
+               std::string out;
+               for (const auto &n : missing)
+                   out += n + "\n  ";
+               return out;
+           }();
+}
+
+} // namespace
+} // namespace secdimm::core
