@@ -25,7 +25,8 @@ levelsForBlocks(std::uint64_t blocks, unsigned z)
 } // namespace
 
 SecureMemorySystem::SecureMemorySystem(const Options &options)
-    : options_(options)
+    : options_(options),
+      audits_(verify::AuditSettings::fromEnv(options.audits))
 {
     const std::uint64_t want_blocks =
         divCeil(options.capacityBytes, blockBytes);
@@ -99,17 +100,32 @@ SecureMemorySystem::accessBlock(Addr block_index, oram::OramOp op,
               static_cast<unsigned long long>(block_index),
               static_cast<unsigned long long>(capacityBlocks_));
     }
+    BlockData result{};
     switch (options_.protocol) {
       case Protocol::PathOram:
-        return pathOram_->access(block_index, op, data);
+        result = pathOram_->access(block_index, op, data);
+        break;
       case Protocol::Freecursive:
-        return recursive_->access(block_index, op, data);
+        result = recursive_->access(block_index, op, data);
+        break;
       case Protocol::Independent:
-        return independent_->access(block_index, op, data);
+        result = independent_->access(block_index, op, data);
+        break;
       case Protocol::Split:
-        return split_->access(block_index, op, data);
+        result = split_->access(block_index, op, data);
+        break;
     }
-    panic("unreachable");
+    if (audits_.enabled && ++accessesSinceAudit_ >= audits_.interval) {
+        accessesSinceAudit_ = 0;
+        const verify::AuditReport report = auditNow();
+        ++auditsRun_;
+        auditViolations_ += report.violations.size();
+        if (!report.ok()) {
+            fatal("SecureMemorySystem invariant audit failed: %s",
+                  report.summary().c_str());
+        }
+    }
+    return result;
 }
 
 BlockData
@@ -181,12 +197,31 @@ SecureMemorySystem::accessCount() const
     return 0;
 }
 
+verify::AuditReport
+SecureMemorySystem::auditNow() const
+{
+    switch (options_.protocol) {
+      case Protocol::PathOram:
+        // Driven via access(): the internal PosMap is authoritative.
+        return verify::auditPathOram(*pathOram_, /*check_posmap=*/true);
+      case Protocol::Freecursive:
+        return verify::auditRecursiveOram(*recursive_);
+      case Protocol::Independent:
+        return verify::auditIndependentOram(*independent_);
+      case Protocol::Split:
+        return verify::auditSplitOram(*split_, /*check_posmap=*/true);
+    }
+    return verify::AuditReport{};
+}
+
 util::MetricsRegistry
 SecureMemorySystem::metrics() const
 {
     util::MetricsRegistry m;
     m.setCounter("core.accesses", accessCount());
     m.setCounter("core.capacity_blocks", capacityBlocks_);
+    m.setCounter("core.audits_run", auditsRun_);
+    m.setCounter("core.audit_violations", auditViolations_);
     switch (options_.protocol) {
       case Protocol::PathOram:
         pathOram_->exportMetrics(m, "oram.data");

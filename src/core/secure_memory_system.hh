@@ -27,6 +27,7 @@
 #include "sdimm/independent_oram.hh"
 #include "sdimm/split_oram.hh"
 #include "util/metrics.hh"
+#include "verify/invariant_audit.hh"
 
 namespace secdimm::core
 {
@@ -50,6 +51,15 @@ class SecureMemorySystem
         unsigned numSdimms = 2;    ///< For the SDIMM protocols.
         unsigned stashCapacity = 200;
         std::uint64_t seed = 1;
+
+        /**
+         * Debug-build-yourself invariant audits: when enabled, every
+         * `interval` accesses the active protocol's full invariant set
+         * is walked (verify::invariant_audit.hh) and a violation is
+         * fatal.  The SDIMM_AUDIT / SDIMM_AUDIT_INTERVAL environment
+         * variables override these at construction.
+         */
+        verify::AuditSettings audits;
     };
 
     explicit SecureMemorySystem(const Options &options);
@@ -80,6 +90,13 @@ class SecureMemorySystem
     bool integrityOk() const;
 
     /**
+     * Run the active protocol's invariant audit immediately,
+     * regardless of the periodic settings, and return the report
+     * (the periodic path calls this and fatals on violations).
+     */
+    verify::AuditReport auditNow() const;
+
+    /**
      * Snapshot of the active protocol's counters, namespaced core.* /
      * oram.* / sdimm.* as in docs/METRICS.md.  Serialize with
      * MetricsRegistry::toJson().
@@ -94,6 +111,10 @@ class SecureMemorySystem
 
     Options options_;
     std::uint64_t capacityBlocks_;
+    verify::AuditSettings audits_;
+    std::uint64_t accessesSinceAudit_ = 0;
+    std::uint64_t auditsRun_ = 0;
+    std::uint64_t auditViolations_ = 0;
     std::unique_ptr<oram::PathOram> pathOram_;
     std::unique_ptr<oram::RecursiveOram> recursive_;
     std::unique_ptr<sdimm::IndependentOram> independent_;

@@ -6,6 +6,7 @@
 #include "oram/nonsecure_backend.hh"
 #include "sdimm/independent_backend.hh"
 #include "sdimm/split_backend.hh"
+#include "verify/channel_observer.hh"
 
 namespace secdimm::core
 {
@@ -145,9 +146,12 @@ exportCoreMetrics(SimResult &r)
 SimResult
 runWorkload(const SystemConfig &config,
             const trace::WorkloadProfile &profile,
-            const SimLengths &lengths, std::uint64_t seed)
+            const SimLengths &lengths, std::uint64_t seed,
+            verify::ChannelObserver *observer)
 {
     auto backend = buildBackend(config, seed);
+    if (observer != nullptr)
+        verify::attachToBackend(*backend, *observer);
 
     trace::CacheModel llc(2ULL << 20, 8); // Table II: 2MB, 8-way.
     trace::CoreParams core_params;

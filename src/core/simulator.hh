@@ -18,6 +18,11 @@
 #include "trace/workload.hh"
 #include "util/metrics.hh"
 
+namespace secdimm::verify
+{
+class ChannelObserver;
+}
+
 namespace secdimm::core
 {
 
@@ -56,10 +61,16 @@ struct SimLengths
 
 /**
  * Run @p profile on @p config.  Deterministic for a given seed.
+ *
+ * If @p observer is non-null it is attached to the backend's
+ * externally visible interfaces (verify::attachToBackend) before the
+ * first access, so the recorded trace covers the whole run; the
+ * observer must outlive the call.
  */
 SimResult runWorkload(const SystemConfig &config,
                       const trace::WorkloadProfile &profile,
-                      const SimLengths &lengths, std::uint64_t seed);
+                      const SimLengths &lengths, std::uint64_t seed,
+                      verify::ChannelObserver *observer = nullptr);
 
 /**
  * Bench-scaling knob: reads SDIMM_BENCH_ACCESSES (measured records)

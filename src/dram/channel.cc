@@ -266,6 +266,9 @@ DramChannel::issueCas(std::vector<Entry> &q, std::size_t idx, Tick t)
 
     rankLastActivity_[e.req.coord.rank] = data_end;
 
+    if (onCas_)
+        onCas_(e.req, data_end);
+
     if (onComplete_) {
         DramCompletion done;
         done.id = e.req.id;

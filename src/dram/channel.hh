@@ -61,12 +61,24 @@ class DramChannel
   public:
     using CompletionFn = std::function<void(const DramCompletion &)>;
 
+    /**
+     * Fired once per issued CAS with the request and its data-burst
+     * completion tick: the externally visible (command, address, time)
+     * tuple an adversary probing this channel observes.  Used by the
+     * verify::ChannelObserver trace checker.
+     */
+    using CasObserverFn =
+        std::function<void(const DramRequest &, Tick data_end)>;
+
     DramChannel(std::string name, const TimingParams &timing,
                 const Geometry &geom, MapPolicy map_policy,
                 SchedPolicy sched_policy = SchedPolicy::FrFcfs);
 
     /** Register the single completion consumer. */
     void setCompletionCallback(CompletionFn fn) { onComplete_ = std::move(fn); }
+
+    /** Register the (single) bus-trace observer; empty fn detaches. */
+    void setCasObserver(CasObserverFn fn) { onCas_ = std::move(fn); }
 
     /** True if a new request of the given kind fits in its queue. */
     bool canEnqueue(bool write) const;
@@ -179,6 +191,7 @@ class DramChannel
 
     ChannelStats stats_;
     CompletionFn onComplete_;
+    CasObserverFn onCas_;
 };
 
 } // namespace secdimm::dram

@@ -37,6 +37,8 @@ BucketStore::writeBucket(std::uint64_t seq, const Bucket &bucket)
 {
     SD_ASSERT(seq < images_.size());
     SD_ASSERT(bucket.z() == z_);
+    if (observer_)
+        observer_(true, seq);
     std::vector<std::uint8_t> image = bucket.toImage();
     const std::uint64_t ctr = ++counters_[seq];
     cipher_.transformBuffer(image.data(), image.size(), nonce(seq), ctr);
@@ -48,6 +50,8 @@ BucketReadResult
 BucketStore::readBucket(std::uint64_t seq) const
 {
     SD_ASSERT(seq < images_.size());
+    if (observer_)
+        observer_(false, seq);
     const std::uint64_t ctr = counters_[seq];
     std::vector<std::uint8_t> image = images_[seq];
     const bool authentic = mac_.verify(nonce(seq), ctr, image.data(),

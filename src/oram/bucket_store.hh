@@ -12,6 +12,7 @@
 #define SECUREDIMM_ORAM_BUCKET_STORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -70,6 +71,19 @@ class BucketStore
     std::uint64_t numBuckets() const { return images_.size(); }
     unsigned z() const { return z_; }
 
+    /**
+     * Fired on every bucket read/write with the bucket sequence
+     * number: the physical access pattern an adversary watching this
+     * memory image observes (verify::ChannelObserver).  Single
+     * consumer; empty fn detaches.
+     */
+    using AccessObserverFn =
+        std::function<void(bool write, std::uint64_t seq)>;
+    void setAccessObserver(AccessObserverFn fn)
+    {
+        observer_ = std::move(fn);
+    }
+
   private:
     std::uint64_t nonce(std::uint64_t seq) const;
 
@@ -80,6 +94,7 @@ class BucketStore
     std::vector<std::vector<std::uint8_t>> images_;
     std::vector<std::uint64_t> counters_;
     std::vector<crypto::Tag64> macs_;
+    AccessObserverFn observer_;
 };
 
 } // namespace secdimm::oram

@@ -110,6 +110,13 @@ class PathOram
 
     /** Underlying untrusted store (tamper-injection in tests). */
     BucketStore &store() { return store_; }
+    const BucketStore &store() const { return store_; }
+
+    /** Physical tree layout (verify audits map seq <-> position). */
+    const TreeLayout &layout() const { return layout_; }
+
+    /** Controller stash (verify audits walk its entries). */
+    const Stash &stash() const { return stash_; }
 
     /** True while every MAC/counter check has passed. */
     bool integrityOk() const { return stats_.integrityFailures == 0; }

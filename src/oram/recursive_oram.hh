@@ -77,8 +77,9 @@ class RecursiveOram
     void exportMetrics(util::MetricsRegistry &m,
                        const std::string &prefix) const;
 
-    /** Tree at @p level (0 = data), for tests. */
+    /** Tree at @p level (0 = data), for tests and verify audits. */
     PathOram &tree(unsigned level) { return *trees_[level]; }
+    const PathOram &tree(unsigned level) const { return *trees_[level]; }
 
   private:
     struct PlbEntry

@@ -46,6 +46,7 @@ class IndepSplitOram
                      const BlockData *new_data = nullptr);
 
     unsigned groups() const { return params_.groups; }
+    const Params &params() const { return params_; }
     SplitOram &group(unsigned g) { return *groups_[g]; }
     const SplitOram &group(unsigned g) const { return *groups_[g]; }
 

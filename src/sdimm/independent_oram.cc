@@ -89,7 +89,11 @@ IndependentOram::access(Addr addr, oram::OramOp op,
     auto resp_plain = buffers_[src]->cpuLink().unseal(resp_msg);
     if (!resp_plain)
         panic("CPU: SDIMM %u response failed authentication", src);
-    const AccessResponse resp = unpackResponse(*resp_plain);
+    const auto resp_parsed = unpackResponse(*resp_plain);
+    if (!resp_parsed)
+        panic("CPU: SDIMM %u response malformed (%zu bytes)", src,
+              resp_plain->size());
+    const AccessResponse resp = *resp_parsed;
 
     // The value returned to the LLC (pre-write content).
     BlockData result{};

@@ -57,6 +57,7 @@ class IndependentOram
     void clearBusTrace() { busTrace_.clear(); }
 
     unsigned numSdimms() const { return params_.numSdimms; }
+    const Params &params() const { return params_; }
     SecureBuffer &buffer(unsigned i) { return *buffers_[i]; }
     const SecureBuffer &buffer(unsigned i) const { return *buffers_[i]; }
 

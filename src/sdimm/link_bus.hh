@@ -16,6 +16,7 @@
 #define SECUREDIMM_SDIMM_LINK_BUS_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "dram/timing.hh"
 #include "util/bit_utils.hh"
@@ -41,10 +42,24 @@ struct LinkStats
     }
 };
 
+/**
+ * One transaction as seen from the bus pins: everything an adversary
+ * snooping the CPU channel learns about SDIMM protocol traffic.
+ */
+struct LinkBusEvent
+{
+    bool isTransfer = false; ///< Data-bus payload vs short command.
+    bool isProbe = false;    ///< PROBE poll (subset of short commands).
+    std::uint64_t bytes = 0; ///< Payload size (0 for short commands).
+    Tick at = 0;             ///< Transaction completion tick.
+};
+
 /** One channel's bus, shared by the SDIMMs behind it. */
 class LinkBus
 {
   public:
+    /** Bus-trace observer (verify::ChannelObserver); single consumer. */
+    using ObserverFn = std::function<void(const LinkBusEvent &)>;
     /**
      * @param timing DDR timing (tBURST defines line occupancy).
      * @param short_cmd_cycles bus occupancy of a short command.
@@ -71,6 +86,8 @@ class LinkBus
         busFreeAt_ = start + occupancy;
         stats_.dataBytes += bytes;
         ++stats_.transfers;
+        if (observer_)
+            observer_(LinkBusEvent{true, false, bytes, busFreeAt_});
         return busFreeAt_;
     }
 
@@ -90,11 +107,16 @@ class LinkBus
         ++stats_.shortCmds;
         if (is_probe)
             ++stats_.probes;
+        if (observer_)
+            observer_(LinkBusEvent{false, is_probe, 0, busFreeAt_});
         return busFreeAt_;
     }
 
     Tick busFreeAt() const { return busFreeAt_; }
     const LinkStats &stats() const { return stats_; }
+
+    /** Register the bus-trace observer; empty fn detaches. */
+    void setObserver(ObserverFn fn) { observer_ = std::move(fn); }
 
     /** Export traffic counters under @p prefix (docs/METRICS.md). */
     void
@@ -115,6 +137,7 @@ class LinkBus
     std::uint64_t bytesPerCycle_;
     Tick busFreeAt_ = 0;
     LinkStats stats_;
+    ObserverFn observer_;
 };
 
 } // namespace secdimm::sdimm

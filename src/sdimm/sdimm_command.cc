@@ -1,5 +1,7 @@
 #include "sdimm/sdimm_command.hh"
 
+#include "util/logging.hh"
+
 namespace secdimm::sdimm
 {
 
@@ -43,20 +45,107 @@ encodeCommand(SdimmCommandType type)
     return DdrEncoding{};
 }
 
-std::optional<SdimmCommandType>
-decodeCommand(bool write, std::uint32_t ras_row, std::uint32_t cas_col,
-              std::uint8_t payload_opcode)
+BusDecodeResult
+decodeBusCommand(bool write, std::uint32_t ras_row,
+                 std::uint32_t cas_col, std::uint8_t payload_opcode)
 {
     if (ras_row != 0)
-        return std::nullopt; // Normal memory access.
+        return {BusDecodeStatus::NormalAccess, std::nullopt};
     for (const Row &row : table) {
         if (row.enc.write != write || row.enc.casCol != cas_col)
             continue;
         if (row.enc.needsDataBus && row.enc.opcode != payload_opcode)
             continue;
-        return row.type;
+        return {BusDecodeStatus::Command, row.type};
     }
-    return std::nullopt;
+    // Reserved-region activity with no matching row: the host is
+    // speaking a protocol the buffer does not understand.
+    return {BusDecodeStatus::Malformed, std::nullopt};
+}
+
+std::optional<SdimmCommandType>
+decodeCommand(bool write, std::uint32_t ras_row, std::uint32_t cas_col,
+              std::uint8_t payload_opcode)
+{
+    return decodeBusCommand(write, ras_row, cas_col, payload_opcode)
+        .command;
+}
+
+std::vector<std::uint8_t>
+serializeFrame(const CommandFrame &frame)
+{
+    const DdrEncoding enc = encodeCommand(frame.type);
+    SD_ASSERT(frame.payload.size() <= maxFramePayload);
+    if (enc.needsDataBus) {
+        SD_ASSERT(!frame.payload.empty());
+        SD_ASSERT(frame.payload[0] == enc.opcode);
+    } else {
+        SD_ASSERT(frame.payload.empty());
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(frameHeaderBytes + frame.payload.size());
+    out.push_back(frameMagic);
+    out.push_back(static_cast<std::uint8_t>(frame.type));
+    out.push_back(
+        static_cast<std::uint8_t>(frame.payload.size() & 0xff));
+    out.push_back(
+        static_cast<std::uint8_t>((frame.payload.size() >> 8) & 0xff));
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    return out;
+}
+
+FrameParseResult
+parseFrame(const std::uint8_t *data, std::size_t len)
+{
+    const auto reject = [](FrameError e) {
+        return FrameParseResult{std::nullopt, e};
+    };
+    if (len < frameHeaderBytes)
+        return reject(FrameError::Truncated);
+    if (data[0] != frameMagic)
+        return reject(FrameError::BadMagic);
+    const std::uint8_t type_byte = data[1];
+    if (type_byte >= allCommands().size())
+        return reject(FrameError::UnknownType);
+    const auto type = static_cast<SdimmCommandType>(type_byte);
+    const std::size_t declared =
+        static_cast<std::size_t>(data[2]) |
+        (static_cast<std::size_t>(data[3]) << 8);
+    if (declared > maxFramePayload)
+        return reject(FrameError::Oversize);
+    if (len < frameHeaderBytes + declared)
+        return reject(FrameError::Truncated);
+    if (len > frameHeaderBytes + declared)
+        return reject(FrameError::LengthMismatch);
+    const DdrEncoding enc = encodeCommand(type);
+    if (!enc.needsDataBus && declared != 0)
+        return reject(FrameError::UnexpectedPayload);
+    if (enc.needsDataBus && declared == 0)
+        return reject(FrameError::MissingPayload);
+    if (enc.needsDataBus && data[frameHeaderBytes] != enc.opcode)
+        return reject(FrameError::OpcodeMismatch);
+    CommandFrame frame;
+    frame.type = type;
+    frame.payload.assign(data + frameHeaderBytes,
+                         data + frameHeaderBytes + declared);
+    return {std::move(frame), FrameError::None};
+}
+
+const char *
+frameErrorName(FrameError error)
+{
+    switch (error) {
+      case FrameError::None: return "NONE";
+      case FrameError::Truncated: return "TRUNCATED";
+      case FrameError::BadMagic: return "BAD_MAGIC";
+      case FrameError::UnknownType: return "UNKNOWN_TYPE";
+      case FrameError::LengthMismatch: return "LENGTH_MISMATCH";
+      case FrameError::UnexpectedPayload: return "UNEXPECTED_PAYLOAD";
+      case FrameError::MissingPayload: return "MISSING_PAYLOAD";
+      case FrameError::OpcodeMismatch: return "OPCODE_MISMATCH";
+      case FrameError::Oversize: return "OVERSIZE";
+    }
+    return "UNKNOWN";
 }
 
 bool

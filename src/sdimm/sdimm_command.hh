@@ -47,16 +47,93 @@ struct DdrEncoding
 /** Encode a command per Table I. */
 DdrEncoding encodeCommand(SdimmCommandType type);
 
+/** Outcome classes of a strict bus decode. */
+enum class BusDecodeStatus : std::uint8_t
+{
+    Command,      ///< A valid Table I command.
+    NormalAccess, ///< RAS outside the reserved region: plain memory.
+    Malformed,    ///< Reserved-region activity matching no command.
+};
+
+/** Strict decode result: @p command is set iff status == Command. */
+struct BusDecodeResult
+{
+    BusDecodeStatus status = BusDecodeStatus::NormalAccess;
+    std::optional<SdimmCommandType> command;
+};
+
 /**
- * Decode bus activity back into a command.
- * @param write  RD vs WR
- * @param ras_row / cas_col as observed
- * @param payload_opcode first data byte (long commands only)
- * @return the command, or nullopt if this is a normal memory access.
+ * Strictly decode bus activity: distinguishes a normal memory access
+ * (RAS row != 0) from reserved-region activity that matches no Table I
+ * row (a protocol violation the secure buffer must reject, not guess
+ * at).  @p payload_opcode is the first data-bus byte, consulted for
+ * long (WR) encodings only.
+ */
+BusDecodeResult decodeBusCommand(bool write, std::uint32_t ras_row,
+                                 std::uint32_t cas_col,
+                                 std::uint8_t payload_opcode);
+
+/**
+ * Lenient decode: the command, or nullopt for BOTH a normal memory
+ * access and malformed reserved-region activity.  Callers that must
+ * tell those cases apart (the secure buffer's front door) use
+ * decodeBusCommand().
  */
 std::optional<SdimmCommandType> decodeCommand(
     bool write, std::uint32_t ras_row, std::uint32_t cas_col,
     std::uint8_t payload_opcode);
+
+/**
+ * Self-describing byte frame for a command in flight on the link:
+ * [magic 0x5D][type][payload len lo][payload len hi][payload...].
+ * Long commands carry their Table I opcode as payload[0]; short
+ * commands have an empty payload.  parseFrame() treats its input as
+ * hostile (the fuzzer's primary target) and reports WHY a frame is
+ * rejected instead of asserting.
+ */
+struct CommandFrame
+{
+    SdimmCommandType type = SdimmCommandType::SendPkey;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Why parseFrame() rejected its input. */
+enum class FrameError : std::uint8_t
+{
+    None,
+    Truncated,         ///< Fewer bytes than header + declared payload.
+    BadMagic,          ///< First byte is not frameMagic.
+    UnknownType,       ///< Type byte names no Table I command.
+    LengthMismatch,    ///< Trailing bytes beyond the declared payload.
+    UnexpectedPayload, ///< Short command declaring a payload.
+    MissingPayload,    ///< Long command without its opcode byte.
+    OpcodeMismatch,    ///< payload[0] disagrees with the Table I opcode.
+    Oversize,          ///< Declared payload exceeds maxFramePayload.
+};
+
+inline constexpr std::uint8_t frameMagic = 0x5D;
+inline constexpr std::size_t frameHeaderBytes = 4;
+inline constexpr std::size_t maxFramePayload = 4096;
+
+/** Either a parsed frame or the reason there is none. */
+struct FrameParseResult
+{
+    std::optional<CommandFrame> frame;
+    FrameError error = FrameError::None;
+};
+
+/** Serialize a frame (asserts the payload respects the type). */
+std::vector<std::uint8_t> serializeFrame(const CommandFrame &frame);
+
+/**
+ * Parse an untrusted byte buffer.  Never crashes: every malformed
+ * input maps to a FrameError.  Round-trip law:
+ * parseFrame(serializeFrame(f)) reproduces f exactly.
+ */
+FrameParseResult parseFrame(const std::uint8_t *data, std::size_t len);
+
+/** Human-readable FrameError name. */
+const char *frameErrorName(FrameError error);
 
 /** True for commands that occupy the data bus. */
 bool isLongCommand(SdimmCommandType type);

@@ -38,10 +38,11 @@ packAccess(const AccessRequest &r)
     return b;
 }
 
-AccessRequest
+std::optional<AccessRequest>
 unpackAccess(const std::vector<std::uint8_t> &b)
 {
-    SD_ASSERT(b.size() == accessBodyBytes);
+    if (b.size() != accessBodyBytes)
+        return std::nullopt;
     AccessRequest r;
     r.addr = get64(b, 0);
     r.localLeaf = get64(b, 8);
@@ -60,10 +61,11 @@ packResponse(const AccessResponse &r)
     return b;
 }
 
-AccessResponse
+std::optional<AccessResponse>
 unpackResponse(const std::vector<std::uint8_t> &b)
 {
-    SD_ASSERT(b.size() == responseBodyBytes);
+    if (b.size() != responseBodyBytes)
+        return std::nullopt;
     AccessResponse r;
     std::memcpy(r.data.data(), b.data(), blockBytes);
     r.dummy = b[blockBytes] != 0;
@@ -81,10 +83,11 @@ packAppend(const AppendRequest &r)
     return b;
 }
 
-AppendRequest
+std::optional<AppendRequest>
 unpackAppend(const std::vector<std::uint8_t> &b)
 {
-    SD_ASSERT(b.size() == appendBodyBytes);
+    if (b.size() != appendBodyBytes)
+        return std::nullopt;
     AppendRequest r;
     r.real = b[0] != 0;
     r.addr = get64(b, 1);
@@ -136,7 +139,11 @@ SecureBuffer::handleAccess(const SealedMessage &msg)
     auto plain = dimmEnd_.unseal(msg);
     if (!plain)
         panic("SDIMM %u: ACCESS failed authentication", index_);
-    const AccessRequest req = unpackAccess(*plain);
+    const auto parsed = unpackAccess(*plain);
+    if (!parsed)
+        panic("SDIMM %u: ACCESS body malformed (%zu bytes)", index_,
+              plain->size());
+    const AccessRequest req = *parsed;
 
     ++stats_.accessOps;
 
@@ -173,7 +180,11 @@ SecureBuffer::handleAppend(const SealedMessage &msg)
     auto plain = dimmEnd_.unseal(msg);
     if (!plain)
         panic("SDIMM %u: APPEND failed authentication", index_);
-    const AppendRequest req = unpackAppend(*plain);
+    const auto parsed = unpackAppend(*plain);
+    if (!parsed)
+        panic("SDIMM %u: APPEND body malformed (%zu bytes)", index_,
+              plain->size());
+    const AppendRequest req = *parsed;
     if (!req.real) {
         ++stats_.appendsDummy;
         return;

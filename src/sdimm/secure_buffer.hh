@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "oram/path_oram.hh"
 #include "sdimm/link_session.hh"
@@ -54,13 +55,22 @@ struct AppendRequest
     BlockData data{};
 };
 
-/** Serialize/parse the fixed-size message bodies. */
+/**
+ * Serialize/parse the fixed-size message bodies.  The unpack side
+ * treats the body as untrusted wire input: a body of the wrong size
+ * (truncated or padded) yields nullopt instead of misparsing -- the
+ * secure buffer decides how to fail (fuzz-derived hardening; a
+ * malformed-but-authenticated frame must never crash the chip model).
+ */
 std::vector<std::uint8_t> packAccess(const AccessRequest &r);
-AccessRequest unpackAccess(const std::vector<std::uint8_t> &b);
+std::optional<AccessRequest>
+unpackAccess(const std::vector<std::uint8_t> &b);
 std::vector<std::uint8_t> packResponse(const AccessResponse &r);
-AccessResponse unpackResponse(const std::vector<std::uint8_t> &b);
+std::optional<AccessResponse>
+unpackResponse(const std::vector<std::uint8_t> &b);
 std::vector<std::uint8_t> packAppend(const AppendRequest &r);
-AppendRequest unpackAppend(const std::vector<std::uint8_t> &b);
+std::optional<AppendRequest>
+unpackAppend(const std::vector<std::uint8_t> &b);
 
 /** Per-buffer counters. */
 struct SecureBufferStats

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
+#include <unordered_set>
 
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
@@ -425,6 +427,192 @@ SplitOram::backgroundEvict()
     leafTrace_.push_back(leaf);
     readPath(leaf);
     writePath(leaf);
+}
+
+std::vector<std::string>
+SplitOram::auditInvariants(bool check_posmap,
+                           std::uint64_t *checks_run) const
+{
+    std::vector<std::string> violations;
+    std::uint64_t checks = 0;
+    const auto fail = [&](const std::string &what) {
+        violations.push_back(what);
+    };
+    const auto check = [&](bool ok, auto &&describe) {
+        ++checks;
+        if (!ok)
+            fail(describe());
+    };
+
+    const unsigned z = params_.tree.bucketBlocks;
+    const unsigned L = params_.tree.levels;
+    const std::uint64_t buckets = params_.tree.numBuckets();
+
+    // 1. Per-slice storage shape, replicated counters, slice MACs.
+    for (unsigned j = 0; j < params_.slices; ++j) {
+        const Slice &sl = slices_[j];
+        check(sl.metaShare.size() == buckets && sl.dataShare.size() == buckets &&
+                  sl.counter.size() == buckets && sl.mac.size() == buckets,
+              [&] {
+                  std::ostringstream os;
+                  os << "slice " << j << ": storage vectors not sized to "
+                     << buckets << " buckets";
+                  return os.str();
+              });
+        check(sl.stash.size() == stashSlots_, [&] {
+            std::ostringstream os;
+            os << "slice " << j << ": stash has " << sl.stash.size()
+               << " slots, allocator says " << stashSlots_;
+            return os.str();
+        });
+        for (std::uint64_t seq = 0; seq < buckets; ++seq) {
+            check(sl.counter[seq] == slices_[0].counter[seq], [&] {
+                std::ostringstream os;
+                os << "bucket " << seq << ": slice " << j
+                   << " counter diverges from slice 0";
+                return os.str();
+            });
+            check(sliceMac(j, seq, sl) == sl.mac[seq], [&] {
+                std::ostringstream os;
+                os << "bucket " << seq << ": slice " << j
+                   << " MAC mismatch (tampered or stale)";
+                return os.str();
+            });
+        }
+    }
+
+    // 2. Decrypt every bucket's metadata and check placement: a real
+    //    block stored at (level, index) must have a leaf whose path
+    //    passes through that bucket, and no address may appear twice
+    //    (tree or shadow stash).
+    std::unordered_set<Addr> seen;
+    for (unsigned level = 0; level <= L; ++level) {
+        const std::uint64_t level_width = std::uint64_t{1} << level;
+        for (std::uint64_t index = 0; index < level_width; ++index) {
+            const oram::BucketPos pos{level, index};
+            const std::uint64_t seq = layout_.bucketSeq(pos);
+            std::vector<std::uint8_t> meta(
+                static_cast<std::size_t>(z) * 16, 0);
+            for (unsigned j = 0; j < params_.slices; ++j)
+                mergeShare(meta, slices_[j].metaShare[seq], j,
+                           params_.slices);
+            cipher_.transformBuffer(meta.data(), meta.size(),
+                                    metaNonce(seq),
+                                    slices_[0].counter[seq]);
+            for (unsigned slot = 0; slot < z; ++slot) {
+                Addr a;
+                LeafId l;
+                std::memcpy(&a, meta.data() + 16 * slot, 8);
+                std::memcpy(&l, meta.data() + 16 * slot + 8, 8);
+                if (a == invalidAddr)
+                    continue;
+                check(l < params_.tree.numLeaves(), [&] {
+                    std::ostringstream os;
+                    os << "bucket " << seq << " slot " << slot
+                       << ": block " << a << " has leaf " << l
+                       << " out of range";
+                    return os.str();
+                });
+                check(l >= params_.tree.numLeaves() ||
+                          oram::pathBucket(l, level, L).index == index,
+                      [&] {
+                          std::ostringstream os;
+                          os << "bucket (" << level << "," << index
+                             << "): block " << a << " leaf " << l
+                             << " path does not pass through it";
+                          return os.str();
+                      });
+                check(seen.insert(a).second, [&] {
+                    std::ostringstream os;
+                    os << "block " << a
+                       << " stored twice in the tree";
+                    return os.str();
+                });
+                if (check_posmap) {
+                    check(a < posMap_.size() && posMap_[a] == l, [&] {
+                        std::ostringstream os;
+                        os << "block " << a << ": tree leaf " << l
+                           << " disagrees with PosMap";
+                        return os.str();
+                    });
+                }
+            }
+        }
+    }
+
+    // 3. Shadow stash: bounded, leaves in range, piece-resident
+    //    entries backed by a piece in EVERY slice, no tree duplicate.
+    check(shadow_.size() <= params_.tree.stashCapacity, [&] {
+        std::ostringstream os;
+        os << "shadow stash " << shadow_.size() << " exceeds capacity "
+           << params_.tree.stashCapacity;
+        return os.str();
+    });
+    std::unordered_set<std::size_t> referenced;
+    for (const auto &kv : shadow_) {
+        const Addr a = kv.first;
+        const ShadowEntry &e = kv.second;
+        check(e.leaf < params_.tree.numLeaves(), [&] {
+            std::ostringstream os;
+            os << "shadow block " << a << ": leaf " << e.leaf
+               << " out of range";
+            return os.str();
+        });
+        check(seen.insert(a).second, [&] {
+            std::ostringstream os;
+            os << "block " << a << " in both tree and shadow stash";
+            return os.str();
+        });
+        if (check_posmap) {
+            check(a < posMap_.size() && posMap_[a] == e.leaf, [&] {
+                std::ostringstream os;
+                os << "shadow block " << a << ": leaf " << e.leaf
+                   << " disagrees with PosMap";
+                return os.str();
+            });
+        }
+        if (!e.cpuResident) {
+            check(e.stashIdx < stashSlots_ &&
+                      referenced.insert(e.stashIdx).second,
+                  [&] {
+                      std::ostringstream os;
+                      os << "shadow block " << a
+                         << ": bad or shared stash slot " << e.stashIdx;
+                      return os.str();
+                  });
+            for (unsigned j = 0; j < params_.slices; ++j) {
+                check(e.stashIdx < slices_[j].stash.size() &&
+                          slices_[j].stash[e.stashIdx].has_value(),
+                      [&] {
+                          std::ostringstream os;
+                          os << "shadow block " << a << ": slice " << j
+                             << " missing its stash piece";
+                          return os.str();
+                      });
+            }
+        }
+    }
+
+    // 4. Stash-slot allocator: every slot is either free or referenced
+    //    by exactly one piece-resident shadow entry.
+    for (std::size_t idx : freeSlots_) {
+        check(idx < stashSlots_ && referenced.find(idx) == referenced.end(),
+              [&] {
+                  std::ostringstream os;
+                  os << "stash slot " << idx << " both free and in use";
+                  return os.str();
+              });
+    }
+    check(referenced.size() + freeSlots_.size() == stashSlots_, [&] {
+        std::ostringstream os;
+        os << "stash slots leaked: " << referenced.size() << " in use + "
+           << freeSlots_.size() << " free != " << stashSlots_;
+        return os.str();
+    });
+
+    if (checks_run != nullptr)
+        *checks_run += checks;
+    return violations;
 }
 
 void

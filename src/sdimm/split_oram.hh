@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -111,6 +112,20 @@ class SplitOram
     /** Tamper with one slice's stored share (integrity tests). */
     void tamperSlice(unsigned slice, std::uint64_t bucket_seq,
                      unsigned slot, std::size_t byte_index);
+
+    /**
+     * Walk every internal invariant the verify subsystem cannot see
+     * from outside (slice MACs, replicated counters, stash-slot
+     * bookkeeping, shadow-stash bounds, decrypted bucket placement)
+     * and return one description per violation.  @p check_posmap
+     * additionally cross-checks block leaves against the internal
+     * PosMap -- only meaningful when the tree is driven via access()
+     * (accessExplicit frontends own the PosMap themselves).
+     * @p checks_run, if given, is incremented per check performed.
+     */
+    std::vector<std::string>
+    auditInvariants(bool check_posmap,
+                    std::uint64_t *checks_run = nullptr) const;
 
     /** Export access/traffic counters under @p prefix. */
     void

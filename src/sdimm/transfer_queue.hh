@@ -67,6 +67,9 @@ class TransferQueue
     /** Occupancy after each arrival (Fig 13 overflow evidence). */
     const util::LogHistogram &depthHistogram() const { return depth_; }
 
+    /** Queued entries, oldest first (verify audits walk these). */
+    const std::deque<oram::StashEntry> &entries() const { return q_; }
+
     /** Export arrival/service/overflow counters + depth histogram. */
     void exportMetrics(util::MetricsRegistry &m,
                        const std::string &prefix) const;

@@ -1,8 +1,27 @@
 /**
  * @file
  * Deterministic pseudo-random number generator (xoshiro256**) used for
- * ORAM leaf remapping and workload synthesis.  Deterministic seeding
- * keeps every simulation reproducible.
+ * ORAM leaf remapping and workload synthesis.
+ *
+ * Seeding contract (what "deterministic" means in this codebase):
+ *
+ *  1. Every source of randomness is an Rng instance constructed from
+ *     an explicit 64-bit seed.  There is no global RNG, no
+ *     time/address seeding, and no hidden entropy: two runs given the
+ *     same seeds perform bit-identical computations.
+ *  2. Components that own several Rng instances derive their seeds
+ *     from one caller-supplied seed by mixing in fixed per-component
+ *     constants (e.g. `seed * 1000003 + i` per SDIMM), so one
+ *     top-level seed pins the whole system while distinct components
+ *     still draw from decorrelated streams.
+ *  3. The public reproducibility guarantee, enforced by
+ *     tests/verify/test_determinism.cc: two core::runWorkload() calls
+ *     with identical (config, profile, lengths, seed) produce
+ *     byte-identical metrics JSON, and the verify fuzzer reproduces
+ *     any failure from (seed, iteration count) alone.
+ *  4. Consuming randomness in a different ORDER changes results, so
+ *     refactors that reorder draws are observable; update golden
+ *     expectations deliberately, never silently.
  *
  * Note: simulation-side randomness only.  Cryptographic randomness in
  * the protocol model comes from AES-CTR pads in src/crypto.

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The adversary's viewpoint: a passive observer of everything that is
+ * externally visible on a memory channel -- DRAM command/address
+ * activity (NonSecure / Freecursive backends), SDIMM link-bus
+ * transactions (Independent / Split backends), and, for the
+ * functional layer, BucketStore read/write sequences.  The
+ * trace-indistinguishability checker (trace_checker.hh) compares two
+ * such traces; nothing here may peek at plaintext, stash contents, or
+ * any other secret state.
+ */
+
+#ifndef SECUREDIMM_VERIFY_CHANNEL_OBSERVER_HH
+#define SECUREDIMM_VERIFY_CHANNEL_OBSERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace secdimm
+{
+class MemoryBackend;
+namespace dram
+{
+class DramChannel;
+}
+namespace sdimm
+{
+class LinkBus;
+}
+namespace oram
+{
+class BucketStore;
+}
+} // namespace secdimm
+
+namespace secdimm::verify
+{
+
+/** What an event on the observed channel was. */
+enum class TraceEventKind : std::uint8_t
+{
+    Read,       ///< DRAM read burst (CAS address visible).
+    Write,      ///< DRAM write burst.
+    ShortCmd,   ///< Link-bus short command (non-probe).
+    Probe,      ///< Link-bus PROBE poll.
+    Transfer,   ///< Link-bus data transfer (payload size visible).
+    StoreRead,  ///< BucketStore bucket read (bucket seq visible).
+    StoreWrite, ///< BucketStore bucket write.
+};
+
+/** Human-readable kind name. */
+const char *traceEventKindName(TraceEventKind kind);
+
+/**
+ * One externally visible event.  @p addr carries whatever address-like
+ * quantity the channel exposes: the DRAM block address, the transfer
+ * byte count, or the bucket sequence number.
+ */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::Read;
+    std::uint64_t addr = 0;
+    Tick at = 0;
+};
+
+/**
+ * Accumulates the visible trace of one experiment.  Attach points
+ * register a callback into the observed component; the observer must
+ * outlive every component it is attached to (or the component must
+ * not be exercised afterwards).
+ */
+class ChannelObserver
+{
+  public:
+    void
+    record(TraceEventKind kind, std::uint64_t addr, Tick at)
+    {
+        events_.push_back(TraceEvent{kind, addr, at});
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /** Observe DRAM CAS activity on one channel. */
+    void attach(dram::DramChannel &channel);
+
+    /** Observe SDIMM link-bus transactions. */
+    void attach(sdimm::LinkBus &bus);
+
+    /** Observe bucket read/write sequences (functional layer). */
+    void attach(oram::BucketStore &store);
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Attach @p observer to every externally visible channel of
+ * @p backend: the CPU DRAM channels of the NonSecure and Freecursive
+ * backends, or the CPU link buses of the Independent and Split
+ * backends (an SDIMM's internal channels are NOT visible to a
+ * channel-snooping adversary -- that is the point of the design).
+ * Returns the number of attach points (0 for an unknown backend type).
+ */
+unsigned attachToBackend(MemoryBackend &backend,
+                         ChannelObserver &observer);
+
+} // namespace secdimm::verify
+
+#endif // SECUREDIMM_VERIFY_CHANNEL_OBSERVER_HH

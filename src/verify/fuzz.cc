@@ -1,0 +1,348 @@
+#include "verify/fuzz.hh"
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "sdimm/link_session.hh"
+#include "sdimm/sdimm_command.hh"
+#include "sdimm/secure_buffer.hh"
+#include "util/rng.hh"
+
+namespace secdimm::verify
+{
+
+namespace
+{
+
+/** Record a failure, keeping the first description. */
+void
+fail(FuzzResult &r, const std::string &what)
+{
+    ++r.failures;
+    if (r.firstFailure.empty())
+        r.firstFailure = what;
+}
+
+std::vector<std::uint8_t>
+randomBytes(Rng &rng, std::size_t len)
+{
+    std::vector<std::uint8_t> b(len);
+    for (auto &v : b)
+        v = static_cast<std::uint8_t>(rng.nextBelow(256));
+    return b;
+}
+
+} // namespace
+
+FuzzResult
+fuzzCommandCodec(std::uint64_t seed, std::uint64_t iters)
+{
+    using namespace sdimm;
+    FuzzResult r;
+    Rng rng(seed ^ 0xc0dec);
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        ++r.iterations;
+
+        // Half the time, start from a real command's encoding.
+        if (i % 2 == 0) {
+            const auto &all = allCommands();
+            const SdimmCommandType type =
+                all[static_cast<std::size_t>(rng.nextBelow(all.size()))];
+            const DdrEncoding enc = encodeCommand(type);
+            const BusDecodeResult dec = decodeBusCommand(
+                enc.write, enc.rasRow, enc.casCol, enc.opcode);
+            if (dec.status != BusDecodeStatus::Command || !dec.command ||
+                *dec.command != type) {
+                std::ostringstream os;
+                os << "codec: " << commandName(type)
+                   << " does not round-trip (iter " << i << ")";
+                fail(r, os.str());
+            }
+            continue;
+        }
+
+        // Otherwise: random bus activity.  Bias toward the reserved
+        // region so the Malformed class is exercised.
+        const bool write = rng.nextBelow(2) == 1;
+        const std::uint32_t ras = rng.nextBelow(4) == 0
+                                      ? static_cast<std::uint32_t>(
+                                            rng.nextBelow(1u << 16))
+                                      : 0;
+        const std::uint32_t cas =
+            static_cast<std::uint32_t>(rng.nextBelow(0x40));
+        const std::uint8_t opcode =
+            static_cast<std::uint8_t>(rng.nextBelow(256));
+        const BusDecodeResult dec = decodeBusCommand(write, ras, cas,
+                                                     opcode);
+        const bool command_set = dec.command.has_value();
+        bool bad = false;
+        switch (dec.status) {
+          case BusDecodeStatus::Command:
+            bad = !command_set || ras != 0;
+            break;
+          case BusDecodeStatus::NormalAccess:
+            bad = command_set || ras == 0;
+            break;
+          case BusDecodeStatus::Malformed:
+            bad = command_set || ras != 0;
+            break;
+        }
+        if (bad) {
+            std::ostringstream os;
+            os << "codec: inconsistent classification for write=" << write
+               << " ras=" << ras << " cas=" << cas
+               << " opcode=" << static_cast<unsigned>(opcode) << " (iter "
+               << i << ")";
+            fail(r, os.str());
+        }
+        if (decodeCommand(write, ras, cas, opcode) != dec.command)
+            fail(r, "codec: lenient and strict decode disagree");
+    }
+    return r;
+}
+
+FuzzResult
+fuzzCommandFrames(std::uint64_t seed, std::uint64_t iters)
+{
+    using namespace sdimm;
+    FuzzResult r;
+    Rng rng(seed ^ 0xf4a3e);
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        ++r.iterations;
+        const std::uint64_t mode = rng.nextBelow(4);
+
+        if (mode == 0) {
+            // Valid frame round-trip.
+            const auto &all = allCommands();
+            CommandFrame f;
+            f.type =
+                all[static_cast<std::size_t>(rng.nextBelow(all.size()))];
+            if (isLongCommand(f.type)) {
+                f.payload = randomBytes(
+                    rng, 1 + static_cast<std::size_t>(rng.nextBelow(128)));
+                f.payload[0] = encodeCommand(f.type).opcode;
+            }
+            const std::vector<std::uint8_t> wire = serializeFrame(f);
+            const FrameParseResult parsed =
+                parseFrame(wire.data(), wire.size());
+            if (!parsed.frame || parsed.error != FrameError::None ||
+                parsed.frame->type != f.type ||
+                parsed.frame->payload != f.payload) {
+                std::ostringstream os;
+                os << "frames: valid " << commandName(f.type)
+                   << " frame rejected with "
+                   << frameErrorName(parsed.error) << " (iter " << i
+                   << ")";
+                fail(r, os.str());
+            }
+            continue;
+        }
+
+        std::vector<std::uint8_t> wire;
+        if (mode == 1) {
+            // Pure random garbage.
+            wire = randomBytes(
+                rng, static_cast<std::size_t>(rng.nextBelow(64)));
+        } else {
+            // Start from a valid frame and damage it.
+            const auto &all = allCommands();
+            CommandFrame f;
+            f.type =
+                all[static_cast<std::size_t>(rng.nextBelow(all.size()))];
+            if (isLongCommand(f.type)) {
+                f.payload = randomBytes(
+                    rng, 1 + static_cast<std::size_t>(rng.nextBelow(64)));
+                f.payload[0] = encodeCommand(f.type).opcode;
+            }
+            wire = serializeFrame(f);
+            if (mode == 2 && !wire.empty()) {
+                // Truncate to a strict prefix.
+                wire.resize(static_cast<std::size_t>(
+                    rng.nextBelow(wire.size())));
+            } else if (!wire.empty()) {
+                // Flip one bit.
+                const std::size_t at = static_cast<std::size_t>(
+                    rng.nextBelow(wire.size()));
+                wire[at] ^= static_cast<std::uint8_t>(
+                    1u << rng.nextBelow(8));
+            }
+        }
+
+        // The only requirement on hostile input: a definite verdict,
+        // and frame XOR error (parse never crashes; the harness runs
+        // under ASan/UBSan in CI to back that up).
+        const FrameParseResult parsed =
+            parseFrame(wire.data(), wire.size());
+        if (parsed.frame.has_value() !=
+            (parsed.error == FrameError::None)) {
+            std::ostringstream os;
+            os << "frames: frame/error disagreement on a " << wire.size()
+               << "-byte input (iter " << i << ")";
+            fail(r, os.str());
+        }
+        if (parsed.frame) {
+            // Whatever parsed must re-serialize to the exact input.
+            if (serializeFrame(*parsed.frame) != wire)
+                fail(r, "frames: accepted input does not re-serialize");
+        }
+    }
+    return r;
+}
+
+FuzzResult
+fuzzLinkSession(std::uint64_t seed, std::uint64_t iters)
+{
+    using namespace sdimm;
+    FuzzResult r;
+    Rng rng(seed ^ 0x115e55);
+    auto link = establishLink(rng);
+    LinkEndpoint &cpu = link.first;
+    LinkEndpoint &dimm = link.second;
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        ++r.iterations;
+        const std::vector<std::uint8_t> plain = randomBytes(
+            rng, 1 + static_cast<std::size_t>(rng.nextBelow(200)));
+        const std::uint8_t opcode =
+            static_cast<std::uint8_t>(rng.nextBelow(256));
+        const SealedMessage msg = cpu.seal(opcode, plain);
+
+        const std::uint64_t mode = rng.nextBelow(4);
+        if (mode == 0) {
+            // Honest delivery.
+            const auto out = dimm.unseal(msg);
+            if (!out || *out != plain) {
+                std::ostringstream os;
+                os << "link: honest message rejected (iter " << i << ")";
+                fail(r, os.str());
+            }
+            continue;
+        }
+
+        SealedMessage evil = msg;
+        if (mode == 1) {
+            // Flip one bit somewhere in (opcode, seq, body, mac).
+            const std::uint64_t field = rng.nextBelow(
+                3 + (evil.body.empty() ? 0 : 1));
+            switch (field) {
+              case 0:
+                evil.opcode ^= static_cast<std::uint8_t>(
+                    1u << rng.nextBelow(8));
+                break;
+              case 1:
+                evil.seq ^= std::uint64_t{1} << rng.nextBelow(64);
+                break;
+              case 2:
+                evil.mac ^= std::uint64_t{1} << rng.nextBelow(64);
+                break;
+              default:
+                evil.body[static_cast<std::size_t>(
+                    rng.nextBelow(evil.body.size()))] ^=
+                    static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+                break;
+            }
+        } else if (mode == 2 && !evil.body.empty()) {
+            // Truncate the body.
+            evil.body.resize(static_cast<std::size_t>(
+                rng.nextBelow(evil.body.size())));
+        } else {
+            // Replay: deliver honestly, then deliver again.
+            if (!dimm.unseal(evil).has_value()) {
+                std::ostringstream os;
+                os << "link: honest message rejected pre-replay (iter "
+                   << i << ")";
+                fail(r, os.str());
+                continue;
+            }
+        }
+
+        if (dimm.unseal(evil).has_value()) {
+            std::ostringstream os;
+            os << "link: tampered/replayed message accepted (mode "
+               << mode << ", iter " << i << ")";
+            fail(r, os.str());
+        }
+
+        // Resynchronize: deliver one honest message so later honest
+        // iterations are not mistaken for replays.
+        if (mode != 3) {
+            const SealedMessage sync = cpu.seal(0, {0x00});
+            if (!dimm.unseal(sync).has_value())
+                fail(r, "link: endpoint wedged after rejecting forgery");
+        }
+    }
+    return r;
+}
+
+FuzzResult
+fuzzMessageCodecs(std::uint64_t seed, std::uint64_t iters)
+{
+    using namespace sdimm;
+    FuzzResult r;
+    Rng rng(seed ^ 0x6e55a6e);
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        ++r.iterations;
+        const std::uint64_t mode = rng.nextBelow(2);
+
+        if (mode == 0) {
+            // Round-trips of random well-formed requests.
+            AccessRequest a;
+            a.addr = rng.next();
+            a.localLeaf = rng.next();
+            a.newLocalLeaf = rng.next();
+            a.write = rng.nextBelow(2) == 1;
+            for (auto &v : a.data)
+                v = static_cast<std::uint8_t>(rng.nextBelow(256));
+            const auto a2 = unpackAccess(packAccess(a));
+            if (!a2 || a2->addr != a.addr ||
+                a2->localLeaf != a.localLeaf ||
+                a2->newLocalLeaf != a.newLocalLeaf ||
+                a2->write != a.write || a2->data != a.data) {
+                fail(r, "messages: ACCESS round-trip broken");
+            }
+
+            AppendRequest p;
+            p.real = rng.nextBelow(2) == 1;
+            p.addr = rng.next();
+            p.localLeaf = rng.next();
+            for (auto &v : p.data)
+                v = static_cast<std::uint8_t>(rng.nextBelow(256));
+            const auto p2 = unpackAppend(packAppend(p));
+            if (!p2 || p2->real != p.real || p2->addr != p.addr ||
+                p2->localLeaf != p.localLeaf || p2->data != p.data) {
+                fail(r, "messages: APPEND round-trip broken");
+            }
+
+            AccessResponse q;
+            q.dummy = rng.nextBelow(2) == 1;
+            for (auto &v : q.data)
+                v = static_cast<std::uint8_t>(rng.nextBelow(256));
+            const auto q2 = unpackResponse(packResponse(q));
+            if (!q2 || q2->dummy != q.dummy || q2->data != q.data)
+                fail(r, "messages: response round-trip broken");
+            continue;
+        }
+
+        // Arbitrary-size random bodies: only the exact wire size may
+        // parse; anything else must yield nullopt, not a crash or a
+        // misparse.
+        const std::size_t len =
+            static_cast<std::size_t>(rng.nextBelow(160));
+        const std::vector<std::uint8_t> body = randomBytes(rng, len);
+        if (unpackAccess(body).has_value() != (len == accessBodyBytes))
+            fail(r, "messages: ACCESS size check broken");
+        if (unpackResponse(body).has_value() !=
+            (len == responseBodyBytes)) {
+            fail(r, "messages: response size check broken");
+        }
+        if (unpackAppend(body).has_value() != (len == appendBodyBytes))
+            fail(r, "messages: APPEND size check broken");
+    }
+    return r;
+}
+
+} // namespace secdimm::verify

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic seeded fuzzer (no external dependencies) for the
+ * attacker-reachable parsers: the Table I command codec, the byte
+ * frame codec, sealed link-session messages, and the fixed-size
+ * protocol message bodies.  Every campaign is a pure function of its
+ * seed -- a failure reproduces from (seed, iterations) alone, which is
+ * what the CI smoke step and docs/VERIFICATION.md rely on.
+ *
+ * The invariant under test is uniform: malformed input is REJECTED
+ * (an error code or nullopt), never asserted on, never misparsed into
+ * a valid-looking result, and round-trips of valid input are exact.
+ */
+
+#ifndef SECUREDIMM_VERIFY_FUZZ_HH
+#define SECUREDIMM_VERIFY_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secdimm::verify
+{
+
+/** Outcome of one fuzz campaign. */
+struct FuzzResult
+{
+    std::uint64_t iterations = 0;
+    std::uint64_t failures = 0;
+    /** First failing case, for reproduction ("" when ok). */
+    std::string firstFailure;
+
+    bool ok() const { return failures == 0; }
+};
+
+/**
+ * Fuzz decodeBusCommand/encodeCommand: every Table I command
+ * round-trips, random bus activity classifies into exactly one of
+ * {Command, NormalAccess, Malformed}, and the classification obeys
+ * the reserved-region rule.
+ */
+FuzzResult fuzzCommandCodec(std::uint64_t seed, std::uint64_t iters);
+
+/**
+ * Fuzz serializeFrame/parseFrame: valid frames round-trip exactly;
+ * random buffers, truncations, and bit flips never crash and map to
+ * a definite FrameError.
+ */
+FuzzResult fuzzCommandFrames(std::uint64_t seed, std::uint64_t iters);
+
+/**
+ * Fuzz LinkEndpoint seal/unseal: honest messages unseal to the
+ * original plaintext; any single bit flip (opcode, seq, body, MAC),
+ * truncation, or replay is rejected with nullopt.
+ */
+FuzzResult fuzzLinkSession(std::uint64_t seed, std::uint64_t iters);
+
+/**
+ * Fuzz the fixed-size message-body codecs (ACCESS / response /
+ * APPEND): round-trips are exact and wrong-size bodies yield nullopt.
+ */
+FuzzResult fuzzMessageCodecs(std::uint64_t seed, std::uint64_t iters);
+
+} // namespace secdimm::verify
+
+#endif // SECUREDIMM_VERIFY_FUZZ_HH

@@ -1,0 +1,148 @@
+#include "verify/trace_checker.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "trace/memory_backend.hh"
+#include "util/logging.hh"
+
+namespace secdimm::verify
+{
+
+namespace
+{
+
+constexpr std::size_t numKinds = 7;
+
+/** Total-variation distance between two empirical distributions. */
+double
+totalVariation(const std::vector<double> &p, const std::vector<double> &q)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        d += std::abs(p[i] - q[i]);
+    return d / 2.0;
+}
+
+std::vector<double>
+addressHistogram(const std::vector<TraceEvent> &events,
+                 std::uint64_t lo, std::uint64_t hi, std::size_t bins)
+{
+    std::vector<double> h(bins, 0.0);
+    if (events.empty())
+        return h;
+    const std::uint64_t span = hi - lo + 1;
+    for (const TraceEvent &e : events) {
+        // Bin index via 128-bit-safe scaling: (addr - lo) * bins / span.
+        const std::uint64_t off = e.addr - lo;
+        const std::size_t bin = static_cast<std::size_t>(
+            static_cast<double>(off) / static_cast<double>(span) *
+            static_cast<double>(bins));
+        h[std::min(bin, bins - 1)] += 1.0;
+    }
+    for (double &v : h)
+        v /= static_cast<double>(events.size());
+    return h;
+}
+
+std::vector<double>
+kindHistogram(const std::vector<TraceEvent> &events)
+{
+    std::vector<double> h(numKinds, 0.0);
+    if (events.empty())
+        return h;
+    for (const TraceEvent &e : events)
+        h[static_cast<std::size_t>(e.kind)] += 1.0;
+    for (double &v : h)
+        v /= static_cast<double>(events.size());
+    return h;
+}
+
+} // namespace
+
+std::string
+TraceComparison::summary() const
+{
+    std::ostringstream os;
+    os << (indistinguishable ? "INDISTINGUISHABLE" : "DISTINGUISHABLE")
+       << ": addr_tv=" << addressDistance
+       << " kind_tv=" << kindDistance
+       << " count_delta=" << countRatioDelta << " (" << eventsA << " vs "
+       << eventsB << " events)";
+    return os.str();
+}
+
+TraceComparison
+compareTraces(const std::vector<TraceEvent> &a,
+              const std::vector<TraceEvent> &b,
+              const TraceCheckerOptions &opts)
+{
+    SD_ASSERT(opts.addressBins >= 2);
+    TraceComparison cmp;
+    cmp.eventsA = a.size();
+    cmp.eventsB = b.size();
+
+    // An empty pair is vacuously alike; one-sided emptiness is the
+    // strongest possible difference.
+    if (a.empty() || b.empty()) {
+        cmp.addressDistance = (a.empty() && b.empty()) ? 0.0 : 1.0;
+        cmp.kindDistance = cmp.addressDistance;
+        cmp.countRatioDelta = cmp.addressDistance;
+        cmp.indistinguishable = a.empty() && b.empty();
+        return cmp;
+    }
+
+    // Shared binning range so disjoint address regions land in
+    // disjoint bins.
+    std::uint64_t lo = a[0].addr;
+    std::uint64_t hi = a[0].addr;
+    for (const TraceEvent &e : a) {
+        lo = std::min(lo, e.addr);
+        hi = std::max(hi, e.addr);
+    }
+    for (const TraceEvent &e : b) {
+        lo = std::min(lo, e.addr);
+        hi = std::max(hi, e.addr);
+    }
+
+    cmp.addressDistance =
+        totalVariation(addressHistogram(a, lo, hi, opts.addressBins),
+                       addressHistogram(b, lo, hi, opts.addressBins));
+    cmp.kindDistance = totalVariation(kindHistogram(a), kindHistogram(b));
+    const double na = static_cast<double>(a.size());
+    const double nb = static_cast<double>(b.size());
+    cmp.countRatioDelta = std::abs(na - nb) / std::max(na, nb);
+
+    cmp.indistinguishable =
+        cmp.addressDistance <= opts.maxAddressDistance &&
+        cmp.kindDistance <= opts.maxKindDistance &&
+        cmp.countRatioDelta <= opts.maxCountRatioDelta;
+    return cmp;
+}
+
+Tick
+driveBackend(MemoryBackend &backend,
+             const std::vector<std::pair<Addr, bool>> &accesses)
+{
+    Tick now = 0;
+    std::uint64_t id = 0;
+    for (const auto &[addr, write] : accesses) {
+        while (!backend.canAccept()) {
+            const Tick next = backend.nextEventAt();
+            SD_ASSERT(next != tickNever);
+            backend.advanceTo(next);
+            now = std::max(now, next);
+        }
+        backend.access(++id, addr, write, now);
+    }
+    while (!backend.idle()) {
+        const Tick next = backend.nextEventAt();
+        SD_ASSERT(next != tickNever);
+        backend.advanceTo(next);
+        now = std::max(now, next);
+    }
+    return now;
+}
+
+} // namespace secdimm::verify

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Command-line driver for the deterministic fuzz campaigns in
+ * src/verify/fuzz.hh.  Exit status 0 when every selected campaign is
+ * clean, 1 otherwise; the first failing case is printed so it can be
+ * reproduced from (seed, iters) alone.
+ *
+ * Usage:
+ *   sdimm_fuzz [--seed N] [--iters N]
+ *              [--target codec|frames|link|messages|all]
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "verify/fuzz.hh"
+
+namespace
+{
+
+using secdimm::verify::FuzzResult;
+
+struct Campaign
+{
+    const char *name;
+    FuzzResult (*run)(std::uint64_t seed, std::uint64_t iters);
+};
+
+constexpr Campaign kCampaigns[] = {
+    {"codec", secdimm::verify::fuzzCommandCodec},
+    {"frames", secdimm::verify::fuzzCommandFrames},
+    {"link", secdimm::verify::fuzzLinkSession},
+    {"messages", secdimm::verify::fuzzMessageCodecs},
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--iters N] "
+                 "[--target codec|frames|link|messages|all]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    std::uint64_t iters = 100000;
+    std::string target = "all";
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (std::strcmp(arg, "--seed") == 0 && has_value) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(arg, "--iters") == 0 && has_value) {
+            iters = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(arg, "--target") == 0 && has_value) {
+            target = argv[++i];
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    bool matched = false;
+    bool all_ok = true;
+    for (const Campaign &c : kCampaigns) {
+        if (target != "all" && target != c.name)
+            continue;
+        matched = true;
+        const FuzzResult r = c.run(seed, iters);
+        std::printf("%-8s seed=%llu iters=%llu failures=%llu %s\n",
+                    c.name, static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(r.iterations),
+                    static_cast<unsigned long long>(r.failures),
+                    r.ok() ? "OK" : "FAIL");
+        if (!r.ok()) {
+            std::printf("  first failure: %s\n",
+                        r.firstFailure.c_str());
+            all_ok = false;
+        }
+    }
+    if (!matched) {
+        usage(argv[0]);
+        return 2;
+    }
+    return all_ok ? 0 : 1;
+}
