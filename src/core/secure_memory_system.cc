@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault_injector.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
 
@@ -79,6 +80,46 @@ SecureMemorySystem::SecureMemorySystem(const Options &options)
         capacityBlocks_ = split_->capacityBlocks();
         break;
       }
+      case Protocol::IndepSplit: {
+        SD_ASSERT(isPowerOfTwo(options_.numSdimms));
+        SD_ASSERT(blockBytes % options_.slicesPerGroup == 0);
+        const std::uint64_t per_group =
+            divCeil(want_blocks, options_.numSdimms);
+        params.levels =
+            levelsForBlocks(per_group, params.bucketBlocks);
+        sdimm::IndepSplitOram::Params cp;
+        cp.perGroupTree = params;
+        cp.groups = options_.numSdimms;
+        cp.slicesPerGroup = options_.slicesPerGroup;
+        indepSplit_ =
+            std::make_unique<sdimm::IndepSplitOram>(cp, options.seed);
+        capacityBlocks_ = indepSplit_->capacityBlocks();
+        break;
+      }
+    }
+
+    if (options_.faultPlan.enabled()) {
+        injector_ =
+            std::make_unique<fault::FaultInjector>(options_.faultPlan);
+        switch (options_.protocol) {
+          case Protocol::PathOram:
+            pathOram_->setFaultInjector(injector_.get());
+            break;
+          case Protocol::Freecursive:
+            recursive_->setFaultInjector(injector_.get());
+            break;
+          case Protocol::Independent:
+            independent_->setFaultInjector(injector_.get(),
+                                           options_.degradationPolicy);
+            break;
+          case Protocol::Split:
+            split_->setFaultInjector(injector_.get());
+            break;
+          case Protocol::IndepSplit:
+            indepSplit_->setFaultInjector(injector_.get(),
+                                          options_.degradationPolicy);
+            break;
+        }
     }
 }
 
@@ -113,6 +154,9 @@ SecureMemorySystem::accessBlock(Addr block_index, oram::OramOp op,
         break;
       case Protocol::Split:
         result = split_->access(block_index, op, data);
+        break;
+      case Protocol::IndepSplit:
+        result = indepSplit_->access(block_index, op, data);
         break;
     }
     if (audits_.enabled && ++accessesSinceAudit_ >= audits_.interval) {
@@ -193,6 +237,14 @@ SecureMemorySystem::accessCount() const
       }
       case Protocol::Split:
         return split_->stats().accesses + split_->stats().dummyAccesses;
+      case Protocol::IndepSplit: {
+        std::uint64_t total = 0;
+        for (unsigned g = 0; g < indepSplit_->groups(); ++g) {
+            total += indepSplit_->group(g).stats().accesses +
+                     indepSplit_->group(g).stats().dummyAccesses;
+        }
+        return total;
+      }
     }
     return 0;
 }
@@ -210,6 +262,8 @@ SecureMemorySystem::auditNow() const
         return verify::auditIndependentOram(*independent_);
       case Protocol::Split:
         return verify::auditSplitOram(*split_, /*check_posmap=*/true);
+      case Protocol::IndepSplit:
+        return verify::auditIndepSplitOram(*indepSplit_);
     }
     return verify::AuditReport{};
 }
@@ -235,7 +289,12 @@ SecureMemorySystem::metrics() const
       case Protocol::Split:
         split_->exportMetrics(m, "sdimm.split");
         break;
+      case Protocol::IndepSplit:
+        indepSplit_->exportMetrics(m, "sdimm.indep_split");
+        break;
     }
+    if (injector_)
+        injector_->exportMetrics(m, "fault");
     return m;
 }
 
@@ -251,6 +310,8 @@ SecureMemorySystem::integrityOk() const
         return independent_->integrityOk();
       case Protocol::Split:
         return split_->integrityOk();
+      case Protocol::IndepSplit:
+        return indepSplit_->integrityOk();
     }
     return false;
 }

@@ -22,8 +22,11 @@
 #include <cstdint>
 #include <memory>
 
+#include "fault/fault_plan.hh"
+#include "fault/fault_types.hh"
 #include "oram/path_oram.hh"
 #include "oram/recursive_oram.hh"
+#include "sdimm/indep_split_oram.hh"
 #include "sdimm/independent_oram.hh"
 #include "sdimm/split_oram.hh"
 #include "util/metrics.hh"
@@ -42,15 +45,30 @@ class SecureMemorySystem
         Freecursive, ///< Recursive PosMaps + PLB (Section II-D).
         Independent, ///< SDIMM Independent (Section III-C).
         Split,       ///< SDIMM Split (Section III-D).
+        IndepSplit,  ///< Independent groups of Splits (Figure 7e).
     };
 
     struct Options
     {
         Protocol protocol = Protocol::PathOram;
         std::uint64_t capacityBytes = 1 << 20;
-        unsigned numSdimms = 2;    ///< For the SDIMM protocols.
+        /** SDIMM count (Independent / Split), group count (IndepSplit). */
+        unsigned numSdimms = 2;
+        /** IndepSplit only: Split width inside each group. */
+        unsigned slicesPerGroup = 2;
         unsigned stashCapacity = 200;
         std::uint64_t seed = 1;
+
+        /**
+         * Fault-injection campaign (docs/FAULTS.md): when any rate is
+         * non-zero a FaultInjector is armed across the chosen
+         * protocol's DRAM, link, and queue seams, and MAC/decode
+         * failures turn into bounded detect-and-retry episodes
+         * governed by @p degradationPolicy instead of panics.
+         */
+        fault::FaultPlan faultPlan;
+        fault::DegradationPolicy degradationPolicy =
+            fault::DegradationPolicy::RetryThenStop;
 
         /**
          * Debug-build-yourself invariant audits: when enabled, every
@@ -105,6 +123,16 @@ class SecureMemorySystem
 
     Protocol protocol() const { return options_.protocol; }
 
+    /**
+     * The armed fault injector (nullptr when the FaultPlan is empty):
+     * injection/detection/recovery counters for acceptance tests.
+     */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
+    fault::FaultInjector *faultInjector() { return injector_.get(); }
+
   private:
     BlockData accessBlock(Addr block_index, oram::OramOp op,
                           const BlockData *data);
@@ -115,10 +143,12 @@ class SecureMemorySystem
     std::uint64_t accessesSinceAudit_ = 0;
     std::uint64_t auditsRun_ = 0;
     std::uint64_t auditViolations_ = 0;
+    std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<oram::PathOram> pathOram_;
     std::unique_ptr<oram::RecursiveOram> recursive_;
     std::unique_ptr<sdimm::IndependentOram> independent_;
     std::unique_ptr<sdimm::SplitOram> split_;
+    std::unique_ptr<sdimm::IndepSplitOram> indepSplit_;
 };
 
 } // namespace secdimm::core

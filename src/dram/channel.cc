@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace secdimm::dram
@@ -238,6 +239,31 @@ DramChannel::issueCas(std::vector<Entry> &q, std::size_t idx, Tick t)
     const Tick data_start = t + cas_to_data;
     const Tick data_end = data_start + timing_.tBURST;
 
+    /*
+     * Modeled ECC/MAC burst error on reads: the burst still occupies
+     * the bus and pays every timing fence below, but the request is
+     * left queued so the CAS re-issues (earliestCas() keys off
+     * dataBusFreeAt_, so the retry lands after this burst drains).
+     * Past the retry budget the burst completes anyway -- the
+     * functional layer's MAC is the backstop.
+     */
+    bool retry_read = false;
+    if (!write && injector_) {
+        if (injector_->rollDramBitFlip()) {
+            injector_->recordDetected(fault::FaultKind::DramBitFlip);
+            if (e.eccRetries < injector_->maxRetries()) {
+                ++e.eccRetries;
+                retry_read = true;
+            } else {
+                injector_->recordUnrecovered(fault::FaultKind::DramBitFlip,
+                                             "dram.cas", e.eccRetries);
+            }
+        } else if (e.eccRetries > 0) {
+            injector_->recordRecovered(fault::FaultKind::DramBitFlip,
+                                       "dram.cas", e.eccRetries);
+        }
+    }
+
     if (lastBurstRank_ >= 0 &&
         lastBurstRank_ != static_cast<int>(e.req.coord.rank)) {
         ++stats_.rankSwitches;
@@ -254,9 +280,11 @@ DramChannel::issueCas(std::vector<Entry> &q, std::size_t idx, Tick t)
     } else {
         b.preAllowedAt = std::max(b.preAllowedAt, t + timing_.tRTP);
         ++stats_.reads;
-        stats_.readLatencySum +=
-            static_cast<double>(data_end - e.req.enqueuedAt);
-        ++stats_.readLatencyCount;
+        if (!retry_read) {
+            stats_.readLatencySum +=
+                static_cast<double>(data_end - e.req.enqueuedAt);
+            ++stats_.readLatencyCount;
+        }
     }
 
     if (e.actIssuedForUs)
@@ -268,6 +296,9 @@ DramChannel::issueCas(std::vector<Entry> &q, std::size_t idx, Tick t)
 
     if (onCas_)
         onCas_(e.req, data_end);
+
+    if (retry_read)
+        return;
 
     if (onComplete_) {
         DramCompletion done;

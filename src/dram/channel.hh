@@ -24,6 +24,11 @@
 #include "dram/timing.hh"
 #include "util/metrics.hh"
 
+namespace secdimm::fault
+{
+class FaultInjector;
+}
+
 namespace secdimm::dram
 {
 
@@ -79,6 +84,15 @@ class DramChannel
 
     /** Register the (single) bus-trace observer; empty fn detaches. */
     void setCasObserver(CasObserverFn fn) { onCas_ = std::move(fn); }
+
+    /**
+     * Arm read-burst fault injection (nullptr disarms).  A rolled bit
+     * flip on a read CAS models an ECC/MAC-detected burst error: the
+     * burst occupies the bus and pays full timing, but the request
+     * stays queued and the CAS is re-issued (bounded by the plan's
+     * retry budget) instead of completing.  Not owned.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { injector_ = inj; }
 
     /** True if a new request of the given kind fits in its queue. */
     bool canEnqueue(bool write) const;
@@ -137,6 +151,7 @@ class DramChannel
     {
         DramRequest req;
         bool actIssuedForUs = false;
+        unsigned eccRetries = 0; ///< Re-issued CAS count (faults).
     };
 
     /** Which command a request needs next, with its earliest tick. */
@@ -192,6 +207,7 @@ class DramChannel
     ChannelStats stats_;
     CompletionFn onComplete_;
     CasObserverFn onCas_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace secdimm::dram

@@ -1,0 +1,249 @@
+#include "fault/fault_injector.hh"
+
+namespace secdimm::fault
+{
+
+namespace
+{
+
+/// Cap on the retained FaultEvent log; enough for any test to see the
+/// whole schedule of a 10k-access campaign at ~1% rates.
+constexpr std::size_t kMaxEvents = 4096;
+
+std::size_t
+idx(FaultKind k)
+{
+    return static_cast<std::size_t>(k);
+}
+
+} // namespace
+
+const char *
+kindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::DramBitFlip:
+        return "dram_bit_flip";
+    case FaultKind::LinkCorrupt:
+        return "link_corrupt";
+    case FaultKind::LinkDrop:
+        return "link_drop";
+    case FaultKind::LinkDelay:
+        return "link_delay";
+    case FaultKind::ExecutorStall:
+        return "executor_stall";
+    case FaultKind::QueuePerturb:
+        return "queue_perturb";
+    }
+    return "unknown";
+}
+
+const char *
+policyName(DegradationPolicy p)
+{
+    switch (p) {
+    case DegradationPolicy::FailStop:
+        return "fail_stop";
+    case DegradationPolicy::RetryThenStop:
+        return "retry_then_stop";
+    case DegradationPolicy::Degraded:
+        return "degraded";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed)
+{
+}
+
+bool
+FaultInjector::rollDramBitFlip()
+{
+    const bool hit = rng_.nextBool(plan_.dramBitFlipRate);
+    if (hit)
+        recordInjected(FaultKind::DramBitFlip);
+    return hit;
+}
+
+WireOutcome
+FaultInjector::rollLinkFault()
+{
+    /*
+     * One draw per message regardless of outcome, so the stream
+     * position -- and hence every later fault -- depends only on how
+     * many messages were sent, never on their contents.
+     */
+    const double u = rng_.nextDouble();
+    double acc = plan_.linkCorruptRate;
+    if (u < acc) {
+        recordInjected(FaultKind::LinkCorrupt);
+        return WireOutcome::Corrupted;
+    }
+    acc += plan_.linkDropRate;
+    if (u < acc) {
+        recordInjected(FaultKind::LinkDrop);
+        return WireOutcome::Dropped;
+    }
+    acc += plan_.linkDelayRate;
+    if (u < acc) {
+        recordInjected(FaultKind::LinkDelay);
+        return WireOutcome::Delayed;
+    }
+    return WireOutcome::Delivered;
+}
+
+std::uint64_t
+FaultInjector::rollExecutorStall()
+{
+    if (!rng_.nextBool(plan_.executorStallRate))
+        return 0;
+    recordInjected(FaultKind::ExecutorStall);
+    return plan_.stallCycles;
+}
+
+bool
+FaultInjector::rollQueuePerturb()
+{
+    const bool hit = rng_.nextBool(plan_.queuePerturbRate);
+    if (hit)
+        recordInjected(FaultKind::QueuePerturb);
+    return hit;
+}
+
+void
+FaultInjector::corruptBuffer(std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return;
+    const std::uint64_t bit = rng_.nextBelow(bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void
+FaultInjector::recordInjected(FaultKind k)
+{
+    ++injected_[idx(k)];
+}
+
+void
+FaultInjector::recordDetected(FaultKind k)
+{
+    ++detected_[idx(k)];
+}
+
+void
+FaultInjector::logEvent(FaultKind k, const std::string &site,
+                        unsigned attempts, bool recoveredFlag)
+{
+    if (events_.size() >= kMaxEvents)
+        events_.erase(events_.begin());
+    FaultEvent e;
+    e.kind = k;
+    e.site = site;
+    e.attempts = attempts;
+    e.recovered = recoveredFlag;
+    e.latency = attempts;
+    events_.push_back(std::move(e));
+}
+
+void
+FaultInjector::recordRecovered(FaultKind k, const std::string &site,
+                               unsigned attempts)
+{
+    ++recovered_[idx(k)];
+    retryCounts_.sample(attempts);
+    recoveryLatency_.sample(attempts);
+    logEvent(k, site, attempts, true);
+}
+
+void
+FaultInjector::recordUnrecovered(FaultKind k, const std::string &site,
+                                 unsigned attempts)
+{
+    ++unrecoveredTotal_;
+    retryCounts_.sample(attempts);
+    logEvent(k, site, attempts, false);
+}
+
+void
+FaultInjector::recordDegraded()
+{
+    ++degraded_;
+}
+
+std::uint64_t
+FaultInjector::injected(FaultKind k) const
+{
+    return injected_[idx(k)];
+}
+
+std::uint64_t
+FaultInjector::detected(FaultKind k) const
+{
+    return detected_[idx(k)];
+}
+
+std::uint64_t
+FaultInjector::recovered(FaultKind k) const
+{
+    return recovered_[idx(k)];
+}
+
+std::uint64_t
+FaultInjector::injectedTotal() const
+{
+    std::uint64_t t = 0;
+    for (auto v : injected_)
+        t += v;
+    return t;
+}
+
+std::uint64_t
+FaultInjector::detectedTotal() const
+{
+    std::uint64_t t = 0;
+    for (auto v : detected_)
+        t += v;
+    return t;
+}
+
+std::uint64_t
+FaultInjector::recoveredTotal() const
+{
+    std::uint64_t t = 0;
+    for (auto v : recovered_)
+        t += v;
+    return t;
+}
+
+void
+FaultInjector::exportMetrics(util::MetricsRegistry &m,
+                             const std::string &prefix) const
+{
+    m.setCounter(prefix + ".injected.total", injectedTotal());
+    m.setCounter(prefix + ".detected.total", detectedTotal());
+    m.setCounter(prefix + ".recovered.total", recoveredTotal());
+    m.setCounter(prefix + ".unrecovered.total", unrecoveredTotal_);
+    m.setCounter(prefix + ".degraded_accesses", degraded_);
+    for (unsigned i = 0; i < kNumFaultKinds; ++i) {
+        const auto k = static_cast<FaultKind>(i);
+        const std::string base = prefix + "." + kindName(k);
+        /*
+         * Zero-count kinds are omitted (same convention as the
+         * per-command bus metrics) to keep quiet campaigns small.
+         */
+        if (injected_[i])
+            m.setCounter(base + ".injected", injected_[i]);
+        if (detected_[i])
+            m.setCounter(base + ".detected", detected_[i]);
+        if (recovered_[i])
+            m.setCounter(base + ".recovered", recovered_[i]);
+    }
+    if (retryCounts_.count())
+        m.histogram(prefix + ".retry_count").merge(retryCounts_);
+    if (recoveryLatency_.count())
+        m.histogram(prefix + ".recovery_latency").merge(recoveryLatency_);
+}
+
+} // namespace secdimm::fault

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * FaultInjector: the single deterministic source of faults and the
+ * single ledger of their detection/recovery.
+ *
+ * Obliviousness contract (docs/FAULTS.md): every roll*() entry point
+ * draws from the injector's own Rng exactly once per opportunity
+ * (message sent, bucket read, op submitted, entry popped), and the
+ * caller must invoke it unconditionally at that site -- never gated
+ * on addresses, block contents, or any other secret.  Fault positions
+ * are then a pure function of (plan.seed, opportunity index), so the
+ * recovery schedule they trigger is data-independent by construction;
+ * tests/verify/test_fault_obliviousness.cc checks the resulting
+ * traces against the PR 2 indistinguishability checker.
+ *
+ * One injector instance is shared (raw pointer, not owned) by every
+ * component of one system instance.  All hooks are nullable: a
+ * component with no injector behaves exactly as before this
+ * subsystem existed.
+ */
+
+#ifndef SECUREDIMM_FAULT_FAULT_INJECTOR_HH
+#define SECUREDIMM_FAULT_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "fault/fault_types.hh"
+#include "util/metrics.hh"
+#include "util/rng.hh"
+
+namespace secdimm::fault
+{
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    const FaultPlan &plan() const { return plan_; }
+    bool enabled() const { return plan_.enabled(); }
+    unsigned maxRetries() const { return plan_.maxRetries; }
+
+    /* --- injection rolls (one RNG draw each; see file comment) ---- */
+
+    /** Roll a DRAM read bit flip; true == corrupt this read. */
+    bool rollDramBitFlip();
+
+    /** Roll the fate of one sealed link message. */
+    WireOutcome rollLinkFault();
+
+    /** Roll an executor stall; returns 0 or plan.stallCycles. */
+    std::uint64_t rollExecutorStall();
+
+    /** Roll a TransferQueue entry perturbation on pop. */
+    bool rollQueuePerturb();
+
+    /** Flip one uniformly chosen bit of @p bytes (no-op if empty). */
+    void corruptBuffer(std::vector<std::uint8_t> &bytes);
+
+    /* --- accounting ----------------------------------------------- */
+
+    void recordDetected(FaultKind k);
+    void recordRecovered(FaultKind k, const std::string &site,
+                         unsigned attempts);
+    void recordUnrecovered(FaultKind k, const std::string &site,
+                           unsigned attempts);
+    void recordDegraded();
+
+    std::uint64_t injected(FaultKind k) const;
+    std::uint64_t detected(FaultKind k) const;
+    std::uint64_t recovered(FaultKind k) const;
+    std::uint64_t unrecoveredTotal() const { return unrecoveredTotal_; }
+    std::uint64_t injectedTotal() const;
+    std::uint64_t detectedTotal() const;
+    std::uint64_t recoveredTotal() const;
+    std::uint64_t degradedAccesses() const { return degraded_; }
+
+    /** Bounded log of resolved fault events (oldest dropped first). */
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Export under @p prefix (default namespace is "fault"). */
+    void exportMetrics(util::MetricsRegistry &m,
+                       const std::string &prefix = "fault") const;
+
+  private:
+    void recordInjected(FaultKind k);
+    void logEvent(FaultKind k, const std::string &site, unsigned attempts,
+                  bool recoveredFlag);
+
+    FaultPlan plan_;
+    Rng rng_;
+    std::array<std::uint64_t, kNumFaultKinds> injected_{};
+    std::array<std::uint64_t, kNumFaultKinds> detected_{};
+    std::array<std::uint64_t, kNumFaultKinds> recovered_{};
+    std::uint64_t unrecoveredTotal_ = 0;
+    std::uint64_t degraded_ = 0;
+    util::LogHistogram retryCounts_;
+    util::LogHistogram recoveryLatency_;
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace secdimm::fault
+
+#endif // SECUREDIMM_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FaultPlan: the seeded, declarative configuration of a fault
+ * campaign.  A plan is plain data -- per-site rates plus a retry
+ * budget and an RNG seed -- so a campaign is reproducible from the
+ * plan alone and can be round-tripped through CLI flags
+ * (tools/sdimm_fuzz --faults) and test parameter tables.
+ */
+
+#ifndef SECUREDIMM_FAULT_FAULT_PLAN_HH
+#define SECUREDIMM_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+
+namespace secdimm::fault
+{
+
+struct FaultPlan {
+    /* --- per-site injection rates (probability per opportunity) --- */
+    /** Per bucket/line read from DRAM (dram::Channel, BucketStore). */
+    double dramBitFlipRate = 0.0;
+    /** Per sealed link message: corrupted body/MAC in flight. */
+    double linkCorruptRate = 0.0;
+    /** Per sealed link message: silently dropped in flight. */
+    double linkDropRate = 0.0;
+    /** Per sealed link message: delivered late (after a timeout). */
+    double linkDelayRate = 0.0;
+    /** Per submitted accessORAM op: PathExecutor start stalled. */
+    double executorStallRate = 0.0;
+    /** Per TransferQueue pop: entry corrupted at rest. */
+    double queuePerturbRate = 0.0;
+
+    /* --- recovery knobs ------------------------------------------ */
+    /** Bounded retry budget per detected fault (0 == fail-stop). */
+    unsigned maxRetries = 4;
+    /** Cycles a stalled PathExecutor op is pushed back. */
+    std::uint64_t stallCycles = 1000;
+    /** Seed for the injector's dedicated RNG stream. */
+    std::uint64_t seed = 0xfa017u;
+
+    /** True if any injection site has a non-zero rate. */
+    bool enabled() const
+    {
+        return dramBitFlipRate > 0.0 || linkCorruptRate > 0.0 ||
+               linkDropRate > 0.0 || linkDelayRate > 0.0 ||
+               executorStallRate > 0.0 || queuePerturbRate > 0.0;
+    }
+
+    /** The empty plan: inject nothing (recovery layer still armed). */
+    static FaultPlan none() { return FaultPlan{}; }
+
+    /**
+     * Uniform plan: every wire/read site at @p rate, executor stalls
+     * and queue perturbations at @p rate too.  The acceptance tests
+     * use uniform(0.01, seed) -- >=1% everywhere.
+     */
+    static FaultPlan uniform(double rate, std::uint64_t seed)
+    {
+        FaultPlan p;
+        p.dramBitFlipRate = rate;
+        p.linkCorruptRate = rate;
+        p.linkDropRate = rate;
+        p.linkDelayRate = rate;
+        p.executorStallRate = rate;
+        p.queuePerturbRate = rate;
+        p.seed = seed;
+        return p;
+    }
+};
+
+} // namespace secdimm::fault
+
+#endif // SECUREDIMM_FAULT_FAULT_PLAN_HH

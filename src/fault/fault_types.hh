@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Core vocabulary of the fault-injection & recovery subsystem: the
+ * kinds of fault the injector can introduce, the modeled outcome of a
+ * message crossing a faulty wire, the typed event a detection turns
+ * into (instead of an abort), and the facade-level degradation
+ * policy.  See docs/FAULTS.md for the fault model and the
+ * obliviousness argument for the recovery protocols.
+ */
+
+#ifndef SECUREDIMM_FAULT_FAULT_TYPES_HH
+#define SECUREDIMM_FAULT_FAULT_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace secdimm::fault
+{
+
+/**
+ * What went wrong.  Injection sites follow the untrusted components
+ * of the paper's threat model: DRAM devices (bit flips on reads, both
+ * in the timing-layer dram::Channel and the functional
+ * oram::BucketStore), the CPU<->SDIMM link (corrupt / drop / delay a
+ * sealed frame), the secure buffer's execution engine (a stalled
+ * PathExecutor), and the APPEND-side TransferQueue (a perturbed
+ * entry).
+ */
+enum class FaultKind : std::uint8_t {
+    DramBitFlip = 0, ///< read returns flipped bits; MAC/ECC detects
+    LinkCorrupt,     ///< sealed frame body/MAC corrupted in flight
+    LinkDrop,        ///< sealed frame silently lost in flight
+    LinkDelay,       ///< sealed frame delivered late (after a timeout)
+    ExecutorStall,   ///< PathExecutor start delayed by N cycles
+    QueuePerturb,    ///< TransferQueue entry corrupted at rest
+};
+
+constexpr unsigned kNumFaultKinds = 6;
+
+/** Stable lowercase snake_case name, used in fault.* metric names. */
+const char *kindName(FaultKind k);
+
+/**
+ * Modeled outcome of one message crossing a faulty channel.  Used
+ * where the functional model has no real MAC on the wire (SplitOram's
+ * internal CPU-channel transfers): outcome == Corrupted stands for
+ * "the per-slice MAC check failed at the receiver".  Channels with a
+ * real CMAC (LinkSession) corrupt real bytes instead and let the
+ * cipher do the detecting.
+ */
+enum class WireOutcome : std::uint8_t {
+    Delivered = 0, ///< arrived intact, first try
+    Corrupted,     ///< arrived, but fails its integrity check
+    Dropped,       ///< never arrived; receiver times out
+    Delayed,       ///< arrives only after a timeout window
+};
+
+/**
+ * A detection turned into data instead of an abort.  The injector
+ * keeps a bounded log of these so tests can assert on the exact
+ * recovery schedule.
+ */
+struct FaultEvent {
+    FaultKind kind = FaultKind::DramBitFlip;
+    std::string site;        ///< e.g. "sdimm0.fetch", "store.bucket"
+    unsigned attempts = 0;   ///< retries consumed before resolution
+    bool recovered = false;  ///< false => bounded retries exhausted
+    std::uint64_t latency = 0; ///< recovery latency in retry steps
+};
+
+/**
+ * Facade-level policy for what SecureMemorySystem does once a fault
+ * is detected:
+ *
+ *  - FailStop:      no retries; first detection stops the system
+ *                   (integrityOk() goes false, access returns zeros).
+ *  - RetryThenStop: bounded detect-and-retry per FaultPlan.maxRetries;
+ *                   only an exhausted retry budget stops the system.
+ *  - Degraded:      like RetryThenStop, but an exhausted budget
+ *                   quarantines the faulty SDIMM and routes new leaf
+ *                   draws around it (Independent mode); see
+ *                   docs/FAULTS.md for the declared leak.
+ */
+enum class DegradationPolicy : std::uint8_t {
+    FailStop = 0,
+    RetryThenStop,
+    Degraded,
+};
+
+const char *policyName(DegradationPolicy p);
+
+} // namespace secdimm::fault
+
+#endif // SECUREDIMM_FAULT_FAULT_TYPES_HH

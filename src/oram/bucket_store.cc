@@ -1,5 +1,6 @@
 #include "oram/bucket_store.hh"
 
+#include "fault/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace secdimm::oram
@@ -54,6 +55,8 @@ BucketStore::readBucket(std::uint64_t seq) const
         observer_(false, seq);
     const std::uint64_t ctr = counters_[seq];
     std::vector<std::uint8_t> image = images_[seq];
+    if (injector_ && injector_->rollDramBitFlip())
+        injector_->corruptBuffer(image);
     const bool authentic = mac_.verify(nonce(seq), ctr, image.data(),
                                        image.size(), macs_[seq]);
     cipher_.transformBuffer(image.data(), image.size(), nonce(seq), ctr);

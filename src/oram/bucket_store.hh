@@ -20,6 +20,11 @@
 #include "crypto/pmmac.hh"
 #include "oram/bucket.hh"
 
+namespace secdimm::fault
+{
+class FaultInjector;
+}
+
 namespace secdimm::oram
 {
 
@@ -84,6 +89,14 @@ class BucketStore
         observer_ = std::move(fn);
     }
 
+    /**
+     * Arm transient-read fault injection (nullptr disarms).  A rolled
+     * DRAM bit flip corrupts only the copy returned by readBucket();
+     * the stored image stays intact, so the PMMAC detects the flip
+     * and a retry of the same read succeeds.  Not owned.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { injector_ = inj; }
+
   private:
     std::uint64_t nonce(std::uint64_t seq) const;
 
@@ -95,6 +108,7 @@ class BucketStore
     std::vector<std::uint64_t> counters_;
     std::vector<crypto::Tag64> macs_;
     AccessObserverFn observer_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace secdimm::oram

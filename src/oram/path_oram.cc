@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace secdimm::oram
@@ -38,9 +39,40 @@ PathOram::readPath(LeafId leaf)
     for (unsigned level = 0; level <= params_.levels; ++level) {
         const std::uint64_t seq =
             layout_.bucketSeq(pathBucket(leaf, level, params_.levels));
-        const BucketReadResult r = store_.readBucket(seq);
-        const bool counter_fresh =
+        BucketReadResult r = store_.readBucket(seq);
+        bool counter_fresh =
             store_.counter(seq) == expectedCounter_[seq];
+        if (injector_ && (!r.authentic || !counter_fresh)) {
+            /*
+             * Detect-and-retry: a transient read flip leaves the
+             * stored image intact, so re-reading the same bucket
+             * recovers it.  Permanent tampering (or a replayed
+             * counter) survives every retry and falls through to the
+             * fail-stop accounting below.  Each failed verification
+             * is one detection, pairing 1:1 with each injected flip,
+             * and each granted re-read one recovery (a re-read that
+             * flips again is a NEW fault), so the ledger keeps
+             * detected == recovered + unrecovered exactly.
+             */
+            unsigned attempts = 0;
+            for (;;) {
+                injector_->recordDetected(fault::FaultKind::DramBitFlip);
+                if (attempts >= injector_->maxRetries()) {
+                    injector_->recordUnrecovered(
+                        fault::FaultKind::DramBitFlip,
+                        "store.read_path", attempts);
+                    break;
+                }
+                ++attempts;
+                injector_->recordRecovered(fault::FaultKind::DramBitFlip,
+                                           "store.read_path", 1);
+                r = store_.readBucket(seq);
+                counter_fresh =
+                    store_.counter(seq) == expectedCounter_[seq];
+                if (r.authentic && counter_fresh)
+                    break;
+            }
+        }
         if (!r.authentic || !counter_fresh) {
             ++stats_.integrityFailures;
             continue;

@@ -122,6 +122,21 @@ class PathOram
     bool integrityOk() const { return stats_.integrityFailures == 0; }
 
     /**
+     * Arm fault injection + bounded detect-and-retry (nullptr
+     * disarms).  With an injector, a MAC/counter mismatch in
+     * readPath() becomes a typed FaultEvent and the bucket read is
+     * retried up to the plan's budget before it counts as an
+     * integrity failure; without one, behavior is exactly the
+     * pre-fault-subsystem fail-stop accounting.  Not owned; also
+     * forwarded to the underlying BucketStore.
+     */
+    void setFaultInjector(fault::FaultInjector *inj)
+    {
+        injector_ = inj;
+        store_.setFaultInjector(inj);
+    }
+
+    /**
      * Export access/stash statistics into @p m under @p prefix (see
      * docs/METRICS.md "oram.*").
      */
@@ -147,6 +162,7 @@ class PathOram
 
     std::vector<LeafId> leafTrace_;
     PathOramStats stats_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace secdimm::oram

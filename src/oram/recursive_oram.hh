@@ -71,6 +71,16 @@ class RecursiveOram
     bool integrityOk() const;
 
     /**
+     * Arm DRAM-read fault injection and bounded retry on every tree,
+     * data and PosMap alike (nullptr disarms).  Not owned.
+     */
+    void setFaultInjector(fault::FaultInjector *inj)
+    {
+        for (auto &t : trees_)
+            t->setFaultInjector(inj);
+    }
+
+    /**
      * Export recursion/PLB counters and the data tree's stash
      * statistics under @p prefix (docs/METRICS.md "oram.*").
      */

@@ -1,5 +1,6 @@
 #include "sdimm/indep_split_oram.hh"
 
+#include "fault/fault_injector.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
 
@@ -46,6 +47,50 @@ IndepSplitOram::localLeaf(LeafId global_leaf) const
     return global_leaf & ((LeafId{1} << localLevels_) - 1);
 }
 
+void
+IndepSplitOram::setFaultInjector(fault::FaultInjector *inj,
+                                 fault::DegradationPolicy policy)
+{
+    injector_ = inj;
+    policy_ = policy;
+    for (auto &g : groups_)
+        g->setFaultInjector(inj);
+}
+
+bool
+IndepSplitOram::transmitGroupCommand(SdimmCommandType type, unsigned g,
+                                     const char *site)
+{
+    busTrace_.push_back({type, g});
+    if (!injector_)
+        return true;
+    unsigned attempts = 0;
+    for (;;) {
+        const fault::WireOutcome w = injector_->rollLinkFault();
+        if (w == fault::WireOutcome::Delivered)
+            return true;
+        if (w == fault::WireOutcome::Delayed) {
+            // Absorbed by the CPU frontend's polling loop.
+            injector_->recordDetected(fault::FaultKind::LinkDelay);
+            injector_->recordRecovered(fault::FaultKind::LinkDelay,
+                                       site, 1);
+            return true;
+        }
+        const fault::FaultKind kind = w == fault::WireOutcome::Corrupted
+                                          ? fault::FaultKind::LinkCorrupt
+                                          : fault::FaultKind::LinkDrop;
+        injector_->recordDetected(kind);
+        if (attempts >= injector_->maxRetries()) {
+            injector_->recordUnrecovered(kind, site, attempts);
+            failedStop_ = true;
+            return false;
+        }
+        ++attempts;
+        injector_->recordRecovered(kind, site, 1);
+        busTrace_.push_back({type, g}); // The retransmission.
+    }
+}
+
 BlockData
 IndepSplitOram::access(Addr addr, oram::OramOp op,
                        const BlockData *new_data)
@@ -65,8 +110,25 @@ IndepSplitOram::access(Addr addr, oram::OramOp op,
     const unsigned dst = groupOf(new_leaf);
     const bool stays = src == dst;
 
+    if (failedStop_) {
+        // Fail-stop: preserve the bus shape, serve zeros.
+        busTrace_.push_back({SdimmCommandType::Access, src});
+        for (unsigned g = 0; g < params_.groups; ++g)
+            busTrace_.push_back({SdimmCommandType::Append, g});
+        ++degradedAccesses_;
+        if (injector_)
+            injector_->recordDegraded();
+        return BlockData{};
+    }
+
     // The Split access inside the source group (the ACCESS command).
-    busTrace_.push_back({SdimmCommandType::Access, src});
+    if (!transmitGroupCommand(SdimmCommandType::Access, src,
+                              "indep_split.access")) {
+        for (unsigned g = 0; g < params_.groups; ++g)
+            busTrace_.push_back({SdimmCommandType::Append, g});
+        ++degradedAccesses_;
+        return BlockData{};
+    }
     const BlockData old = groups_[src]->accessExplicit(
         addr, localLeaf(old_leaf),
         stays ? localLeaf(new_leaf) : invalidLeaf, op, new_data);
@@ -74,8 +136,14 @@ IndepSplitOram::access(Addr addr, oram::OramOp op,
     // Independent dimension: one APPEND per group (real only at the
     // destination, and only when the block actually moved).
     for (unsigned g = 0; g < params_.groups; ++g) {
-        busTrace_.push_back({SdimmCommandType::Append, g});
-        if (!stays && g == dst) {
+        const bool delivered = transmitGroupCommand(
+            SdimmCommandType::Append, g, "indep_split.append");
+        const bool real = !stays && g == dst;
+        if (real)
+            ++appendsReal_;
+        else
+            ++appendsDummy_;
+        if (delivered && real) {
             groups_[g]->adoptBlock(addr, localLeaf(new_leaf),
                                    write ? *new_data : old);
         }
@@ -86,11 +154,26 @@ IndepSplitOram::access(Addr addr, oram::OramOp op,
 bool
 IndepSplitOram::integrityOk() const
 {
+    if (failedStop_)
+        return false;
     for (const auto &g : groups_) {
         if (!g->integrityOk())
             return false;
     }
     return true;
+}
+
+void
+IndepSplitOram::exportMetrics(util::MetricsRegistry &m,
+                              const std::string &prefix) const
+{
+    m.setCounter(prefix + ".appends_real", appendsReal_);
+    m.setCounter(prefix + ".appends_dummy", appendsDummy_);
+    m.setCounter(prefix + ".degraded_accesses", degradedAccesses_);
+    for (unsigned g = 0; g < params_.groups; ++g) {
+        groups_[g]->exportMetrics(m,
+                                  prefix + ".g" + std::to_string(g));
+    }
 }
 
 } // namespace secdimm::sdimm

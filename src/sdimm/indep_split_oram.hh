@@ -12,8 +12,10 @@
 #define SECUREDIMM_SDIMM_INDEP_SPLIT_ORAM_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/fault_types.hh"
 #include "sdimm/sdimm_command.hh"
 #include "sdimm/split_oram.hh"
 
@@ -60,9 +62,38 @@ class IndepSplitOram
 
     LeafId leafOf(Addr addr) const { return posMap_.at(addr); }
 
+    /**
+     * Arm fault injection across every group plus the inter-group
+     * command wire (nullptr disarms).  Group-level quarantine is not
+     * modeled here -- an exhausted retry budget always fail-stops the
+     * whole protocol (Degraded degrades to RetryThenStop); per-unit
+     * quarantine lives in the pure Independent organization.
+     */
+    void setFaultInjector(fault::FaultInjector *inj,
+                          fault::DegradationPolicy policy =
+                              fault::DegradationPolicy::RetryThenStop);
+
+    /** True once an unrecoverable fault stopped the protocol. */
+    bool failedStop() const { return failedStop_; }
+
+    /**
+     * Export per-group Split counters (under ".gN") plus the
+     * inter-group APPEND split and fail-stop state under @p prefix.
+     */
+    void exportMetrics(util::MetricsRegistry &m,
+                       const std::string &prefix) const;
+
   private:
     unsigned groupOf(LeafId global_leaf) const;
     LeafId localLeaf(LeafId global_leaf) const;
+
+    /**
+     * Put one inter-group command on the bus, retrying through
+     * injected wire faults (each retransmission is a fresh bus
+     * event).  False once the budget is exhausted (fail-stop).
+     */
+    bool transmitGroupCommand(SdimmCommandType type, unsigned g,
+                              const char *site);
 
     Params params_;
     unsigned localLevels_;
@@ -70,6 +101,13 @@ class IndepSplitOram
     std::vector<std::unique_ptr<SplitOram>> groups_;
     std::vector<LeafId> posMap_;
     std::vector<GroupBusEvent> busTrace_;
+    std::uint64_t appendsReal_ = 0;
+    std::uint64_t appendsDummy_ = 0;
+    std::uint64_t degradedAccesses_ = 0;
+    fault::FaultInjector *injector_ = nullptr;
+    fault::DegradationPolicy policy_ =
+        fault::DegradationPolicy::RetryThenStop;
+    bool failedStop_ = false;
 };
 
 } // namespace secdimm::sdimm

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "fault/fault_injector.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
 
@@ -46,6 +47,113 @@ IndependentOram::localLeaf(LeafId global_leaf) const
     return global_leaf & ((LeafId{1} << localLevels_) - 1);
 }
 
+void
+IndependentOram::setFaultInjector(fault::FaultInjector *inj,
+                                  fault::DegradationPolicy policy)
+{
+    injector_ = inj;
+    policy_ = policy;
+    quarantined_.assign(params_.numSdimms, false);
+    for (auto &b : buffers_)
+        b->setFaultInjector(inj);
+}
+
+void
+IndependentOram::quarantine(unsigned sdimm)
+{
+    if (quarantined_.empty())
+        quarantined_.assign(params_.numSdimms, false);
+    SD_ASSERT(sdimm < quarantined_.size());
+    quarantined_[sdimm] = true;
+}
+
+unsigned
+IndependentOram::quarantinedCount() const
+{
+    unsigned n = 0;
+    for (const bool q : quarantined_)
+        n += q ? 1 : 0;
+    return n;
+}
+
+LeafId
+IndependentOram::drawGlobalLeaf()
+{
+    const std::uint64_t global_leaves =
+        static_cast<std::uint64_t>(params_.numSdimms) *
+        params_.perSdimm.numLeaves();
+    // One draw in the common case; redraws only consult the (public)
+    // quarantine set, never data, so the draw count stays
+    // data-independent.  At least one SDIMM is always in service.
+    LeafId leaf;
+    do {
+        leaf = rng_.nextBelow(global_leaves);
+    } while (isQuarantined(sdimmOf(leaf)) &&
+             quarantinedCount() < params_.numSdimms);
+    return leaf;
+}
+
+void
+IndependentOram::onUnrecoverable(fault::FaultKind kind, unsigned sdimm,
+                                 const std::string &site,
+                                 unsigned attempts)
+{
+    injector_->recordUnrecovered(kind, site, attempts);
+    if (policy_ == fault::DegradationPolicy::Degraded) {
+        quarantine(sdimm);
+    } else {
+        failedStop_ = true;
+    }
+}
+
+bool
+IndependentOram::transmitUplink(
+    unsigned sdimm, SdimmCommandType type,
+    const std::function<SealedMessage()> &reseal,
+    const std::function<bool(const SealedMessage &)> &deliver)
+{
+    unsigned attempts = 0;
+    const unsigned budget = injector_ ? injector_->maxRetries() : 0;
+    const std::string site =
+        std::string("uplink.") + commandName(type);
+    while (true) {
+        SealedMessage msg = reseal();
+        recordBus(type, sdimm, msg.body.size());
+        fault::WireOutcome out = injector_
+                                     ? injector_->rollLinkFault()
+                                     : fault::WireOutcome::Delivered;
+        if (out == fault::WireOutcome::Delayed) {
+            // The frame arrives one timeout window late; the PROBE
+            // that notices the silence is the deterministic backoff.
+            injector_->recordDetected(fault::FaultKind::LinkDelay);
+            injector_->recordRecovered(fault::FaultKind::LinkDelay,
+                                       site, 1);
+            recordBus(SdimmCommandType::Probe, sdimm, 0);
+            out = fault::WireOutcome::Delivered;
+        }
+        if (out == fault::WireOutcome::Corrupted)
+            injector_->corruptBuffer(msg.body);
+        const bool accepted =
+            out != fault::WireOutcome::Dropped && deliver(msg);
+        if (accepted)
+            return true;
+        // Corruption is caught by the buffer's CMAC; a drop by the
+        // PROBE timeout.  Either way the CPU re-seals and re-sends.
+        const fault::FaultKind kind =
+            out == fault::WireOutcome::Dropped
+                ? fault::FaultKind::LinkDrop
+                : fault::FaultKind::LinkCorrupt;
+        injector_->recordDetected(kind);
+        recordBus(SdimmCommandType::Probe, sdimm, 0);
+        if (attempts >= budget) {
+            onUnrecoverable(kind, sdimm, site, attempts);
+            return false;
+        }
+        ++attempts;
+        injector_->recordRecovered(kind, site, 1);
+    }
+}
+
 BlockData
 IndependentOram::access(Addr addr, oram::OramOp op,
                         const BlockData *new_data)
@@ -56,15 +164,42 @@ IndependentOram::access(Addr addr, oram::OramOp op,
 
     // Frontend: look up and remap the global leaf.
     const LeafId old_leaf = posMap_[addr];
-    const std::uint64_t global_leaves =
-        static_cast<std::uint64_t>(params_.numSdimms) *
-        params_.perSdimm.numLeaves();
-    const LeafId new_leaf = rng_.nextBelow(global_leaves);
+    const LeafId new_leaf = drawGlobalLeaf();
     posMap_[addr] = new_leaf;
 
     const unsigned src = sdimmOf(old_leaf);
     const unsigned dst = sdimmOf(new_leaf);
     const bool stays = src == dst;
+
+    // A stopped protocol or a quarantined source SDIMM still walks
+    // the full message schedule (the adversary must not learn which
+    // blocks were lost), but the data itself is gone: serve zeros.
+    if (failedStop_ || isQuarantined(src)) {
+        ++degradedAccesses_;
+        if (injector_)
+            injector_->recordDegraded();
+        recordBus(SdimmCommandType::Access, src, accessBodyBytes);
+        recordBus(SdimmCommandType::Probe, src, 0);
+        recordBus(SdimmCommandType::FetchResult, src,
+                  responseBodyBytes);
+        for (unsigned i = 0; i < params_.numSdimms; ++i) {
+            AppendRequest app; // all-dummy: nothing real survives
+            if (failedStop_ || isQuarantined(i)) {
+                recordBus(SdimmCommandType::Append, i, appendBodyBytes);
+                continue;
+            }
+            transmitUplink(
+                i, SdimmCommandType::Append,
+                [&] {
+                    return buffers_[i]->cpuLink().seal(0x03,
+                                                       packAppend(app));
+                },
+                [&](const SealedMessage &m) {
+                    return buffers_[i]->handleAppend(m);
+                });
+        }
+        return BlockData{};
+    }
 
     // Step 1-2: sealed ACCESS to the source SDIMM (a read still
     // carries one -- dummy -- data block so the operation type is
@@ -76,30 +211,88 @@ IndependentOram::access(Addr addr, oram::OramOp op,
     req.write = write;
     if (write)
         req.data = *new_data;
-    SealedMessage access_msg =
-        buffers_[src]->cpuLink().seal(0x02, packAccess(req));
-    recordBus(SdimmCommandType::Access, src, access_msg.body.size());
 
     // Steps 3-5 happen inside the SDIMM; the CPU polls (PROBE) and
-    // fetches the response.
-    const SealedMessage resp_msg = buffers_[src]->handleAccess(access_msg);
+    // fetches the response.  Corrupted/dropped ACCESS frames are
+    // re-sealed and re-sent (the receive window only advances on
+    // successful unseal, so the fresh sequence number is accepted).
+    std::optional<SealedMessage> resp_msg;
+    const bool sent = transmitUplink(
+        src, SdimmCommandType::Access,
+        [&] { return buffers_[src]->cpuLink().seal(0x02, packAccess(req)); },
+        [&](const SealedMessage &m) {
+            resp_msg = buffers_[src]->handleAccess(m);
+            return resp_msg.has_value();
+        });
+    if (!sent)
+        return BlockData{};
     recordBus(SdimmCommandType::Probe, src, 0);
-    recordBus(SdimmCommandType::FetchResult, src, resp_msg.body.size());
 
-    auto resp_plain = buffers_[src]->cpuLink().unseal(resp_msg);
-    if (!resp_plain)
-        panic("CPU: SDIMM %u response failed authentication", src);
-    const auto resp_parsed = unpackResponse(*resp_plain);
-    if (!resp_parsed)
-        panic("CPU: SDIMM %u response malformed (%zu bytes)", src,
-              resp_plain->size());
-    const AccessResponse resp = *resp_parsed;
+    // Downlink: FETCH_RESULT with bounded re-FETCH on MAC mismatch
+    // or a dropped frame (the buffer re-seals its cached response).
+    std::optional<AccessResponse> resp;
+    {
+        unsigned attempts = 0;
+        const unsigned budget = injector_ ? injector_->maxRetries() : 0;
+        SealedMessage cur = *resp_msg;
+        while (true) {
+            recordBus(SdimmCommandType::FetchResult, src,
+                      cur.body.size());
+            fault::WireOutcome out =
+                injector_ ? injector_->rollLinkFault()
+                          : fault::WireOutcome::Delivered;
+            if (out == fault::WireOutcome::Delayed) {
+                injector_->recordDetected(fault::FaultKind::LinkDelay);
+                injector_->recordRecovered(fault::FaultKind::LinkDelay,
+                                           "downlink.FETCH_RESULT", 1);
+                recordBus(SdimmCommandType::Probe, src, 0);
+                out = fault::WireOutcome::Delivered;
+            }
+            if (out == fault::WireOutcome::Corrupted)
+                injector_->corruptBuffer(cur.body);
+            std::optional<std::vector<std::uint8_t>> plain;
+            if (out != fault::WireOutcome::Dropped) {
+                plain = buffers_[src]->cpuLink().unseal(cur);
+                if (!plain)
+                    buffers_[src]->noteAbsorbedCpuAuthFailure();
+            }
+            if (plain) {
+                const auto parsed = unpackResponse(*plain);
+                if (!parsed)
+                    panic("CPU: SDIMM %u response malformed (%zu "
+                          "bytes)",
+                          src, plain->size());
+                resp = *parsed;
+                break;
+            }
+            if (!injector_)
+                panic("CPU: SDIMM %u response failed authentication",
+                      src);
+            const fault::FaultKind kind =
+                out == fault::WireOutcome::Dropped
+                    ? fault::FaultKind::LinkDrop
+                    : fault::FaultKind::LinkCorrupt;
+            injector_->recordDetected(kind);
+            recordBus(SdimmCommandType::Probe, src, 0);
+            if (attempts >= budget) {
+                onUnrecoverable(kind, src, "downlink.FETCH_RESULT",
+                                attempts);
+                return BlockData{};
+            }
+            ++attempts;
+            injector_->recordRecovered(kind, "downlink.FETCH_RESULT",
+                                       1);
+            auto re = buffers_[src]->refetchResult();
+            SD_ASSERT(re.has_value());
+            cur = *re;
+        }
+    }
 
     // The value returned to the LLC (pre-write content).
     BlockData result{};
-    if (!resp.dummy)
-        result = resp.data;
-    if (write && resp.dummy) {
+    if (!resp->dummy)
+        result = resp->data;
+    if (write && resp->dummy) {
         // Local write: the SDIMM kept the (updated) block; the old
         // value is not needed by the caller in this protocol.
         result = BlockData{};
@@ -113,12 +306,22 @@ IndependentOram::access(Addr addr, oram::OramOp op,
         if (app.real) {
             app.addr = addr;
             app.localLeaf = localLeaf(new_leaf);
-            app.data = write ? *new_data : resp.data;
+            app.data = write ? *new_data : resp->data;
         }
-        SealedMessage app_msg =
-            buffers_[i]->cpuLink().seal(0x03, packAppend(app));
-        recordBus(SdimmCommandType::Append, i, app_msg.body.size());
-        buffers_[i]->handleAppend(app_msg);
+        if (isQuarantined(i)) {
+            // Dead SDIMM: keep the channel shape, nothing to deliver
+            // (drawGlobalLeaf() never routes a real block here).
+            recordBus(SdimmCommandType::Append, i, appendBodyBytes);
+            continue;
+        }
+        transmitUplink(
+            i, SdimmCommandType::Append,
+            [&] {
+                return buffers_[i]->cpuLink().seal(0x03, packAppend(app));
+            },
+            [&](const SealedMessage &m) {
+                return buffers_[i]->handleAppend(m);
+            });
     }
 
     return result;
@@ -127,6 +330,8 @@ IndependentOram::access(Addr addr, oram::OramOp op,
 bool
 IndependentOram::integrityOk() const
 {
+    if (failedStop_)
+        return false;
     for (const auto &b : buffers_) {
         if (!b->integrityOk())
             return false;
@@ -164,6 +369,8 @@ IndependentOram::exportMetrics(util::MetricsRegistry &m,
         buffers_[i]->exportMetrics(
             m, prefix + ".buf" + std::to_string(i));
     }
+    m.setCounter(prefix + ".degraded_accesses", degradedAccesses_);
+    m.setCounter(prefix + ".quarantined", quarantinedCount());
 }
 
 } // namespace secdimm::sdimm

@@ -13,9 +13,12 @@
 #define SECUREDIMM_SDIMM_INDEPENDENT_ORAM_HH
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/fault_types.hh"
 #include "oram/path_oram.hh"
 #include "sdimm/sdimm_command.hh"
 #include "sdimm/secure_buffer.hh"
@@ -68,6 +71,29 @@ class IndependentOram
     LeafId leafOf(Addr addr) const { return posMap_.at(addr); }
 
     /**
+     * Arm link/DRAM fault injection and bounded detect-and-retry
+     * (nullptr disarms).  @p policy decides what an exhausted retry
+     * budget does: RetryThenStop marks the protocol failed
+     * (integrityOk() goes false, further data is zeros), Degraded
+     * quarantines the offending SDIMM and routes new leaf draws
+     * around it, FailStop behaves like a zero-retry budget.
+     */
+    void setFaultInjector(fault::FaultInjector *inj,
+                          fault::DegradationPolicy policy =
+                              fault::DegradationPolicy::RetryThenStop);
+
+    /** Remove @p sdimm from service (Degraded policy). */
+    void quarantine(unsigned sdimm);
+    bool isQuarantined(unsigned sdimm) const
+    {
+        return sdimm < quarantined_.size() && quarantined_[sdimm];
+    }
+    unsigned quarantinedCount() const;
+
+    /** True once an unrecoverable fault stopped the protocol. */
+    bool failedStop() const { return failedStop_; }
+
+    /**
      * Export per-buffer and per-command-type channel-traffic metrics
      * under @p prefix ("sdimm" in the facade; docs/METRICS.md).
      * Command totals survive clearBusTrace().
@@ -83,6 +109,24 @@ class IndependentOram
     void recordBus(SdimmCommandType type, unsigned sdimm,
                    std::size_t bytes);
 
+    /** Draw a global leaf whose SDIMM is not quarantined. */
+    LeafId drawGlobalLeaf();
+
+    /**
+     * Ship a sealed uplink message across the (possibly faulty) wire
+     * and hand it to @p deliver; retries with a freshly sealed copy
+     * from @p reseal until it is accepted or the budget runs out.
+     * Returns true on acceptance.
+     */
+    bool transmitUplink(unsigned sdimm, SdimmCommandType type,
+                        const std::function<SealedMessage()> &reseal,
+                        const std::function<bool(const SealedMessage &)>
+                            &deliver);
+
+    /** Exhausted-budget handling per the degradation policy. */
+    void onUnrecoverable(fault::FaultKind kind, unsigned sdimm,
+                         const std::string &site, unsigned attempts);
+
     Params params_;
     unsigned localLevels_;
     Rng rng_;
@@ -92,6 +136,12 @@ class IndependentOram
     /** Indexed by SdimmCommandType; survives clearBusTrace(). */
     std::array<std::uint64_t, 9> cmdCounts_{};
     std::array<std::uint64_t, 9> cmdBytes_{};
+    fault::FaultInjector *injector_ = nullptr;
+    fault::DegradationPolicy policy_ =
+        fault::DegradationPolicy::RetryThenStop;
+    std::vector<bool> quarantined_;
+    bool failedStop_ = false;
+    std::uint64_t degradedAccesses_ = 0;
 };
 
 } // namespace secdimm::sdimm

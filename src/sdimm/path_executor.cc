@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace secdimm::sdimm
@@ -49,6 +50,13 @@ PathExecutor::PathExecutor(const std::string &name,
 }
 
 void
+PathExecutor::setFaultInjector(fault::FaultInjector *inj)
+{
+    injector_ = inj;
+    channel_->setFaultInjector(inj);
+}
+
+void
 PathExecutor::submitOp(std::uint64_t tag, Tick ready_at)
 {
     ops_.push_back(ExecOp{tag, ready_at});
@@ -80,7 +88,18 @@ PathExecutor::tryStart()
     opInFlight_ = true;
     responseSent_ = false;
     ++opsExecuted_;
-    const Tick start = std::max(ops_.front().readyAt, nextOpEarliest_);
+    Tick start = std::max(ops_.front().readyAt, nextOpEarliest_);
+    if (injector_) {
+        // A stalled start is absorbed by the CPU's PROBE polling loop:
+        // the result is simply not ready for a few more polls.
+        const Tick stall = injector_->rollExecutorStall();
+        if (stall > 0) {
+            start += stall;
+            injector_->recordDetected(fault::FaultKind::ExecutorStall);
+            injector_->recordRecovered(fault::FaultKind::ExecutorStall,
+                                       "executor.start", 1);
+        }
+    }
 
     std::vector<Addr> meta, data;
     buildPath(meta, data);

@@ -25,6 +25,11 @@
 #include "trace/memory_backend.hh"
 #include "util/rng.hh"
 
+namespace secdimm::fault
+{
+class FaultInjector;
+}
+
 namespace secdimm::sdimm
 {
 
@@ -77,6 +82,14 @@ class PathExecutor
     const dram::DramChannel &channel() const { return *channel_; }
     bool lowPower() const { return lowPower_; }
 
+    /**
+     * Arm fault injection (nullptr disarms): op starts may be stalled
+     * by the plan's stallCycles (absorbed by the PROBE polling loop),
+     * and the internal DRAM channel gets read-burst retries.  Not
+     * owned.
+     */
+    void setFaultInjector(fault::FaultInjector *inj);
+
   private:
     struct ExecOp
     {
@@ -122,6 +135,7 @@ class PathExecutor
     LeafId opLeaf_ = 0;
     std::uint64_t opsExecuted_ = 0;
     util::LogHistogram queueDepth_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace secdimm::sdimm

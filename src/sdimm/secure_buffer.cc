@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace secdimm::sdimm
@@ -133,16 +134,31 @@ SecureBuffer::serviceTransferQueue()
               "queue", index_);
 }
 
-SealedMessage
+void
+SecureBuffer::setFaultInjector(fault::FaultInjector *inj)
+{
+    injector_ = inj;
+    oram_->setFaultInjector(inj);
+    xfer_.setFaultInjector(inj);
+}
+
+std::optional<SealedMessage>
 SecureBuffer::handleAccess(const SealedMessage &msg)
 {
     auto plain = dimmEnd_.unseal(msg);
-    if (!plain)
-        panic("SDIMM %u: ACCESS failed authentication", index_);
+    if (!plain) {
+        if (!injector_)
+            panic("SDIMM %u: ACCESS failed authentication", index_);
+        ++absorbedDimmAuthFailures_;
+        return std::nullopt;
+    }
     const auto parsed = unpackAccess(*plain);
-    if (!parsed)
-        panic("SDIMM %u: ACCESS body malformed (%zu bytes)", index_,
-              plain->size());
+    if (!parsed) {
+        if (!injector_)
+            panic("SDIMM %u: ACCESS body malformed (%zu bytes)", index_,
+                  plain->size());
+        return std::nullopt;
+    }
     const AccessRequest req = *parsed;
 
     ++stats_.accessOps;
@@ -171,40 +187,70 @@ SecureBuffer::handleAccess(const SealedMessage &msg)
         resp.dummy = false;
     }
 
-    return dimmEnd_.seal(/*opcode=*/0x10, packResponse(resp));
+    lastResponsePlain_ = packResponse(resp);
+    haveLastResponse_ = true;
+    return dimmEnd_.seal(/*opcode=*/0x10, lastResponsePlain_);
 }
 
-void
+std::optional<SealedMessage>
+SecureBuffer::refetchResult()
+{
+    if (!haveLastResponse_)
+        return std::nullopt;
+    return dimmEnd_.seal(/*opcode=*/0x10, lastResponsePlain_);
+}
+
+bool
 SecureBuffer::handleAppend(const SealedMessage &msg)
 {
     auto plain = dimmEnd_.unseal(msg);
-    if (!plain)
-        panic("SDIMM %u: APPEND failed authentication", index_);
+    if (!plain) {
+        if (!injector_)
+            panic("SDIMM %u: APPEND failed authentication", index_);
+        ++absorbedDimmAuthFailures_;
+        return false;
+    }
     const auto parsed = unpackAppend(*plain);
-    if (!parsed)
-        panic("SDIMM %u: APPEND body malformed (%zu bytes)", index_,
-              plain->size());
+    if (!parsed) {
+        if (!injector_)
+            panic("SDIMM %u: APPEND body malformed (%zu bytes)", index_,
+                  plain->size());
+        return false;
+    }
     const AppendRequest req = *parsed;
     if (!req.real) {
         ++stats_.appendsDummy;
-        return;
+        return true;
     }
     ++stats_.appendsReal;
+    if (xfer_.full()) {
+        // Section IV-C's drain, applied deterministically at the
+        // M/M/1/K boundary: run one extra accessORAM to service an
+        // entry so the arrival never drops.
+        xfer_.recordForcedDrain();
+        ++stats_.drainOps;
+        ++stats_.accessOps;
+        serviceTransferQueue();
+        oram_->backgroundEvict();
+    }
     if (!xfer_.push(oram::StashEntry{req.addr, req.localLeaf, req.data}))
-        panic("SDIMM %u: transfer queue overflow", index_);
+        panic("SDIMM %u: transfer queue overflow after forced drain",
+              index_);
     if (xfer_.rollDrain()) {
         ++stats_.drainOps;
         ++stats_.accessOps;
         serviceTransferQueue();
         oram_->backgroundEvict();
     }
+    return true;
 }
 
 bool
 SecureBuffer::integrityOk() const
 {
-    return oram_->integrityOk() && cpuEnd_.authFailures() == 0 &&
-           dimmEnd_.authFailures() == 0;
+    return oram_->integrityOk() &&
+           cpuEnd_.authFailures() == absorbedCpuAuthFailures_ &&
+           dimmEnd_.authFailures() == absorbedDimmAuthFailures_;
 }
 
 } // namespace secdimm::sdimm

@@ -97,11 +97,43 @@ class SecureBuffer
     /** CPU-side endpoint of this SDIMM's link (frontend seals with it). */
     LinkEndpoint &cpuLink() { return cpuEnd_; }
 
-    /** Handle a sealed ACCESS; returns the sealed response. */
-    SealedMessage handleAccess(const SealedMessage &msg);
+    /**
+     * Handle a sealed ACCESS; returns the sealed response, or nullopt
+     * when the message fails authentication / decode.  Without a
+     * fault injector a failure panics (pre-recovery fail-stop); with
+     * one it is reported to the CPU as "no response" so the frontend
+     * can re-send the (re-sealed) request.
+     */
+    std::optional<SealedMessage> handleAccess(const SealedMessage &msg);
 
-    /** Handle a sealed APPEND. */
-    void handleAppend(const SealedMessage &msg);
+    /**
+     * Handle a sealed APPEND; false when the message fails
+     * authentication / decode (same recovery contract as
+     * handleAccess).  A full transfer queue is resolved with a forced
+     * extra-accessORAM drain, never a drop.
+     */
+    bool handleAppend(const SealedMessage &msg);
+
+    /**
+     * Re-seal the response of the most recent successful ACCESS under
+     * a fresh sequence number (re-FETCH after the CPU saw a corrupt or
+     * missing FETCH_RESULT).  nullopt if no response is cached.
+     */
+    std::optional<SealedMessage> refetchResult();
+
+    /**
+     * Arm fault injection + recovery accounting (nullptr disarms);
+     * forwarded to the local ORAM (and its store) and the transfer
+     * queue.  Not owned.
+     */
+    void setFaultInjector(fault::FaultInjector *inj);
+
+    /**
+     * Count one CPU-side unseal failure caused by an injected
+     * downlink fault, so integrityOk() can tell recovered injections
+     * apart from genuine tampering.
+     */
+    void noteAbsorbedCpuAuthFailure() { ++absorbedCpuAuthFailures_; }
 
     oram::PathOram &oram() { return *oram_; }
     const oram::PathOram &oram() const { return *oram_; }
@@ -144,6 +176,13 @@ class SecureBuffer
     std::unique_ptr<oram::PathOram> oram_;
     TransferQueue xfer_;
     SecureBufferStats stats_;
+    fault::FaultInjector *injector_ = nullptr;
+    /** Plaintext of the last ACCESS response (re-FETCH support). */
+    std::vector<std::uint8_t> lastResponsePlain_;
+    bool haveLastResponse_ = false;
+    /** Unseal failures known to stem from injected (recovered) faults. */
+    std::uint64_t absorbedDimmAuthFailures_ = 0;
+    std::uint64_t absorbedCpuAuthFailures_ = 0;
 };
 
 } // namespace secdimm::sdimm

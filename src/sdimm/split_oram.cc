@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "fault/fault_injector.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
 
@@ -145,6 +146,54 @@ SplitOram::sliceMac(unsigned slice, std::uint64_t seq,
     return mac_.tag(id, sl.counter[seq], buf.data(), buf.size());
 }
 
+bool
+SplitOram::fetchAndVerifySlice(unsigned j, std::uint64_t seq) const
+{
+    const Slice &sl = slices_[j];
+    std::vector<std::uint8_t> buf = sl.metaShare[seq];
+    for (const auto &share : sl.dataShare[seq])
+        buf.insert(buf.end(), share.begin(), share.end());
+    if (injector_ && injector_->rollDramBitFlip())
+        injector_->corruptBuffer(buf);
+    const std::uint64_t id =
+        seq | (static_cast<std::uint64_t>(j) << 56);
+    return mac_.tag(id, sl.counter[seq], buf.data(), buf.size()) ==
+           sl.mac[seq];
+}
+
+void
+SplitOram::transferChannel(std::size_t bytes, const char *site)
+{
+    stats_.channelBytes += bytes;
+    if (!injector_)
+        return;
+    unsigned attempts = 0;
+    for (;;) {
+        const fault::WireOutcome w = injector_->rollLinkFault();
+        if (w == fault::WireOutcome::Delivered)
+            return;
+        if (w == fault::WireOutcome::Delayed) {
+            // Absorbed by the frontend's polling; no re-send needed.
+            injector_->recordDetected(fault::FaultKind::LinkDelay);
+            injector_->recordRecovered(fault::FaultKind::LinkDelay,
+                                       site, 1);
+            return;
+        }
+        const fault::FaultKind kind = w == fault::WireOutcome::Corrupted
+                                          ? fault::FaultKind::LinkCorrupt
+                                          : fault::FaultKind::LinkDrop;
+        injector_->recordDetected(kind);
+        if (attempts >= injector_->maxRetries()) {
+            injector_->recordUnrecovered(kind, site, attempts);
+            ++stats_.integrityFailures;
+            return;
+        }
+        ++attempts;
+        injector_->recordRecovered(kind, site, 1);
+        stats_.channelBytes += bytes; // The re-sent copy.
+    }
+}
+
 std::size_t
 SplitOram::allocStashSlot()
 {
@@ -175,10 +224,37 @@ SplitOram::readPath(LeafId leaf)
         const std::uint64_t seq = layout_.bucketSeq(
             oram::pathBucket(leaf, level, params_.tree.levels));
 
-        // Each SDIMM verifies its slice MAC (FETCH_DATA step).
+        // Each SDIMM verifies its slice MAC (FETCH_DATA step).  With
+        // an injector armed the fetched image may carry a transient
+        // bit flip; the MAC catches it and the slice is re-fetched
+        // from the (intact) stored share up to the retry budget.
         for (unsigned j = 0; j < params_.slices; ++j) {
-            const Slice &sl = slices_[j];
-            if (sliceMac(j, seq, sl) != sl.mac[seq])
+            bool ok = fetchAndVerifySlice(j, seq);
+            if (injector_ && !ok) {
+                // Same ledger convention as transferChannel(): one
+                // detection per failed verify, one recovery per
+                // granted re-fetch (a re-fetch that flips again is a
+                // NEW fault), so detected == recovered + unrecovered.
+                unsigned attempts = 0;
+                for (;;) {
+                    injector_->recordDetected(
+                        fault::FaultKind::DramBitFlip);
+                    if (attempts >= injector_->maxRetries()) {
+                        injector_->recordUnrecovered(
+                            fault::FaultKind::DramBitFlip,
+                            "split.fetch_data", attempts);
+                        break;
+                    }
+                    ++attempts;
+                    injector_->recordRecovered(
+                        fault::FaultKind::DramBitFlip,
+                        "split.fetch_data", 1);
+                    ok = fetchAndVerifySlice(j, seq);
+                    if (ok)
+                        break;
+                }
+            }
+            if (!ok)
                 ++stats_.integrityFailures;
         }
 
@@ -193,7 +269,8 @@ SplitOram::readPath(LeafId leaf)
             mergeShare(meta_cipher, slices_[j].metaShare[seq], j,
                        params_.slices);
         }
-        stats_.channelBytes += meta_cipher.size() + 8; // meta + ctr.
+        transferChannel(meta_cipher.size() + 8,
+                        "split.fetch_data.meta"); // meta + ctr.
         cipher_.transformBuffer(meta_cipher.data(), meta_cipher.size(),
                                 metaNonce(seq), ctr);
 
@@ -237,7 +314,7 @@ SplitOram::fetchStash(const ShadowEntry &e)
         SD_ASSERT(piece.has_value());
         mergeShare(merged, piece->cipher, j, params_.slices);
     }
-    stats_.channelBytes += blockBytes; // FETCH_STASH responses.
+    transferChannel(blockBytes, "split.fetch_stash");
     cipher_.transformBuffer(merged.data(), merged.size(),
                             dataNonce(e.srcSeq, e.srcSlot),
                             e.srcCounter);
@@ -278,7 +355,8 @@ SplitOram::writePath(LeafId leaf)
             meta_blocks.emplace_back(kv.first, kv.second.leaf);
         std::vector<std::uint8_t> meta_cipher =
             buildMeta(z, meta_blocks);
-        stats_.channelBytes += meta_cipher.size() + 8 + 4 * z; // list.
+        transferChannel(meta_cipher.size() + 8 + 4 * z,
+                        "split.receive_list");
         cipher_.transformBuffer(meta_cipher.data(), meta_cipher.size(),
                                 metaNonce(seq), new_ctr);
 
@@ -292,7 +370,7 @@ SplitOram::writePath(LeafId leaf)
                     e.data.begin(), e.data.end());
                 cipher_.transformBuffer(full.data(), full.size(),
                                         dataNonce(seq, slot), new_ctr);
-                stats_.channelBytes += blockBytes;
+                transferChannel(blockBytes, "split.receive_list");
                 for (unsigned j = 0; j < params_.slices; ++j) {
                     slices_[j].dataShare[seq][slot] =
                         extractShare(full, j, params_.slices);

@@ -37,6 +37,11 @@
 #include "util/rng.hh"
 #include "util/types.hh"
 
+namespace secdimm::fault
+{
+class FaultInjector;
+} // namespace secdimm::fault
+
 namespace secdimm::sdimm
 {
 
@@ -114,6 +119,21 @@ class SplitOram
                      unsigned slot, std::size_t byte_index);
 
     /**
+     * Arm fault injection with bounded detect-and-retry (nullptr
+     * disarms).  FETCH_DATA slice fetches may be bit-flipped in
+     * flight -- the per-slice MAC catches it and the slice is
+     * re-fetched (the stored share is intact, so a clean retry
+     * succeeds).  RECEIVE_LIST / FETCH_STASH channel transfers may be
+     * corrupted, dropped, or delayed on the wire -- re-sends are
+     * charged to channelBytes again; leafTrace is never affected.  An
+     * exhausted retry budget counts an integrity failure (fail-stop).
+     */
+    void setFaultInjector(fault::FaultInjector *inj)
+    {
+        injector_ = inj;
+    }
+
+    /**
      * Walk every internal invariant the verify subsystem cannot see
      * from outside (slice MACs, replicated counters, stash-slot
      * bookkeeping, shadow-stash bounds, decrypted bucket placement)
@@ -189,6 +209,19 @@ class SplitOram
     crypto::Tag64 sliceMac(unsigned slice, std::uint64_t seq,
                            const Slice &sl) const;
 
+    /**
+     * Model one FETCH_DATA of slice @p j of bucket @p seq: the SDIMM
+     * reads its share image (possibly bit-flipped in flight when an
+     * injector is armed) and checks it against the stored slice MAC.
+     */
+    bool fetchAndVerifySlice(unsigned j, std::uint64_t seq) const;
+
+    /**
+     * Charge @p bytes of CPU-channel traffic, retrying through
+     * injected wire faults (re-sends recounted) up to the budget.
+     */
+    void transferChannel(std::size_t bytes, const char *site);
+
     /** Allocate the same stash slot in every slice. */
     std::size_t allocStashSlot();
     void freeStashSlot(std::size_t idx);
@@ -216,6 +249,7 @@ class SplitOram
 
     std::vector<LeafId> leafTrace_;
     SplitOramStats stats_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace secdimm::sdimm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
+
 namespace secdimm::sdimm
 {
 
@@ -41,6 +43,13 @@ TransferQueue::pop()
 {
     if (q_.empty())
         return std::nullopt;
+    if (injector_ && injector_->rollQueuePerturb()) {
+        // Parity-protected slot: the flip is caught on read and a
+        // same-slot re-read returns the intact entry.
+        injector_->recordDetected(fault::FaultKind::QueuePerturb);
+        injector_->recordRecovered(fault::FaultKind::QueuePerturb,
+                                   "transfer_queue.pop", 1);
+    }
     const oram::StashEntry e = q_.front();
     q_.pop_front();
     ++stats_.services;
@@ -55,6 +64,7 @@ TransferQueue::exportMetrics(util::MetricsRegistry &m,
     m.setCounter(prefix + ".services", stats_.services);
     m.setCounter(prefix + ".drains", stats_.drains);
     m.setCounter(prefix + ".overflows", stats_.overflows);
+    m.setCounter(prefix + ".forced_drains", stats_.forcedDrains);
     m.setCounter(prefix + ".max_occupancy", stats_.maxOccupancy);
     m.histogram(prefix + ".depth").merge(depth_);
 }

@@ -18,6 +18,11 @@
 #include "util/metrics.hh"
 #include "util/rng.hh"
 
+namespace secdimm::fault
+{
+class FaultInjector;
+}
+
 namespace secdimm::sdimm
 {
 
@@ -28,6 +33,9 @@ struct TransferQueueStats
     std::uint64_t services = 0;
     std::uint64_t drains = 0;    ///< Extra accessORAM drains triggered.
     std::uint64_t overflows = 0; ///< Arrivals dropped (should be ~0).
+    /** Full-queue arrivals resolved by a forced extra-accessORAM
+     *  drain instead of a drop (see SecureBuffer::handleAppend). */
+    std::uint64_t forcedDrains = 0;
     std::size_t maxOccupancy = 0;
 };
 
@@ -58,6 +66,23 @@ class TransferQueue
     /** Remove and return the oldest entry (service). */
     std::optional<oram::StashEntry> pop();
 
+    /**
+     * Count one forced drain: the owner found the queue full on an
+     * APPEND arrival and ran an extra accessORAM to make room (the
+     * paper's drain mechanism applied deterministically at the M/M/1/K
+     * boundary instead of silently saturating).
+     */
+    void recordForcedDrain() { ++stats_.forcedDrains; }
+
+    bool full() const { return q_.size() >= capacity_; }
+
+    /**
+     * Arm entry-perturbation injection on pop() (nullptr disarms):
+     * a rolled perturbation models a parity-detected SRAM flip that a
+     * same-slot re-read recovers.  Not owned.
+     */
+    void setFaultInjector(fault::FaultInjector *inj) { injector_ = inj; }
+
     std::size_t size() const { return q_.size(); }
     std::size_t capacity() const { return capacity_; }
     bool empty() const { return q_.empty(); }
@@ -81,6 +106,7 @@ class TransferQueue
     std::deque<oram::StashEntry> q_;
     TransferQueueStats stats_;
     util::LogHistogram depth_;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace secdimm::sdimm

@@ -1,12 +1,18 @@
 #include "verify/fuzz.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <vector>
 
+#include "fault/fault_injector.hh"
+#include "sdimm/indep_split_oram.hh"
+#include "sdimm/independent_oram.hh"
 #include "sdimm/link_session.hh"
 #include "sdimm/sdimm_command.hh"
 #include "sdimm/secure_buffer.hh"
+#include "sdimm/split_oram.hh"
 #include "util/rng.hh"
 
 namespace secdimm::verify
@@ -341,6 +347,138 @@ fuzzMessageCodecs(std::uint64_t seed, std::uint64_t iters)
         }
         if (unpackAppend(body).has_value() != (len == appendBodyBytes))
             fail(r, "messages: APPEND size check broken");
+    }
+    return r;
+}
+
+FuzzResult
+fuzzFaultRecovery(std::uint64_t seed, std::uint64_t iters)
+{
+    FuzzResult r;
+    Rng rng(seed ^ 0xfa0175);
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        ++r.iterations;
+
+        fault::FaultPlan plan;
+        plan.seed = rng.next();
+        plan.maxRetries = 1 + static_cast<unsigned>(rng.nextBelow(5));
+        const auto rate = [&] { return rng.nextBelow(50) / 1000.0; };
+        plan.dramBitFlipRate = rate();
+        plan.linkCorruptRate = rate();
+        plan.linkDropRate = rate();
+        plan.linkDelayRate = rate();
+        plan.queuePerturbRate = rate();
+        fault::FaultInjector inj(plan);
+
+        oram::OramParams tree;
+        tree.levels = 3 + static_cast<unsigned>(rng.nextBelow(2));
+        tree.stashCapacity = 150;
+        const std::uint64_t proto_seed = rng.next();
+
+        // One protocol instance per iteration, in rotation.
+        std::unique_ptr<sdimm::IndependentOram> indep;
+        std::unique_ptr<sdimm::SplitOram> split;
+        std::unique_ptr<sdimm::IndepSplitOram> combo;
+        std::uint64_t capacity = 0;
+        const unsigned which = i % 3;
+        if (which == 0) {
+            sdimm::IndependentOram::Params p;
+            p.perSdimm = tree;
+            p.numSdimms = 2;
+            p.transferCapacity = 8;
+            indep = std::make_unique<sdimm::IndependentOram>(
+                p, proto_seed);
+            indep->setFaultInjector(
+                &inj, fault::DegradationPolicy::RetryThenStop);
+            capacity = indep->capacityBlocks();
+        } else if (which == 1) {
+            sdimm::SplitOram::Params p;
+            p.tree = tree;
+            p.slices = 2;
+            split = std::make_unique<sdimm::SplitOram>(p, proto_seed);
+            split->setFaultInjector(&inj);
+            capacity = split->capacityBlocks();
+        } else {
+            sdimm::IndepSplitOram::Params p;
+            p.perGroupTree = tree;
+            p.groups = 2;
+            p.slicesPerGroup = 2;
+            combo =
+                std::make_unique<sdimm::IndepSplitOram>(p, proto_seed);
+            combo->setFaultInjector(
+                &inj, fault::DegradationPolicy::RetryThenStop);
+            capacity = combo->capacityBlocks();
+        }
+        const auto access = [&](Addr a, oram::OramOp op,
+                                const BlockData *d) {
+            if (indep)
+                return indep->access(a, op, d);
+            if (split)
+                return split->access(a, op, d);
+            return combo->access(a, op, d);
+        };
+        const auto integrity_ok = [&] {
+            if (indep)
+                return indep->integrityOk();
+            if (split)
+                return split->integrityOk();
+            return combo->integrityOk();
+        };
+
+        // Write/read-back workload over a handful of blocks.
+        const unsigned blocks = static_cast<unsigned>(
+            std::min<std::uint64_t>(capacity, 12));
+        std::vector<BlockData> mirror(blocks);
+        for (unsigned b = 0; b < blocks; ++b) {
+            for (auto &v : mirror[b])
+                v = static_cast<std::uint8_t>(rng.nextBelow(256));
+            access(b, oram::OramOp::Write, &mirror[b]);
+        }
+        bool data_ok = true;
+        for (unsigned b = 0; b < blocks; ++b) {
+            const BlockData got =
+                access(b, oram::OramOp::Read, nullptr);
+            if (got != mirror[b])
+                data_ok = false;
+        }
+
+        if (inj.detectedTotal() != inj.injectedTotal()) {
+            std::ostringstream os;
+            os << "fault: detected " << inj.detectedTotal()
+               << " != injected " << inj.injectedTotal() << " (proto "
+               << which << ", iter " << i << ")";
+            fail(r, os.str());
+        }
+        if (inj.unrecoveredTotal() == 0) {
+            if (inj.recoveredTotal() != inj.detectedTotal()) {
+                std::ostringstream os;
+                os << "fault: recovered " << inj.recoveredTotal()
+                   << " != detected " << inj.detectedTotal()
+                   << " with no exhausted budget (iter " << i << ")";
+                fail(r, os.str());
+            }
+            if (!integrity_ok()) {
+                std::ostringstream os;
+                os << "fault: clean recovery but integrityOk() false "
+                      "(proto "
+                   << which << ", iter " << i << ")";
+                fail(r, os.str());
+            }
+            if (!data_ok) {
+                std::ostringstream os;
+                os << "fault: recovered campaign returned wrong data "
+                      "(proto "
+                   << which << ", iter " << i << ")";
+                fail(r, os.str());
+            }
+        } else if (integrity_ok()) {
+            std::ostringstream os;
+            os << "fault: exhausted retry budget but integrityOk() "
+                  "still true (proto "
+               << which << ", iter " << i << ")";
+            fail(r, os.str());
+        }
     }
     return r;
 }

@@ -60,6 +60,22 @@ FuzzResult fuzzLinkSession(std::uint64_t seed, std::uint64_t iters);
  */
 FuzzResult fuzzMessageCodecs(std::uint64_t seed, std::uint64_t iters);
 
+/**
+ * Fuzz the detect-and-retry recovery layer (docs/FAULTS.md): each
+ * iteration builds one small secure protocol instance (Independent,
+ * Split, or INDEP-SPLIT in rotation) under a randomized FaultPlan and
+ * a randomized retry budget, runs a write/read-back workload, and
+ * demands the recovery invariants: every injected fault is detected
+ * (fault.detected == fault.injected), a campaign with no exhausted
+ * budget recovers every fault, returns bit-exact data, and keeps
+ * integrityOk(); a campaign WITH an exhausted budget fail-stops
+ * (integrityOk() false) instead of serving silently corrupt data.
+ *
+ * One iteration is a whole mini campaign (dozens of accesses), so
+ * meaningful counts are ~1e3-1e5, not the 1e7 of the parser fuzzers.
+ */
+FuzzResult fuzzFaultRecovery(std::uint64_t seed, std::uint64_t iters);
+
 } // namespace secdimm::verify
 
 #endif // SECUREDIMM_VERIFY_FUZZ_HH

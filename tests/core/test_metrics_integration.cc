@@ -163,14 +163,38 @@ TEST(MetricsIntegration, EveryMetricNameIsDocumented)
             names.insert(normalizeName(n));
     }
 
-    // The functional-layer snapshot (SecureMemorySystem::metrics).
+    // The functional-layer snapshot (SecureMemorySystem::metrics),
+    // fault-free and under an armed fault plan (the fault.* family
+    // plus the degradation counters only appear in faulty runs).
     for (auto proto : {SecureMemorySystem::Protocol::PathOram,
                        SecureMemorySystem::Protocol::Freecursive,
                        SecureMemorySystem::Protocol::Independent,
-                       SecureMemorySystem::Protocol::Split}) {
+                       SecureMemorySystem::Protocol::Split,
+                       SecureMemorySystem::Protocol::IndepSplit}) {
+        for (const bool with_faults : {false, true}) {
+            SecureMemorySystem::Options opt;
+            opt.protocol = proto;
+            opt.capacityBytes = 1 << 16;
+            if (with_faults)
+                opt.faultPlan = fault::FaultPlan::uniform(0.05, 7);
+            SecureMemorySystem mem(opt);
+            BlockData d{};
+            for (Addr a = 0; a < 20; ++a) {
+                mem.writeBlock(a, d);
+                mem.readBlock(a);
+            }
+            for (const auto &n : mem.metrics().names())
+                names.insert(normalizeName(n));
+        }
+    }
+
+    // Degradation-policy metrics (quarantine counters).
+    {
         SecureMemorySystem::Options opt;
-        opt.protocol = proto;
+        opt.protocol = SecureMemorySystem::Protocol::Independent;
         opt.capacityBytes = 1 << 16;
+        opt.faultPlan = fault::FaultPlan::uniform(0.05, 7);
+        opt.degradationPolicy = fault::DegradationPolicy::Degraded;
         SecureMemorySystem mem(opt);
         BlockData d{};
         mem.writeBlock(1, d);

@@ -30,13 +30,15 @@ class AllProtocols : public ::testing::TestWithParam<Protocol>
 INSTANTIATE_TEST_SUITE_P(
     Protocols, AllProtocols,
     ::testing::Values(Protocol::PathOram, Protocol::Freecursive,
-                      Protocol::Independent, Protocol::Split),
+                      Protocol::Independent, Protocol::Split,
+                      Protocol::IndepSplit),
     [](const ::testing::TestParamInfo<Protocol> &info) {
         switch (info.param) {
           case Protocol::PathOram: return "PathOram";
           case Protocol::Freecursive: return "Freecursive";
           case Protocol::Independent: return "Independent";
           case Protocol::Split: return "Split";
+          case Protocol::IndepSplit: return "IndepSplit";
         }
         return "unknown";
     });
@@ -118,6 +120,36 @@ TEST_P(AllProtocols, ManyMixedOperations)
         EXPECT_EQ(d[63], static_cast<std::uint8_t>(a ^ 0xff));
     }
     EXPECT_TRUE(mem.integrityOk());
+}
+
+TEST(SecureMemorySystem, IndepSplitWithFourGroups)
+{
+    auto o = opts(Protocol::IndepSplit);
+    o.numSdimms = 4; // Four Independent groups of two slices each.
+    o.slicesPerGroup = 2;
+    SecureMemorySystem mem(o);
+    const char msg[] = "four groups, two slices each";
+    mem.write(0, msg, sizeof(msg));
+    char got[sizeof(msg)];
+    mem.read(0, got, sizeof(got));
+    EXPECT_EQ(std::memcmp(got, msg, sizeof(msg)), 0);
+    EXPECT_TRUE(mem.integrityOk());
+    EXPECT_TRUE(mem.auditNow().ok());
+}
+
+TEST(SecureMemorySystem, IndepSplitExportsGroupMetrics)
+{
+    SecureMemorySystem mem(opts(Protocol::IndepSplit));
+    BlockData d{};
+    mem.writeBlock(3, d);
+    mem.readBlock(3);
+    const auto m = mem.metrics();
+    EXPECT_GT(m.counter("sdimm.indep_split.g0.accesses") +
+                  m.counter("sdimm.indep_split.g0.dummy_accesses"),
+              0u);
+    EXPECT_GT(m.counter("sdimm.indep_split.appends_real") +
+                  m.counter("sdimm.indep_split.appends_dummy"),
+              0u);
 }
 
 TEST(SecureMemorySystem, SplitWithFourSlices)

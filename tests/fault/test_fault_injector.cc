@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the fault subsystem proper: FaultPlan predicates,
+ * deterministic replay of a roll stream from (plan, seed) alone, the
+ * single-draw-per-message link band partition, corruptBuffer's
+ * one-bit contract, the accounting ledger, and the fault.* metric
+ * export names docs/METRICS.md documents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fault/fault_injector.hh"
+#include "util/metrics.hh"
+
+namespace secdimm::fault
+{
+namespace
+{
+
+TEST(FaultPlan, EnabledPredicates)
+{
+    EXPECT_FALSE(FaultPlan{}.enabled());
+    EXPECT_FALSE(FaultPlan::none().enabled());
+    EXPECT_TRUE(FaultPlan::uniform(0.01, 1).enabled());
+
+    FaultPlan p;
+    p.linkDropRate = 0.001;
+    EXPECT_TRUE(p.enabled());
+
+    const FaultPlan u = FaultPlan::uniform(0.25, 42);
+    EXPECT_EQ(u.seed, 42u);
+    EXPECT_DOUBLE_EQ(u.dramBitFlipRate, 0.25);
+    EXPECT_DOUBLE_EQ(u.linkCorruptRate, 0.25);
+    EXPECT_DOUBLE_EQ(u.linkDropRate, 0.25);
+    EXPECT_DOUBLE_EQ(u.linkDelayRate, 0.25);
+    EXPECT_DOUBLE_EQ(u.executorStallRate, 0.25);
+    EXPECT_DOUBLE_EQ(u.queuePerturbRate, 0.25);
+}
+
+TEST(FaultTypes, StableNames)
+{
+    EXPECT_STREQ(kindName(FaultKind::DramBitFlip), "dram_bit_flip");
+    EXPECT_STREQ(kindName(FaultKind::LinkCorrupt), "link_corrupt");
+    EXPECT_STREQ(kindName(FaultKind::LinkDrop), "link_drop");
+    EXPECT_STREQ(kindName(FaultKind::LinkDelay), "link_delay");
+    EXPECT_STREQ(kindName(FaultKind::ExecutorStall), "executor_stall");
+    EXPECT_STREQ(kindName(FaultKind::QueuePerturb), "queue_perturb");
+    EXPECT_STREQ(policyName(DegradationPolicy::FailStop), "fail_stop");
+    EXPECT_STREQ(policyName(DegradationPolicy::RetryThenStop),
+                 "retry_then_stop");
+    EXPECT_STREQ(policyName(DegradationPolicy::Degraded), "degraded");
+}
+
+TEST(FaultInjector, RollStreamReproducesFromPlanAlone)
+{
+    const FaultPlan plan = FaultPlan::uniform(0.2, 77);
+    FaultInjector a(plan);
+    FaultInjector b(plan);
+    for (int i = 0; i < 2000; ++i) {
+        switch (i % 4) {
+        case 0:
+            EXPECT_EQ(a.rollDramBitFlip(), b.rollDramBitFlip());
+            break;
+        case 1:
+            EXPECT_EQ(a.rollLinkFault(), b.rollLinkFault());
+            break;
+        case 2:
+            EXPECT_EQ(a.rollExecutorStall(), b.rollExecutorStall());
+            break;
+        case 3:
+            EXPECT_EQ(a.rollQueuePerturb(), b.rollQueuePerturb());
+            break;
+        }
+    }
+    std::vector<std::uint8_t> buf_a(64, 0xcc), buf_b(64, 0xcc);
+    a.corruptBuffer(buf_a);
+    b.corruptBuffer(buf_b);
+    EXPECT_EQ(buf_a, buf_b);
+    EXPECT_EQ(a.injectedTotal(), b.injectedTotal());
+}
+
+TEST(FaultInjector, LinkBandsPartitionOneDraw)
+{
+    FaultPlan plan;
+    plan.linkCorruptRate = 0.05;
+    plan.linkDropRate = 0.03;
+    plan.linkDelayRate = 0.02;
+    plan.seed = 5;
+    FaultInjector inj(plan);
+
+    const int n = 200000;
+    int corrupted = 0, dropped = 0, delayed = 0, delivered = 0;
+    for (int i = 0; i < n; ++i) {
+        switch (inj.rollLinkFault()) {
+        case WireOutcome::Corrupted: ++corrupted; break;
+        case WireOutcome::Dropped: ++dropped; break;
+        case WireOutcome::Delayed: ++delayed; break;
+        case WireOutcome::Delivered: ++delivered; break;
+        }
+    }
+    // The three bands are disjoint slices of ONE uniform draw, so the
+    // empirical rates must match the plan's individually.
+    EXPECT_NEAR(corrupted / double(n), 0.05, 0.005);
+    EXPECT_NEAR(dropped / double(n), 0.03, 0.005);
+    EXPECT_NEAR(delayed / double(n), 0.02, 0.005);
+    EXPECT_EQ(corrupted + dropped + delayed + delivered, n);
+    // Every fired band was counted as injected, nothing else.
+    EXPECT_EQ(inj.injected(FaultKind::LinkCorrupt),
+              static_cast<std::uint64_t>(corrupted));
+    EXPECT_EQ(inj.injected(FaultKind::LinkDrop),
+              static_cast<std::uint64_t>(dropped));
+    EXPECT_EQ(inj.injected(FaultKind::LinkDelay),
+              static_cast<std::uint64_t>(delayed));
+    EXPECT_EQ(inj.injectedTotal(), static_cast<std::uint64_t>(
+                                       corrupted + dropped + delayed));
+}
+
+TEST(FaultInjector, ZeroRatesNeverFire)
+{
+    FaultInjector inj(FaultPlan::none());
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(inj.rollDramBitFlip());
+        EXPECT_EQ(inj.rollLinkFault(), WireOutcome::Delivered);
+        EXPECT_EQ(inj.rollExecutorStall(), 0u);
+        EXPECT_FALSE(inj.rollQueuePerturb());
+    }
+    EXPECT_EQ(inj.injectedTotal(), 0u);
+}
+
+TEST(FaultInjector, StallRollReturnsConfiguredCycles)
+{
+    FaultPlan plan;
+    plan.executorStallRate = 1.0;
+    plan.stallCycles = 321;
+    FaultInjector inj(plan);
+    EXPECT_EQ(inj.rollExecutorStall(), 321u);
+    EXPECT_EQ(inj.injected(FaultKind::ExecutorStall), 1u);
+}
+
+TEST(FaultInjector, CorruptBufferFlipsExactlyOneBit)
+{
+    FaultInjector inj(FaultPlan::uniform(0.5, 9));
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::uint8_t> buf(48, 0);
+        inj.corruptBuffer(buf);
+        int flipped = 0;
+        for (std::uint8_t b : buf) {
+            while (b) {
+                flipped += b & 1;
+                b >>= 1;
+            }
+        }
+        EXPECT_EQ(flipped, 1) << "trial " << trial;
+    }
+}
+
+TEST(FaultInjector, CorruptBufferEmptyIsNoop)
+{
+    FaultInjector inj(FaultPlan::uniform(0.5, 9));
+    std::vector<std::uint8_t> empty;
+    inj.corruptBuffer(empty); // Must not crash or draw out of range.
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultInjector, LedgerTotalsAndEvents)
+{
+    FaultInjector inj(FaultPlan::uniform(0.01, 3));
+    inj.recordDetected(FaultKind::LinkCorrupt);
+    inj.recordRecovered(FaultKind::LinkCorrupt, "uplink.ACCESS", 1);
+    inj.recordDetected(FaultKind::DramBitFlip);
+    inj.recordRecovered(FaultKind::DramBitFlip, "store.bucket", 2);
+    inj.recordDetected(FaultKind::LinkDrop);
+    inj.recordUnrecovered(FaultKind::LinkDrop, "uplink.APPEND", 4);
+    inj.recordDegraded();
+
+    EXPECT_EQ(inj.detectedTotal(), 3u);
+    EXPECT_EQ(inj.recoveredTotal(), 2u);
+    EXPECT_EQ(inj.unrecoveredTotal(), 1u);
+    EXPECT_EQ(inj.degradedAccesses(), 1u);
+    EXPECT_EQ(inj.detected(FaultKind::LinkCorrupt), 1u);
+    EXPECT_EQ(inj.recovered(FaultKind::DramBitFlip), 1u);
+
+    ASSERT_EQ(inj.events().size(), 3u);
+    EXPECT_EQ(inj.events()[0].site, "uplink.ACCESS");
+    EXPECT_TRUE(inj.events()[0].recovered);
+    EXPECT_EQ(inj.events()[1].attempts, 2u);
+    EXPECT_EQ(inj.events()[2].kind, FaultKind::LinkDrop);
+    EXPECT_FALSE(inj.events()[2].recovered);
+}
+
+TEST(FaultInjector, EventLogIsBounded)
+{
+    FaultInjector inj(FaultPlan::uniform(0.01, 3));
+    for (int i = 0; i < 5000; ++i)
+        inj.recordRecovered(FaultKind::QueuePerturb, "xfer.pop", 1);
+    EXPECT_LE(inj.events().size(), 4096u);
+    EXPECT_EQ(inj.recoveredTotal(), 5000u); // Counters never truncate.
+}
+
+TEST(FaultInjector, MetricExportNames)
+{
+    FaultInjector inj(FaultPlan::uniform(0.01, 3));
+    inj.recordDetected(FaultKind::LinkCorrupt);
+    inj.recordRecovered(FaultKind::LinkCorrupt, "uplink.ACCESS", 1);
+    // One synthetic injection so the per-kind counter appears.
+    FaultPlan all;
+    all.linkCorruptRate = 1.0;
+    FaultInjector always(all);
+    (void)always.rollLinkFault();
+    always.recordDetected(FaultKind::LinkCorrupt);
+    always.recordRecovered(FaultKind::LinkCorrupt, "uplink.ACCESS", 1);
+
+    util::MetricsRegistry m;
+    always.exportMetrics(m, "fault");
+    EXPECT_EQ(m.counter("fault.injected.total"), 1u);
+    EXPECT_EQ(m.counter("fault.detected.total"), 1u);
+    EXPECT_EQ(m.counter("fault.recovered.total"), 1u);
+    EXPECT_EQ(m.counter("fault.unrecovered.total"), 0u);
+    EXPECT_EQ(m.counter("fault.link_corrupt.injected"), 1u);
+    EXPECT_EQ(m.counter("fault.link_corrupt.detected"), 1u);
+    EXPECT_EQ(m.counter("fault.link_corrupt.recovered"), 1u);
+    const auto *h = m.findHistogram("fault.retry_count");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 1u);
+
+    // Quiet kinds stay out of the export (bus-metric convention).
+    util::MetricsRegistry quiet;
+    FaultInjector idle(FaultPlan::none());
+    idle.exportMetrics(quiet, "fault");
+    EXPECT_EQ(quiet.findHistogram("fault.retry_count"), nullptr);
+    for (const auto &n : quiet.names())
+        EXPECT_EQ(n.find("dram_bit_flip"), std::string::npos) << n;
+}
+
+} // namespace
+} // namespace secdimm::fault

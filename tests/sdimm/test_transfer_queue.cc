@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "analytic/mm1k.hh"
+#include "sdimm/independent_oram.hh"
 #include "sdimm/transfer_queue.hh"
+#include "verify/invariant_audit.hh"
 
 namespace secdimm::sdimm
 {
@@ -121,6 +123,108 @@ TEST(TransferQueue, ObservedOccupancyMatchesMm1k)
     const double predicted = analytic::mm1kMeanOccupancy(
         analytic::mm1kUtilization(0.25), 16);
     EXPECT_NEAR(mean, predicted, 0.5);
+}
+
+TEST(TransferQueue, ForcedDrainCountedAndAuditClean)
+{
+    TransferQueue q(2, 0.25, 1);
+    EXPECT_TRUE(q.push(entry(1)));
+    EXPECT_TRUE(q.push(entry(2)));
+    // The owner finds the queue full, runs one extra accessORAM to
+    // service an entry, and only then enqueues the arrival.
+    ASSERT_TRUE(q.full());
+    q.recordForcedDrain();
+    ASSERT_TRUE(q.pop().has_value());
+    EXPECT_TRUE(q.push(entry(3)));
+
+    EXPECT_EQ(q.stats().forcedDrains, 1u);
+    EXPECT_EQ(q.stats().overflows, 0u);
+    const verify::AuditReport r = verify::auditTransferQueue(q);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(TransferQueue, ForcedDrainExportedAsMetric)
+{
+    TransferQueue q(1, 0.25, 1);
+    q.push(entry(1));
+    q.recordForcedDrain();
+    util::MetricsRegistry m;
+    q.exportMetrics(m, "xfer");
+    EXPECT_EQ(m.counter("xfer.forced_drains"), 1u);
+    EXPECT_EQ(m.counter("xfer.overflows"), 0u);
+}
+
+TEST(TransferQueue, AuditFlagsForcedDrainWithoutFullQueue)
+{
+    // A forced drain claims the queue was full; if occupancy never
+    // reached capacity the accounting is lying and the audit says so.
+    TransferQueue q(4, 0.25, 1);
+    q.push(entry(1));
+    q.recordForcedDrain();
+    const verify::AuditReport r = verify::auditTransferQueue(q);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("forced drain"), std::string::npos)
+        << r.summary();
+}
+
+TEST(TransferQueue, AuditBoundsForcedDrainsByQueueingModel)
+{
+    // Full-queue arrivals (overflows + forced drains) far beyond the
+    // M/M/1/K blocking prediction must trip the Section IV-C bound.
+    TransferQueue q(8, 0.25, 1);
+    for (int i = 0; i < 8; ++i)
+        q.push(entry(static_cast<Addr>(i)));
+    for (int i = 0; i < 400; ++i) {
+        q.recordForcedDrain(); // Full-queue arrival...
+        q.pop();               // ...drained...
+        q.push(entry(100));    // ...and enqueued.
+    }
+    const verify::AuditReport r = verify::auditTransferQueue(q);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.summary().find("queueing-model bound"),
+              std::string::npos)
+        << r.summary();
+}
+
+/**
+ * End-to-end (the satellite fix): a deliberately tiny transfer queue
+ * with the drain mechanism DISABLED (p = 0) used to overflow-drop
+ * appended blocks; now every full-queue APPEND triggers the paper's
+ * extra accessORAM instead.  No block is ever dropped, the M/M/1/K
+ * audit stays clean, and the campaign's data still round-trips.
+ */
+TEST(TransferQueue, SecureBufferForcesDrainInsteadOfDropping)
+{
+    IndependentOram::Params ip;
+    ip.perSdimm.levels = 5;
+    ip.perSdimm.stashCapacity = 200;
+    ip.numSdimms = 2;
+    ip.transferCapacity = 1; // One slot: every collision is a drain.
+    ip.drainProb = 0.0;      // Probabilistic drains off.
+    IndependentOram o(ip, 77);
+
+    Rng rng(5);
+    for (int i = 0; i < 300; ++i) {
+        const Addr a = rng.nextBelow(64);
+        BlockData d{};
+        d[0] = static_cast<std::uint8_t>(a);
+        if (rng.nextBool(0.5)) {
+            o.access(a, oram::OramOp::Write, &d);
+        } else {
+            o.access(a, oram::OramOp::Read, nullptr);
+        }
+    }
+
+    std::uint64_t forced = 0;
+    for (unsigned i = 0; i < o.numSdimms(); ++i) {
+        const TransferQueueStats &s =
+            o.buffer(i).transferQueue().stats();
+        EXPECT_EQ(s.overflows, 0u) << "sdimm " << i << " dropped a block";
+        forced += s.forcedDrains;
+    }
+    EXPECT_GT(forced, 0u) << "campaign never filled the 1-slot queue";
+    const verify::AuditReport r = verify::auditIndependentOram(o);
+    EXPECT_TRUE(r.ok()) << r.summary();
 }
 
 } // namespace

@@ -7,9 +7,16 @@
  *
  * Usage:
  *   sdimm_fuzz [--seed N] [--iters N]
- *              [--target codec|frames|link|messages|all]
+ *              [--target codec|frames|link|messages|faults|all]
+ *              [--faults]
+ *
+ * `--faults` (or `--target faults`) selects the fault-recovery soak:
+ * each iteration is a whole randomized fault-injection campaign over
+ * one secure protocol instance, so its default iteration count is
+ * scaled down (one "faults" iteration costs ~10^3 parser iterations).
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -27,22 +34,26 @@ struct Campaign
 {
     const char *name;
     FuzzResult (*run)(std::uint64_t seed, std::uint64_t iters);
+    /** Iterations per requested iteration (cost normalization). */
+    std::uint64_t itersDivisor;
 };
 
 constexpr Campaign kCampaigns[] = {
-    {"codec", secdimm::verify::fuzzCommandCodec},
-    {"frames", secdimm::verify::fuzzCommandFrames},
-    {"link", secdimm::verify::fuzzLinkSession},
-    {"messages", secdimm::verify::fuzzMessageCodecs},
+    {"codec", secdimm::verify::fuzzCommandCodec, 1},
+    {"frames", secdimm::verify::fuzzCommandFrames, 1},
+    {"link", secdimm::verify::fuzzLinkSession, 1},
+    {"messages", secdimm::verify::fuzzMessageCodecs, 1},
+    {"faults", secdimm::verify::fuzzFaultRecovery, 1000},
 };
 
 void
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s [--seed N] [--iters N] "
-                 "[--target codec|frames|link|messages|all]\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s [--seed N] [--iters N] [--faults] "
+        "[--target codec|frames|link|messages|faults|all]\n",
+        argv0);
 }
 
 } // namespace
@@ -63,6 +74,8 @@ main(int argc, char **argv)
             iters = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(arg, "--target") == 0 && has_value) {
             target = argv[++i];
+        } else if (std::strcmp(arg, "--faults") == 0) {
+            target = "faults";
         } else {
             usage(argv[0]);
             return 2;
@@ -72,10 +85,18 @@ main(int argc, char **argv)
     bool matched = false;
     bool all_ok = true;
     for (const Campaign &c : kCampaigns) {
-        if (target != "all" && target != c.name)
+        if (target == "all") {
+            // The recovery soak only runs when asked for: its cost
+            // model differs from the parser campaigns'.
+            if (std::strcmp(c.name, "faults") == 0)
+                continue;
+        } else if (target != c.name) {
             continue;
+        }
         matched = true;
-        const FuzzResult r = c.run(seed, iters);
+        const std::uint64_t n =
+            std::max<std::uint64_t>(1, iters / c.itersDivisor);
+        const FuzzResult r = c.run(seed, n);
         std::printf("%-8s seed=%llu iters=%llu failures=%llu %s\n",
                     c.name, static_cast<unsigned long long>(seed),
                     static_cast<unsigned long long>(r.iterations),
