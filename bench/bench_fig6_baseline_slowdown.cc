@@ -23,14 +23,15 @@ main()
     const auto lens = bench::lengths();
     bench::JsonReport report("fig6_baseline_slowdown");
 
-    std::printf("%-12s %12s %12s %12s %12s %8s\n", "workload",
+    std::printf("%-12s %12s %12s %12s %12s %12s %8s\n", "workload",
                 "nonsec-1ch", "oram-1ch", "slow-1ch", "slow-2ch",
-                "ops/miss");
+                "path-1ch", "ops/miss");
 
-    std::vector<double> slow1, slow2, opsPerMiss;
+    std::vector<double> slow1, slow2, slowPath, opsPerMiss;
     for (const auto &wl : bench::workloads()) {
         SystemConfig ns1 = makeConfig(DesignPoint::NonSecure, 24, 7);
         SystemConfig fc1 = makeConfig(DesignPoint::Freecursive, 24, 7);
+        SystemConfig po1 = makeConfig(DesignPoint::PathOram, 24, 7);
         SystemConfig ns2 = ns1, fc2 = fc1;
         ns2.cpuChannels = 2;
         ns2.cpuGeom.channels = 2;
@@ -39,6 +40,7 @@ main()
 
         const SimResult rn1 = runWorkload(ns1, wl, lens, 1);
         const SimResult rf1 = runWorkload(fc1, wl, lens, 1);
+        const SimResult rp1 = runWorkload(po1, wl, lens, 1);
         const SimResult rn2 = runWorkload(ns2, wl, lens, 1);
         const SimResult rf2 = runWorkload(fc2, wl, lens, 1);
 
@@ -46,29 +48,38 @@ main()
                           static_cast<double>(rn1.core.cycles);
         const double s2 = static_cast<double>(rf2.core.cycles) /
                           static_cast<double>(rn2.core.cycles);
+        const double sp = static_cast<double>(rp1.core.cycles) /
+                          static_cast<double>(rn1.core.cycles);
         slow1.push_back(s1);
         slow2.push_back(s2);
+        slowPath.push_back(sp);
         opsPerMiss.push_back(rf1.avgOramsPerMiss);
 
         report.add("nonsecure.1ch", rn1.metrics);
         report.add("freecursive.1ch", rf1.metrics);
+        report.add("pathoram.1ch", rp1.metrics);
         report.add("nonsecure.2ch", rn2.metrics);
         report.add("freecursive.2ch", rf2.metrics);
         report.set("freecursive.1ch", "slowdown." + wl.name, s1);
         report.set("freecursive.2ch", "slowdown." + wl.name, s2);
+        report.set("pathoram.1ch", "slowdown." + wl.name, sp);
 
-        std::printf("%-12s %12llu %12llu %11.2fx %11.2fx %8.2f\n",
+        std::printf("%-12s %12llu %12llu %11.2fx %11.2fx %11.2fx %8.2f\n",
                     wl.name.c_str(),
                     static_cast<unsigned long long>(rn1.core.cycles),
                     static_cast<unsigned long long>(rf1.core.cycles),
-                    s1, s2, rf1.avgOramsPerMiss);
+                    s1, s2, sp, rf1.avgOramsPerMiss);
     }
 
-    std::printf("\n%-12s %12s %12s %11.2fx %11.2fx %8.2f\n", "geomean",
-                "", "", bench::geomean(slow1), bench::geomean(slow2),
+    std::printf("\n%-12s %12s %12s %11.2fx %11.2fx %11.2fx %8.2f\n",
+                "geomean", "", "", bench::geomean(slow1),
+                bench::geomean(slow2), bench::geomean(slowPath),
                 bench::mean(opsPerMiss));
-    std::printf("%-12s %12s %12s %12s %12s %8s\n", "paper", "", "",
-                "8.80x", "5.20x", "1.40");
+    std::printf("%-12s %12s %12s %12s %12s %12s %8s\n", "paper", "",
+                "", "8.80x", "5.20x", "", "1.40");
+
+    report.set("pathoram.1ch", "slowdown.geomean",
+               bench::geomean(slowPath));
 
     report.set("freecursive.1ch", "slowdown.geomean",
                bench::geomean(slow1));

@@ -33,6 +33,7 @@ struct DesignRow
 
 const DesignRow designs[] = {
     {"NonSecure", DesignPoint::NonSecure},
+    {"PathORAM", DesignPoint::PathOram},
     {"Freecursive", DesignPoint::Freecursive},
     {"INDEP-2", DesignPoint::Indep2},
     {"SPLIT-2", DesignPoint::Split2},

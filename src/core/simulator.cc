@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "fault/fault_injector.hh"
 #include "oram/freecursive_backend.hh"
 #include "oram/nonsecure_backend.hh"
 #include "sdimm/independent_backend.hh"
@@ -85,6 +86,10 @@ collectBackendMetrics(const SystemConfig &cfg, MemoryBackend &backend,
             ind->recursion().stats().avgOramsPerRequest();
         m.setCounter("sdimm.drain_ops", ind->drainOps());
         ind->recursion().exportMetrics(m, "oram.recursion");
+        if (const fault::FaultInjector *inj = ind->faultInjector()) {
+            inj->exportMetrics(m, "fault");
+            result.recoveryCycles = inj->recoveryCycles();
+        }
         return;
     }
 
@@ -132,6 +137,7 @@ exportCoreMetrics(SimResult &r)
     m.setCounter("core.off_dimm_lines", r.offDimmLines);
     m.setCounter("core.access_orams", r.accessOrams);
     m.setCounter("core.probes", r.probes);
+    m.setCounter("core.recovery_cycles", r.recoveryCycles);
     m.setGauge("core.orams_per_miss", r.avgOramsPerMiss);
     m.setGauge("core.energy.act_pre_nj", r.energy.actPreNj);
     m.setGauge("core.energy.rd_wr_nj", r.energy.rdWrNj);

@@ -36,6 +36,10 @@ struct SimResult
     double avgOramsPerMiss = 0.0;   ///< Recursion cost (PLB quality).
     std::uint64_t probes = 0;       ///< PROBE polls (SDIMM designs).
 
+    /** Cycles lost to fault handling: retries, watchdog backoff
+     *  waits, and evacuation traffic (0 when no fault plan armed). */
+    std::uint64_t recoveryCycles = 0;
+
     /**
      * Every layer's counters for this run, namespaced core.* /
      * dram.* / oram.* / sdimm.* (docs/METRICS.md).  Benches serialize

@@ -15,6 +15,7 @@ SystemConfig::numSdimms() const
 {
     switch (design) {
       case DesignPoint::NonSecure:
+      case DesignPoint::PathOram:
       case DesignPoint::Freecursive:
         return 0;
       case DesignPoint::Indep2:
@@ -123,6 +124,8 @@ sdimmConfig(const SystemConfig &cfg, unsigned partitions)
     scfg.sdimmGeom = cfg.sdimmGeom;
     scfg.lowPower = cfg.lowPower;
     scfg.drainProb = cfg.drainProb;
+    scfg.faultPlan = cfg.faultPlan;
+    scfg.policy = cfg.degradationPolicy;
     return scfg;
 }
 
@@ -135,6 +138,14 @@ buildBackend(const SystemConfig &cfg, std::uint64_t seed)
       case DesignPoint::NonSecure:
         return std::make_unique<oram::NonSecureBackend>(cfg.timing,
                                                         cfg.cpuGeom);
+      case DesignPoint::PathOram: {
+        // Plain Path ORAM: the whole PosMap lives on-chip, so every
+        // LLC miss is exactly one accessORAM (opsForAccess == 1).
+        oram::RecursionParams flat = cfg.recursion;
+        flat.posmapLevels = 0;
+        return std::make_unique<oram::FreecursiveBackend>(
+            cfg.globalTree(), flat, cfg.timing, cfg.cpuGeom, seed);
+      }
       case DesignPoint::Freecursive:
         return std::make_unique<oram::FreecursiveBackend>(
             cfg.globalTree(), cfg.recursion, cfg.timing, cfg.cpuGeom,
@@ -159,6 +170,7 @@ designName(DesignPoint design)
 {
     switch (design) {
       case DesignPoint::NonSecure: return "NonSecure";
+      case DesignPoint::PathOram: return "PathORAM";
       case DesignPoint::Freecursive: return "Freecursive";
       case DesignPoint::Indep2: return "INDEP-2";
       case DesignPoint::Split2: return "SPLIT-2";

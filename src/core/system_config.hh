@@ -11,6 +11,8 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault_plan.hh"
+#include "fault/fault_types.hh"
 #include "oram/oram_params.hh"
 #include "trace/memory_backend.hh"
 
@@ -23,6 +25,7 @@ namespace secdimm::core
 enum class DesignPoint
 {
     NonSecure,    ///< Plain DRAM (Figure 6 / 10 reference).
+    PathOram,     ///< CPU-side Path ORAM (no recursion) baseline.
     Freecursive,  ///< CPU-side Freecursive ORAM baseline [4].
     Indep2,       ///< Figure 7a: 1 channel, 2 SDIMMs, Independent.
     Split2,       ///< Figure 7b: 1 channel, 2-way Split.
@@ -51,6 +54,12 @@ struct SystemConfig
 
     bool lowPower = true;      ///< Section III-E for SDIMM designs.
     double drainProb = 0.1;    ///< See SdimmTimingConfig::drainProb.
+
+    /** Fault campaign forwarded to the backend (Independent designs
+     *  model it; an empty plan changes nothing anywhere). */
+    fault::FaultPlan faultPlan;
+    fault::DegradationPolicy degradationPolicy =
+        fault::DegradationPolicy::Degraded;
 
     /** SDIMMs (or Split slices) in this design. */
     unsigned numSdimms() const;

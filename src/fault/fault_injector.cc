@@ -34,6 +34,22 @@ kindName(FaultKind k)
         return "executor_stall";
     case FaultKind::QueuePerturb:
         return "queue_perturb";
+    case FaultKind::WatchdogTimeout:
+        return "watchdog_timeout";
+    }
+    return "unknown";
+}
+
+const char *
+permanentKindName(PermanentFaultKind k)
+{
+    switch (k) {
+    case PermanentFaultKind::StuckAt:
+        return "stuck_at";
+    case PermanentFaultKind::HardDeath:
+        return "hard_death";
+    case PermanentFaultKind::DegradedLatency:
+        return "degraded_latency";
     }
     return "unknown";
 }
@@ -55,6 +71,71 @@ policyName(DegradationPolicy p)
 FaultInjector::FaultInjector(const FaultPlan &plan)
     : plan_(plan), rng_(plan.seed)
 {
+    for (const PermanentFault &f : plan_.permanentFaults) {
+        PermanentState s;
+        s.fault = f;
+        /*
+         * StuckAt and DegradedLatency are live from boot; a HardDeath
+         * activates during noteAccess().  Only the dead kinds open a
+         * WatchdogTimeout ledger episode -- DegradedLatency is a
+         * timing-only fault and stays out of the detected/recovered
+         * identity entirely.
+         */
+        s.active = f.kind != PermanentFaultKind::HardDeath;
+        if (f.kind == PermanentFaultKind::StuckAt)
+            recordInjected(FaultKind::WatchdogTimeout);
+        permanent_.push_back(s);
+    }
+}
+
+void
+FaultInjector::noteAccess()
+{
+    ++accessIndex_;
+    for (PermanentState &s : permanent_) {
+        if (s.active || s.fault.kind != PermanentFaultKind::HardDeath)
+            continue;
+        if (accessIndex_ > s.fault.atAccess) {
+            s.active = true;
+            recordInjected(FaultKind::WatchdogTimeout);
+        }
+    }
+}
+
+bool
+FaultInjector::unitDead(unsigned unit) const
+{
+    for (const PermanentState &s : permanent_) {
+        if (s.active && s.fault.unit == unit &&
+            s.fault.kind != PermanentFaultKind::DegradedLatency)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+FaultInjector::unitLatencyPenalty(unsigned unit) const
+{
+    std::uint64_t cycles = 0;
+    for (const PermanentState &s : permanent_) {
+        if (s.active && s.fault.unit == unit &&
+            s.fault.kind == PermanentFaultKind::DegradedLatency)
+            cycles += s.fault.latencyCycles;
+    }
+    return cycles;
+}
+
+void
+FaultInjector::markPermanentDetected(unsigned unit)
+{
+    for (PermanentState &s : permanent_) {
+        if (!s.active || s.watchdogDetected || s.fault.unit != unit ||
+            s.fault.kind == PermanentFaultKind::DegradedLatency)
+            continue;
+        s.watchdogDetected = true;
+        recordDetected(FaultKind::WatchdogTimeout);
+        return;
+    }
 }
 
 bool
@@ -172,6 +253,39 @@ FaultInjector::recordDegraded()
     ++degraded_;
 }
 
+void
+FaultInjector::recordWatchdogProbe(std::uint64_t backoff_cycles)
+{
+    ++watchdogProbes_;
+    watchdogWait_ += backoff_cycles;
+    recoveryCycles_ += backoff_cycles;
+}
+
+void
+FaultInjector::recordQuarantine()
+{
+    ++quarantined_;
+}
+
+void
+FaultInjector::recordEvacuation(std::uint64_t blocks, std::uint64_t appends)
+{
+    evacuatedBlocks_ += blocks;
+    evacAppends_ += appends;
+}
+
+void
+FaultInjector::addDegradedLatencyCycles(std::uint64_t cycles)
+{
+    degradedCycles_ += cycles;
+}
+
+void
+FaultInjector::addRecoveryCycles(std::uint64_t cycles)
+{
+    recoveryCycles_ += cycles;
+}
+
 std::uint64_t
 FaultInjector::injected(FaultKind k) const
 {
@@ -226,6 +340,13 @@ FaultInjector::exportMetrics(util::MetricsRegistry &m,
     m.setCounter(prefix + ".recovered.total", recoveredTotal());
     m.setCounter(prefix + ".unrecovered.total", unrecoveredTotal_);
     m.setCounter(prefix + ".degraded_accesses", degraded_);
+    m.setCounter(prefix + ".watchdog_probes", watchdogProbes_);
+    m.setCounter(prefix + ".watchdog_backoff_cycles", watchdogWait_);
+    m.setCounter(prefix + ".quarantined_sdimms", quarantined_);
+    m.setCounter(prefix + ".evacuated_blocks", evacuatedBlocks_);
+    m.setCounter(prefix + ".evacuation_appends", evacAppends_);
+    m.setCounter(prefix + ".degraded_latency_cycles", degradedCycles_);
+    m.setCounter(prefix + ".recovery_cycles", recoveryCycles_);
     for (unsigned i = 0; i < kNumFaultKinds; ++i) {
         const auto k = static_cast<FaultKind>(i);
         const std::string base = prefix + "." + kindName(k);

@@ -61,6 +61,31 @@ class FaultInjector
     /** Flip one uniformly chosen bit of @p bytes (no-op if empty). */
     void corruptBuffer(std::vector<std::uint8_t> &bytes);
 
+    /* --- permanent faults ----------------------------------------- */
+
+    /**
+     * Advance the per-access clock.  HardDeath sites whose atAccess
+     * has passed become active here (and count as injected, opening a
+     * WatchdogTimeout episode the watchdog must close).  Call once at
+     * the top of every protocol access.
+     */
+    void noteAccess();
+    std::uint64_t accessIndex() const { return accessIndex_; }
+
+    /** Active StuckAt/HardDeath on @p unit: answers nothing. */
+    bool unitDead(unsigned unit) const;
+
+    /** Active DegradedLatency penalty for @p unit (0 when none). */
+    std::uint64_t unitLatencyPenalty(unsigned unit) const;
+
+    /**
+     * Close the injected->detected pairing for @p unit's permanent
+     * fault: exactly one WatchdogTimeout detection per site, recorded
+     * when the watchdog exhausts its PROBE budget.  No-op if the unit
+     * has no active undetected StuckAt/HardDeath.
+     */
+    void markPermanentDetected(unsigned unit);
+
     /* --- accounting ----------------------------------------------- */
 
     void recordDetected(FaultKind k);
@@ -69,6 +94,26 @@ class FaultInjector
     void recordUnrecovered(FaultKind k, const std::string &site,
                            unsigned attempts);
     void recordDegraded();
+
+    /** One watchdog PROBE issued; @p backoff_cycles waited after it. */
+    void recordWatchdogProbe(std::uint64_t backoff_cycles);
+    /** One unit quarantined (SDIMM or group; monotone counter). */
+    void recordQuarantine();
+    /** One completed evacuation: @p blocks live blocks drained via
+     *  @p appends dummy-padded APPENDs. */
+    void recordEvacuation(std::uint64_t blocks, std::uint64_t appends);
+    /** Timing layer: cycles lost to a DegradedLatency unit. */
+    void addDegradedLatencyCycles(std::uint64_t cycles);
+    /** Timing layer: cycles spent on backoff waits and evacuation. */
+    void addRecoveryCycles(std::uint64_t cycles);
+
+    std::uint64_t watchdogProbes() const { return watchdogProbes_; }
+    std::uint64_t watchdogBackoffCycles() const { return watchdogWait_; }
+    std::uint64_t quarantinedUnits() const { return quarantined_; }
+    std::uint64_t evacuatedBlocks() const { return evacuatedBlocks_; }
+    std::uint64_t evacuationAppends() const { return evacAppends_; }
+    std::uint64_t degradedLatencyCycles() const { return degradedCycles_; }
+    std::uint64_t recoveryCycles() const { return recoveryCycles_; }
 
     std::uint64_t injected(FaultKind k) const;
     std::uint64_t detected(FaultKind k) const;
@@ -91,8 +136,26 @@ class FaultInjector
     void logEvent(FaultKind k, const std::string &site, unsigned attempts,
                   bool recoveredFlag);
 
+    /** One scripted permanent fault and its activation/detection
+     *  state; the ledger sees exactly one injected and at most one
+     *  detected WatchdogTimeout per StuckAt/HardDeath entry. */
+    struct PermanentState {
+        PermanentFault fault;
+        bool active = false;
+        bool watchdogDetected = false;
+    };
+
     FaultPlan plan_;
     Rng rng_;
+    std::vector<PermanentState> permanent_;
+    std::uint64_t accessIndex_ = 0;
+    std::uint64_t watchdogProbes_ = 0;
+    std::uint64_t watchdogWait_ = 0;
+    std::uint64_t quarantined_ = 0;
+    std::uint64_t evacuatedBlocks_ = 0;
+    std::uint64_t evacAppends_ = 0;
+    std::uint64_t degradedCycles_ = 0;
+    std::uint64_t recoveryCycles_ = 0;
     std::array<std::uint64_t, kNumFaultKinds> injected_{};
     std::array<std::uint64_t, kNumFaultKinds> detected_{};
     std::array<std::uint64_t, kNumFaultKinds> recovered_{};

@@ -10,7 +10,11 @@
 #ifndef SECUREDIMM_FAULT_FAULT_PLAN_HH
 #define SECUREDIMM_FAULT_FAULT_PLAN_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
+
+#include "fault_types.hh"
 
 namespace secdimm::fault
 {
@@ -30,6 +34,13 @@ struct FaultPlan {
     /** Per TransferQueue pop: entry corrupted at rest. */
     double queuePerturbRate = 0.0;
 
+    /* --- permanent-fault sites ----------------------------------- */
+    /** Stuck-at / hard-death / degraded-latency units (see
+     *  PermanentFault).  Unlike the rates above these are not drawn
+     *  per opportunity: each entry is one scripted, never-healing
+     *  fault at a named unit. */
+    std::vector<PermanentFault> permanentFaults;
+
     /* --- recovery knobs ------------------------------------------ */
     /** Bounded retry budget per detected fault (0 == fail-stop). */
     unsigned maxRetries = 4;
@@ -38,12 +49,39 @@ struct FaultPlan {
     /** Seed for the injector's dedicated RNG stream. */
     std::uint64_t seed = 0xfa017u;
 
+    /* --- watchdog knobs ------------------------------------------ */
+    /** Base per-command deadline before the first PROBE re-poll. */
+    std::uint64_t watchdogDeadlineCycles = 512;
+    /** Exponential backoff multiplier between watchdog PROBEs. */
+    std::uint64_t watchdogBackoffBase = 2;
+    /** Cap on a single backoff wait (keeps the schedule bounded). */
+    std::uint64_t watchdogBackoffCapCycles = 8192;
+    /** PROBEs sent before a silent unit is declared permanently dead. */
+    unsigned watchdogMaxProbes = 6;
+
+    /**
+     * Deterministic capped exponential backoff: the wait after the
+     * p-th unanswered PROBE is min(deadline * base^p, cap).  Pure
+     * function of the plan, so the watchdog schedule is public.
+     */
+    std::uint64_t watchdogBackoff(unsigned probe) const
+    {
+        std::uint64_t wait = watchdogDeadlineCycles;
+        for (unsigned p = 0; p < probe; ++p) {
+            if (wait >= watchdogBackoffCapCycles)
+                break;
+            wait *= std::max<std::uint64_t>(watchdogBackoffBase, 1);
+        }
+        return std::min(wait, watchdogBackoffCapCycles);
+    }
+
     /** True if any injection site has a non-zero rate. */
     bool enabled() const
     {
         return dramBitFlipRate > 0.0 || linkCorruptRate > 0.0 ||
                linkDropRate > 0.0 || linkDelayRate > 0.0 ||
-               executorStallRate > 0.0 || queuePerturbRate > 0.0;
+               executorStallRate > 0.0 || queuePerturbRate > 0.0 ||
+               !permanentFaults.empty();
     }
 
     /** The empty plan: inject nothing (recovery layer still armed). */
@@ -63,6 +101,46 @@ struct FaultPlan {
         p.linkDelayRate = rate;
         p.executorStallRate = rate;
         p.queuePerturbRate = rate;
+        p.seed = seed;
+        return p;
+    }
+
+    /** Plan with one SDIMM/group stuck-at dead from boot. */
+    static FaultPlan stuckAt(unsigned unit, std::uint64_t seed)
+    {
+        FaultPlan p;
+        PermanentFault f;
+        f.kind = PermanentFaultKind::StuckAt;
+        f.unit = unit;
+        p.permanentFaults.push_back(f);
+        p.seed = seed;
+        return p;
+    }
+
+    /** Plan with one SDIMM/group dying hard at access @p atAccess. */
+    static FaultPlan hardDeath(unsigned unit, std::uint64_t atAccess,
+                               std::uint64_t seed)
+    {
+        FaultPlan p;
+        PermanentFault f;
+        f.kind = PermanentFaultKind::HardDeath;
+        f.unit = unit;
+        f.atAccess = atAccess;
+        p.permanentFaults.push_back(f);
+        p.seed = seed;
+        return p;
+    }
+
+    /** Plan where one unit pays @p cycles extra latency per op. */
+    static FaultPlan degradedLatency(unsigned unit, std::uint64_t cycles,
+                                     std::uint64_t seed)
+    {
+        FaultPlan p;
+        PermanentFault f;
+        f.kind = PermanentFaultKind::DegradedLatency;
+        f.unit = unit;
+        f.latencyCycles = cycles;
+        p.permanentFaults.push_back(f);
         p.seed = seed;
         return p;
     }

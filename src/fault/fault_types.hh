@@ -33,12 +33,37 @@ enum class FaultKind : std::uint8_t {
     LinkDelay,       ///< sealed frame delivered late (after a timeout)
     ExecutorStall,   ///< PathExecutor start delayed by N cycles
     QueuePerturb,    ///< TransferQueue entry corrupted at rest
+    WatchdogTimeout, ///< permanent fault: SDIMM missed every deadline
 };
 
-constexpr unsigned kNumFaultKinds = 6;
+constexpr unsigned kNumFaultKinds = 7;
 
 /** Stable lowercase snake_case name, used in fault.* metric names. */
 const char *kindName(FaultKind k);
+
+/**
+ * Permanent (non-transient) fault sites.  Unlike the per-opportunity
+ * rates, a permanent fault names one unit (SDIMM index in Independent
+ * mode, group index in INDEP-SPLIT) and never heals: once active the
+ * unit answers no PROBE and must be watchdog-detected and quarantined.
+ */
+enum class PermanentFaultKind : std::uint8_t {
+    StuckAt = 0,    ///< dead from boot: never answers anything
+    HardDeath,      ///< answers normally until access atAccess, then dies
+    DegradedLatency ///< still correct, but every op pays latencyCycles
+};
+
+const char *permanentKindName(PermanentFaultKind k);
+
+struct PermanentFault {
+    PermanentFaultKind kind = PermanentFaultKind::HardDeath;
+    /** SDIMM index (Independent) or group index (INDEP-SPLIT). */
+    unsigned unit = 0;
+    /** HardDeath: first 0-based access at which the unit is dead. */
+    std::uint64_t atAccess = 0;
+    /** DegradedLatency: extra cycles charged per op on this unit. */
+    std::uint64_t latencyCycles = 0;
+};
 
 /**
  * Modeled outcome of one message crossing a faulty channel.  Used

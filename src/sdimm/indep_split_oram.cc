@@ -1,5 +1,7 @@
 #include "sdimm/indep_split_oram.hh"
 
+#include <algorithm>
+
 #include "fault/fault_injector.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
@@ -53,8 +55,46 @@ IndepSplitOram::setFaultInjector(fault::FaultInjector *inj,
 {
     injector_ = inj;
     policy_ = policy;
+    quarantinedGroups_.assign(params_.groups, false);
     for (auto &g : groups_)
         g->setFaultInjector(inj);
+}
+
+void
+IndepSplitOram::quarantineGroup(unsigned g)
+{
+    if (quarantinedGroups_.empty())
+        quarantinedGroups_.assign(params_.groups, false);
+    SD_ASSERT(g < quarantinedGroups_.size());
+    if (!quarantinedGroups_[g] && injector_)
+        injector_->recordQuarantine();
+    quarantinedGroups_[g] = true;
+}
+
+unsigned
+IndepSplitOram::quarantinedGroupCount() const
+{
+    unsigned n = 0;
+    for (const bool q : quarantinedGroups_)
+        n += q ? 1 : 0;
+    return n;
+}
+
+LeafId
+IndepSplitOram::drawGlobalLeaf()
+{
+    const std::uint64_t global_leaves =
+        static_cast<std::uint64_t>(params_.groups) *
+        params_.perGroupTree.numLeaves();
+    // One draw in the common case; redraws only consult the (public)
+    // quarantine set, never data, so the draw count stays
+    // data-independent.
+    LeafId leaf;
+    do {
+        leaf = rng_.nextBelow(global_leaves);
+    } while (isGroupQuarantined(groupOf(leaf)) &&
+             quarantinedGroupCount() < params_.groups);
+    return leaf;
 }
 
 bool
@@ -82,13 +122,103 @@ IndepSplitOram::transmitGroupCommand(SdimmCommandType type, unsigned g,
         injector_->recordDetected(kind);
         if (attempts >= injector_->maxRetries()) {
             injector_->recordUnrecovered(kind, site, attempts);
-            failedStop_ = true;
+            if (policy_ == fault::DegradationPolicy::Degraded) {
+                // Group fail-over: quarantine the whole group and
+                // drain its blocks to the survivors (if any remain).
+                const bool was = isGroupQuarantined(g);
+                quarantineGroup(g);
+                if (!was &&
+                    quarantinedGroupCount() < params_.groups)
+                    evacuateGroup(g);
+            } else {
+                failedStop_ = true;
+            }
             return false;
         }
         ++attempts;
         injector_->recordRecovered(kind, site, 1);
         busTrace_.push_back({type, g}); // The retransmission.
     }
+}
+
+void
+IndepSplitOram::runWatchdog(unsigned g)
+{
+    const fault::FaultPlan &plan = injector_->plan();
+    for (unsigned p = 0; p < plan.watchdogMaxProbes; ++p) {
+        busTrace_.push_back({SdimmCommandType::Probe, g});
+        injector_->recordWatchdogProbe(plan.watchdogBackoff(p));
+    }
+    injector_->markPermanentDetected(g);
+}
+
+void
+IndepSplitOram::sweepPermanentFaults()
+{
+    for (unsigned g = 0; g < params_.groups; ++g) {
+        if (isGroupQuarantined(g) || !injector_->unitDead(g))
+            continue;
+        runWatchdog(g);
+        const std::string site = "watchdog.group" + std::to_string(g);
+        if (policy_ == fault::DegradationPolicy::Degraded) {
+            injector_->recordRecovered(fault::FaultKind::WatchdogTimeout,
+                                       site,
+                                       injector_->plan().watchdogMaxProbes);
+            quarantineGroup(g);
+            if (quarantinedGroupCount() < params_.groups)
+                evacuateGroup(g);
+        } else {
+            injector_->recordUnrecovered(
+                fault::FaultKind::WatchdogTimeout, site,
+                injector_->plan().watchdogMaxProbes);
+            failedStop_ = true;
+        }
+    }
+}
+
+void
+IndepSplitOram::evacuateGroup(unsigned dead)
+{
+    // Maintenance-path read of the dead group's raw slice shares
+    // (docs/FAULTS.md states the assumption), then CPU-private remaps
+    // off the dead group before any wire traffic.
+    const std::vector<std::pair<Addr, BlockData>> live =
+        groups_[dead]->residentBlocks();
+    for (Addr a = 0; a < posMap_.size(); ++a) {
+        if (groupOf(posMap_[a]) == dead)
+            posMap_[a] = drawGlobalLeaf();
+    }
+
+    // Dummy-padded APPEND streams sized by the public tree geometry
+    // (padded up only when more than one tree's capacity is live).
+    const std::uint64_t slots = std::max<std::uint64_t>(
+        params_.perGroupTree.capacityBlocks(), live.size());
+    for (std::uint64_t s = 0; s < slots; ++s) {
+        const bool have = s < live.size();
+        for (unsigned g = 0; g < params_.groups; ++g) {
+            if (isGroupQuarantined(g)) {
+                busTrace_.push_back({SdimmCommandType::Append, g});
+                ++appendsDummy_;
+                continue;
+            }
+            const bool delivered = transmitGroupCommand(
+                SdimmCommandType::Append, g, "indep_split.evacuate");
+            const bool real =
+                have && !isGroupQuarantined(g) &&
+                groupOf(posMap_[live[s].first]) == g;
+            if (real)
+                ++appendsReal_;
+            else
+                ++appendsDummy_;
+            if (delivered && real) {
+                groups_[g]->adoptBlock(live[s].first,
+                                       localLeaf(posMap_[live[s].first]),
+                                       live[s].second);
+            }
+        }
+    }
+    evacuatedBlocks_ += live.size();
+    injector_->recordEvacuation(live.size(), slots * params_.groups);
 }
 
 BlockData
@@ -99,19 +229,25 @@ IndepSplitOram::access(Addr addr, oram::OramOp op,
     const bool write = op == oram::OramOp::Write;
     SD_ASSERT(!write || new_data != nullptr);
 
+    // Permanent faults surface before the PosMap lookup, so a
+    // quarantine's remaps are already visible to the leaf read below.
+    if (injector_) {
+        injector_->noteAccess();
+        sweepPermanentFaults();
+    }
+
     const LeafId old_leaf = posMap_[addr];
-    const std::uint64_t global_leaves =
-        static_cast<std::uint64_t>(params_.groups) *
-        params_.perGroupTree.numLeaves();
-    const LeafId new_leaf = rng_.nextBelow(global_leaves);
+    const LeafId new_leaf = drawGlobalLeaf();
     posMap_[addr] = new_leaf;
 
     const unsigned src = groupOf(old_leaf);
     const unsigned dst = groupOf(new_leaf);
     const bool stays = src == dst;
 
-    if (failedStop_) {
-        // Fail-stop: preserve the bus shape, serve zeros.
+    if (failedStop_ || isGroupQuarantined(src)) {
+        // Fail-stop or a quarantined source group: preserve the bus
+        // shape, serve zeros (post-evacuation remaps make the
+        // quarantined-src case unreachable unless every group died).
         busTrace_.push_back({SdimmCommandType::Access, src});
         for (unsigned g = 0; g < params_.groups; ++g)
             busTrace_.push_back({SdimmCommandType::Append, g});
@@ -136,6 +272,13 @@ IndepSplitOram::access(Addr addr, oram::OramOp op,
     // Independent dimension: one APPEND per group (real only at the
     // destination, and only when the block actually moved).
     for (unsigned g = 0; g < params_.groups; ++g) {
+        if (isGroupQuarantined(g)) {
+            // Dead group: keep the channel shape, nothing to deliver
+            // (drawGlobalLeaf() never routes a real block here).
+            busTrace_.push_back({SdimmCommandType::Append, g});
+            ++appendsDummy_;
+            continue;
+        }
         const bool delivered = transmitGroupCommand(
             SdimmCommandType::Append, g, "indep_split.append");
         const bool real = !stays && g == dst;
@@ -170,6 +313,8 @@ IndepSplitOram::exportMetrics(util::MetricsRegistry &m,
     m.setCounter(prefix + ".appends_real", appendsReal_);
     m.setCounter(prefix + ".appends_dummy", appendsDummy_);
     m.setCounter(prefix + ".degraded_accesses", degradedAccesses_);
+    m.setCounter(prefix + ".quarantined_groups", quarantinedGroupCount());
+    m.setCounter(prefix + ".evacuated_blocks", evacuatedBlocks_);
     for (unsigned g = 0; g < params_.groups; ++g) {
         groups_[g]->exportMetrics(m,
                                   prefix + ".g" + std::to_string(g));

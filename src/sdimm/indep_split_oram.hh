@@ -64,14 +64,26 @@ class IndepSplitOram
 
     /**
      * Arm fault injection across every group plus the inter-group
-     * command wire (nullptr disarms).  Group-level quarantine is not
-     * modeled here -- an exhausted retry budget always fail-stops the
-     * whole protocol (Degraded degrades to RetryThenStop); per-unit
-     * quarantine lives in the pure Independent organization.
+     * command wire (nullptr disarms).  Under Degraded, quarantine is
+     * lifted to the *group* level (group fail-over): an exhausted
+     * budget or a watchdog-detected dead group quarantines the whole
+     * group and obliviously evacuates its live blocks to the
+     * survivors; other policies fail-stop the protocol.
      */
     void setFaultInjector(fault::FaultInjector *inj,
                           fault::DegradationPolicy policy =
                               fault::DegradationPolicy::RetryThenStop);
+
+    /** Remove @p g from service (Degraded policy; group fail-over). */
+    void quarantineGroup(unsigned g);
+    bool isGroupQuarantined(unsigned g) const
+    {
+        return g < quarantinedGroups_.size() && quarantinedGroups_[g];
+    }
+    unsigned quarantinedGroupCount() const;
+
+    /** Live blocks drained off quarantined groups so far. */
+    std::uint64_t evacuatedBlocks() const { return evacuatedBlocks_; }
 
     /** True once an unrecoverable fault stopped the protocol. */
     bool failedStop() const { return failedStop_; }
@@ -95,6 +107,19 @@ class IndepSplitOram
     bool transmitGroupCommand(SdimmCommandType type, unsigned g,
                               const char *site);
 
+    /** Draw a global leaf whose group is not quarantined (one draw
+     *  when nothing is quarantined; redraws consult only the public
+     *  quarantine set). */
+    LeafId drawGlobalLeaf();
+
+    /** Watchdog-detect permanently dead groups at the access top. */
+    void sweepPermanentFaults();
+    void runWatchdog(unsigned g);
+
+    /** Oblivious group evacuation: same geometry-padded APPEND-stream
+     *  argument as IndependentOram::evacuateSdimm, per group. */
+    void evacuateGroup(unsigned g);
+
     Params params_;
     unsigned localLevels_;
     Rng rng_;
@@ -107,7 +132,9 @@ class IndepSplitOram
     fault::FaultInjector *injector_ = nullptr;
     fault::DegradationPolicy policy_ =
         fault::DegradationPolicy::RetryThenStop;
+    std::vector<bool> quarantinedGroups_;
     bool failedStop_ = false;
+    std::uint64_t evacuatedBlocks_ = 0;
 };
 
 } // namespace secdimm::sdimm

@@ -25,6 +25,89 @@ IndependentBackend::IndependentBackend(const SdimmTimingConfig &config,
     }
     for (unsigned c = 0; c < config_.cpuChannels; ++c)
         buses_.push_back(std::make_unique<LinkBus>(config_.timing));
+    if (config_.faultPlan.enabled()) {
+        injector_ =
+            std::make_unique<fault::FaultInjector>(config_.faultPlan);
+        for (auto &e : executors_)
+            e->setFaultInjector(injector_.get());
+        deadHandled_.assign(config_.numSdimms, false);
+        quarantined_.assign(config_.numSdimms, false);
+    }
+}
+
+unsigned
+IndependentBackend::quarantinedCount() const
+{
+    unsigned n = 0;
+    for (const bool q : quarantined_)
+        n += q ? 1 : 0;
+    return n;
+}
+
+unsigned
+IndependentBackend::drawSdimm()
+{
+    // The op's leaf is uniformly random, so the target SDIMM is too;
+    // redraws consult only the (public) quarantine set.
+    unsigned sdimm =
+        static_cast<unsigned>(rng_.nextBelow(config_.numSdimms));
+    while (isQuarantined(sdimm) &&
+           quarantinedCount() < config_.numSdimms) {
+        sdimm = static_cast<unsigned>(rng_.nextBelow(config_.numSdimms));
+    }
+    return sdimm;
+}
+
+Tick
+IndependentBackend::sweepPermanentFaults(Tick now)
+{
+    const fault::FaultPlan &plan = injector_->plan();
+    for (unsigned i = 0; i < config_.numSdimms; ++i) {
+        if (deadHandled_[i] || !injector_->unitDead(i))
+            continue;
+        deadHandled_[i] = true;
+        // Watchdog: PROBE the silent SDIMM on its bus, waiting the
+        // capped exponential backoff between polls.
+        LinkBus &bus = *buses_[busOf(i)];
+        Tick t = now;
+        for (unsigned p = 0; p < plan.watchdogMaxProbes; ++p) {
+            bus.shortCommand(t, true);
+            const std::uint64_t wait = plan.watchdogBackoff(p);
+            t += wait;
+            injector_->recordWatchdogProbe(wait);
+        }
+        injector_->markPermanentDetected(i);
+        const std::string site = "timing.watchdog.sdimm" + std::to_string(i);
+        if (config_.policy != fault::DegradationPolicy::Degraded ||
+            quarantinedCount() + 1 >= config_.numSdimms) {
+            // No fail-over possible (or allowed): the cost is the
+            // watchdog itself; ops keep targeting the unit (the model
+            // has no data to lose, only cycles to account).
+            injector_->recordUnrecovered(fault::FaultKind::WatchdogTimeout,
+                                         site, plan.watchdogMaxProbes);
+            continue;
+        }
+        injector_->recordRecovered(fault::FaultKind::WatchdogTimeout,
+                                   site, plan.watchdogMaxProbes);
+        quarantined_[i] = true;
+        injector_->recordQuarantine();
+        // Oblivious evacuation charge: one geometry-sized dummy-padded
+        // APPEND stream (slots x full append burst) per surviving bus,
+        // modeled as one bulk transfer each.
+        const std::uint64_t slots = config_.perSdimm.capacityBlocks();
+        Tick done = t;
+        for (unsigned k = 0; k < config_.numSdimms; ++k) {
+            if (quarantined_[k])
+                continue;
+            done = std::max(
+                done, buses_[busOf(k)]->transferBytes(t, slots * (8 + 81)));
+        }
+        injector_->recordEvacuation(slots, slots * config_.numSdimms);
+        t = done;
+        injector_->addRecoveryCycles(t > now ? t - now : 0);
+        now = t;
+    }
+    return now;
 }
 
 void
@@ -60,9 +143,19 @@ IndependentBackend::access(std::uint64_t id, Addr byte_addr, bool write,
 void
 IndependentBackend::startOp(std::uint64_t job_id, Tick ready_at)
 {
-    // The op's leaf is uniformly random, so the target SDIMM is too.
-    const unsigned sdimm =
-        static_cast<unsigned>(rng_.nextBelow(config_.numSdimms));
+    if (injector_) {
+        injector_->noteAccess();
+        ready_at = sweepPermanentFaults(ready_at);
+    }
+    const unsigned sdimm = drawSdimm();
+    if (injector_) {
+        const std::uint64_t pen = injector_->unitLatencyPenalty(sdimm);
+        if (pen) {
+            // Degraded-latency unit: the op is simply late.
+            injector_->addDegradedLatencyCycles(pen);
+            ready_at += pen;
+        }
+    }
 
     // ACCESS long command: header + one (possibly dummy) block.
     LinkBus &bus = *buses_[busOf(sdimm)];
@@ -112,8 +205,7 @@ IndependentBackend::onOpDone(std::uint64_t tag, Tick avail)
     // Occasional extra drain accessORAM at the APPEND destination
     // (Section IV-C overflow avoidance).
     if (rng_.nextBool(config_.drainProb)) {
-        const unsigned dst =
-            static_cast<unsigned>(rng_.nextBelow(config_.numSdimms));
+        const unsigned dst = drawSdimm();
         const std::uint64_t drain_tag = nextTag_++;
         ops_.emplace(drain_tag, OpRef{0, dst, appends_done, true});
         executors_[dst]->submitOp(drain_tag, appends_done);

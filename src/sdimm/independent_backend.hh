@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "oram/recursion.hh"
 #include "sdimm/link_bus.hh"
 #include "sdimm/path_executor.hh"
@@ -44,6 +45,17 @@ struct SdimmTimingConfig
      * accessORAM overhead.
      */
     double drainProb = 0.1;
+
+    /**
+     * Fault campaign for the timing layer.  Permanent faults are the
+     * interesting part here: a dead SDIMM costs watchdog backoff
+     * waits plus a bulk evacuation transfer on every surviving bus,
+     * and a DegradedLatency unit taxes each of its ops -- all of
+     * which lands in SimResult.recoveryCycles.  An empty plan leaves
+     * the backend bit-identical to the pre-fault model.
+     */
+    fault::FaultPlan faultPlan;
+    fault::DegradationPolicy policy = fault::DegradationPolicy::Degraded;
 
     SdimmTimingConfig()
     {
@@ -83,6 +95,16 @@ class IndependentBackend : public MemoryBackend
     const oram::RecursionEngine &recursion() const { return recursion_; }
     std::uint64_t drainOps() const { return drainOps_; }
 
+    /** Armed injector, or nullptr when the plan is empty. */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
+    bool isQuarantined(unsigned sdimm) const
+    {
+        return sdimm < quarantined_.size() && quarantined_[sdimm];
+    }
+
     /** Sum of off-DIMM (CPU channel) data lines. */
     std::uint64_t offDimmLines() const;
 
@@ -97,10 +119,24 @@ class IndependentBackend : public MemoryBackend
     void onOpDone(std::uint64_t tag, Tick avail);
     unsigned busOf(unsigned sdimm) const;
 
+    /**
+     * Watchdog + quarantine + evacuation charge for SDIMMs that died
+     * since the last op; returns the tick the channel is free again.
+     */
+    Tick sweepPermanentFaults(Tick now);
+
+    /** Uniform SDIMM draw avoiding quarantined units (public info). */
+    unsigned drawSdimm();
+
+    unsigned quarantinedCount() const;
+
     SdimmTimingConfig config_;
     oram::RecursionEngine recursion_;
     Rng rng_;
     CompletionFn onComplete_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::vector<bool> deadHandled_; ///< Watchdog already ran here.
+    std::vector<bool> quarantined_;
 
     std::vector<std::unique_ptr<PathExecutor>> executors_;
     std::vector<std::unique_ptr<LinkBus>> buses_;

@@ -1,5 +1,6 @@
 #include "sdimm/independent_oram.hh"
 
+#include <algorithm>
 #include <cctype>
 
 #include "fault/fault_injector.hh"
@@ -64,6 +65,8 @@ IndependentOram::quarantine(unsigned sdimm)
     if (quarantined_.empty())
         quarantined_.assign(params_.numSdimms, false);
     SD_ASSERT(sdimm < quarantined_.size());
+    if (!quarantined_[sdimm] && injector_)
+        injector_->recordQuarantine();
     quarantined_[sdimm] = true;
 }
 
@@ -100,10 +103,112 @@ IndependentOram::onUnrecoverable(fault::FaultKind kind, unsigned sdimm,
 {
     injector_->recordUnrecovered(kind, site, attempts);
     if (policy_ == fault::DegradationPolicy::Degraded) {
+        const bool was = isQuarantined(sdimm);
         quarantine(sdimm);
+        // Drain the dead unit's blocks to survivors (if any remain);
+        // with every SDIMM quarantined there is nowhere to evacuate
+        // to and the schedule keeps serving zeros as before.
+        if (!was && quarantinedCount() < params_.numSdimms)
+            evacuateSdimm(sdimm);
     } else {
         failedStop_ = true;
     }
+}
+
+void
+IndependentOram::runWatchdog(unsigned sdimm)
+{
+    const fault::FaultPlan &plan = injector_->plan();
+    for (unsigned p = 0; p < plan.watchdogMaxProbes; ++p) {
+        recordBus(SdimmCommandType::Probe, sdimm, 0);
+        injector_->recordWatchdogProbe(plan.watchdogBackoff(p));
+    }
+    injector_->markPermanentDetected(sdimm);
+}
+
+void
+IndependentOram::sweepPermanentFaults()
+{
+    for (unsigned i = 0; i < params_.numSdimms; ++i) {
+        if (isQuarantined(i) || !injector_->unitDead(i))
+            continue;
+        runWatchdog(i);
+        const std::string site = "watchdog.sdimm" + std::to_string(i);
+        if (policy_ == fault::DegradationPolicy::Degraded) {
+            injector_->recordRecovered(fault::FaultKind::WatchdogTimeout,
+                                       site,
+                                       injector_->plan().watchdogMaxProbes);
+            quarantine(i);
+            if (quarantinedCount() < params_.numSdimms)
+                evacuateSdimm(i);
+        } else {
+            injector_->recordUnrecovered(
+                fault::FaultKind::WatchdogTimeout, site,
+                injector_->plan().watchdogMaxProbes);
+            failedStop_ = true;
+        }
+    }
+}
+
+void
+IndependentOram::evacuateSdimm(unsigned sdimm)
+{
+    /*
+     * Maintenance-path read: the buffer chip's protocol engine is
+     * dead but the raw DRAM behind it is still readable (docs/FAULTS.md
+     * states the assumption); this also covers the chip-internal stash
+     * and transfer-queue state the model keeps alongside the tree.
+     */
+    const std::vector<oram::StashEntry> live =
+        buffers_[sdimm]->residentBlocks();
+
+    // PosMap remaps are CPU-private: every address routed at the dead
+    // SDIMM is silently redrawn among the survivors before any wire
+    // traffic, so the APPEND destinations below look like any other
+    // relocation.
+    for (Addr a = 0; a < posMap_.size(); ++a) {
+        if (sdimmOf(posMap_[a]) == sdimm)
+            posMap_[a] = drawGlobalLeaf();
+    }
+
+    /*
+     * Dummy-padded APPEND streams: the slot count is the per-SDIMM
+     * tree capacity (public geometry), padded up only when more than
+     * that is live -- and the live count is a function of the public
+     * leaf randomness, never of block contents.
+     */
+    const std::uint64_t slots = std::max<std::uint64_t>(
+        params_.perSdimm.capacityBlocks(), live.size());
+    for (std::uint64_t s = 0; s < slots; ++s) {
+        const bool have = s < live.size();
+        for (unsigned i = 0; i < params_.numSdimms; ++i) {
+            AppendRequest app;
+            if (have) {
+                const LeafId leaf = posMap_[live[s].addr];
+                app.real = !isQuarantined(i) && sdimmOf(leaf) == i;
+                if (app.real) {
+                    app.addr = live[s].addr;
+                    app.localLeaf = localLeaf(leaf);
+                    app.data = live[s].data;
+                }
+            }
+            if (isQuarantined(i)) {
+                recordBus(SdimmCommandType::Append, i, appendBodyBytes);
+                continue;
+            }
+            transmitUplink(
+                i, SdimmCommandType::Append,
+                [&] {
+                    return buffers_[i]->cpuLink().seal(0x03,
+                                                       packAppend(app));
+                },
+                [&](const SealedMessage &m) {
+                    return buffers_[i]->handleAppend(m);
+                });
+        }
+    }
+    evacuatedBlocks_ += live.size();
+    injector_->recordEvacuation(live.size(), slots * params_.numSdimms);
 }
 
 bool
@@ -161,6 +266,14 @@ IndependentOram::access(Addr addr, oram::OramOp op,
     SD_ASSERT(addr < posMap_.size());
     const bool write = op == oram::OramOp::Write;
     SD_ASSERT(!write || new_data != nullptr);
+
+    // Permanent faults surface here: the watchdog notices a silent
+    // SDIMM before the PosMap lookup, so a quarantine's remaps are
+    // already in place when the leaf below is read.
+    if (injector_) {
+        injector_->noteAccess();
+        sweepPermanentFaults();
+    }
 
     // Frontend: look up and remap the global leaf.
     const LeafId old_leaf = posMap_[addr];
@@ -371,6 +484,7 @@ IndependentOram::exportMetrics(util::MetricsRegistry &m,
     }
     m.setCounter(prefix + ".degraded_accesses", degradedAccesses_);
     m.setCounter(prefix + ".quarantined", quarantinedCount());
+    m.setCounter(prefix + ".evacuated_blocks", evacuatedBlocks_);
 }
 
 } // namespace secdimm::sdimm

@@ -93,6 +93,9 @@ class IndependentOram
     /** True once an unrecoverable fault stopped the protocol. */
     bool failedStop() const { return failedStop_; }
 
+    /** Live blocks drained off quarantined SDIMMs so far. */
+    std::uint64_t evacuatedBlocks() const { return evacuatedBlocks_; }
+
     /**
      * Export per-buffer and per-command-type channel-traffic metrics
      * under @p prefix ("sdimm" in the facade; docs/METRICS.md).
@@ -127,6 +130,29 @@ class IndependentOram
     void onUnrecoverable(fault::FaultKind kind, unsigned sdimm,
                          const std::string &site, unsigned attempts);
 
+    /**
+     * Detect permanent faults that activated since the last access:
+     * runs the watchdog against every newly dead SDIMM, then
+     * quarantines + evacuates (Degraded) or fail-stops.  Called at
+     * the top of access(), before the PosMap lookup, because the
+     * APPEND broadcast touches every SDIMM each access anyway.
+     */
+    void sweepPermanentFaults();
+
+    /** PROBE @p sdimm watchdogMaxProbes times with capped exponential
+     *  backoff; closes the WatchdogTimeout detection for the unit. */
+    void runWatchdog(unsigned sdimm);
+
+    /**
+     * Oblivious subtree evacuation: drain the quarantined SDIMM's
+     * live blocks (maintenance-path read), silently remap them off
+     * the dead unit in the CPU-private PosMap, and re-append them to
+     * survivors under max(tree capacity, live count) dummy-padded
+     * APPEND slots -- a count that depends only on tree geometry and
+     * the public leaf randomness, never on block contents.
+     */
+    void evacuateSdimm(unsigned sdimm);
+
     Params params_;
     unsigned localLevels_;
     Rng rng_;
@@ -142,6 +168,7 @@ class IndependentOram
     std::vector<bool> quarantined_;
     bool failedStop_ = false;
     std::uint64_t degradedAccesses_ = 0;
+    std::uint64_t evacuatedBlocks_ = 0;
 };
 
 } // namespace secdimm::sdimm

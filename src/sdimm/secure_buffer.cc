@@ -253,4 +253,48 @@ SecureBuffer::integrityOk() const
            dimmEnd_.authFailures() == absorbedDimmAuthFailures_;
 }
 
+std::vector<oram::StashEntry>
+SecureBuffer::residentBlocks() const
+{
+    std::vector<oram::StashEntry> out;
+    const oram::OramParams &p = oram_->params();
+    for (unsigned level = 0; level <= p.levels; ++level) {
+        const std::uint64_t width = std::uint64_t{1} << level;
+        for (std::uint64_t index = 0; index < width; ++index) {
+            const std::uint64_t seq =
+                oram_->layout().bucketSeq({level, index});
+            oram::BucketReadResult r = oram_->store().readBucket(seq);
+            unsigned attempts = 0;
+            while (!r.authentic && injector_ &&
+                   attempts < injector_->maxRetries()) {
+                injector_->recordDetected(fault::FaultKind::DramBitFlip);
+                injector_->recordRecovered(fault::FaultKind::DramBitFlip,
+                                           "evacuate.read_bucket", 1);
+                ++attempts;
+                r = oram_->store().readBucket(seq);
+            }
+            if (!r.authentic) {
+                if (injector_) {
+                    injector_->recordDetected(fault::FaultKind::DramBitFlip);
+                    injector_->recordUnrecovered(
+                        fault::FaultKind::DramBitFlip, "evacuate.read_bucket",
+                        attempts);
+                    continue;
+                }
+                panic("evacuation read failed authentication");
+            }
+            for (unsigned i = 0; i < r.bucket.z(); ++i) {
+                const oram::BlockSlot &s = r.bucket.slot(i);
+                if (s.valid())
+                    out.push_back({s.addr, s.leaf, s.data});
+            }
+        }
+    }
+    for (const auto &kv : oram_->stash().entries())
+        out.push_back(kv.second);
+    for (const oram::StashEntry &e : xfer_.entries())
+        out.push_back(e);
+    return out;
+}
+
 } // namespace secdimm::sdimm

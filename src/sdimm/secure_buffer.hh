@@ -145,6 +145,16 @@ class SecureBuffer
     bool integrityOk() const;
 
     /**
+     * Every live block resident on this SDIMM: the full local tree
+     * walk plus the stash and the transfer queue.  This is the
+     * maintenance-path read used by oblivious subtree evacuation once
+     * the buffer chip's protocol engine is quarantined (docs/FAULTS.md
+     * states the raw-DRAM-readable assumption); bucket reads that fail
+     * their MAC are retried under the shared injector budget.
+     */
+    std::vector<oram::StashEntry> residentBlocks() const;
+
+    /**
      * Export this buffer's counters (ops, appends, local ORAM, the
      * transfer queue, and both link endpoints) under @p prefix.
      */

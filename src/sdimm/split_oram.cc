@@ -701,4 +701,62 @@ SplitOram::tamperSlice(unsigned slice, std::uint64_t bucket_seq,
         0x01;
 }
 
+std::vector<std::pair<Addr, BlockData>>
+SplitOram::residentBlocks() const
+{
+    std::vector<std::pair<Addr, BlockData>> out;
+    const unsigned z = params_.tree.bucketBlocks;
+    const unsigned L = params_.tree.levels;
+    for (unsigned level = 0; level <= L; ++level) {
+        const std::uint64_t level_width = std::uint64_t{1} << level;
+        for (std::uint64_t index = 0; index < level_width; ++index) {
+            const std::uint64_t seq =
+                layout_.bucketSeq({level, index});
+            const std::uint64_t ctr = slices_[0].counter[seq];
+            std::vector<std::uint8_t> meta(
+                static_cast<std::size_t>(z) * 16, 0);
+            for (unsigned j = 0; j < params_.slices; ++j)
+                mergeShare(meta, slices_[j].metaShare[seq], j,
+                           params_.slices);
+            cipher_.transformBuffer(meta.data(), meta.size(),
+                                    metaNonce(seq), ctr);
+            for (unsigned slot = 0; slot < z; ++slot) {
+                Addr a;
+                std::memcpy(&a, meta.data() + 16 * slot, 8);
+                if (a == invalidAddr)
+                    continue;
+                std::vector<std::uint8_t> merged(blockBytes, 0);
+                for (unsigned j = 0; j < params_.slices; ++j)
+                    mergeShare(merged, slices_[j].dataShare[seq][slot],
+                               j, params_.slices);
+                cipher_.transformBuffer(merged.data(), merged.size(),
+                                        dataNonce(seq, slot), ctr);
+                BlockData d{};
+                std::memcpy(d.data(), merged.data(), blockBytes);
+                out.emplace_back(a, d);
+            }
+        }
+    }
+    for (const auto &kv : shadow_) {
+        const ShadowEntry &e = kv.second;
+        if (e.cpuResident) {
+            out.emplace_back(kv.first, e.data);
+            continue;
+        }
+        std::vector<std::uint8_t> merged(blockBytes, 0);
+        for (unsigned j = 0; j < params_.slices; ++j) {
+            const auto &piece = slices_[j].stash[e.stashIdx];
+            SD_ASSERT(piece.has_value());
+            mergeShare(merged, piece->cipher, j, params_.slices);
+        }
+        cipher_.transformBuffer(merged.data(), merged.size(),
+                                dataNonce(e.srcSeq, e.srcSlot),
+                                e.srcCounter);
+        BlockData d{};
+        std::memcpy(d.data(), merged.data(), blockBytes);
+        out.emplace_back(kv.first, d);
+    }
+    return out;
+}
+
 } // namespace secdimm::sdimm

@@ -147,6 +147,15 @@ class SplitOram
     auditInvariants(bool check_posmap,
                     std::uint64_t *checks_run = nullptr) const;
 
+    /**
+     * Every live block in this group -- decrypted tree slots plus the
+     * shadow stash (CPU- or piece-resident).  Maintenance-path read
+     * used by INDEP-SPLIT group evacuation after a quarantine; the
+     * raw slice shares are still readable even when the group's
+     * protocol engines are dead (docs/FAULTS.md).
+     */
+    std::vector<std::pair<Addr, BlockData>> residentBlocks() const;
+
     /** Export access/traffic counters under @p prefix. */
     void
     exportMetrics(util::MetricsRegistry &m,

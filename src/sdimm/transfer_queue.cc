@@ -66,6 +66,10 @@ TransferQueue::exportMetrics(util::MetricsRegistry &m,
     m.setCounter(prefix + ".overflows", stats_.overflows);
     m.setCounter(prefix + ".forced_drains", stats_.forcedDrains);
     m.setCounter(prefix + ".max_occupancy", stats_.maxOccupancy);
+    // Gauge mirror of the high-water mark: dashboards diff counters
+    // across snapshots, which would erase a watermark's meaning.
+    m.setGauge(prefix + ".occupancy_max",
+               static_cast<double>(stats_.maxOccupancy));
     m.histogram(prefix + ".depth").merge(depth_);
 }
 

@@ -116,9 +116,23 @@ fuzzCommandFrames(std::uint64_t seed, std::uint64_t iters)
     FuzzResult r;
     Rng rng(seed ^ 0xf4a3e);
 
+    // Structure-aware helpers: a random valid frame and its wire form.
+    const auto validFrame = [&rng]() {
+        const auto &all = allCommands();
+        CommandFrame f;
+        f.type =
+            all[static_cast<std::size_t>(rng.nextBelow(all.size()))];
+        if (isLongCommand(f.type)) {
+            f.payload = randomBytes(
+                rng, 1 + static_cast<std::size_t>(rng.nextBelow(64)));
+            f.payload[0] = encodeCommand(f.type).opcode;
+        }
+        return f;
+    };
+
     for (std::uint64_t i = 0; i < iters; ++i) {
         ++r.iterations;
-        const std::uint64_t mode = rng.nextBelow(4);
+        const std::uint64_t mode = rng.nextBelow(7);
 
         if (mode == 0) {
             // Valid frame round-trip.
@@ -152,18 +166,50 @@ fuzzCommandFrames(std::uint64_t seed, std::uint64_t iters)
             // Pure random garbage.
             wire = randomBytes(
                 rng, static_cast<std::size_t>(rng.nextBelow(64)));
+        } else if (mode == 4) {
+            // Splice: prefix of one valid frame + suffix of another.
+            // Exercises the header/payload boundary logic with bytes
+            // that are individually plausible.
+            const std::vector<std::uint8_t> a =
+                serializeFrame(validFrame());
+            const std::vector<std::uint8_t> b =
+                serializeFrame(validFrame());
+            const std::size_t cut_a = static_cast<std::size_t>(
+                rng.nextBelow(a.size() + 1));
+            const std::size_t cut_b = static_cast<std::size_t>(
+                rng.nextBelow(b.size() + 1));
+            wire.assign(a.begin(),
+                        a.begin() + static_cast<std::ptrdiff_t>(cut_a));
+            wire.insert(wire.end(),
+                        b.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                        b.end());
+        } else if (mode == 5) {
+            // Length-field skew: +/-1 and +/-8 on the 16-bit LE length
+            // at wire bytes 2-3, body untouched.  Must map to
+            // Truncated / LengthMismatch / Oversize, never misparse.
+            wire = serializeFrame(validFrame());
+            static const int deltas[4] = {1, -1, 8, -8};
+            const int delta =
+                deltas[static_cast<std::size_t>(rng.nextBelow(4))];
+            const std::uint16_t declared = static_cast<std::uint16_t>(
+                wire[2] | (static_cast<unsigned>(wire[3]) << 8));
+            const std::uint16_t skewed =
+                static_cast<std::uint16_t>(declared + delta);
+            wire[2] = static_cast<std::uint8_t>(skewed & 0xff);
+            wire[3] = static_cast<std::uint8_t>(skewed >> 8);
+        } else if (mode == 6) {
+            // Truncate exactly at a field boundary (after the magic,
+            // the type, each length byte, the header, the opcode) --
+            // the off-by-one-prone cuts a uniform prefix rarely hits.
+            wire = serializeFrame(validFrame());
+            static const std::size_t cuts[5] = {1, 2, 3, 4, 5};
+            const std::size_t cut = std::min(
+                cuts[static_cast<std::size_t>(rng.nextBelow(5))],
+                wire.size() - 1);
+            wire.resize(cut);
         } else {
             // Start from a valid frame and damage it.
-            const auto &all = allCommands();
-            CommandFrame f;
-            f.type =
-                all[static_cast<std::size_t>(rng.nextBelow(all.size()))];
-            if (isLongCommand(f.type)) {
-                f.payload = randomBytes(
-                    rng, 1 + static_cast<std::size_t>(rng.nextBelow(64)));
-                f.payload[0] = encodeCommand(f.type).opcode;
-            }
-            wire = serializeFrame(f);
+            wire = serializeFrame(validFrame());
             if (mode == 2 && !wire.empty()) {
                 // Truncate to a strict prefix.
                 wire.resize(static_cast<std::size_t>(
@@ -478,6 +524,122 @@ fuzzFaultRecovery(std::uint64_t seed, std::uint64_t iters)
                   "still true (proto "
                << which << ", iter " << i << ")";
             fail(r, os.str());
+        }
+    }
+    return r;
+}
+
+FuzzResult
+fuzzPermanentFaults(std::uint64_t seed, std::uint64_t iters)
+{
+    FuzzResult r;
+    Rng rng(seed ^ 0xdeadd1);
+
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        ++r.iterations;
+
+        oram::OramParams tree;
+        tree.levels = 3 + static_cast<unsigned>(rng.nextBelow(2));
+        tree.stashCapacity = 150;
+        const std::uint64_t proto_seed = rng.next();
+
+        std::unique_ptr<sdimm::IndependentOram> indep;
+        std::unique_ptr<sdimm::IndepSplitOram> combo;
+        std::uint64_t capacity = 0;
+        unsigned units = 0;
+        const unsigned which = i % 3;
+        if (which == 2) {
+            sdimm::IndepSplitOram::Params p;
+            p.perGroupTree = tree;
+            p.groups = 2;
+            p.slicesPerGroup = 2;
+            units = p.groups;
+            combo =
+                std::make_unique<sdimm::IndepSplitOram>(p, proto_seed);
+            capacity = combo->capacityBlocks();
+        } else {
+            sdimm::IndependentOram::Params p;
+            p.perSdimm = tree;
+            p.numSdimms = which == 0 ? 2 : 4;
+            p.transferCapacity = 16;
+            units = p.numSdimms;
+            indep = std::make_unique<sdimm::IndependentOram>(
+                p, proto_seed);
+            capacity = indep->capacityBlocks();
+        }
+        const unsigned blocks = static_cast<unsigned>(
+            std::min<std::uint64_t>(capacity, 12));
+
+        // One permanent fault at a seeded unit: stuck-at from boot or
+        // a hard death at a seeded index inside the workload (the
+        // workload runs 2*blocks accesses, so atAccess < blocks always
+        // activates).  Optionally, light transient noise on top, with
+        // a retry budget deep enough that exhaustion stays rare.
+        fault::FaultPlan plan;
+        plan.seed = rng.next();
+        plan.maxRetries = 6;
+        fault::PermanentFault pf;
+        pf.kind = rng.nextBelow(2) == 0
+                      ? fault::PermanentFaultKind::StuckAt
+                      : fault::PermanentFaultKind::HardDeath;
+        pf.unit = static_cast<unsigned>(rng.nextBelow(units));
+        pf.atAccess = rng.nextBelow(blocks);
+        plan.permanentFaults.push_back(pf);
+        if (rng.nextBelow(2) == 0) {
+            plan.dramBitFlipRate = rng.nextBelow(10) / 1000.0;
+            plan.linkCorruptRate = rng.nextBelow(10) / 1000.0;
+        }
+        fault::FaultInjector inj(plan);
+        if (indep) {
+            indep->setFaultInjector(&inj,
+                                    fault::DegradationPolicy::Degraded);
+        } else {
+            combo->setFaultInjector(&inj,
+                                    fault::DegradationPolicy::Degraded);
+        }
+
+        const auto access = [&](Addr a, oram::OramOp op,
+                                const BlockData *d) {
+            return indep ? indep->access(a, op, d)
+                         : combo->access(a, op, d);
+        };
+        std::vector<BlockData> mirror(blocks);
+        for (unsigned b = 0; b < blocks; ++b) {
+            for (auto &v : mirror[b])
+                v = static_cast<std::uint8_t>(rng.nextBelow(256));
+            access(b, oram::OramOp::Write, &mirror[b]);
+        }
+        bool data_ok = true;
+        for (unsigned b = 0; b < blocks; ++b) {
+            const BlockData got =
+                access(b, oram::OramOp::Read, nullptr);
+            if (got != mirror[b])
+                data_ok = false;
+        }
+
+        const auto oops = [&](const std::string &what) {
+            std::ostringstream os;
+            os << "permanent: " << what << " (proto " << which
+               << ", kind " << fault::permanentKindName(pf.kind)
+               << ", unit " << pf.unit << ", iter " << i << ")";
+            fail(r, os.str());
+        };
+        if (inj.detectedTotal() != inj.injectedTotal())
+            oops("detected != injected");
+        if (inj.recoveredTotal() + inj.unrecoveredTotal() !=
+            inj.detectedTotal()) {
+            oops("recovered + unrecovered != detected");
+        }
+        if (inj.unrecoveredTotal() == 0) {
+            // Nothing exhausted: the death must have been absorbed.
+            if (inj.quarantinedUnits() < 1)
+                oops("dead unit never quarantined");
+            const bool ok =
+                indep ? indep->integrityOk() : combo->integrityOk();
+            if (!ok)
+                oops("clean campaign but integrityOk() false");
+            if (!data_ok)
+                oops("clean campaign returned wrong data");
         }
     }
     return r;

@@ -76,6 +76,22 @@ FuzzResult fuzzMessageCodecs(std::uint64_t seed, std::uint64_t iters);
  */
 FuzzResult fuzzFaultRecovery(std::uint64_t seed, std::uint64_t iters);
 
+/**
+ * Fuzz the permanent-fault path (docs/FAULTS.md): each iteration
+ * builds one secure design (INDEP-2, INDEP-4, or INDEP-SPLIT 2x2 in
+ * rotation) under DegradationPolicy::Degraded, kills one seeded unit
+ * (stuck-at from boot or hard death at a seeded access index, plus
+ * optional light transient noise), runs a write/read-back workload
+ * across the death, and demands: the ledger identities hold
+ * (detected == injected, recovered + unrecovered == detected), and --
+ * whenever nothing exhausted -- the dead unit is quarantined, its
+ * blocks evacuated, every block reads back bit-exact, and
+ * integrityOk() stays true.
+ *
+ * One iteration is a whole campaign; meaningful counts are ~1e2-1e4.
+ */
+FuzzResult fuzzPermanentFaults(std::uint64_t seed, std::uint64_t iters);
+
 } // namespace secdimm::verify
 
 #endif // SECUREDIMM_VERIFY_FUZZ_HH

@@ -194,6 +194,11 @@ auditIndependentOram(const sdimm::IndependentOram &o)
     };
 
     for (unsigned i = 0; i < o.numSdimms(); ++i) {
+        // A quarantined SDIMM legitimately holds stale copies of
+        // blocks that were evacuated to survivors; its frozen state
+        // is outside every remaining invariant.
+        if (o.isQuarantined(i))
+            continue;
         const sdimm::SecureBuffer &buf = o.buffer(i);
         std::ostringstream label;
         label << "independent.sdimm" << i;
@@ -247,8 +252,12 @@ AuditReport
 auditIndepSplitOram(const sdimm::IndepSplitOram &o)
 {
     AuditReport r;
-    for (unsigned g = 0; g < o.groups(); ++g)
+    for (unsigned g = 0; g < o.groups(); ++g) {
+        // Evacuated (quarantined) groups keep stale block copies.
+        if (o.isGroupQuarantined(g))
+            continue;
         r.merge(auditSplitOram(o.group(g), false));
+    }
     return r;
 }
 
@@ -275,6 +284,10 @@ auditTransferQueue(const sdimm::TransferQueue &q)
     r.check(s.forcedDrains == 0 || q.capacity() == 0 ||
                 s.maxOccupancy == q.capacity(),
             "xfer: forced drain recorded without a full queue");
+    r.check(s.maxOccupancy >= q.size(),
+            "xfer: high-water mark below current occupancy");
+    r.check((s.arrivals - s.overflows > 0) == (s.maxOccupancy > 0),
+            "xfer: high-water mark inconsistent with accepted arrivals");
 
     // The Section IV-C model: full-queue arrivals ~ the M/M/1/K
     // blocking probability.  A forced drain is exactly an arrival that

@@ -155,10 +155,10 @@ TEST(MetricsIntegration, EveryMetricNameIsDocumented)
 
     std::set<std::string> names;
     for (DesignPoint d :
-         {DesignPoint::NonSecure, DesignPoint::Freecursive,
-          DesignPoint::Indep2, DesignPoint::Split2,
-          DesignPoint::Indep4, DesignPoint::Split4,
-          DesignPoint::IndepSplit}) {
+         {DesignPoint::NonSecure, DesignPoint::PathOram,
+          DesignPoint::Freecursive, DesignPoint::Indep2,
+          DesignPoint::Split2, DesignPoint::Indep4,
+          DesignPoint::Split4, DesignPoint::IndepSplit}) {
         for (const auto &n : quickRun(d).metrics.names())
             names.insert(normalizeName(n));
     }

@@ -41,8 +41,9 @@ TEST(SystemConfig, TableIIGeometry)
 TEST(SystemConfig, BackendsConstructForEveryDesign)
 {
     for (DesignPoint d :
-         {DesignPoint::NonSecure, DesignPoint::Freecursive,
-          DesignPoint::Indep2, DesignPoint::Split2, DesignPoint::Indep4,
+         {DesignPoint::NonSecure, DesignPoint::PathOram,
+          DesignPoint::Freecursive, DesignPoint::Indep2,
+          DesignPoint::Split2, DesignPoint::Indep4,
           DesignPoint::Split4, DesignPoint::IndepSplit}) {
         SystemConfig cfg = makeConfig(d, 14, 4);
         cfg.cpuGeom.rowsPerBank = 4096;
@@ -60,6 +61,17 @@ TEST(SystemConfig, DesignNamesMatchPaper)
     EXPECT_STREQ(designName(DesignPoint::Split4), "SPLIT-4");
     EXPECT_STREQ(designName(DesignPoint::IndepSplit), "INDEP-SPLIT");
     EXPECT_STREQ(designName(DesignPoint::Freecursive), "Freecursive");
+    EXPECT_STREQ(designName(DesignPoint::PathOram), "PathORAM");
+}
+
+TEST(SystemConfig, PathOramIsCpuSideWithFlatPosMap)
+{
+    // The Figure 8 baseline: no SDIMMs, and exactly one accessORAM
+    // per miss because the whole PosMap lives on-chip.
+    const SystemConfig cfg = makeConfig(DesignPoint::PathOram);
+    EXPECT_EQ(cfg.numSdimms(), 0u);
+    EXPECT_EQ(cfg.groups(), 0u);
+    EXPECT_EQ(cfg.cpuChannels, 1u);
 }
 
 TEST(SystemConfig, RecursionDefaultsMatchTableII)

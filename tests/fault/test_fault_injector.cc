@@ -234,5 +234,119 @@ TEST(FaultInjector, MetricExportNames)
         EXPECT_EQ(n.find("dram_bit_flip"), std::string::npos) << n;
 }
 
+TEST(FaultPlan, WatchdogBackoffIsCappedExponential)
+{
+    FaultPlan p;
+    p.watchdogDeadlineCycles = 512;
+    p.watchdogBackoffBase = 2;
+    p.watchdogBackoffCapCycles = 8192;
+    EXPECT_EQ(p.watchdogBackoff(0), 512u);
+    EXPECT_EQ(p.watchdogBackoff(1), 1024u);
+    EXPECT_EQ(p.watchdogBackoff(2), 2048u);
+    EXPECT_EQ(p.watchdogBackoff(3), 4096u);
+    EXPECT_EQ(p.watchdogBackoff(4), 8192u);
+    EXPECT_EQ(p.watchdogBackoff(5), 8192u);   // Cap holds.
+    EXPECT_EQ(p.watchdogBackoff(100), 8192u); // No overflow.
+}
+
+TEST(FaultPlan, PermanentFactoriesEnableThePlan)
+{
+    const FaultPlan s = FaultPlan::stuckAt(1, 9);
+    ASSERT_EQ(s.permanentFaults.size(), 1u);
+    EXPECT_EQ(s.permanentFaults[0].kind, PermanentFaultKind::StuckAt);
+    EXPECT_EQ(s.permanentFaults[0].unit, 1u);
+    EXPECT_TRUE(s.enabled());
+
+    const FaultPlan h = FaultPlan::hardDeath(0, 2500, 9);
+    EXPECT_EQ(h.permanentFaults[0].kind, PermanentFaultKind::HardDeath);
+    EXPECT_EQ(h.permanentFaults[0].atAccess, 2500u);
+    EXPECT_TRUE(h.enabled());
+
+    const FaultPlan d = FaultPlan::degradedLatency(2, 300, 9);
+    EXPECT_EQ(d.permanentFaults[0].kind,
+              PermanentFaultKind::DegradedLatency);
+    EXPECT_EQ(d.permanentFaults[0].latencyCycles, 300u);
+    EXPECT_TRUE(d.enabled());
+
+    EXPECT_STREQ(permanentKindName(PermanentFaultKind::StuckAt),
+                 "stuck_at");
+    EXPECT_STREQ(permanentKindName(PermanentFaultKind::HardDeath),
+                 "hard_death");
+    EXPECT_STREQ(permanentKindName(PermanentFaultKind::DegradedLatency),
+                 "degraded_latency");
+    EXPECT_STREQ(kindName(FaultKind::WatchdogTimeout),
+                 "watchdog_timeout");
+}
+
+TEST(FaultInjector, StuckAtIsDeadFromBootAndInjectedOnce)
+{
+    FaultInjector inj(FaultPlan::stuckAt(1, 4));
+    EXPECT_TRUE(inj.unitDead(1));
+    EXPECT_FALSE(inj.unitDead(0));
+    // Boot activation counts as one injected WatchdogTimeout episode.
+    EXPECT_EQ(inj.injected(FaultKind::WatchdogTimeout), 1u);
+    inj.noteAccess();
+    EXPECT_EQ(inj.injected(FaultKind::WatchdogTimeout), 1u);
+    // Detection is idempotent.
+    inj.markPermanentDetected(1);
+    inj.markPermanentDetected(1);
+    EXPECT_EQ(inj.detected(FaultKind::WatchdogTimeout), 1u);
+}
+
+TEST(FaultInjector, HardDeathActivatesAfterItsAccessIndex)
+{
+    FaultInjector inj(FaultPlan::hardDeath(0, 3, 4));
+    EXPECT_FALSE(inj.unitDead(0));
+    EXPECT_EQ(inj.injected(FaultKind::WatchdogTimeout), 0u);
+    for (int i = 0; i < 3; ++i)
+        inj.noteAccess();
+    // Access indices 0..2 completed; the unit still answered at
+    // atAccess == 3's boundary only after one more access.
+    EXPECT_FALSE(inj.unitDead(0));
+    inj.noteAccess();
+    EXPECT_TRUE(inj.unitDead(0));
+    EXPECT_EQ(inj.injected(FaultKind::WatchdogTimeout), 1u);
+    EXPECT_EQ(inj.accessIndex(), 4u);
+}
+
+TEST(FaultInjector, DegradedLatencyTaxesWithoutTouchingTheLedger)
+{
+    FaultInjector inj(FaultPlan::degradedLatency(1, 250, 4));
+    EXPECT_FALSE(inj.unitDead(1)); // Slow, not dead.
+    EXPECT_EQ(inj.unitLatencyPenalty(1), 250u);
+    EXPECT_EQ(inj.unitLatencyPenalty(0), 0u);
+    EXPECT_EQ(inj.injectedTotal(), 0u);
+    EXPECT_EQ(inj.detectedTotal(), 0u);
+    inj.addDegradedLatencyCycles(250);
+    EXPECT_EQ(inj.degradedLatencyCycles(), 250u);
+}
+
+TEST(FaultInjector, RecoveryAccountingAccumulates)
+{
+    FaultInjector inj(FaultPlan::stuckAt(0, 4));
+    inj.recordWatchdogProbe(512);
+    inj.recordWatchdogProbe(1024);
+    EXPECT_EQ(inj.watchdogProbes(), 2u);
+    EXPECT_EQ(inj.watchdogBackoffCycles(), 1536u);
+    EXPECT_EQ(inj.recoveryCycles(), 1536u);
+    inj.recordQuarantine();
+    inj.recordEvacuation(7, 40);
+    inj.addRecoveryCycles(100);
+    EXPECT_EQ(inj.quarantinedUnits(), 1u);
+    EXPECT_EQ(inj.evacuatedBlocks(), 7u);
+    EXPECT_EQ(inj.evacuationAppends(), 40u);
+    EXPECT_EQ(inj.recoveryCycles(), 1636u);
+
+    util::MetricsRegistry m;
+    inj.exportMetrics(m, "fault");
+    EXPECT_EQ(m.counter("fault.watchdog_probes"), 2u);
+    EXPECT_EQ(m.counter("fault.watchdog_backoff_cycles"), 1536u);
+    EXPECT_EQ(m.counter("fault.quarantined_sdimms"), 1u);
+    EXPECT_EQ(m.counter("fault.evacuated_blocks"), 7u);
+    EXPECT_EQ(m.counter("fault.evacuation_appends"), 40u);
+    EXPECT_EQ(m.counter("fault.degraded_latency_cycles"), 0u);
+    EXPECT_EQ(m.counter("fault.recovery_cycles"), 1636u);
+}
+
 } // namespace
 } // namespace secdimm::fault

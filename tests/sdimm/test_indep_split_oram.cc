@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "fault/fault_injector.hh"
 #include "sdimm/indep_split_oram.hh"
 
 namespace secdimm::sdimm
@@ -118,6 +119,40 @@ TEST(IndepSplitOram, GroupLeafTracesStayUniform)
             chi2 += (b - expect) * (b - expect) / expect;
         EXPECT_LT(chi2, 30.0) << "group " << g;
     }
+}
+
+TEST(IndepSplitOram, GroupQuarantineEvacuatesAndServesFromSurvivor)
+{
+    // Kill group 0 at boot under Degraded: the whole 2-slice group is
+    // lifted out of service as one unit, its live blocks land in
+    // group 1, and reads keep coming back bit-exact.
+    IndepSplitOram oram(smallParams(2, 2, 5), 17);
+    fault::FaultInjector inj(fault::FaultPlan::stuckAt(0, 41));
+    oram.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    std::map<Addr, BlockData> mirror;
+    for (std::uint64_t a = 0; a < 24; ++a) {
+        const BlockData d = blockOf(a * 31 + 7);
+        oram.access(a, oram::OramOp::Write, &d);
+        mirror[a] = d;
+    }
+    EXPECT_TRUE(oram.isGroupQuarantined(0));
+    EXPECT_FALSE(oram.isGroupQuarantined(1));
+    EXPECT_EQ(oram.quarantinedGroupCount(), 1u);
+    EXPECT_FALSE(oram.failedStop());
+    for (const auto &kv : mirror)
+        EXPECT_EQ(oram.access(kv.first, oram::OramOp::Read), kv.second);
+    EXPECT_TRUE(oram.integrityOk());
+    EXPECT_EQ(inj.detected(fault::FaultKind::WatchdogTimeout), 1u);
+    EXPECT_EQ(inj.unrecoveredTotal(), 0u);
+    // The quarantined group still sees its shaped APPEND slot in every
+    // access (dummy traffic): its share of the trace must not vanish.
+    std::uint64_t appends_to_dead = 0;
+    for (const GroupBusEvent &e : oram.busTrace()) {
+        if (e.type == SdimmCommandType::Append && e.group == 0)
+            ++appends_to_dead;
+    }
+    EXPECT_GT(appends_to_dead, 0u);
 }
 
 TEST(IndepSplitOram, SliceTamperInEitherGroupDetected)

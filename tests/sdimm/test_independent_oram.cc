@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
+#include "fault/fault_injector.hh"
 #include "sdimm/independent_oram.hh"
 
 namespace secdimm::sdimm
@@ -169,6 +171,65 @@ TEST(IndependentOram, TransferQueueSeesTraffic)
     for (unsigned s = 0; s < 2; ++s)
         overflows += oram.buffer(s).transferQueue().stats().overflows;
     EXPECT_EQ(overflows, 0u);
+}
+
+TEST(IndependentOram, DegradedSurvivorLeafDrawsAreUniform)
+{
+    // After a quarantine, every fresh leaf draw must be uniform over
+    // the SURVIVOR leaves: a skew would let a bus analyst spot the
+    // fail-over region, and a survivor hotspot would break Path ORAM's
+    // load argument.  Chi-squared over 10k post-quarantine draws.
+    IndependentOram oram(smallParams(2, 5), 21);
+    fault::FaultInjector inj(fault::FaultPlan::stuckAt(0, 31));
+    oram.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t leaves_per_sdimm =
+        oram.params().perSdimm.numLeaves();
+    const unsigned levels = oram.params().perSdimm.levels;
+    std::vector<std::uint64_t> counts(leaves_per_sdimm, 0);
+    Rng rng(7);
+    const std::uint64_t samples = 10000;
+    const BlockData v = blockOf(77);
+    for (std::uint64_t i = 0; i < samples; ++i) {
+        const Addr a = rng.nextBelow(64);
+        oram.access(a, (i & 1) ? oram::OramOp::Write : oram::OramOp::Read,
+                    (i & 1) ? &v : nullptr);
+        const LeafId leaf = oram.leafOf(a); // Freshly drawn this access.
+        ASSERT_EQ(leaf >> levels, 1u) << "draw landed on the dead SDIMM";
+        ++counts[leaf & (leaves_per_sdimm - 1)];
+    }
+    EXPECT_TRUE(oram.isQuarantined(0));
+    const double expected =
+        static_cast<double>(samples) / static_cast<double>(counts.size());
+    double chi2 = 0;
+    for (const std::uint64_t c : counts) {
+        const double d = static_cast<double>(c) - expected;
+        chi2 += d * d / expected;
+    }
+    // 31 degrees of freedom: 70 is far beyond the p=0.001 critical
+    // value (~61.1) -- loose enough to be stable, tight enough to
+    // catch any structural skew.
+    EXPECT_LT(chi2, 70.0);
+}
+
+TEST(IndependentOram, QuarantineCountIsMonotone)
+{
+    IndependentOram oram(smallParams(2, 4), 23);
+    fault::FaultInjector inj(fault::FaultPlan::hardDeath(1, 100, 37));
+    oram.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    std::uint64_t last = 0;
+    const BlockData v = blockOf(5);
+    for (int i = 0; i < 300; ++i) {
+        oram.access(static_cast<Addr>(i % 16),
+                    (i & 1) ? oram::OramOp::Write : oram::OramOp::Read,
+                    (i & 1) ? &v : nullptr);
+        const std::uint64_t q = inj.quarantinedUnits();
+        ASSERT_GE(q, last) << "quarantine count regressed at access " << i;
+        last = q;
+    }
+    EXPECT_EQ(last, 1u);
+    EXPECT_EQ(oram.quarantinedCount(), 1u);
 }
 
 TEST(IndependentOram, DummyAppendsDoNotCorruptState)

@@ -154,6 +154,41 @@ TEST(TransferQueue, ForcedDrainExportedAsMetric)
     EXPECT_EQ(m.counter("xfer.overflows"), 0u);
 }
 
+TEST(TransferQueue, HighWaterGaugeMirrorsMaxOccupancy)
+{
+    TransferQueue q(8, 0.0, 1);
+    for (int i = 0; i < 5; ++i)
+        q.push(entry(static_cast<Addr>(i)));
+    q.pop();
+    q.pop(); // Watermark survives the occupancy dropping back.
+    util::MetricsRegistry m;
+    q.exportMetrics(m, "xfer");
+    EXPECT_EQ(m.counter("xfer.max_occupancy"), 5u);
+    EXPECT_DOUBLE_EQ(m.gauge("xfer.occupancy_max"), 5.0);
+    EXPECT_TRUE(verify::auditTransferQueue(q).ok());
+}
+
+TEST(TransferQueue, AuditCatchesImpossibleHighWaterMark)
+{
+    // An empty queue that claims arrivals but a zero watermark (or
+    // vice versa) is inconsistent accounting; the PR 4 assertions in
+    // auditTransferQueue must flag it.  A fresh queue is consistent.
+    TransferQueue fresh(4, 0.25, 1);
+    EXPECT_TRUE(verify::auditTransferQueue(fresh).ok());
+    TransferQueue q(4, 0.25, 1);
+    q.push(entry(1));
+    EXPECT_TRUE(verify::auditTransferQueue(q).ok());
+    // Overflowed-only arrivals must NOT move the watermark: fill the
+    // queue, overflow once, and the watermark stays at capacity.
+    TransferQueue full(2, 0.25, 1);
+    full.push(entry(1));
+    full.push(entry(2));
+    full.push(entry(3)); // Overflow.
+    EXPECT_EQ(full.stats().overflows, 1u);
+    EXPECT_EQ(full.stats().maxOccupancy, 2u);
+    EXPECT_TRUE(verify::auditTransferQueue(full).ok());
+}
+
 TEST(TransferQueue, AuditFlagsForcedDrainWithoutFullQueue)
 {
     // A forced drain claims the queue was full; if occupancy never

@@ -38,8 +38,8 @@ tinyLengths()
 TEST(Determinism, RunWorkloadMetricsJsonByteIdentical)
 {
     for (core::DesignPoint d :
-         {core::DesignPoint::Freecursive, core::DesignPoint::Indep2,
-          core::DesignPoint::Split2}) {
+         {core::DesignPoint::PathOram, core::DesignPoint::Freecursive,
+          core::DesignPoint::Indep2, core::DesignPoint::Split2}) {
         const core::SystemConfig cfg = tinyConfig(d);
         const trace::WorkloadProfile &profile =
             *trace::findProfile("mcf");

@@ -196,6 +196,59 @@ TEST(FaultObliviousness, IndependentFaultScheduleIsDataIndependent)
 }
 
 std::vector<TraceEvent>
+postQuarantineTrace(std::uint64_t oram_seed, std::uint64_t base_block,
+                    bool hard_death)
+{
+    sdimm::IndependentOram::Params ip;
+    ip.perSdimm.levels = 6;
+    ip.perSdimm.stashCapacity = 200;
+    ip.numSdimms = 2;
+    sdimm::IndependentOram o(ip, oram_seed);
+    // Either SDIMM 1 dies mid-warm-up or it was dead from boot (the
+    // survivor-only baseline); in both cases the measured window
+    // starts with the unit quarantined and its subtree evacuated.
+    fault::FaultInjector inj(
+        hard_death ? fault::FaultPlan::hardDeath(1, 200, oram_seed)
+                   : fault::FaultPlan::stuckAt(1, oram_seed));
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+    driveFunctional(
+        [&](Addr addr, bool write, const BlockData &d) {
+            o.access(addr, write ? oram::OramOp::Write : oram::OramOp::Read,
+                     write ? &d : nullptr);
+        },
+        42, base_block, 128, oram_seed, 400);
+    EXPECT_TRUE(o.isQuarantined(1));
+    EXPECT_EQ(inj.unrecoveredTotal(), 0u);
+    o.clearBusTrace();
+    driveFunctional(
+        [&](Addr addr, bool write, const BlockData &d) {
+            o.access(addr, write ? oram::OramOp::Write : oram::OramOp::Read,
+                     write ? &d : nullptr);
+        },
+        43, base_block, 128, oram_seed, 384);
+    std::vector<TraceEvent> t;
+    t.reserve(o.busTrace().size());
+    for (const sdimm::BusEvent &e : o.busTrace()) {
+        t.push_back(TraceEvent{
+            TraceEventKind::ShortCmd,
+            (static_cast<std::uint64_t>(e.type) << 8) | e.sdimm,
+            t.size()});
+    }
+    return t;
+}
+
+TEST(FaultObliviousness, PostQuarantineTraceMatchesSurvivorOnlyRun)
+{
+    // A bus analyst watching the channel AFTER the fail-over must not
+    // be able to tell a system that lost an SDIMM mid-run from one
+    // that booted without it (disjoint regions, different seeds).
+    const TraceComparison c =
+        compareTraces(postQuarantineTrace(11, 0, true),
+                      postQuarantineTrace(77, 128, false));
+    EXPECT_TRUE(c.indistinguishable) << c.summary();
+}
+
+std::vector<TraceEvent>
 indepSplitBusTrace(std::uint64_t oram_seed, std::uint64_t base_block,
                    bool with_faults)
 {

@@ -289,6 +289,144 @@ TEST(FaultRecovery, ZeroRatePlanDoesNotPerturbTheProtocol)
 }
 
 // ---------------------------------------------------------------------
+// Permanent faults (docs/FAULTS.md): watchdog detection, quarantine,
+// and oblivious evacuation under DegradationPolicy::Degraded.
+// ---------------------------------------------------------------------
+
+TEST(PermanentFaults, IndependentSurvivesHardDeathMidCampaign)
+{
+    sdimm::IndependentOram::Params ip;
+    ip.perSdimm.levels = 6;
+    ip.perSdimm.stashCapacity = 200;
+    ip.numSdimms = 2;
+    sdimm::IndependentOram o(ip, 11);
+
+    // SDIMM 1 dies hard at access 2500 of a 10k-access campaign; no
+    // transient noise, so every ledger entry is the one watchdog
+    // episode and the campaign must come back bit-exact.
+    const fault::FaultPlan plan = fault::FaultPlan::hardDeath(1, 2500, 21);
+    fault::FaultInjector inj(plan);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::size_t checked = runMirroredWorkload(
+        [&](Addr a, oram::OramOp op, const BlockData *d) {
+            return o.access(a, op, d);
+        },
+        128, kAcceptanceAccesses, 42);
+
+    EXPECT_GT(checked, 1000u);
+    EXPECT_FALSE(o.failedStop());
+    EXPECT_TRUE(o.integrityOk());
+    EXPECT_EQ(o.quarantinedCount(), 1u);
+    EXPECT_TRUE(o.isQuarantined(1));
+
+    EXPECT_EQ(inj.injected(fault::FaultKind::WatchdogTimeout), 1u);
+    EXPECT_EQ(inj.detectedTotal(), inj.injectedTotal());
+    EXPECT_EQ(inj.unrecoveredTotal(), 0u);
+    EXPECT_EQ(inj.recoveredTotal(), inj.detectedTotal());
+    EXPECT_EQ(inj.watchdogProbes(), plan.watchdogMaxProbes);
+    EXPECT_GT(inj.watchdogBackoffCycles(), 0u);
+    EXPECT_EQ(inj.quarantinedUnits(), 1u);
+
+    // The dead subtree was drained: every block lives off SDIMM 1
+    // now, and the evacuation stream was geometry-padded.
+    EXPECT_GT(o.evacuatedBlocks(), 0u);
+    EXPECT_EQ(inj.evacuatedBlocks(), o.evacuatedBlocks());
+    EXPECT_GE(inj.evacuationAppends(),
+              ip.perSdimm.capacityBlocks() * ip.numSdimms);
+    const unsigned local_levels = ip.perSdimm.levels;
+    for (Addr a = 0; a < 128; ++a)
+        EXPECT_NE(o.leafOf(a) >> local_levels, 1u) << "block " << a;
+
+    util::MetricsRegistry m;
+    inj.exportMetrics(m, "fault");
+    EXPECT_EQ(m.counter("fault.quarantined_sdimms"), 1u);
+    EXPECT_GT(m.counter("fault.evacuated_blocks"), 0u);
+}
+
+TEST(PermanentFaults, IndepSplitSurvivesHardDeathMidCampaign)
+{
+    sdimm::IndepSplitOram::Params gp;
+    gp.perGroupTree.levels = 6;
+    gp.perGroupTree.stashCapacity = 200;
+    gp.groups = 2;
+    gp.slicesPerGroup = 2;
+    sdimm::IndepSplitOram o(gp, 17);
+
+    const fault::FaultPlan plan = fault::FaultPlan::hardDeath(0, 2500, 27);
+    fault::FaultInjector inj(plan);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::size_t checked = runMirroredWorkload(
+        [&](Addr a, oram::OramOp op, const BlockData *d) {
+            return o.access(a, op, d);
+        },
+        128, kAcceptanceAccesses, 44);
+
+    EXPECT_GT(checked, 1000u);
+    EXPECT_FALSE(o.failedStop());
+    EXPECT_TRUE(o.integrityOk());
+    EXPECT_EQ(o.quarantinedGroupCount(), 1u);
+    EXPECT_TRUE(o.isGroupQuarantined(0));
+
+    EXPECT_EQ(inj.injected(fault::FaultKind::WatchdogTimeout), 1u);
+    EXPECT_EQ(inj.detectedTotal(), inj.injectedTotal());
+    EXPECT_EQ(inj.unrecoveredTotal(), 0u);
+    EXPECT_EQ(inj.recoveredTotal(), inj.detectedTotal());
+    EXPECT_EQ(inj.quarantinedUnits(), 1u);
+    EXPECT_GT(o.evacuatedBlocks(), 0u);
+    EXPECT_EQ(inj.evacuatedBlocks(), o.evacuatedBlocks());
+
+    util::MetricsRegistry m;
+    o.exportMetrics(m, "sdimm.indep_split");
+    EXPECT_EQ(m.counter("sdimm.indep_split.quarantined_groups"), 1u);
+    EXPECT_GT(m.counter("sdimm.indep_split.evacuated_blocks"), 0u);
+}
+
+TEST(PermanentFaults, StuckAtIsCaughtOnTheFirstAccess)
+{
+    sdimm::IndependentOram::Params ip;
+    ip.perSdimm.levels = 4;
+    ip.perSdimm.stashCapacity = 150;
+    ip.numSdimms = 2;
+    sdimm::IndependentOram o(ip, 19);
+
+    fault::FaultInjector inj(fault::FaultPlan::stuckAt(0, 33));
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const BlockData d = valueBlock(3, 0);
+    o.access(0, oram::OramOp::Write, &d);
+    EXPECT_TRUE(o.isQuarantined(0));
+    EXPECT_EQ(inj.detected(fault::FaultKind::WatchdogTimeout), 1u);
+    EXPECT_EQ(inj.unrecoveredTotal(), 0u);
+    // A boot-dead SDIMM holds no live blocks, so the evacuation is
+    // pure geometry-padded dummies.
+    EXPECT_EQ(o.evacuatedBlocks(), 0u);
+    EXPECT_EQ(o.access(0, oram::OramOp::Read, nullptr), d);
+    EXPECT_TRUE(o.integrityOk());
+}
+
+TEST(PermanentFaults, NonDegradedPolicyFailsStopOnDeadSdimm)
+{
+    sdimm::IndependentOram::Params ip;
+    ip.perSdimm.levels = 4;
+    ip.perSdimm.stashCapacity = 150;
+    ip.numSdimms = 2;
+    sdimm::IndependentOram o(ip, 23);
+
+    fault::FaultInjector inj(fault::FaultPlan::stuckAt(0, 35));
+    o.setFaultInjector(&inj, fault::DegradationPolicy::RetryThenStop);
+
+    const BlockData zero{};
+    EXPECT_EQ(o.access(0, oram::OramOp::Read, nullptr), zero);
+    EXPECT_TRUE(o.failedStop());
+    EXPECT_FALSE(o.integrityOk());
+    EXPECT_EQ(inj.detected(fault::FaultKind::WatchdogTimeout), 1u);
+    EXPECT_EQ(inj.unrecoveredTotal(), 1u);
+    EXPECT_EQ(o.quarantinedCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
 // Facade level: Options.faultPlan arms every protocol uniformly.
 // ---------------------------------------------------------------------
 

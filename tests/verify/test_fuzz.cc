@@ -56,6 +56,24 @@ TEST(Fuzz, CampaignsAreDeterministic)
     EXPECT_EQ(a.firstFailure, b.firstFailure);
 }
 
+TEST(Fuzz, PermanentFaultCampaignClean)
+{
+    // ~100 whole campaigns, rotating INDEP-2 / INDEP-4 / INDEP-SPLIT
+    // with one stuck-at or hard-death unit each; the nightly workflow
+    // runs the long version of this.
+    const FuzzResult r = fuzzPermanentFaults(1, 100);
+    EXPECT_TRUE(r.ok()) << r.firstFailure;
+    EXPECT_EQ(r.iterations, 100u);
+}
+
+TEST(Fuzz, PermanentFaultCampaignIsDeterministic)
+{
+    const FuzzResult a = fuzzPermanentFaults(5, 30);
+    const FuzzResult b = fuzzPermanentFaults(5, 30);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.firstFailure, b.firstFailure);
+}
+
 // ---------------------------------------------------------------------
 // Frame-codec regressions (each one a malformation class the strict
 // parser must name rather than crash on or misparse).
@@ -157,6 +175,50 @@ TEST(FrameRegression, OpcodeMismatchRejected)
     wire[sdimm::frameHeaderBytes] ^= 0xff;
     EXPECT_EQ(sdimm::parseFrame(wire.data(), wire.size()).error,
               FrameError::OpcodeMismatch);
+}
+
+TEST(FrameRegression, LengthFieldSkewNamedPrecisely)
+{
+    // Distilled from the mode-5 structure-aware mutation: each length
+    // skew direction maps to its own definite error.
+    CommandFrame f;
+    f.type = SdimmCommandType::Access;
+    f.payload = {sdimm::encodeCommand(f.type).opcode, 1, 2};
+    const auto wire = sdimm::serializeFrame(f);
+    const auto skew = [&](int delta) {
+        auto w = wire;
+        const std::uint16_t declared = static_cast<std::uint16_t>(
+            w[2] | (static_cast<unsigned>(w[3]) << 8));
+        const std::uint16_t s =
+            static_cast<std::uint16_t>(declared + delta);
+        w[2] = static_cast<std::uint8_t>(s & 0xff);
+        w[3] = static_cast<std::uint8_t>(s >> 8);
+        return sdimm::parseFrame(w.data(), w.size()).error;
+    };
+    EXPECT_EQ(skew(1), FrameError::Truncated);
+    EXPECT_EQ(skew(8), FrameError::Truncated);
+    EXPECT_EQ(skew(-1), FrameError::LengthMismatch);
+    // 3 - 8 wraps to 65531, past maxFramePayload.
+    EXPECT_EQ(skew(-8), FrameError::Oversize);
+}
+
+TEST(FrameRegression, SplicedFramesRejected)
+{
+    // Mode-4 shape: the header of a long ACCESS glued onto a short
+    // PROBE's (empty) body claims a payload the wire doesn't carry.
+    CommandFrame a;
+    a.type = SdimmCommandType::Access;
+    a.payload = {sdimm::encodeCommand(a.type).opcode, 1, 2, 3};
+    CommandFrame b;
+    b.type = SdimmCommandType::Probe;
+    const auto wa = sdimm::serializeFrame(a);
+    const auto wb = sdimm::serializeFrame(b);
+    std::vector<std::uint8_t> spliced(
+        wa.begin(), wa.begin() + sdimm::frameHeaderBytes);
+    spliced.insert(spliced.end(), wb.begin() + sdimm::frameHeaderBytes,
+                   wb.end());
+    EXPECT_EQ(sdimm::parseFrame(spliced.data(), spliced.size()).error,
+              FrameError::Truncated);
 }
 
 TEST(FrameRegression, OversizeDeclarationRejected)

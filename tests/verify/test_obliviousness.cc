@@ -91,6 +91,7 @@ INSTANTIATE_TEST_SUITE_P(
     Designs, TimingObliviousness,
     ::testing::Values(
         OblCase{core::DesignPoint::NonSecure, false},
+        OblCase{core::DesignPoint::PathOram, true},
         OblCase{core::DesignPoint::Freecursive, true},
         OblCase{core::DesignPoint::Indep2, true},
         OblCase{core::DesignPoint::Split2, true},

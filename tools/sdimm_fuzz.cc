@@ -7,13 +7,19 @@
  *
  * Usage:
  *   sdimm_fuzz [--seed N] [--iters N]
- *              [--target codec|frames|link|messages|faults|all]
- *              [--faults]
+ *              [--target codec|frames|link|messages|faults|permanent|all]
+ *              [--faults] [--permanent-faults]
  *
  * `--faults` (or `--target faults`) selects the fault-recovery soak:
  * each iteration is a whole randomized fault-injection campaign over
  * one secure protocol instance, so its default iteration count is
  * scaled down (one "faults" iteration costs ~10^3 parser iterations).
+ *
+ * `--permanent-faults` (or `--target permanent`) selects the
+ * permanent-fault soak: each iteration kills one SDIMM or group
+ * (stuck-at from boot, or hard death at a seeded access index drawn
+ * from the seed) in a rotating secure design and checks watchdog
+ * detection, quarantine, oblivious evacuation, and data survival.
  */
 
 #include <algorithm>
@@ -44,6 +50,7 @@ constexpr Campaign kCampaigns[] = {
     {"link", secdimm::verify::fuzzLinkSession, 1},
     {"messages", secdimm::verify::fuzzMessageCodecs, 1},
     {"faults", secdimm::verify::fuzzFaultRecovery, 1000},
+    {"permanent", secdimm::verify::fuzzPermanentFaults, 1000},
 };
 
 void
@@ -52,7 +59,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--seed N] [--iters N] [--faults] "
-        "[--target codec|frames|link|messages|faults|all]\n",
+        "[--permanent-faults] "
+        "[--target codec|frames|link|messages|faults|permanent|all]\n",
         argv0);
 }
 
@@ -76,6 +84,8 @@ main(int argc, char **argv)
             target = argv[++i];
         } else if (std::strcmp(arg, "--faults") == 0) {
             target = "faults";
+        } else if (std::strcmp(arg, "--permanent-faults") == 0) {
+            target = "permanent";
         } else {
             usage(argv[0]);
             return 2;
@@ -86,10 +96,12 @@ main(int argc, char **argv)
     bool all_ok = true;
     for (const Campaign &c : kCampaigns) {
         if (target == "all") {
-            // The recovery soak only runs when asked for: its cost
+            // The soak campaigns only run when asked for: their cost
             // model differs from the parser campaigns'.
-            if (std::strcmp(c.name, "faults") == 0)
+            if (std::strcmp(c.name, "faults") == 0 ||
+                std::strcmp(c.name, "permanent") == 0) {
                 continue;
+            }
         } else if (target != c.name) {
             continue;
         }
