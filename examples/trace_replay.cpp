@@ -9,15 +9,25 @@
  *   $ ./examples/trace_replay --list
  *   $ ./examples/trace_replay mcf SPLIT-2 1000 --metrics      # JSON
  *   $ ./examples/trace_replay mcf SPLIT-2 1000 --metrics=m.json
+ *
+ * With --shards=N (optionally --batch=B) the same trace is instead
+ * replayed through the functional sharded service (src/serve): N
+ * worker-threaded ORAM shards, async submission, and serve.* metrics.
+ *
+ *   $ ./examples/trace_replay mcf --shards=4 --batch=8 2000 --metrics
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <vector>
 
 #include "core/simulator.hh"
+#include "serve/sharded_memory.hh"
+#include "trace/workload.hh"
 
 using namespace secdimm;
 using namespace secdimm::core;
@@ -54,6 +64,109 @@ listOptions()
     std::printf("\n");
 }
 
+/** Dump or print a metrics registry per the --metrics flags. */
+int
+emitMetrics(const secdimm::util::MetricsRegistry &m,
+            const std::string &metrics_path)
+{
+    const std::string json = m.toJson();
+    if (metrics_path.empty()) {
+        std::printf("\n%s\n", json.c_str());
+        return 0;
+    }
+    std::FILE *f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+        std::printf("cannot write %s\n", metrics_path.c_str());
+        return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nmetrics written to %s\n", metrics_path.c_str());
+    return 0;
+}
+
+/**
+ * Functional sharded replay: the workload's LLC-miss stream is
+ * submitted asynchronously to a ShardedSecureMemory, exercising the
+ * multi-threaded frontend end to end.
+ */
+int
+replaySharded(const trace::WorkloadProfile &profile,
+              std::uint64_t accesses, unsigned shards, unsigned batch,
+              bool dump_metrics, const std::string &metrics_path)
+{
+    serve::ShardedSecureMemory::Options opt;
+    opt.shard.protocol = SecureMemorySystem::Protocol::PathOram;
+    opt.shard.capacityBytes = 1 << 20;
+    opt.shard.seed = 1;
+    opt.numShards = shards;
+    opt.maxBatch = batch == 0 ? 1 : batch;
+    serve::ShardedSecureMemory mem(opt);
+
+    std::printf("replaying %s through the sharded service (%u shards, "
+                "batch %u, %llu accesses)...\n",
+                profile.name.c_str(), shards, opt.maxBatch,
+                static_cast<unsigned long long>(accesses));
+
+    trace::TraceGenerator gen(profile, 1);
+    const std::uint64_t cap = mem.capacityBlocks();
+    std::vector<std::future<BlockData>> reads;
+    std::vector<std::future<void>> writes;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const trace::TraceRecord rec = gen.next();
+        const Addr block = (rec.addr / blockBytes) % cap;
+        if (rec.write) {
+            BlockData d{};
+            d[0] = static_cast<std::uint8_t>(i);
+            writes.push_back(mem.submitWrite(block, d));
+        } else {
+            reads.push_back(mem.submitRead(block));
+        }
+        if (reads.size() + writes.size() >= 64) {
+            for (auto &f : reads)
+                f.get();
+            for (auto &f : writes)
+                f.get();
+            reads.clear();
+            writes.clear();
+        }
+    }
+    for (auto &f : reads)
+        f.get();
+    for (auto &f : writes)
+        f.get();
+    mem.drain();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    const util::MetricsRegistry m = mem.metrics();
+    std::printf("\naccesses submitted:       %llu\n",
+                static_cast<unsigned long long>(accesses));
+    std::printf("wall time:                %.3f s  (%.0f accesses/sec)\n",
+                secs, secs > 0 ? static_cast<double>(accesses) / secs : 0.0);
+    std::printf("accessORAM operations:    %llu\n",
+                static_cast<unsigned long long>(
+                    m.counter("core.accesses")));
+    for (unsigned s = 0; s < shards; ++s) {
+        const std::string p = "serve.s" + std::to_string(s);
+        std::printf("shard %u: %llu requests, queue high-water %.0f, "
+                    "%llu enqueue stalls\n",
+                    s,
+                    static_cast<unsigned long long>(
+                        m.counter(p + ".accesses")),
+                    m.gauge(p + ".queue_high_water"),
+                    static_cast<unsigned long long>(
+                        m.counter(p + ".enqueue_stalls")));
+    }
+    std::printf("integrity:                %s\n",
+                mem.integrityOk() ? "ok" : "FAILED");
+    if (dump_metrics)
+        return emitMetrics(m, metrics_path);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -64,9 +177,12 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // Split --metrics[=path] off from the positional arguments.
+    // Split --metrics[=path] / --shards=N / --batch=B off from the
+    // positional arguments.
     bool dump_metrics = false;
     std::string metrics_path; // Empty = stdout.
+    unsigned shards = 0;      // 0 = timing-simulator mode.
+    unsigned batch = 1;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -74,12 +190,41 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
             dump_metrics = true;
             metrics_path = argv[i] + 10;
+        } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+            shards = static_cast<unsigned>(
+                std::strtoul(argv[i] + 9, nullptr, 0));
+        } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+            batch = static_cast<unsigned>(
+                std::strtoul(argv[i] + 8, nullptr, 0));
         } else {
             pos.push_back(argv[i]);
         }
     }
 
     const std::string workload = !pos.empty() ? pos[0] : "mcf";
+
+    if (shards > 0) {
+        // Sharded functional replay: workload [accesses].
+        const trace::WorkloadProfile *profile =
+            trace::findProfile(workload);
+        if (profile == nullptr) {
+            std::printf("unknown workload '%s'\n", workload.c_str());
+            listOptions();
+            return 1;
+        }
+        std::uint64_t accesses = 1000;
+        for (std::size_t i = 1; i < pos.size(); ++i) {
+            char *end = nullptr;
+            const std::uint64_t v = std::strtoull(pos[i], &end, 0);
+            if (end != pos[i] && *end == '\0') {
+                accesses = v;
+                break;
+            }
+        }
+        return replaySharded(*profile, accesses, shards, batch,
+                             dump_metrics, metrics_path);
+    }
+
     const std::string design_name = pos.size() > 1 ? pos[1] : "SPLIT-2";
     const std::uint64_t accesses =
         pos.size() > 2 ? std::strtoull(pos[2], nullptr, 0) : 1000;

@@ -5,6 +5,7 @@
 #include "fault/fault_injector.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
+#include "verify/channel_observer.hh"
 
 namespace secdimm::core
 {
@@ -266,6 +267,27 @@ SecureMemorySystem::auditNow() const
         return verify::auditIndepSplitOram(*indepSplit_);
     }
     return verify::AuditReport{};
+}
+
+unsigned
+SecureMemorySystem::attachObserver(verify::ChannelObserver &observer)
+{
+    switch (options_.protocol) {
+      case Protocol::PathOram:
+        observer.attach(pathOram_->store());
+        return 1;
+      case Protocol::Freecursive: {
+        const unsigned trees = recursive_->posmapLevels() + 1;
+        for (unsigned t = 0; t < trees; ++t)
+            observer.attach(recursive_->tree(t).store());
+        return trees;
+      }
+      case Protocol::Independent:
+      case Protocol::Split:
+      case Protocol::IndepSplit:
+        return 0; // Visible trace exposed via busTrace()/leafTrace().
+    }
+    return 0;
 }
 
 util::MetricsRegistry

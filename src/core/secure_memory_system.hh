@@ -32,6 +32,11 @@
 #include "util/metrics.hh"
 #include "verify/invariant_audit.hh"
 
+namespace secdimm::verify
+{
+class ChannelObserver;
+}
+
 namespace secdimm::core
 {
 
@@ -122,6 +127,17 @@ class SecureMemorySystem
     util::MetricsRegistry metrics() const;
 
     Protocol protocol() const { return options_.protocol; }
+
+    /**
+     * Attach a passive verify::ChannelObserver to this instance's
+     * externally visible channel: the BucketStore sequence for
+     * PathOram, every tree's BucketStore for Freecursive.  The
+     * Independent/Split families expose their visible trace through
+     * busTrace() instead of a callback channel, so they return 0.
+     * Returns the number of attach points.  The observer must outlive
+     * all subsequent accesses.
+     */
+    unsigned attachObserver(verify::ChannelObserver &observer);
 
     /**
      * The armed fault injector (nullptr when the FaultPlan is empty):

@@ -1,0 +1,304 @@
+#include "serve/sharded_memory.hh"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/bit_utils.hh"
+#include "util/logging.hh"
+
+namespace secdimm::serve
+{
+
+core::SecureMemorySystem::Options
+ShardedSecureMemory::shardOptions(const Options &options, unsigned i)
+{
+    core::SecureMemorySystem::Options so = options.shard;
+    const unsigned n = options.numShards == 0 ? 1 : options.numShards;
+    so.capacityBytes = divCeil(options.shard.capacityBytes, n);
+    so.seed = options.shard.seed * 1000003 + i;
+    return so;
+}
+
+ShardedSecureMemory::ShardedSecureMemory(const Options &options)
+    : numShards_(options.numShards == 0 ? 1 : options.numShards),
+      maxBatch_(options.maxBatch == 0 ? 1 : options.maxBatch)
+{
+    shards_.reserve(numShards_);
+    queues_.reserve(numShards_);
+    std::uint64_t min_local_blocks = 0;
+    for (unsigned i = 0; i < numShards_; ++i) {
+        shards_.push_back(std::make_unique<core::SecureMemorySystem>(
+            shardOptions(options, i)));
+        const std::uint64_t local =
+            shards_.back()->capacityBytes() / blockBytes;
+        min_local_blocks =
+            i == 0 ? local : std::min(min_local_blocks, local);
+        queues_.push_back(std::make_unique<BoundedMpscQueue<Request>>(
+            options.queueCapacity));
+        const std::string s = "serve.s" + std::to_string(i);
+        accessesName_.push_back(s + ".accesses");
+        batchSizeName_.push_back(s + ".batch_size");
+        queueDepthName_.push_back(s + ".queue_depth");
+    }
+    // Uniform interleaving: every shard must be able to hold block
+    // indices 0..min-1, so the global space is min * N blocks.
+    capacityBlocks_ = min_local_blocks * numShards_;
+
+    workers_.reserve(numShards_);
+    for (unsigned i = 0; i < numShards_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ShardedSecureMemory::~ShardedSecureMemory()
+{
+    shutdown();
+}
+
+void
+ShardedSecureMemory::workerLoop(unsigned shard)
+{
+    core::SecureMemorySystem &mem = *shards_[shard];
+    BoundedMpscQueue<Request> &q = *queues_[shard];
+    std::vector<Request> batch;
+    batch.reserve(maxBatch_);
+    for (;;) {
+        batch.clear();
+        const std::size_t n = q.popBatch(batch, maxBatch_);
+        if (n == 0)
+            return; // Closed and fully drained.
+        for (Request &r : batch) {
+            if (r.write) {
+                mem.writeBlock(r.local, r.data);
+                r.writeDone.set_value();
+            } else {
+                r.readDone.set_value(mem.readBlock(r.local));
+            }
+        }
+        live_.incCounter(accessesName_[shard], n);
+        live_.sampleHistogram(batchSizeName_[shard], n);
+        noteCompleted(n);
+    }
+}
+
+void
+ShardedSecureMemory::noteSubmitted(unsigned shard)
+{
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    // Depth at submission time: an approximation (other producers
+    // race), but the histogram only needs the distribution shape.
+    live_.sampleHistogram(queueDepthName_[shard],
+                          queues_[shard]->size());
+}
+
+void
+ShardedSecureMemory::noteCompleted(std::size_t n)
+{
+    if (inflight_.fetch_sub(n, std::memory_order_acq_rel) ==
+        static_cast<std::uint64_t>(n)) {
+        std::lock_guard<std::mutex> lk(idleMu_);
+        idleCv_.notify_all();
+    }
+}
+
+std::future<BlockData>
+ShardedSecureMemory::submitRead(Addr block_index)
+{
+    if (block_index >= capacityBlocks_) {
+        fatal("ShardedSecureMemory: block %llu out of range "
+              "(capacity %llu blocks)",
+              static_cast<unsigned long long>(block_index),
+              static_cast<unsigned long long>(capacityBlocks_));
+    }
+    const unsigned shard = shardOf(block_index);
+    Request r;
+    r.local = localBlock(block_index);
+    r.write = false;
+    std::future<BlockData> f = r.readDone.get_future();
+    noteSubmitted(shard);
+    if (!queues_[shard]->push(std::move(r))) {
+        noteCompleted(1);
+        throw std::runtime_error(
+            "ShardedSecureMemory: submitRead after shutdown");
+    }
+    return f;
+}
+
+std::future<void>
+ShardedSecureMemory::submitWrite(Addr block_index, const BlockData &data)
+{
+    if (block_index >= capacityBlocks_) {
+        fatal("ShardedSecureMemory: block %llu out of range "
+              "(capacity %llu blocks)",
+              static_cast<unsigned long long>(block_index),
+              static_cast<unsigned long long>(capacityBlocks_));
+    }
+    const unsigned shard = shardOf(block_index);
+    Request r;
+    r.local = localBlock(block_index);
+    r.write = true;
+    r.data = data;
+    std::future<void> f = r.writeDone.get_future();
+    noteSubmitted(shard);
+    if (!queues_[shard]->push(std::move(r))) {
+        noteCompleted(1);
+        throw std::runtime_error(
+            "ShardedSecureMemory: submitWrite after shutdown");
+    }
+    return f;
+}
+
+BlockData
+ShardedSecureMemory::readBlock(Addr block_index)
+{
+    return submitRead(block_index).get();
+}
+
+void
+ShardedSecureMemory::writeBlock(Addr block_index, const BlockData &data)
+{
+    submitWrite(block_index, data).get();
+}
+
+void
+ShardedSecureMemory::read(Addr byte_addr, void *out, std::size_t len)
+{
+    struct Segment
+    {
+        std::uint8_t *dst;
+        std::size_t off;
+        std::size_t n;
+        std::future<BlockData> f;
+    };
+    std::vector<Segment> segs;
+    std::uint8_t *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        const Addr block = byte_addr / blockBytes;
+        const std::size_t off = byte_addr % blockBytes;
+        const std::size_t n = std::min(len, blockBytes - off);
+        // Adjacent blocks land on different shards, so these reads
+        // proceed in parallel across the shard workers.
+        segs.push_back(Segment{dst, off, n, submitRead(block)});
+        dst += n;
+        byte_addr += n;
+        len -= n;
+    }
+    for (Segment &s : segs) {
+        const BlockData b = s.f.get();
+        std::memcpy(s.dst, b.data() + s.off, s.n);
+    }
+}
+
+void
+ShardedSecureMemory::write(Addr byte_addr, const void *data,
+                           std::size_t len)
+{
+    const std::uint8_t *src = static_cast<const std::uint8_t *>(data);
+    std::vector<std::future<void>> done;
+    while (len > 0) {
+        const Addr block = byte_addr / blockBytes;
+        const std::size_t off = byte_addr % blockBytes;
+        const std::size_t n = std::min(len, blockBytes - off);
+        BlockData b{};
+        if (off != 0 || n != blockBytes)
+            b = readBlock(block); // Read-modify-write.
+        std::memcpy(b.data() + off, src, n);
+        // FIFO per shard: this write lands after the RMW read above
+        // and before any later op this thread issues to the block.
+        done.push_back(submitWrite(block, b));
+        src += n;
+        byte_addr += n;
+        len -= n;
+    }
+    for (auto &f : done)
+        f.get();
+}
+
+void
+ShardedSecureMemory::drain()
+{
+    std::unique_lock<std::mutex> lk(idleMu_);
+    idleCv_.wait(lk, [&] {
+        return inflight_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+ShardedSecureMemory::shutdown()
+{
+    std::lock_guard<std::mutex> lk(shutdownMu_);
+    if (shutdown_.exchange(true))
+        return;
+    for (auto &q : queues_)
+        q->close(); // Queued requests still complete (popBatch drains).
+    for (auto &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+}
+
+util::MetricsRegistry
+ShardedSecureMemory::metrics()
+{
+    drain();
+    util::MetricsRegistry out;
+    out.setCounter("serve.shards", numShards_);
+    out.setCounter("serve.max_batch", maxBatch_);
+    out.setCounter("serve.queue_capacity", queues_[0]->capacity());
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < numShards_; ++i) {
+        const std::string s = "serve.s" + std::to_string(i);
+        const std::uint64_t acc = live_.counter(accessesName_[i]);
+        total += acc;
+        out.setCounter(accessesName_[i], acc);
+        if (const auto *h = live_.findHistogram(batchSizeName_[i]))
+            out.histogram(batchSizeName_[i]).merge(*h);
+        if (const auto *h = live_.findHistogram(queueDepthName_[i]))
+            out.histogram(queueDepthName_[i]).merge(*h);
+        out.setGauge(s + ".queue_high_water",
+                     static_cast<double>(queues_[i]->highWater()));
+        out.setCounter(s + ".enqueue_stalls",
+                       queues_[i]->pushStalls());
+        out.setCounter(s + ".stall_ns", queues_[i]->stallNs());
+        out.merge(shards_[i]->metrics());
+    }
+    out.setCounter("serve.requests", total);
+    return out;
+}
+
+util::MetricsRegistry
+ShardedSecureMemory::shardMetrics(unsigned shard)
+{
+    drain();
+    return shards_.at(shard)->metrics();
+}
+
+std::uint64_t
+ShardedSecureMemory::accessCount()
+{
+    drain();
+    std::uint64_t total = 0;
+    for (auto &s : shards_)
+        total += s->accessCount();
+    return total;
+}
+
+bool
+ShardedSecureMemory::integrityOk()
+{
+    drain();
+    for (auto &s : shards_) {
+        if (!s->integrityOk())
+            return false;
+    }
+    return true;
+}
+
+unsigned
+ShardedSecureMemory::attachObserver(unsigned shard,
+                                    verify::ChannelObserver &observer)
+{
+    return shards_.at(shard)->attachObserver(observer);
+}
+
+} // namespace secdimm::serve

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Sharded multi-threaded oblivious memory service: the block-address
+ * space is interleaved across N independent core::SecureMemorySystem
+ * shards (shard = block mod N), each driven by a dedicated worker
+ * thread pulling from a bounded MPSC request queue.
+ *
+ * The partitioning argument mirrors the paper's Independent ORAM,
+ * which splits the tree by top leaf bits across SDIMMs: each shard is
+ * a complete, independently seeded ORAM, so its externally visible
+ * command schedule depends only on the sequence of requests *it*
+ * serves -- obliviousness stays shard-local (the per-shard trace is
+ * checked by tests/serve), and a fixed seed plus a fixed per-shard
+ * request order reproduces a bit-identical per-shard schedule
+ * regardless of how the worker threads interleave in wall-clock time.
+ *
+ * Two frontends:
+ *  - synchronous facade: readBlock/writeBlock plus byte-granular
+ *    read/write that may span shards (adjacent blocks live on
+ *    different shards, so multi-block spans fan out in parallel);
+ *  - asynchronous futures: submitRead/submitWrite enqueue and return
+ *    immediately (or block briefly on a full queue -- that is the
+ *    backpressure), completing on the shard worker.
+ *
+ * Batching: each worker drains up to Options::maxBatch requests per
+ * wakeup; maxBatch == 1 disables batching.  See docs/SHARDING.md.
+ */
+
+#ifndef SECUREDIMM_SERVE_SHARDED_MEMORY_HH
+#define SECUREDIMM_SERVE_SHARDED_MEMORY_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/secure_memory_system.hh"
+#include "serve/request_queue.hh"
+#include "util/metrics.hh"
+
+namespace secdimm::verify
+{
+class ChannelObserver;
+}
+
+namespace secdimm::serve
+{
+
+/** Byte-addressable oblivious memory served by N shard threads. */
+class ShardedSecureMemory
+{
+  public:
+    struct Options
+    {
+        /**
+         * Template for every shard: protocol, stash size, fault plan,
+         * audits.  `shard.capacityBytes` is the TOTAL requested
+         * capacity; each shard gets a 1/numShards slice (rounded up to
+         * its tree size).  `shard.seed` is the base seed; shard i runs
+         * on `seed * 1000003 + i` (the per-component derivation idiom
+         * of util/rng.hh), so shards draw decorrelated streams while
+         * one top-level seed still pins the whole service.
+         */
+        core::SecureMemorySystem::Options shard;
+        unsigned numShards = 4;
+        /** Per-shard queue bound: producers block when it is full. */
+        std::size_t queueCapacity = 64;
+        /** Max requests a worker drains per wakeup; 1 = no batching. */
+        unsigned maxBatch = 8;
+    };
+
+    explicit ShardedSecureMemory(const Options &options);
+    ~ShardedSecureMemory();
+
+    ShardedSecureMemory(const ShardedSecureMemory &) = delete;
+    ShardedSecureMemory &operator=(const ShardedSecureMemory &) = delete;
+
+    /* ---- topology ------------------------------------------------ */
+    unsigned numShards() const { return numShards_; }
+    std::uint64_t capacityBlocks() const { return capacityBlocks_; }
+    std::uint64_t capacityBytes() const
+    {
+        return capacityBlocks_ * blockBytes;
+    }
+    unsigned shardOf(Addr block) const
+    {
+        return static_cast<unsigned>(block % numShards_);
+    }
+    Addr localBlock(Addr block) const { return block / numShards_; }
+
+    /** The exact per-shard Options the constructor builds for shard
+     *  @p i -- exposed so tests can replay a single-threaded baseline
+     *  with identical seeds and capacities. */
+    static core::SecureMemorySystem::Options
+    shardOptions(const Options &options, unsigned i);
+
+    /* ---- asynchronous API ---------------------------------------- */
+    /** Enqueue a block read; the future resolves on the shard worker.
+     *  Blocks only while the target shard's queue is full. */
+    std::future<BlockData> submitRead(Addr block_index);
+
+    /** Enqueue a block write; the future resolves once durable in the
+     *  shard's ORAM. */
+    std::future<void> submitWrite(Addr block_index,
+                                  const BlockData &data);
+
+    /* ---- synchronous facade -------------------------------------- */
+    BlockData readBlock(Addr block_index);
+    void writeBlock(Addr block_index, const BlockData &data);
+
+    /** Byte-granular read; spans blocks (and therefore shards) as
+     *  needed, fanning the per-block reads out concurrently. */
+    void read(Addr byte_addr, void *out, std::size_t len);
+
+    /** Byte-granular write (read-modify-write at block granularity
+     *  for partial blocks). */
+    void write(Addr byte_addr, const void *data, std::size_t len);
+
+    /* ---- lifecycle ----------------------------------------------- */
+    /**
+     * Wait until every accepted request has completed and all workers
+     * are idle.  Callers must have stopped submitting; with
+     * concurrent producers the wait is satisfied on any transient
+     * empty instant.
+     */
+    void drain();
+
+    /**
+     * Stop accepting requests, finish everything already queued, and
+     * join the workers.  Idempotent; the destructor calls it.  Every
+     * future obtained before shutdown() still completes -- accepted
+     * work is never dropped.
+     */
+    void shutdown();
+
+    /* ---- introspection ------------------------------------------- */
+    /**
+     * Aggregated snapshot: `serve.*` service counters (per-shard
+     * access counts, batch-size and queue-depth histograms, queue
+     * high-water, producer stalls) plus the merge of every shard's
+     * SecureMemorySystem registry (counters add, histograms merge;
+     * see docs/METRICS.md).  Drains first, so it must not race with
+     * active producers.
+     */
+    util::MetricsRegistry metrics();
+
+    /** One shard's own registry (drains first). */
+    util::MetricsRegistry shardMetrics(unsigned shard);
+
+    /** Sum of all shards' accessORAM counts (drains first). */
+    std::uint64_t accessCount();
+
+    /** All shards' integrity checks pass (drains first). */
+    bool integrityOk();
+
+    /**
+     * Attach a passive trace observer to shard @p shard's externally
+     * visible channel (see SecureMemorySystem::attachObserver).
+     * Attach before submitting traffic; returns attach-point count.
+     */
+    unsigned attachObserver(unsigned shard,
+                            verify::ChannelObserver &observer);
+
+  private:
+    struct Request
+    {
+        Addr local = 0;
+        bool write = false;
+        BlockData data{};
+        std::promise<BlockData> readDone;
+        std::promise<void> writeDone;
+    };
+
+    void workerLoop(unsigned shard);
+    void noteSubmitted(unsigned shard);
+    void noteCompleted(std::size_t n);
+
+    unsigned numShards_;
+    unsigned maxBatch_;
+    std::uint64_t capacityBlocks_ = 0;
+    std::vector<std::unique_ptr<core::SecureMemorySystem>> shards_;
+    std::vector<std::unique_ptr<BoundedMpscQueue<Request>>> queues_;
+    std::vector<std::thread> workers_;
+
+    /** serve.sN.* metric names, precomputed per shard. */
+    std::vector<std::string> accessesName_;
+    std::vector<std::string> batchSizeName_;
+    std::vector<std::string> queueDepthName_;
+
+    /** Shared worker-written registry -- the thread-safe path of
+     *  util::MetricsRegistry is load-bearing here. */
+    util::MetricsRegistry live_;
+
+    std::atomic<std::uint64_t> inflight_{0};
+    std::mutex idleMu_;
+    std::condition_variable idleCv_;
+
+    std::atomic<bool> shutdown_{false};
+    std::mutex shutdownMu_;
+};
+
+} // namespace secdimm::serve
+
+#endif // SECUREDIMM_SERVE_SHARDED_MEMORY_HH

@@ -15,6 +15,7 @@
 
 #include "core/secure_memory_system.hh"
 #include "core/simulator.hh"
+#include "serve/sharded_memory.hh"
 
 namespace secdimm::core
 {
@@ -199,6 +200,22 @@ TEST(MetricsIntegration, EveryMetricNameIsDocumented)
         BlockData d{};
         mem.writeBlock(1, d);
         mem.readBlock(1);
+        for (const auto &n : mem.metrics().names())
+            names.insert(normalizeName(n));
+    }
+
+    // The sharded service frontend (serve.* namespace).
+    {
+        serve::ShardedSecureMemory::Options opt;
+        opt.shard.protocol = SecureMemorySystem::Protocol::PathOram;
+        opt.shard.capacityBytes = 1 << 16;
+        opt.numShards = 2;
+        serve::ShardedSecureMemory mem(opt);
+        BlockData d{};
+        for (Addr a = 0; a < 16; ++a) {
+            mem.writeBlock(a, d);
+            mem.readBlock(a);
+        }
         for (const auto &n : mem.metrics().names())
             names.insert(normalizeName(n));
     }

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * BoundedMpscQueue unit tests: FIFO order, batch pop bounds, the
+ * blocking backpressure path, close semantics (accepted items still
+ * drain, later pushes are rejected), and the congestion counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.hh"
+
+namespace secdimm::serve
+{
+namespace
+{
+
+TEST(BoundedMpscQueue, FifoOrderAndBatchBound)
+{
+    BoundedMpscQueue<int> q(16);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(q.push(i));
+    std::vector<int> out;
+    EXPECT_EQ(q.popBatch(out, 4), 4u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(q.popBatch(out, 100), 6u); // Drains the rest, appended.
+    EXPECT_EQ(out.size(), 10u);
+    EXPECT_EQ(out.back(), 9);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedMpscQueue, PushBlocksWhenFullUntilConsumerDrains)
+{
+    BoundedMpscQueue<int> q(2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(3)); // Blocks until the pop below.
+    });
+    // Give the producer a moment to hit the full queue.  (A sleep
+    // cannot prove blocking, but the stall counter below can.)
+    while (q.pushStalls() == 0)
+        std::this_thread::yield();
+    std::vector<int> out;
+    EXPECT_GE(q.popBatch(out, 1), 1u);
+    producer.join();
+    EXPECT_EQ(q.pushStalls(), 1u);
+    EXPECT_EQ(q.highWater(), 2u); // Never exceeded capacity.
+    std::vector<int> rest;
+    q.popBatch(rest, 10);
+    EXPECT_EQ(rest, (std::vector<int>{2, 3}));
+}
+
+TEST(BoundedMpscQueue, CloseDrainsAcceptedThenRejects)
+{
+    BoundedMpscQueue<int> q(8);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    q.close();
+    EXPECT_FALSE(q.push(3)); // Rejected after close.
+    std::vector<int> out;
+    EXPECT_EQ(q.popBatch(out, 10), 2u); // Accepted items still drain.
+    EXPECT_EQ(q.popBatch(out, 10), 0u); // 0 = closed and empty.
+    EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedMpscQueue, CloseWakesBlockedProducer)
+{
+    BoundedMpscQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    std::thread producer([&] {
+        EXPECT_FALSE(q.push(2)); // Blocked on full, woken by close.
+    });
+    while (q.pushStalls() == 0)
+        std::this_thread::yield();
+    q.close();
+    producer.join();
+    EXPECT_GT(q.stallNs(), 0u);
+}
+
+TEST(BoundedMpscQueue, ManyProducersOneConsumer)
+{
+    constexpr unsigned kProducers = 4;
+    constexpr int kPerProducer = 500;
+    BoundedMpscQueue<int> q(8);
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(static_cast<int>(p) * kPerProducer + i));
+        });
+    }
+    std::vector<int> all;
+    while (all.size() < kProducers * kPerProducer)
+        q.popBatch(all, 7);
+    for (auto &p : producers)
+        p.join();
+    // Per-producer FIFO survives interleaving.
+    std::vector<int> last(kProducers, -1);
+    for (int v : all) {
+        const int p = v / kPerProducer;
+        EXPECT_LT(last[p], v % kPerProducer);
+        last[p] = v % kPerProducer;
+    }
+    EXPECT_LE(q.highWater(), 8u);
+}
+
+} // namespace
+} // namespace secdimm::serve

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * ShardedSecureMemory semantics: topology/capacity, read-your-writes
+ * through the sync facade and the future API, cross-shard
+ * byte-granular ops that straddle shard boundaries, backpressure
+ * bounds, shutdown with in-flight requests, and the aggregated
+ * serve.* metrics snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "serve/sharded_memory.hh"
+#include "util/rng.hh"
+
+namespace secdimm::serve
+{
+namespace
+{
+
+ShardedSecureMemory::Options
+smallOptions(unsigned shards,
+             core::SecureMemorySystem::Protocol proto =
+                 core::SecureMemorySystem::Protocol::PathOram)
+{
+    ShardedSecureMemory::Options opt;
+    opt.shard.protocol = proto;
+    opt.shard.capacityBytes = 1 << 16;
+    opt.shard.seed = 7;
+    opt.numShards = shards;
+    opt.queueCapacity = 16;
+    opt.maxBatch = 4;
+    return opt;
+}
+
+TEST(ShardedMemory, TopologyAndCapacity)
+{
+    ShardedSecureMemory mem(smallOptions(4));
+    EXPECT_EQ(mem.numShards(), 4u);
+    // Interleaved mapping: adjacent blocks on adjacent shards.
+    EXPECT_EQ(mem.shardOf(0), 0u);
+    EXPECT_EQ(mem.shardOf(1), 1u);
+    EXPECT_EQ(mem.shardOf(5), 1u);
+    EXPECT_EQ(mem.localBlock(5), 1u);
+    // Every shard holds the same local range.
+    EXPECT_EQ(mem.capacityBlocks() % 4, 0u);
+    EXPECT_GE(mem.capacityBytes(), std::uint64_t{1} << 16);
+}
+
+TEST(ShardedMemory, ReadYourWritesSyncFacade)
+{
+    for (auto proto : {core::SecureMemorySystem::Protocol::PathOram,
+                       core::SecureMemorySystem::Protocol::Split}) {
+        ShardedSecureMemory mem(smallOptions(4, proto));
+        const std::uint64_t cap = mem.capacityBlocks();
+        for (Addr a = 0; a < 32; ++a) {
+            BlockData d{};
+            d[0] = static_cast<std::uint8_t>(a + 1);
+            d[63] = static_cast<std::uint8_t>(~a);
+            mem.writeBlock(a % cap, d);
+        }
+        for (Addr a = 0; a < 32; ++a) {
+            const BlockData d = mem.readBlock(a % cap);
+            EXPECT_EQ(d[0], static_cast<std::uint8_t>(a + 1));
+            EXPECT_EQ(d[63], static_cast<std::uint8_t>(~a));
+        }
+        EXPECT_TRUE(mem.integrityOk());
+    }
+}
+
+TEST(ShardedMemory, FutureApiResolvesInOrderPerShard)
+{
+    ShardedSecureMemory mem(smallOptions(2));
+    std::vector<std::future<void>> writes;
+    for (Addr a = 0; a < 16; ++a) {
+        BlockData d{};
+        d[1] = static_cast<std::uint8_t>(a * 3);
+        writes.push_back(mem.submitWrite(a, d));
+    }
+    std::vector<std::future<BlockData>> reads;
+    for (Addr a = 0; a < 16; ++a)
+        reads.push_back(mem.submitRead(a));
+    for (auto &w : writes)
+        w.get();
+    for (Addr a = 0; a < 16; ++a)
+        EXPECT_EQ(reads[a].get()[1], static_cast<std::uint8_t>(a * 3));
+}
+
+TEST(ShardedMemory, CrossShardByteOpsStraddleBoundaries)
+{
+    ShardedSecureMemory mem(smallOptions(4));
+    // An unaligned span covering 6 blocks => at least 4 shards and
+    // partial blocks at both ends.
+    const Addr base = 3 * blockBytes + 17;
+    std::vector<std::uint8_t> wr(5 * blockBytes + 11);
+    Rng rng(99);
+    for (auto &b : wr)
+        b = static_cast<std::uint8_t>(rng.next());
+    mem.write(base, wr.data(), wr.size());
+
+    std::vector<std::uint8_t> rd(wr.size(), 0);
+    mem.read(base, rd.data(), rd.size());
+    EXPECT_EQ(wr, rd);
+
+    // The neighbouring bytes of the straddled edge blocks survive.
+    std::uint8_t before = 0xAB;
+    mem.write(base - 1, &before, 1);
+    mem.read(base, rd.data(), rd.size());
+    EXPECT_EQ(wr, rd) << "partial-block RMW clobbered the span";
+}
+
+TEST(ShardedMemory, BackpressureBoundsQueueDepth)
+{
+    ShardedSecureMemory::Options opt = smallOptions(2);
+    opt.queueCapacity = 4;
+    opt.maxBatch = 2;
+    ShardedSecureMemory mem(opt);
+    std::vector<std::future<void>> fs;
+    for (Addr a = 0; a < 64; ++a)
+        fs.push_back(mem.submitWrite(a % mem.capacityBlocks(), BlockData{}));
+    for (auto &f : fs)
+        f.get();
+    const util::MetricsRegistry m = mem.metrics();
+    for (unsigned s = 0; s < 2; ++s) {
+        const std::string p = "serve.s" + std::to_string(s);
+        EXPECT_LE(m.gauge(p + ".queue_high_water"), 4.0);
+        const auto *h = m.findHistogram(p + ".batch_size");
+        ASSERT_NE(h, nullptr);
+        EXPECT_GT(h->count(), 0u);
+        EXPECT_LE(h->max(), 2u); // maxBatch bound.
+    }
+}
+
+TEST(ShardedMemory, ShutdownWithInflightCompletesEverything)
+{
+    std::vector<std::future<void>> writes;
+    std::vector<std::future<BlockData>> reads;
+    {
+        ShardedSecureMemory mem(smallOptions(4));
+        for (Addr a = 0; a < 40; ++a) {
+            BlockData d{};
+            d[2] = static_cast<std::uint8_t>(a);
+            writes.push_back(mem.submitWrite(a, d));
+        }
+        for (Addr a = 0; a < 40; ++a)
+            reads.push_back(mem.submitRead(a));
+        mem.shutdown(); // Queued work must still complete.
+        EXPECT_THROW(mem.submitRead(0), std::runtime_error);
+        EXPECT_THROW(mem.submitWrite(0, BlockData{}),
+                     std::runtime_error);
+        // Destructor runs with the futures still alive.
+    }
+    for (auto &w : writes)
+        w.get(); // Would throw broken_promise had shutdown dropped it.
+    for (Addr a = 0; a < 40; ++a)
+        EXPECT_EQ(reads[a].get()[2], static_cast<std::uint8_t>(a));
+}
+
+TEST(ShardedMemory, MetricsAggregateAcrossShards)
+{
+    ShardedSecureMemory mem(smallOptions(4));
+    constexpr unsigned kOps = 48;
+    for (Addr a = 0; a < kOps; ++a)
+        mem.writeBlock(a % mem.capacityBlocks(), BlockData{});
+    const util::MetricsRegistry m = mem.metrics();
+    EXPECT_EQ(m.counter("serve.shards"), 4u);
+    EXPECT_EQ(m.counter("serve.requests"), kOps);
+    std::uint64_t per_shard_sum = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        const std::string p = "serve.s" + std::to_string(s);
+        per_shard_sum += m.counter(p + ".accesses");
+        EXPECT_GT(m.counter(p + ".accesses"), 0u)
+            << "interleaving left shard " << s << " idle";
+    }
+    EXPECT_EQ(per_shard_sum, kOps);
+    // Merged shard registries: core.accesses sums every shard's
+    // accessORAM count, capacity sums the slices.
+    EXPECT_GE(m.counter("core.accesses"), kOps);
+    EXPECT_EQ(m.counter("core.capacity_blocks") % 4, 0u);
+    EXPECT_EQ(mem.accessCount(), m.counter("core.accesses"));
+}
+
+TEST(ShardedMemory, SingleShardDegeneratesToPlainSystem)
+{
+    ShardedSecureMemory mem(smallOptions(1));
+    EXPECT_EQ(mem.numShards(), 1u);
+    BlockData d{};
+    d[7] = 42;
+    mem.writeBlock(9, d);
+    EXPECT_EQ(mem.readBlock(9)[7], 42);
+    EXPECT_EQ(mem.metrics().counter("serve.s0.accesses"), 2u);
+}
+
+} // namespace
+} // namespace secdimm::serve

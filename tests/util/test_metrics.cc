@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "util/metrics.hh"
 
 using namespace secdimm;
@@ -194,4 +197,84 @@ TEST(MetricsRegistry, ResetClearsEverything)
     m.reset();
     EXPECT_TRUE(m.empty());
     EXPECT_TRUE(m.names().empty());
+}
+
+/* ------------------------------------------------------------------
+ * Thread safety: the serve shards write one shared registry from N
+ * worker threads (src/serve), so concurrent named operations must
+ * neither race nor lose updates.
+ */
+
+TEST(MetricsRegistry, ConcurrentWritersLoseNothing)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kIters = 2000;
+    MetricsRegistry m;
+    std::vector<std::thread> ts;
+    ts.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&m, t] {
+            const std::string own =
+                "own.t" + std::to_string(t) + ".count";
+            for (unsigned i = 0; i < kIters; ++i) {
+                m.incCounter("shared.count");
+                m.incCounter(own);
+                m.sampleHistogram("shared.hist", i % 17);
+                m.setGauge("shared.gauge", static_cast<double>(t));
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(m.counter("shared.count"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(m.counter("own.t" + std::to_string(t) + ".count"),
+                  kIters);
+    }
+    const auto *h = m.findHistogram("shared.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_LT(m.gauge("shared.gauge"), static_cast<double>(kThreads));
+}
+
+TEST(MetricsRegistry, ConcurrentReadersDuringWrites)
+{
+    MetricsRegistry m;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        std::uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            m.incCounter("w.count");
+            m.sampleHistogram("w.hist", i++ & 31);
+        }
+    });
+    // Wait for the writer to get scheduled (single-core machines can
+    // run the whole reader loop before the thread first executes).
+    while (m.counter("w.count") == 0)
+        std::this_thread::yield();
+    // Readers exercise the snapshot paths writers race against.
+    for (unsigned r = 0; r < 200; ++r) {
+        const std::string json = m.toJson(-1);
+        EXPECT_FALSE(json.empty());
+        MetricsRegistry copy(m); // Copy ctor locks the source.
+        EXPECT_LE(copy.counter("w.count"), m.counter("w.count"));
+        (void)m.names();
+    }
+    stop = true;
+    writer.join();
+    EXPECT_GT(m.counter("w.count"), 0u);
+}
+
+TEST(MetricsRegistry, MergeIsSelfMergeSafeAndLocked)
+{
+    MetricsRegistry a;
+    a.incCounter("x", 3);
+    a.merge(a); // Self-merge must not deadlock or double.
+    EXPECT_EQ(a.counter("x"), 3u);
+
+    MetricsRegistry b;
+    b.incCounter("x", 4);
+    a.merge(b);
+    EXPECT_EQ(a.counter("x"), 7u);
 }
