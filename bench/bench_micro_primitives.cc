@@ -8,10 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench/common.hh"
 #include "crypto/aes128.hh"
 #include "crypto/cmac.hh"
+#include "crypto/cpu_features.hh"
 #include "crypto/ctr_mode.hh"
+#include "crypto/pmmac.hh"
 #include "dram/channel.hh"
 #include "oram/bucket_store.hh"
 #include "oram/plb.hh"
@@ -36,6 +40,21 @@ BM_Aes128Encrypt(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 16);
 }
 BENCHMARK(BM_Aes128Encrypt);
+
+/** The pipelined path: 8 independent blocks per encryptBlocks call. */
+void
+BM_Aes128EncryptBlocks8(benchmark::State &state)
+{
+    crypto::Aes128 aes(crypto::makeKey(1, 2));
+    std::uint8_t buf[16 * 8] = {};
+    for (auto _ : state) {
+        aes.encryptBlocks(buf, buf, 8);
+        benchmark::DoNotOptimize(buf);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 16 * 8);
+}
+BENCHMARK(BM_Aes128EncryptBlocks8);
 
 void
 BM_CtrTransformBlock(benchmark::State &state)
@@ -67,6 +86,54 @@ BM_CmacBucketImage(benchmark::State &state)
 }
 BENCHMARK(BM_CmacBucketImage);
 
+/** A whole path of bucket MACs through the batched CMAC API; 13
+ *  buckets is a ~256 KiB tree's path length. */
+void
+BM_CmacPathBatch(benchmark::State &state)
+{
+    constexpr std::size_t kPath = 13;
+    crypto::Cmac cmac(crypto::makeKey(5, 6));
+    std::vector<std::uint8_t> images(kPath * 320, 0xab);
+    std::vector<crypto::CmacJob> jobs(kPath);
+    for (std::size_t i = 0; i < kPath; ++i)
+        jobs[i] = crypto::CmacJob{nullptr, images.data() + 320 * i, 320};
+    std::vector<crypto::Aes128Block> tags(kPath);
+    for (auto _ : state) {
+        cmac.computeBatch(jobs.data(), kPath, tags.data());
+        benchmark::DoNotOptimize(tags);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kPath * 320));
+}
+BENCHMARK(BM_CmacPathBatch);
+
+/** Batched PMMAC verification of one path (verify side of a read). */
+void
+BM_PmmacPathVerifyBatch(benchmark::State &state)
+{
+    constexpr std::size_t kPath = 13;
+    crypto::Pmmac mac(crypto::makeKey(7, 8));
+    std::vector<std::uint8_t> images(kPath * 320, 0x5c);
+    std::vector<crypto::PmmacItem> items(kPath);
+    for (std::size_t i = 0; i < kPath; ++i) {
+        items[i] = crypto::PmmacItem{i, 1, images.data() + 320 * i,
+                                     320};
+    }
+    std::vector<crypto::Tag64> expected(kPath);
+    mac.tagBatch(items.data(), kPath, expected.data());
+    const std::unique_ptr<bool[]> ok(new bool[kPath]);
+    for (auto _ : state) {
+        const bool all = mac.verifyBatch(items.data(), kPath,
+                                         expected.data(), ok.get());
+        benchmark::DoNotOptimize(all);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kPath * 320));
+}
+BENCHMARK(BM_PmmacPathVerifyBatch);
+
 void
 BM_BucketStoreRoundTrip(benchmark::State &state)
 {
@@ -83,6 +150,33 @@ BM_BucketStoreRoundTrip(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BucketStoreRoundTrip);
+
+/** One batched path write+read through the store (13 buckets). */
+void
+BM_BucketStorePathBatch(benchmark::State &state)
+{
+    constexpr std::size_t kPath = 13;
+    oram::BucketStore store(64, 4, crypto::makeKey(1, 1),
+                            crypto::makeKey(2, 2));
+    std::vector<oram::Bucket> buckets;
+    std::vector<std::uint64_t> seqs;
+    for (std::size_t i = 0; i < kPath; ++i) {
+        oram::Bucket b(4);
+        b.slot(0) = oram::BlockSlot{static_cast<Addr>(i), 2,
+                                    BlockData{}};
+        buckets.push_back(std::move(b));
+        seqs.push_back(i);
+    }
+    std::vector<oram::BucketReadResult> results;
+    for (auto _ : state) {
+        store.writeBuckets(seqs.data(), buckets.data(), kPath);
+        store.readBuckets(seqs.data(), kPath, results);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kPath);
+}
+BENCHMARK(BM_BucketStorePathBatch);
 
 void
 BM_StashEvict(benchmark::State &state)
@@ -188,6 +282,19 @@ class SnapshotReporter : public benchmark::ConsoleReporter
             report_.setCount(point, "iterations",
                              static_cast<std::uint64_t>(
                                  run.iterations));
+            // Normalized per-primitive cost/throughput so the JSON
+            // trail is directly comparable across runs and AES
+            // backends (docs/PERFORMANCE.md).
+            report_.set(point, "ns_per_op", run.GetAdjustedRealTime());
+            const auto bps = run.counters.find("bytes_per_second");
+            if (bps != run.counters.end()) {
+                report_.set(point, "gb_per_s",
+                            static_cast<double>(bps->second) / 1e9);
+            }
+            report_.setCount(
+                point, "aes_impl_id",
+                static_cast<std::uint64_t>(
+                    static_cast<int>(crypto::activeAesImpl())));
         }
     }
 
@@ -204,6 +311,9 @@ main(int argc, char **argv)
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     secdimm::bench::JsonReport report("micro_primitives");
+    std::printf("aes implementation: %s\n",
+                secdimm::crypto::aesImplName(
+                    secdimm::crypto::activeAesImpl()));
     SnapshotReporter reporter(report);
     benchmark::RunSpecifiedBenchmarks(&reporter);
     report.write();

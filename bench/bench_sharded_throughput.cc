@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "crypto/cpu_features.hh"
 #include "serve/sharded_memory.hh"
 #include "util/rng.hh"
 
@@ -127,6 +128,9 @@ runPoint(unsigned shards, unsigned batch, std::uint64_t total_ops,
     report.set(name, "wall_ms", p.wallMs);
     report.setCount(name, "clients", clients);
     report.setCount(name, "ops", per_client * clients);
+    report.setCount(name, "aes_impl_id",
+                    static_cast<std::uint64_t>(
+                        static_cast<int>(crypto::activeAesImpl())));
     return p;
 }
 

@@ -315,6 +315,34 @@ SecureMemorySystem::metrics() const
         indepSplit_->exportMetrics(m, "sdimm.indep_split");
         break;
     }
+    // Aggregate crypto work across whichever backend is active (see
+    // docs/METRICS.md "crypto.*").
+    crypto::CryptoTotals ct;
+    switch (options_.protocol) {
+      case Protocol::PathOram:
+        pathOram_->collectCrypto(ct);
+        break;
+      case Protocol::Freecursive:
+        recursive_->collectCrypto(ct);
+        break;
+      case Protocol::Independent:
+        independent_->collectCrypto(ct);
+        break;
+      case Protocol::Split:
+        split_->collectCrypto(ct);
+        break;
+      case Protocol::IndepSplit:
+        indepSplit_->collectCrypto(ct);
+        break;
+    }
+    m.setGauge("crypto.impl_id",
+               static_cast<double>(
+                   static_cast<int>(crypto::activeAesImpl())));
+    m.setCounter("crypto.aes_blocks", ct.aesBlocks);
+    m.setCounter("crypto.ctr_bytes", ct.ctrBytes);
+    m.setCounter("crypto.mac_tags", ct.macTags);
+    m.setCounter("crypto.mac_batch_calls", ct.macBatchCalls);
+    m.setCounter("crypto.mac_batch_tags", ct.macBatchTags);
     if (injector_)
         injector_->exportMetrics(m, "fault");
     return m;

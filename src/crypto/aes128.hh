@@ -1,20 +1,28 @@
 /**
  * @file
- * From-scratch AES-128 block cipher (FIPS-197).  This is the primitive
- * behind the CPU<->SDIMM link encryption, ORAM bucket encryption
- * (counter mode), and PMMAC (CMAC) in the reproduction.
+ * AES-128 block cipher behind a runtime-dispatched backend.  This is
+ * the primitive under the CPU<->SDIMM link encryption, ORAM bucket
+ * encryption (counter mode), and CMAC/PMMAC in the reproduction.
  *
- * The implementation is a straightforward byte-oriented version (S-box
- * + xtime MixColumns); it favors clarity and testability over speed,
- * which is appropriate for a simulator where crypto latency is modeled
- * separately (21 controller cycles per the paper's Table II).
+ * Three bit-exact implementations sit behind the one Aes128 class:
+ * the portable byte-oriented FIPS-197 table path (always available),
+ * x86 AES-NI, and the ARMv8 Crypto Extension.  Each instance picks
+ * its backend at construction via cpu_features.hh (CPUID/HWCAP
+ * detection, `SDIMM_AES_IMPL` env override, forceAesImpl() test
+ * hook).  The hardware paths run the batch API (encryptBlocks) with
+ * rounds interleaved eight blocks wide, which is what makes pipelined
+ * CTR keystreams and batched path MACs fast; see docs/PERFORMANCE.md
+ * for the measured before/after and the dispatch design.
  */
 
 #ifndef SECUREDIMM_CRYPTO_AES128_HH
 #define SECUREDIMM_CRYPTO_AES128_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+
+#include "crypto/cpu_features.hh"
 
 namespace secdimm::crypto
 {
@@ -24,15 +32,43 @@ using Aes128Block = std::array<std::uint8_t, 16>;
 using Aes128Key = std::array<std::uint8_t, 16>;
 
 /**
- * AES-128 with a pre-expanded key schedule.  Thread-compatible: const
- * methods are safe to call concurrently.
+ * Work counters every crypto object accumulates and the facade
+ * aggregates into the `crypto.*` metric family (docs/METRICS.md).
+ * Kept per instance -- not process-global -- so identically seeded
+ * runs export byte-identical metrics (tests/verify/test_determinism).
+ */
+struct CryptoTotals
+{
+    std::uint64_t aesBlocks = 0;     ///< AES block ops, any backend.
+    std::uint64_t ctrBytes = 0;      ///< Bytes CTR-transformed.
+    std::uint64_t macTags = 0;       ///< CMAC tags computed (all APIs).
+    std::uint64_t macBatchCalls = 0; ///< Batched-MAC invocations.
+    std::uint64_t macBatchTags = 0;  ///< Tags produced by batch calls.
+
+    void
+    add(const CryptoTotals &o)
+    {
+        aesBlocks += o.aesBlocks;
+        ctrBytes += o.ctrBytes;
+        macTags += o.macTags;
+        macBatchCalls += o.macBatchCalls;
+        macBatchTags += o.macBatchTags;
+    }
+};
+
+/**
+ * AES-128 with a pre-expanded key schedule and a backend chosen at
+ * construction/rekey time.  Thread-compatible: const methods are safe
+ * to call concurrently from threads that each own distinct instances;
+ * the mutable work counter makes sharing one instance across threads
+ * a (benign-value) data race, and no caller does.
  */
 class Aes128
 {
   public:
     explicit Aes128(const Aes128Key &key) { rekey(key); }
 
-    /** Re-run key expansion with a new key. */
+    /** Re-run key expansion (and backend selection) with a new key. */
     void rekey(const Aes128Key &key);
 
     /** Encrypt one 16-byte block. */
@@ -41,9 +77,32 @@ class Aes128
     /** Decrypt one 16-byte block. */
     Aes128Block decrypt(const Aes128Block &ciphertext) const;
 
+    /**
+     * ECB-encrypt @p n independent 16-byte blocks from @p in to
+     * @p out (in == out allowed; partial overlap is not).  On the
+     * hardware backends the rounds are interleaved up to eight blocks
+     * wide, hiding the AES round latency -- this is the fast path
+     * under CTR keystream generation and batched CMAC chains.
+     */
+    void encryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                       std::size_t n) const;
+
+    /** Backend this instance dispatches to. */
+    AesImpl impl() const { return impl_; }
+
+    /** AES block operations this instance has executed. */
+    std::uint64_t blockOps() const { return blockOps_; }
+
+    /** Fold this instance's work into @p t (crypto.* metrics). */
+    void collectTotals(CryptoTotals &t) const { t.aesBlocks += blockOps_; }
+
   private:
-    /** 11 round keys of 16 bytes each. */
-    std::array<std::uint8_t, 176> roundKeys_;
+    /** 11 round keys of 16 bytes each (FIPS-197 schedule). */
+    alignas(16) std::array<std::uint8_t, 176> roundKeys_;
+    /** Equivalent-inverse schedule for hardware decrypt paths. */
+    alignas(16) std::array<std::uint8_t, 176> invRoundKeys_;
+    AesImpl impl_ = AesImpl::Table;
+    mutable std::uint64_t blockOps_ = 0;
 };
 
 /** Build an Aes128Key from two 64-bit words (tests, key derivation). */

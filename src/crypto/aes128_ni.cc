@@ -1,0 +1,135 @@
+/**
+ * @file
+ * x86 AES-NI backend.  The whole file is compiled on every platform;
+ * the intrinsics are confined to __attribute__((target("aes,sse2")))
+ * functions so no special compile flags leak into the rest of the
+ * build, and runtime CPUID gating (cpu_features.cc) guarantees they
+ * are only ever called on capable silicon.
+ *
+ * Throughput comes from interleaving: one aesenc has multi-cycle
+ * latency but single-cycle throughput, so encrypting eight
+ * independent blocks round-by-round hides nearly all of it.  CTR
+ * keystreams and batched path MACs feed exactly such independent
+ * blocks.
+ */
+
+#include "crypto/aes128_backend.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SECUREDIMM_HAVE_AESNI_BUILD 1
+#include <immintrin.h>
+#endif
+
+#include "util/logging.hh"
+
+namespace secdimm::crypto::detail
+{
+
+#if SECUREDIMM_HAVE_AESNI_BUILD
+
+namespace
+{
+
+constexpr std::size_t kLanes = 8;
+
+} // namespace
+
+bool
+aesniAvailable()
+{
+    return __builtin_cpu_supports("aes") != 0 &&
+           __builtin_cpu_supports("sse2") != 0;
+}
+
+__attribute__((target("aes,sse2"))) void
+aesniExpandInv(const std::uint8_t *rk, std::uint8_t *inv_rk)
+{
+    const auto *in = reinterpret_cast<const __m128i *>(rk);
+    auto *out = reinterpret_cast<__m128i *>(inv_rk);
+    _mm_storeu_si128(out, _mm_loadu_si128(in + 10));
+    for (int i = 1; i <= 9; ++i) {
+        _mm_storeu_si128(out + i,
+                         _mm_aesimc_si128(_mm_loadu_si128(in + 10 - i)));
+    }
+    _mm_storeu_si128(out + 10, _mm_loadu_si128(in));
+}
+
+__attribute__((target("aes,sse2"))) void
+aesniEncryptBlocks(const std::uint8_t *rk, const std::uint8_t *in,
+                   std::uint8_t *out, std::size_t n)
+{
+    const auto *rkp = reinterpret_cast<const __m128i *>(rk);
+    __m128i k[11];
+    for (int i = 0; i < 11; ++i)
+        k[i] = _mm_loadu_si128(rkp + i);
+
+    const auto *src = reinterpret_cast<const __m128i *>(in);
+    auto *dst = reinterpret_cast<__m128i *>(out);
+
+    while (n >= kLanes) {
+        __m128i s[kLanes];
+        for (std::size_t j = 0; j < kLanes; ++j)
+            s[j] = _mm_xor_si128(_mm_loadu_si128(src + j), k[0]);
+        for (int r = 1; r <= 9; ++r) {
+            for (std::size_t j = 0; j < kLanes; ++j)
+                s[j] = _mm_aesenc_si128(s[j], k[r]);
+        }
+        for (std::size_t j = 0; j < kLanes; ++j)
+            _mm_storeu_si128(dst + j, _mm_aesenclast_si128(s[j], k[10]));
+        src += kLanes;
+        dst += kLanes;
+        n -= kLanes;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+        __m128i s = _mm_xor_si128(_mm_loadu_si128(src + j), k[0]);
+        for (int r = 1; r <= 9; ++r)
+            s = _mm_aesenc_si128(s, k[r]);
+        _mm_storeu_si128(dst + j, _mm_aesenclast_si128(s, k[10]));
+    }
+}
+
+__attribute__((target("aes,sse2"))) void
+aesniDecryptBlock(const std::uint8_t *inv_rk, const std::uint8_t *in,
+                  std::uint8_t *out)
+{
+    const auto *rkp = reinterpret_cast<const __m128i *>(inv_rk);
+    __m128i s = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(in)),
+        _mm_loadu_si128(rkp));
+    for (int r = 1; r <= 9; ++r)
+        s = _mm_aesdec_si128(s, _mm_loadu_si128(rkp + r));
+    s = _mm_aesdeclast_si128(s, _mm_loadu_si128(rkp + 10));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out), s);
+}
+
+#else // !SECUREDIMM_HAVE_AESNI_BUILD
+
+bool
+aesniAvailable()
+{
+    return false;
+}
+
+void
+aesniExpandInv(const std::uint8_t *, std::uint8_t *)
+{
+    panic("aesni backend called on a non-x86 build");
+}
+
+void
+aesniEncryptBlocks(const std::uint8_t *, const std::uint8_t *,
+                   std::uint8_t *, std::size_t)
+{
+    panic("aesni backend called on a non-x86 build");
+}
+
+void
+aesniDecryptBlock(const std::uint8_t *, const std::uint8_t *,
+                  std::uint8_t *)
+{
+    panic("aesni backend called on a non-x86 build");
+}
+
+#endif // SECUREDIMM_HAVE_AESNI_BUILD
+
+} // namespace secdimm::crypto::detail

@@ -1,6 +1,7 @@
 #include "crypto/cmac.hh"
 
 #include <cstring>
+#include <vector>
 
 namespace secdimm::crypto
 {
@@ -32,6 +33,44 @@ generateSubkey(const Aes128Block &l)
     return k;
 }
 
+/** Full (non-final) block @p i of prefix||msg; always 16 bytes. */
+void
+middleBlock(const CmacJob &job, std::size_t i, std::uint8_t *out)
+{
+    const std::size_t pre = job.prefix != nullptr ? 16 : 0;
+    if (pre != 0 && i == 0)
+        std::memcpy(out, job.prefix, 16);
+    else
+        std::memcpy(out, job.msg + 16 * i - pre, 16);
+}
+
+/** Final block of prefix||msg, padded and subkey-mixed per RFC 4493. */
+Aes128Block
+finalBlock(const CmacJob &job, const Aes128Block &k1,
+           const Aes128Block &k2)
+{
+    const std::size_t pre = job.prefix != nullptr ? 16 : 0;
+    const std::size_t total = pre + job.len;
+    const std::size_t n_blocks = total == 0 ? 1 : (total + 15) / 16;
+    const std::size_t start = 16 * (n_blocks - 1);
+
+    Aes128Block last{};
+    if (total != 0 && total % 16 == 0) {
+        if (pre != 0 && start == 0)
+            std::memcpy(last.data(), job.prefix, 16);
+        else
+            std::memcpy(last.data(), job.msg + start - pre, 16);
+        return blockXor(last, k1);
+    }
+    // Incomplete final block never overlaps the 16-byte prefix: a
+    // non-empty prefix forces total >= 16, pushing start past it.
+    const std::size_t rem = total - start;
+    if (rem != 0)
+        std::memcpy(last.data(), job.msg + start - pre, rem);
+    last[rem] = 0x80;
+    return blockXor(last, k2);
+}
+
 } // namespace
 
 Cmac::Cmac(const Aes128Key &key) : aes_(key)
@@ -42,30 +81,91 @@ Cmac::Cmac(const Aes128Key &key) : aes_(key)
 }
 
 Aes128Block
-Cmac::compute(const std::uint8_t *msg, std::size_t len) const
+Cmac::computeOne(const std::uint8_t *prefix, const std::uint8_t *msg,
+                 std::size_t len) const
 {
-    const std::size_t n_blocks = len == 0 ? 1 : (len + 15) / 16;
-    const bool last_complete = len != 0 && len % 16 == 0;
+    const CmacJob job{prefix, msg, len};
+    const std::size_t pre = prefix != nullptr ? 16 : 0;
+    const std::size_t total = pre + len;
+    const std::size_t n_blocks = total == 0 ? 1 : (total + 15) / 16;
 
     Aes128Block x{};
+    std::uint8_t m[16];
     for (std::size_t i = 0; i + 1 < n_blocks; ++i) {
-        Aes128Block m;
-        std::memcpy(m.data(), msg + 16 * i, 16);
-        x = aes_.encrypt(blockXor(x, m));
+        middleBlock(job, i, m);
+        for (std::size_t b = 0; b < 16; ++b)
+            x[b] ^= m[b];
+        x = aes_.encrypt(x);
+    }
+    return aes_.encrypt(blockXor(x, finalBlock(job, k1_, k2_)));
+}
+
+Aes128Block
+Cmac::compute(const std::uint8_t *msg, std::size_t len) const
+{
+    ++tags_;
+    return computeOne(nullptr, msg, len);
+}
+
+Aes128Block
+Cmac::computeWithPrefix(const std::uint8_t *prefix,
+                        const std::uint8_t *msg, std::size_t len) const
+{
+    ++tags_;
+    return computeOne(prefix, msg, len);
+}
+
+void
+Cmac::computeBatch(const CmacJob *jobs, std::size_t n,
+                   Aes128Block *tags) const
+{
+    if (n == 0)
+        return;
+    ++batchCalls_;
+    batchTags_ += n;
+    tags_ += n;
+
+    std::vector<Aes128Block> x(n, Aes128Block{});
+    std::vector<std::size_t> blocks(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t pre = jobs[j].prefix != nullptr ? 16 : 0;
+        const std::size_t total = pre + jobs[j].len;
+        blocks[j] = total == 0 ? 1 : (total + 15) / 16;
     }
 
-    Aes128Block last{};
-    if (last_complete) {
-        std::memcpy(last.data(), msg + 16 * (n_blocks - 1), 16);
-        last = blockXor(last, k1_);
-    } else {
-        const std::size_t rem = len - 16 * (n_blocks - 1);
-        if (len != 0)
-            std::memcpy(last.data(), msg + 16 * (n_blocks - 1), rem);
-        last[rem] = 0x80;
-        last = blockXor(last, k2_);
+    // Advance every chain in lockstep: each round gathers one full
+    // block per still-active chain, XORs in the running state, runs a
+    // single batched AES call, and scatters the results back.
+    std::vector<std::uint8_t> buf(16 * n);
+    std::vector<std::size_t> active(n);
+    for (std::size_t round = 0;; ++round) {
+        std::size_t na = 0;
+        for (std::size_t j = 0; j < n; ++j)
+            if (round + 1 < blocks[j])
+                active[na++] = j;
+        if (na == 0)
+            break;
+        for (std::size_t i = 0; i < na; ++i) {
+            std::uint8_t *slot = buf.data() + 16 * i;
+            middleBlock(jobs[active[i]], round, slot);
+            const Aes128Block &xi = x[active[i]];
+            for (std::size_t b = 0; b < 16; ++b)
+                slot[b] ^= xi[b];
+        }
+        aes_.encryptBlocks(buf.data(), buf.data(), na);
+        for (std::size_t i = 0; i < na; ++i)
+            std::memcpy(x[active[i]].data(), buf.data() + 16 * i, 16);
     }
-    return aes_.encrypt(blockXor(x, last));
+
+    for (std::size_t j = 0; j < n; ++j) {
+        const Aes128Block last = finalBlock(jobs[j], k1_, k2_);
+        std::uint8_t *slot = buf.data() + 16 * j;
+        for (std::size_t b = 0; b < 16; ++b)
+            slot[b] = static_cast<std::uint8_t>(x[j][b] ^ last[b]);
+    }
+    aes_.encryptBlocks(buf.data(), buf.data(), n);
+    for (std::size_t j = 0; j < n; ++j)
+        std::memcpy(tags[j].data(), buf.data() + 16 * j, 16);
 }
 
 bool

@@ -1,0 +1,126 @@
+#include "crypto/cpu_features.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "crypto/aes128_backend.hh"
+
+namespace secdimm::crypto
+{
+
+namespace
+{
+
+/** Test-hook override; std::nullopt means "resolve normally". */
+std::optional<AesImpl> g_forced;
+
+AesImpl
+bestSupported()
+{
+    if (detail::aesniAvailable())
+        return AesImpl::AesNi;
+    if (detail::armv8Available())
+        return AesImpl::Armv8;
+    return AesImpl::Table;
+}
+
+bool
+implSupported(AesImpl impl)
+{
+    switch (impl) {
+      case AesImpl::Table:
+        return true;
+      case AesImpl::AesNi:
+        return detail::aesniAvailable();
+      case AesImpl::Armv8:
+        return detail::armv8Available();
+    }
+    return false;
+}
+
+/** Resolve SDIMM_AES_IMPL once; warn (once) on unsupported requests. */
+AesImpl
+resolveFromEnv()
+{
+    const char *req = std::getenv("SDIMM_AES_IMPL");
+    if (req == nullptr || std::strcmp(req, "auto") == 0 ||
+        req[0] == '\0') {
+        return bestSupported();
+    }
+    AesImpl want = AesImpl::Table;
+    if (std::strcmp(req, "table") == 0) {
+        want = AesImpl::Table;
+    } else if (std::strcmp(req, "aesni") == 0) {
+        want = AesImpl::AesNi;
+    } else if (std::strcmp(req, "armv8") == 0) {
+        want = AesImpl::Armv8;
+    } else {
+        std::fprintf(stderr,
+                     "securedimm: unknown SDIMM_AES_IMPL=%s "
+                     "(want table|aesni|armv8|auto); using auto\n",
+                     req);
+        return bestSupported();
+    }
+    if (!implSupported(want)) {
+        std::fprintf(stderr,
+                     "securedimm: SDIMM_AES_IMPL=%s not supported on "
+                     "this CPU; using %s\n",
+                     req, aesImplName(bestSupported()));
+        return bestSupported();
+    }
+    return want;
+}
+
+} // namespace
+
+const char *
+aesImplName(AesImpl impl)
+{
+    switch (impl) {
+      case AesImpl::Table:
+        return "table";
+      case AesImpl::AesNi:
+        return "aesni";
+      case AesImpl::Armv8:
+        return "armv8";
+    }
+    return "?";
+}
+
+bool
+aesNiSupported()
+{
+    return detail::aesniAvailable();
+}
+
+bool
+armv8CryptoSupported()
+{
+    return detail::armv8Available();
+}
+
+AesImpl
+activeAesImpl()
+{
+    if (g_forced.has_value())
+        return *g_forced;
+    // Env + CPUID resolution is stable for the process lifetime.
+    static const AesImpl resolved = resolveFromEnv();
+    return resolved;
+}
+
+void
+forceAesImpl(AesImpl impl)
+{
+    g_forced = implSupported(impl) ? impl : AesImpl::Table;
+}
+
+void
+clearForcedAesImpl()
+{
+    g_forced.reset();
+}
+
+} // namespace secdimm::crypto

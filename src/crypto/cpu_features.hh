@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runtime CPU-feature detection and AES implementation dispatch.  The
+ * crypto layer ships three bit-exact AES-128 backends -- the portable
+ * FIPS-197 table path, x86 AES-NI, and the ARMv8 Crypto Extension --
+ * and every Aes128 instance picks one at construction:
+ *
+ *   1. `SDIMM_AES_IMPL` env knob (`table`, `aesni`, `armv8`, `auto`)
+ *      if set; an unsupported request falls back to auto with one
+ *      stderr warning.
+ *   2. Otherwise the best implementation the CPU supports (CPUID on
+ *      x86, HWCAP on aarch64), with the table path as the
+ *      always-available fallback.
+ *
+ * Tests force a specific backend with forceAesImpl(); the choice
+ * applies to Aes128 objects constructed (or rekeyed) afterwards.
+ */
+
+#ifndef SECUREDIMM_CRYPTO_CPU_FEATURES_HH
+#define SECUREDIMM_CRYPTO_CPU_FEATURES_HH
+
+namespace secdimm::crypto
+{
+
+/** Which AES-128 round-function implementation executes. */
+enum class AesImpl
+{
+    Table = 0, ///< Portable byte-oriented FIPS-197 (always available).
+    AesNi = 1, ///< x86 AESENC/AESDEC via SSE intrinsics.
+    Armv8 = 2, ///< ARMv8-A Crypto Extension (AESE/AESD + NEON).
+};
+
+/** Human-readable name ("table", "aesni", "armv8"). */
+const char *aesImplName(AesImpl impl);
+
+/** True iff this CPU executes AES-NI instructions. */
+bool aesNiSupported();
+
+/** True iff this CPU executes the ARMv8 AES instructions. */
+bool armv8CryptoSupported();
+
+/**
+ * The implementation new Aes128 instances will use: the forced value
+ * if a test installed one, else the SDIMM_AES_IMPL resolution, else
+ * the best supported backend.
+ */
+AesImpl activeAesImpl();
+
+/**
+ * Test hook: pin the implementation for subsequently constructed
+ * Aes128 objects; clearForcedAesImpl() returns to auto resolution.
+ * Forcing an unsupported backend falls back to Table.
+ */
+void forceAesImpl(AesImpl impl);
+void clearForcedAesImpl();
+
+} // namespace secdimm::crypto
+
+#endif // SECUREDIMM_CRYPTO_CPU_FEATURES_HH

@@ -1,22 +1,38 @@
 #include "crypto/ctr_mode.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace secdimm::crypto
 {
+
+namespace
+{
+
+/** Keystream lanes generated per encryptBlocks call. */
+constexpr std::size_t kCtrLanes = 8;
+
+/** Layout: nonce[0:8) | counter[8:12) folded | lane[12:16). */
+void
+buildCtrBlock(std::uint8_t *out, std::uint64_t nonce,
+              std::uint64_t counter, std::uint32_t lane)
+{
+    std::memcpy(out, &nonce, 8);
+    const std::uint32_t ctr_lo = static_cast<std::uint32_t>(counter);
+    const std::uint32_t ctr_hi =
+        static_cast<std::uint32_t>(counter >> 32) ^ lane;
+    std::memcpy(out + 8, &ctr_lo, 4);
+    std::memcpy(out + 12, &ctr_hi, 4);
+}
+
+} // namespace
 
 Aes128Block
 CtrCipher::pad(std::uint64_t nonce, std::uint64_t counter,
                std::uint32_t lane) const
 {
     Aes128Block ctr_block{};
-    // Layout: nonce[0:8) | counter[8:12) folded | lane[12:16).
-    std::memcpy(ctr_block.data(), &nonce, 8);
-    const std::uint32_t ctr_lo = static_cast<std::uint32_t>(counter);
-    const std::uint32_t ctr_hi =
-        static_cast<std::uint32_t>(counter >> 32) ^ lane;
-    std::memcpy(ctr_block.data() + 8, &ctr_lo, 4);
-    std::memcpy(ctr_block.data() + 12, &ctr_hi, 4);
+    buildCtrBlock(ctr_block.data(), nonce, counter, lane);
     return aes_.encrypt(ctr_block);
 }
 
@@ -32,14 +48,26 @@ CtrCipher::transformBuffer(std::uint8_t *data, std::size_t len,
                            std::uint64_t nonce,
                            std::uint64_t counter) const
 {
+    bytes_ += len;
+    std::uint8_t ctrs[16 * kCtrLanes];
+    std::uint8_t pads[16 * kCtrLanes];
     std::uint32_t lane = 0;
     std::size_t off = 0;
     while (off < len) {
-        const Aes128Block p = pad(nonce, counter, lane++);
-        const std::size_t n = std::min<std::size_t>(16, len - off);
-        for (std::size_t i = 0; i < n; ++i)
-            data[off + i] ^= p[i];
-        off += n;
+        const std::size_t lanes = std::min<std::size_t>(
+            kCtrLanes, (len - off + 15) / 16);
+        for (std::size_t i = 0; i < lanes; ++i)
+            buildCtrBlock(ctrs + 16 * i, nonce, counter,
+                          lane + static_cast<std::uint32_t>(i));
+        aes_.encryptBlocks(ctrs, pads, lanes);
+        for (std::size_t i = 0; i < lanes; ++i) {
+            const std::size_t n = std::min<std::size_t>(16, len - off);
+            const std::uint8_t *p = pads + 16 * i;
+            for (std::size_t j = 0; j < n; ++j)
+                data[off + j] ^= p[j];
+            off += n;
+        }
+        lane += static_cast<std::uint32_t>(lanes);
     }
 }
 

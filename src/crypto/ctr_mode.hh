@@ -6,7 +6,11 @@
  *
  * The pad for 16-byte lane i of a message is
  *   AES_k(nonce || counter || i)
- * so a pad is never reused as long as the counter advances.
+ * so a pad is never reused as long as the counter advances.  The lanes
+ * of one buffer are independent, so the keystream is generated through
+ * Aes128::encryptBlocks up to eight blocks at a time -- on the
+ * hardware backends the AES rounds interleave across lanes and the
+ * whole keystream costs little more than one block's latency.
  */
 
 #ifndef SECUREDIMM_CRYPTO_CTR_MODE_HH
@@ -47,8 +51,20 @@ class CtrCipher
     Aes128Block pad(std::uint64_t nonce, std::uint64_t counter,
                     std::uint32_t lane) const;
 
+    /** Backend the underlying AES instance dispatches to. */
+    AesImpl impl() const { return aes_.impl(); }
+
+    /** Fold this cipher's work into @p t (crypto.* metrics). */
+    void
+    collectTotals(CryptoTotals &t) const
+    {
+        aes_.collectTotals(t);
+        t.ctrBytes += bytes_;
+    }
+
   private:
     Aes128 aes_;
+    mutable std::uint64_t bytes_ = 0;
 };
 
 } // namespace secdimm::crypto

@@ -5,19 +5,34 @@
 namespace secdimm::crypto
 {
 
+namespace
+{
+
+/** The 16-byte (id || counter) header is exactly one CMAC block. */
+void
+buildHeader(std::uint8_t *out, std::uint64_t id, std::uint64_t counter)
+{
+    std::memcpy(out, &id, 8);
+    std::memcpy(out + 8, &counter, 8);
+}
+
+Tag64
+truncateTag(const Aes128Block &full)
+{
+    Tag64 t;
+    std::memcpy(&t, full.data(), 8);
+    return t;
+}
+
+} // namespace
+
 Tag64
 Pmmac::tag(std::uint64_t id, std::uint64_t counter,
            const std::uint8_t *data, std::size_t len) const
 {
-    std::vector<std::uint8_t> msg(16 + len);
-    std::memcpy(msg.data(), &id, 8);
-    std::memcpy(msg.data() + 8, &counter, 8);
-    if (len != 0)
-        std::memcpy(msg.data() + 16, data, len);
-    const Aes128Block full = cmac_.compute(msg.data(), msg.size());
-    Tag64 t;
-    std::memcpy(&t, full.data(), 8);
-    return t;
+    std::uint8_t header[16];
+    buildHeader(header, id, counter);
+    return truncateTag(cmac_.computeWithPrefix(header, data, len));
 }
 
 bool
@@ -26,6 +41,40 @@ Pmmac::verify(std::uint64_t id, std::uint64_t counter,
               Tag64 expected) const
 {
     return tag(id, counter, data, len) == expected;
+}
+
+void
+Pmmac::tagBatch(const PmmacItem *items, std::size_t n,
+                Tag64 *tags) const
+{
+    if (n == 0)
+        return;
+    std::vector<std::uint8_t> headers(16 * n);
+    std::vector<CmacJob> jobs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        buildHeader(headers.data() + 16 * i, items[i].id,
+                    items[i].counter);
+        jobs[i] = CmacJob{headers.data() + 16 * i, items[i].data,
+                          items[i].len};
+    }
+    std::vector<Aes128Block> full(n);
+    cmac_.computeBatch(jobs.data(), n, full.data());
+    for (std::size_t i = 0; i < n; ++i)
+        tags[i] = truncateTag(full[i]);
+}
+
+bool
+Pmmac::verifyBatch(const PmmacItem *items, std::size_t n,
+                   const Tag64 *expected, bool *ok) const
+{
+    std::vector<Tag64> actual(n);
+    tagBatch(items, n, actual.data());
+    bool all = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        ok[i] = actual[i] == expected[i];
+        all = all && ok[i];
+    }
+    return all;
 }
 
 } // namespace secdimm::crypto

@@ -5,6 +5,11 @@
  * carries a monotonically increasing counter; the MAC binds
  * (identity, counter, payload) so replaying an old ciphertext fails
  * verification without any Merkle tree over the data.
+ *
+ * The (id || counter) header is exactly one AES block, fed to CMAC
+ * via Cmac::computeWithPrefix so no tag ever allocates or copies the
+ * payload.  tagBatch()/verifyBatch() authenticate a whole ORAM path
+ * in one batched CMAC pass (see cmac.hh).
  */
 
 #ifndef SECUREDIMM_CRYPTO_PMMAC_HH
@@ -20,6 +25,15 @@ namespace secdimm::crypto
 
 /** Truncated 64-bit MAC tag as stored in bucket metadata. */
 using Tag64 = std::uint64_t;
+
+/** One (identity, counter, payload) item in a PMMAC batch. */
+struct PmmacItem
+{
+    std::uint64_t id = 0;
+    std::uint64_t counter = 0;
+    const std::uint8_t *data = nullptr;
+    std::size_t len = 0;
+};
 
 /** PMMAC tagger/verifier bound to one key. */
 class Pmmac
@@ -38,6 +52,23 @@ class Pmmac
     bool verify(std::uint64_t id, std::uint64_t counter,
                 const std::uint8_t *data, std::size_t len,
                 Tag64 expected) const;
+
+    /** Compute @p n tags in one batched CMAC pass. */
+    void tagBatch(const PmmacItem *items, std::size_t n,
+                  Tag64 *tags) const;
+
+    /**
+     * Verify @p n items against @p expected in one batched pass;
+     * @p ok[i] is set per item.  Returns true iff every item passed.
+     */
+    bool verifyBatch(const PmmacItem *items, std::size_t n,
+                     const Tag64 *expected, bool *ok) const;
+
+    /** Backend the underlying AES instance dispatches to. */
+    AesImpl impl() const { return cmac_.impl(); }
+
+    /** Fold this instance's work into @p t (crypto.* metrics). */
+    void collectTotals(CryptoTotals &t) const { cmac_.collectTotals(t); }
 
   private:
     Cmac cmac_;

@@ -195,9 +195,15 @@ FaultInjector::rollQueuePerturb()
 void
 FaultInjector::corruptBuffer(std::vector<std::uint8_t> &bytes)
 {
-    if (bytes.empty())
+    corruptBuffer(bytes.data(), bytes.size());
+}
+
+void
+FaultInjector::corruptBuffer(std::uint8_t *bytes, std::size_t len)
+{
+    if (len == 0)
         return;
-    const std::uint64_t bit = rng_.nextBelow(bytes.size() * 8);
+    const std::uint64_t bit = rng_.nextBelow(len * 8);
     bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
 }
 

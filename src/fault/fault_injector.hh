@@ -61,6 +61,9 @@ class FaultInjector
     /** Flip one uniformly chosen bit of @p bytes (no-op if empty). */
     void corruptBuffer(std::vector<std::uint8_t> &bytes);
 
+    /** Same, over a raw span (e.g. one slot of a batch-read arena). */
+    void corruptBuffer(std::uint8_t *bytes, std::size_t len);
+
     /* --- permanent faults ----------------------------------------- */
 
     /**

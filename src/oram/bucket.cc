@@ -48,26 +48,38 @@ Bucket::imageBytes(unsigned z)
 std::vector<std::uint8_t>
 Bucket::toImage() const
 {
+    std::vector<std::uint8_t> image(imageBytes(z()));
+    toImageInto(image.data());
+    return image;
+}
+
+void
+Bucket::toImageInto(std::uint8_t *out) const
+{
     const unsigned z = this->z();
-    std::vector<std::uint8_t> image(imageBytes(z));
-    std::uint8_t *meta = image.data();
-    std::uint8_t *data = image.data() + metadataBytes(z);
+    std::uint8_t *meta = out;
+    std::uint8_t *data = out + metadataBytes(z);
     for (unsigned i = 0; i < z; ++i) {
         std::memcpy(meta + 16 * i, &slots_[i].addr, 8);
         std::memcpy(meta + 16 * i + 8, &slots_[i].leaf, 8);
         std::memcpy(data + blockBytes * i, slots_[i].data.data(),
                     blockBytes);
     }
-    return image;
 }
 
 Bucket
 Bucket::fromImage(const std::vector<std::uint8_t> &image, unsigned z)
 {
-    SD_ASSERT(image.size() == imageBytes(z));
+    return fromImage(image.data(), image.size(), z);
+}
+
+Bucket
+Bucket::fromImage(const std::uint8_t *image, std::size_t len, unsigned z)
+{
+    SD_ASSERT(len == imageBytes(z));
     Bucket b(z);
-    const std::uint8_t *meta = image.data();
-    const std::uint8_t *data = image.data() + metadataBytes(z);
+    const std::uint8_t *meta = image;
+    const std::uint8_t *data = image + metadataBytes(z);
     for (unsigned i = 0; i < z; ++i) {
         std::memcpy(&b.slots_[i].addr, meta + 16 * i, 8);
         std::memcpy(&b.slots_[i].leaf, meta + 16 * i + 8, 8);

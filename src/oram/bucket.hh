@@ -58,8 +58,15 @@ class Bucket
     /** Serialize to the canonical image. */
     std::vector<std::uint8_t> toImage() const;
 
+    /** Serialize into caller-owned memory of imageBytes(z()) bytes. */
+    void toImageInto(std::uint8_t *out) const;
+
     /** Rebuild from an image produced by toImage(). */
     static Bucket fromImage(const std::vector<std::uint8_t> &image,
+                            unsigned z);
+
+    /** Same, from caller-owned memory (e.g. a batch arena slot). */
+    static Bucket fromImage(const std::uint8_t *image, std::size_t len,
                             unsigned z);
 
   private:

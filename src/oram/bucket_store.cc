@@ -1,5 +1,8 @@
 #include "oram/bucket_store.hh"
 
+#include <cstring>
+#include <memory>
+
 #include "fault/fault_injector.hh"
 #include "util/logging.hh"
 
@@ -62,6 +65,72 @@ BucketStore::readBucket(std::uint64_t seq) const
     cipher_.transformBuffer(image.data(), image.size(), nonce(seq), ctr);
     BucketReadResult r{Bucket::fromImage(image, z_), authentic};
     return r;
+}
+
+void
+BucketStore::readBuckets(const std::uint64_t *seqs, std::size_t n,
+                         std::vector<BucketReadResult> &out) const
+{
+    out.clear();
+    if (n == 0)
+        return;
+    const std::size_t img = Bucket::imageBytes(z_);
+    arena_.resize(img * n);
+    std::vector<crypto::PmmacItem> items(n);
+    std::vector<crypto::Tag64> expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t seq = seqs[i];
+        SD_ASSERT(seq < images_.size());
+        if (observer_)
+            observer_(false, seq);
+        std::uint8_t *slot = arena_.data() + img * i;
+        std::memcpy(slot, images_[seq].data(), img);
+        if (injector_ && injector_->rollDramBitFlip())
+            injector_->corruptBuffer(slot, img);
+        items[i] = crypto::PmmacItem{nonce(seq), counters_[seq], slot,
+                                     img};
+        expected[i] = macs_[seq];
+    }
+    const std::unique_ptr<bool[]> ok(new bool[n]);
+    mac_.verifyBatch(items.data(), n, expected.data(), ok.get());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t *slot = arena_.data() + img * i;
+        cipher_.transformBuffer(slot, img, nonce(seqs[i]),
+                                counters_[seqs[i]]);
+        out.push_back(
+            BucketReadResult{Bucket::fromImage(slot, img, z_), ok[i]});
+    }
+}
+
+void
+BucketStore::writeBuckets(const std::uint64_t *seqs,
+                          const Bucket *buckets, std::size_t n)
+{
+    if (n == 0)
+        return;
+    const std::size_t img = Bucket::imageBytes(z_);
+    arena_.resize(img * n);
+    std::vector<crypto::PmmacItem> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t seq = seqs[i];
+        SD_ASSERT(seq < images_.size());
+        SD_ASSERT(buckets[i].z() == z_);
+        if (observer_)
+            observer_(true, seq);
+        std::uint8_t *slot = arena_.data() + img * i;
+        buckets[i].toImageInto(slot);
+        const std::uint64_t ctr = ++counters_[seq];
+        cipher_.transformBuffer(slot, img, nonce(seq), ctr);
+        items[i] = crypto::PmmacItem{nonce(seq), ctr, slot, img};
+    }
+    std::vector<crypto::Tag64> tags(n);
+    mac_.tagBatch(items.data(), n, tags.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        macs_[seqs[i]] = tags[i];
+        const std::uint8_t *slot = arena_.data() + img * i;
+        images_[seqs[i]].assign(slot, slot + img);
+    }
 }
 
 std::uint64_t

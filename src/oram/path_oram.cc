@@ -36,10 +36,19 @@ PathOram::leafOf(Addr addr) const
 void
 PathOram::readPath(LeafId leaf)
 {
+    // One batched read covers the whole path: per-bucket observer
+    // events and fault rolls still fire root-to-leaf inside
+    // readBuckets, but MAC verification is a single PMMAC batch.
+    pathSeqs_.clear();
     for (unsigned level = 0; level <= params_.levels; ++level) {
-        const std::uint64_t seq =
-            layout_.bucketSeq(pathBucket(leaf, level, params_.levels));
-        BucketReadResult r = store_.readBucket(seq);
+        pathSeqs_.push_back(
+            layout_.bucketSeq(pathBucket(leaf, level, params_.levels)));
+    }
+    store_.readBuckets(pathSeqs_.data(), pathSeqs_.size(), pathRead_);
+
+    for (unsigned level = 0; level <= params_.levels; ++level) {
+        const std::uint64_t seq = pathSeqs_[level];
+        BucketReadResult &r = pathRead_[level];
         bool counter_fresh =
             store_.counter(seq) == expectedCounter_[seq];
         if (injector_ && (!r.authentic || !counter_fresh)) {
@@ -97,6 +106,11 @@ void
 PathOram::writePath(LeafId leaf)
 {
     // Bottom-up greedy packing maximizes how deep blocks settle.
+    // Packing stays sequential (each level sees what deeper levels
+    // already took), but the encrypt+MAC of the assembled path runs
+    // as one batched store write.
+    pathSeqs_.clear();
+    pathBuckets_.clear();
     for (int level = static_cast<int>(params_.levels); level >= 0;
          --level) {
         const auto picked = stash_.evictForBucket(
@@ -108,11 +122,14 @@ PathOram::writePath(LeafId leaf)
                 BlockSlot{picked[i].addr, picked[i].leaf,
                           picked[i].data};
         }
-        const std::uint64_t seq = layout_.bucketSeq(pathBucket(
-            leaf, static_cast<unsigned>(level), params_.levels));
-        store_.writeBucket(seq, bucket);
-        expectedCounter_[seq] = store_.counter(seq);
+        pathSeqs_.push_back(layout_.bucketSeq(pathBucket(
+            leaf, static_cast<unsigned>(level), params_.levels)));
+        pathBuckets_.push_back(std::move(bucket));
     }
+    store_.writeBuckets(pathSeqs_.data(), pathBuckets_.data(),
+                        pathSeqs_.size());
+    for (const std::uint64_t seq : pathSeqs_)
+        expectedCounter_[seq] = store_.counter(seq);
 }
 
 BlockData

@@ -143,11 +143,22 @@ class PathOram
     void exportMetrics(util::MetricsRegistry &m,
                        const std::string &prefix) const;
 
+    /** Fold this tree's crypto work into @p t (crypto.* metrics). */
+    void collectCrypto(crypto::CryptoTotals &t) const
+    {
+        store_.collectCrypto(t);
+    }
+
   private:
-    /** Read one path into the stash; verifies integrity. */
+    /**
+     * Read one path into the stash; verifies integrity.  All buckets
+     * of the path go through BucketStore::readBuckets (one batched
+     * MAC pass); a bucket that fails falls back to per-bucket
+     * detect-and-retry so the fault ledger semantics are unchanged.
+     */
     void readPath(LeafId leaf);
 
-    /** Greedily write the stash back onto one path. */
+    /** Greedily write the stash back onto one path (batched MACs). */
     void writePath(LeafId leaf);
 
     OramParams params_;
@@ -163,6 +174,12 @@ class PathOram
     std::vector<LeafId> leafTrace_;
     PathOramStats stats_;
     fault::FaultInjector *injector_ = nullptr;
+
+    /** Per-path scratch reused across accesses (no steady-state
+     *  allocation on the hot path). */
+    std::vector<std::uint64_t> pathSeqs_;
+    std::vector<BucketReadResult> pathRead_;
+    std::vector<Bucket> pathBuckets_;
 };
 
 } // namespace secdimm::oram

@@ -91,6 +91,14 @@ class RecursiveOram
     PathOram &tree(unsigned level) { return *trees_[level]; }
     const PathOram &tree(unsigned level) const { return *trees_[level]; }
 
+    /** Fold every tree's crypto work into @p t (crypto.* metrics). */
+    void
+    collectCrypto(crypto::CryptoTotals &t) const
+    {
+        for (const auto &tree : trees_)
+            tree->collectCrypto(t);
+    }
+
   private:
     struct PlbEntry
     {

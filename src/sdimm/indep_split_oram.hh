@@ -95,6 +95,14 @@ class IndepSplitOram
     void exportMetrics(util::MetricsRegistry &m,
                        const std::string &prefix) const;
 
+    /** Fold every group's crypto work into @p t (crypto.*). */
+    void
+    collectCrypto(crypto::CryptoTotals &t) const
+    {
+        for (const auto &g : groups_)
+            g->collectCrypto(t);
+    }
+
   private:
     unsigned groupOf(LeafId global_leaf) const;
     LeafId localLeaf(LeafId global_leaf) const;

@@ -104,6 +104,14 @@ class IndependentOram
     void exportMetrics(util::MetricsRegistry &m,
                        const std::string &prefix) const;
 
+    /** Fold every buffer's crypto work into @p t (crypto.*). */
+    void
+    collectCrypto(crypto::CryptoTotals &t) const
+    {
+        for (const auto &b : buffers_)
+            b->collectCrypto(t);
+    }
+
   private:
     unsigned sdimmOf(LeafId global_leaf) const;
     LeafId localLeaf(LeafId global_leaf) const;

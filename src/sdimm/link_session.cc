@@ -60,11 +60,14 @@ crypto::Tag64
 LinkEndpoint::messageTag(const crypto::Cmac &mac,
                          const SealedMessage &msg) const
 {
-    std::vector<std::uint8_t> buf(9 + msg.body.size());
-    buf[0] = msg.opcode;
-    std::memcpy(buf.data() + 1, &msg.seq, 8);
-    std::memcpy(buf.data() + 9, msg.body.data(), msg.body.size());
-    const crypto::Aes128Block full = mac.compute(buf.data(), buf.size());
+    macScratch_.resize(9 + msg.body.size());
+    macScratch_[0] = msg.opcode;
+    std::memcpy(macScratch_.data() + 1, &msg.seq, 8);
+    if (!msg.body.empty())
+        std::memcpy(macScratch_.data() + 9, msg.body.data(),
+                    msg.body.size());
+    const crypto::Aes128Block full =
+        mac.compute(macScratch_.data(), macScratch_.size());
     crypto::Tag64 t;
     std::memcpy(&t, full.data(), 8);
     return t;

@@ -72,6 +72,16 @@ class LinkEndpoint
         m.setCounter(prefix + ".auth_failures", authFailures_);
     }
 
+    /** Fold this endpoint's crypto work into @p t (crypto.*). */
+    void
+    collectCrypto(crypto::CryptoTotals &t) const
+    {
+        upCipher_.collectTotals(t);
+        downCipher_.collectTotals(t);
+        upMac_.collectTotals(t);
+        downMac_.collectTotals(t);
+    }
+
   private:
     const crypto::CtrCipher &txCipher() const;
     const crypto::CtrCipher &rxCipher() const;
@@ -91,6 +101,9 @@ class LinkEndpoint
     std::uint64_t authFailures_ = 0;
     std::uint64_t sealedBytes_ = 0;
     std::uint64_t openedCount_ = 0;
+    /** Reused header||body buffer for messageTag (no per-message
+     *  allocation once its capacity covers the largest message). */
+    mutable std::vector<std::uint8_t> macScratch_;
 };
 
 /**

@@ -171,6 +171,15 @@ class SecureBuffer
         dimmEnd_.exportMetrics(m, prefix + ".link");
     }
 
+    /** Fold link + local ORAM crypto work into @p t (crypto.*). */
+    void
+    collectCrypto(crypto::CryptoTotals &t) const
+    {
+        cpuEnd_.collectCrypto(t);
+        dimmEnd_.collectCrypto(t);
+        oram_->collectCrypto(t);
+    }
+
   private:
     SecureBuffer(const oram::OramParams &params, unsigned index,
                  std::uint64_t seed, std::size_t transfer_capacity,

@@ -134,30 +134,43 @@ SplitOram::ctrPad(std::uint64_t nonce, std::uint64_t counter,
     return pad;
 }
 
+std::size_t
+SplitOram::gatherSlice(const Slice &sl, std::uint64_t seq) const
+{
+    std::size_t total = sl.metaShare[seq].size();
+    for (const auto &share : sl.dataShare[seq])
+        total += share.size();
+    macScratch_.resize(total);
+    std::uint8_t *dst = macScratch_.data();
+    std::memcpy(dst, sl.metaShare[seq].data(), sl.metaShare[seq].size());
+    dst += sl.metaShare[seq].size();
+    for (const auto &share : sl.dataShare[seq]) {
+        std::memcpy(dst, share.data(), share.size());
+        dst += share.size();
+    }
+    return total;
+}
+
 crypto::Tag64
 SplitOram::sliceMac(unsigned slice, std::uint64_t seq,
                     const Slice &sl) const
 {
-    std::vector<std::uint8_t> buf = sl.metaShare[seq];
-    for (const auto &share : sl.dataShare[seq])
-        buf.insert(buf.end(), share.begin(), share.end());
+    const std::size_t total = gatherSlice(sl, seq);
     const std::uint64_t id =
         seq | (static_cast<std::uint64_t>(slice) << 56);
-    return mac_.tag(id, sl.counter[seq], buf.data(), buf.size());
+    return mac_.tag(id, sl.counter[seq], macScratch_.data(), total);
 }
 
 bool
 SplitOram::fetchAndVerifySlice(unsigned j, std::uint64_t seq) const
 {
     const Slice &sl = slices_[j];
-    std::vector<std::uint8_t> buf = sl.metaShare[seq];
-    for (const auto &share : sl.dataShare[seq])
-        buf.insert(buf.end(), share.begin(), share.end());
+    const std::size_t total = gatherSlice(sl, seq);
     if (injector_ && injector_->rollDramBitFlip())
-        injector_->corruptBuffer(buf);
+        injector_->corruptBuffer(macScratch_.data(), total);
     const std::uint64_t id =
         seq | (static_cast<std::uint64_t>(j) << 56);
-    return mac_.tag(id, sl.counter[seq], buf.data(), buf.size()) ==
+    return mac_.tag(id, sl.counter[seq], macScratch_.data(), total) ==
            sl.mac[seq];
 }
 

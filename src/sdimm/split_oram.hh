@@ -173,6 +173,14 @@ class SplitOram
         m.setCounter(prefix + ".local_bytes", stats_.localBytes);
     }
 
+    /** Fold this group's crypto work into @p t (crypto.* metrics). */
+    void
+    collectCrypto(crypto::CryptoTotals &t) const
+    {
+        cipher_.collectTotals(t);
+        mac_.collectTotals(t);
+    }
+
   private:
     /** Per-slice ciphertext share of one block, parked in a stash. */
     struct SlicePiece
@@ -214,6 +222,9 @@ class SplitOram
     std::vector<std::uint8_t> ctrPad(std::uint64_t nonce,
                                      std::uint64_t counter,
                                      std::size_t len) const;
+
+    /** Gather a slice's meta+data shares into the reused scratch. */
+    std::size_t gatherSlice(const Slice &sl, std::uint64_t seq) const;
 
     crypto::Tag64 sliceMac(unsigned slice, std::uint64_t seq,
                            const Slice &sl) const;
@@ -258,6 +269,9 @@ class SplitOram
 
     std::vector<LeafId> leafTrace_;
     SplitOramStats stats_;
+    /** Reused share-concatenation buffer for slice MACs (no
+     *  per-verification allocation in steady state). */
+    mutable std::vector<std::uint8_t> macScratch_;
     fault::FaultInjector *injector_ = nullptr;
 };
 
