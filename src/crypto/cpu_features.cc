@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "crypto/aes128_backend.hh"
+#include "util/logging.hh"
 
 namespace secdimm::crypto
 {
@@ -40,40 +41,50 @@ implSupported(AesImpl impl)
     return false;
 }
 
-/** Resolve SDIMM_AES_IMPL once; warn (once) on unsupported requests. */
+/**
+ * Resolve SDIMM_AES_IMPL once.  An unknown value is fatal (a typo
+ * must not silently select a different AES path); a known-but-
+ * unsupported backend warns once and falls back to auto.
+ */
 AesImpl
 resolveFromEnv()
 {
     const char *req = std::getenv("SDIMM_AES_IMPL");
-    if (req == nullptr || std::strcmp(req, "auto") == 0 ||
-        req[0] == '\0') {
-        return bestSupported();
+    const std::optional<AesImplRequest> parsed = parseAesImplSetting(req);
+    if (!parsed.has_value()) {
+        fatal("invalid SDIMM_AES_IMPL=\"%s\" "
+              "(want table|aesni|armv8|auto)",
+              req);
     }
-    AesImpl want = AesImpl::Table;
-    if (std::strcmp(req, "table") == 0) {
-        want = AesImpl::Table;
-    } else if (std::strcmp(req, "aesni") == 0) {
-        want = AesImpl::AesNi;
-    } else if (std::strcmp(req, "armv8") == 0) {
-        want = AesImpl::Armv8;
-    } else {
-        std::fprintf(stderr,
-                     "securedimm: unknown SDIMM_AES_IMPL=%s "
-                     "(want table|aesni|armv8|auto); using auto\n",
-                     req);
+    if (parsed->isAuto)
         return bestSupported();
-    }
-    if (!implSupported(want)) {
+    if (!implSupported(parsed->impl)) {
         std::fprintf(stderr,
                      "securedimm: SDIMM_AES_IMPL=%s not supported on "
                      "this CPU; using %s\n",
                      req, aesImplName(bestSupported()));
         return bestSupported();
     }
-    return want;
+    return parsed->impl;
 }
 
 } // namespace
+
+std::optional<AesImplRequest>
+parseAesImplSetting(const char *value)
+{
+    if (value == nullptr || value[0] == '\0' ||
+        std::strcmp(value, "auto") == 0) {
+        return AesImplRequest{true, AesImpl::Table};
+    }
+    if (std::strcmp(value, "table") == 0)
+        return AesImplRequest{false, AesImpl::Table};
+    if (std::strcmp(value, "aesni") == 0)
+        return AesImplRequest{false, AesImpl::AesNi};
+    if (std::strcmp(value, "armv8") == 0)
+        return AesImplRequest{false, AesImpl::Armv8};
+    return std::nullopt;
+}
 
 const char *
 aesImplName(AesImpl impl)

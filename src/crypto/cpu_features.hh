@@ -6,8 +6,11 @@
  * and every Aes128 instance picks one at construction:
  *
  *   1. `SDIMM_AES_IMPL` env knob (`table`, `aesni`, `armv8`, `auto`)
- *      if set; an unsupported request falls back to auto with one
- *      stderr warning.
+ *      if set.  Any other value is a fatal configuration error -- a
+ *      typo must not silently run a different (slower or less tested)
+ *      AES path.  A recognised backend the CPU cannot execute falls
+ *      back to auto with one stderr warning: that is an environment
+ *      property, not a config typo.
  *   2. Otherwise the best implementation the CPU supports (CPUID on
  *      x86, HWCAP on aarch64), with the table path as the
  *      always-available fallback.
@@ -18,6 +21,8 @@
 
 #ifndef SECUREDIMM_CRYPTO_CPU_FEATURES_HH
 #define SECUREDIMM_CRYPTO_CPU_FEATURES_HH
+
+#include <optional>
 
 namespace secdimm::crypto
 {
@@ -32,6 +37,24 @@ enum class AesImpl
 
 /** Human-readable name ("table", "aesni", "armv8"). */
 const char *aesImplName(AesImpl impl);
+
+/** A parsed SDIMM_AES_IMPL value. */
+struct AesImplRequest
+{
+    /** "auto" (or unset/empty): pick the best supported backend. */
+    bool isAuto = false;
+    /** The requested backend; meaningless when isAuto. */
+    AesImpl impl = AesImpl::Table;
+};
+
+/**
+ * Parse one SDIMM_AES_IMPL setting.  nullptr, "" and "auto" yield
+ * auto; "table"/"aesni"/"armv8" yield that backend (matching is exact
+ * and case-sensitive -- "AESNI", "aes-ni" and trailing whitespace are
+ * all rejected); anything else returns nullopt.  Pure and exposed so
+ * the accepted grammar is unit-testable without death tests.
+ */
+std::optional<AesImplRequest> parseAesImplSetting(const char *value);
 
 /** True iff this CPU executes AES-NI instructions. */
 bool aesNiSupported();

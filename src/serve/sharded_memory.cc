@@ -67,6 +67,8 @@ ShardedSecureMemory::workerLoop(unsigned shard)
         const std::size_t n = q.popBatch(batch, maxBatch_);
         if (n == 0)
             return; // Closed and fully drained.
+        verify::ScheduleRecorder *rec =
+            scheduleRecorder_.load(std::memory_order_acquire);
         for (Request &r : batch) {
             if (r.write) {
                 mem.writeBlock(r.local, r.data);
@@ -74,6 +76,8 @@ ShardedSecureMemory::workerLoop(unsigned shard)
             } else {
                 r.readDone.set_value(mem.readBlock(r.local));
             }
+            if (rec != nullptr)
+                rec->record(shard, r.write);
         }
         live_.incCounter(accessesName_[shard], n);
         live_.sampleHistogram(batchSizeName_[shard], n);

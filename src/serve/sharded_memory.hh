@@ -43,6 +43,8 @@
 #include "serve/request_queue.hh"
 #include "util/metrics.hh"
 
+#include "verify/leak_meter.hh"
+
 namespace secdimm::verify
 {
 class ChannelObserver;
@@ -166,6 +168,21 @@ class ShardedSecureMemory
     unsigned attachObserver(unsigned shard,
                             verify::ChannelObserver &observer);
 
+    /**
+     * Observer hook for the INTERLEAVED schedule: every request a
+     * worker completes is recorded as (shard, is-write) in global
+     * completion order, which is exactly what an adversary watching
+     * the service frontend sees of the multi-threaded execution.  The
+     * concurrency-sound checker (verify::compareSchedules) compares
+     * two such recordings.  Install before submitting traffic and
+     * keep the recorder alive until shutdown(); nullptr detaches.
+     */
+    void
+    setScheduleRecorder(verify::ScheduleRecorder *recorder)
+    {
+        scheduleRecorder_.store(recorder, std::memory_order_release);
+    }
+
   private:
     struct Request
     {
@@ -199,6 +216,8 @@ class ShardedSecureMemory
     std::atomic<std::uint64_t> inflight_{0};
     std::mutex idleMu_;
     std::condition_variable idleCv_;
+
+    std::atomic<verify::ScheduleRecorder *> scheduleRecorder_{nullptr};
 
     std::atomic<bool> shutdown_{false};
     std::mutex shutdownMu_;

@@ -121,6 +121,32 @@ compareTraces(const std::vector<TraceEvent> &a,
     return cmp;
 }
 
+std::string
+DeepComparison::summary() const
+{
+    std::ostringstream os;
+    os << (pass ? "DEEP-INDISTINGUISHABLE" : "DEEP-DISTINGUISHABLE")
+       << " [" << marginal.summary() << "] [" << ordering.summary()
+       << "] [" << gapProfile.summary() << "]";
+    return os.str();
+}
+
+DeepComparison
+deepCompareTraces(const std::vector<TraceEvent> &a,
+                  const std::vector<TraceEvent> &b,
+                  const DeepCheckOptions &opts)
+{
+    DeepComparison deep;
+    deep.marginal = compareTraces(a, b, opts.marginal);
+    deep.ordering = compareAutocorrelation(a, b, opts.timing);
+    deep.gapProfile = compareGapProfiles(a, b, opts.timing);
+    deep.gapDependenceA = gapPermutationTest(a, opts.timing);
+    deep.gapDependenceB = gapPermutationTest(b, opts.timing);
+    deep.pass = deep.marginal.indistinguishable && deep.ordering.pass &&
+                deep.gapProfile.pass;
+    return deep;
+}
+
 Tick
 driveBackend(MemoryBackend &backend,
              const std::vector<std::pair<Addr, bool>> &accesses)

@@ -12,6 +12,13 @@
  * of address-like values over bins (total-variation distance), (2)
  * the distribution of event kinds, and (3) the event counts.  See
  * docs/VERIFICATION.md for what a PASS does and does not prove.
+ *
+ * Those three are MARGINAL statistics: any reordering or re-timing of
+ * a trace leaves them untouched.  deepCompareTraces() is the v2
+ * entry point that additionally runs the second-order instruments of
+ * timing_stats.hh (lag-k autocorrelation of the address and gap
+ * series, differential mean-gap profiles), catching schedulers that
+ * encode secrets in event ORDER or event RHYTHM.
  */
 
 #ifndef SECUREDIMM_VERIFY_TRACE_CHECKER_HH
@@ -24,6 +31,7 @@
 
 #include "util/types.hh"
 #include "verify/channel_observer.hh"
+#include "verify/timing_stats.hh"
 
 namespace secdimm
 {
@@ -67,6 +75,45 @@ struct TraceComparison
 TraceComparison compareTraces(const std::vector<TraceEvent> &a,
                               const std::vector<TraceEvent> &b,
                               const TraceCheckerOptions &opts = {});
+
+/** Thresholds of the v2 (marginal + second-order) decision. */
+struct DeepCheckOptions
+{
+    TraceCheckerOptions marginal;
+    TimingCheckOptions timing;
+};
+
+/** Outcome of one v2 trace pair comparison. */
+struct DeepComparison
+{
+    /** The v1 marginal verdict (unchanged semantics). */
+    TraceComparison marginal;
+    /** Ordering: lag-k autocorrelation profile comparison. */
+    AcfComparison ordering;
+    /** Rhythm: differential mean-gap-per-address-bin comparison. */
+    GapProfileComparison gapProfile;
+    /**
+     * Within-trace gap/address dependence of each trace -- reported
+     * for measurement (it fires on benign DRAM locality structure
+     * too), but NOT part of the pass verdict; see timing_stats.hh.
+     */
+    GapPermutationResult gapDependenceA;
+    GapPermutationResult gapDependenceB;
+    bool pass = false;
+
+    /** One-line human-readable verdict. */
+    std::string summary() const;
+};
+
+/**
+ * v2 check: the v1 marginal comparison plus the second-order
+ * ordering and timing comparisons.  pass iff the marginal verdict is
+ * indistinguishable AND the autocorrelation profiles match AND the
+ * gap profiles match.
+ */
+DeepComparison deepCompareTraces(const std::vector<TraceEvent> &a,
+                                 const std::vector<TraceEvent> &b,
+                                 const DeepCheckOptions &opts = {});
 
 /**
  * Drive @p backend through @p accesses (byte address, is-write) with

@@ -410,5 +410,71 @@ TEST(AesDispatch, TraceCheckerVerdictImplIndependent)
     }
 }
 
+/* ------------------------------------------------------------------ */
+/* SDIMM_AES_IMPL grammar                                              */
+/* ------------------------------------------------------------------ */
+
+/** Every string the knob accepts, with its expected meaning. */
+TEST(AesImplSetting, AcceptedStringsParseExactly)
+{
+    struct Case
+    {
+        const char *value;
+        bool isAuto;
+        AesImpl impl;
+    };
+    const Case cases[] = {
+        {nullptr, true, AesImpl::Table},
+        {"", true, AesImpl::Table},
+        {"auto", true, AesImpl::Table},
+        {"table", false, AesImpl::Table},
+        {"aesni", false, AesImpl::AesNi},
+        {"armv8", false, AesImpl::Armv8},
+    };
+    for (const Case &c : cases) {
+        const auto parsed = parseAesImplSetting(c.value);
+        ASSERT_TRUE(parsed.has_value())
+            << "rejected \"" << (c.value ? c.value : "<unset>") << "\"";
+        EXPECT_EQ(parsed->isAuto, c.isAuto)
+            << (c.value ? c.value : "<unset>");
+        if (!c.isAuto) {
+            EXPECT_EQ(parsed->impl, c.impl) << c.value;
+        }
+    }
+}
+
+/** Everything else -- typos, case variants, whitespace, synonyms --
+ *  must be rejected, never silently coerced to a backend. */
+TEST(AesImplSetting, RejectedStringsReturnNullopt)
+{
+    const char *bad[] = {
+        "Table",  "TABLE",  "AesNi",  "AESNI",  "aes-ni", "aes_ni",
+        "ARMv8",  "armv-8", "neon",   "tables", "autoo",  "aut",
+        " table", "table ", "table\n", "auto ",  " ",      "0",
+        "1",      "none",   "best",   "hw",     "soft",   "default",
+    };
+    for (const char *value : bad) {
+        EXPECT_FALSE(parseAesImplSetting(value).has_value())
+            << "accepted \"" << value << "\"";
+    }
+}
+
+/** An invalid env value is a fatal config error at first resolution --
+ *  a typo must not silently run on a different AES path. */
+TEST(AesImplSetting, UnknownEnvValueDiesLoudly)
+{
+    // threadsafe style re-executes the binary, so the child resolves
+    // the env knob from scratch instead of reusing this process's
+    // cached resolution.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            setenv("SDIMM_AES_IMPL", "quantum", 1);
+            clearForcedAesImpl();
+            activeAesImpl();
+        },
+        ::testing::ExitedWithCode(1), "invalid SDIMM_AES_IMPL");
+}
+
 } // namespace
 } // namespace secdimm::crypto

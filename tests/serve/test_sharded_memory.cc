@@ -112,6 +112,58 @@ TEST(ShardedMemory, CrossShardByteOpsStraddleBoundaries)
     EXPECT_EQ(wr, rd) << "partial-block RMW clobbered the span";
 }
 
+TEST(ShardedMemory, WideSpansAtOddOffsetsAcrossManyShards)
+{
+    // Spans covering 3+ shards at deliberately awkward offsets: every
+    // combination of a prime-ish start offset and a length that ends
+    // mid-block, over both a shard count that divides the span nicely
+    // and one (3) that does not.
+    for (unsigned shards : {3u, 4u, 5u}) {
+        ShardedSecureMemory mem(smallOptions(shards));
+        Rng rng(1000 + shards);
+        const std::size_t lens[] = {
+            3 * blockBytes + 1,  // Just past 3 blocks.
+            4 * blockBytes - 1,  // Just short of 4.
+            7 * blockBytes + 29, // Wraps every shard at least once.
+        };
+        const std::size_t offs[] = {1, 31, blockBytes - 1,
+                                    blockBytes + 37};
+        for (std::size_t len : lens) {
+            for (std::size_t off : offs) {
+                const Addr base = 5 * blockBytes + off;
+                std::vector<std::uint8_t> wr(len);
+                for (auto &b : wr)
+                    b = static_cast<std::uint8_t>(rng.next());
+                mem.write(base, wr.data(), wr.size());
+                std::vector<std::uint8_t> rd(len, 0);
+                mem.read(base, rd.data(), rd.size());
+                EXPECT_EQ(wr, rd) << "shards=" << shards
+                                  << " len=" << len << " off=" << off;
+            }
+        }
+        EXPECT_TRUE(mem.integrityOk());
+    }
+}
+
+TEST(ShardedMemory, AdjacentOddSpansDoNotClobberEachOther)
+{
+    // Two abutting odd-offset spans written back-to-back: the second
+    // write's RMW on the shared edge block must preserve the first.
+    ShardedSecureMemory mem(smallOptions(3));
+    const Addr base = 2 * blockBytes + 13;
+    std::vector<std::uint8_t> left(3 * blockBytes + 7, 0x11);
+    std::vector<std::uint8_t> right(3 * blockBytes + 19, 0x22);
+    mem.write(base, left.data(), left.size());
+    mem.write(base + left.size(), right.data(), right.size());
+
+    std::vector<std::uint8_t> all(left.size() + right.size(), 0);
+    mem.read(base, all.data(), all.size());
+    for (std::size_t i = 0; i < left.size(); ++i)
+        ASSERT_EQ(all[i], 0x11) << "byte " << i;
+    for (std::size_t i = 0; i < right.size(); ++i)
+        ASSERT_EQ(all[left.size() + i], 0x22) << "byte " << i;
+}
+
 TEST(ShardedMemory, BackpressureBoundsQueueDepth)
 {
     ShardedSecureMemory::Options opt = smallOptions(2);

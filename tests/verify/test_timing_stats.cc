@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests of the second-order trace statistics (timing_stats.hh):
+ * series extraction, lag-k autocorrelation, the two-trace ACF
+ * comparison, the within-trace gap permutation test, the differential
+ * gap-profile comparison, and the deepCompareTraces aggregate --
+ * including the property the whole PR exists for: a deliberately
+ * leaky trace that the v1 marginal checker PASSES and the v2
+ * statistics FAIL.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+#include "verify/leak_meter.hh"
+#include "verify/timing_stats.hh"
+#include "verify/trace_checker.hh"
+
+namespace secdimm::verify
+{
+namespace
+{
+
+/** A synthetic trace: uniform addresses, uniform-ish rhythm, with an
+ *  optional secret-keyed distortion applied by the caller. */
+std::vector<TraceEvent>
+syntheticTrace(std::uint64_t seed, std::size_t n,
+               std::uint64_t addr_space = 256, Tick step = 10)
+{
+    Rng rng(seed);
+    std::vector<TraceEvent> t;
+    t.reserve(n);
+    Tick at = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        at += step + rng.nextBelow(3); // Benign jitter.
+        t.push_back(TraceEvent{TraceEventKind::StoreRead,
+                               rng.nextBelow(addr_space), at});
+    }
+    return t;
+}
+
+TEST(TimingSeries, ExtractionBasics)
+{
+    std::vector<TraceEvent> t;
+    t.push_back(TraceEvent{TraceEventKind::StoreRead, 5, 100});
+    t.push_back(TraceEvent{TraceEventKind::StoreWrite, 9, 130});
+    t.push_back(TraceEvent{TraceEventKind::StoreRead, 2, 130});
+
+    const std::vector<double> addrs = addressSeries(t);
+    ASSERT_EQ(addrs.size(), 3u);
+    EXPECT_DOUBLE_EQ(addrs[0], 5.0);
+    EXPECT_DOUBLE_EQ(addrs[2], 2.0);
+
+    const std::vector<double> gaps = gapSeries(t);
+    ASSERT_EQ(gaps.size(), 2u);
+    EXPECT_DOUBLE_EQ(gaps[0], 30.0);
+    EXPECT_DOUBLE_EQ(gaps[1], 0.0);
+}
+
+TEST(TimingSeries, GapSeriesClampsNonMonotoneTicks)
+{
+    // Merged multi-source traces can interleave ticks out of order;
+    // the gap series clamps at zero instead of going negative.
+    std::vector<TraceEvent> t;
+    t.push_back(TraceEvent{TraceEventKind::StoreRead, 1, 100});
+    t.push_back(TraceEvent{TraceEventKind::StoreRead, 2, 60});
+    const std::vector<double> gaps = gapSeries(t);
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_DOUBLE_EQ(gaps[0], 0.0);
+}
+
+TEST(TimingSeries, EmptyAndSingletonAreSafe)
+{
+    EXPECT_TRUE(addressSeries({}).empty());
+    EXPECT_TRUE(gapSeries({}).empty());
+    std::vector<TraceEvent> one{
+        TraceEvent{TraceEventKind::StoreRead, 1, 5}};
+    EXPECT_TRUE(gapSeries(one).empty());
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero)
+{
+    const std::vector<double> c(100, 7.0);
+    EXPECT_DOUBLE_EQ(lagAutocorrelation(c, 1), 0.0);
+    EXPECT_DOUBLE_EQ(lagAutocorrelation({}, 1), 0.0);
+    EXPECT_DOUBLE_EQ(lagAutocorrelation({1.0, 2.0}, 5), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativeAtLag1)
+{
+    std::vector<double> s;
+    for (int i = 0; i < 200; ++i)
+        s.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_LT(lagAutocorrelation(s, 1), -0.9);
+    EXPECT_GT(lagAutocorrelation(s, 2), 0.9);
+}
+
+TEST(Autocorrelation, RandomSeriesIsNearZero)
+{
+    Rng rng(42);
+    std::vector<double> s;
+    for (int i = 0; i < 4000; ++i)
+        s.push_back(static_cast<double>(rng.nextBelow(1000)));
+    EXPECT_LT(std::abs(lagAutocorrelation(s, 1)), 0.06);
+    EXPECT_LT(std::abs(lagAutocorrelation(s, 5)), 0.06);
+}
+
+TEST(AcfComparison, SameProcessPasses)
+{
+    const auto a = syntheticTrace(1, 800);
+    const auto b = syntheticTrace(2, 800);
+    const AcfComparison c = compareAutocorrelation(a, b);
+    EXPECT_TRUE(c.pass) << c.summary();
+    EXPECT_GT(c.band, 0.0);
+    EXPECT_LE(c.maxAddressDelta, c.band);
+}
+
+TEST(AcfComparison, SortedWindowsFail)
+{
+    const auto a = syntheticTrace(1, 800);
+    const auto b = injectOrderingLeak(syntheticTrace(2, 800), 8);
+    const AcfComparison c = compareAutocorrelation(a, b);
+    EXPECT_FALSE(c.pass) << c.summary();
+    EXPECT_GT(c.maxAddressDelta, c.band);
+    EXPECT_FALSE(c.summary().empty());
+}
+
+TEST(GapPermutation, IndependentGapsPass)
+{
+    // Gap never depends on the address: H0 holds.
+    const auto t = syntheticTrace(3, 600);
+    const GapPermutationResult r = gapPermutationTest(t);
+    EXPECT_TRUE(r.pass) << r.summary();
+    EXPECT_GT(r.pValue, 0.01);
+    EXPECT_EQ(r.permutations, TimingCheckOptions{}.permutations);
+    EXPECT_FALSE(r.degenerate);
+}
+
+TEST(GapPermutation, AddressKeyedGapsFail)
+{
+    // Events in the top half of the address space are followed by a
+    // long stall: the classic secret-keyed slow path.
+    auto t = syntheticTrace(4, 600);
+    const GapPermutationResult r =
+        gapPermutationTest(injectTimingLeak(t, 128, 256, 50));
+    EXPECT_FALSE(r.pass) << r.summary();
+    EXPECT_LE(r.pValue, 0.01);
+}
+
+TEST(GapPermutation, UntimedTraceIsVacuous)
+{
+    // Functional-layer traces carry at == 0 everywhere.
+    auto t = syntheticTrace(5, 300);
+    for (TraceEvent &e : t)
+        e.at = 0;
+    const GapPermutationResult r = gapPermutationTest(t);
+    EXPECT_TRUE(r.pass);
+    EXPECT_TRUE(r.degenerate);
+}
+
+TEST(GapProfile, SameProcessPasses)
+{
+    const auto a = syntheticTrace(6, 900);
+    const auto b = syntheticTrace(7, 900);
+    const GapProfileComparison c = compareGapProfiles(a, b);
+    EXPECT_TRUE(c.pass) << c.summary();
+    EXPECT_GT(c.binsCompared, 0u);
+    EXPECT_FALSE(c.degenerate);
+}
+
+TEST(GapProfile, SharedBenignStructureCancels)
+{
+    // Both traces stall on the SAME address band (think row-buffer
+    // miss latency): the differential profile must not flag it.
+    const auto a = injectTimingLeak(syntheticTrace(8, 900), 0, 64, 30);
+    const auto b = injectTimingLeak(syntheticTrace(9, 900), 0, 64, 30);
+    const GapProfileComparison c = compareGapProfiles(a, b);
+    EXPECT_TRUE(c.pass) << c.summary();
+}
+
+TEST(GapProfile, OneSidedSlowPathFails)
+{
+    const auto a = syntheticTrace(10, 900);
+    const auto b = injectTimingLeak(syntheticTrace(11, 900), 0, 64, 60);
+    const GapProfileComparison c = compareGapProfiles(a, b);
+    EXPECT_FALSE(c.pass) << c.summary();
+    EXPECT_GT(c.maxDelta, c.threshold);
+}
+
+TEST(GapProfile, BothUntimedIsVacuousPass)
+{
+    auto a = syntheticTrace(12, 300);
+    auto b = syntheticTrace(13, 300);
+    for (TraceEvent &e : a)
+        e.at = 0;
+    for (TraceEvent &e : b)
+        e.at = 0;
+    const GapProfileComparison c = compareGapProfiles(a, b);
+    EXPECT_TRUE(c.pass);
+    EXPECT_TRUE(c.degenerate);
+}
+
+TEST(GapProfile, OneSidedTickingFails)
+{
+    // One trace carries a clock, the other does not: structurally
+    // different visible channels, never indistinguishable.
+    const auto a = syntheticTrace(14, 300);
+    auto b = syntheticTrace(15, 300);
+    for (TraceEvent &e : b)
+        e.at = 0;
+    const GapProfileComparison c = compareGapProfiles(a, b);
+    EXPECT_FALSE(c.pass);
+}
+
+/* ------------------------------------------------------------------ */
+/* The aggregate: deepCompareTraces                                    */
+/* ------------------------------------------------------------------ */
+
+TEST(DeepCompare, SameProcessPasses)
+{
+    const auto a = syntheticTrace(20, 3000);
+    const auto b = syntheticTrace(21, 3000);
+    const DeepComparison d = deepCompareTraces(a, b);
+    EXPECT_TRUE(d.pass) << d.summary();
+    EXPECT_TRUE(d.marginal.indistinguishable);
+    EXPECT_TRUE(d.ordering.pass);
+    EXPECT_TRUE(d.gapProfile.pass);
+    EXPECT_FALSE(d.summary().empty());
+}
+
+TEST(DeepCompare, OrderingLeakPassesV1FailsV2)
+{
+    // THE acceptance property: same multiset of (kind, addr), same
+    // timestamps -- v1 provably cannot see the difference, v2 must.
+    const auto a = injectOrderingLeak(syntheticTrace(22, 3000), 8);
+    const auto b = syntheticTrace(23, 3000);
+    EXPECT_TRUE(compareTraces(a, b).indistinguishable);
+    const DeepComparison d = deepCompareTraces(a, b);
+    EXPECT_FALSE(d.pass) << d.summary();
+    EXPECT_TRUE(d.marginal.indistinguishable);
+    EXPECT_FALSE(d.ordering.pass);
+}
+
+TEST(DeepCompare, TimingLeakPassesV1FailsV2)
+{
+    const auto a = injectTimingLeak(syntheticTrace(24, 3000), 0, 128, 60);
+    const auto b = syntheticTrace(25, 3000);
+    EXPECT_TRUE(compareTraces(a, b).indistinguishable);
+    const DeepComparison d = deepCompareTraces(a, b);
+    EXPECT_FALSE(d.pass) << d.summary();
+    EXPECT_TRUE(d.marginal.indistinguishable);
+    EXPECT_FALSE(d.gapProfile.pass);
+}
+
+TEST(DeepCompare, UntimedFunctionalTracesStillOrderChecked)
+{
+    // No timestamps: gap statistics go vacuous, but the address-order
+    // ACF still works and still catches sorted windows.
+    auto a = syntheticTrace(26, 3000);
+    auto b = syntheticTrace(27, 3000);
+    for (TraceEvent &e : a)
+        e.at = 0;
+    for (TraceEvent &e : b)
+        e.at = 0;
+    EXPECT_TRUE(deepCompareTraces(a, b).pass);
+    const auto leaky = injectOrderingLeak(a, 8);
+    const DeepComparison d = deepCompareTraces(leaky, b);
+    EXPECT_FALSE(d.pass) << d.summary();
+}
+
+TEST(DeepCompare, ReportsWithinTraceDependenceWithoutGating)
+{
+    // Both traces share benign address-timing coupling: the
+    // within-trace permutation tests report it (low p), but the
+    // differential gate still passes.
+    const auto a = injectTimingLeak(syntheticTrace(28, 3000), 0, 64, 30);
+    const auto b = injectTimingLeak(syntheticTrace(29, 3000), 0, 64, 30);
+    const DeepComparison d = deepCompareTraces(a, b);
+    EXPECT_TRUE(d.pass) << d.summary();
+    EXPECT_LE(d.gapDependenceA.pValue, 0.01);
+    EXPECT_LE(d.gapDependenceB.pValue, 0.01);
+}
+
+} // namespace
+} // namespace secdimm::verify
