@@ -15,6 +15,14 @@
  * worker-threaded ORAM shards, async submission, and serve.* metrics.
  *
  *   $ ./examples/trace_replay mcf --shards=4 --batch=8 2000 --metrics
+ *
+ * --fault-plan=<file-or-json> arms a fault campaign (the JSON schema
+ * of docs/FAULTS.md) in either mode: every shard in sharded mode, or
+ * the simulated memory system in timing mode.
+ *
+ *   $ ./examples/trace_replay mcf --shards=4 --fault-plan=plan.json
+ *   $ ./examples/trace_replay mcf SPLIT-2 1000 \
+ *         --fault-plan='{"link_drop_rate": 0.001}'
  */
 
 #include <chrono>
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "core/simulator.hh"
+#include "fault/fault_plan_io.hh"
 #include "serve/sharded_memory.hh"
 #include "trace/workload.hh"
 
@@ -64,6 +73,33 @@ listOptions()
     std::printf("\n");
 }
 
+/**
+ * Resolve a --fault-plan argument: a readable file is loaded and
+ * parsed, anything else is treated as inline JSON.  Returns false
+ * (with a diagnostic on stderr) if the plan does not parse.
+ */
+bool
+loadFaultPlan(const char *arg, fault::FaultPlan *out)
+{
+    std::string text = arg;
+    if (std::FILE *f = std::fopen(arg, "rb")) {
+        text.clear();
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+    std::string err;
+    const auto plan = fault::faultPlanFromJson(text, &err);
+    if (!plan.has_value()) {
+        std::fprintf(stderr, "--fault-plan: %s\n", err.c_str());
+        return false;
+    }
+    *out = *plan;
+    return true;
+}
+
 /** Dump or print a metrics registry per the --metrics flags. */
 int
 emitMetrics(const secdimm::util::MetricsRegistry &m,
@@ -94,12 +130,14 @@ emitMetrics(const secdimm::util::MetricsRegistry &m,
 int
 replaySharded(const trace::WorkloadProfile &profile,
               std::uint64_t accesses, unsigned shards, unsigned batch,
-              bool dump_metrics, const std::string &metrics_path)
+              const fault::FaultPlan &fault_plan, bool dump_metrics,
+              const std::string &metrics_path)
 {
     serve::ShardedSecureMemory::Options opt;
     opt.shard.protocol = SecureMemorySystem::Protocol::PathOram;
     opt.shard.capacityBytes = 1 << 20;
     opt.shard.seed = 1;
+    opt.shard.faultPlan = fault_plan;
     opt.numShards = shards;
     opt.maxBatch = batch == 0 ? 1 : batch;
     serve::ShardedSecureMemory mem(opt);
@@ -113,6 +151,28 @@ replaySharded(const trace::WorkloadProfile &profile,
     const std::uint64_t cap = mem.capacityBlocks();
     std::vector<std::future<BlockData>> reads;
     std::vector<std::future<void>> writes;
+    std::uint64_t shard_failures = 0;
+    // With a fault plan armed a shard can fail-stop mid-replay; its
+    // requests then resolve with the typed error, which the replay
+    // absorbs and counts instead of crashing.
+    const auto settle = [&] {
+        for (auto &f : reads) {
+            try {
+                f.get();
+            } catch (const serve::ShardFailedError &) {
+                ++shard_failures;
+            }
+        }
+        for (auto &f : writes) {
+            try {
+                f.get();
+            } catch (const serve::ShardFailedError &) {
+                ++shard_failures;
+            }
+        }
+        reads.clear();
+        writes.clear();
+    };
     const auto t0 = std::chrono::steady_clock::now();
     for (std::uint64_t i = 0; i < accesses; ++i) {
         const trace::TraceRecord rec = gen.next();
@@ -124,19 +184,10 @@ replaySharded(const trace::WorkloadProfile &profile,
         } else {
             reads.push_back(mem.submitRead(block));
         }
-        if (reads.size() + writes.size() >= 64) {
-            for (auto &f : reads)
-                f.get();
-            for (auto &f : writes)
-                f.get();
-            reads.clear();
-            writes.clear();
-        }
+        if (reads.size() + writes.size() >= 64)
+            settle();
     }
-    for (auto &f : reads)
-        f.get();
-    for (auto &f : writes)
-        f.get();
+    settle();
     mem.drain();
     const auto t1 = std::chrono::steady_clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
@@ -152,13 +203,30 @@ replaySharded(const trace::WorkloadProfile &profile,
     for (unsigned s = 0; s < shards; ++s) {
         const std::string p = "serve.s" + std::to_string(s);
         std::printf("shard %u: %llu requests, queue high-water %.0f, "
-                    "%llu enqueue stalls\n",
+                    "%llu enqueue stalls, health %s\n",
                     s,
                     static_cast<unsigned long long>(
                         m.counter(p + ".accesses")),
                     m.gauge(p + ".queue_high_water"),
                     static_cast<unsigned long long>(
-                        m.counter(p + ".enqueue_stalls")));
+                        m.counter(p + ".enqueue_stalls")),
+                    serve::shardHealthName(mem.shardHealth(s)));
+    }
+    if (fault_plan.enabled()) {
+        std::uint64_t detected = 0, recovered = 0, unrecovered = 0;
+        for (unsigned s = 0; s < shards; ++s) {
+            const util::MetricsRegistry sm = mem.shardMetrics(s);
+            detected += sm.counter("fault.detected.total");
+            recovered += sm.counter("fault.recovered.total");
+            unrecovered += sm.counter("fault.unrecovered.total");
+        }
+        std::printf("faults:                   %llu detected, "
+                    "%llu recovered, %llu unrecovered, "
+                    "%llu requests failed typed\n",
+                    static_cast<unsigned long long>(detected),
+                    static_cast<unsigned long long>(recovered),
+                    static_cast<unsigned long long>(unrecovered),
+                    static_cast<unsigned long long>(shard_failures));
     }
     std::printf("integrity:                %s\n",
                 mem.integrityOk() ? "ok" : "FAILED");
@@ -183,6 +251,7 @@ main(int argc, char **argv)
     std::string metrics_path; // Empty = stdout.
     unsigned shards = 0;      // 0 = timing-simulator mode.
     unsigned batch = 1;
+    fault::FaultPlan fault_plan = fault::FaultPlan::none();
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -196,6 +265,9 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
             batch = static_cast<unsigned>(
                 std::strtoul(argv[i] + 8, nullptr, 0));
+        } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
+            if (!loadFaultPlan(argv[i] + 13, &fault_plan))
+                return 1;
         } else {
             pos.push_back(argv[i]);
         }
@@ -222,7 +294,7 @@ main(int argc, char **argv)
             }
         }
         return replaySharded(*profile, accesses, shards, batch,
-                             dump_metrics, metrics_path);
+                             fault_plan, dump_metrics, metrics_path);
     }
 
     const std::string design_name = pos.size() > 1 ? pos[1] : "SPLIT-2";
@@ -248,6 +320,7 @@ main(int argc, char **argv)
     }
 
     SystemConfig cfg = makeConfig(row->design, 24, 7);
+    cfg.faultPlan = fault_plan;
     SimLengths lens;
     lens.measureRecords = accesses;
     lens.warmupRecords = 20000;
@@ -286,6 +359,16 @@ main(int argc, char **argv)
                 r.energy.actPreNj / 1000.0, r.energy.rdWrNj / 1000.0,
                 r.energy.ioNj / 1000.0, r.energy.backgroundNj / 1000.0,
                 r.energy.refreshNj / 1000.0);
+    if (fault_plan.enabled()) {
+        std::printf("faults:                   %llu detected, "
+                    "%llu recovered, %llu unrecovered\n",
+                    static_cast<unsigned long long>(
+                        r.metrics.counter("fault.detected.total")),
+                    static_cast<unsigned long long>(
+                        r.metrics.counter("fault.recovered.total")),
+                    static_cast<unsigned long long>(
+                        r.metrics.counter("fault.unrecovered.total")));
+    }
 
     if (dump_metrics) {
         const std::string json = r.metrics.toJson();

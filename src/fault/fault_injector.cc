@@ -1,5 +1,7 @@
 #include "fault/fault_injector.hh"
 
+#include <algorithm>
+
 namespace secdimm::fault
 {
 
@@ -71,9 +73,10 @@ policyName(DegradationPolicy p)
 FaultInjector::FaultInjector(const FaultPlan &plan)
     : plan_(plan), rng_(plan.seed)
 {
-    for (const PermanentFault &f : plan_.permanentFaults) {
+    auto addSite = [this](const PermanentFault &f, bool correlated) {
         PermanentState s;
         s.fault = f;
+        s.correlated = correlated;
         /*
          * StuckAt and DegradedLatency are live from boot; a HardDeath
          * activates during noteAccess().  Only the dead kinds open a
@@ -84,7 +87,32 @@ FaultInjector::FaultInjector(const FaultPlan &plan)
         s.active = f.kind != PermanentFaultKind::HardDeath;
         if (f.kind == PermanentFaultKind::StuckAt)
             recordInjected(FaultKind::WatchdogTimeout);
+        if (correlated && s.active)
+            ++correlatedActivations_;
         permanent_.push_back(s);
+    };
+
+    for (const PermanentFault &f : plan_.permanentFaults)
+        addSite(f, false);
+
+    /*
+     * A correlated group is scripted data, exactly like the
+     * independent sites: member j of group g expands into one
+     * permanent site activating at atAccess + j * cascadeGapAccesses.
+     * The expansion order is the plan order, so the activation
+     * schedule stays a pure function of the plan.
+     */
+    correlatedGroups_ = plan_.correlatedFailures.size();
+    for (const CorrelatedFailure &g : plan_.correlatedFailures) {
+        correlatedUnits_ += g.units.size();
+        for (std::size_t j = 0; j < g.units.size(); ++j) {
+            PermanentFault f;
+            f.kind = g.kind;
+            f.unit = g.units[j];
+            f.atAccess = g.atAccess + j * g.cascadeGapAccesses;
+            f.latencyCycles = g.latencyCycles;
+            addSite(f, true);
+        }
     }
 }
 
@@ -98,6 +126,8 @@ FaultInjector::noteAccess()
         if (accessIndex_ > s.fault.atAccess) {
             s.active = true;
             recordInjected(FaultKind::WatchdogTimeout);
+            if (s.correlated)
+                ++correlatedActivations_;
         }
     }
 }
@@ -136,6 +166,61 @@ FaultInjector::markPermanentDetected(unsigned unit)
         recordDetected(FaultKind::WatchdogTimeout);
         return;
     }
+}
+
+void
+FaultInjector::noteUnitTax(unsigned unit, std::uint64_t cycles)
+{
+    RetireState &r = retire_[unit];
+    const double a = std::clamp(plan_.retireEwmaAlpha, 0.0, 1.0);
+    r.ewma = a * static_cast<double>(cycles) + (1.0 - a) * r.ewma;
+    if (plan_.retireTaxThresholdCycles == 0 || r.retired)
+        return;
+    if (r.ewma > static_cast<double>(plan_.retireTaxThresholdCycles)) {
+        ++r.aboveStreak;
+        if (!r.candidate &&
+            r.aboveStreak >= plan_.retireHysteresisAccesses) {
+            r.candidate = true;
+            ++retireCandidates_;
+        }
+    } else {
+        // Hysteresis: a dip below threshold resets the streak, so a
+        // transient spike never retires a healthy unit.
+        r.aboveStreak = 0;
+        r.candidate = false;
+    }
+}
+
+bool
+FaultInjector::retirementDue(unsigned unit) const
+{
+    const auto it = retire_.find(unit);
+    return it != retire_.end() && it->second.candidate &&
+           !it->second.retired;
+}
+
+void
+FaultInjector::markRetired(unsigned unit)
+{
+    RetireState &r = retire_[unit];
+    if (r.retired)
+        return;
+    r.retired = true;
+    ++retiredUnits_;
+}
+
+bool
+FaultInjector::unitRetired(unsigned unit) const
+{
+    const auto it = retire_.find(unit);
+    return it != retire_.end() && it->second.retired;
+}
+
+double
+FaultInjector::unitTaxEwma(unsigned unit) const
+{
+    const auto it = retire_.find(unit);
+    return it == retire_.end() ? 0.0 : it->second.ewma;
 }
 
 bool
@@ -274,6 +359,12 @@ FaultInjector::recordQuarantine()
 }
 
 void
+FaultInjector::recordZeroSurvivorFailStop()
+{
+    ++zeroSurvivorStops_;
+}
+
+void
 FaultInjector::recordEvacuation(std::uint64_t blocks, std::uint64_t appends)
 {
     evacuatedBlocks_ += blocks;
@@ -353,6 +444,30 @@ FaultInjector::exportMetrics(util::MetricsRegistry &m,
     m.setCounter(prefix + ".evacuation_appends", evacAppends_);
     m.setCounter(prefix + ".degraded_latency_cycles", degradedCycles_);
     m.setCounter(prefix + ".recovery_cycles", recoveryCycles_);
+    /*
+     * Chaos-layer counters are emitted only when nonzero so quiet
+     * (uncorrelated, no-retirement) campaigns keep their exact
+     * pre-chaos metric surface.
+     */
+    if (correlatedGroups_) {
+        m.setCounter(prefix + ".correlated_groups", correlatedGroups_);
+        m.setCounter(prefix + ".correlated_units", correlatedUnits_);
+        m.setCounter(prefix + ".correlated_activations",
+                     correlatedActivations_);
+    }
+    if (zeroSurvivorStops_)
+        m.setCounter(prefix + ".zero_survivor_failstops",
+                     zeroSurvivorStops_);
+    if (retireCandidates_)
+        m.setCounter("retire.candidates", retireCandidates_);
+    if (retiredUnits_)
+        m.setCounter("retire.retired_units", retiredUnits_);
+    for (const auto &[unit, r] : retire_) {
+        if (r.ewma > 0.0)
+            m.setGauge("retire.unit" + std::to_string(unit) +
+                           ".tax_ewma",
+                       r.ewma);
+    }
     for (unsigned i = 0; i < kNumFaultKinds; ++i) {
         const auto k = static_cast<FaultKind>(i);
         const std::string base = prefix + "." + kindName(k);

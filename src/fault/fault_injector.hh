@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,40 @@ class FaultInjector
      */
     void markPermanentDetected(unsigned unit);
 
+    /* --- proactive retirement -------------------------------------- */
+
+    /**
+     * Feed one access's latency tax (cycles of DegradedLatency
+     * penalty charged on @p unit) into the unit's EWMA tracker.
+     * Retirement arms only when plan.retireTaxThresholdCycles > 0:
+     * the EWMA must then sit above the threshold for
+     * plan.retireHysteresisAccesses CONSECUTIVE accesses before
+     * retirementDue() goes true.  Call once per access per live unit.
+     */
+    void noteUnitTax(unsigned unit, std::uint64_t cycles);
+
+    /** Hysteresis satisfied and the unit not yet retired. */
+    bool retirementDue(unsigned unit) const;
+
+    /** The protocol evacuated @p unit proactively (ledger-neutral:
+     *  a timing tax is not a detected fault). */
+    void markRetired(unsigned unit);
+
+    bool unitRetired(unsigned unit) const;
+    double unitTaxEwma(unsigned unit) const;
+    std::uint64_t retiredUnits() const { return retiredUnits_; }
+    std::uint64_t retireCandidates() const { return retireCandidates_; }
+
+    /* --- correlated campaign introspection ------------------------- */
+
+    std::uint64_t correlatedGroups() const { return correlatedGroups_; }
+    std::uint64_t correlatedUnits() const { return correlatedUnits_; }
+    /** Correlated permanent sites that have gone active so far. */
+    std::uint64_t correlatedActivations() const
+    {
+        return correlatedActivations_;
+    }
+
     /* --- accounting ----------------------------------------------- */
 
     void recordDetected(FaultKind k);
@@ -102,6 +137,14 @@ class FaultInjector
     void recordWatchdogProbe(std::uint64_t backoff_cycles);
     /** One unit quarantined (SDIMM or group; monotone counter). */
     void recordQuarantine();
+    /** Quarantining would leave zero survivors: the system fell back
+     *  to FailStop instead of dummy-padding an evacuation into
+     *  nothing.  Distinct ledger entry (see docs/FAULTS.md). */
+    void recordZeroSurvivorFailStop();
+    std::uint64_t zeroSurvivorFailStops() const
+    {
+        return zeroSurvivorStops_;
+    }
     /** One completed evacuation: @p blocks live blocks drained via
      *  @p appends dummy-padded APPENDs. */
     void recordEvacuation(std::uint64_t blocks, std::uint64_t appends);
@@ -141,17 +184,35 @@ class FaultInjector
 
     /** One scripted permanent fault and its activation/detection
      *  state; the ledger sees exactly one injected and at most one
-     *  detected WatchdogTimeout per StuckAt/HardDeath entry. */
+     *  detected WatchdogTimeout per StuckAt/HardDeath entry.
+     *  Correlated-group members expand into one entry each, tagged so
+     *  activations can be counted per campaign. */
     struct PermanentState {
         PermanentFault fault;
         bool active = false;
         bool watchdogDetected = false;
+        bool correlated = false;
+    };
+
+    /** Per-unit latency-tax EWMA + hysteresis for retirement. */
+    struct RetireState {
+        double ewma = 0.0;
+        unsigned aboveStreak = 0;
+        bool candidate = false;
+        bool retired = false;
     };
 
     FaultPlan plan_;
     Rng rng_;
     std::vector<PermanentState> permanent_;
+    std::map<unsigned, RetireState> retire_;
     std::uint64_t accessIndex_ = 0;
+    std::uint64_t correlatedGroups_ = 0;
+    std::uint64_t correlatedUnits_ = 0;
+    std::uint64_t correlatedActivations_ = 0;
+    std::uint64_t zeroSurvivorStops_ = 0;
+    std::uint64_t retiredUnits_ = 0;
+    std::uint64_t retireCandidates_ = 0;
     std::uint64_t watchdogProbes_ = 0;
     std::uint64_t watchdogWait_ = 0;
     std::uint64_t quarantined_ = 0;

@@ -41,6 +41,22 @@ struct FaultPlan {
      *  fault at a named unit. */
     std::vector<PermanentFault> permanentFaults;
 
+    /** Correlated failure groups: units sharing a failure domain die
+     *  as one burst (cascadeGapAccesses == 0) or as a cascade whose
+     *  later members can fire mid-recovery of earlier ones.  Each
+     *  group expands into one scripted permanent fault per member. */
+    std::vector<CorrelatedFailure> correlatedFailures;
+
+    /* --- proactive-retirement knobs ------------------------------- */
+    /** EWMA smoothing factor of the per-unit latency-tax tracker. */
+    double retireEwmaAlpha = 0.25;
+    /** Tax threshold (cycles/op) above which a unit becomes a
+     *  retirement candidate.  0 disables proactive retirement. */
+    std::uint64_t retireTaxThresholdCycles = 0;
+    /** Consecutive accesses the EWMA must stay above threshold before
+     *  the unit is actually evacuated (hysteresis against spikes). */
+    unsigned retireHysteresisAccesses = 8;
+
     /* --- recovery knobs ------------------------------------------ */
     /** Bounded retry budget per detected fault (0 == fail-stop). */
     unsigned maxRetries = 4;
@@ -66,11 +82,20 @@ struct FaultPlan {
      */
     std::uint64_t watchdogBackoff(unsigned probe) const
     {
+        const std::uint64_t base =
+            std::max<std::uint64_t>(watchdogBackoffBase, 1);
         std::uint64_t wait = watchdogDeadlineCycles;
         for (unsigned p = 0; p < probe; ++p) {
             if (wait >= watchdogBackoffCapCycles)
                 break;
-            wait *= std::max<std::uint64_t>(watchdogBackoffBase, 1);
+            // Saturate instead of letting the multiply wrap: with a
+            // cap near 2^64 the old `wait *= base` could overflow to
+            // a tiny wait and un-order the probe schedule.
+            if (base != 1 && wait > watchdogBackoffCapCycles / base) {
+                wait = watchdogBackoffCapCycles;
+                break;
+            }
+            wait *= base;
         }
         return std::min(wait, watchdogBackoffCapCycles);
     }
@@ -81,7 +106,8 @@ struct FaultPlan {
         return dramBitFlipRate > 0.0 || linkCorruptRate > 0.0 ||
                linkDropRate > 0.0 || linkDelayRate > 0.0 ||
                executorStallRate > 0.0 || queuePerturbRate > 0.0 ||
-               !permanentFaults.empty();
+               !permanentFaults.empty() || !correlatedFailures.empty() ||
+               retireTaxThresholdCycles > 0;
     }
 
     /** The empty plan: inject nothing (recovery layer still armed). */
@@ -142,6 +168,43 @@ struct FaultPlan {
         f.latencyCycles = cycles;
         p.permanentFaults.push_back(f);
         p.seed = seed;
+        return p;
+    }
+
+    /**
+     * Plan where @p units die as one correlated group: member j goes
+     * hard-dead at access @p atAccess + j * @p cascadeGapAccesses.  A
+     * gap of 0 is a simultaneous burst; a small positive gap lands
+     * later deaths inside the evacuation of earlier ones.
+     */
+    static FaultPlan correlatedDeath(std::vector<unsigned> units,
+                                     std::uint64_t atAccess,
+                                     std::uint64_t cascadeGapAccesses,
+                                     std::uint64_t seed)
+    {
+        FaultPlan p;
+        CorrelatedFailure g;
+        g.units = std::move(units);
+        g.kind = PermanentFaultKind::HardDeath;
+        g.atAccess = atAccess;
+        g.cascadeGapAccesses = cascadeGapAccesses;
+        p.correlatedFailures.push_back(std::move(g));
+        p.seed = seed;
+        return p;
+    }
+
+    /**
+     * Plan that arms proactive retirement: @p unit pays @p cycles of
+     * tax per op, and a unit whose tax EWMA stays above @p threshold
+     * for retireHysteresisAccesses consecutive accesses is obliviously
+     * evacuated before it ever hard-dies.
+     */
+    static FaultPlan proactiveRetire(unsigned unit, std::uint64_t cycles,
+                                     std::uint64_t threshold,
+                                     std::uint64_t seed)
+    {
+        FaultPlan p = degradedLatency(unit, cycles, seed);
+        p.retireTaxThresholdCycles = threshold;
         return p;
     }
 };

@@ -1,0 +1,506 @@
+#include "fault/fault_plan_io.hh"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace secdimm::fault
+{
+
+namespace
+{
+
+/* ------------------------------------------------------------------ */
+/* Tiny JSON value + recursive-descent parser.  Self-contained on      */
+/* purpose: the repo has no generic JSON dependency, and the metrics   */
+/* parser (util/metrics.cc) is specialized to its own schema.  Only    */
+/* what a FaultPlan needs: numbers, strings, arrays, objects, bool.    */
+/* ------------------------------------------------------------------ */
+
+struct JsonValue {
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    std::optional<JsonValue> parse(std::string *error)
+    {
+        JsonValue v;
+        if (!value(v) || (skipWs(), pos_ != s_.size())) {
+            if (error) {
+                std::ostringstream os;
+                os << "JSON parse error near offset " << pos_;
+                *error = os.str();
+            }
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"')
+            return string(out);
+        if (c == 't' || c == 'f') {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = c == 't';
+            return literal(c == 't' ? "true" : "false");
+        }
+        if (c == 'n') {
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool string(JsonValue &out)
+    {
+        if (s_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.type = JsonValue::Type::String;
+        out.str.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': c = '"'; break;
+                case '\\': c = '\\'; break;
+                case '/': c = '/'; break;
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                default: return false; // \uXXXX etc. not needed here
+                }
+            }
+            out.str.push_back(c);
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        auto digits = [&] {
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                any = true;
+            }
+        };
+        digits();
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            digits();
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+                ++pos_;
+            digits();
+        }
+        if (!any)
+            return false;
+        out.type = JsonValue::Type::Number;
+        out.number = std::stod(s_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool array(JsonValue &out)
+    {
+        ++pos_; // '['
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            if (!value(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool object(JsonValue &out)
+    {
+        ++pos_; // '{'
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue key;
+            if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            JsonValue val;
+            if (!value(val))
+                return false;
+            out.object.emplace(std::move(key.str), std::move(val));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+/* ------------------------------------------------------------------ */
+/* Mapping JSON <-> FaultPlan                                          */
+/* ------------------------------------------------------------------ */
+
+bool
+fail(std::string *error, const std::string &why)
+{
+    if (error)
+        *error = why;
+    return false;
+}
+
+bool
+parsePermanentKind(const std::string &name, PermanentFaultKind &out,
+                   std::string *error)
+{
+    if (name == "stuck_at")
+        out = PermanentFaultKind::StuckAt;
+    else if (name == "hard_death")
+        out = PermanentFaultKind::HardDeath;
+    else if (name == "degraded_latency")
+        out = PermanentFaultKind::DegradedLatency;
+    else
+        return fail(error, "unknown permanent fault kind: " + name);
+    return true;
+}
+
+bool
+asU64(const JsonValue &v, std::uint64_t &out)
+{
+    if (v.type != JsonValue::Type::Number || v.number < 0 ||
+        std::floor(v.number) != v.number)
+        return false;
+    out = static_cast<std::uint64_t>(v.number);
+    return true;
+}
+
+bool
+asDouble(const JsonValue &v, double &out)
+{
+    if (v.type != JsonValue::Type::Number)
+        return false;
+    out = v.number;
+    return true;
+}
+
+bool
+parsePermanentFault(const JsonValue &v, PermanentFault &out,
+                    std::string *error)
+{
+    if (v.type != JsonValue::Type::Object)
+        return fail(error, "permanent fault entry must be an object");
+    for (const auto &[key, val] : v.object) {
+        std::uint64_t u = 0;
+        if (key == "kind") {
+            if (val.type != JsonValue::Type::String ||
+                !parsePermanentKind(val.str, out.kind, error))
+                return false;
+        } else if (key == "unit") {
+            if (!asU64(val, u))
+                return fail(error, "unit must be a non-negative integer");
+            out.unit = static_cast<unsigned>(u);
+        } else if (key == "at_access") {
+            if (!asU64(val, out.atAccess))
+                return fail(error, "at_access must be an integer");
+        } else if (key == "latency_cycles") {
+            if (!asU64(val, out.latencyCycles))
+                return fail(error, "latency_cycles must be an integer");
+        } else {
+            return fail(error, "unknown permanent fault key: " + key);
+        }
+    }
+    return true;
+}
+
+bool
+parseCorrelatedFailure(const JsonValue &v, CorrelatedFailure &out,
+                       std::string *error)
+{
+    if (v.type != JsonValue::Type::Object)
+        return fail(error, "correlated failure entry must be an object");
+    for (const auto &[key, val] : v.object) {
+        if (key == "units") {
+            if (val.type != JsonValue::Type::Array)
+                return fail(error, "units must be an array");
+            for (const JsonValue &e : val.array) {
+                std::uint64_t u = 0;
+                if (!asU64(e, u))
+                    return fail(error, "units entries must be integers");
+                out.units.push_back(static_cast<unsigned>(u));
+            }
+        } else if (key == "kind") {
+            if (val.type != JsonValue::Type::String ||
+                !parsePermanentKind(val.str, out.kind, error))
+                return false;
+        } else if (key == "at_access") {
+            if (!asU64(val, out.atAccess))
+                return fail(error, "at_access must be an integer");
+        } else if (key == "cascade_gap_accesses") {
+            if (!asU64(val, out.cascadeGapAccesses))
+                return fail(error,
+                            "cascade_gap_accesses must be an integer");
+        } else if (key == "latency_cycles") {
+            if (!asU64(val, out.latencyCycles))
+                return fail(error, "latency_cycles must be an integer");
+        } else {
+            return fail(error, "unknown correlated failure key: " + key);
+        }
+    }
+    if (out.units.empty())
+        return fail(error, "correlated failure needs at least one unit");
+    return true;
+}
+
+void
+appendJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+faultPlanToJson(const FaultPlan &p)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"dram_bit_flip_rate\":" << formatDouble(p.dramBitFlipRate);
+    os << ",\"link_corrupt_rate\":" << formatDouble(p.linkCorruptRate);
+    os << ",\"link_drop_rate\":" << formatDouble(p.linkDropRate);
+    os << ",\"link_delay_rate\":" << formatDouble(p.linkDelayRate);
+    os << ",\"executor_stall_rate\":"
+       << formatDouble(p.executorStallRate);
+    os << ",\"queue_perturb_rate\":" << formatDouble(p.queuePerturbRate);
+    os << ",\"permanent_faults\":[";
+    for (std::size_t i = 0; i < p.permanentFaults.size(); ++i) {
+        const PermanentFault &f = p.permanentFaults[i];
+        if (i)
+            os << ",";
+        os << "{\"kind\":";
+        appendJsonString(os, permanentKindName(f.kind));
+        os << ",\"unit\":" << f.unit
+           << ",\"at_access\":" << f.atAccess
+           << ",\"latency_cycles\":" << f.latencyCycles << "}";
+    }
+    os << "],\"correlated_failures\":[";
+    for (std::size_t i = 0; i < p.correlatedFailures.size(); ++i) {
+        const CorrelatedFailure &g = p.correlatedFailures[i];
+        if (i)
+            os << ",";
+        os << "{\"units\":[";
+        for (std::size_t j = 0; j < g.units.size(); ++j) {
+            if (j)
+                os << ",";
+            os << g.units[j];
+        }
+        os << "],\"kind\":";
+        appendJsonString(os, permanentKindName(g.kind));
+        os << ",\"at_access\":" << g.atAccess
+           << ",\"cascade_gap_accesses\":" << g.cascadeGapAccesses
+           << ",\"latency_cycles\":" << g.latencyCycles << "}";
+    }
+    os << "],\"max_retries\":" << p.maxRetries;
+    os << ",\"stall_cycles\":" << p.stallCycles;
+    os << ",\"seed\":" << p.seed;
+    os << ",\"watchdog_deadline_cycles\":" << p.watchdogDeadlineCycles;
+    os << ",\"watchdog_backoff_base\":" << p.watchdogBackoffBase;
+    os << ",\"watchdog_backoff_cap_cycles\":"
+       << p.watchdogBackoffCapCycles;
+    os << ",\"watchdog_max_probes\":" << p.watchdogMaxProbes;
+    os << ",\"retire_ewma_alpha\":" << formatDouble(p.retireEwmaAlpha);
+    os << ",\"retire_tax_threshold_cycles\":"
+       << p.retireTaxThresholdCycles;
+    os << ",\"retire_hysteresis_accesses\":"
+       << p.retireHysteresisAccesses;
+    os << "}";
+    return os.str();
+}
+
+std::optional<FaultPlan>
+faultPlanFromJson(const std::string &text, std::string *error)
+{
+    Parser parser(text);
+    std::optional<JsonValue> root = parser.parse(error);
+    if (!root)
+        return std::nullopt;
+    if (root->type != JsonValue::Type::Object) {
+        fail(error, "fault plan must be a JSON object");
+        return std::nullopt;
+    }
+
+    FaultPlan p;
+    for (const auto &[key, val] : root->object) {
+        std::uint64_t u = 0;
+        bool ok = true;
+        if (key == "dram_bit_flip_rate")
+            ok = asDouble(val, p.dramBitFlipRate);
+        else if (key == "link_corrupt_rate")
+            ok = asDouble(val, p.linkCorruptRate);
+        else if (key == "link_drop_rate")
+            ok = asDouble(val, p.linkDropRate);
+        else if (key == "link_delay_rate")
+            ok = asDouble(val, p.linkDelayRate);
+        else if (key == "executor_stall_rate")
+            ok = asDouble(val, p.executorStallRate);
+        else if (key == "queue_perturb_rate")
+            ok = asDouble(val, p.queuePerturbRate);
+        else if (key == "retire_ewma_alpha")
+            ok = asDouble(val, p.retireEwmaAlpha);
+        else if (key == "max_retries") {
+            if ((ok = asU64(val, u)))
+                p.maxRetries = static_cast<unsigned>(u);
+        } else if (key == "stall_cycles")
+            ok = asU64(val, p.stallCycles);
+        else if (key == "seed")
+            ok = asU64(val, p.seed);
+        else if (key == "watchdog_deadline_cycles")
+            ok = asU64(val, p.watchdogDeadlineCycles);
+        else if (key == "watchdog_backoff_base")
+            ok = asU64(val, p.watchdogBackoffBase);
+        else if (key == "watchdog_backoff_cap_cycles")
+            ok = asU64(val, p.watchdogBackoffCapCycles);
+        else if (key == "watchdog_max_probes") {
+            if ((ok = asU64(val, u)))
+                p.watchdogMaxProbes = static_cast<unsigned>(u);
+        } else if (key == "retire_tax_threshold_cycles")
+            ok = asU64(val, p.retireTaxThresholdCycles);
+        else if (key == "retire_hysteresis_accesses") {
+            if ((ok = asU64(val, u)))
+                p.retireHysteresisAccesses = static_cast<unsigned>(u);
+        } else if (key == "permanent_faults") {
+            if (val.type != JsonValue::Type::Array) {
+                fail(error, "permanent_faults must be an array");
+                return std::nullopt;
+            }
+            for (const JsonValue &e : val.array) {
+                PermanentFault f;
+                if (!parsePermanentFault(e, f, error))
+                    return std::nullopt;
+                p.permanentFaults.push_back(f);
+            }
+        } else if (key == "correlated_failures") {
+            if (val.type != JsonValue::Type::Array) {
+                fail(error, "correlated_failures must be an array");
+                return std::nullopt;
+            }
+            for (const JsonValue &e : val.array) {
+                CorrelatedFailure g;
+                if (!parseCorrelatedFailure(e, g, error))
+                    return std::nullopt;
+                p.correlatedFailures.push_back(std::move(g));
+            }
+        } else {
+            fail(error, "unknown fault plan key: " + key);
+            return std::nullopt;
+        }
+        if (!ok) {
+            fail(error, "bad value for key: " + key);
+            return std::nullopt;
+        }
+    }
+    return p;
+}
+
+} // namespace secdimm::fault

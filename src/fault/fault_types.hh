@@ -66,6 +66,28 @@ struct PermanentFault {
 };
 
 /**
+ * A correlated failure group: several units sharing a failure domain
+ * (same channel, same refresh domain, same power rail) that fail as
+ * one campaign instead of independently.  Member j activates at
+ * `atAccess + j * cascadeGapAccesses`: a gap of 0 is a simultaneous
+ * burst (the spatial correlation the Independent design's
+ * one-unit-at-a-time fault model never sees), a positive gap is a
+ * temporal cascade that can land mid-recovery of the previous member
+ * -- the re-entrancy case docs/FAULTS.md's chaos section is about.
+ */
+struct CorrelatedFailure {
+    /** Units (SDIMM or group indices) sharing the failure domain. */
+    std::vector<unsigned> units;
+    PermanentFaultKind kind = PermanentFaultKind::HardDeath;
+    /** Activation access of the FIRST member (0 for StuckAt). */
+    std::uint64_t atAccess = 0;
+    /** Accesses between successive member activations. */
+    std::uint64_t cascadeGapAccesses = 0;
+    /** DegradedLatency bursts: per-op tax of every member. */
+    std::uint64_t latencyCycles = 0;
+};
+
+/**
  * Modeled outcome of one message crossing a faulty channel.  Used
  * where the functional model has no real MAC on the wire (SplitOram's
  * internal CPU-channel transfers): outcome == Corrupted stands for

@@ -121,18 +121,30 @@ IndepSplitOram::transmitGroupCommand(SdimmCommandType type, unsigned g,
                                           : fault::FaultKind::LinkDrop;
         injector_->recordDetected(kind);
         if (attempts >= injector_->maxRetries()) {
-            injector_->recordUnrecovered(kind, site, attempts);
-            if (policy_ == fault::DegradationPolicy::Degraded) {
-                // Group fail-over: quarantine the whole group and
-                // drain its blocks to the survivors (if any remain).
-                const bool was = isGroupQuarantined(g);
-                quarantineGroup(g);
-                if (!was &&
-                    quarantinedGroupCount() < params_.groups)
-                    evacuateGroup(g);
-            } else {
+            if (policy_ != fault::DegradationPolicy::Degraded) {
+                injector_->recordUnrecovered(kind, site, attempts);
                 failedStop_ = true;
+                return false;
             }
+            // Group fail-over: quarantine the whole group and drain
+            // its blocks to the survivors -- unless this group IS the
+            // last survivor, in which case there is nowhere to
+            // evacuate to and the system fail-stops with a distinct
+            // zero-survivor ledger entry.
+            const bool was = isGroupQuarantined(g);
+            if (!was && quarantinedGroupCount() + 1 >= params_.groups) {
+                injector_->recordUnrecovered(
+                    kind, std::string(site) + ".zero_survivors",
+                    attempts);
+                injector_->recordZeroSurvivorFailStop();
+                quarantineGroup(g);
+                failedStop_ = true;
+                return false;
+            }
+            injector_->recordUnrecovered(kind, site, attempts);
+            quarantineGroup(g);
+            if (!was)
+                evacuateGroup(g);
             return false;
         }
         ++attempts;
@@ -153,26 +165,67 @@ IndepSplitOram::runWatchdog(unsigned g)
 }
 
 void
+IndepSplitOram::handleDeadGroup(unsigned g, const std::string &site,
+                                unsigned attempts)
+{
+    if (policy_ != fault::DegradationPolicy::Degraded) {
+        injector_->recordUnrecovered(fault::FaultKind::WatchdogTimeout,
+                                     site, attempts);
+        failedStop_ = true;
+        return;
+    }
+    if (quarantinedGroupCount() + 1 >= params_.groups) {
+        // Zero survivors after this quarantine: distinct ledger entry
+        // + FailStop (detected == recovered + unrecovered still holds
+        // exactly; the watchdog already closed the detection).
+        injector_->recordUnrecovered(fault::FaultKind::WatchdogTimeout,
+                                     site + ".zero_survivors", attempts);
+        injector_->recordZeroSurvivorFailStop();
+        quarantineGroup(g);
+        failedStop_ = true;
+        return;
+    }
+    injector_->recordRecovered(fault::FaultKind::WatchdogTimeout, site,
+                               attempts);
+    quarantineGroup(g);
+    evacuateGroup(g);
+}
+
+void
 IndepSplitOram::sweepPermanentFaults()
 {
     for (unsigned g = 0; g < params_.groups; ++g) {
+        if (failedStop_)
+            return;
         if (isGroupQuarantined(g) || !injector_->unitDead(g))
             continue;
         runWatchdog(g);
-        const std::string site = "watchdog.group" + std::to_string(g);
-        if (policy_ == fault::DegradationPolicy::Degraded) {
-            injector_->recordRecovered(fault::FaultKind::WatchdogTimeout,
-                                       site,
-                                       injector_->plan().watchdogMaxProbes);
-            quarantineGroup(g);
-            if (quarantinedGroupCount() < params_.groups)
-                evacuateGroup(g);
-        } else {
-            injector_->recordUnrecovered(
-                fault::FaultKind::WatchdogTimeout, site,
-                injector_->plan().watchdogMaxProbes);
-            failedStop_ = true;
-        }
+        handleDeadGroup(g, "watchdog.group" + std::to_string(g),
+                        injector_->plan().watchdogMaxProbes);
+    }
+    sweepRetirement();
+}
+
+void
+IndepSplitOram::sweepRetirement()
+{
+    if (failedStop_ || injector_->plan().retireTaxThresholdCycles == 0)
+        return;
+    for (unsigned g = 0; g < params_.groups; ++g) {
+        if (!isGroupQuarantined(g))
+            injector_->noteUnitTax(g, injector_->unitLatencyPenalty(g));
+    }
+    if (policy_ != fault::DegradationPolicy::Degraded)
+        return;
+    for (unsigned g = 0; g < params_.groups; ++g) {
+        if (isGroupQuarantined(g) || !injector_->retirementDue(g))
+            continue;
+        if (quarantinedGroupCount() + 1 >= params_.groups)
+            continue; // never retire the last group in service
+        injector_->markRetired(g);
+        ++retiredUnits_;
+        quarantineGroup(g);
+        evacuateGroup(g);
     }
 }
 
@@ -193,30 +246,67 @@ IndepSplitOram::evacuateGroup(unsigned dead)
     // (padded up only when more than one tree's capacity is live).
     const std::uint64_t slots = std::max<std::uint64_t>(
         params_.perGroupTree.capacityBlocks(), live.size());
+    ++evacuationDepth_;
+    SD_ASSERT(evacuationDepth_ <= params_.groups);
     for (std::uint64_t s = 0; s < slots; ++s) {
         const bool have = s < live.size();
-        for (unsigned g = 0; g < params_.groups; ++g) {
-            if (isGroupQuarantined(g)) {
-                busTrace_.push_back({SdimmCommandType::Append, g});
-                ++appendsDummy_;
-                continue;
+        bool placed = false;
+        bool redo = true;
+        while (redo) {
+            redo = false;
+            const unsigned quarantinedBefore = quarantinedGroupCount();
+            for (unsigned g = 0; g < params_.groups; ++g) {
+                // Re-entrant recovery: a correlated cascade can kill
+                // a second group while this evacuation is mid-stream;
+                // the nested evacuation drains everything this loop
+                // already re-appended onto it, and the fresh posMap_
+                // reads below route the rest around it (see
+                // IndependentOram).
+                if (!failedStop_ && !isGroupQuarantined(g) &&
+                    injector_->unitDead(g)) {
+                    ++nestedEvacuations_;
+                    runWatchdog(g);
+                    handleDeadGroup(g,
+                                    "watchdog.group" + std::to_string(g) +
+                                        ".mid_evac",
+                                    injector_->plan().watchdogMaxProbes);
+                }
+                if (failedStop_ || isGroupQuarantined(g)) {
+                    busTrace_.push_back({SdimmCommandType::Append, g});
+                    ++appendsDummy_;
+                    continue;
+                }
+                const bool delivered = transmitGroupCommand(
+                    SdimmCommandType::Append, g, "indep_split.evacuate");
+                const bool real =
+                    have && !placed && !isGroupQuarantined(g) &&
+                    groupOf(posMap_[live[s].first]) == g;
+                if (real)
+                    ++appendsReal_;
+                else
+                    ++appendsDummy_;
+                if (delivered && real) {
+                    groups_[g]->adoptBlock(
+                        live[s].first,
+                        localLeaf(posMap_[live[s].first]),
+                        live[s].second);
+                    placed = true;
+                }
             }
-            const bool delivered = transmitGroupCommand(
-                SdimmCommandType::Append, g, "indep_split.evacuate");
-            const bool real =
-                have && !isGroupQuarantined(g) &&
-                groupOf(posMap_[live[s].first]) == g;
-            if (real)
-                ++appendsReal_;
-            else
-                ++appendsDummy_;
-            if (delivered && real) {
-                groups_[g]->adoptBlock(live[s].first,
-                                       localLeaf(posMap_[live[s].first]),
-                                       live[s].second);
-            }
+            // A nested evacuation (or a budget-exhaustion quarantine
+            // inside transmitGroupCommand) can redraw this slot's
+            // destination onto a group the sweep above had ALREADY
+            // passed, silently dropping the block.  Whenever the
+            // quarantine set changed mid-sweep -- a public,
+            // fault-triggered event -- re-run the slot: an unplaced
+            // block lands on its redrawn survivor, and a placed one
+            // rides the re-run as all-dummy padding.
+            if (!failedStop_ &&
+                quarantinedGroupCount() != quarantinedBefore)
+                redo = true;
         }
     }
+    --evacuationDepth_;
     evacuatedBlocks_ += live.size();
     injector_->recordEvacuation(live.size(), slots * params_.groups);
 }
@@ -315,6 +405,10 @@ IndepSplitOram::exportMetrics(util::MetricsRegistry &m,
     m.setCounter(prefix + ".degraded_accesses", degradedAccesses_);
     m.setCounter(prefix + ".quarantined_groups", quarantinedGroupCount());
     m.setCounter(prefix + ".evacuated_blocks", evacuatedBlocks_);
+    if (nestedEvacuations_)
+        m.setCounter(prefix + ".nested_evacuations", nestedEvacuations_);
+    if (retiredUnits_)
+        m.setCounter(prefix + ".retired_units", retiredUnits_);
     for (unsigned g = 0; g < params_.groups; ++g) {
         groups_[g]->exportMetrics(m,
                                   prefix + ".g" + std::to_string(g));

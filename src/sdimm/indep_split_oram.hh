@@ -85,6 +85,13 @@ class IndepSplitOram
     /** Live blocks drained off quarantined groups so far. */
     std::uint64_t evacuatedBlocks() const { return evacuatedBlocks_; }
 
+    /** Group deaths detected and handled INSIDE a running evacuation
+     *  (re-entrant recovery; correlated cascades land here). */
+    std::uint64_t nestedEvacuations() const { return nestedEvacuations_; }
+
+    /** Groups proactively evacuated on latency-tax EWMA (not dead). */
+    std::uint64_t retiredUnits() const { return retiredUnits_; }
+
     /** True once an unrecoverable fault stopped the protocol. */
     bool failedStop() const { return failedStop_; }
 
@@ -124,6 +131,16 @@ class IndepSplitOram
     void sweepPermanentFaults();
     void runWatchdog(unsigned g);
 
+    /** Degraded disposition of a detected-dead group: quarantine +
+     *  evacuate, or -- when it is the last group in service --
+     *  zero-survivor FailStop with a distinct ledger entry.
+     *  Re-entrant (callable from inside evacuateGroup()). */
+    void handleDeadGroup(unsigned g, const std::string &site,
+                         unsigned attempts);
+
+    /** Proactive retirement sweep (see IndependentOram). */
+    void sweepRetirement();
+
     /** Oblivious group evacuation: same geometry-padded APPEND-stream
      *  argument as IndependentOram::evacuateSdimm, per group. */
     void evacuateGroup(unsigned g);
@@ -143,6 +160,9 @@ class IndepSplitOram
     std::vector<bool> quarantinedGroups_;
     bool failedStop_ = false;
     std::uint64_t evacuatedBlocks_ = 0;
+    std::uint64_t nestedEvacuations_ = 0;
+    std::uint64_t retiredUnits_ = 0;
+    unsigned evacuationDepth_ = 0;
 };
 
 } // namespace secdimm::sdimm

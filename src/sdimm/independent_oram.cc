@@ -101,18 +101,28 @@ IndependentOram::onUnrecoverable(fault::FaultKind kind, unsigned sdimm,
                                  const std::string &site,
                                  unsigned attempts)
 {
-    injector_->recordUnrecovered(kind, site, attempts);
-    if (policy_ == fault::DegradationPolicy::Degraded) {
-        const bool was = isQuarantined(sdimm);
-        quarantine(sdimm);
-        // Drain the dead unit's blocks to survivors (if any remain);
-        // with every SDIMM quarantined there is nowhere to evacuate
-        // to and the schedule keeps serving zeros as before.
-        if (!was && quarantinedCount() < params_.numSdimms)
-            evacuateSdimm(sdimm);
-    } else {
+    if (policy_ != fault::DegradationPolicy::Degraded) {
+        injector_->recordUnrecovered(kind, site, attempts);
         failedStop_ = true;
+        return;
     }
+    const bool was = isQuarantined(sdimm);
+    if (!was && quarantinedCount() + 1 >= params_.numSdimms) {
+        // Quarantining the last unit in service leaves nowhere to
+        // evacuate to: fall back to FailStop with a distinct ledger
+        // entry instead of dummy-padding an APPEND stream into
+        // nothing.
+        injector_->recordUnrecovered(kind, site + ".zero_survivors",
+                                     attempts);
+        injector_->recordZeroSurvivorFailStop();
+        quarantine(sdimm);
+        failedStop_ = true;
+        return;
+    }
+    injector_->recordUnrecovered(kind, site, attempts);
+    quarantine(sdimm);
+    if (!was)
+        evacuateSdimm(sdimm);
 }
 
 void
@@ -127,26 +137,68 @@ IndependentOram::runWatchdog(unsigned sdimm)
 }
 
 void
+IndependentOram::handleDeadUnit(unsigned sdimm, const std::string &site,
+                                unsigned attempts)
+{
+    if (policy_ != fault::DegradationPolicy::Degraded) {
+        injector_->recordUnrecovered(fault::FaultKind::WatchdogTimeout,
+                                     site, attempts);
+        failedStop_ = true;
+        return;
+    }
+    if (quarantinedCount() + 1 >= params_.numSdimms) {
+        // Zero survivors after this quarantine: distinct ledger entry
+        // + FailStop (see onUnrecoverable).  Detection already closed
+        // by the watchdog, so the identity detected == recovered +
+        // unrecovered still holds exactly.
+        injector_->recordUnrecovered(fault::FaultKind::WatchdogTimeout,
+                                     site + ".zero_survivors", attempts);
+        injector_->recordZeroSurvivorFailStop();
+        quarantine(sdimm);
+        failedStop_ = true;
+        return;
+    }
+    injector_->recordRecovered(fault::FaultKind::WatchdogTimeout, site,
+                               attempts);
+    quarantine(sdimm);
+    evacuateSdimm(sdimm);
+}
+
+void
 IndependentOram::sweepPermanentFaults()
 {
     for (unsigned i = 0; i < params_.numSdimms; ++i) {
+        if (failedStop_)
+            return;
         if (isQuarantined(i) || !injector_->unitDead(i))
             continue;
         runWatchdog(i);
-        const std::string site = "watchdog.sdimm" + std::to_string(i);
-        if (policy_ == fault::DegradationPolicy::Degraded) {
-            injector_->recordRecovered(fault::FaultKind::WatchdogTimeout,
-                                       site,
-                                       injector_->plan().watchdogMaxProbes);
-            quarantine(i);
-            if (quarantinedCount() < params_.numSdimms)
-                evacuateSdimm(i);
-        } else {
-            injector_->recordUnrecovered(
-                fault::FaultKind::WatchdogTimeout, site,
-                injector_->plan().watchdogMaxProbes);
-            failedStop_ = true;
-        }
+        handleDeadUnit(i, "watchdog.sdimm" + std::to_string(i),
+                       injector_->plan().watchdogMaxProbes);
+    }
+    sweepRetirement();
+}
+
+void
+IndependentOram::sweepRetirement()
+{
+    if (failedStop_ || injector_->plan().retireTaxThresholdCycles == 0)
+        return;
+    for (unsigned i = 0; i < params_.numSdimms; ++i) {
+        if (!isQuarantined(i))
+            injector_->noteUnitTax(i, injector_->unitLatencyPenalty(i));
+    }
+    if (policy_ != fault::DegradationPolicy::Degraded)
+        return;
+    for (unsigned i = 0; i < params_.numSdimms; ++i) {
+        if (isQuarantined(i) || !injector_->retirementDue(i))
+            continue;
+        if (quarantinedCount() + 1 >= params_.numSdimms)
+            continue; // never retire the last unit in service
+        injector_->markRetired(i);
+        ++retiredUnits_;
+        quarantine(i);
+        evacuateSdimm(i);
     }
 }
 
@@ -179,34 +231,80 @@ IndependentOram::evacuateSdimm(unsigned sdimm)
      */
     const std::uint64_t slots = std::max<std::uint64_t>(
         params_.perSdimm.capacityBlocks(), live.size());
+    ++evacuationDepth_;
+    SD_ASSERT(evacuationDepth_ <= params_.numSdimms);
     for (std::uint64_t s = 0; s < slots; ++s) {
         const bool have = s < live.size();
-        for (unsigned i = 0; i < params_.numSdimms; ++i) {
-            AppendRequest app;
-            if (have) {
-                const LeafId leaf = posMap_[live[s].addr];
-                app.real = !isQuarantined(i) && sdimmOf(leaf) == i;
-                if (app.real) {
-                    app.addr = live[s].addr;
-                    app.localLeaf = localLeaf(leaf);
-                    app.data = live[s].data;
+        bool placed = false;
+        bool redo = true;
+        while (redo) {
+            redo = false;
+            const unsigned quarantinedBefore = quarantinedCount();
+            for (unsigned i = 0; i < params_.numSdimms; ++i) {
+                /*
+                 * Re-entrant recovery: a correlated cascade can
+                 * surface a SECOND death while this evacuation is
+                 * mid-stream.  The watchdog fires here, the new
+                 * corpse is quarantined, and its evacuation nests
+                 * inside this one (the unit is quarantined before the
+                 * recursion, so the depth is bounded by numSdimms).
+                 * Blocks this loop already re-appended onto the newly
+                 * dead unit are in its buffer and get drained by the
+                 * nested pass; blocks still pending re-read posMap_
+                 * fresh below, so they route around it.
+                 */
+                if (!failedStop_ && !isQuarantined(i) &&
+                    injector_->unitDead(i)) {
+                    ++nestedEvacuations_;
+                    runWatchdog(i);
+                    handleDeadUnit(i,
+                                   "watchdog.sdimm" + std::to_string(i) +
+                                       ".mid_evac",
+                                   injector_->plan().watchdogMaxProbes);
                 }
+                AppendRequest app;
+                if (have && !failedStop_ && !placed) {
+                    const LeafId leaf = posMap_[live[s].addr];
+                    app.real = !isQuarantined(i) && sdimmOf(leaf) == i;
+                    if (app.real) {
+                        app.addr = live[s].addr;
+                        app.localLeaf = localLeaf(leaf);
+                        app.data = live[s].data;
+                    }
+                }
+                if (failedStop_ || isQuarantined(i)) {
+                    recordBus(SdimmCommandType::Append, i,
+                              appendBodyBytes);
+                    continue;
+                }
+                const bool ok = transmitUplink(
+                    i, SdimmCommandType::Append,
+                    [&] {
+                        return buffers_[i]->cpuLink().seal(
+                            0x03, packAppend(app));
+                    },
+                    [&](const SealedMessage &m) {
+                        return buffers_[i]->handleAppend(m);
+                    });
+                if (app.real && ok)
+                    placed = true;
             }
-            if (isQuarantined(i)) {
-                recordBus(SdimmCommandType::Append, i, appendBodyBytes);
-                continue;
-            }
-            transmitUplink(
-                i, SdimmCommandType::Append,
-                [&] {
-                    return buffers_[i]->cpuLink().seal(0x03,
-                                                       packAppend(app));
-                },
-                [&](const SealedMessage &m) {
-                    return buffers_[i]->handleAppend(m);
-                });
+            /*
+             * A nested evacuation (or a budget-exhaustion quarantine
+             * inside transmitUplink) can redraw this slot's
+             * destination onto a unit the sweep above had ALREADY
+             * passed, silently dropping the block.  Whenever the
+             * quarantine set changed mid-sweep -- a public,
+             * fault-triggered event -- re-run the slot: the block (if
+             * still unplaced) lands on its redrawn survivor, and an
+             * already-placed block rides the re-run as all-dummy
+             * padding, indistinguishable on the wire.
+             */
+            if (!failedStop_ && quarantinedCount() != quarantinedBefore)
+                redo = true;
         }
     }
+    --evacuationDepth_;
     evacuatedBlocks_ += live.size();
     injector_->recordEvacuation(live.size(), slots * params_.numSdimms);
 }
@@ -485,6 +583,10 @@ IndependentOram::exportMetrics(util::MetricsRegistry &m,
     m.setCounter(prefix + ".degraded_accesses", degradedAccesses_);
     m.setCounter(prefix + ".quarantined", quarantinedCount());
     m.setCounter(prefix + ".evacuated_blocks", evacuatedBlocks_);
+    if (nestedEvacuations_)
+        m.setCounter(prefix + ".nested_evacuations", nestedEvacuations_);
+    if (retiredUnits_)
+        m.setCounter(prefix + ".retired_units", retiredUnits_);
 }
 
 } // namespace secdimm::sdimm

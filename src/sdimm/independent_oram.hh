@@ -96,6 +96,13 @@ class IndependentOram
     /** Live blocks drained off quarantined SDIMMs so far. */
     std::uint64_t evacuatedBlocks() const { return evacuatedBlocks_; }
 
+    /** Deaths detected and handled INSIDE a running evacuation
+     *  (re-entrant recovery; correlated cascades land here). */
+    std::uint64_t nestedEvacuations() const { return nestedEvacuations_; }
+
+    /** Units proactively evacuated on latency-tax EWMA (not dead). */
+    std::uint64_t retiredUnits() const { return retiredUnits_; }
+
     /**
      * Export per-buffer and per-command-type channel-traffic metrics
      * under @p prefix ("sdimm" in the facade; docs/METRICS.md).
@@ -152,6 +159,27 @@ class IndependentOram
     void runWatchdog(unsigned sdimm);
 
     /**
+     * Degraded-policy disposition of a detected-dead unit: quarantine
+     * and evacuate onto survivors, UNLESS this unit is the last one
+     * in service -- then there is nowhere to evacuate to and the
+     * system records a distinct zero-survivor ledger entry
+     * (unrecovered at site "<site>.zero_survivors") and fail-stops
+     * instead of dummy-padding an APPEND stream into nothing.
+     * Re-entrant: safe to call from inside evacuateSdimm().
+     */
+    void handleDeadUnit(unsigned sdimm, const std::string &site,
+                        unsigned attempts);
+
+    /**
+     * Proactive retirement: feed each live unit's latency tax into
+     * the injector's EWMA and obliviously evacuate a unit whose tax
+     * stayed above plan.retireTaxThresholdCycles long enough
+     * (hysteresis), before it hard-dies.  The last unit in service is
+     * never retired.  No ledger event: a timing tax is not a fault.
+     */
+    void sweepRetirement();
+
+    /**
      * Oblivious subtree evacuation: drain the quarantined SDIMM's
      * live blocks (maintenance-path read), silently remap them off
      * the dead unit in the CPU-private PosMap, and re-append them to
@@ -177,6 +205,9 @@ class IndependentOram
     bool failedStop_ = false;
     std::uint64_t degradedAccesses_ = 0;
     std::uint64_t evacuatedBlocks_ = 0;
+    std::uint64_t nestedEvacuations_ = 0;
+    std::uint64_t retiredUnits_ = 0;
+    unsigned evacuationDepth_ = 0;
 };
 
 } // namespace secdimm::sdimm

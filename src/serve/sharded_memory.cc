@@ -4,11 +4,26 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/fault_injector.hh"
 #include "util/bit_utils.hh"
 #include "util/logging.hh"
 
 namespace secdimm::serve
 {
+
+const char *
+shardHealthName(ShardHealth h)
+{
+    switch (h) {
+    case ShardHealth::Healthy:
+        return "healthy";
+    case ShardHealth::Degraded:
+        return "degraded";
+    case ShardHealth::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
 
 core::SecureMemorySystem::Options
 ShardedSecureMemory::shardOptions(const Options &options, unsigned i)
@@ -17,6 +32,8 @@ ShardedSecureMemory::shardOptions(const Options &options, unsigned i)
     const unsigned n = options.numShards == 0 ? 1 : options.numShards;
     so.capacityBytes = divCeil(options.shard.capacityBytes, n);
     so.seed = options.shard.seed * 1000003 + i;
+    if (i < options.shardFaultPlans.size())
+        so.faultPlan = options.shardFaultPlans[i];
     return so;
 }
 
@@ -45,6 +62,11 @@ ShardedSecureMemory::ShardedSecureMemory(const Options &options)
     // indices 0..min-1, so the global space is min * N blocks.
     capacityBlocks_ = min_local_blocks * numShards_;
 
+    health_ = std::make_unique<std::atomic<int>[]>(numShards_);
+    for (unsigned i = 0; i < numShards_; ++i)
+        health_[i].store(static_cast<int>(ShardHealth::Healthy),
+                         std::memory_order_relaxed);
+
     workers_.reserve(numShards_);
     for (unsigned i = 0; i < numShards_; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -62,6 +84,7 @@ ShardedSecureMemory::workerLoop(unsigned shard)
     BoundedMpscQueue<Request> &q = *queues_[shard];
     std::vector<Request> batch;
     batch.reserve(maxBatch_);
+    bool failed = false;
     for (;;) {
         batch.clear();
         const std::size_t n = q.popBatch(batch, maxBatch_);
@@ -70,19 +93,69 @@ ShardedSecureMemory::workerLoop(unsigned shard)
         verify::ScheduleRecorder *rec =
             scheduleRecorder_.load(std::memory_order_acquire);
         for (Request &r : batch) {
-            if (r.write) {
-                mem.writeBlock(r.local, r.data);
-                r.writeDone.set_value();
-            } else {
-                r.readDone.set_value(mem.readBlock(r.local));
+            /*
+             * Graceful shard degradation: once this shard's
+             * SecureMemorySystem reaches FailStop, the worker keeps
+             * draining its queue (producers blocked on backpressure
+             * unblock, shutdown still joins) but every request --
+             * including the one that tripped the failure -- resolves
+             * with the typed ShardFailedError instead of fabricated
+             * zeros.  Healthy shards never notice.
+             */
+            if (!failed) {
+                try {
+                    if (r.write) {
+                        mem.writeBlock(r.local, r.data);
+                        failed = !mem.integrityOk();
+                        if (!failed)
+                            r.writeDone.set_value();
+                    } else {
+                        const BlockData d = mem.readBlock(r.local);
+                        failed = !mem.integrityOk();
+                        if (!failed)
+                            r.readDone.set_value(d);
+                    }
+                } catch (...) {
+                    failed = true;
+                }
             }
-            if (rec != nullptr)
+            if (failed) {
+                auto err = std::make_exception_ptr(
+                    ShardFailedError(shard));
+                if (r.write)
+                    r.writeDone.set_exception(err);
+                else
+                    r.readDone.set_exception(err);
+            }
+            // A failed shard performs no protocol access for the
+            // request, so there is nothing for the schedule
+            // recorder's adversary to see.
+            if (rec != nullptr && !failed)
                 rec->record(shard, r.write);
         }
+        publishHealth(shard, failed);
         live_.incCounter(accessesName_[shard], n);
         live_.sampleHistogram(batchSizeName_[shard], n);
         noteCompleted(n);
     }
+}
+
+void
+ShardedSecureMemory::publishHealth(unsigned shard, bool failed)
+{
+    ShardHealth h = ShardHealth::Healthy;
+    if (failed) {
+        h = ShardHealth::Failed;
+    } else {
+        const fault::FaultInjector *inj =
+            shards_[shard]->faultInjector();
+        if (inj != nullptr && (inj->quarantinedUnits() > 0 ||
+                               inj->unrecoveredTotal() > 0 ||
+                               inj->retiredUnits() > 0))
+            h = ShardHealth::Degraded;
+    }
+    health_[shard].store(static_cast<int>(h),
+                         std::memory_order_release);
 }
 
 void
@@ -250,6 +323,7 @@ ShardedSecureMemory::metrics()
     out.setCounter("serve.max_batch", maxBatch_);
     out.setCounter("serve.queue_capacity", queues_[0]->capacity());
     std::uint64_t total = 0;
+    unsigned healthCounts[3] = {0, 0, 0};
     for (unsigned i = 0; i < numShards_; ++i) {
         const std::string s = "serve.s" + std::to_string(i);
         const std::uint64_t acc = live_.counter(accessesName_[i]);
@@ -264,9 +338,15 @@ ShardedSecureMemory::metrics()
         out.setCounter(s + ".enqueue_stalls",
                        queues_[i]->pushStalls());
         out.setCounter(s + ".stall_ns", queues_[i]->stallNs());
+        const ShardHealth h = shardHealth(i);
+        out.setGauge(s + ".health", static_cast<double>(h));
+        ++healthCounts[static_cast<int>(h)];
         out.merge(shards_[i]->metrics());
     }
     out.setCounter("serve.requests", total);
+    out.setGauge("serve.shard_health.healthy", healthCounts[0]);
+    out.setGauge("serve.shard_health.degraded", healthCounts[1]);
+    out.setGauge("serve.shard_health.failed", healthCounts[2]);
     return out;
 }
 

@@ -35,6 +35,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +53,46 @@ class ChannelObserver;
 
 namespace secdimm::serve
 {
+
+/**
+ * Typed per-request error of a dead shard: a shard whose
+ * SecureMemorySystem reached FailStop keeps draining its queue, but
+ * every affected future resolves with this exception instead of
+ * fabricated zeros -- and instead of taking the process (and the
+ * other shards) down.  The sync facade rethrows it from get().
+ */
+class ShardFailedError : public std::runtime_error
+{
+  public:
+    explicit ShardFailedError(unsigned shard)
+        : std::runtime_error("shard " + std::to_string(shard) +
+                             " failed (FailStop): request not served"),
+          shard_(shard)
+    {
+    }
+
+    unsigned shard() const { return shard_; }
+
+  private:
+    unsigned shard_;
+};
+
+/**
+ * Point-in-time health of one shard, exported as the
+ * `serve.sN.health` / `serve.shard_health.*` gauges:
+ *  - Healthy:  integrity holds, nothing quarantined;
+ *  - Degraded: still serving, but units were quarantined or faults
+ *              went unrecovered (capacity/latency degraded);
+ *  - Failed:   FailStop reached; requests resolve ShardFailedError.
+ */
+enum class ShardHealth : int
+{
+    Healthy = 0,
+    Degraded = 1,
+    Failed = 2,
+};
+
+const char *shardHealthName(ShardHealth h);
 
 /** Byte-addressable oblivious memory served by N shard threads. */
 class ShardedSecureMemory
@@ -74,6 +115,13 @@ class ShardedSecureMemory
         std::size_t queueCapacity = 64;
         /** Max requests a worker drains per wakeup; 1 = no batching. */
         unsigned maxBatch = 8;
+        /**
+         * Per-shard fault-plan overrides (chaos campaigns): shard i
+         * runs shardFaultPlans[i] instead of shard.faultPlan when the
+         * vector has an entry for it.  Shorter-than-numShards vectors
+         * leave the remaining shards on the template plan.
+         */
+        std::vector<fault::FaultPlan> shardFaultPlans;
     };
 
     explicit ShardedSecureMemory(const Options &options);
@@ -161,6 +209,18 @@ class ShardedSecureMemory
     bool integrityOk();
 
     /**
+     * Health of one shard, as last published by its worker (no
+     * drain; safe from any thread).  A Failed shard stays in the
+     * rotation -- its queue keeps draining, its requests resolve
+     * ShardFailedError -- so one dead shard never blocks the rest.
+     */
+    ShardHealth shardHealth(unsigned shard) const
+    {
+        return static_cast<ShardHealth>(
+            health_[shard].load(std::memory_order_acquire));
+    }
+
+    /**
      * Attach a passive trace observer to shard @p shard's externally
      * visible channel (see SecureMemorySystem::attachObserver).
      * Attach before submitting traffic; returns attach-point count.
@@ -197,12 +257,19 @@ class ShardedSecureMemory
     void noteSubmitted(unsigned shard);
     void noteCompleted(std::size_t n);
 
+    /** Re-derive and publish shard @p shard's health gauge. */
+    void publishHealth(unsigned shard, bool failed);
+
     unsigned numShards_;
     unsigned maxBatch_;
     std::uint64_t capacityBlocks_ = 0;
     std::vector<std::unique_ptr<core::SecureMemorySystem>> shards_;
     std::vector<std::unique_ptr<BoundedMpscQueue<Request>>> queues_;
     std::vector<std::thread> workers_;
+
+    /** Worker-published ShardHealth per shard (atomics are not
+     *  movable, hence the unique_ptr array). */
+    std::unique_ptr<std::atomic<int>[]> health_;
 
     /** serve.sN.* metric names, precomputed per shard. */
     std::vector<std::string> accessesName_;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -105,6 +106,42 @@ TEST(BoundedMpscQueue, ManyProducersOneConsumer)
         last[p] = v % kPerProducer;
     }
     EXPECT_LE(q.highWater(), 8u);
+}
+
+TEST(BoundedMpscQueue, CloseWhileProducersBlockedOnFullQueue)
+{
+    // Producers parked in push() on a FULL queue must all unblock at
+    // close() with a definite outcome: the item is rejected (false),
+    // never silently enqueued past the close nor left hanging.
+    constexpr unsigned kProducers = 3;
+    BoundedMpscQueue<int> q(2);
+    ASSERT_TRUE(q.push(100));
+    ASSERT_TRUE(q.push(101));
+
+    std::atomic<unsigned> rejected{0};
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, &rejected, p] {
+            if (!q.push(static_cast<int>(200 + p)))
+                ++rejected;
+        });
+    }
+    // Wait until every producer is provably parked on the full queue.
+    while (q.pushStalls() < kProducers)
+        std::this_thread::yield();
+
+    q.close();
+    for (auto &p : producers)
+        p.join();
+    EXPECT_EQ(rejected.load(), kProducers);
+
+    // Items accepted before the close still drain, then the consumer
+    // sees the closed-and-empty signal.
+    std::vector<int> out;
+    EXPECT_EQ(q.popBatch(out, 10), 2u);
+    EXPECT_EQ(out, (std::vector<int>{100, 101}));
+    EXPECT_EQ(q.popBatch(out, 10), 0u);
+    EXPECT_FALSE(q.push(7));
 }
 
 } // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Chaos-layer acceptance: correlated multi-unit failure groups,
+ * re-entrant (nested) recovery, the zero-survivor fail-stop, and
+ * proactive latency-tax retirement.  Everything is seeded and
+ * deterministic; the data-survival assertions are bit-exact.
+ *
+ * The MidSweepRedraw regression pins the nastiest interaction found
+ * while building the layer: a nested evacuation triggered inside a
+ * slot's per-unit APPEND sweep can redraw that slot's destination
+ * onto a unit the sweep had already passed, which silently dropped
+ * the block until the slot-re-run fix.  It fires across many write
+ * orders because the loss was order-dependent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "sdimm/indep_split_oram.hh"
+#include "sdimm/independent_oram.hh"
+#include "util/rng.hh"
+
+namespace secdimm::verify
+{
+namespace
+{
+
+BlockData
+valueBlock(std::uint64_t b)
+{
+    BlockData d{};
+    for (std::size_t i = 0; i < d.size(); ++i)
+        d[i] = static_cast<std::uint8_t>(
+            (b * 0x9e3779b97f4a7c15ull + i * 131) & 0xff);
+    return d;
+}
+
+sdimm::IndependentOram::Params
+indepParams(unsigned units)
+{
+    sdimm::IndependentOram::Params p;
+    p.perSdimm.levels = 6;
+    p.perSdimm.stashCapacity = 200;
+    p.numSdimms = units;
+    return p;
+}
+
+sdimm::IndepSplitOram::Params
+groupParams(unsigned groups)
+{
+    sdimm::IndepSplitOram::Params p;
+    p.perGroupTree.levels = 6;
+    p.perGroupTree.stashCapacity = 200;
+    p.groups = groups;
+    p.slicesPerGroup = 2;
+    return p;
+}
+
+/** Write blocks 0..n-1 in a seeded shuffled order. */
+template <typename Oram>
+void
+writeShuffled(Oram &o, std::uint64_t n, std::uint64_t order_seed)
+{
+    std::vector<std::uint64_t> order(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        order[i] = i;
+    Rng rng(order_seed);
+    for (std::uint64_t i = n - 1; i > 0; --i)
+        std::swap(order[i], order[rng.nextBelow(i + 1)]);
+    for (const std::uint64_t b : order) {
+        const BlockData d = valueBlock(b);
+        o.access(b, oram::OramOp::Write, &d);
+    }
+}
+
+template <typename Oram>
+std::uint64_t
+countCorrupt(Oram &o, std::uint64_t n)
+{
+    std::uint64_t bad = 0;
+    for (std::uint64_t b = 0; b < n; ++b) {
+        if (o.access(b, oram::OramOp::Read, nullptr) != valueBlock(b))
+            ++bad;
+    }
+    return bad;
+}
+
+void
+expectLedgerIdentity(const fault::FaultInjector &inj)
+{
+    EXPECT_EQ(inj.detectedTotal(),
+              inj.recoveredTotal() + inj.unrecoveredTotal())
+        << "ledger identity broken: detected="
+        << inj.detectedTotal() << " recovered=" << inj.recoveredTotal()
+        << " unrecovered=" << inj.unrecoveredTotal();
+}
+
+TEST(ChaosRecovery, CorrelatedBurstNestsInsideEvacuation)
+{
+    // Units 1 and 2 die in one simultaneous burst: the watchdog finds
+    // unit 1 first, and unit 2's death is discovered INSIDE unit 1's
+    // evacuation stream -- the recovery must nest, keep the ledger
+    // identity, and lose no data.
+    fault::FaultInjector inj(
+        fault::FaultPlan::correlatedDeath({1, 2}, 16, 0, 7));
+    sdimm::IndependentOram o(indepParams(4), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 256;
+    writeShuffled(o, n, 3);
+
+    EXPECT_GT(o.nestedEvacuations(), 0u)
+        << "the burst should be discovered mid-evacuation";
+    EXPECT_EQ(o.quarantinedCount(), 2u);
+    EXPECT_FALSE(o.failedStop());
+    EXPECT_TRUE(o.integrityOk());
+    EXPECT_EQ(countCorrupt(o, n), 0u);
+    expectLedgerIdentity(inj);
+    EXPECT_EQ(inj.unrecoveredTotal(), 0u)
+        << "a survivable burst must be fully recovered";
+    EXPECT_EQ(inj.correlatedGroups(), 1u);
+    EXPECT_EQ(inj.correlatedUnits(), 2u);
+    EXPECT_EQ(inj.correlatedActivations(), 2u);
+}
+
+TEST(ChaosRecovery, CascadeWithGapAlsoSurvives)
+{
+    // A cascade (gap > 0): unit 1 at access 16, unit 2 at access 24.
+    // Both deaths are detected by the normal sweep; recovery must
+    // leave the same end state as the burst.
+    fault::FaultInjector inj(
+        fault::FaultPlan::correlatedDeath({1, 2}, 16, 8, 7));
+    sdimm::IndependentOram o(indepParams(4), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 256;
+    writeShuffled(o, n, 5);
+    EXPECT_EQ(o.quarantinedCount(), 2u);
+    EXPECT_TRUE(o.integrityOk());
+    EXPECT_EQ(countCorrupt(o, n), 0u);
+    expectLedgerIdentity(inj);
+}
+
+TEST(ChaosRecovery, MidSweepRedrawRegression)
+{
+    // Regression for the mid-sweep destination redraw: across many
+    // write orders, a nested evacuation must never drop the slot
+    // whose APPEND sweep it interrupted.
+    for (std::uint64_t order_seed = 0; order_seed < 24; ++order_seed) {
+        fault::FaultInjector inj(
+            fault::FaultPlan::correlatedDeath({1, 2}, 16, 0, 12345));
+        sdimm::IndependentOram o(indepParams(4), 99);
+        o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+        const std::uint64_t n = 192;
+        writeShuffled(o, n, order_seed * 7919 + 11);
+        EXPECT_EQ(countCorrupt(o, n), 0u)
+            << "data lost with write order seed " << order_seed;
+        expectLedgerIdentity(inj);
+    }
+}
+
+TEST(ChaosRecovery, IndepSplitBurstNestsAtGroupLevel)
+{
+    fault::FaultInjector inj(
+        fault::FaultPlan::correlatedDeath({1, 2}, 16, 0, 7));
+    sdimm::IndepSplitOram o(groupParams(4), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 256;
+    writeShuffled(o, n, 3);
+    EXPECT_GT(o.nestedEvacuations(), 0u);
+    EXPECT_EQ(o.quarantinedGroupCount(), 2u);
+    EXPECT_TRUE(o.integrityOk());
+    EXPECT_EQ(countCorrupt(o, n), 0u);
+    expectLedgerIdentity(inj);
+}
+
+TEST(ChaosRecovery, ZeroSurvivorBurstFailsStopWithDistinctLedgerEntry)
+{
+    // Every unit dies at once: nothing is left to evacuate onto, so
+    // the handler must fail-stop with the distinct zero-survivor
+    // ledger entry instead of recursing into a corner.
+    fault::FaultInjector inj(
+        fault::FaultPlan::correlatedDeath({0, 1, 2, 3}, 8, 0, 7));
+    sdimm::IndependentOram o(indepParams(4), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 64;
+    writeShuffled(o, n, 3);
+
+    EXPECT_TRUE(o.failedStop());
+    EXPECT_FALSE(o.integrityOk());
+    EXPECT_EQ(inj.zeroSurvivorFailStops(), 1u);
+    EXPECT_GE(inj.unrecoveredTotal(), 1u)
+        << "the zero-survivor death must be ledgered as unrecovered";
+    expectLedgerIdentity(inj);
+}
+
+TEST(ChaosRecovery, ZeroSurvivorGroupBurstFailsStop)
+{
+    fault::FaultInjector inj(
+        fault::FaultPlan::correlatedDeath({0, 1}, 8, 0, 7));
+    sdimm::IndepSplitOram o(groupParams(2), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 64;
+    writeShuffled(o, n, 3);
+    EXPECT_TRUE(o.failedStop());
+    EXPECT_EQ(inj.zeroSurvivorFailStops(), 1u);
+    expectLedgerIdentity(inj);
+}
+
+TEST(ProactiveRetirement, DegradedUnitIsEvacuatedBeforeItDies)
+{
+    // Unit 1 pays 1000 cycles of tax per access; with threshold 500
+    // and the default hysteresis streak the EWMA crosses within ~11
+    // accesses, and the unit is obliviously retired while still
+    // functionally alive.
+    fault::FaultInjector inj(
+        fault::FaultPlan::proactiveRetire(1, 1000, 500, 7));
+    sdimm::IndependentOram o(indepParams(4), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 256;
+    writeShuffled(o, n, 3);
+
+    EXPECT_EQ(o.retiredUnits(), 1u);
+    EXPECT_EQ(inj.retiredUnits(), 1u);
+    EXPECT_TRUE(inj.unitRetired(1));
+    EXPECT_EQ(o.quarantinedCount(), 1u);
+    EXPECT_FALSE(o.failedStop());
+    EXPECT_TRUE(o.integrityOk());
+    EXPECT_EQ(countCorrupt(o, n), 0u);
+
+    // Retirement is ledger-neutral: latency tax is not a fault.
+    EXPECT_EQ(inj.unrecoveredTotal(), 0u);
+    expectLedgerIdentity(inj);
+    EXPECT_GT(inj.unitTaxEwma(1), 500.0);
+}
+
+TEST(ProactiveRetirement, NeverRetiresTheLastUnit)
+{
+    // EVERY unit limps above the threshold: the policy may retire all
+    // but one, and the survivor keeps serving.
+    fault::FaultPlan p;
+    for (unsigned u = 0; u < 4; ++u) {
+        fault::PermanentFault f;
+        f.kind = fault::PermanentFaultKind::DegradedLatency;
+        f.unit = u;
+        f.latencyCycles = 1000;
+        p.permanentFaults.push_back(f);
+    }
+    p.retireTaxThresholdCycles = 500;
+    p.seed = 7;
+    fault::FaultInjector inj(p);
+    sdimm::IndependentOram o(indepParams(4), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 256;
+    writeShuffled(o, n, 3);
+
+    EXPECT_LE(o.retiredUnits(), 3u);
+    EXPECT_LT(o.quarantinedCount(), 4u);
+    EXPECT_FALSE(o.failedStop());
+    EXPECT_TRUE(o.integrityOk());
+    EXPECT_EQ(countCorrupt(o, n), 0u);
+    expectLedgerIdentity(inj);
+}
+
+TEST(ProactiveRetirement, HealthyUnitsAreNeverRetired)
+{
+    // Transients alone must not trip the latency-tax policy.
+    fault::FaultPlan p = fault::FaultPlan::uniform(0.01, 7);
+    p.retireTaxThresholdCycles = 500;
+    fault::FaultInjector inj(p);
+    sdimm::IndependentOram o(indepParams(4), 11);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+
+    const std::uint64_t n = 128;
+    writeShuffled(o, n, 3);
+    EXPECT_EQ(o.retiredUnits(), 0u);
+    EXPECT_EQ(inj.retireCandidates(), 0u);
+    EXPECT_EQ(o.quarantinedCount(), 0u);
+    EXPECT_EQ(countCorrupt(o, n), 0u);
+}
+
+} // namespace
+} // namespace secdimm::verify

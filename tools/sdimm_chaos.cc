@@ -1,0 +1,767 @@
+/**
+ * @file
+ * Chaos-campaign CLI: composes transient, permanent, and CORRELATED
+ * faults against a multi-threaded ShardedSecureMemory under client
+ * load, then measures that the wreckage stayed contained:
+ *
+ *  - ledger identity on every live shard (detected == recovered +
+ *    unrecovered, held exactly through nested evacuations);
+ *  - bit-exact data survival of every block owned by a live shard
+ *    (evacuation off dead/retired units must not lose a byte);
+ *  - typed degradation of the dead shard (every request resolves
+ *    serve::ShardFailedError; no hang, no fabricated zeros);
+ *  - serve.shard_health gauges consistent with what actually died;
+ *  - nested-recovery evidence (a correlated burst detected INSIDE a
+ *    running evacuation), proactive retirement evidence, and the
+ *    zero-survivor FailStop with its distinct ledger entry;
+ *  - post-chaos indistinguishability: deepCompareTraces over two
+ *    secret-differing runs with the SAME (public) fault plan,
+ *    compareSchedules over two secret-differing sharded runs, and a
+ *    zero-MI leak_meter measurement with chaos armed.
+ *
+ * Usage:
+ *   sdimm_chaos [--design path|freecursive|independent|split|
+ *                 indepsplit|all]
+ *               [--seed S] [--seeds N] [--requests N] [--threads T]
+ *               [--shards N] [--out FILE] [--check]
+ *
+ * `--check` turns the verdict into an exit status for CI: 0 = every
+ * campaign and post-chaos expectation held, 1 = violated, 2 = usage
+ * error.  `--seeds N` runs the campaign phase at seeds S..S+N-1 (the
+ * post-chaos phase runs once, at S).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/secure_memory_system.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan_io.hh"
+#include "sdimm/indep_split_oram.hh"
+#include "sdimm/independent_oram.hh"
+#include "sdimm/split_oram.hh"
+#include "serve/sharded_memory.hh"
+#include "util/rng.hh"
+#include "verify/leak_meter.hh"
+#include "verify/trace_checker.hh"
+
+namespace
+{
+
+using namespace secdimm;
+using Protocol = core::SecureMemorySystem::Protocol;
+
+struct DesignSpec
+{
+    const char *cli;
+    const char *name;
+    Protocol protocol;
+    /** Consumes unitDead(): correlated death / retirement / watchdog
+     *  quarantine apply (Independent and IndepSplit). */
+    bool unitDesign;
+    /** leak_meter expectation (the PLB locality channel). */
+    bool expectLeak;
+};
+
+const std::vector<DesignSpec> kDesigns = {
+    {"path", "PathOram", Protocol::PathOram, false, false},
+    {"freecursive", "Freecursive", Protocol::Freecursive, false, true},
+    {"independent", "Independent", Protocol::Independent, true, false},
+    {"split", "Split", Protocol::Split, false, false},
+    {"indepsplit", "IndepSplit", Protocol::IndepSplit, true, false},
+};
+
+/** SDIMM/group count inside each unit-design shard: big enough that a
+ *  2-unit correlated burst leaves survivors to evacuate onto. */
+constexpr unsigned kUnitsPerShard = 4;
+
+/* ------------------------------------------------------------------ */
+/* Per-shard chaos plans                                               */
+/* ------------------------------------------------------------------ */
+
+/** Mild uniform transients: recoverable under the default retry
+ *  budget, so they exercise the ledger without killing anything. */
+fault::FaultPlan
+transientPlan(std::uint64_t seed)
+{
+    return fault::FaultPlan::uniform(0.002, seed);
+}
+
+/** Shard 1 (unit designs): units 1 and 2 die as one simultaneous
+ *  burst -- the second death is discovered INSIDE the evacuation of
+ *  the first (nested recovery). */
+fault::FaultPlan
+burstPlan(std::uint64_t seed)
+{
+    fault::FaultPlan p =
+        fault::FaultPlan::correlatedDeath({1, 2}, 64, 0, seed);
+    p.linkCorruptRate = 0.002;
+    p.linkDropRate = 0.002;
+    return p;
+}
+
+/** Shard 2 (unit designs): unit 1 limps (1000 cycles of tax per op)
+ *  and the retirement policy evacuates it proactively. */
+fault::FaultPlan
+retirePlan(std::uint64_t seed)
+{
+    return fault::FaultPlan::proactiveRetire(1, 1000, 500, seed);
+}
+
+/** The dead shard.  Unit designs: EVERY unit dies in one burst, so
+ *  the last handleDead lands on zero survivors and fail-stops with
+ *  the distinct ledger entry.  Flat designs: saturating transients
+ *  with no retry budget, so the first fault goes unrecovered. */
+fault::FaultPlan
+deadShardPlan(bool unit_design, std::uint64_t seed)
+{
+    if (unit_design) {
+        std::vector<unsigned> all;
+        for (unsigned u = 0; u < kUnitsPerShard; ++u)
+            all.push_back(u);
+        return fault::FaultPlan::correlatedDeath(all, 32, 0, seed);
+    }
+    fault::FaultPlan p = fault::FaultPlan::uniform(0.25, seed);
+    p.maxRetries = 0;
+    return p;
+}
+
+/** One plan per shard; the LAST shard gets the dead-shard plan. */
+std::vector<fault::FaultPlan>
+campaignPlans(const DesignSpec &spec, unsigned shards,
+              std::uint64_t seed)
+{
+    std::vector<fault::FaultPlan> plans;
+    for (unsigned s = 0; s < shards; ++s) {
+        const std::uint64_t shard_seed = seed * 1000003 + s;
+        if (s + 1 == shards)
+            plans.push_back(deadShardPlan(spec.unitDesign, shard_seed));
+        else if (spec.unitDesign && s == 1)
+            plans.push_back(burstPlan(shard_seed));
+        else if (spec.unitDesign && s == 2)
+            plans.push_back(retirePlan(shard_seed));
+        else
+            plans.push_back(transientPlan(shard_seed));
+    }
+    return plans;
+}
+
+serve::ShardedSecureMemory::Options
+campaignOptions(const DesignSpec &spec, unsigned shards,
+                std::uint64_t seed)
+{
+    serve::ShardedSecureMemory::Options o;
+    o.shard.protocol = spec.protocol;
+    o.shard.capacityBytes = 1 << 18; // 4096 blocks across the service.
+    o.shard.numSdimms = spec.unitDesign ? kUnitsPerShard : 2;
+    o.shard.stashCapacity = 200;
+    o.shard.seed = seed;
+    o.shard.degradationPolicy = spec.unitDesign
+                                    ? fault::DegradationPolicy::Degraded
+                                    : fault::DegradationPolicy::RetryThenStop;
+    o.numShards = shards;
+    o.shardFaultPlans = campaignPlans(spec, shards, seed);
+    return o;
+}
+
+/* ------------------------------------------------------------------ */
+/* Phase A: the sharded chaos campaign                                 */
+/* ------------------------------------------------------------------ */
+
+BlockData
+stampBlock(std::uint64_t block, std::uint64_t seed)
+{
+    BlockData d{};
+    const std::uint64_t tag = block * 0x9e3779b97f4a7c15ull + seed;
+    for (std::size_t i = 0; i < blockBytes; ++i)
+        d[i] = static_cast<std::uint8_t>(
+            (tag >> ((i % 8) * 8)) ^ (0x5a + i));
+    return d;
+}
+
+struct ShardOutcome
+{
+    unsigned shard = 0;
+    serve::ShardHealth health = serve::ShardHealth::Healthy;
+    std::uint64_t errors = 0; ///< ShardFailedError count seen by clients.
+    std::uint64_t detected = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t unrecovered = 0;
+    std::uint64_t nestedEvacuations = 0;
+    std::uint64_t retiredUnits = 0;
+    std::uint64_t zeroSurvivorFailStops = 0;
+    bool ledgerOk = false;
+};
+
+struct CampaignResult
+{
+    std::uint64_t seed = 0;
+    std::vector<ShardOutcome> shards;
+    std::uint64_t verifiedBlocks = 0;
+    std::uint64_t skippedDeadBlocks = 0;
+    std::uint64_t corruptBlocks = 0;
+    bool dataOk = false;
+    bool typedErrorsOk = false;
+    bool healthOk = false;
+    bool ledgerOk = false;
+    bool nestedOk = false;
+    bool retiredOk = false;
+    bool zeroSurvivorOk = false;
+    bool pass = false;
+};
+
+/** Counter prefix of the unit-protocol metrics inside one shard. */
+std::string
+unitMetricPrefix(const DesignSpec &spec)
+{
+    return spec.protocol == Protocol::IndepSplit ? "sdimm.indep_split"
+                                                 : "sdimm";
+}
+
+CampaignResult
+runCampaign(const DesignSpec &spec, std::uint64_t seed,
+            std::uint64_t requests, unsigned threads, unsigned shards)
+{
+    CampaignResult r;
+    r.seed = seed;
+
+    serve::ShardedSecureMemory mem(campaignOptions(spec, shards, seed));
+    const std::uint64_t cap = mem.capacityBlocks();
+    const std::uint64_t stamped = std::min<std::uint64_t>(requests, cap);
+
+    // T clients each write a contiguous chunk of the stamped range;
+    // consecutive blocks alternate shards, so every client hits every
+    // shard (including the one that dies under it).
+    std::vector<std::vector<std::uint64_t>> errs(
+        threads, std::vector<std::uint64_t>(shards, 0));
+    const std::uint64_t per_thread = (requests + threads - 1) / threads;
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            const std::uint64_t lo = t * per_thread;
+            const std::uint64_t hi =
+                std::min<std::uint64_t>(requests, lo + per_thread);
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                const std::uint64_t block = i % cap;
+                try {
+                    mem.writeBlock(block, stampBlock(block, seed));
+                } catch (const serve::ShardFailedError &e) {
+                    ++errs[t][e.shard()];
+                }
+            }
+        });
+    }
+    for (std::thread &c : clients)
+        c.join();
+    mem.drain();
+
+    // Survival: every stamped block owned by a live shard reads back
+    // bit-exact (nested evacuation and retirement must not lose data).
+    for (std::uint64_t b = 0; b < stamped; ++b) {
+        const unsigned shard = mem.shardOf(b);
+        if (mem.shardHealth(shard) == serve::ShardHealth::Failed) {
+            ++r.skippedDeadBlocks;
+            continue;
+        }
+        try {
+            if (mem.readBlock(b) != stampBlock(b, seed)) {
+                ++r.corruptBlocks;
+                std::fprintf(stderr,
+                             "corrupt block %llu (shard %u)\n",
+                             static_cast<unsigned long long>(b), shard);
+            }
+            ++r.verifiedBlocks;
+        } catch (const serve::ShardFailedError &e) {
+            ++errs[0][e.shard()]; // Died between write and verify.
+            ++r.skippedDeadBlocks;
+        }
+    }
+
+    const std::string unit_prefix = unitMetricPrefix(spec);
+    for (unsigned s = 0; s < shards; ++s) {
+        ShardOutcome o;
+        o.shard = s;
+        o.health = mem.shardHealth(s);
+        for (unsigned t = 0; t < threads; ++t)
+            o.errors += errs[t][s];
+        const util::MetricsRegistry sm = mem.shardMetrics(s);
+        o.detected = sm.counter("fault.detected.total");
+        o.recovered = sm.counter("fault.recovered.total");
+        o.unrecovered = sm.counter("fault.unrecovered.total");
+        o.zeroSurvivorFailStops =
+            sm.counter("fault.zero_survivor_failstops");
+        o.nestedEvacuations =
+            sm.counter(unit_prefix + ".nested_evacuations");
+        o.retiredUnits = sm.counter(unit_prefix + ".retired_units");
+        o.ledgerOk = o.detected == o.recovered + o.unrecovered;
+        r.shards.push_back(o);
+    }
+
+    const unsigned dead = shards - 1;
+    r.dataOk = r.corruptBlocks == 0 && r.verifiedBlocks > 0;
+    r.typedErrorsOk = r.shards[dead].errors > 0;
+    for (unsigned s = 0; s + 1 < shards; ++s)
+        r.typedErrorsOk = r.typedErrorsOk && r.shards[s].errors == 0;
+    r.ledgerOk = true;
+    for (const ShardOutcome &o : r.shards)
+        r.ledgerOk = r.ledgerOk && o.ledgerOk;
+
+    const util::MetricsRegistry all = mem.metrics();
+    const double healthy = all.gauge("serve.shard_health.healthy");
+    const double degraded = all.gauge("serve.shard_health.degraded");
+    const double failed = all.gauge("serve.shard_health.failed");
+    r.healthOk = failed >= 1.0 &&
+                 healthy + degraded + failed ==
+                     static_cast<double>(shards) &&
+                 r.shards[dead].health == serve::ShardHealth::Failed;
+
+    if (spec.unitDesign) {
+        r.nestedOk = r.shards[1].nestedEvacuations > 0;
+        r.retiredOk = r.shards[2].retiredUnits > 0;
+        r.zeroSurvivorOk = r.shards[dead].zeroSurvivorFailStops > 0;
+    } else {
+        // Flat designs have no evacuable units; the dead shard must
+        // still fail via the unrecovered-transient path.
+        r.nestedOk = true;
+        r.retiredOk = true;
+        r.zeroSurvivorOk = r.shards[dead].unrecovered > 0;
+    }
+    r.pass = r.dataOk && r.typedErrorsOk && r.healthOk && r.ledgerOk &&
+             r.nestedOk && r.retiredOk && r.zeroSurvivorOk;
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* Phase B: post-chaos indistinguishability                            */
+/* ------------------------------------------------------------------ */
+
+std::vector<verify::TraceEvent>
+clockedTrace(std::vector<verify::TraceEvent> t)
+{
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i].at = 10 * i;
+    return t;
+}
+
+/** One single-system run with the (public) chaos plan armed; the
+ *  secret is WHICH addresses the workload touches. */
+std::vector<verify::TraceEvent>
+deepRun(const DesignSpec &spec, std::uint64_t secret_seed,
+        std::uint64_t plan_seed, std::size_t accesses)
+{
+    if (spec.protocol == Protocol::PathOram ||
+        spec.protocol == Protocol::Freecursive) {
+        core::SecureMemorySystem::Options o;
+        o.protocol = spec.protocol;
+        o.capacityBytes = 1 << 18;
+        o.seed = plan_seed;
+        o.faultPlan = fault::FaultPlan::uniform(0.01, plan_seed);
+        core::SecureMemorySystem mem(o);
+        verify::ChannelObserver obs;
+        mem.attachObserver(obs);
+        Rng rng(secret_seed);
+        const std::uint64_t cap = mem.capacityBytes() / blockBytes;
+        for (std::size_t i = 0; i < accesses; ++i)
+            mem.readBlock(rng.nextBelow(cap));
+        return clockedTrace(obs.events());
+    }
+    if (spec.protocol == Protocol::Independent) {
+        sdimm::IndependentOram::Params p;
+        p.perSdimm.levels = 6;
+        p.perSdimm.stashCapacity = 200;
+        p.numSdimms = kUnitsPerShard;
+        fault::FaultPlan plan = burstPlan(plan_seed);
+        plan.correlatedFailures[0].atAccess = accesses / 4;
+        fault::FaultInjector inj(plan);
+        sdimm::IndependentOram o(p, plan_seed);
+        o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+        Rng rng(secret_seed);
+        for (std::size_t i = 0; i < accesses; ++i)
+            o.access(rng.nextBelow(o.capacityBlocks()),
+                     oram::OramOp::Read, nullptr);
+        std::vector<verify::TraceEvent> t;
+        for (const sdimm::BusEvent &e : o.busTrace())
+            t.push_back(verify::TraceEvent{
+                verify::TraceEventKind::ShortCmd,
+                (static_cast<std::uint64_t>(e.type) << 8) | e.sdimm, 0});
+        return clockedTrace(std::move(t));
+    }
+    if (spec.protocol == Protocol::IndepSplit) {
+        sdimm::IndepSplitOram::Params p;
+        p.perGroupTree.levels = 6;
+        p.perGroupTree.stashCapacity = 200;
+        p.groups = kUnitsPerShard;
+        p.slicesPerGroup = 2;
+        fault::FaultPlan plan = burstPlan(plan_seed);
+        plan.correlatedFailures[0].atAccess = accesses / 4;
+        fault::FaultInjector inj(plan);
+        sdimm::IndepSplitOram o(p, plan_seed);
+        o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+        Rng rng(secret_seed);
+        for (std::size_t i = 0; i < accesses; ++i)
+            o.access(rng.nextBelow(o.capacityBlocks()),
+                     oram::OramOp::Read, nullptr);
+        std::vector<verify::TraceEvent> t;
+        for (const sdimm::GroupBusEvent &e : o.busTrace())
+            t.push_back(verify::TraceEvent{
+                verify::TraceEventKind::ShortCmd,
+                (static_cast<std::uint64_t>(e.type) << 8) | e.group, 0});
+        return clockedTrace(std::move(t));
+    }
+    // Split: the visible channel is the leaf sequence.
+    sdimm::SplitOram::Params p;
+    p.tree.levels = 6;
+    p.tree.stashCapacity = 200;
+    p.slices = 2;
+    fault::FaultInjector inj(transientPlan(plan_seed));
+    sdimm::SplitOram o(p, plan_seed);
+    o.setFaultInjector(&inj);
+    Rng rng(secret_seed);
+    for (std::size_t i = 0; i < accesses; ++i)
+        o.access(rng.nextBelow(o.capacityBlocks()), oram::OramOp::Read,
+                 nullptr);
+    std::vector<verify::TraceEvent> t;
+    for (const LeafId leaf : o.leafTrace())
+        t.push_back(verify::TraceEvent{verify::TraceEventKind::Read,
+                                       leaf, 0});
+    return clockedTrace(std::move(t));
+}
+
+/** One sharded run under the chaos plans; returns the interleaved
+ *  completion schedule.  The secret is each client's address/op
+ *  stream. */
+std::vector<verify::ScheduleEvent>
+schedRun(const DesignSpec &spec, std::uint64_t campaign_seed,
+         std::uint64_t secret_seed, std::uint64_t requests,
+         unsigned threads, unsigned shards)
+{
+    verify::ScheduleRecorder rec;
+    serve::ShardedSecureMemory mem(
+        campaignOptions(spec, shards, campaign_seed));
+    mem.setScheduleRecorder(&rec);
+    const std::uint64_t cap = mem.capacityBlocks();
+    const std::uint64_t per_thread = (requests + threads - 1) / threads;
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            Rng rng(secret_seed * 8191 + t);
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                const std::uint64_t block = rng.nextBelow(cap);
+                const bool write = rng.nextBelow(2) == 1;
+                try {
+                    if (write)
+                        mem.writeBlock(block,
+                                       stampBlock(block, secret_seed));
+                    else
+                        mem.readBlock(block);
+                } catch (const serve::ShardFailedError &) {
+                    // Expected on the dead shard; keep the load up.
+                }
+            }
+        });
+    }
+    for (std::thread &c : clients)
+        c.join();
+    mem.shutdown();
+    return rec.events();
+}
+
+/** Locality-phased MI with chaos armed (the flat designs must still
+ *  measure zero; Freecursive's PLB channel must still be caught). */
+verify::LeakReport
+measureChaosMi(const DesignSpec &spec, const verify::PlbLeakOptions &opts)
+{
+    if (spec.protocol == Protocol::PathOram)
+        return verify::measurePlbLocalityLeak(verify::LeakDesign::PathOram,
+                                              opts);
+    if (spec.protocol == Protocol::Freecursive)
+        return verify::measurePlbLocalityLeak(
+            verify::LeakDesign::Freecursive, opts);
+    if (spec.protocol == Protocol::Independent) {
+        sdimm::IndependentOram::Params p;
+        p.perSdimm.levels = 6;
+        p.perSdimm.stashCapacity = 200;
+        p.numSdimms = kUnitsPerShard;
+        fault::FaultPlan plan =
+            fault::FaultPlan::hardDeath(1, opts.requests / 4, opts.seed);
+        plan.linkCorruptRate = 0.002;
+        fault::FaultInjector inj(plan);
+        sdimm::IndependentOram o(p, opts.seed);
+        o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+        return verify::measureLocalityLeakWith(
+            spec.name, o.capacityBlocks(), opts,
+            [&](Addr a) { o.access(a, oram::OramOp::Read, nullptr); },
+            [&] { return o.busTrace().size(); });
+    }
+    if (spec.protocol == Protocol::IndepSplit) {
+        sdimm::IndepSplitOram::Params p;
+        p.perGroupTree.levels = 6;
+        p.perGroupTree.stashCapacity = 200;
+        p.groups = 2;
+        p.slicesPerGroup = 2;
+        fault::FaultPlan plan =
+            fault::FaultPlan::hardDeath(1, opts.requests / 4, opts.seed);
+        plan.linkCorruptRate = 0.002;
+        fault::FaultInjector inj(plan);
+        sdimm::IndepSplitOram o(p, opts.seed);
+        o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+        return verify::measureLocalityLeakWith(
+            spec.name, o.capacityBlocks(), opts,
+            [&](Addr a) { o.access(a, oram::OramOp::Read, nullptr); },
+            [&] { return o.busTrace().size(); });
+    }
+    sdimm::SplitOram::Params p;
+    p.tree.levels = 6;
+    p.tree.stashCapacity = 200;
+    p.slices = 2;
+    fault::FaultInjector inj(transientPlan(opts.seed));
+    sdimm::SplitOram o(p, opts.seed);
+    o.setFaultInjector(&inj);
+    return verify::measureLocalityLeakWith(
+        spec.name, o.capacityBlocks(), opts,
+        [&](Addr a) { o.access(a, oram::OramOp::Read, nullptr); },
+        [&] { return o.leafTrace().size(); });
+}
+
+struct PostChaosResult
+{
+    bool deepPass = false;
+    bool schedPass = false;
+    verify::LeakReport mi;
+    bool expectLeak = false;
+    bool miOk = false;
+    bool pass = false;
+};
+
+PostChaosResult
+runPostChaos(const DesignSpec &spec, std::uint64_t seed,
+             std::uint64_t requests, unsigned threads, unsigned shards,
+             std::size_t mi_requests)
+{
+    PostChaosResult r;
+    const std::size_t deep_accesses = 1500;
+    const auto a =
+        deepRun(spec, seed * 11 + 1, seed, deep_accesses);
+    const auto b =
+        deepRun(spec, seed * 13 + 7, seed, deep_accesses);
+    r.deepPass = verify::deepCompareTraces(a, b).pass;
+
+    const auto sa =
+        schedRun(spec, seed, seed * 17 + 3, requests, threads, shards);
+    const auto sb =
+        schedRun(spec, seed, seed * 19 + 5, requests, threads, shards);
+    r.schedPass = verify::compareSchedules(sa, sb).pass;
+
+    verify::PlbLeakOptions mi_opts;
+    mi_opts.requests = mi_requests;
+    mi_opts.seed = seed;
+    r.mi = measureChaosMi(spec, mi_opts);
+    r.expectLeak = spec.expectLeak;
+    r.miOk = r.mi.mi.leakDetected() == r.expectLeak;
+
+    r.pass = r.deepPass && r.schedPass && r.miOk;
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* Reporting                                                           */
+/* ------------------------------------------------------------------ */
+
+const char *
+boolJson(bool v)
+{
+    return v ? "true" : "false";
+}
+
+std::string
+campaignJson(const CampaignResult &c)
+{
+    std::string j = "{\"seed\": " + std::to_string(c.seed) +
+                    ", \"shards\": [";
+    for (std::size_t s = 0; s < c.shards.size(); ++s) {
+        const ShardOutcome &o = c.shards[s];
+        j += s ? ", " : "";
+        j += "{\"shard\": " + std::to_string(o.shard) +
+             ", \"health\": \"" +
+             serve::shardHealthName(o.health) +
+             "\", \"errors\": " + std::to_string(o.errors) +
+             ", \"detected\": " + std::to_string(o.detected) +
+             ", \"recovered\": " + std::to_string(o.recovered) +
+             ", \"unrecovered\": " + std::to_string(o.unrecovered) +
+             ", \"nested_evacuations\": " +
+             std::to_string(o.nestedEvacuations) +
+             ", \"retired_units\": " + std::to_string(o.retiredUnits) +
+             ", \"zero_survivor_failstops\": " +
+             std::to_string(o.zeroSurvivorFailStops) +
+             ", \"ledger_ok\": " + boolJson(o.ledgerOk) + "}";
+    }
+    j += "], \"verified_blocks\": " + std::to_string(c.verifiedBlocks) +
+         ", \"skipped_dead_blocks\": " +
+         std::to_string(c.skippedDeadBlocks) +
+         ", \"corrupt_blocks\": " + std::to_string(c.corruptBlocks) +
+         ", \"data_ok\": " + boolJson(c.dataOk) +
+         ", \"typed_errors_ok\": " + boolJson(c.typedErrorsOk) +
+         ", \"health_ok\": " + boolJson(c.healthOk) +
+         ", \"ledger_ok\": " + boolJson(c.ledgerOk) +
+         ", \"nested_ok\": " + boolJson(c.nestedOk) +
+         ", \"retired_ok\": " + boolJson(c.retiredOk) +
+         ", \"zero_survivor_ok\": " + boolJson(c.zeroSurvivorOk) +
+         ", \"pass\": " + boolJson(c.pass) + "}";
+    return j;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--design path|freecursive|independent|split|"
+        "indepsplit|all]\n"
+        "          [--seed S] [--seeds N] [--requests N] [--threads T]\n"
+        "          [--shards N] [--mi-requests N] [--out FILE] "
+        "[--check]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string design = "all";
+    std::string out_path = "CHAOS_verdict.json";
+    std::uint64_t seed = 1;
+    unsigned seeds = 1;
+    std::uint64_t requests = 2048;
+    unsigned threads = 8;
+    unsigned shards = 4;
+    std::size_t mi_requests = 3000;
+    bool check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (std::strcmp(arg, "--design") == 0 && has_value) {
+            design = argv[++i];
+        } else if (std::strcmp(arg, "--seed") == 0 && has_value) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(arg, "--seeds") == 0 && has_value) {
+            seeds = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(arg, "--requests") == 0 && has_value) {
+            requests = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(arg, "--threads") == 0 && has_value) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(arg, "--shards") == 0 && has_value) {
+            shards = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(arg, "--mi-requests") == 0 && has_value) {
+            mi_requests = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(arg, "--out") == 0 && has_value) {
+            out_path = argv[++i];
+        } else if (std::strcmp(arg, "--check") == 0) {
+            check = true;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (seeds == 0 || threads == 0 || shards < 2 || requests == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    bool all_pass = true;
+    std::string designs_json;
+    bool any = false;
+    for (const DesignSpec &spec : kDesigns) {
+        if (design != "all" && design != spec.cli)
+            continue;
+        any = true;
+
+        std::string campaigns_json;
+        bool design_pass = true;
+        for (unsigned k = 0; k < seeds; ++k) {
+            const CampaignResult c =
+                runCampaign(spec, seed + k, requests, threads, shards);
+            std::printf(
+                "%-12s seed=%llu campaign %s  (data=%s typed=%s "
+                "health=%s ledger=%s nested=%s retired=%s zsurv=%s)\n",
+                spec.name,
+                static_cast<unsigned long long>(c.seed),
+                c.pass ? "PASS" : "FAIL", boolJson(c.dataOk),
+                boolJson(c.typedErrorsOk), boolJson(c.healthOk),
+                boolJson(c.ledgerOk), boolJson(c.nestedOk),
+                boolJson(c.retiredOk), boolJson(c.zeroSurvivorOk));
+            campaigns_json += campaigns_json.empty() ? "" : ",\n        ";
+            campaigns_json += campaignJson(c);
+            design_pass = design_pass && c.pass;
+        }
+
+        const PostChaosResult pc = runPostChaos(
+            spec, seed, requests, threads, shards, mi_requests);
+        std::printf("%-12s post-chaos %s  (deep=%s sched=%s mi=%s; %s)\n",
+                    spec.name, pc.pass ? "PASS" : "FAIL",
+                    boolJson(pc.deepPass), boolJson(pc.schedPass),
+                    boolJson(pc.miOk), pc.mi.mi.summary().c_str());
+        design_pass = design_pass && pc.pass;
+        all_pass = all_pass && design_pass;
+
+        std::string plans_json;
+        for (const fault::FaultPlan &p :
+             campaignPlans(spec, shards, seed)) {
+            plans_json += plans_json.empty() ? "" : ",\n        ";
+            plans_json += fault::faultPlanToJson(p);
+        }
+
+        designs_json += designs_json.empty() ? "\n    " : ",\n    ";
+        designs_json +=
+            "{\"design\": \"" + std::string(spec.name) +
+            "\",\n      \"plans\": [" + plans_json +
+            "],\n      \"campaigns\": [" + campaigns_json +
+            "],\n      \"post_chaos\": {\"deep_pass\": " +
+            boolJson(pc.deepPass) +
+            ", \"sched_pass\": " + boolJson(pc.schedPass) +
+            ", \"expect_leak\": " + boolJson(pc.expectLeak) +
+            ", \"mi_ok\": " + boolJson(pc.miOk) +
+            ", \"mi\": " + pc.mi.toJson() +
+            "},\n      \"pass\": " + boolJson(design_pass) + "}";
+    }
+    if (!any) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    const std::string json =
+        "{\n  \"tool\": \"sdimm_chaos\",\n"
+        "  \"schema\": \"secdimm-chaos-v1\",\n"
+        "  \"seed\": " + std::to_string(seed) +
+        ",\n  \"seeds\": " + std::to_string(seeds) +
+        ",\n  \"requests\": " + std::to_string(requests) +
+        ",\n  \"threads\": " + std::to_string(threads) +
+        ",\n  \"shards\": " + std::to_string(shards) +
+        ",\n  \"designs\": [" + designs_json +
+        "\n  ],\n  \"pass\": " + boolJson(all_pass) + "\n}\n";
+
+    std::ofstream f(out_path);
+    if (f) {
+        f << json;
+        std::printf("verdict written to %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    }
+
+    if (!check)
+        return 0;
+    if (!all_pass)
+        std::fprintf(stderr, "CHECK FAILED: see %s\n", out_path.c_str());
+    return all_pass ? 0 : 1;
+}
