@@ -23,6 +23,18 @@
  *   $ ./examples/trace_replay mcf --shards=4 --fault-plan=plan.json
  *   $ ./examples/trace_replay mcf SPLIT-2 1000 \
  *         --fault-plan='{"link_drop_rate": 0.001}'
+ *
+ * In sharded mode --protocol=<pathoram|freecursive|independent|split|
+ * indepsplit> picks each shard's backend (default pathoram) and
+ * --degraded switches the fault response from retry-then-stop to
+ * graceful degradation -- the combination byzantine fault plans need,
+ * since lies are injected per SDIMM unit and conviction evacuates the
+ * unit instead of fail-stopping:
+ *
+ *   $ ./examples/trace_replay mcf --shards=2 --protocol=independent \
+ *         --degraded --fault-plan='{"byzantine_faults":[{"kind":
+ *         "duty_cycle_liar","unit":1,"duty_cycle":0.25}],
+ *         "mistrust_convict_threshold":0.12}'
  */
 
 #include <chrono>
@@ -78,6 +90,32 @@ listOptions()
  * parsed, anything else is treated as inline JSON.  Returns false
  * (with a diagnostic on stderr) if the plan does not parse.
  */
+/** Resolve a --protocol argument (sharded mode's shard backend). */
+bool
+parseProtocol(const char *name, SecureMemorySystem::Protocol *out)
+{
+    using Protocol = SecureMemorySystem::Protocol;
+    if (std::strcmp(name, "pathoram") == 0)
+        *out = Protocol::PathOram;
+    else if (std::strcmp(name, "freecursive") == 0)
+        *out = Protocol::Freecursive;
+    else if (std::strcmp(name, "independent") == 0)
+        *out = Protocol::Independent;
+    else if (std::strcmp(name, "split") == 0)
+        *out = Protocol::Split;
+    else if (std::strcmp(name, "indepsplit") == 0)
+        *out = Protocol::IndepSplit;
+    else {
+        std::fprintf(stderr,
+                     "--protocol: unknown backend '%s' (expected "
+                     "pathoram, freecursive, independent, split, or "
+                     "indepsplit)\n",
+                     name);
+        return false;
+    }
+    return true;
+}
+
 bool
 loadFaultPlan(const char *arg, fault::FaultPlan *out)
 {
@@ -130,14 +168,17 @@ emitMetrics(const secdimm::util::MetricsRegistry &m,
 int
 replaySharded(const trace::WorkloadProfile &profile,
               std::uint64_t accesses, unsigned shards, unsigned batch,
+              SecureMemorySystem::Protocol protocol,
+              fault::DegradationPolicy policy,
               const fault::FaultPlan &fault_plan, bool dump_metrics,
               const std::string &metrics_path)
 {
     serve::ShardedSecureMemory::Options opt;
-    opt.shard.protocol = SecureMemorySystem::Protocol::PathOram;
+    opt.shard.protocol = protocol;
     opt.shard.capacityBytes = 1 << 20;
     opt.shard.seed = 1;
     opt.shard.faultPlan = fault_plan;
+    opt.shard.degradationPolicy = policy;
     opt.numShards = shards;
     opt.maxBatch = batch == 0 ? 1 : batch;
     serve::ShardedSecureMemory mem(opt);
@@ -251,6 +292,10 @@ main(int argc, char **argv)
     std::string metrics_path; // Empty = stdout.
     unsigned shards = 0;      // 0 = timing-simulator mode.
     unsigned batch = 1;
+    SecureMemorySystem::Protocol protocol =
+        SecureMemorySystem::Protocol::PathOram;
+    fault::DegradationPolicy policy =
+        fault::DegradationPolicy::RetryThenStop;
     fault::FaultPlan fault_plan = fault::FaultPlan::none();
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
@@ -265,6 +310,11 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
             batch = static_cast<unsigned>(
                 std::strtoul(argv[i] + 8, nullptr, 0));
+        } else if (std::strncmp(argv[i], "--protocol=", 11) == 0) {
+            if (!parseProtocol(argv[i] + 11, &protocol))
+                return 1;
+        } else if (std::strcmp(argv[i], "--degraded") == 0) {
+            policy = fault::DegradationPolicy::Degraded;
         } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
             if (!loadFaultPlan(argv[i] + 13, &fault_plan))
                 return 1;
@@ -294,7 +344,8 @@ main(int argc, char **argv)
             }
         }
         return replaySharded(*profile, accesses, shards, batch,
-                             fault_plan, dump_metrics, metrics_path);
+                             protocol, policy, fault_plan,
+                             dump_metrics, metrics_path);
     }
 
     const std::string design_name = pos.size() > 1 ? pos[1] : "SPLIT-2";

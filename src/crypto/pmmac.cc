@@ -24,6 +24,26 @@ truncateTag(const Aes128Block &full)
     return t;
 }
 
+/**
+ * Branchless tag comparison: a data-dependent early exit (or a
+ * compiler-synthesized branch on the XOR) would let an attacker with
+ * a timing oracle distinguish near-miss forgeries from far ones.
+ * Folding the 64-bit difference down to one bit keeps the instruction
+ * stream identical for every (actual, expected) pair.
+ */
+bool
+constantTimeTagEq(Tag64 a, Tag64 b)
+{
+    std::uint64_t diff = a ^ b;
+    diff |= diff >> 32;
+    diff |= diff >> 16;
+    diff |= diff >> 8;
+    diff |= diff >> 4;
+    diff |= diff >> 2;
+    diff |= diff >> 1;
+    return (diff & 1u) == 0;
+}
+
 } // namespace
 
 Tag64
@@ -40,7 +60,7 @@ Pmmac::verify(std::uint64_t id, std::uint64_t counter,
               const std::uint8_t *data, std::size_t len,
               Tag64 expected) const
 {
-    return tag(id, counter, data, len) == expected;
+    return constantTimeTagEq(tag(id, counter, data, len), expected);
 }
 
 void
@@ -71,7 +91,7 @@ Pmmac::verifyBatch(const PmmacItem *items, std::size_t n,
     tagBatch(items, n, actual.data());
     bool all = true;
     for (std::size_t i = 0; i < n; ++i) {
-        ok[i] = actual[i] == expected[i];
+        ok[i] = constantTimeTagEq(actual[i], expected[i]);
         all = all && ok[i];
     }
     return all;

@@ -38,6 +38,30 @@ kindName(FaultKind k)
         return "queue_perturb";
     case FaultKind::WatchdogTimeout:
         return "watchdog_timeout";
+    case FaultKind::ByzantineCorrupt:
+        return "byzantine_corrupt";
+    case FaultKind::ByzantineLostWrite:
+        return "byzantine_lost_write";
+    case FaultKind::ByzantineEquivocate:
+        return "byzantine_equivocate";
+    case FaultKind::ByzantineConvict:
+        return "byzantine_convict";
+    }
+    return "unknown";
+}
+
+const char *
+byzantineKindName(ByzantineFaultKind k)
+{
+    switch (k) {
+    case ByzantineFaultKind::PersistentCorrupt:
+        return "persistent_corrupt";
+    case ByzantineFaultKind::DutyCycleLiar:
+        return "duty_cycle_liar";
+    case ByzantineFaultKind::LostWrite:
+        return "lost_write";
+    case ByzantineFaultKind::Equivocate:
+        return "equivocate";
     }
     return "unknown";
 }
@@ -71,7 +95,11 @@ policyName(DegradationPolicy p)
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan)
-    : plan_(plan), rng_(plan.seed)
+    : plan_(plan), rng_(plan.seed),
+      // Derived, not shared: byzantine duty-cycle draws must never
+      // advance the transient stream (or vice versa), so arming a
+      // liar leaves every other fault position bit-identical.
+      byzRng_(plan.seed * 0x9e3779b97f4a7c15ull + 0xb12au)
 {
     auto addSite = [this](const PermanentFault &f, bool correlated) {
         PermanentState s;
@@ -221,6 +249,164 @@ FaultInjector::unitTaxEwma(unsigned unit) const
 {
     const auto it = retire_.find(unit);
     return it == retire_.end() ? 0.0 : it->second.ewma;
+}
+
+const ByzantineFault *
+FaultInjector::activeByzantine(unsigned unit,
+                               ByzantineFaultKind kind) const
+{
+    for (const ByzantineFault &b : plan_.byzantineFaults) {
+        if (b.unit == unit && b.kind == kind &&
+            accessIndex_ > b.fromAccess)
+            return &b;
+    }
+    return nullptr;
+}
+
+bool
+FaultInjector::unitByzantine(unsigned unit) const
+{
+    for (const ByzantineFault &b : plan_.byzantineFaults) {
+        if (b.unit == unit && accessIndex_ > b.fromAccess)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::rollByzantineCorrupt(unsigned unit)
+{
+    /*
+     * Whether a draw happens depends only on the plan and the access
+     * index (both public), so the byzantine stream position is a pure
+     * function of (plan, opportunity index) -- same discipline as the
+     * transient rolls, on a separate stream.
+     */
+    if (activeByzantine(unit, ByzantineFaultKind::PersistentCorrupt)) {
+        recordInjected(FaultKind::ByzantineCorrupt);
+        return true;
+    }
+    const ByzantineFault *liar =
+        activeByzantine(unit, ByzantineFaultKind::DutyCycleLiar);
+    if (!liar)
+        return false;
+    const bool lie = byzRng_.nextBool(liar->dutyCycle);
+    if (lie)
+        recordInjected(FaultKind::ByzantineCorrupt);
+    return lie;
+}
+
+bool
+FaultInjector::rollByzantineLostWrite(unsigned unit)
+{
+    const ByzantineFault *b =
+        activeByzantine(unit, ByzantineFaultKind::LostWrite);
+    if (!b)
+        return false;
+    const bool drop = byzRng_.nextBool(b->dutyCycle);
+    if (drop)
+        recordInjected(FaultKind::ByzantineLostWrite);
+    return drop;
+}
+
+bool
+FaultInjector::rollByzantineEquivocate(unsigned unit)
+{
+    const ByzantineFault *b =
+        activeByzantine(unit, ByzantineFaultKind::Equivocate);
+    if (!b)
+        return false;
+    const bool lie = byzRng_.nextBool(b->dutyCycle);
+    if (lie)
+        recordInjected(FaultKind::ByzantineEquivocate);
+    return lie;
+}
+
+void
+FaultInjector::noteLostWrite(std::uint64_t addr, unsigned unit)
+{
+    auto &entry = lostWrites_[addr];
+    entry.first = unit;
+    ++entry.second;
+}
+
+void
+FaultInjector::clearLostWrite(std::uint64_t addr)
+{
+    lostWrites_.erase(addr);
+}
+
+std::optional<std::pair<unsigned, unsigned>>
+FaultInjector::takeLostWrite(std::uint64_t addr)
+{
+    const auto it = lostWrites_.find(addr);
+    if (it == lostWrites_.end())
+        return std::nullopt;
+    const auto pending = it->second;
+    lostWrites_.erase(it);
+    return pending;
+}
+
+void
+FaultInjector::noteMistrust(unsigned unit, double failures)
+{
+    MistrustState &s = mistrust_[unit];
+    const double a = std::clamp(plan_.mistrustEwmaAlpha, 0.0, 1.0);
+    s.ewma = a * failures + (1.0 - a) * s.ewma;
+    s.totalBlame += failures;
+    if (!mistrustArmed() || s.convicted)
+        return;
+    if (s.ewma > plan_.mistrustConvictThreshold &&
+        s.totalBlame >= static_cast<double>(plan_.mistrustMinEvidence)) {
+        ++s.aboveStreak;
+        if (!s.candidate &&
+            s.aboveStreak >= plan_.mistrustHysteresisAccesses) {
+            s.candidate = true;
+            ++mistrustCandidates_;
+        }
+    } else {
+        // Hysteresis: honest transients decay the score back under
+        // the bar before the streak completes, so a noisy-but-honest
+        // unit is never convicted.
+        s.aboveStreak = 0;
+        s.candidate = false;
+    }
+}
+
+bool
+FaultInjector::convictionDue(unsigned unit) const
+{
+    const auto it = mistrust_.find(unit);
+    return it != mistrust_.end() && it->second.candidate &&
+           !it->second.convicted;
+}
+
+void
+FaultInjector::markConvicted(unsigned unit)
+{
+    MistrustState &s = mistrust_[unit];
+    if (s.convicted)
+        return;
+    s.convicted = true;
+    ++convictedUnits_;
+    // One ByzantineConvict episode: injected+detected here, paired by
+    // the caller with exactly one recovered or unrecovered record.
+    recordInjected(FaultKind::ByzantineConvict);
+    recordDetected(FaultKind::ByzantineConvict);
+}
+
+bool
+FaultInjector::unitConvicted(unsigned unit) const
+{
+    const auto it = mistrust_.find(unit);
+    return it != mistrust_.end() && it->second.convicted;
+}
+
+double
+FaultInjector::mistrustScore(unsigned unit) const
+{
+    const auto it = mistrust_.find(unit);
+    return it == mistrust_.end() ? 0.0 : it->second.ewma;
 }
 
 bool
@@ -458,6 +644,19 @@ FaultInjector::exportMetrics(util::MetricsRegistry &m,
     if (zeroSurvivorStops_)
         m.setCounter(prefix + ".zero_survivor_failstops",
                      zeroSurvivorStops_);
+    if (!plan_.byzantineFaults.empty())
+        m.setCounter(prefix + ".byzantine_units",
+                     plan_.byzantineFaults.size());
+    if (mistrustCandidates_)
+        m.setCounter("mistrust.candidates", mistrustCandidates_);
+    if (convictedUnits_)
+        m.setCounter("mistrust.convictions", convictedUnits_);
+    for (const auto &[unit, s] : mistrust_) {
+        if (s.ewma > 0.0)
+            m.setGauge("mistrust.unit" + std::to_string(unit) +
+                           ".score",
+                       s.ewma);
+    }
     if (retireCandidates_)
         m.setCounter("retire.candidates", retireCandidates_);
     if (retiredUnits_)

@@ -25,7 +25,9 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_plan.hh"
@@ -89,6 +91,94 @@ class FaultInjector
      * has no active undetected StuckAt/HardDeath.
      */
     void markPermanentDetected(unsigned unit);
+
+    /* --- byzantine faults ------------------------------------------ */
+
+    /**
+     * Any scripted byzantine behavior currently active on @p unit
+     * (accessIndex past the entry's fromAccess).  Activity is a pure
+     * function of (plan, access index) -- public data, never secrets.
+     */
+    bool unitByzantine(unsigned unit) const;
+
+    /** Scripted byzantine units in the plan (for metrics/tests). */
+    std::uint64_t byzantineUnits() const
+    {
+        return plan_.byzantineFaults.size();
+    }
+
+    /**
+     * Roll whether @p unit garbles THIS response.  Draws from the
+     * dedicated byzantine RNG stream exactly once per opportunity
+     * whenever the unit has an active PersistentCorrupt or
+     * DutyCycleLiar script (PersistentCorrupt always lies); returns
+     * false without drawing when it has neither.  Records one
+     * injected ByzantineCorrupt per lie.
+     */
+    bool rollByzantineCorrupt(unsigned unit);
+
+    /** Roll whether @p unit drops THIS real APPEND payload after
+     *  ACKing it (active LostWrite script only).  Records one
+     *  injected ByzantineLostWrite per dropped payload. */
+    bool rollByzantineLostWrite(unsigned unit);
+
+    /** Roll whether INDEP-SPLIT group @p unit equivocates on THIS
+     *  access (active Equivocate script only).  Records one injected
+     *  ByzantineEquivocate per lie. */
+    bool rollByzantineEquivocate(unsigned unit);
+
+    /**
+     * A LostWrite unit ACKed and dropped @p addr's real APPEND
+     * payload.  The entry stands in for the PMMAC freshness state a
+     * real deployment keeps CPU-side (per-block counters): the
+     * read-back audit deterministically discovers the stale chain,
+     * exactly as a counter-mirror mismatch would.
+     */
+    void noteLostWrite(std::uint64_t addr, unsigned unit);
+
+    /** A fresh real APPEND for @p addr landed somewhere: the pending
+     *  lost-write record (if any) is superseded. */
+    void clearLostWrite(std::uint64_t addr);
+
+    /**
+     * Read-back audit: pending dropped writes for @p addr as
+     * (culprit unit, drop count), erasing the record -- each drop is
+     * detected exactly once.  nullopt when nothing is pending.
+     */
+    std::optional<std::pair<unsigned, unsigned>>
+    takeLostWrite(std::uint64_t addr);
+
+    /* --- mistrust scoring ------------------------------------------ */
+
+    /** Conviction armed (plan.mistrustConvictThreshold > 0). */
+    bool mistrustArmed() const
+    {
+        return plan_.mistrustConvictThreshold > 0.0;
+    }
+
+    /**
+     * Feed one access's attributed integrity-failure count for
+     * @p unit into its mistrust EWMA (mistrust.unitN.score).  Call
+     * once per access per live unit, with 0 for a clean access --
+     * honest units decay, liars accrue.  Conviction arms only when
+     * plan.mistrustConvictThreshold > 0: the score must then sit
+     * above the threshold for plan.mistrustHysteresisAccesses
+     * CONSECUTIVE accesses before convictionDue() goes true.
+     */
+    void noteMistrust(unsigned unit, double failures);
+
+    /** Hysteresis satisfied and the unit not yet convicted. */
+    bool convictionDue(unsigned unit) const;
+
+    /** The protocol convicted @p unit: one ByzantineConvict episode
+     *  is opened (injected + detected) for the caller to pair with a
+     *  recovered (evacuation succeeded) or unrecovered (last
+     *  survivor) record, keeping the ledger identity exact. */
+    void markConvicted(unsigned unit);
+
+    bool unitConvicted(unsigned unit) const;
+    double mistrustScore(unsigned unit) const;
+    std::uint64_t convictedUnits() const { return convictedUnits_; }
 
     /* --- proactive retirement -------------------------------------- */
 
@@ -202,10 +292,38 @@ class FaultInjector
         bool retired = false;
     };
 
+    /** Per-unit mistrust EWMA + hysteresis for byzantine conviction
+     *  (same shape as RetireState; the tracked quantity is attributed
+     *  integrity failures per access instead of latency cycles). */
+    struct MistrustState {
+        double ewma = 0.0;
+        /** Lifetime attributed failures: the evidence floor
+         *  (plan.mistrustMinEvidence) reads this, so a couple of
+         *  unluckily adjacent transients can never convict no matter
+         *  how the EWMA streak lands. */
+        double totalBlame = 0.0;
+        unsigned aboveStreak = 0;
+        bool candidate = false;
+        bool convicted = false;
+    };
+
+    /** Active byzantine script of @p kind on @p unit, or nullptr. */
+    const ByzantineFault *activeByzantine(unsigned unit,
+                                          ByzantineFaultKind kind) const;
+
     FaultPlan plan_;
     Rng rng_;
+    /** Dedicated stream for byzantine duty-cycle draws: arming a liar
+     *  must not shift the transient-fault stream positions. */
+    Rng byzRng_;
     std::vector<PermanentState> permanent_;
     std::map<unsigned, RetireState> retire_;
+    std::map<unsigned, MistrustState> mistrust_;
+    /** Pending dropped-write ground truth: addr -> (culprit unit,
+     *  drop count).  See noteLostWrite(). */
+    std::map<std::uint64_t, std::pair<unsigned, unsigned>> lostWrites_;
+    std::uint64_t convictedUnits_ = 0;
+    std::uint64_t mistrustCandidates_ = 0;
     std::uint64_t accessIndex_ = 0;
     std::uint64_t correlatedGroups_ = 0;
     std::uint64_t correlatedUnits_ = 0;

@@ -47,6 +47,31 @@ struct FaultPlan {
      *  group expands into one scripted permanent fault per member. */
     std::vector<CorrelatedFailure> correlatedFailures;
 
+    /* --- byzantine-fault sites ------------------------------------ */
+    /** Scripted byzantine units: persistent corruptors, duty-cycle
+     *  liars, lost-write units, and INDEP-SPLIT equivocators.  Each
+     *  entry is one lying unit (see ByzantineFault); duty-cycle draws
+     *  come from a dedicated RNG stream derived from `seed`, so a
+     *  byzantine plan never shifts the transient injection stream. */
+    std::vector<ByzantineFault> byzantineFaults;
+
+    /* --- mistrust-scoring knobs ----------------------------------- */
+    /** EWMA smoothing factor of the per-unit attributed-failure
+     *  tracker (mistrust.unitN.score). */
+    double mistrustEwmaAlpha = 0.25;
+    /** Mistrust score above which a unit becomes a conviction
+     *  candidate.  0 disables byzantine conviction entirely. */
+    double mistrustConvictThreshold = 0.0;
+    /** Consecutive accesses the score must stay above threshold
+     *  before the unit is convicted (hysteresis: a burst of honest
+     *  transients decays back under the bar before this runs out). */
+    unsigned mistrustHysteresisAccesses = 4;
+    /** Minimum lifetime attributed failures before a unit can become
+     *  a conviction candidate (the evidence floor): the EWMA tracks a
+     *  *rate*, so two unluckily adjacent transients can spike it over
+     *  the threshold -- but they cannot fake a body of evidence. */
+    unsigned mistrustMinEvidence = 6;
+
     /* --- proactive-retirement knobs ------------------------------- */
     /** EWMA smoothing factor of the per-unit latency-tax tracker. */
     double retireEwmaAlpha = 0.25;
@@ -107,6 +132,8 @@ struct FaultPlan {
                linkDropRate > 0.0 || linkDelayRate > 0.0 ||
                executorStallRate > 0.0 || queuePerturbRate > 0.0 ||
                !permanentFaults.empty() || !correlatedFailures.empty() ||
+               !byzantineFaults.empty() ||
+               mistrustConvictThreshold > 0.0 ||
                retireTaxThresholdCycles > 0;
     }
 
@@ -206,6 +233,46 @@ struct FaultPlan {
         FaultPlan p = degradedLatency(unit, cycles, seed);
         p.retireTaxThresholdCycles = threshold;
         return p;
+    }
+
+    /**
+     * Plan with one scripted byzantine unit and the mistrust scorer
+     * armed at @p threshold (see ByzantineFault for the archetypes).
+     * `dutyCycle` is the lying fraction for DutyCycleLiar / LostWrite /
+     * Equivocate; PersistentCorrupt lies on every response regardless.
+     */
+    static FaultPlan byzantine(ByzantineFaultKind kind, unsigned unit,
+                               double dutyCycle, std::uint64_t fromAccess,
+                               double threshold, std::uint64_t seed)
+    {
+        FaultPlan p;
+        ByzantineFault b;
+        b.kind = kind;
+        b.unit = unit;
+        b.dutyCycle = dutyCycle;
+        b.fromAccess = fromAccess;
+        p.byzantineFaults.push_back(b);
+        p.mistrustConvictThreshold = threshold;
+        p.seed = seed;
+        return p;
+    }
+
+    /** Persistent corruptor at @p unit, default conviction tuning. */
+    static FaultPlan byzantineCorruptor(unsigned unit,
+                                        std::uint64_t fromAccess,
+                                        std::uint64_t seed)
+    {
+        return byzantine(ByzantineFaultKind::PersistentCorrupt, unit,
+                         1.0, fromAccess, 0.12, seed);
+    }
+
+    /** Duty-cycle liar at @p unit, default conviction tuning. */
+    static FaultPlan byzantineLiar(unsigned unit, double dutyCycle,
+                                   std::uint64_t fromAccess,
+                                   std::uint64_t seed)
+    {
+        return byzantine(ByzantineFaultKind::DutyCycleLiar, unit,
+                         dutyCycle, fromAccess, 0.12, seed);
     }
 };
 

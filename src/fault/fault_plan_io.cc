@@ -338,6 +338,53 @@ parseCorrelatedFailure(const JsonValue &v, CorrelatedFailure &out,
     return true;
 }
 
+bool
+parseByzantineKind(const std::string &name, ByzantineFaultKind &out,
+                   std::string *error)
+{
+    if (name == "persistent_corrupt")
+        out = ByzantineFaultKind::PersistentCorrupt;
+    else if (name == "duty_cycle_liar")
+        out = ByzantineFaultKind::DutyCycleLiar;
+    else if (name == "lost_write")
+        out = ByzantineFaultKind::LostWrite;
+    else if (name == "equivocate")
+        out = ByzantineFaultKind::Equivocate;
+    else
+        return fail(error, "unknown byzantine fault kind: " + name);
+    return true;
+}
+
+bool
+parseByzantineFault(const JsonValue &v, ByzantineFault &out,
+                    std::string *error)
+{
+    if (v.type != JsonValue::Type::Object)
+        return fail(error, "byzantine fault entry must be an object");
+    for (const auto &[key, val] : v.object) {
+        std::uint64_t u = 0;
+        if (key == "kind") {
+            if (val.type != JsonValue::Type::String ||
+                !parseByzantineKind(val.str, out.kind, error))
+                return false;
+        } else if (key == "unit") {
+            if (!asU64(val, u))
+                return fail(error, "unit must be a non-negative integer");
+            out.unit = static_cast<unsigned>(u);
+        } else if (key == "duty_cycle") {
+            if (!asDouble(val, out.dutyCycle) || out.dutyCycle < 0.0 ||
+                out.dutyCycle > 1.0)
+                return fail(error, "duty_cycle must be in [0, 1]");
+        } else if (key == "from_access") {
+            if (!asU64(val, out.fromAccess))
+                return fail(error, "from_access must be an integer");
+        } else {
+            return fail(error, "unknown byzantine fault key: " + key);
+        }
+    }
+    return true;
+}
+
 void
 appendJsonString(std::ostream &os, const std::string &s)
 {
@@ -401,6 +448,17 @@ faultPlanToJson(const FaultPlan &p)
            << ",\"cascade_gap_accesses\":" << g.cascadeGapAccesses
            << ",\"latency_cycles\":" << g.latencyCycles << "}";
     }
+    os << "],\"byzantine_faults\":[";
+    for (std::size_t i = 0; i < p.byzantineFaults.size(); ++i) {
+        const ByzantineFault &b = p.byzantineFaults[i];
+        if (i)
+            os << ",";
+        os << "{\"kind\":";
+        appendJsonString(os, byzantineKindName(b.kind));
+        os << ",\"unit\":" << b.unit
+           << ",\"duty_cycle\":" << formatDouble(b.dutyCycle)
+           << ",\"from_access\":" << b.fromAccess << "}";
+    }
     os << "],\"max_retries\":" << p.maxRetries;
     os << ",\"stall_cycles\":" << p.stallCycles;
     os << ",\"seed\":" << p.seed;
@@ -414,6 +472,13 @@ faultPlanToJson(const FaultPlan &p)
        << p.retireTaxThresholdCycles;
     os << ",\"retire_hysteresis_accesses\":"
        << p.retireHysteresisAccesses;
+    os << ",\"mistrust_ewma_alpha\":"
+       << formatDouble(p.mistrustEwmaAlpha);
+    os << ",\"mistrust_convict_threshold\":"
+       << formatDouble(p.mistrustConvictThreshold);
+    os << ",\"mistrust_hysteresis_accesses\":"
+       << p.mistrustHysteresisAccesses;
+    os << ",\"mistrust_min_evidence\":" << p.mistrustMinEvidence;
     os << "}";
     return os.str();
 }
@@ -469,6 +534,27 @@ faultPlanFromJson(const std::string &text, std::string *error)
         else if (key == "retire_hysteresis_accesses") {
             if ((ok = asU64(val, u)))
                 p.retireHysteresisAccesses = static_cast<unsigned>(u);
+        } else if (key == "mistrust_ewma_alpha")
+            ok = asDouble(val, p.mistrustEwmaAlpha);
+        else if (key == "mistrust_convict_threshold")
+            ok = asDouble(val, p.mistrustConvictThreshold);
+        else if (key == "mistrust_hysteresis_accesses") {
+            if ((ok = asU64(val, u)))
+                p.mistrustHysteresisAccesses = static_cast<unsigned>(u);
+        } else if (key == "mistrust_min_evidence") {
+            if ((ok = asU64(val, u)))
+                p.mistrustMinEvidence = static_cast<unsigned>(u);
+        } else if (key == "byzantine_faults") {
+            if (val.type != JsonValue::Type::Array) {
+                fail(error, "byzantine_faults must be an array");
+                return std::nullopt;
+            }
+            for (const JsonValue &e : val.array) {
+                ByzantineFault b;
+                if (!parseByzantineFault(e, b, error))
+                    return std::nullopt;
+                p.byzantineFaults.push_back(b);
+            }
         } else if (key == "permanent_faults") {
             if (val.type != JsonValue::Type::Array) {
                 fail(error, "permanent_faults must be an array");

@@ -34,9 +34,13 @@ enum class FaultKind : std::uint8_t {
     ExecutorStall,   ///< PathExecutor start delayed by N cycles
     QueuePerturb,    ///< TransferQueue entry corrupted at rest
     WatchdogTimeout, ///< permanent fault: SDIMM missed every deadline
+    ByzantineCorrupt,   ///< byzantine unit returned a garbled response
+    ByzantineLostWrite, ///< byzantine unit ACKed an APPEND, dropped it
+    ByzantineEquivocate,///< INDEP-SPLIT member disagreed with peers
+    ByzantineConvict,   ///< mistrust score crossed the conviction bar
 };
 
-constexpr unsigned kNumFaultKinds = 7;
+constexpr unsigned kNumFaultKinds = 11;
 
 /** Stable lowercase snake_case name, used in fault.* metric names. */
 const char *kindName(FaultKind k);
@@ -85,6 +89,48 @@ struct CorrelatedFailure {
     std::uint64_t cascadeGapAccesses = 0;
     /** DegradedLatency bursts: per-op tax of every member. */
     std::uint64_t latencyCycles = 0;
+};
+
+/**
+ * Byzantine (wrong-but-authenticated-looking) unit behaviors.  Unlike
+ * the crash faults above, a byzantine unit stays alive and on time
+ * while returning *wrong* data: the watchdog never fires, and the
+ * detect-and-retry loop would treat it as an endless transient.  The
+ * mistrust scorer (docs/FAULTS.md, "Byzantine units") is what turns
+ * these into convictions.
+ */
+enum class ByzantineFaultKind : std::uint8_t {
+    /** Every response is garbled (its MAC never verifies). */
+    PersistentCorrupt = 0,
+    /** Lies on a seeded dutyCycle fraction of responses, answering
+     *  honestly otherwise to stay under naive one-shot detection. */
+    DutyCycleLiar,
+    /** ACKs every APPEND but silently drops the payload; discovered
+     *  only at read-back, attributed via the CPU-side write record. */
+    LostWrite,
+    /** INDEP-SPLIT member returns stale-but-self-consistent slices
+     *  that disagree with its group peers. */
+    Equivocate,
+};
+
+const char *byzantineKindName(ByzantineFaultKind k);
+
+/**
+ * One scripted byzantine unit.  Like PermanentFault, this names a
+ * unit (SDIMM index in Independent mode, group index in INDEP-SPLIT)
+ * rather than rolling per opportunity; the dutyCycle draw uses the
+ * injector's dedicated byzantine RNG stream so arming a liar never
+ * shifts the transient-fault stream.
+ */
+struct ByzantineFault {
+    ByzantineFaultKind kind = ByzantineFaultKind::PersistentCorrupt;
+    /** SDIMM index (Independent) or group index (INDEP-SPLIT). */
+    unsigned unit = 0;
+    /** Fraction of opportunities on which the unit lies, in [0, 1].
+     *  PersistentCorrupt ignores this (always 1). */
+    double dutyCycle = 1.0;
+    /** First 0-based access at which the unit starts lying. */
+    std::uint64_t fromAccess = 0;
 };
 
 /**

@@ -230,6 +230,44 @@ IndepSplitOram::sweepRetirement()
 }
 
 void
+IndepSplitOram::noteGroupSuspicion(unsigned g, double blame)
+{
+    if (!injector_)
+        return;
+    injector_->noteMistrust(g, blame);
+    if (!injector_->mistrustArmed() ||
+        policy_ != fault::DegradationPolicy::Degraded)
+        return;
+    if (failedStop_ || isGroupQuarantined(g))
+        return;
+    if (injector_->convictionDue(g))
+        convictGroup(g);
+}
+
+void
+IndepSplitOram::convictGroup(unsigned g)
+{
+    const std::string site = "mistrust.group" + std::to_string(g);
+    injector_->markConvicted(g);
+    ++convictedUnits_;
+    if (quarantinedGroupCount() + 1 >= params_.groups) {
+        // Convicting the last group in service leaves nowhere to
+        // evacuate to: distinct zero-survivor ledger entry + FailStop,
+        // same shape as handleDeadGroup.
+        injector_->recordUnrecovered(fault::FaultKind::ByzantineConvict,
+                                     site + ".zero_survivors", 0);
+        injector_->recordZeroSurvivorFailStop();
+        quarantineGroup(g);
+        failedStop_ = true;
+        return;
+    }
+    injector_->recordRecovered(fault::FaultKind::ByzantineConvict, site,
+                               0);
+    quarantineGroup(g);
+    evacuateGroup(g);
+}
+
+void
 IndepSplitOram::evacuateGroup(unsigned dead)
 {
     // Maintenance-path read of the dead group's raw slice shares
@@ -359,6 +397,87 @@ IndepSplitOram::access(Addr addr, oram::OramOp op,
         addr, localLeaf(old_leaf),
         stays ? localLeaf(new_leaf) : invalidLeaf, op, new_data);
 
+    /*
+     * Byzantine groups: a group-level corruptor/liar garbles its
+     * response; an equivocator hands back stale-but-internally-
+     * consistent slice shares that disagree with its peers.  Either
+     * way the Split frontend's cross-slice reconciliation catches the
+     * lie (the garbling is modeled wire-side -- `old` above is the
+     * honest reconstruction) and the CPU re-issues the ACCESS, up to
+     * the shared retry budget.  Every failure blames src in the
+     * mistrust tracker, exactly like the Independent downlink.
+     */
+    if (injector_) {
+        double srcBlame = 0.0;
+        unsigned attempts = 0;
+        const unsigned budget = injector_->maxRetries();
+        for (;;) {
+            const bool equiv = injector_->rollByzantineEquivocate(src);
+            const bool garble = injector_->rollByzantineCorrupt(src);
+            if (!equiv && !garble)
+                break;
+            const fault::FaultKind kind =
+                equiv ? fault::FaultKind::ByzantineEquivocate
+                      : fault::FaultKind::ByzantineCorrupt;
+            injector_->recordDetected(kind);
+            srcBlame += 1.0;
+            if (attempts >= budget) {
+                if (injector_->mistrustArmed() &&
+                    policy_ == fault::DegradationPolicy::Degraded &&
+                    !isGroupQuarantined(src) &&
+                    quarantinedGroupCount() + 1 < params_.groups) {
+                    // Preemption-conviction (see IndependentOram):
+                    // the final detection is closed as recovered --
+                    // the conviction IS the recovery -- the group is
+                    // evicted, and `old` already holds the honest
+                    // reconstruction.
+                    injector_->recordRecovered(
+                        kind, "indep_split.access.convict", attempts);
+                    convictGroup(src);
+                    break;
+                }
+                const bool was = isGroupQuarantined(src);
+                if (policy_ != fault::DegradationPolicy::Degraded) {
+                    injector_->recordUnrecovered(
+                        kind, "indep_split.access", attempts);
+                    failedStop_ = true;
+                } else if (!was && quarantinedGroupCount() + 1 >=
+                                       params_.groups) {
+                    injector_->recordUnrecovered(
+                        kind, "indep_split.access.zero_survivors",
+                        attempts);
+                    injector_->recordZeroSurvivorFailStop();
+                    quarantineGroup(src);
+                    failedStop_ = true;
+                } else {
+                    injector_->recordUnrecovered(
+                        kind, "indep_split.access", attempts);
+                    quarantineGroup(src);
+                    if (!was)
+                        evacuateGroup(src);
+                }
+                noteGroupSuspicion(src, srcBlame);
+                for (unsigned g = 0; g < params_.groups; ++g)
+                    busTrace_.push_back({SdimmCommandType::Append, g});
+                ++degradedAccesses_;
+                return BlockData{};
+            }
+            ++attempts;
+            injector_->recordRecovered(kind, "indep_split.access", 1);
+            busTrace_.push_back(
+                {SdimmCommandType::Access, src}); // The re-issue.
+        }
+        noteGroupSuspicion(src, srcBlame);
+        if (failedStop_) {
+            // A mid-access zero-survivor conviction: keep the bus
+            // shape, the data is gone.
+            for (unsigned g = 0; g < params_.groups; ++g)
+                busTrace_.push_back({SdimmCommandType::Append, g});
+            ++degradedAccesses_;
+            return BlockData{};
+        }
+    }
+
     // Independent dimension: one APPEND per group (real only at the
     // destination, and only when the block actually moved).
     for (unsigned g = 0; g < params_.groups; ++g) {
@@ -409,6 +528,8 @@ IndepSplitOram::exportMetrics(util::MetricsRegistry &m,
         m.setCounter(prefix + ".nested_evacuations", nestedEvacuations_);
     if (retiredUnits_)
         m.setCounter(prefix + ".retired_units", retiredUnits_);
+    if (convictedUnits_)
+        m.setCounter(prefix + ".convicted_units", convictedUnits_);
     for (unsigned g = 0; g < params_.groups; ++g) {
         groups_[g]->exportMetrics(m,
                                   prefix + ".g" + std::to_string(g));

@@ -92,6 +92,10 @@ class IndepSplitOram
     /** Groups proactively evacuated on latency-tax EWMA (not dead). */
     std::uint64_t retiredUnits() const { return retiredUnits_; }
 
+    /** Byzantine groups convicted (mistrust score or in-access
+     *  preemption) and obliviously evicted so far. */
+    std::uint64_t convictedUnits() const { return convictedUnits_; }
+
     /** True once an unrecoverable fault stopped the protocol. */
     bool failedStop() const { return failedStop_; }
 
@@ -141,6 +145,17 @@ class IndepSplitOram
     /** Proactive retirement sweep (see IndependentOram). */
     void sweepRetirement();
 
+    /** Per-access mistrust feed + conviction check for @p g (see
+     *  IndependentOram::noteUnitSuspicion; the unit here is a whole
+     *  Independent group). */
+    void noteGroupSuspicion(unsigned g, double blame);
+
+    /** Convict @p g as byzantine: ByzantineConvict ledger episode
+     *  paired with recovered (site "mistrust.groupN") + oblivious
+     *  group evacuation, or unrecovered (".zero_survivors") +
+     *  fail-stop when @p g is the last group in service. */
+    void convictGroup(unsigned g);
+
     /** Oblivious group evacuation: same geometry-padded APPEND-stream
      *  argument as IndependentOram::evacuateSdimm, per group. */
     void evacuateGroup(unsigned g);
@@ -162,6 +177,7 @@ class IndepSplitOram
     std::uint64_t evacuatedBlocks_ = 0;
     std::uint64_t nestedEvacuations_ = 0;
     std::uint64_t retiredUnits_ = 0;
+    std::uint64_t convictedUnits_ = 0;
     unsigned evacuationDepth_ = 0;
 };
 

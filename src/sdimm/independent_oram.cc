@@ -203,6 +203,44 @@ IndependentOram::sweepRetirement()
 }
 
 void
+IndependentOram::noteUnitSuspicion(unsigned sdimm, double blame)
+{
+    if (!injector_)
+        return;
+    injector_->noteMistrust(sdimm, blame);
+    if (!injector_->mistrustArmed() ||
+        policy_ != fault::DegradationPolicy::Degraded)
+        return;
+    if (failedStop_ || isQuarantined(sdimm))
+        return;
+    if (injector_->convictionDue(sdimm))
+        convictUnit(sdimm);
+}
+
+void
+IndependentOram::convictUnit(unsigned sdimm)
+{
+    const std::string site = "mistrust.sdimm" + std::to_string(sdimm);
+    injector_->markConvicted(sdimm);
+    ++convictedUnits_;
+    if (quarantinedCount() + 1 >= params_.numSdimms) {
+        // Convicting the last unit in service leaves nowhere to
+        // evacuate to: distinct zero-survivor ledger entry + FailStop,
+        // same shape as handleDeadUnit.
+        injector_->recordUnrecovered(fault::FaultKind::ByzantineConvict,
+                                     site + ".zero_survivors", 0);
+        injector_->recordZeroSurvivorFailStop();
+        quarantine(sdimm);
+        failedStop_ = true;
+        return;
+    }
+    injector_->recordRecovered(fault::FaultKind::ByzantineConvict, site,
+                               0);
+    quarantine(sdimm);
+    evacuateSdimm(sdimm);
+}
+
+void
 IndependentOram::evacuateSdimm(unsigned sdimm)
 {
     /*
@@ -441,7 +479,11 @@ IndependentOram::access(Addr addr, oram::OramOp op,
 
     // Downlink: FETCH_RESULT with bounded re-FETCH on MAC mismatch
     // or a dropped frame (the buffer re-seals its cached response).
+    // Every failure here blames src in the mistrust tracker -- the
+    // CPU cannot tell a lying unit from a noisy link, only the EWMA
+    // threshold separates them.
     std::optional<AccessResponse> resp;
+    double srcBlame = 0.0;
     {
         unsigned attempts = 0;
         const unsigned budget = injector_ ? injector_->maxRetries() : 0;
@@ -459,7 +501,15 @@ IndependentOram::access(Addr addr, oram::OramOp op,
                 recordBus(SdimmCommandType::Probe, src, 0);
                 out = fault::WireOutcome::Delivered;
             }
-            if (out == fault::WireOutcome::Corrupted)
+            // Byzantine garbling happens wire-side on the sealed frame
+            // (the chip's honest latch stays intact); a dropped frame
+            // gives the liar nothing to garble.  Whether the roll
+            // happens depends only on the plan and the (fault-driven,
+            // public) delivery outcome.
+            const bool byzLie = out != fault::WireOutcome::Dropped &&
+                                injector_ &&
+                                injector_->rollByzantineCorrupt(src);
+            if (out == fault::WireOutcome::Corrupted || byzLie)
                 injector_->corruptBuffer(cur.body);
             std::optional<std::vector<std::uint8_t>> plain;
             if (out != fault::WireOutcome::Dropped) {
@@ -479,13 +529,47 @@ IndependentOram::access(Addr addr, oram::OramOp op,
             if (!injector_)
                 panic("CPU: SDIMM %u response failed authentication",
                       src);
+            // The ledger kind is the ground-truth cause (modeled
+            // detection, same convention as the transient sites); the
+            // blame feed below is what the CPU actually observes.
             const fault::FaultKind kind =
                 out == fault::WireOutcome::Dropped
                     ? fault::FaultKind::LinkDrop
-                    : fault::FaultKind::LinkCorrupt;
+                    : (byzLie ? fault::FaultKind::ByzantineCorrupt
+                              : fault::FaultKind::LinkCorrupt);
             injector_->recordDetected(kind);
+            srcBlame += 1.0;
             recordBus(SdimmCommandType::Probe, src, 0);
             if (attempts >= budget) {
+                if (injector_->mistrustArmed() &&
+                    policy_ == fault::DegradationPolicy::Degraded &&
+                    !isQuarantined(src) &&
+                    quarantinedCount() + 1 < params_.numSdimms) {
+                    /*
+                     * Preemption-conviction: a persistent corruptor
+                     * exhausts the re-FETCH budget on its very first
+                     * access, long before the EWMA hysteresis can run
+                     * out.  Convicting here instead of falling into
+                     * the lossy transient-exhaustion path keeps the
+                     * in-flight block: the final detection is closed
+                     * as recovered (the conviction IS the recovery),
+                     * the unit is evicted, and the true response is
+                     * read over the maintenance path -- the byzantine
+                     * lie garbled the sealed frame, not the chip's
+                     * honest response latch.
+                     */
+                    injector_->recordRecovered(
+                        kind, "downlink.FETCH_RESULT.convict",
+                        attempts);
+                    convictUnit(src);
+                    const auto truth =
+                        buffers_[src]->maintenanceResult();
+                    SD_ASSERT(truth.has_value());
+                    const auto parsed = unpackResponse(*truth);
+                    SD_ASSERT(parsed.has_value());
+                    resp = *parsed;
+                    break;
+                }
                 onUnrecoverable(kind, src, "downlink.FETCH_RESULT",
                                 attempts);
                 return BlockData{};
@@ -499,6 +583,34 @@ IndependentOram::access(Addr addr, oram::OramOp op,
         }
     }
 
+    // Read-back audit: a LostWrite unit ACKed an earlier APPEND for
+    // this address and dropped the payload.  The pending record models
+    // the PMMAC freshness counters that deterministically expose the
+    // stale chain on the next touch; the data itself is gone, so each
+    // dropped payload is one detected + unrecovered episode, blamed on
+    // the recorded culprit (which may already have been evicted --
+    // attribution must not convict the innocent unit now holding the
+    // address).
+    if (injector_) {
+        if (const auto lw = injector_->takeLostWrite(addr)) {
+            const auto [culprit, drops] = *lw;
+            for (unsigned d = 0; d < drops; ++d) {
+                injector_->recordDetected(
+                    fault::FaultKind::ByzantineLostWrite);
+                injector_->recordUnrecovered(
+                    fault::FaultKind::ByzantineLostWrite,
+                    "readback.sdimm" + std::to_string(culprit), 0);
+            }
+            if (culprit == src)
+                srcBlame += static_cast<double>(drops);
+            else
+                noteUnitSuspicion(culprit, drops);
+        }
+        // One mistrust feed per access for the unit this access
+        // exercised: honest units decay, liars accrue.
+        noteUnitSuspicion(src, srcBlame);
+    }
+
     // The value returned to the LLC (pre-write content).
     BlockData result{};
     if (!resp->dummy)
@@ -510,13 +622,20 @@ IndependentOram::access(Addr addr, oram::OramOp op,
     }
 
     // Step 6: one APPEND to every SDIMM; only the destination's is
-    // real (and only if the block actually moved).
+    // real (and only if the block actually moved).  The destination is
+    // re-read from the posMap rather than the pre-downlink draw: a
+    // mid-access conviction (e.g. the read-back audit convicting a
+    // third unit that happened to be this block's planned
+    // destination) evacuates that unit and remaps the posMap, and the
+    // real APPEND must follow the block.
+    const LeafId out_leaf = posMap_[addr];
+    const unsigned out_dst = sdimmOf(out_leaf);
     for (unsigned i = 0; i < params_.numSdimms; ++i) {
         AppendRequest app;
-        app.real = !stays && i == dst;
+        app.real = !stays && i == out_dst;
         if (app.real) {
             app.addr = addr;
-            app.localLeaf = localLeaf(new_leaf);
+            app.localLeaf = localLeaf(out_leaf);
             app.data = write ? *new_data : resp->data;
         }
         if (isQuarantined(i)) {
@@ -587,6 +706,8 @@ IndependentOram::exportMetrics(util::MetricsRegistry &m,
         m.setCounter(prefix + ".nested_evacuations", nestedEvacuations_);
     if (retiredUnits_)
         m.setCounter(prefix + ".retired_units", retiredUnits_);
+    if (convictedUnits_)
+        m.setCounter(prefix + ".convicted_units", convictedUnits_);
 }
 
 } // namespace secdimm::sdimm

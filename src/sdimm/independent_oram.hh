@@ -103,6 +103,10 @@ class IndependentOram
     /** Units proactively evacuated on latency-tax EWMA (not dead). */
     std::uint64_t retiredUnits() const { return retiredUnits_; }
 
+    /** Byzantine units convicted (mistrust score or in-access
+     *  preemption) and obliviously evicted so far. */
+    std::uint64_t convictedUnits() const { return convictedUnits_; }
+
     /**
      * Export per-buffer and per-command-type channel-traffic metrics
      * under @p prefix ("sdimm" in the facade; docs/METRICS.md).
@@ -180,6 +184,28 @@ class IndependentOram
     void sweepRetirement();
 
     /**
+     * Feed one access's attributed integrity-failure count for
+     * @p sdimm into the injector's mistrust EWMA and convict the unit
+     * if its score has now sat above the threshold long enough
+     * (hysteresis).  Called once per access for the unit the downlink
+     * exercised -- the CPU cannot tell a lying unit from a noisy link,
+     * so EVERY downlink failure blames the unit and the EWMA threshold
+     * is what separates transient noise (decays) from adversarial
+     * behavior (accrues).
+     */
+    void noteUnitSuspicion(unsigned sdimm, double blame);
+
+    /**
+     * Convict @p sdimm as byzantine: one ByzantineConvict ledger
+     * episode, paired with a recovered record (site
+     * "mistrust.sdimmN") when survivors remain -- the unit is then
+     * quarantined and obliviously evacuated exactly like a dead one --
+     * or with an unrecovered record (".zero_survivors") plus a
+     * fail-stop when it is the last unit in service.
+     */
+    void convictUnit(unsigned sdimm);
+
+    /**
      * Oblivious subtree evacuation: drain the quarantined SDIMM's
      * live blocks (maintenance-path read), silently remap them off
      * the dead unit in the CPU-private PosMap, and re-append them to
@@ -207,6 +233,7 @@ class IndependentOram
     std::uint64_t evacuatedBlocks_ = 0;
     std::uint64_t nestedEvacuations_ = 0;
     std::uint64_t retiredUnits_ = 0;
+    std::uint64_t convictedUnits_ = 0;
     unsigned evacuationDepth_ = 0;
 };
 

@@ -223,6 +223,19 @@ SecureBuffer::handleAppend(const SealedMessage &msg)
         return true;
     }
     ++stats_.appendsReal;
+    if (injector_ && injector_->rollByzantineLostWrite(index_)) {
+        /*
+         * Byzantine lost write: ACK the APPEND but drop the real
+         * payload on the floor.  The wire conversation is
+         * indistinguishable from an honest one; only the CPU-side
+         * read-back audit (modeling PMMAC freshness counters) can
+         * discover the stale chain later.
+         */
+        injector_->noteLostWrite(req.addr, index_);
+        return true;
+    }
+    if (injector_)
+        injector_->clearLostWrite(req.addr);
     if (xfer_.full()) {
         // Section IV-C's drain, applied deterministically at the
         // M/M/1/K boundary: run one extra accessORAM to service an

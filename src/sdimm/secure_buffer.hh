@@ -155,6 +155,21 @@ class SecureBuffer
     std::vector<oram::StashEntry> residentBlocks() const;
 
     /**
+     * Plaintext of the most recent successful ACCESS response, read
+     * over the maintenance path (same raw-DRAM-readable trust
+     * assumption as residentBlocks()).  A byzantine unit garbles the
+     * sealed frame on the wire, not this latch, so a conviction fired
+     * by budget exhaustion can still recover the in-flight block
+     * loss-free.  nullopt if no response is cached.
+     */
+    std::optional<std::vector<std::uint8_t>> maintenanceResult() const
+    {
+        if (!haveLastResponse_)
+            return std::nullopt;
+        return lastResponsePlain_;
+    }
+
+    /**
      * Export this buffer's counters (ops, appends, local ORAM, the
      * transfer queue, and both link endpoints) under @p prefix.
      */

@@ -237,6 +237,27 @@ ShardedSecureMemory::writeBlock(Addr block_index, const BlockData &data)
     submitWrite(block_index, data).get();
 }
 
+BlockData
+ShardedSecureMemory::readBlockFor(Addr block_index,
+                                  std::chrono::milliseconds deadline)
+{
+    std::future<BlockData> f = submitRead(block_index);
+    if (f.wait_for(deadline) != std::future_status::ready)
+        throw RequestTimeoutError(shardOf(block_index), deadline);
+    return f.get();
+}
+
+void
+ShardedSecureMemory::writeBlockFor(Addr block_index,
+                                   const BlockData &data,
+                                   std::chrono::milliseconds deadline)
+{
+    std::future<void> f = submitWrite(block_index, data);
+    if (f.wait_for(deadline) != std::future_status::ready)
+        throw RequestTimeoutError(shardOf(block_index), deadline);
+    f.get();
+}
+
 void
 ShardedSecureMemory::read(Addr byte_addr, void *out, std::size_t len)
 {
@@ -324,6 +345,7 @@ ShardedSecureMemory::metrics()
     out.setCounter("serve.queue_capacity", queues_[0]->capacity());
     std::uint64_t total = 0;
     unsigned healthCounts[3] = {0, 0, 0};
+    unsigned byzShards = 0;
     for (unsigned i = 0; i < numShards_; ++i) {
         const std::string s = "serve.s" + std::to_string(i);
         const std::uint64_t acc = live_.counter(accessesName_[i]);
@@ -341,12 +363,18 @@ ShardedSecureMemory::metrics()
         const ShardHealth h = shardHealth(i);
         out.setGauge(s + ".health", static_cast<double>(h));
         ++healthCounts[static_cast<int>(h)];
+        const fault::FaultInjector *inj = shards_[i]->faultInjector();
+        if (inj != nullptr && inj->convictedUnits() > 0)
+            ++byzShards;
         out.merge(shards_[i]->metrics());
     }
     out.setCounter("serve.requests", total);
     out.setGauge("serve.shard_health.healthy", healthCounts[0]);
     out.setGauge("serve.shard_health.degraded", healthCounts[1]);
     out.setGauge("serve.shard_health.failed", healthCounts[2]);
+    // Gated: quiet fleets keep their exact pre-byzantine surface.
+    if (byzShards > 0)
+        out.setGauge("serve.shard_health.byzantine", byzShards);
     return out;
 }
 

@@ -30,6 +30,7 @@
 #define SECUREDIMM_SERVE_SHARDED_MEMORY_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -67,6 +68,32 @@ class ShardFailedError : public std::runtime_error
     explicit ShardFailedError(unsigned shard)
         : std::runtime_error("shard " + std::to_string(shard) +
                              " failed (FailStop): request not served"),
+          shard_(shard)
+    {
+    }
+
+    unsigned shard() const { return shard_; }
+
+  private:
+    unsigned shard_;
+};
+
+/**
+ * Typed per-request deadline error: the caller bounded its wait
+ * (readBlockFor/writeBlockFor) and the shard worker did not complete
+ * the request in time.  Unlike ShardFailedError this says nothing
+ * about the shard's health -- the request is still queued and WILL
+ * complete (accepted work is never dropped); only the caller's wait
+ * was cut short.
+ */
+class RequestTimeoutError : public std::runtime_error
+{
+  public:
+    RequestTimeoutError(unsigned shard,
+                        std::chrono::milliseconds deadline)
+        : std::runtime_error("shard " + std::to_string(shard) +
+                             ": request not served within " +
+                             std::to_string(deadline.count()) + " ms"),
           shard_(shard)
     {
     }
@@ -162,6 +189,16 @@ class ShardedSecureMemory
     /* ---- synchronous facade -------------------------------------- */
     BlockData readBlock(Addr block_index);
     void writeBlock(Addr block_index, const BlockData &data);
+
+    /** readBlock with a bounded wait: throws RequestTimeoutError if
+     *  the shard worker has not completed the request within
+     *  @p deadline.  The request itself is NOT cancelled. */
+    BlockData readBlockFor(Addr block_index,
+                           std::chrono::milliseconds deadline);
+
+    /** writeBlock with a bounded wait (see readBlockFor). */
+    void writeBlockFor(Addr block_index, const BlockData &data,
+                       std::chrono::milliseconds deadline);
 
     /** Byte-granular read; spans blocks (and therefore shards) as
      *  needed, fanning the per-block reads out concurrently. */

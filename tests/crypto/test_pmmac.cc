@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <vector>
 
+#include "crypto/aes128.hh"
 #include "crypto/pmmac.hh"
 
 namespace secdimm::crypto
@@ -72,6 +74,67 @@ TEST(Pmmac, EmptyPayloadSupported)
     const Tag64 t = mac.tag(1, 2, nullptr, 0);
     EXPECT_TRUE(mac.verify(1, 2, nullptr, 0, t));
     EXPECT_FALSE(mac.verify(1, 3, nullptr, 0, t));
+}
+
+/** RAII backend override so a failing test cannot leak the force. */
+class ForcedImpl
+{
+  public:
+    explicit ForcedImpl(AesImpl impl) { forceAesImpl(impl); }
+    ~ForcedImpl() { clearForcedAesImpl(); }
+};
+
+std::vector<AesImpl>
+availableImpls()
+{
+    std::vector<AesImpl> impls{AesImpl::Table};
+    if (aesNiSupported())
+        impls.push_back(AesImpl::AesNi);
+    if (armv8CryptoSupported())
+        impls.push_back(AesImpl::Armv8);
+    return impls;
+}
+
+TEST(Pmmac, SingleBitTagFlipRejectedOnEveryBackend)
+{
+    // The tag comparison is constant-time (an OR-fold over the XOR
+    // difference, not an early-exit memcmp); this pins the functional
+    // half of that contract: EVERY single-bit perturbation of a valid
+    // tag must be rejected, on every AES backend this machine has.
+    const auto p = payload(6);
+    for (const AesImpl impl : availableImpls()) {
+        ForcedImpl forced(impl);
+        Pmmac mac(makeKey(9, 3));
+        const Tag64 t = mac.tag(21, 4, p.data(), p.size());
+        ASSERT_TRUE(mac.verify(21, 4, p.data(), p.size(), t));
+        for (unsigned bit = 0; bit < 64; ++bit)
+            EXPECT_FALSE(mac.verify(21, 4, p.data(), p.size(),
+                                    t ^ (std::uint64_t{1} << bit)))
+                << "bit " << bit << " impl " << static_cast<int>(impl);
+    }
+}
+
+TEST(Pmmac, BatchVerifyRejectsSingleBitTagFlips)
+{
+    const auto p0 = payload(7);
+    const auto p1 = payload(8);
+    for (const AesImpl impl : availableImpls()) {
+        ForcedImpl forced(impl);
+        Pmmac mac(makeKey(9, 4));
+        PmmacItem items[2] = {{40, 1, p0.data(), p0.size()},
+                              {41, 2, p1.data(), p1.size()}};
+        Tag64 tags[2];
+        mac.tagBatch(items, 2, tags);
+        bool ok[2];
+        ASSERT_TRUE(mac.verifyBatch(items, 2, tags, ok));
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            Tag64 flipped[2] = {tags[0] ^ (std::uint64_t{1} << bit),
+                                tags[1]};
+            EXPECT_FALSE(mac.verifyBatch(items, 2, flipped, ok));
+            EXPECT_FALSE(ok[0]);
+            EXPECT_TRUE(ok[1]);
+        }
+    }
 }
 
 } // namespace

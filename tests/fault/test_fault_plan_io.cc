@@ -154,6 +154,88 @@ TEST(FaultPlanIo, ParsedCorrelatedPlanIsEnabled)
 }
 
 /* ------------------------------------------------------------------ */
+/* Byzantine schema                                                    */
+/* ------------------------------------------------------------------ */
+
+TEST(FaultPlanIo, ByzantinePlanRoundTripIsFixedPoint)
+{
+    FaultPlan p = FaultPlan::byzantineLiar(2, 0.25, 64, 11);
+    p.byzantineFaults.push_back(
+        {ByzantineFaultKind::LostWrite, 3, 0.5, 128});
+    p.byzantineFaults.push_back(
+        {ByzantineFaultKind::Equivocate, 1, 1.0, 0});
+    p.mistrustEwmaAlpha = 0.5;
+    p.mistrustHysteresisAccesses = 9;
+    p.mistrustMinEvidence = 3;
+
+    const std::string json = faultPlanToJson(p);
+    std::string err;
+    const auto back = faultPlanFromJson(json, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+
+    ASSERT_EQ(back->byzantineFaults.size(), 3u);
+    EXPECT_EQ(back->byzantineFaults[0].kind,
+              ByzantineFaultKind::DutyCycleLiar);
+    EXPECT_EQ(back->byzantineFaults[0].unit, 2u);
+    EXPECT_DOUBLE_EQ(back->byzantineFaults[0].dutyCycle, 0.25);
+    EXPECT_EQ(back->byzantineFaults[0].fromAccess, 64u);
+    EXPECT_EQ(back->byzantineFaults[1].kind,
+              ByzantineFaultKind::LostWrite);
+    EXPECT_EQ(back->byzantineFaults[2].kind,
+              ByzantineFaultKind::Equivocate);
+    EXPECT_DOUBLE_EQ(back->mistrustEwmaAlpha, 0.5);
+    EXPECT_DOUBLE_EQ(back->mistrustConvictThreshold, 0.12);
+    EXPECT_EQ(back->mistrustHysteresisAccesses, 9u);
+    EXPECT_EQ(back->mistrustMinEvidence, 3u);
+    EXPECT_TRUE(back->enabled());
+
+    // Serializing the parsed plan again is a fixed point.
+    EXPECT_EQ(faultPlanToJson(*back), json);
+}
+
+TEST(FaultPlanIo, ByzantineSchemaRejectsBadEntries)
+{
+    // Unknown archetypes, unknown keys inside an entry, and
+    // out-of-range duty cycles are configuration errors.
+    EXPECT_FALSE(
+        faultPlanFromJson("{\"byzantine_faults\": [{\"kind\": "
+                          "\"gaslighter\", \"unit\": 0}]}")
+            .has_value());
+    EXPECT_FALSE(
+        faultPlanFromJson("{\"byzantine_faults\": [{\"kind\": "
+                          "\"duty_cycle_liar\", \"unit\": 0, "
+                          "\"volume\": 11}]}")
+            .has_value());
+    EXPECT_FALSE(
+        faultPlanFromJson("{\"byzantine_faults\": [{\"kind\": "
+                          "\"duty_cycle_liar\", \"unit\": 0, "
+                          "\"duty_cycle\": 1.5}]}")
+            .has_value());
+    EXPECT_FALSE(
+        faultPlanFromJson("{\"byzantine_faults\": [{\"kind\": "
+                          "\"duty_cycle_liar\", \"unit\": 0, "
+                          "\"duty_cycle\": -0.1}]}")
+            .has_value());
+    EXPECT_FALSE(
+        faultPlanFromJson("{\"mistrust_convict_threshold\": \"high\"}")
+            .has_value());
+}
+
+TEST(FaultPlanIo, ArmedScorerAlonePlanIsEnabled)
+{
+    // A plan with no scripted faults but the mistrust scorer armed
+    // must still count as enabled: the byzantine-defense build runs
+    // the detector even when nobody is lying (the false-conviction
+    // soak depends on this).
+    std::string err;
+    const auto p =
+        faultPlanFromJson("{\"mistrust_convict_threshold\": 0.12}", &err);
+    ASSERT_TRUE(p.has_value()) << err;
+    EXPECT_TRUE(p->enabled());
+    EXPECT_TRUE(p->byzantineFaults.empty());
+}
+
+/* ------------------------------------------------------------------ */
 /* Watchdog backoff saturation                                         */
 /* ------------------------------------------------------------------ */
 

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "serve/sharded_memory.hh"
@@ -233,6 +235,51 @@ TEST(ShardedMemory, MetricsAggregateAcrossShards)
     EXPECT_GE(m.counter("core.accesses"), kOps);
     EXPECT_EQ(m.counter("core.capacity_blocks") % 4, 0u);
     EXPECT_EQ(mem.accessCount(), m.counter("core.accesses"));
+}
+
+TEST(ShardedMemory, DeadlineExpiryThrowsTypedTimeout)
+{
+    // Bury the timed request behind a backlog on its shard, bound the
+    // wait at zero: the typed timeout must fire, name the shard, and
+    // leave the request running -- accepted work is never dropped, so
+    // the same block reads back fine after a drain.
+    ShardedSecureMemory::Options opt = smallOptions(2);
+    opt.queueCapacity = 256;
+    opt.maxBatch = 1;
+    ShardedSecureMemory mem(opt);
+    BlockData d{};
+    d[3] = 99;
+    mem.writeBlock(0, d);
+    mem.drain();
+
+    std::vector<std::future<BlockData>> backlog;
+    for (unsigned i = 0; i < 200; ++i)
+        backlog.push_back(mem.submitRead(0));
+    bool timed_out = false;
+    try {
+        mem.readBlockFor(0, std::chrono::milliseconds(0));
+    } catch (const RequestTimeoutError &e) {
+        timed_out = true;
+        EXPECT_EQ(e.shard(), 0u);
+        EXPECT_NE(std::string(e.what()).find("0 ms"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(timed_out);
+    for (auto &f : backlog)
+        EXPECT_EQ(f.get()[3], 99);
+    // The timed-out request still completed; the shard is healthy.
+    mem.drain();
+    EXPECT_EQ(mem.shardHealth(0), ShardHealth::Healthy);
+    EXPECT_EQ(mem.readBlockFor(0, std::chrono::seconds(10))[3], 99);
+}
+
+TEST(ShardedMemory, GenerousDeadlineBehavesLikeSyncFacade)
+{
+    ShardedSecureMemory mem(smallOptions(2));
+    BlockData d{};
+    d[1] = 7;
+    mem.writeBlockFor(3, d, std::chrono::seconds(10));
+    EXPECT_EQ(mem.readBlockFor(3, std::chrono::seconds(10))[1], 7);
 }
 
 TEST(ShardedMemory, SingleShardDegeneratesToPlainSystem)

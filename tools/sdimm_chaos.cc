@@ -17,7 +17,13 @@
  *  - post-chaos indistinguishability: deepCompareTraces over two
  *    secret-differing runs with the SAME (public) fault plan,
  *    compareSchedules over two secret-differing sharded runs, and a
- *    zero-MI leak_meter measurement with chaos armed.
+ *    zero-MI leak_meter measurement with chaos armed;
+ *  - byzantine campaigns (unit designs): each lying-unit archetype --
+ *    persistent corruptor, 25%-duty liar, sub-threshold liar,
+ *    lost-write ACKer / group equivocator -- driven against the
+ *    mistrust scorer, asserting conviction (or principled restraint),
+ *    exact ledger identity, bounded data loss, and post-conviction
+ *    deep-trace + zero-MI indistinguishability.
  *
  * Usage:
  *   sdimm_chaos [--design path|freecursive|independent|split|
@@ -339,6 +345,173 @@ runCampaign(const DesignSpec &spec, std::uint64_t seed,
 }
 
 /* ------------------------------------------------------------------ */
+/* Phase A2: byzantine campaigns (unit designs only)                   */
+/* ------------------------------------------------------------------ */
+
+/**
+ * One scripted byzantine adversary against a single unit-design ORAM:
+ * the plan arms a lying unit plus the mistrust scorer, the workload
+ * stamps then re-reads a block range, and the checks assert the
+ * defense outcome -- conviction (or, for sub-threshold duty cycles,
+ * NO conviction), exact ledger identity, and bit-exact survival of
+ * everything the adversary did not irrecoverably destroy.
+ */
+struct ByzCase
+{
+    const char *name;
+    fault::FaultPlan plan;
+    /** Exactly one conviction expected (false: exactly zero). */
+    bool expectConvict = true;
+    /** Lost-write adversary: data loss is real but must be bounded by
+     *  (and attributed as) the detected ByzantineLostWrite count. */
+    bool lossy = false;
+    /** Read passes over the stamped range before the verify pass. */
+    unsigned passes = 6;
+    /** Keep reading until at least this many accesses ran (the
+     *  fault-free soak wants >= 10k to show zero false convictions). */
+    std::uint64_t minAccesses = 0;
+};
+
+/** The byzantine archetypes of docs/FAULTS.md, bracketing the
+ *  conviction threshold: duty 1.0 and 0.25 must convict, duty 0.002
+ *  must stay below the hysteresis (isolated lies decay before the
+ *  streak closes), and a fault-free run under the armed scorer must
+ *  never convict anyone. */
+std::vector<ByzCase>
+byzCases(const DesignSpec &spec, std::uint64_t seed)
+{
+    std::vector<ByzCase> cases;
+    cases.push_back({"corruptor",
+                     fault::FaultPlan::byzantineCorruptor(1, 16, seed),
+                     true, false, 6, 0});
+    cases.push_back({"liar25",
+                     fault::FaultPlan::byzantineLiar(1, 0.25, 16, seed),
+                     true, false, 6, 0});
+    cases.push_back({"liar_subthreshold",
+                     fault::FaultPlan::byzantineLiar(1, 0.002, 16, seed),
+                     false, false, 3, 0});
+    if (spec.protocol == Protocol::Independent)
+        cases.push_back(
+            {"lost_write",
+             fault::FaultPlan::byzantine(fault::ByzantineFaultKind::LostWrite,
+                                         1, 0.5, 16, 0.12, seed),
+             true, true, 6, 0});
+    else
+        cases.push_back(
+            {"equivocator",
+             fault::FaultPlan::byzantine(
+                 fault::ByzantineFaultKind::Equivocate, 1, 1.0, 16, 0.12,
+                 seed),
+             true, false, 6, 0});
+    fault::FaultPlan armed;
+    armed.mistrustConvictThreshold = 0.12;
+    armed.seed = seed;
+    cases.push_back({"fault_free_armed", armed, false, false, 3, 10000});
+    return cases;
+}
+
+struct ByzOutcome
+{
+    std::string name;
+    std::uint64_t accesses = 0;
+    std::uint64_t convictions = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t unrecovered = 0;
+    std::uint64_t lostWrites = 0; ///< detected ByzantineLostWrite.
+    std::uint64_t corruptBlocks = 0;
+    bool convictOk = false;
+    bool ledgerOk = false;
+    bool dataOk = false;
+    bool pass = false;
+};
+
+template <typename Oram>
+ByzOutcome
+driveByzCase(Oram &o, fault::FaultInjector &inj, const ByzCase &bc,
+             std::uint64_t seed)
+{
+    ByzOutcome r;
+    r.name = bc.name;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(o.capacityBlocks() / 2, 256);
+    for (std::uint64_t a = 0; a < n; ++a) {
+        const BlockData d = stampBlock(a, seed);
+        o.access(a, oram::OramOp::Write, &d);
+        ++r.accesses;
+    }
+    // Read passes: enough touches of the lying unit for the mistrust
+    // EWMA to cross (or demonstrably NOT cross) the hysteresis.
+    unsigned pass = 0;
+    while (pass < bc.passes || r.accesses < bc.minAccesses) {
+        for (std::uint64_t a = 0; a < n; ++a) {
+            o.access(a, oram::OramOp::Read, nullptr);
+            ++r.accesses;
+        }
+        if (++pass > 64)
+            break;
+    }
+    for (std::uint64_t a = 0; a < n; ++a) {
+        if (o.access(a, oram::OramOp::Read, nullptr) !=
+            stampBlock(a, seed))
+            ++r.corruptBlocks;
+        ++r.accesses;
+    }
+
+    r.convictions = inj.convictedUnits();
+    r.detected = inj.detectedTotal();
+    r.recovered = inj.recoveredTotal();
+    r.unrecovered = inj.unrecoveredTotal();
+    r.lostWrites = inj.detected(fault::FaultKind::ByzantineLostWrite);
+    r.convictOk = bc.expectConvict ? r.convictions == 1
+                                   : r.convictions == 0;
+    r.ledgerOk = r.detected == r.recovered + r.unrecovered;
+    if (bc.lossy) {
+        // Dropped payloads are gone, but every loss must be detected
+        // at read-back, attributed to the culprit, and bounded.
+        r.dataOk = r.lostWrites > 0 &&
+                   r.corruptBlocks <= r.lostWrites &&
+                   r.unrecovered == r.lostWrites;
+    } else {
+        r.dataOk = r.corruptBlocks == 0 && r.unrecovered == 0;
+    }
+    if (bc.plan.byzantineFaults.empty())
+        r.dataOk = r.dataOk && r.detected == 0;
+    r.pass = r.convictOk && r.ledgerOk && r.dataOk && !o.failedStop();
+    return r;
+}
+
+std::vector<ByzOutcome>
+runByzantine(const DesignSpec &spec, std::uint64_t seed)
+{
+    std::vector<ByzOutcome> out;
+    for (const ByzCase &bc : byzCases(spec, seed)) {
+        fault::FaultInjector inj(bc.plan);
+        if (spec.protocol == Protocol::Independent) {
+            sdimm::IndependentOram::Params p;
+            p.perSdimm.levels = 6;
+            p.perSdimm.stashCapacity = 200;
+            p.numSdimms = kUnitsPerShard;
+            sdimm::IndependentOram o(p, seed);
+            o.setFaultInjector(&inj,
+                               fault::DegradationPolicy::Degraded);
+            out.push_back(driveByzCase(o, inj, bc, seed));
+        } else {
+            sdimm::IndepSplitOram::Params p;
+            p.perGroupTree.levels = 6;
+            p.perGroupTree.stashCapacity = 200;
+            p.groups = kUnitsPerShard;
+            p.slicesPerGroup = 2;
+            sdimm::IndepSplitOram o(p, seed);
+            o.setFaultInjector(&inj,
+                               fault::DegradationPolicy::Degraded);
+            out.push_back(driveByzCase(o, inj, bc, seed));
+        }
+    }
+    return out;
+}
+
+/* ------------------------------------------------------------------ */
 /* Phase B: post-chaos indistinguishability                            */
 /* ------------------------------------------------------------------ */
 
@@ -571,6 +744,117 @@ runPostChaos(const DesignSpec &spec, std::uint64_t seed,
 }
 
 /* ------------------------------------------------------------------ */
+/* Phase B2: post-conviction indistinguishability (unit designs)       */
+/* ------------------------------------------------------------------ */
+
+/** One single-system run with a persistent corruptor armed mid-run:
+ *  the unit is convicted and obliviously evacuated, and the trace of
+ *  two secret-differing runs must still deep-compare. */
+std::vector<verify::TraceEvent>
+deepRunByz(const DesignSpec &spec, std::uint64_t secret_seed,
+           std::uint64_t plan_seed, std::size_t accesses)
+{
+    const fault::FaultPlan plan =
+        fault::FaultPlan::byzantineCorruptor(1, accesses / 4, plan_seed);
+    fault::FaultInjector inj(plan);
+    if (spec.protocol == Protocol::Independent) {
+        sdimm::IndependentOram::Params p;
+        p.perSdimm.levels = 6;
+        p.perSdimm.stashCapacity = 200;
+        p.numSdimms = kUnitsPerShard;
+        sdimm::IndependentOram o(p, plan_seed);
+        o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+        Rng rng(secret_seed);
+        for (std::size_t i = 0; i < accesses; ++i)
+            o.access(rng.nextBelow(o.capacityBlocks()),
+                     oram::OramOp::Read, nullptr);
+        std::vector<verify::TraceEvent> t;
+        for (const sdimm::BusEvent &e : o.busTrace())
+            t.push_back(verify::TraceEvent{
+                verify::TraceEventKind::ShortCmd,
+                (static_cast<std::uint64_t>(e.type) << 8) | e.sdimm, 0});
+        return clockedTrace(std::move(t));
+    }
+    sdimm::IndepSplitOram::Params p;
+    p.perGroupTree.levels = 6;
+    p.perGroupTree.stashCapacity = 200;
+    p.groups = kUnitsPerShard;
+    p.slicesPerGroup = 2;
+    sdimm::IndepSplitOram o(p, plan_seed);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+    Rng rng(secret_seed);
+    for (std::size_t i = 0; i < accesses; ++i)
+        o.access(rng.nextBelow(o.capacityBlocks()),
+                 oram::OramOp::Read, nullptr);
+    std::vector<verify::TraceEvent> t;
+    for (const sdimm::GroupBusEvent &e : o.busTrace())
+        t.push_back(verify::TraceEvent{
+            verify::TraceEventKind::ShortCmd,
+            (static_cast<std::uint64_t>(e.type) << 8) | e.group, 0});
+    return clockedTrace(std::move(t));
+}
+
+/** Locality-phased MI with a conviction landing mid-measurement: the
+ *  eviction storm is public (plan-determined), so MI must stay zero. */
+verify::LeakReport
+measureByzMi(const DesignSpec &spec, const verify::PlbLeakOptions &opts)
+{
+    const fault::FaultPlan plan = fault::FaultPlan::byzantineCorruptor(
+        1, opts.requests / 4, opts.seed);
+    fault::FaultInjector inj(plan);
+    if (spec.protocol == Protocol::Independent) {
+        sdimm::IndependentOram::Params p;
+        p.perSdimm.levels = 6;
+        p.perSdimm.stashCapacity = 200;
+        p.numSdimms = kUnitsPerShard;
+        sdimm::IndependentOram o(p, opts.seed);
+        o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+        return verify::measureLocalityLeakWith(
+            spec.name, o.capacityBlocks(), opts,
+            [&](Addr a) { o.access(a, oram::OramOp::Read, nullptr); },
+            [&] { return o.busTrace().size(); });
+    }
+    sdimm::IndepSplitOram::Params p;
+    p.perGroupTree.levels = 6;
+    p.perGroupTree.stashCapacity = 200;
+    p.groups = 2;
+    p.slicesPerGroup = 2;
+    sdimm::IndepSplitOram o(p, opts.seed);
+    o.setFaultInjector(&inj, fault::DegradationPolicy::Degraded);
+    return verify::measureLocalityLeakWith(
+        spec.name, o.capacityBlocks(), opts,
+        [&](Addr a) { o.access(a, oram::OramOp::Read, nullptr); },
+        [&] { return o.busTrace().size(); });
+}
+
+struct PostByzResult
+{
+    bool deepPass = false;
+    verify::LeakReport mi;
+    bool miOk = false;
+    bool pass = false;
+};
+
+PostByzResult
+runPostByzantine(const DesignSpec &spec, std::uint64_t seed,
+                 std::size_t mi_requests)
+{
+    PostByzResult r;
+    const std::size_t deep_accesses = 1500;
+    const auto a = deepRunByz(spec, seed * 11 + 1, seed, deep_accesses);
+    const auto b = deepRunByz(spec, seed * 13 + 7, seed, deep_accesses);
+    r.deepPass = verify::deepCompareTraces(a, b).pass;
+
+    verify::PlbLeakOptions mi_opts;
+    mi_opts.requests = mi_requests;
+    mi_opts.seed = seed;
+    r.mi = measureByzMi(spec, mi_opts);
+    r.miOk = !r.mi.mi.leakDetected();
+    r.pass = r.deepPass && r.miOk;
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
 /* Reporting                                                           */
 /* ------------------------------------------------------------------ */
 
@@ -615,6 +899,23 @@ campaignJson(const CampaignResult &c)
          ", \"zero_survivor_ok\": " + boolJson(c.zeroSurvivorOk) +
          ", \"pass\": " + boolJson(c.pass) + "}";
     return j;
+}
+
+std::string
+byzJson(const ByzOutcome &o)
+{
+    return "{\"case\": \"" + o.name +
+           "\", \"accesses\": " + std::to_string(o.accesses) +
+           ", \"convictions\": " + std::to_string(o.convictions) +
+           ", \"detected\": " + std::to_string(o.detected) +
+           ", \"recovered\": " + std::to_string(o.recovered) +
+           ", \"unrecovered\": " + std::to_string(o.unrecovered) +
+           ", \"lost_writes\": " + std::to_string(o.lostWrites) +
+           ", \"corrupt_blocks\": " + std::to_string(o.corruptBlocks) +
+           ", \"convict_ok\": " + boolJson(o.convictOk) +
+           ", \"ledger_ok\": " + boolJson(o.ledgerOk) +
+           ", \"data_ok\": " + boolJson(o.dataOk) +
+           ", \"pass\": " + boolJson(o.pass) + "}";
 }
 
 void
@@ -706,6 +1007,42 @@ main(int argc, char **argv)
             design_pass = design_pass && c.pass;
         }
 
+        // Byzantine campaigns + post-conviction gates (unit designs:
+        // only Independent/IndepSplit have convictable units).
+        std::string byz_json;
+        std::string post_byz_json;
+        if (spec.unitDesign) {
+            for (unsigned k = 0; k < seeds; ++k) {
+                for (const ByzOutcome &o :
+                     runByzantine(spec, seed + k)) {
+                    std::printf(
+                        "%-12s seed=%llu byz:%-18s %s  (convict=%s "
+                        "ledger=%s data=%s)\n",
+                        spec.name,
+                        static_cast<unsigned long long>(seed + k),
+                        o.name.c_str(), o.pass ? "PASS" : "FAIL",
+                        boolJson(o.convictOk), boolJson(o.ledgerOk),
+                        boolJson(o.dataOk));
+                    byz_json += byz_json.empty() ? "" : ",\n        ";
+                    byz_json += byzJson(o);
+                    design_pass = design_pass && o.pass;
+                }
+            }
+            const PostByzResult pb =
+                runPostByzantine(spec, seed, mi_requests);
+            std::printf(
+                "%-12s post-byzantine %s  (deep=%s mi=%s; %s)\n",
+                spec.name, pb.pass ? "PASS" : "FAIL",
+                boolJson(pb.deepPass), boolJson(pb.miOk),
+                pb.mi.mi.summary().c_str());
+            design_pass = design_pass && pb.pass;
+            post_byz_json =
+                ",\n      \"post_byzantine\": {\"deep_pass\": " +
+                std::string(boolJson(pb.deepPass)) +
+                ", \"mi_ok\": " + boolJson(pb.miOk) +
+                ", \"mi\": " + pb.mi.toJson() + "}";
+        }
+
         const PostChaosResult pc = runPostChaos(
             spec, seed, requests, threads, shards, mi_requests);
         std::printf("%-12s post-chaos %s  (deep=%s sched=%s mi=%s; %s)\n",
@@ -727,7 +1064,9 @@ main(int argc, char **argv)
             "{\"design\": \"" + std::string(spec.name) +
             "\",\n      \"plans\": [" + plans_json +
             "],\n      \"campaigns\": [" + campaigns_json +
-            "],\n      \"post_chaos\": {\"deep_pass\": " +
+            "],\n      \"byzantine\": [" + byz_json + "]" +
+            post_byz_json +
+            ",\n      \"post_chaos\": {\"deep_pass\": " +
             boolJson(pc.deepPass) +
             ", \"sched_pass\": " + boolJson(pc.schedPass) +
             ", \"expect_leak\": " + boolJson(pc.expectLeak) +
@@ -742,7 +1081,7 @@ main(int argc, char **argv)
 
     const std::string json =
         "{\n  \"tool\": \"sdimm_chaos\",\n"
-        "  \"schema\": \"secdimm-chaos-v1\",\n"
+        "  \"schema\": \"secdimm-chaos-v2\",\n"
         "  \"seed\": " + std::to_string(seed) +
         ",\n  \"seeds\": " + std::to_string(seeds) +
         ",\n  \"requests\": " + std::to_string(requests) +
