@@ -24,6 +24,15 @@
  *   $ ./examples/trace_replay mcf SPLIT-2 1000 \
  *         --fault-plan='{"link_drop_rate": 0.001}'
  *
+ * --workload=zipfian:<theta>|hotset:<frac>|scan[:len]|mix:<file.json>
+ * replaces the SPEC-profile trace with the KV workload engine
+ * (src/app/kv_workload.hh): application-shaped slot traffic in BOTH
+ * modes, reproducible via --workload-seed=N (default 1).
+ *
+ *   $ ./examples/trace_replay --workload=zipfian:0.99 SPLIT-2 2000
+ *   $ ./examples/trace_replay --workload=hotset:0.1 --shards=4 \
+ *         --workload-seed=7 2000
+ *
  * In sharded mode --protocol=<pathoram|freecursive|independent|split|
  * indepsplit> picks each shard's backend (default pathoram) and
  * --degraded switches the fault response from retry-then-stop to
@@ -42,9 +51,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "app/kv_workload.hh"
 #include "core/simulator.hh"
 #include "fault/fault_plan_io.hh"
 #include "serve/sharded_memory.hh"
@@ -160,13 +171,34 @@ emitMetrics(const secdimm::util::MetricsRegistry &m,
     return 0;
 }
 
+/** Total key population across a spec's tenants. */
+std::uint64_t
+kvTotalKeys(const app::KvWorkloadSpec &spec)
+{
+    if (spec.tenants.empty())
+        return spec.keys;
+    std::uint64_t total = 0;
+    for (const auto &t : spec.tenants)
+        total += kvTotalKeys(t);
+    return total;
+}
+
+/** Multiply every (leaf) tenant's key population by @p factor. */
+void
+kvScaleKeys(app::KvWorkloadSpec &spec, std::uint64_t factor)
+{
+    spec.keys *= factor;
+    for (auto &t : spec.tenants)
+        kvScaleKeys(t, factor);
+}
+
 /**
  * Functional sharded replay: the workload's LLC-miss stream is
  * submitted asynchronously to a ShardedSecureMemory, exercising the
  * multi-threaded frontend end to end.
  */
 int
-replaySharded(const trace::WorkloadProfile &profile,
+replaySharded(const std::string &label, trace::RecordSource &gen,
               std::uint64_t accesses, unsigned shards, unsigned batch,
               SecureMemorySystem::Protocol protocol,
               fault::DegradationPolicy policy,
@@ -185,10 +217,9 @@ replaySharded(const trace::WorkloadProfile &profile,
 
     std::printf("replaying %s through the sharded service (%u shards, "
                 "batch %u, %llu accesses)...\n",
-                profile.name.c_str(), shards, opt.maxBatch,
+                label.c_str(), shards, opt.maxBatch,
                 static_cast<unsigned long long>(accesses));
 
-    trace::TraceGenerator gen(profile, 1);
     const std::uint64_t cap = mem.capacityBlocks();
     std::vector<std::future<BlockData>> reads;
     std::vector<std::future<void>> writes;
@@ -297,6 +328,8 @@ main(int argc, char **argv)
     fault::DegradationPolicy policy =
         fault::DegradationPolicy::RetryThenStop;
     fault::FaultPlan fault_plan = fault::FaultPlan::none();
+    std::optional<app::KvWorkloadSpec> kv_spec;
+    std::uint64_t workload_seed = 1;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -318,24 +351,36 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--fault-plan=", 13) == 0) {
             if (!loadFaultPlan(argv[i] + 13, &fault_plan))
                 return 1;
+        } else if (std::strncmp(argv[i], "--workload=", 11) == 0) {
+            std::string err;
+            kv_spec = app::parseKvWorkloadFlag(argv[i] + 11, &err);
+            if (!kv_spec.has_value()) {
+                std::fprintf(stderr, "--workload: %s\n", err.c_str());
+                return 1;
+            }
+        } else if (std::strncmp(argv[i], "--workload-seed=", 16) == 0) {
+            workload_seed = std::strtoull(argv[i] + 16, nullptr, 0);
         } else {
             pos.push_back(argv[i]);
         }
     }
 
-    const std::string workload = !pos.empty() ? pos[0] : "mcf";
+    // With --workload= the SPEC-profile positional is dropped; the
+    // remaining positionals keep their roles.
+    const std::size_t base = kv_spec.has_value() ? 0 : 1;
+    const std::string workload =
+        !kv_spec.has_value() && !pos.empty() ? pos[0] : "mcf";
+    const std::string kv_label =
+        kv_spec.has_value()
+            ? std::string("kv:") +
+                  app::kvWorkloadKindName(kv_spec->kind) +
+                  " (seed " + std::to_string(workload_seed) + ")"
+            : "";
 
     if (shards > 0) {
-        // Sharded functional replay: workload [accesses].
-        const trace::WorkloadProfile *profile =
-            trace::findProfile(workload);
-        if (profile == nullptr) {
-            std::printf("unknown workload '%s'\n", workload.c_str());
-            listOptions();
-            return 1;
-        }
+        // Sharded functional replay: [workload] [accesses].
         std::uint64_t accesses = 1000;
-        for (std::size_t i = 1; i < pos.size(); ++i) {
+        for (std::size_t i = base; i < pos.size(); ++i) {
             char *end = nullptr;
             const std::uint64_t v = std::strtoull(pos[i], &end, 0);
             if (end != pos[i] && *end == '\0') {
@@ -343,18 +388,36 @@ main(int argc, char **argv)
                 break;
             }
         }
-        return replaySharded(*profile, accesses, shards, batch,
-                             protocol, policy, fault_plan,
+        if (kv_spec.has_value()) {
+            app::KvBlockStream gen(*kv_spec, workload_seed,
+                                   /*footprint_bytes=*/1 << 20);
+            return replaySharded(kv_label, gen, accesses, shards,
+                                 batch, protocol, policy, fault_plan,
+                                 dump_metrics, metrics_path);
+        }
+        const trace::WorkloadProfile *profile =
+            trace::findProfile(workload);
+        if (profile == nullptr) {
+            std::printf("unknown workload '%s'\n", workload.c_str());
+            listOptions();
+            return 1;
+        }
+        trace::TraceGenerator gen(*profile, 1);
+        return replaySharded(profile->name, gen, accesses, shards,
+                             batch, protocol, policy, fault_plan,
                              dump_metrics, metrics_path);
     }
 
-    const std::string design_name = pos.size() > 1 ? pos[1] : "SPLIT-2";
+    const std::string design_name =
+        pos.size() > base ? pos[base] : "SPLIT-2";
     const std::uint64_t accesses =
-        pos.size() > 2 ? std::strtoull(pos[2], nullptr, 0) : 1000;
+        pos.size() > base + 1
+            ? std::strtoull(pos[base + 1], nullptr, 0)
+            : 1000;
 
     const trace::WorkloadProfile *profile =
-        trace::findProfile(workload);
-    if (profile == nullptr) {
+        kv_spec.has_value() ? nullptr : trace::findProfile(workload);
+    if (!kv_spec.has_value() && profile == nullptr) {
         std::printf("unknown workload '%s'\n", workload.c_str());
         listOptions();
         return 1;
@@ -378,10 +441,36 @@ main(int argc, char **argv)
 
     std::printf("replaying %s on %s (%llu measured LLC-miss records, "
                 "24-level tree, 7 cached)...\n",
-                workload.c_str(), row->name,
-                static_cast<unsigned long long>(accesses));
+                kv_spec.has_value() ? kv_label.c_str()
+                                    : workload.c_str(),
+                row->name, static_cast<unsigned long long>(accesses));
 
-    const SimResult r = runWorkload(cfg, *profile, lens, 1);
+    SimResult r;
+    if (kv_spec.has_value()) {
+        // Application-shaped traffic through the timing simulator.
+        // The records pass the Table II cache hierarchy first, so a
+        // key population whose slots fit inside the 2 MB LLC never
+        // reaches the ORAM at all; scale the population until the
+        // working set spills (the shapes -- zipf skew, hot fractions,
+        // scan runs -- are population-relative, so they survive).
+        const std::uint64_t slot_bytes = 4 * 64;
+        const std::uint64_t spill_keys = (8ULL << 20) / slot_bytes;
+        const std::uint64_t total = kvTotalKeys(*kv_spec);
+        if (total < spill_keys) {
+            kvScaleKeys(*kv_spec,
+                        (spill_keys + total - 1) / total);
+            std::printf("(key population scaled %llu -> %llu so the "
+                        "working set spills the 2 MB LLC)\n",
+                        static_cast<unsigned long long>(total),
+                        static_cast<unsigned long long>(
+                            kvTotalKeys(*kv_spec)));
+        }
+        app::KvBlockStream gen(*kv_spec, workload_seed,
+                               /*footprint_bytes=*/1 << 26);
+        r = runWorkloadFromSource(cfg, gen, lens, 1);
+    } else {
+        r = runWorkload(cfg, *profile, lens, 1);
+    }
 
     std::printf("\ncycles (memory clock):    %llu\n",
                 static_cast<unsigned long long>(r.core.cycles));

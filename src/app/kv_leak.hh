@@ -1,0 +1,62 @@
+/**
+ * @file
+ * App-level leak measurement: does the KV store's externally visible
+ * schedule tell the adversary whether lookups hit or miss?  The
+ * workload alternates secret phases (present keys vs absent keys) and
+ * the per-request observable is the number of schedule events the
+ * service emitted -- exactly the PLB-locality methodology of
+ * verify/leak_meter.hh lifted from block traffic to application
+ * traffic (the ROADMAP's "leak measured over app-level traffic"
+ * stretch item).
+ *
+ * Expected outcomes (gated by sdimm_leakmeter --check and tests/app):
+ * the oblivious index measures ~0 bits/access (its CI includes 0);
+ * the leaky baseline measures decisively nonzero (hits do work,
+ * misses do none -- a full secret bit per access).
+ */
+
+#ifndef SECUREDIMM_APP_KV_LEAK_HH
+#define SECUREDIMM_APP_KV_LEAK_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "app/kv_store.hh"
+#include "verify/leak_meter.hh"
+
+namespace secdimm::app
+{
+
+/** Shape of the hit/miss-phased KV workload. */
+struct KvLeakOptions
+{
+    /** Requests driven (= MI sample count). */
+    std::size_t requests = 2000;
+
+    /** Requests per secret phase (hit-phase / miss-phase). */
+    std::size_t phaseLen = 16;
+
+    /** Store geometry. */
+    std::uint64_t capacityKeys = 96;
+    std::size_t valueBytes = 96;
+    unsigned shards = 2;
+
+    KvIndexMode index = KvIndexMode::Oblivious;
+
+    std::uint64_t seed = 1;
+
+    verify::MiOptions mi;
+};
+
+/**
+ * Build a KV store over a sharded PathOram service, preload half its
+ * capacity, then alternate phases of hitting gets (resident keys) and
+ * missing gets (absent keys) while recording the interleaved
+ * schedule.  Returns MI between the secret phase label and the
+ * per-request schedule-event count.
+ */
+verify::LeakReport measureKvHitMissLeak(const KvLeakOptions &opts = {});
+
+} // namespace secdimm::app
+
+#endif // SECUREDIMM_APP_KV_LEAK_HH

@@ -1,0 +1,577 @@
+#include "app/kv_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace secdimm::app
+{
+
+namespace
+{
+
+/** Little-endian u16/u32 record-header fields. */
+void
+putU16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+putU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+const char *
+kvIndexModeName(KvIndexMode mode)
+{
+    return mode == KvIndexMode::Oblivious ? "oblivious"
+                                          : "leaky_baseline";
+}
+
+unsigned
+ObliviousKVStore::slotBlocksFor(std::size_t max_key_bytes,
+                                std::size_t max_value_bytes)
+{
+    const std::size_t record = headerBytes + max_key_bytes +
+                               max_value_bytes;
+    return static_cast<unsigned>((record + blockBytes - 1) / blockBytes);
+}
+
+std::uint64_t
+ObliviousKVStore::slotsFor(
+    const serve::ShardedSecureMemory::Options &serve_opts,
+    std::size_t max_key_bytes, std::size_t max_value_bytes)
+{
+    serve::ShardedSecureMemory probe(serve_opts);
+    return probe.capacityBlocks() /
+           slotBlocksFor(max_key_bytes, max_value_bytes);
+}
+
+ObliviousKVStore::ObliviousKVStore(const Options &options)
+    : mem_(std::make_unique<serve::ShardedSecureMemory>(options.serve)),
+      mode_(options.index), capacityKeys_(options.capacityKeys),
+      maxKeyBytes_(options.maxKeyBytes),
+      maxValueBytes_(options.maxValueBytes),
+      blocksPerSlot_(slotBlocksFor(options.maxKeyBytes,
+                                   options.maxValueBytes)),
+      slotCount_(mem_->capacityBlocks() / blocksPerSlot_),
+      opDeadline_(options.opDeadline),
+      rng_(options.seed * 1000003 + 17)
+{
+    if (capacityKeys_ == 0)
+        throw std::invalid_argument("kv: capacityKeys must be > 0");
+    if (maxKeyBytes_ == 0 || maxKeyBytes_ > 0xffff)
+        throw std::invalid_argument("kv: maxKeyBytes outside [1, 65535]");
+    if (slotCount_ < capacityKeys_ + 2)
+        throw std::invalid_argument(
+            "kv: service capacity provides " +
+            std::to_string(slotCount_) + " slots of " +
+            std::to_string(blocksPerSlot_) + " blocks; need >= " +
+            std::to_string(capacityKeys_ + 2) +
+            " (capacityKeys + 2 slack)");
+    slackSlots_ = slotCount_ - capacityKeys_;
+    maxOpsInFlight_ = static_cast<std::size_t>(
+        std::max<std::uint64_t>(1, slackSlots_ - 1));
+
+    freeSlots_.reserve(slotCount_);
+    for (std::uint64_t s = 0; s < slotCount_; ++s)
+        freeSlots_.push_back(s);
+
+    kv_.setCounter("kv.capacity_keys", capacityKeys_);
+    kv_.setCounter("kv.slots", slotCount_);
+    kv_.setCounter("kv.blocks_per_slot", blocksPerSlot_);
+    kv_.setCounter("kv.slack_slots", slackSlots_);
+    kv_.setGauge("kv.live_keys", 0.0);
+}
+
+ObliviousKVStore::~ObliviousKVStore() = default;
+
+std::uint64_t
+ObliviousKVStore::liveKeys() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return mode_ == KvIndexMode::Oblivious ? index_.size()
+                                           : leakyIndex_.size();
+}
+
+util::MetricsRegistry
+ObliviousKVStore::metrics()
+{
+    util::MetricsRegistry out = mem_->metrics();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        kv_.setGauge("kv.live_keys",
+                     static_cast<double>(mode_ == KvIndexMode::Oblivious
+                                             ? index_.size()
+                                             : leakyIndex_.size()));
+        out.merge(kv_);
+    }
+    return out;
+}
+
+void
+ObliviousKVStore::validateKey(const std::string &key) const
+{
+    if (key.empty() || key.size() > maxKeyBytes_)
+        throw KeyTooLargeError(key.size(), maxKeyBytes_);
+}
+
+std::vector<BlockData>
+ObliviousKVStore::encodeRecord(const std::string &key,
+                               const std::string &value) const
+{
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(blocksPerSlot_) * blockBytes, 0);
+    putU16(bytes.data(), static_cast<std::uint16_t>(key.size()));
+    putU32(bytes.data() + 2, static_cast<std::uint32_t>(value.size()));
+    std::memcpy(bytes.data() + headerBytes, key.data(), key.size());
+    std::memcpy(bytes.data() + headerBytes + key.size(), value.data(),
+                value.size());
+
+    std::vector<BlockData> blocks(blocksPerSlot_);
+    for (unsigned b = 0; b < blocksPerSlot_; ++b)
+        std::memcpy(blocks[b].data(), bytes.data() + b * blockBytes,
+                    blockBytes);
+    return blocks;
+}
+
+std::optional<std::pair<std::string, std::string>>
+ObliviousKVStore::decodeRecord(const std::vector<BlockData> &blocks) const
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(blocks.size() * blockBytes);
+    for (const BlockData &b : blocks)
+        bytes.insert(bytes.end(), b.begin(), b.end());
+
+    const std::uint16_t key_len = getU16(bytes.data());
+    const std::uint32_t value_len = getU32(bytes.data() + 2);
+    if (key_len == 0 || key_len > maxKeyBytes_ ||
+        value_len > maxValueBytes_)
+        return std::nullopt; // Dummy or garbage record.
+    if (headerBytes + key_len + value_len > bytes.size())
+        return std::nullopt;
+
+    std::string key(reinterpret_cast<const char *>(bytes.data()) +
+                        headerBytes,
+                    key_len);
+    std::string value(reinterpret_cast<const char *>(bytes.data()) +
+                          headerBytes + key_len,
+                      value_len);
+    return std::make_pair(std::move(key), std::move(value));
+}
+
+template <typename T>
+T
+ObliviousKVStore::awaitFuture(std::future<T> &f, Addr block)
+{
+    if (opDeadline_.count() > 0 &&
+        f.wait_for(opDeadline_) == std::future_status::timeout)
+        throw serve::RequestTimeoutError(mem_->shardOf(block),
+                                         opDeadline_);
+    return f.get();
+}
+
+std::uint64_t
+ObliviousKVStore::drawFreeSlotLocked()
+{
+    // The admission cap (maxOpsInFlight_ < slackSlots_) guarantees
+    // the pool cannot run dry: every in-flight op holds exactly one
+    // pool slot and live + reserved inserts never exceed capacityKeys.
+    if (freeSlots_.empty())
+        throw std::logic_error("kv: free-slot pool exhausted");
+    const std::size_t i =
+        static_cast<std::size_t>(rng_.nextBelow(freeSlots_.size()));
+    const std::uint64_t slot = freeSlots_[i];
+    freeSlots_[i] = freeSlots_.back();
+    freeSlots_.pop_back();
+    return slot;
+}
+
+/* ---- public API ---------------------------------------------------- */
+
+void
+ObliviousKVStore::put(const std::string &key, const std::string &value)
+{
+    std::vector<PlannedOp> ops(1);
+    ops[0].kind = OpKind::Put;
+    ops[0].key = key;
+    ops[0].value = value;
+    runOps(ops);
+}
+
+std::optional<std::string>
+ObliviousKVStore::get(const std::string &key)
+{
+    std::vector<PlannedOp> ops(1);
+    ops[0].kind = OpKind::Get;
+    ops[0].key = key;
+    runOps(ops);
+    return ops[0].result;
+}
+
+bool
+ObliviousKVStore::erase(const std::string &key)
+{
+    std::vector<PlannedOp> ops(1);
+    ops[0].kind = OpKind::Erase;
+    ops[0].key = key;
+    runOps(ops);
+    return ops[0].found;
+}
+
+std::vector<std::optional<std::string>>
+ObliviousKVStore::multiGet(const std::vector<std::string> &keys)
+{
+    std::vector<PlannedOp> ops(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        ops[i].kind = OpKind::Get;
+        ops[i].key = keys[i];
+    }
+    runOps(ops);
+
+    std::vector<std::optional<std::string>> out(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        out[i] = std::move(ops[i].result);
+    return out;
+}
+
+void
+ObliviousKVStore::multiPut(
+    const std::vector<std::pair<std::string, std::string>> &items)
+{
+    std::vector<PlannedOp> ops(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        ops[i].kind = OpKind::Put;
+        ops[i].key = items[i].first;
+        ops[i].value = items[i].second;
+    }
+    runOps(ops);
+}
+
+/* ---- oblivious execution ------------------------------------------- */
+
+void
+ObliviousKVStore::runOps(std::vector<PlannedOp> &ops)
+{
+    for (const PlannedOp &op : ops) {
+        validateKey(op.key);
+        if (op.kind == OpKind::Put && op.value.size() > maxValueBytes_)
+            throw ValueTooLargeError(op.value.size(), maxValueBytes_);
+    }
+
+    if (mode_ == KvIndexMode::LeakyBaseline) {
+        runOpsLeaky(ops);
+        return;
+    }
+
+    kv_.incCounter("kv.batches");
+    kv_.sampleHistogram("kv.batch_size", ops.size());
+
+    // Ordered rounds: a key repeated inside one batch runs in a later
+    // round, so same-key ops apply in submission order; rounds are
+    // further chunked to the admission cap so the free-slot pool can
+    // never be exhausted by one oversized batch.
+    std::vector<bool> done(ops.size(), false);
+    std::size_t remaining = ops.size();
+    while (remaining > 0) {
+        std::unordered_set<std::string> in_round;
+        std::vector<PlannedOp *> chunk;
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (done[i] || in_round.count(ops[i].key))
+                continue;
+            in_round.insert(ops[i].key);
+            chunk.push_back(&ops[i]);
+            done[i] = true;
+            --remaining;
+            if (chunk.size() == maxOpsInFlight_)
+                break;
+        }
+        runChunk(chunk);
+    }
+}
+
+void
+ObliviousKVStore::planChunk(std::vector<PlannedOp *> &chunk,
+                            std::unique_lock<std::mutex> &lk)
+{
+    // Admit: wait until our keys are not in flight and the chunk fits
+    // under the in-flight-op cap.  We hold no pool slots while
+    // waiting, and in-flight ops complete without needing anything we
+    // hold, so this cannot deadlock.
+    cv_.wait(lk, [&] {
+        if (inflightOps_ != 0 &&
+            inflightOps_ + chunk.size() > maxOpsInFlight_)
+            return false;
+        for (const PlannedOp *op : chunk)
+            if (inflightKeys_.count(op->key))
+                return false;
+        return true;
+    });
+
+    for (PlannedOp *op : chunk)
+        inflightKeys_.insert(op->key);
+    inflightOps_ += chunk.size();
+
+    for (PlannedOp *op : chunk) {
+        auto it = index_.find(op->key);
+        op->hit = it != index_.end();
+        if (op->kind == OpKind::Put && !op->hit) {
+            if (index_.size() + reservedInserts_ >= capacityKeys_)
+                op->full = true;
+            else {
+                op->insert = true;
+                ++reservedInserts_;
+            }
+        }
+        op->readSlot =
+            op->hit ? it->second : rng_.nextBelow(slotCount_);
+        op->writeSlot = drawFreeSlotLocked();
+    }
+}
+
+void
+ObliviousKVStore::commitChunk(std::vector<PlannedOp *> &chunk)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (PlannedOp *op : chunk) {
+        inflightKeys_.erase(op->key);
+        switch (op->kind) {
+          case OpKind::Get:
+            kv_.incCounter("kv.gets");
+            if (op->hit) {
+                index_[op->key] = op->writeSlot;
+                freeSlots_.push_back(op->readSlot);
+            } else {
+                freeSlots_.push_back(op->writeSlot);
+                kv_.incCounter("kv.dummy_ops");
+            }
+            break;
+          case OpKind::Put:
+            kv_.incCounter("kv.puts");
+            if (op->hit) {
+                index_[op->key] = op->writeSlot;
+                freeSlots_.push_back(op->readSlot);
+                kv_.incCounter("kv.updates");
+            } else if (op->insert) {
+                index_[op->key] = op->writeSlot;
+                --reservedInserts_;
+                kv_.incCounter("kv.inserts");
+            } else { // Full: dummy sequence done, slot returns.
+                freeSlots_.push_back(op->writeSlot);
+                kv_.incCounter("kv.store_full_errors");
+                kv_.incCounter("kv.dummy_ops");
+            }
+            break;
+          case OpKind::Erase:
+            kv_.incCounter("kv.erases");
+            if (op->hit) {
+                index_.erase(op->key);
+                freeSlots_.push_back(op->readSlot);
+                freeSlots_.push_back(op->writeSlot);
+            } else {
+                freeSlots_.push_back(op->writeSlot);
+                kv_.incCounter("kv.dummy_ops");
+            }
+            break;
+        }
+        kv_.incCounter(op->hit ? "kv.hits" : "kv.misses");
+        kv_.incCounter("kv.blocks_read", blocksPerSlot_);
+        kv_.incCounter("kv.blocks_written", blocksPerSlot_);
+    }
+    inflightOps_ -= chunk.size();
+    cv_.notify_all();
+}
+
+void
+ObliviousKVStore::rollbackChunk(std::vector<PlannedOp *> &chunk)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (PlannedOp *op : chunk) {
+        inflightKeys_.erase(op->key);
+        freeSlots_.push_back(op->writeSlot);
+        if (op->insert)
+            --reservedInserts_;
+        // No index mutation happened yet, so the pre-op mapping (and
+        // the data at the key's old slot) is untouched.
+    }
+    inflightOps_ -= chunk.size();
+    cv_.notify_all();
+}
+
+void
+ObliviousKVStore::runChunk(std::vector<PlannedOp *> &chunk)
+{
+    if (chunk.empty())
+        return;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        planChunk(chunk, lk);
+    }
+
+    const PlannedOp *full_op = nullptr;
+    try {
+        // Phase R: fan every op's slot reads out, then await.  Every
+        // op reads exactly blocksPerSlot_ consecutive blocks.
+        std::vector<std::future<BlockData>> reads;
+        reads.reserve(chunk.size() * blocksPerSlot_);
+        for (PlannedOp *op : chunk)
+            for (unsigned b = 0; b < blocksPerSlot_; ++b)
+                reads.push_back(mem_->submitRead(
+                    op->readSlot * blocksPerSlot_ + b));
+        std::size_t r = 0;
+        for (PlannedOp *op : chunk) {
+            op->readBlocks.resize(blocksPerSlot_);
+            for (unsigned b = 0; b < blocksPerSlot_; ++b, ++r)
+                op->readBlocks[b] = awaitFuture(
+                    reads[r], op->readSlot * blocksPerSlot_ + b);
+        }
+
+        // Interpret the reads and build phase-W payloads.
+        std::vector<std::vector<BlockData>> payloads(chunk.size());
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            PlannedOp *op = chunk[i];
+            if (op->hit) {
+                auto rec = decodeRecord(op->readBlocks);
+                if (!rec || rec->first != op->key) {
+                    // Corrupt record (e.g. byzantine damage): count
+                    // it, serve a miss, but keep the access sequence.
+                    kv_.incCounter("kv.key_mismatches");
+                } else {
+                    op->found = true;
+                    if (op->kind == OpKind::Get)
+                        op->result = rec->second;
+                }
+            }
+            if (op->kind == OpKind::Put && !op->full)
+                payloads[i] = encodeRecord(op->key, op->value);
+            else if (op->hit && op->kind != OpKind::Erase)
+                payloads[i] = op->readBlocks; // Move record verbatim.
+            else
+                payloads[i].assign(blocksPerSlot_, BlockData{});
+            if (op->full)
+                full_op = op;
+        }
+
+        // Phase W: every op writes exactly blocksPerSlot_ consecutive
+        // blocks of its (uniform, exclusively held) write slot.
+        std::vector<std::future<void>> writes;
+        writes.reserve(chunk.size() * blocksPerSlot_);
+        for (std::size_t i = 0; i < chunk.size(); ++i)
+            for (unsigned b = 0; b < blocksPerSlot_; ++b)
+                writes.push_back(mem_->submitWrite(
+                    chunk[i]->writeSlot * blocksPerSlot_ + b,
+                    payloads[i][b]));
+        std::size_t w = 0;
+        for (PlannedOp *op : chunk)
+            for (unsigned b = 0; b < blocksPerSlot_; ++b, ++w)
+                awaitFuture(writes[w],
+                            op->writeSlot * blocksPerSlot_ + b);
+    } catch (...) {
+        rollbackChunk(chunk);
+        throw;
+    }
+
+    commitChunk(chunk);
+    if (full_op != nullptr)
+        throw KvStoreFullError(full_op->key);
+}
+
+/* ---- leaky positive control ---------------------------------------- */
+
+void
+ObliviousKVStore::runOpsLeaky(std::vector<PlannedOp> &ops)
+{
+    // Everything a real (non-oblivious) hash-table-over-blocks server
+    // would do: static slots, hit-length reads, nothing on a miss.
+    // Sequential and fully serialized -- this mode exists only as the
+    // FAIL control for the trace/schedule checkers.
+    std::lock_guard<std::mutex> lk(mu_);
+    kv_.incCounter("kv.batches");
+    kv_.sampleHistogram("kv.batch_size", ops.size());
+
+    for (PlannedOp &op : ops) {
+        auto it = leakyIndex_.find(op.key);
+        op.hit = it != leakyIndex_.end();
+        kv_.incCounter(op.hit ? "kv.hits" : "kv.misses");
+        switch (op.kind) {
+          case OpKind::Get: {
+            kv_.incCounter("kv.gets");
+            if (!op.hit)
+                break; // Miss: zero accesses -- the leak.
+            std::vector<BlockData> blocks(it->second.blocks);
+            for (unsigned b = 0; b < it->second.blocks; ++b) {
+                auto f = mem_->submitRead(
+                    it->second.slot * blocksPerSlot_ + b);
+                blocks[b] = awaitFuture(
+                    f, it->second.slot * blocksPerSlot_ + b);
+            }
+            kv_.incCounter("kv.blocks_read", it->second.blocks);
+            std::vector<BlockData> padded = blocks;
+            padded.resize(blocksPerSlot_);
+            if (auto rec = decodeRecord(padded);
+                rec && rec->first == op.key) {
+                op.found = true;
+                op.result = rec->second;
+            }
+            break;
+          }
+          case OpKind::Put: {
+            kv_.incCounter("kv.puts");
+            std::uint64_t slot;
+            if (op.hit)
+                slot = it->second.slot;
+            else {
+                if (leakyIndex_.size() >= capacityKeys_ ||
+                    freeSlots_.empty())
+                    throw KvStoreFullError(op.key);
+                slot = freeSlots_.back();
+                freeSlots_.pop_back();
+            }
+            const unsigned used = static_cast<unsigned>(
+                (headerBytes + op.key.size() + op.value.size() +
+                 blockBytes - 1) /
+                blockBytes);
+            const auto payload = encodeRecord(op.key, op.value);
+            for (unsigned b = 0; b < used; ++b) {
+                auto f = mem_->submitWrite(
+                    slot * blocksPerSlot_ + b, payload[b]);
+                awaitFuture(f, slot * blocksPerSlot_ + b);
+            }
+            kv_.incCounter("kv.blocks_written", used);
+            kv_.incCounter(op.hit ? "kv.updates" : "kv.inserts");
+            leakyIndex_[op.key] = LeakyEntry{slot, used};
+            break;
+          }
+          case OpKind::Erase:
+            kv_.incCounter("kv.erases");
+            if (op.hit) {
+                op.found = true;
+                freeSlots_.push_back(it->second.slot);
+                leakyIndex_.erase(it);
+            }
+            break;
+        }
+    }
+}
+
+} // namespace secdimm::app

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Oblivious key-value store over the sharded oblivious memory
+ * service: variable-length keys map to fixed-geometry slots (a run of
+ * consecutive blocks) through a position-map-style client index that
+ * is remapped on EVERY access, the slot-granularity analogue of Path
+ * ORAM's leaf remap (Stefanov et al.) and of the app-over-ORAM
+ * layering in The Pyramid Scheme.
+ *
+ * Obliviousness invariant (docs/KVSTORE.md has the full argument):
+ * every operation -- get or put, hit or miss, insert or update or
+ * erase, even a capacity-exhausted insert -- performs EXACTLY
+ * blocksPerSlot() block reads of one slot followed by blocksPerSlot()
+ * block writes of another, where
+ *
+ *  - the read slot is the key's current slot (a uniform draw made at
+ *    the key's previous access and never revealed since) on a hit,
+ *    or a fresh uniform draw over ALL slots on a miss;
+ *  - the written slot is always a fresh uniform draw from the free
+ *    pool (on a hit the record MOVES there and the old slot is
+ *    freed; misses write an indistinguishable dummy and return the
+ *    slot to the pool).
+ *
+ * The service hides local addresses inside each shard (each shard is
+ * a complete ORAM), so the externally visible channel reduces to the
+ * per-shard schedules plus the interleaved (shard, kind) sequence --
+ * and every slot above is a uniform draw, so the visible shard
+ * residues are independent of keys, values, and hit/miss outcomes.
+ * The deliberately leaky baseline (KvIndexMode::LeakyBaseline) pins
+ * keys to static slots and skips dummy work; it exists as the
+ * positive control that makes deepCompareTraces / compareSchedules
+ * FAIL (tests/app, tools/sdimm_leakmeter).
+ */
+
+#ifndef SECUREDIMM_APP_KV_STORE_HH
+#define SECUREDIMM_APP_KV_STORE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "serve/sharded_memory.hh"
+#include "util/metrics.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace secdimm::app
+{
+
+/** Base class of every typed KV-store error. */
+class KvError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Insert rejected because capacityKeys live keys already exist.  The
+ * store NEVER silently evicts; the failing insert still performs the
+ * full dummy access sequence before throwing, so capacity exhaustion
+ * is invisible on the channel.
+ */
+class KvStoreFullError : public KvError
+{
+  public:
+    explicit KvStoreFullError(const std::string &key)
+        : KvError("kv store full: insert of key \"" + key +
+                  "\" rejected (no silent eviction)")
+    {
+    }
+};
+
+/** Key empty or longer than Options::maxKeyBytes. */
+class KeyTooLargeError : public KvError
+{
+  public:
+    explicit KeyTooLargeError(std::size_t len, std::size_t max)
+        : KvError("kv key of " + std::to_string(len) +
+                  " bytes outside [1, " + std::to_string(max) + "]")
+    {
+    }
+};
+
+/** Value longer than Options::maxValueBytes. */
+class ValueTooLargeError : public KvError
+{
+  public:
+    explicit ValueTooLargeError(std::size_t len, std::size_t max)
+        : KvError("kv value of " + std::to_string(len) +
+                  " bytes exceeds max " + std::to_string(max))
+    {
+    }
+};
+
+/** Which client index implementation the store runs. */
+enum class KvIndexMode
+{
+    /** Per-access remap; the invariant documented above holds. */
+    Oblivious,
+    /**
+     * Positive control: static key->slot assignment, hit-length
+     * reads, no dummy work on misses.  Deliberately leaky.
+     */
+    LeakyBaseline,
+};
+
+const char *kvIndexModeName(KvIndexMode mode);
+
+/**
+ * Oblivious KV store over serve::ShardedSecureMemory.  Thread-safe:
+ * concurrent clients may issue single and batched operations; ops on
+ * the same key serialize, ops on distinct keys overlap through the
+ * service's per-shard queues.
+ */
+class ObliviousKVStore
+{
+  public:
+    struct Options
+    {
+        /** Service under the store (capacity, shards, protocol...). */
+        serve::ShardedSecureMemory::Options serve;
+
+        /** Live-key capacity; inserts beyond it throw KvStoreFullError.
+         *  The service capacity must provide at least capacityKeys + 2
+         *  slots (constructor throws std::invalid_argument if not);
+         *  the surplus is the free-slot slack remaps draw from. */
+        std::uint64_t capacityKeys = 256;
+
+        /** Geometry bounds; together they fix blocksPerSlot(). */
+        std::size_t maxKeyBytes = 48;
+        std::size_t maxValueBytes = 192;
+
+        KvIndexMode index = KvIndexMode::Oblivious;
+
+        /** Seed of the slot-remap draws (decorrelated from the
+         *  service seed by the usual per-component derivation). */
+        std::uint64_t seed = 1;
+
+        /** Per-block-request wait bound; 0 = unbounded.  On expiry
+         *  the op throws serve::RequestTimeoutError and rolls back
+         *  (the key keeps its pre-op value). */
+        std::chrono::milliseconds opDeadline{0};
+    };
+
+    explicit ObliviousKVStore(const Options &options);
+    ~ObliviousKVStore();
+
+    ObliviousKVStore(const ObliviousKVStore &) = delete;
+    ObliviousKVStore &operator=(const ObliviousKVStore &) = delete;
+
+    /* ---- single-key operations ----------------------------------- */
+    /** Insert or update.  Throws KvStoreFullError on a full insert. */
+    void put(const std::string &key, const std::string &value);
+
+    /** Lookup; nullopt on miss (after the full dummy sequence). */
+    std::optional<std::string> get(const std::string &key);
+
+    /** Remove; returns whether the key existed. */
+    bool erase(const std::string &key);
+
+    /* ---- batched operations -------------------------------------- */
+    /**
+     * Batched lookup: plans every op in one pass and fans the block
+     * reads out across the shard queues before any wait, amortizing
+     * per-shard worker wakeups.  Reads observe pre-batch state except
+     * that duplicate keys inside one batch apply in order.
+     */
+    std::vector<std::optional<std::string>>
+    multiGet(const std::vector<std::string> &keys);
+
+    /** Batched insert/update (see multiGet).  If an insert hits
+     *  capacity, ops planned before it still commit, the failing op
+     *  performs its dummy sequence, then KvStoreFullError is thrown. */
+    void multiPut(
+        const std::vector<std::pair<std::string, std::string>> &items);
+
+    /* ---- introspection ------------------------------------------- */
+    std::uint64_t liveKeys() const;
+    std::uint64_t capacityKeys() const { return capacityKeys_; }
+    std::uint64_t slotCount() const { return slotCount_; }
+    unsigned blocksPerSlot() const { return blocksPerSlot_; }
+    KvIndexMode indexMode() const { return mode_; }
+
+    /** The service underneath (observer/recorder hooks, health). */
+    serve::ShardedSecureMemory &service() { return *mem_; }
+
+    /** Wait until every accepted block request has completed. */
+    void drain() { mem_->drain(); }
+
+    /** kv.* counters merged with the full service snapshot (drains
+     *  first, so it must not race with active clients). */
+    util::MetricsRegistry metrics();
+
+    /** All shards' integrity checks pass (drains first). */
+    bool integrityOk() { return mem_->integrityOk(); }
+
+    /** Slots a service of @p serve_opts would provide for this
+     *  geometry -- sizing helper for callers picking capacities. */
+    static std::uint64_t
+    slotsFor(const serve::ShardedSecureMemory::Options &serve_opts,
+             std::size_t max_key_bytes, std::size_t max_value_bytes);
+
+  private:
+    enum class OpKind
+    {
+        Get,
+        Put,
+        Erase,
+    };
+
+    /** One planned operation of a batch chunk. */
+    struct PlannedOp
+    {
+        OpKind kind = OpKind::Get;
+        std::string key;
+        std::string value; ///< Put payload.
+
+        bool hit = false;
+        bool insert = false; ///< Put creating a new live key.
+        bool full = false;   ///< Insert rejected: dummy + throw.
+        std::uint64_t readSlot = 0;
+        std::uint64_t writeSlot = 0;
+
+        std::vector<BlockData> readBlocks;
+        std::optional<std::string> result;
+        bool found = false;
+    };
+
+    static unsigned slotBlocksFor(std::size_t max_key_bytes,
+                                  std::size_t max_value_bytes);
+
+    /** Run @p ops as ordered rounds of distinct-key chunks. */
+    void runOps(std::vector<PlannedOp> &ops);
+
+    /** One chunk: plan under the lock, do I/O outside it, commit. */
+    void runChunk(std::vector<PlannedOp *> &chunk);
+
+    /** Plan a chunk; called with mu_ held. */
+    void planChunk(std::vector<PlannedOp *> &chunk,
+                   std::unique_lock<std::mutex> &lk);
+    void commitChunk(std::vector<PlannedOp *> &chunk);
+    void rollbackChunk(std::vector<PlannedOp *> &chunk);
+
+    /** Leaky positive control: no dummies, static slots. */
+    void runOpsLeaky(std::vector<PlannedOp> &ops);
+
+    std::uint64_t drawFreeSlotLocked();
+    void validateKey(const std::string &key) const;
+
+    /** Encode key+value into blocksPerSlot_ blocks. */
+    std::vector<BlockData> encodeRecord(const std::string &key,
+                                        const std::string &value) const;
+    /** Decode; nullopt for dummy/garbage records. */
+    std::optional<std::pair<std::string, std::string>>
+    decodeRecord(const std::vector<BlockData> &blocks) const;
+
+    template <typename T>
+    T awaitFuture(std::future<T> &f, Addr block);
+
+    /** Bytes of record header: u16 key length + u32 value length. */
+    static constexpr std::size_t headerBytes = 6;
+
+    std::unique_ptr<serve::ShardedSecureMemory> mem_;
+    KvIndexMode mode_;
+    std::uint64_t capacityKeys_;
+    std::size_t maxKeyBytes_;
+    std::size_t maxValueBytes_;
+    unsigned blocksPerSlot_;
+    std::uint64_t slotCount_;
+    std::uint64_t slackSlots_;
+    std::size_t maxOpsInFlight_;
+    std::chrono::milliseconds opDeadline_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<std::string, std::uint64_t> index_;
+    std::vector<std::uint64_t> freeSlots_;
+    std::unordered_set<std::string> inflightKeys_;
+    std::uint64_t reservedInserts_ = 0;
+    std::size_t inflightOps_ = 0;
+    Rng rng_;
+
+    /** Leaky-baseline index: static slot + used-block count. */
+    struct LeakyEntry
+    {
+        std::uint64_t slot;
+        unsigned blocks;
+    };
+    std::unordered_map<std::string, LeakyEntry> leakyIndex_;
+
+    util::MetricsRegistry kv_;
+};
+
+} // namespace secdimm::app
+
+#endif // SECUREDIMM_APP_KV_STORE_HH

@@ -1,0 +1,714 @@
+#include "app/kv_workload.hh"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/metrics.hh" // jsonQuote / jsonNumber
+
+namespace secdimm::app
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: the rank/key scrambler. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/* ------------------------------------------------------------------ */
+/* Tiny JSON value + recursive-descent parser, the fault_plan_io.cc    */
+/* idiom: self-contained because the repo has no generic JSON          */
+/* dependency.  Only what a KvWorkloadSpec needs.                      */
+/* ------------------------------------------------------------------ */
+
+struct JsonValue {
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    std::optional<JsonValue> parse(std::string *error)
+    {
+        JsonValue v;
+        if (!value(v) || (skipWs(), pos_ != s_.size())) {
+            if (error) {
+                std::ostringstream os;
+                os << "JSON parse error near offset " << pos_;
+                *error = os.str();
+            }
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"')
+            return string(out);
+        if (c == 't' || c == 'f') {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = c == 't';
+            return literal(c == 't' ? "true" : "false");
+        }
+        if (c == 'n') {
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool string(JsonValue &out)
+    {
+        if (s_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.type = JsonValue::Type::String;
+        out.str.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': c = '"'; break;
+                case '\\': c = '\\'; break;
+                case '/': c = '/'; break;
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                default: return false;
+                }
+            }
+            out.str.push_back(c);
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        auto digits = [&] {
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                ++pos_;
+                any = true;
+            }
+        };
+        digits();
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            ++pos_;
+            digits();
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+                ++pos_;
+            digits();
+        }
+        if (!any)
+            return false;
+        out.type = JsonValue::Type::Number;
+        out.number = std::stod(s_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool array(JsonValue &out)
+    {
+        ++pos_; // '['
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            if (!value(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool object(JsonValue &out)
+    {
+        ++pos_; // '{'
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue key;
+            if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            JsonValue val;
+            if (!value(val))
+                return false;
+            out.object.emplace(std::move(key.str), std::move(val));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+std::optional<KvWorkloadKind>
+kindFromName(const std::string &name)
+{
+    if (name == "zipfian")
+        return KvWorkloadKind::Zipfian;
+    if (name == "hotset")
+        return KvWorkloadKind::HotSet;
+    if (name == "scan")
+        return KvWorkloadKind::Scan;
+    if (name == "mix")
+        return KvWorkloadKind::Mix;
+    return std::nullopt;
+}
+
+bool
+specFromValue(const JsonValue &v, KvWorkloadSpec &out, std::string *err)
+{
+    if (v.type != JsonValue::Type::Object) {
+        if (err)
+            *err = "workload spec must be a JSON object";
+        return false;
+    }
+    auto fail = [&](const std::string &m) {
+        if (err)
+            *err = m;
+        return false;
+    };
+    for (const auto &[key, val] : v.object) {
+        if (key == "kind") {
+            if (val.type != JsonValue::Type::String)
+                return fail("kind must be a string");
+            auto k = kindFromName(val.str);
+            if (!k)
+                return fail("unknown workload kind \"" + val.str +
+                            "\"");
+            out.kind = *k;
+        } else if (key == "tenant") {
+            if (val.type != JsonValue::Type::String)
+                return fail("tenant must be a string");
+            out.tenant = val.str;
+        } else if (key == "keys") {
+            out.keys = static_cast<std::uint64_t>(val.number);
+        } else if (key == "zipf_theta") {
+            out.zipfTheta = val.number;
+        } else if (key == "hot_op_fraction") {
+            out.hotOpFraction = val.number;
+        } else if (key == "hot_key_fraction") {
+            out.hotKeyFraction = val.number;
+        } else if (key == "scan_len") {
+            out.scanLen = static_cast<std::uint64_t>(val.number);
+        } else if (key == "get_fraction") {
+            out.getFraction = val.number;
+        } else if (key == "miss_fraction") {
+            out.missFraction = val.number;
+        } else if (key == "value_bytes") {
+            out.valueBytes = static_cast<std::size_t>(val.number);
+        } else if (key == "tenants") {
+            if (val.type != JsonValue::Type::Array)
+                return fail("tenants must be an array");
+            for (const JsonValue &t : val.array) {
+                KvWorkloadSpec sub;
+                if (!specFromValue(t, sub, err))
+                    return false;
+                out.tenants.push_back(std::move(sub));
+            }
+        } else if (key == "weights") {
+            if (val.type != JsonValue::Type::Array)
+                return fail("weights must be an array");
+            for (const JsonValue &w : val.array)
+                out.weights.push_back(w.number);
+        } else {
+            return fail("unknown workload spec key \"" + key + "\"");
+        }
+    }
+    return true;
+}
+
+bool
+validateSpec(const KvWorkloadSpec &spec, std::string *err)
+{
+    auto fail = [&](const std::string &m) {
+        if (err)
+            *err = m;
+        return false;
+    };
+    if (spec.kind == KvWorkloadKind::Mix) {
+        if (spec.tenants.empty())
+            return fail("mix workload needs at least one tenant");
+        if (!spec.weights.empty() &&
+            spec.weights.size() != spec.tenants.size())
+            return fail("weights and tenants must be parallel");
+        for (const KvWorkloadSpec &t : spec.tenants)
+            if (!validateSpec(t, err))
+                return false;
+        return true;
+    }
+    if (spec.keys == 0)
+        return fail("workload needs keys > 0");
+    if (spec.kind == KvWorkloadKind::Zipfian &&
+        (spec.zipfTheta <= 0.0 || spec.zipfTheta >= 1.0))
+        return fail("zipf_theta must lie in (0, 1)");
+    if (spec.getFraction < 0.0 || spec.getFraction > 1.0 ||
+        spec.missFraction < 0.0 || spec.missFraction > 1.0)
+        return fail("fractions must lie in [0, 1]");
+    return true;
+}
+
+} // namespace
+
+const char *
+kvWorkloadKindName(KvWorkloadKind kind)
+{
+    switch (kind) {
+      case KvWorkloadKind::Zipfian: return "zipfian";
+      case KvWorkloadKind::HotSet: return "hotset";
+      case KvWorkloadKind::Scan: return "scan";
+      case KvWorkloadKind::Mix: return "mix";
+    }
+    return "unknown";
+}
+
+/* ---- ZipfSampler ---------------------------------------------------- */
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n ? n : 1), theta_(theta)
+{
+    zetan_ = 0.0;
+    for (std::uint64_t i = 1; i <= n_; ++i)
+        zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                           1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double r = static_cast<double>(n_) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t rank = static_cast<std::uint64_t>(r);
+    if (rank >= n_)
+        rank = n_ - 1;
+    return rank;
+}
+
+/* ---- KvWorkloadGenerator -------------------------------------------- */
+
+KvWorkloadGenerator::KvWorkloadGenerator(const KvWorkloadSpec &spec,
+                                         std::uint64_t seed)
+    : spec_(spec), rng_(seed * 1000003 + fnv1a(spec.tenant) % 997)
+{
+    std::string err;
+    if (!validateSpec(spec_, &err))
+        throw std::invalid_argument("kv workload: " + err);
+
+    switch (spec_.kind) {
+      case KvWorkloadKind::Zipfian:
+        zipf_ = std::make_unique<ZipfSampler>(spec_.keys,
+                                              spec_.zipfTheta);
+        break;
+      case KvWorkloadKind::Scan:
+        scanCursor_ = 0;
+        scanLeft_ = spec_.scanLen;
+        break;
+      case KvWorkloadKind::Mix: {
+        double total = 0.0;
+        for (std::size_t i = 0; i < spec_.tenants.size(); ++i) {
+            tenants_.push_back(std::make_unique<KvWorkloadGenerator>(
+                spec_.tenants[i], seed * 1000003 + i + 1));
+            total += spec_.weights.empty() ? 1.0 : spec_.weights[i];
+            cumWeights_.push_back(total);
+        }
+        break;
+      }
+      case KvWorkloadKind::HotSet:
+        break;
+    }
+}
+
+std::string
+KvWorkloadGenerator::keyName(std::uint64_t id) const
+{
+    return spec_.tenant + ":k" + std::to_string(id);
+}
+
+std::string
+KvWorkloadGenerator::valueFor(const std::string &key,
+                              std::uint64_t version,
+                              std::size_t value_bytes)
+{
+    std::string out;
+    out.reserve(value_bytes);
+    std::uint64_t h = mix64(fnv1a(key) ^ mix64(version));
+    for (std::size_t i = 0; i < value_bytes; ++i) {
+        if (i % 8 == 0)
+            h = mix64(h);
+        out.push_back(
+            static_cast<char>('a' + ((h >> ((i % 8) * 8)) % 26)));
+    }
+    return out;
+}
+
+std::uint64_t
+KvWorkloadGenerator::drawKeyId()
+{
+    switch (spec_.kind) {
+      case KvWorkloadKind::Zipfian: {
+        // Scramble the zipf rank so hot keys scatter over the space.
+        const std::uint64_t rank = zipf_->sample(rng_);
+        return mix64(rank ^ 0x5eedULL) % spec_.keys;
+      }
+      case KvWorkloadKind::HotSet: {
+        const std::uint64_t hot = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(spec_.keys) *
+                   spec_.hotKeyFraction));
+        std::uint64_t id;
+        if (rng_.nextBool(spec_.hotOpFraction) || hot >= spec_.keys)
+            id = rng_.nextBelow(hot);
+        else
+            id = hot + rng_.nextBelow(spec_.keys - hot);
+        return mix64(id ^ 0x407eULL) % spec_.keys;
+      }
+      case KvWorkloadKind::Scan: {
+        if (scanLeft_ == 0) {
+            scanCursor_ = rng_.nextBelow(spec_.keys);
+            scanLeft_ = spec_.scanLen;
+        }
+        const std::uint64_t id = scanCursor_;
+        scanCursor_ = (scanCursor_ + 1) % spec_.keys;
+        --scanLeft_;
+        return id;
+      }
+      case KvWorkloadKind::Mix:
+        break;
+    }
+    return 0;
+}
+
+KvOp
+KvWorkloadGenerator::next()
+{
+    if (spec_.kind == KvWorkloadKind::Mix) {
+        const double total = cumWeights_.back();
+        const double u = rng_.nextDouble() * total;
+        std::size_t pick = 0;
+        while (pick + 1 < cumWeights_.size() && u >= cumWeights_[pick])
+            ++pick;
+        return tenants_[pick]->next();
+    }
+
+    KvOp op;
+    const std::uint64_t version = opIndex_++;
+    op.put = !rng_.nextBool(spec_.getFraction);
+    if (!op.put && rng_.nextBool(spec_.missFraction)) {
+        op.expectAbsent = true;
+        op.key = spec_.tenant + ":m" + std::to_string(missCounter_++);
+        return op;
+    }
+    op.key = keyName(drawKeyId());
+    if (op.put)
+        op.value = valueFor(op.key, version, spec_.valueBytes);
+    return op;
+}
+
+std::vector<KvOp>
+KvWorkloadGenerator::preload() const
+{
+    std::vector<KvOp> out;
+    if (spec_.kind == KvWorkloadKind::Mix) {
+        for (const auto &t : tenants_) {
+            auto sub = t->preload();
+            out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                       std::make_move_iterator(sub.end()));
+        }
+        return out;
+    }
+    out.reserve(spec_.keys);
+    for (std::uint64_t id = 0; id < spec_.keys; ++id) {
+        KvOp op;
+        op.put = true;
+        op.key = keyName(id);
+        op.value = valueFor(op.key, 0, spec_.valueBytes);
+        out.push_back(std::move(op));
+    }
+    return out;
+}
+
+/* ---- JSON ----------------------------------------------------------- */
+
+std::string
+kvWorkloadSpecToJson(const KvWorkloadSpec &spec, int indent)
+{
+    const std::string pad(static_cast<std::size_t>(
+                              indent < 0 ? 0 : indent) *
+                              2,
+                          ' ');
+    const std::string inner = indent < 0 ? "" : pad + "  ";
+    const std::string nl = indent < 0 ? "" : "\n";
+    std::ostringstream os;
+    os << "{" << nl;
+    os << inner
+       << "\"kind\": " << util::jsonQuote(kvWorkloadKindName(spec.kind))
+       << "," << nl;
+    os << inner << "\"tenant\": " << util::jsonQuote(spec.tenant) << ","
+       << nl;
+    os << inner << "\"keys\": " << spec.keys << "," << nl;
+    os << inner << "\"zipf_theta\": " << util::jsonNumber(spec.zipfTheta)
+       << "," << nl;
+    os << inner
+       << "\"hot_op_fraction\": " << util::jsonNumber(spec.hotOpFraction)
+       << "," << nl;
+    os << inner << "\"hot_key_fraction\": "
+       << util::jsonNumber(spec.hotKeyFraction) << "," << nl;
+    os << inner << "\"scan_len\": " << spec.scanLen << "," << nl;
+    os << inner
+       << "\"get_fraction\": " << util::jsonNumber(spec.getFraction)
+       << "," << nl;
+    os << inner
+       << "\"miss_fraction\": " << util::jsonNumber(spec.missFraction)
+       << "," << nl;
+    os << inner << "\"value_bytes\": " << spec.valueBytes;
+    if (!spec.tenants.empty()) {
+        os << "," << nl << inner << "\"tenants\": [";
+        for (std::size_t i = 0; i < spec.tenants.size(); ++i)
+            os << (i ? ", " : "")
+               << kvWorkloadSpecToJson(spec.tenants[i], -1);
+        os << "]";
+        os << "," << nl << inner << "\"weights\": [";
+        for (std::size_t i = 0; i < spec.tenants.size(); ++i)
+            os << (i ? ", " : "")
+               << util::jsonNumber(spec.weights.empty()
+                                       ? 1.0
+                                       : spec.weights[i]);
+        os << "]";
+    }
+    os << nl << pad << "}";
+    return os.str();
+}
+
+std::optional<KvWorkloadSpec>
+kvWorkloadSpecFromJson(const std::string &text, std::string *err)
+{
+    Parser parser(text);
+    auto v = parser.parse(err);
+    if (!v)
+        return std::nullopt;
+    KvWorkloadSpec spec;
+    if (!specFromValue(*v, spec, err))
+        return std::nullopt;
+    if (!validateSpec(spec, err))
+        return std::nullopt;
+    return spec;
+}
+
+std::optional<KvWorkloadSpec>
+parseKvWorkloadFlag(const std::string &flag, std::string *err)
+{
+    auto fail = [&](const std::string &m) {
+        if (err)
+            *err = m;
+        return std::optional<KvWorkloadSpec>{};
+    };
+    const std::size_t colon = flag.find(':');
+    const std::string name = flag.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : flag.substr(colon + 1);
+
+    KvWorkloadSpec spec;
+    if (name == "zipfian") {
+        spec.kind = KvWorkloadKind::Zipfian;
+        if (!arg.empty()) {
+            try {
+                spec.zipfTheta = std::stod(arg);
+            } catch (const std::exception &) {
+                return fail("bad zipfian theta \"" + arg + "\"");
+            }
+        }
+    } else if (name == "hotset") {
+        spec.kind = KvWorkloadKind::HotSet;
+        if (!arg.empty()) {
+            try {
+                spec.hotOpFraction = std::stod(arg);
+            } catch (const std::exception &) {
+                return fail("bad hotset fraction \"" + arg + "\"");
+            }
+        }
+    } else if (name == "scan") {
+        spec.kind = KvWorkloadKind::Scan;
+        if (!arg.empty()) {
+            try {
+                spec.scanLen = std::stoull(arg);
+            } catch (const std::exception &) {
+                return fail("bad scan length \"" + arg + "\"");
+            }
+        }
+    } else if (name == "mix") {
+        if (arg.empty())
+            return fail("mix needs a spec file: mix:<file.json>");
+        std::ifstream in(arg);
+        if (!in)
+            return fail("cannot open workload spec file \"" + arg +
+                        "\"");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return kvWorkloadSpecFromJson(buf.str(), err);
+    } else {
+        return fail("unknown workload \"" + name +
+                    "\" (zipfian:<theta>|hotset:<frac>|scan|"
+                    "mix:<file>)");
+    }
+    std::string verr;
+    if (!validateSpec(spec, &verr))
+        return fail(verr);
+    return spec;
+}
+
+/* ---- KvBlockStream -------------------------------------------------- */
+
+KvBlockStream::KvBlockStream(const KvWorkloadSpec &spec,
+                             std::uint64_t seed,
+                             std::uint64_t footprint_bytes,
+                             unsigned blocks_per_slot,
+                             double mean_inst_gap)
+    : gen_(spec, seed), gapRng_(seed * 1000003 + 31),
+      blocksPerSlot_(blocks_per_slot ? blocks_per_slot : 1),
+      meanInstGap_(mean_inst_gap)
+{
+    const std::uint64_t slot_bytes =
+        static_cast<std::uint64_t>(blocksPerSlot_) * blockBytes;
+    slotCount_ = footprint_bytes / slot_bytes;
+    if (slotCount_ == 0)
+        slotCount_ = 1;
+}
+
+trace::TraceRecord
+KvBlockStream::next()
+{
+    trace::TraceRecord rec;
+    if (!havePending_) {
+        const KvOp op = gen_.next();
+        curSlot_ = mix64(fnv1a(op.key)) % slotCount_;
+        curBlock_ = 0;
+        curWrite_ = op.put;
+        havePending_ = true;
+        rec.instGap = static_cast<std::uint32_t>(
+            gapRng_.nextGeometric(meanInstGap_));
+    } else {
+        rec.instGap = 1; // Blocks of one op issue back to back.
+    }
+    rec.addr = (curSlot_ * blocksPerSlot_ + curBlock_) * blockBytes;
+    rec.write = curWrite_;
+    if (++curBlock_ >= blocksPerSlot_)
+        havePending_ = false;
+    return rec;
+}
+
+} // namespace secdimm::app

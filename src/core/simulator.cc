@@ -155,6 +155,16 @@ runWorkload(const SystemConfig &config,
             const SimLengths &lengths, std::uint64_t seed,
             verify::ChannelObserver *observer)
 {
+    trace::TraceGenerator gen(profile, seed ^ 0xabcdef);
+    return runWorkloadFromSource(config, gen, lengths, seed, observer);
+}
+
+SimResult
+runWorkloadFromSource(const SystemConfig &config,
+                      trace::RecordSource &source,
+                      const SimLengths &lengths, std::uint64_t seed,
+                      verify::ChannelObserver *observer)
+{
     auto backend = buildBackend(config, seed);
     if (observer != nullptr)
         verify::attachToBackend(*backend, *observer);
@@ -162,10 +172,9 @@ runWorkload(const SystemConfig &config,
     trace::CacheModel llc(2ULL << 20, 8); // Table II: 2MB, 8-way.
     trace::CoreParams core_params;
     trace::CoreModel core(core_params, llc, *backend);
-    trace::TraceGenerator gen(profile, seed ^ 0xabcdef);
 
     SimResult result;
-    result.core = core.run(gen, lengths.warmupRecords,
+    result.core = core.run(source, lengths.warmupRecords,
                            lengths.measureRecords);
     collectBackendMetrics(config, *backend, result.core.cycles, result);
     exportCoreMetrics(result);

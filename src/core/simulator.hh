@@ -77,6 +77,18 @@ SimResult runWorkload(const SystemConfig &config,
                       verify::ChannelObserver *observer = nullptr);
 
 /**
+ * Same as runWorkload(), but replaying records pulled from an
+ * arbitrary @p source (application-level streams such as the KV
+ * workload adapter) instead of the built-in synthetic generators.
+ * @p seed still pins the backend's internal randomness.
+ */
+SimResult runWorkloadFromSource(const SystemConfig &config,
+                                trace::RecordSource &source,
+                                const SimLengths &lengths,
+                                std::uint64_t seed,
+                                verify::ChannelObserver *observer = nullptr);
+
+/**
  * Bench-scaling knob: reads SDIMM_BENCH_ACCESSES (measured records)
  * and SDIMM_BENCH_WARMUP from the environment, falling back to the
  * given defaults (see DESIGN.md section 7).

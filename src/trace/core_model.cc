@@ -44,7 +44,7 @@ CoreModel::waitForAcceptance()
 }
 
 CoreRunResult
-CoreModel::run(TraceGenerator &gen, std::uint64_t warmup_records,
+CoreModel::run(RecordSource &gen, std::uint64_t warmup_records,
                std::uint64_t measure_records)
 {
     // Warm-up: touch the LLC functionally, no timing.

@@ -17,6 +17,7 @@
 
 #include "trace/cache.hh"
 #include "trace/memory_backend.hh"
+#include "trace/record_source.hh"
 #include "trace/workload.hh"
 
 namespace secdimm::trace
@@ -60,8 +61,10 @@ class CoreModel
      * Warm the LLC with @p warmup_records (no timing), then simulate
      * @p measure_records cycle-accurately.  Matches the paper's
      * methodology of fast-forwarding 1M accesses before measuring.
+     * Any RecordSource works: the synthetic SPEC-like generators or
+     * application streams (app/kv_workload.hh).
      */
-    CoreRunResult run(TraceGenerator &gen, std::uint64_t warmup_records,
+    CoreRunResult run(RecordSource &gen, std::uint64_t warmup_records,
                       std::uint64_t measure_records);
 
   private:

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Abstract stream of trace records.  The core model replays ANY
+ * record source -- the synthetic SPEC-like generators (workload.hh)
+ * or application-level streams such as the KV workload adapter
+ * (app/kv_workload.hh) -- so timing results can be produced for real
+ * request mixes, not just the uniform synthetic profiles.
+ */
+
+#ifndef SECUREDIMM_TRACE_RECORD_SOURCE_HH
+#define SECUREDIMM_TRACE_RECORD_SOURCE_HH
+
+#include "trace/trace_record.hh"
+
+namespace secdimm::trace
+{
+
+/** Pull-based producer of L1-miss events. */
+class RecordSource
+{
+  public:
+    virtual ~RecordSource() = default;
+
+    /** Produce the next L1 miss event. */
+    virtual TraceRecord next() = 0;
+};
+
+} // namespace secdimm::trace
+
+#endif // SECUREDIMM_TRACE_RECORD_SOURCE_HH

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/record_source.hh"
 #include "trace/trace_record.hh"
 #include "util/rng.hh"
 
@@ -45,13 +46,13 @@ struct WorkloadProfile
 };
 
 /** Stream of synthetic TraceRecords for one profile. */
-class TraceGenerator
+class TraceGenerator : public RecordSource
 {
   public:
     TraceGenerator(const WorkloadProfile &profile, std::uint64_t seed);
 
     /** Produce the next L1 miss event. */
-    TraceRecord next();
+    TraceRecord next() override;
 
     const WorkloadProfile &profile() const { return profile_; }
 

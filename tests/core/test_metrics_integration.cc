@@ -13,6 +13,7 @@
 #include <set>
 #include <sstream>
 
+#include "app/kv_store.hh"
 #include "core/secure_memory_system.hh"
 #include "core/simulator.hh"
 #include "serve/sharded_memory.hh"
@@ -217,6 +218,31 @@ TEST(MetricsIntegration, EveryMetricNameIsDocumented)
             mem.readBlock(a);
         }
         for (const auto &n : mem.metrics().names())
+            names.insert(normalizeName(n));
+    }
+
+    // The oblivious KV application layer (kv.* namespace), exercising
+    // hits, misses, updates, erases, and a capacity rejection.
+    {
+        app::ObliviousKVStore::Options opt;
+        opt.serve.shard.protocol =
+            SecureMemorySystem::Protocol::PathOram;
+        opt.serve.shard.capacityBytes = 1 << 16;
+        opt.serve.numShards = 2;
+        opt.capacityKeys = 8;
+        app::ObliviousKVStore store(opt);
+        for (int i = 0; i < 8; ++i)
+            store.put("m" + std::to_string(i), "v");
+        store.put("m0", "v2");
+        (void)store.get("m1");
+        (void)store.get("ghost");
+        (void)store.erase("m2");
+        try {
+            store.put("overflow", "x");
+            store.put("overflow2", "x");
+        } catch (const app::KvStoreFullError &) {
+        }
+        for (const auto &n : store.metrics().names())
             names.insert(normalizeName(n));
     }
 

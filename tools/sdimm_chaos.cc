@@ -23,7 +23,13 @@
  *    lost-write ACKer / group equivocator -- driven against the
  *    mistrust scorer, asserting conviction (or principled restraint),
  *    exact ledger identity, bounded data loss, and post-conviction
- *    deep-trace + zero-MI indistinguishability.
+ *    deep-trace + zero-MI indistinguishability;
+ *  - KV application campaign: concurrent zipfian clients drive the
+ *    oblivious KV store (src/app) while bursts, retirements, and a
+ *    byzantine unit rage underneath (no dead shard -- KV slots span
+ *    all shards), then post-chaos read-your-writes, store integrity,
+ *    and secret-independence of the schedule (and, for tree
+ *    protocols, per-shard deep traces) are gated.
  *
  * Usage:
  *   sdimm_chaos [--design path|freecursive|independent|split|
@@ -37,16 +43,21 @@
  * post-chaos phase runs once, at S).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "app/kv_store.hh"
+#include "app/kv_workload.hh"
 #include "core/secure_memory_system.hh"
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan_io.hh"
@@ -855,6 +866,247 @@ runPostByzantine(const DesignSpec &spec, std::uint64_t seed,
 }
 
 /* ------------------------------------------------------------------ */
+/* Phase C: KV application campaign                                    */
+/* ------------------------------------------------------------------ */
+
+/**
+ * Chaos plans for the KV campaign: bursts, retirement, and (when
+ * @p byzantine) a lying unit on the unit designs, recoverable
+ * transients everywhere else -- but NO dead shard.  Every KV slot
+ * spans all shards (blocks are consecutive, shard = block % N), so a
+ * dead shard would fail every single op; the KV campaign instead
+ * asserts that the store rides out everything the service survives.
+ *
+ * The byzantine plan is survival-only: burst/retire/transient trigger
+ * at fixed access counts (public -- op counts match across secret
+ * runs), but byzantine *detection* fires when a corrupted block is
+ * actually read, i.e. at a secret-dependent time, so conviction and
+ * evacuation traffic cannot be part of a schedule-comparison pair.
+ */
+std::vector<fault::FaultPlan>
+kvPlans(const DesignSpec &spec, unsigned shards, std::uint64_t seed,
+        bool byzantine)
+{
+    std::vector<fault::FaultPlan> plans;
+    for (unsigned s = 0; s < shards; ++s) {
+        const std::uint64_t shard_seed = seed * 1000003 + 100 + s;
+        if (spec.unitDesign && s == 0 && byzantine)
+            plans.push_back(
+                fault::FaultPlan::byzantineCorruptor(1, 64, shard_seed));
+        else if (spec.unitDesign && s == 1)
+            plans.push_back(burstPlan(shard_seed));
+        else if (spec.unitDesign && s == 2)
+            plans.push_back(retirePlan(shard_seed));
+        else
+            plans.push_back(transientPlan(shard_seed));
+    }
+    return plans;
+}
+
+/** One KV run under the chaos plans; the secret is each client's
+ *  zipfian op stream (keys, values, get/put mix). */
+struct KvRun
+{
+    std::vector<verify::ScheduleEvent> schedule;
+    std::vector<std::vector<verify::TraceEvent>> traces;
+    bool rywOk = true;      ///< Every read saw the shadow-map value.
+    bool integrityOk = false;
+    bool healthOk = true;   ///< No shard failed (no dead plan armed).
+    std::uint64_t ops = 0;
+};
+
+KvRun
+kvChaosRun(const DesignSpec &spec, std::uint64_t plan_seed,
+           std::uint64_t secret_seed, std::uint64_t ops_per_client,
+           unsigned threads, unsigned shards, bool byzantine)
+{
+    KvRun r;
+    app::ObliviousKVStore::Options opt;
+    opt.serve.shard.protocol = spec.protocol;
+    opt.serve.shard.numSdimms = spec.unitDesign ? kUnitsPerShard : 2;
+    opt.serve.shard.stashCapacity = 200;
+    opt.serve.shard.seed = plan_seed;
+    opt.serve.shard.degradationPolicy =
+        spec.unitDesign ? fault::DegradationPolicy::Degraded
+                        : fault::DegradationPolicy::RetryThenStop;
+    opt.serve.numShards = shards;
+    opt.serve.queueCapacity = 128;
+    opt.serve.maxBatch = 8;
+    opt.capacityKeys = std::uint64_t(threads) * 24;
+    opt.seed = plan_seed;
+    opt.serve.shardFaultPlans =
+        kvPlans(spec, shards, plan_seed, byzantine);
+    const std::uint64_t record =
+        6 + opt.maxKeyBytes + opt.maxValueBytes;
+    const std::uint64_t bps = (record + blockBytes - 1) / blockBytes;
+    const std::uint64_t slots =
+        opt.capacityKeys + opt.capacityKeys / 4 + 4;
+    opt.serve.shard.capacityBytes = slots * bps * blockBytes;
+    app::ObliviousKVStore store(opt);
+
+    // Per-shard bucket traces exist only for the tree protocols; the
+    // SDIMM protocols are gated by the schedule comparison alone.
+    const bool tree = spec.protocol == Protocol::PathOram ||
+                      spec.protocol == Protocol::Freecursive;
+    std::vector<std::unique_ptr<verify::ChannelObserver>> observers;
+    if (tree) {
+        for (unsigned s = 0; s < shards; ++s) {
+            observers.push_back(
+                std::make_unique<verify::ChannelObserver>());
+            store.service().attachObserver(s, *observers.back());
+        }
+    }
+
+    auto spec_for = [&](unsigned client) {
+        app::KvWorkloadSpec ws;
+        ws.kind = app::KvWorkloadKind::Zipfian;
+        ws.tenant = "kv" + std::to_string(client);
+        ws.keys = 24;
+        ws.getFraction = 0.6;
+        ws.missFraction = 0.1;
+        ws.valueBytes = 96;
+        return ws;
+    };
+    // Preload the resident population; seed each client's shadow map
+    // with it so the measured phase can check reads from op one.
+    std::vector<std::unordered_map<std::string, std::string>> shadows(
+        threads);
+    for (unsigned c = 0; c < threads; ++c) {
+        app::KvWorkloadGenerator gen(spec_for(c), secret_seed * 31 + c);
+        for (const app::KvOp &op : gen.preload()) {
+            store.put(op.key, op.value);
+            shadows[c][op.key] = op.value;
+        }
+    }
+    store.drain();
+    for (auto &obs : observers)
+        obs->clear();
+    verify::ScheduleRecorder rec;
+    store.service().setScheduleRecorder(&rec);
+
+    std::atomic<bool> ryw_failed{false};
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < threads; ++c) {
+        clients.emplace_back([&, c] {
+            app::KvWorkloadGenerator gen(spec_for(c),
+                                         secret_seed * 137 + c);
+            auto &shadow = shadows[c];
+            for (std::uint64_t i = 0; i < ops_per_client; ++i) {
+                const app::KvOp op = gen.next();
+                if (op.put) {
+                    store.put(op.key, op.value);
+                    shadow[op.key] = op.value;
+                } else {
+                    const auto got = store.get(op.key);
+                    const auto want = shadow.find(op.key);
+                    const bool have = want != shadow.end();
+                    if (got.has_value() != have ||
+                        (have && *got != want->second))
+                        ryw_failed.store(true);
+                }
+            }
+        });
+    }
+    for (std::thread &c : clients)
+        c.join();
+    store.drain();
+    store.service().setScheduleRecorder(nullptr);
+    r.schedule = rec.events();
+    for (auto &obs : observers)
+        r.traces.push_back(obs->events());
+    r.ops = ops_per_client * threads;
+
+    // Post-chaos read-your-writes sweep: after bursts, retirements,
+    // and convictions, every surviving key still carries its last
+    // written value (unrecorded -- shadow sizes differ per secret).
+    for (unsigned c = 0; c < threads; ++c) {
+        for (const auto &[key, value] : shadows[c]) {
+            const auto got = store.get(key);
+            if (!got.has_value() || *got != value)
+                ryw_failed.store(true);
+        }
+    }
+    r.rywOk = !ryw_failed.load();
+    r.integrityOk = store.integrityOk();
+    for (unsigned s = 0; s < shards; ++s)
+        r.healthOk = r.healthOk && store.service().shardHealth(s) !=
+                                       serve::ShardHealth::Failed;
+    return r;
+}
+
+struct KvChaosOutcome
+{
+    std::uint64_t seed = 0;
+    std::uint64_t ops = 0;
+    bool rywOk = false;
+    bool integrityOk = false;
+    bool healthOk = false;
+    bool schedPass = false;
+    bool deepChecked = false;
+    bool deepPass = true; ///< Vacuous for non-tree protocols.
+    bool pass = false;
+    std::string schedSummary;
+};
+
+KvChaosOutcome
+runKvChaos(const DesignSpec &spec, std::uint64_t seed,
+           std::uint64_t requests, unsigned threads, unsigned shards)
+{
+    KvChaosOutcome r;
+    r.seed = seed;
+    const std::uint64_t ops_per_client =
+        std::max<std::uint64_t>(requests / (threads * 8), 48);
+
+    // Indistinguishability pair: identical (public) count-triggered
+    // plans, differing secrets.
+    KvRun a = kvChaosRun(spec, seed, seed * 23 + 1, ops_per_client,
+                         threads, shards, false);
+    KvRun b = kvChaosRun(spec, seed, seed * 29 + 7, ops_per_client,
+                         threads, shards, false);
+    verify::ScheduleComparison sc =
+        verify::compareSchedules(a.schedule, b.schedule);
+    // The global-interleave ACF rides scheduler noise; a real leak
+    // fails every re-randomized run.
+    for (unsigned retry = 1; retry < 4 && !sc.pass; ++retry) {
+        a = kvChaosRun(spec, seed + 1000 * retry,
+                       seed * 23 + 1 + retry, ops_per_client, threads,
+                       shards, false);
+        b = kvChaosRun(spec, seed + 1000 * retry,
+                       seed * 29 + 7 + retry, ops_per_client, threads,
+                       shards, false);
+        sc = verify::compareSchedules(a.schedule, b.schedule);
+    }
+    r.schedPass = sc.pass;
+    r.schedSummary = sc.summary();
+    r.deepChecked = !a.traces.empty();
+    for (std::size_t s = 0;
+         s < a.traces.size() && s < b.traces.size(); ++s)
+        r.deepPass = r.deepPass &&
+                     verify::deepCompareTraces(a.traces[s],
+                                               b.traces[s]).pass;
+    r.ops = a.ops + b.ops;
+    r.rywOk = a.rywOk && b.rywOk;
+    r.integrityOk = a.integrityOk && b.integrityOk;
+    r.healthOk = a.healthOk && b.healthOk;
+
+    // Survival run with the byzantine corruptor armed (unit designs):
+    // read-your-writes, integrity, and health must also hold through
+    // conviction and evacuation.
+    if (spec.unitDesign) {
+        const KvRun s = kvChaosRun(spec, seed, seed * 41 + 3,
+                                   ops_per_client, threads, shards,
+                                   true);
+        r.ops += s.ops;
+        r.rywOk = r.rywOk && s.rywOk;
+        r.integrityOk = r.integrityOk && s.integrityOk;
+        r.healthOk = r.healthOk && s.healthOk;
+    }
+    r.pass = r.rywOk && r.integrityOk && r.healthOk && r.schedPass &&
+             r.deepPass;
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
 /* Reporting                                                           */
 /* ------------------------------------------------------------------ */
 
@@ -1050,6 +1302,20 @@ main(int argc, char **argv)
                     boolJson(pc.deepPass), boolJson(pc.schedPass),
                     boolJson(pc.miOk), pc.mi.mi.summary().c_str());
         design_pass = design_pass && pc.pass;
+
+        const KvChaosOutcome kv =
+            runKvChaos(spec, seed, requests, threads, shards);
+        std::printf("%-12s kv-campaign %s  (ryw=%s integrity=%s "
+                    "health=%s sched=%s deep=%s ops=%llu)\n",
+                    spec.name, kv.pass ? "PASS" : "FAIL",
+                    boolJson(kv.rywOk), boolJson(kv.integrityOk),
+                    boolJson(kv.healthOk), boolJson(kv.schedPass),
+                    kv.deepChecked ? boolJson(kv.deepPass) : "\"n/a\"",
+                    static_cast<unsigned long long>(kv.ops));
+        if (!kv.schedPass)
+            std::printf("%-12s kv-campaign %s\n", spec.name,
+                        kv.schedSummary.c_str());
+        design_pass = design_pass && kv.pass;
         all_pass = all_pass && design_pass;
 
         std::string plans_json;
@@ -1072,6 +1338,14 @@ main(int argc, char **argv)
             ", \"expect_leak\": " + boolJson(pc.expectLeak) +
             ", \"mi_ok\": " + boolJson(pc.miOk) +
             ", \"mi\": " + pc.mi.toJson() +
+            "},\n      \"kv\": {\"ops\": " + std::to_string(kv.ops) +
+            ", \"ryw_ok\": " + boolJson(kv.rywOk) +
+            ", \"integrity_ok\": " + boolJson(kv.integrityOk) +
+            ", \"health_ok\": " + boolJson(kv.healthOk) +
+            ", \"sched_pass\": " + boolJson(kv.schedPass) +
+            ", \"deep_checked\": " + boolJson(kv.deepChecked) +
+            ", \"deep_pass\": " + boolJson(kv.deepPass) +
+            ", \"pass\": " + boolJson(kv.pass) +
             "},\n      \"pass\": " + boolJson(design_pass) + "}";
     }
     if (!any) {
@@ -1081,7 +1355,7 @@ main(int argc, char **argv)
 
     const std::string json =
         "{\n  \"tool\": \"sdimm_chaos\",\n"
-        "  \"schema\": \"secdimm-chaos-v2\",\n"
+        "  \"schema\": \"secdimm-chaos-v3\",\n"
         "  \"seed\": " + std::to_string(seed) +
         ",\n  \"seeds\": " + std::to_string(seeds) +
         ",\n  \"requests\": " + std::to_string(requests) +

@@ -16,6 +16,12 @@
  * positive controls must be caught by the v2 statistics while
  * passing the v1 marginal checker.  Exit 0 = expectations hold,
  * 1 = violated, 2 = usage error.
+ *
+ * `--kv` switches to the application-layer experiment instead: the
+ * oblivious KV store's hit/miss MI under alternating hit-heavy and
+ * miss-heavy phases (src/app/kv_leak.hh).  The oblivious index must
+ * measure ~0 bits (95% CI includes zero) and the LeakyBaseline index
+ * -- the positive control -- must not; --check gates exactly that.
  */
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "app/kv_leak.hh"
 #include "crypto/aes128.hh"
 #include "oram/path_oram.hh"
 #include "sdimm/indep_split_oram.hh"
@@ -159,8 +166,68 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--design path|freecursive|independent|"
                  "split|indepsplit|all] [--requests N] [--seed N] "
-                 "[--out FILE] [--check]\n",
+                 "[--out FILE] [--check] [--kv]\n",
                  argv0);
+}
+
+/** The KV hit/miss experiment: oblivious index vs leaky control. */
+int
+runKvExperiment(std::size_t requests, std::uint64_t seed,
+                const std::string &out_path, bool check)
+{
+    app::KvLeakOptions opts;
+    opts.requests = requests;
+    opts.seed = seed;
+
+    std::vector<verify::LeakReport> reports;
+    std::vector<bool> expect_leak;
+    for (const app::KvIndexMode mode :
+         {app::KvIndexMode::Oblivious,
+          app::KvIndexMode::LeakyBaseline}) {
+        opts.index = mode;
+        const verify::LeakReport r = app::measureKvHitMissLeak(opts);
+        std::printf("%s\n", r.summary().c_str());
+        reports.push_back(r);
+        expect_leak.push_back(mode == app::KvIndexMode::LeakyBaseline);
+    }
+
+    std::string json = "{\n  \"tool\": \"sdimm_leakmeter\",\n"
+                       "  \"schema\": \"secdimm-leak-v1\",\n"
+                       "  \"experiment\": \"kv-hit-miss\",\n"
+                       "  \"seed\": " +
+                       std::to_string(seed) +
+                       ",\n  \"requests\": " + std::to_string(requests) +
+                       ",\n  \"designs\": [";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        json += i ? ",\n    " : "\n    ";
+        json += reports[i].toJson();
+    }
+    json += "\n  ]\n}\n";
+
+    std::ofstream f(out_path);
+    if (f) {
+        f << json;
+        std::printf("report written to %s\n", out_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    }
+
+    if (!check)
+        return 0;
+    int violations = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const bool detected = reports[i].mi.leakDetected();
+        if (detected != expect_leak[i]) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: %s leak_detected=%d expected=%d "
+                         "(%s)\n",
+                         reports[i].design.c_str(), detected ? 1 : 0,
+                         expect_leak[i] ? 1 : 0,
+                         reports[i].mi.summary().c_str());
+            ++violations;
+        }
+    }
+    return violations == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -173,6 +240,7 @@ main(int argc, char **argv)
     std::size_t requests = 3000;
     std::uint64_t seed = 1;
     bool check = false;
+    bool kv = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -187,10 +255,18 @@ main(int argc, char **argv)
             out_path = argv[++i];
         } else if (std::strcmp(arg, "--check") == 0) {
             check = true;
+        } else if (std::strcmp(arg, "--kv") == 0) {
+            kv = true;
         } else {
             usage(argv[0]);
             return 2;
         }
+    }
+
+    if (kv) {
+        if (out_path == "LEAK_measurements.json")
+            out_path = "LEAK_kv_measurements.json";
+        return runKvExperiment(requests, seed, out_path, check);
     }
 
     verify::PlbLeakOptions opts;
